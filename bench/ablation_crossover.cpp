@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Section 7.3 ablation: the incremental-vs-traversal crossover.
+ *
+ * SW-InstantCheck-Inc pays per *store* (5 instr/byte, old + new); SW-
+ * InstantCheck-Tr pays per *checkpoint* (5 instr/byte of live state).
+ * Sweeping the ratio of writes-between-checkpoints to state size moves
+ * the winner from traversal (write-heavy: barnes, fft, lu) to incremental
+ * (checkpoint-heavy: ocean, sphinx3, streamcluster). This bench makes the
+ * crossover explicit with a synthetic workload.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "check/driver.hpp"
+#include "sim/lambda_program.hpp"
+
+using namespace icheck;
+using sim::LambdaProgram;
+
+namespace
+{
+
+/**
+ * Synthetic phase workload: @p state_words of state, @p writes_per_phase
+ * writes between checkpoints, @p phases barrier checkpoints.
+ */
+check::ProgramFactory
+synthetic(std::uint32_t state_words, std::uint32_t writes_per_phase,
+          std::uint32_t phases)
+{
+    return [=] {
+        auto barrier_id = std::make_shared<sim::BarrierId>();
+        return std::make_unique<LambdaProgram>(
+            "synthetic", 4,
+            [=](sim::SetupCtx &ctx) {
+                ctx.global("state", mem::tArray(mem::tInt64(),
+                                                state_words));
+                *barrier_id = ctx.barrier(4);
+            },
+            [=](sim::ThreadCtx &ctx) {
+                const Addr state = ctx.global("state");
+                const std::uint32_t per_thread =
+                    writes_per_phase / 4;
+                for (std::uint32_t phase = 0; phase < phases; ++phase) {
+                    for (std::uint32_t w = 0; w < per_thread; ++w) {
+                        const std::uint32_t slot =
+                            (ctx.tid() * per_thread + w) % state_words;
+                        ctx.store<std::int64_t>(
+                            state + 8 * slot,
+                            static_cast<std::int64_t>(phase + w));
+                        ctx.tick(40);
+                    }
+                    ctx.barrier(*barrier_id);
+                }
+            });
+    };
+}
+
+double
+factorOf(check::Scheme scheme, const check::ProgramFactory &factory)
+{
+    check::DriverConfig cfg;
+    cfg.scheme = scheme;
+    cfg.runs = 3;
+    cfg.machine.numCores = 4;
+    check::DeterminismDriver driver(cfg);
+    return driver.check(factory).overheadFactor();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Section 7.3 ablation: SW-Inc vs SW-Tr crossover\n");
+    std::printf("state = 4096 words; sweep writes between checkpoints "
+                "(16 checkpoints)\n\n");
+    std::printf("%14s %14s %14s %10s\n", "writes/phase", "SW-Inc",
+                "SW-Tr", "winner");
+    std::printf("%s\n", std::string(56, '-').c_str());
+    for (std::uint32_t writes : {64u, 256u, 1024u, 4096u, 16384u}) {
+        const auto factory = synthetic(4096, writes, 16);
+        const double inc = factorOf(check::Scheme::SwInc, factory);
+        const double tr = factorOf(check::Scheme::SwTr, factory);
+        std::printf("%14u %13.2fx %13.2fx %10s\n", writes, inc, tr,
+                    inc < tr ? "inc" : "tr");
+    }
+    std::printf("\nSmall write counts favor incremental hashing; once "
+                "writes-per-checkpoint approach the state size,\n"
+                "traversal becomes cheaper — matching the per-application "
+                "winners in Figure 6.\n");
+    return 0;
+}

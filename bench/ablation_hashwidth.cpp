@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Hash-width ablation: empirical footing for the paper's accuracy claim.
+ *
+ * InstantCheck reports false negatives (two different states, equal
+ * hashes) with probability 2^-W for a W-bit State Hash; the paper picks
+ * W = 64 so collisions are "statistically rare". This bench hashes many
+ * distinct synthetic memory states through the real pipeline, truncates
+ * the State Hash to various widths, and compares observed pairwise
+ * collisions against the birthday-bound expectation pairs/2^W.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "hashing/location_hash.hpp"
+#include "hashing/state_hash.hpp"
+#include "support/rng.hpp"
+
+using namespace icheck;
+using namespace icheck::hashing;
+
+namespace
+{
+
+/** Hash of one random synthetic state (a handful of (addr, value)s). */
+HashWord
+randomStateHash(const StateHasher &hasher, Xoshiro256 &rng)
+{
+    ModHash sum;
+    const int locations = 4 + static_cast<int>(rng.below(8));
+    for (int i = 0; i < locations; ++i) {
+        const Addr addr = 0x1000 + rng.below(1 << 20) * 8;
+        sum += hasher.valueHash(addr, rng.next(), 8,
+                                ValueClass::Integer);
+    }
+    return sum.raw();
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr int n_states = 4000;
+    const Crc64LocationHasher location_hasher;
+    const StateHasher hasher(location_hasher, FpRoundMode::none());
+    Xoshiro256 rng(2026);
+
+    std::vector<HashWord> hashes;
+    hashes.reserve(n_states);
+    for (int i = 0; i < n_states; ++i)
+        hashes.push_back(randomStateHash(hasher, rng));
+
+    const double pairs =
+        static_cast<double>(n_states) * (n_states - 1) / 2.0;
+    std::printf("Hash-width ablation: %d distinct states, %.0f pairs\n",
+                n_states, pairs);
+    std::printf("%8s %16s %16s\n", "width", "expected-coll",
+                "observed-coll");
+    std::printf("%s\n", std::string(44, '-').c_str());
+
+    for (unsigned width : {8u, 12u, 16u, 20u, 24u, 32u, 48u, 64u}) {
+        const HashWord mask =
+            width >= 64 ? ~HashWord{0} : ((HashWord{1} << width) - 1);
+        std::map<HashWord, int> buckets;
+        for (HashWord hash : hashes)
+            ++buckets[hash & mask];
+        double collisions = 0;
+        for (const auto &[value, count] : buckets)
+            collisions += static_cast<double>(count) * (count - 1) / 2.0;
+        const double expected =
+            pairs / std::pow(2.0, static_cast<double>(width));
+        std::printf("%8u %16.2f %16.0f\n", width, expected, collisions);
+    }
+    std::printf("\nObserved collisions track the 2^-W birthday bound: at "
+                "8-16 bits false negatives would be routine, at 64 bits\n"
+                "they require ~2^32 distinct states before the first "
+                "expected collision — the paper's 'statistically rare'.\n");
+    return 0;
+}

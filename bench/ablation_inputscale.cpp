@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Input-scale ablation (simdev / simmedium / simlarge analogues):
+ * how work, checkpoints, and checking overheads scale with input size,
+ * and the input-dependence of the streamcluster bug's visibility — the
+ * paper's reason for checking many internal points ("catches bugs that
+ * for some inputs do not show up at the program end").
+ */
+
+#include <cstdio>
+
+#include "apps/scales.hpp"
+#include "check/driver.hpp"
+
+using namespace icheck;
+
+namespace
+{
+
+check::DriverReport
+runCampaign(const check::ProgramFactory &factory, check::Scheme scheme)
+{
+    check::DriverConfig cfg;
+    cfg.scheme = scheme;
+    cfg.runs = 5;
+    cfg.machine.numCores = 8;
+    check::DeterminismDriver driver(cfg);
+    return driver.check(factory);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Input-scale ablation\n\n");
+    std::printf("%-14s %-10s %12s %12s %10s %12s\n", "App", "Input",
+                "native", "checkpoints", "HW-Inc", "SW-Inc");
+    std::printf("%s\n", std::string(76, '-').c_str());
+    for (const char *name : {"fft", "sphinx3", "pbzip2"}) {
+        for (apps::InputScale scale :
+             {apps::InputScale::Dev, apps::InputScale::Medium,
+              apps::InputScale::Large}) {
+            const auto factory = apps::scaledFactory(name, scale);
+            const auto hw = runCampaign(factory, check::Scheme::HwInc);
+            const auto sw = runCampaign(factory, check::Scheme::SwInc);
+            std::printf("%-14s %-10s %12.0f %12zu %9.4fx %11.2fx\n",
+                        name, apps::scaleName(scale).c_str(),
+                        hw.avgNativeInstrs, hw.distributions.size(),
+                        hw.overheadFactor(), sw.overheadFactor());
+        }
+    }
+
+    std::printf("\nstreamcluster bug visibility by input "
+                "(bit-by-bit, 10 runs):\n");
+    std::printf("%-10s %10s %10s %8s %8s\n", "Input", "DetPts",
+                "NDetPts", "DetEnd", "Output");
+    std::printf("%s\n", std::string(52, '-').c_str());
+    for (apps::InputScale scale :
+         {apps::InputScale::Dev, apps::InputScale::Medium,
+          apps::InputScale::Large}) {
+        check::DriverConfig cfg;
+        cfg.runs = 10;
+        cfg.machine.numCores = 8;
+        cfg.machine.fpRoundingEnabled = false;
+        check::DeterminismDriver driver(cfg);
+        const auto report =
+            driver.check(apps::scaledFactory("streamcluster", scale));
+        std::printf("%-10s %10llu %10llu %8s %8s\n",
+                    apps::scaleName(scale).c_str(),
+                    static_cast<unsigned long long>(report.detPoints),
+                    static_cast<unsigned long long>(report.ndetPoints),
+                    report.detAtEnd ? "det" : "NDET",
+                    report.outputDeterministic ? "det" : "NDET");
+    }
+    std::printf("\nThe bug corrupts internal barriers at every input but "
+                "reaches the program end and output only on simdev —\n"
+                "end-only checking on the larger inputs would report a "
+                "clean program (Section 7.2.1).\n");
+    return 0;
+}

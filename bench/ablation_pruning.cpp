@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Section 6.2 ablation: systematic-testing search-space reduction by
+ * pruning strategy. Compares exhaustive enumeration, happens-before
+ * pruning (the CHESS approximation), and InstantCheck state-hash pruning
+ * on small parallel fragments. The paper's claim: state equality prunes
+ * strictly more than happens-before, because different synchronization
+ * orders often reach identical states (Figure 1).
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "explore/explorer.hpp"
+#include "sim/lambda_program.hpp"
+
+using namespace icheck;
+using sim::LambdaProgram;
+
+namespace
+{
+
+/** N threads each do G += L(tid) under a lock (Figure 1, generalized). */
+check::ProgramFactory
+lockedAccumulator(ThreadId threads)
+{
+    return [threads] {
+        auto mutex_id = std::make_shared<sim::MutexId>();
+        return std::make_unique<LambdaProgram>(
+            "locked-accum", threads,
+            [mutex_id](sim::SetupCtx &ctx) {
+                const Addr g = ctx.global("G", mem::tInt64());
+                ctx.init<std::int64_t>(g, 2);
+                *mutex_id = ctx.mutex();
+            },
+            [mutex_id](sim::ThreadCtx &ctx) {
+                ctx.lock(*mutex_id);
+                const auto g = ctx.load<std::int64_t>(ctx.global("G"));
+                ctx.store<std::int64_t>(ctx.global("G"),
+                                        g + 3 + ctx.tid());
+                ctx.unlock(*mutex_id);
+            });
+    };
+}
+
+/** Two threads race on two variables without locks. */
+check::ProgramFactory
+racyPair()
+{
+    return [] {
+        return std::make_unique<LambdaProgram>(
+            "racy-pair", 2,
+            [](sim::SetupCtx &ctx) {
+                ctx.global("x", mem::tInt64());
+                ctx.global("y", mem::tInt64());
+            },
+            [](sim::ThreadCtx &ctx) {
+                const Addr x = ctx.global("x");
+                const Addr y = ctx.global("y");
+                if (ctx.tid() == 0) {
+                    ctx.store<std::int64_t>(x, 1);
+                    const auto v = ctx.load<std::int64_t>(y);
+                    ctx.store<std::int64_t>(x, v + 2);
+                } else {
+                    ctx.store<std::int64_t>(y, 1);
+                    const auto v = ctx.load<std::int64_t>(x);
+                    ctx.store<std::int64_t>(y, v + 2);
+                }
+            });
+    };
+}
+
+void
+row(const char *name, const check::ProgramFactory &factory)
+{
+    sim::MachineConfig mc;
+    mc.numCores = 2;
+
+    explore::ExploreConfig cfg;
+    cfg.maxRuns = 20000;
+    cfg.quantum = 1;
+
+    std::printf("%-22s", name);
+    std::size_t states = 0;
+    for (explore::PruneMode mode :
+         {explore::PruneMode::None, explore::PruneMode::HappensBefore,
+          explore::PruneMode::StateHash}) {
+        cfg.prune = mode;
+        const explore::ExploreResult result =
+            explore::explore(factory, mc, cfg);
+        if (mode == explore::PruneMode::None)
+            states = result.finalStates.size();
+        std::printf(" %9d%s", result.runsExecuted,
+                    result.exhausted ? " " : "+");
+        if (result.finalStates.size() != states)
+            std::printf(" [STATE SET MISMATCH]");
+    }
+    std::printf(" %9zu\n", states);
+}
+
+void
+boundRow(const char *name, const check::ProgramFactory &factory)
+{
+    sim::MachineConfig mc;
+    mc.numCores = 2;
+    explore::ExploreConfig cfg;
+    cfg.maxRuns = 20000;
+    cfg.quantum = 1;
+    cfg.prune = explore::PruneMode::None;
+
+    std::printf("%-22s", name);
+    for (std::size_t budget : {std::size_t{0}, std::size_t{1},
+                               std::size_t{2}, ~std::size_t{0}}) {
+        cfg.maxPreemptions = budget;
+        const explore::ExploreResult result =
+            explore::explore(factory, mc, cfg);
+        std::printf(" %6d/%-4zu", result.runsExecuted,
+                    result.finalStates.size());
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Section 6.2 ablation: interleavings executed by pruning "
+                "strategy (quantum = 1 access)\n");
+    std::printf("%-22s %10s %10s %10s %10s\n", "Program", "none",
+                "hb-prune", "state-hash", "states");
+    std::printf("%s\n", std::string(68, '-').c_str());
+    row("fig1-locked-2t", lockedAccumulator(2));
+    row("fig1-locked-3t", lockedAccumulator(3));
+    row("racy-pair", racyPair());
+    std::printf("\nAll strategies find the same final-state sets; "
+                "state-hash pruning executes the fewest runs because it\n"
+                "merges interleavings that differ in happens-before but "
+                "agree in state (Figure 1's pair is the canonical\n"
+                "example). '+' marks a search stopped by the run cap.\n");
+
+    std::printf("\nCHESS-style preemption bounding (runs/states per "
+                "budget):\n");
+    std::printf("%-22s %11s %11s %11s %11s\n", "Program", "p=0", "p=1",
+                "p=2", "unbounded");
+    std::printf("%s\n", std::string(70, '-').c_str());
+    boundRow("fig1-racy-2t", racyPair());
+    boundRow("fig1-locked-3t", lockedAccumulator(3));
+    std::printf("\nSmall preemption budgets already cover most reachable "
+                "states at a fraction of the runs — the CHESS insight\n"
+                "that InstantCheck's state pruning composes with "
+                "(Section 6.2).\n");
+    return 0;
+}

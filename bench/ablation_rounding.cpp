@@ -1,0 +1,87 @@
+/**
+ * @file
+ * FP-rounding granularity ablation (sections 3.1 and 5).
+ *
+ * The round-off unit must be coarse enough to absorb reassociation noise
+ * but fine enough not to mask real differences. This bench sweeps both
+ * knobs the paper offers programmers:
+ *
+ *  - decimal flooring with N digits, against (a) a benign FP workload
+ *    (ocean: should become deterministic once N is coarse enough) and
+ *    (b) a seeded semantic bug of ~1e-1 magnitude (waterNS: must stay
+ *    detected until the grain exceeds the bug's effect);
+ *  - mantissa masking with M bits, same two subjects.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "apps/apps.hpp"
+#include "check/driver.hpp"
+
+using namespace icheck;
+
+namespace
+{
+
+check::DriverReport
+runWith(const check::ProgramFactory &factory, hashing::FpRoundMode mode)
+{
+    check::DriverConfig cfg;
+    cfg.runs = 12;
+    cfg.machine.numCores = 8;
+    cfg.machine.fpRoundingEnabled = true;
+    cfg.machine.mhmCfg.fpMode = mode;
+    check::DeterminismDriver driver(cfg);
+    return driver.check(factory);
+}
+
+const char *
+verdict(const check::DriverReport &report)
+{
+    return report.deterministic() ? "Det" : "NDet";
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto ocean = [] { return std::make_unique<apps::Ocean>(8); };
+    const auto buggy = [] {
+        return std::make_unique<apps::WaterNS>(8, 48, 5,
+                                               apps::BugSeed::Semantic);
+    };
+
+    std::printf("FP rounding granularity ablation (12 runs each)\n\n");
+    std::printf("Decimal flooring (keep N digits):\n");
+    std::printf("%8s %18s %24s\n", "N", "ocean (benign FP)",
+                "waterNS+semantic (bug)");
+    std::printf("%s\n", std::string(54, '-').c_str());
+    for (int digits : {12, 9, 6, 3, 1, 0}) {
+        const auto mode = hashing::FpRoundMode::floorDigits(digits);
+        std::printf("%8d %18s %24s\n", digits,
+                    verdict(runWith(ocean, mode)),
+                    verdict(runWith(buggy, mode)));
+    }
+
+    std::printf("\nMantissa masking (zero M low bits of the double "
+                "mantissa):\n");
+    std::printf("%8s %18s %24s\n", "M", "ocean (benign FP)",
+                "waterNS+semantic (bug)");
+    std::printf("%s\n", std::string(54, '-').c_str());
+    for (int bits : {4, 12, 24, 36, 44, 50}) {
+        const auto mode = hashing::FpRoundMode::mask(bits);
+        std::printf("%8d %18s %24s\n", bits,
+                    verdict(runWith(ocean, mode)),
+                    verdict(runWith(buggy, mode)));
+    }
+
+    std::printf("\nBenign reassociation noise (~1 ulp) is absorbed once "
+                "the grain passes it; the seeded bug (~1e-1 effect)\n"
+                "remains detected at every practical setting — rounding "
+                "does not hide real errors (Section 5). Very coarse\n"
+                "grains would eventually mask bugs too, which is why the "
+                "parameters are programmer-controlled.\n");
+    return 0;
+}

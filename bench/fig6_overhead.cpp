@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Regenerates Figure 6: instructions executed normalized to Native for
+ * HW-InstantCheck-Inc, SW-InstantCheck-Inc-Ideal, and
+ * SW-InstantCheck-Tr-Ideal, per application plus the geometric mean.
+ *
+ * Cost model (Section 7.3): software hashing costs 5 instructions per
+ * byte; HW-Inc's only overhead is the Section 5 zeroing/scrubbing of
+ * allocations (plus reading TH registers at checkpoints); the ideal
+ * software bounds ignore instrumentation-trampoline and allocation-table
+ * costs. Absolute ratios depend on the synthetic workload sizes; the
+ * paper-matching *shape* is: HW overhead is negligible (fractions of a
+ * percent on average), the software schemes cost integer factors, and
+ * incremental-vs-traversal wins flip per application with the ratio of
+ * writes between checkpoints to state size.
+ *
+ * The sphinx3 ignore-deletion costs (Section 7.3's 4.5X / 55X / 438X
+ * discussion) are reported separately at the end.
+ */
+
+#include <cstdio>
+
+#include "apps/app_registry.hpp"
+#include "check/driver.hpp"
+#include "support/stats.hpp"
+
+using namespace icheck;
+
+namespace
+{
+
+check::DriverConfig
+configFor(check::Scheme scheme, const check::IgnoreSpec &ignores)
+{
+    check::DriverConfig cfg;
+    cfg.scheme = scheme;
+    cfg.idealCostModel = true;
+    cfg.runs = 5; // overhead ratios are schedule-stable; 5 runs suffice
+    cfg.machine.numCores = 8;
+    cfg.machine.fpRoundingEnabled = true;
+    cfg.ignores = ignores;
+    return cfg;
+}
+
+double
+overheadFactor(const apps::AppInfo &app, check::Scheme scheme,
+               bool with_ignores)
+{
+    const check::IgnoreSpec ignores =
+        with_ignores ? app.ignores : check::IgnoreSpec{};
+    check::DeterminismDriver driver(configFor(scheme, ignores));
+    return driver.check(app.factory).overheadFactor();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 6: instructions executed, normalized to Native "
+                "(Native == 1.00)\n");
+    std::printf("%-14s %10s %12s %18s %18s   %s\n", "App", "Native",
+                "HW-Inc", "SW-Inc-Ideal", "SW-Tr-Ideal", "faster SW");
+    std::printf("%s\n", std::string(90, '-').c_str());
+
+    GeoMean geo_hw, geo_sw_inc, geo_sw_tr;
+    for (const apps::AppInfo &app : apps::registry()) {
+        // Native baseline (no checker, no instrumentation).
+        check::DeterminismDriver native_driver(
+            configFor(check::Scheme::HwInc, {}));
+        const sim::RunResult native =
+            native_driver.runNative(app.factory, /*sched_seed=*/1000);
+
+        const double hw = overheadFactor(app, check::Scheme::HwInc,
+                                         false);
+        const double sw_inc = overheadFactor(app, check::Scheme::SwInc,
+                                             false);
+        const double sw_tr = overheadFactor(app, check::Scheme::SwTr,
+                                            false);
+        geo_hw.record(hw);
+        geo_sw_inc.record(sw_inc);
+        geo_sw_tr.record(sw_tr);
+
+        std::printf("%-14s %10llu %11.4fx %17.2fx %17.2fx   %s\n",
+                    app.name.c_str(),
+                    static_cast<unsigned long long>(native.nativeInstrs),
+                    hw, sw_inc, sw_tr,
+                    sw_inc < sw_tr ? "incremental" : "traversal");
+    }
+    std::printf("%s\n", std::string(90, '-').c_str());
+    std::printf("%-14s %10s %11.4fx %17.2fx %17.2fx\n", "GEOM", "",
+                geo_hw.value(), geo_sw_inc.value(), geo_sw_tr.value());
+
+    // sphinx3 with the nondeterministic scratch memory deleted from the
+    // hash: deletion traverses the ignored bytes at every checkpoint.
+    const apps::AppInfo &sphinx = apps::findApp("sphinx3");
+    std::printf("\nsphinx3 with ignore-deletion of the nondeterministic "
+                "memory (Section 7.3):\n");
+    std::printf("  HW-Inc        %8.2fx\n",
+                overheadFactor(sphinx, check::Scheme::HwInc, true));
+    std::printf("  SW-Inc-Ideal  %8.2fx\n",
+                overheadFactor(sphinx, check::Scheme::SwInc, true));
+    std::printf("  SW-Tr-Ideal   %8.2fx\n",
+                overheadFactor(sphinx, check::Scheme::SwTr, true));
+
+    std::printf("\nShape checks (paper Section 7.3): HW overhead is "
+                "negligible; SW schemes cost integer factors;\n"
+                "SW-Inc wins when writes between checkpoints are few "
+                "relative to state size (e.g. ocean, sphinx3,\n"
+                "streamcluster), SW-Tr wins when writes dominate (e.g. "
+                "barnes, fft, lu).\n");
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Host-side throughput of the simulator itself: simulated accesses per
+ * second for a native run, with the HW checker attached (MHM hashing
+ * every store), and with the software checkers — the cost of using this
+ * library, as opposed to the modeled target overheads of Figure 6.
+ */
+
+#include <benchmark/benchmark.h>
+#include <memory>
+
+#include "check/checker.hpp"
+#include "sim/lambda_program.hpp"
+#include "sim/machine.hpp"
+
+using namespace icheck;
+
+namespace
+{
+
+/** A write-heavy 4-thread kernel with barrier checkpoints. */
+std::unique_ptr<sim::LambdaProgram>
+kernel(std::shared_ptr<sim::BarrierId> barrier_id)
+{
+    return std::make_unique<sim::LambdaProgram>(
+        "kernel", 4,
+        [barrier_id](sim::SetupCtx &ctx) {
+            ctx.global("data", mem::tArray(mem::tInt64(), 256));
+            *barrier_id = ctx.barrier(4);
+        },
+        [barrier_id](sim::ThreadCtx &ctx) {
+            const Addr data = ctx.global("data");
+            for (int phase = 0; phase < 4; ++phase) {
+                for (int i = 0; i < 64; ++i) {
+                    const Addr slot =
+                        data + 8 * ((ctx.tid() * 64 + i) % 256);
+                    ctx.store<std::int64_t>(
+                        slot, ctx.load<std::int64_t>(slot) + i);
+                }
+                ctx.barrier(*barrier_id);
+            }
+        });
+}
+
+void
+runOnce(std::optional<check::Scheme> scheme, benchmark::State &state)
+{
+    std::uint64_t accesses = 0;
+    for (auto _ : state) {
+        sim::MachineConfig cfg;
+        cfg.numCores = 4;
+        cfg.schedSeed = 42;
+        sim::Machine machine(cfg);
+        std::unique_ptr<check::Checker> checker;
+        if (scheme.has_value()) {
+            checker = check::makeChecker(*scheme);
+            checker->attach(machine);
+            machine.setRunStartHandler([&] { checker->onRunStart(); });
+            machine.setCheckpointHandler(
+                [&](const sim::CheckpointInfo &) {
+                    benchmark::DoNotOptimize(
+                        checker->checkpointHash().raw());
+                });
+        }
+        auto barrier_id = std::make_shared<sim::BarrierId>();
+        auto program = kernel(barrier_id);
+        const sim::RunResult result = machine.run(*program);
+        accesses += result.nativeInstrs;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(accesses));
+}
+
+void
+BM_MachineNative(benchmark::State &state)
+{
+    runOnce(std::nullopt, state);
+}
+
+void
+BM_MachineHwInc(benchmark::State &state)
+{
+    runOnce(check::Scheme::HwInc, state);
+}
+
+void
+BM_MachineSwInc(benchmark::State &state)
+{
+    runOnce(check::Scheme::SwInc, state);
+}
+
+void
+BM_MachineSwTr(benchmark::State &state)
+{
+    runOnce(check::Scheme::SwTr, state);
+}
+
+} // namespace
+
+BENCHMARK(BM_MachineNative)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MachineHwInc)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MachineSwInc)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MachineSwTr)->Unit(benchmark::kMicrosecond);

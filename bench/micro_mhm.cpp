@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Microbenchmarks of the MHM designs (Fig 3): the area-optimized basic
+ * module vs the highly-parallel clustered module at several cluster
+ * counts and dispatch policies, plus write-buffer drain-policy costs.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/write_buffer.hpp"
+#include "hashing/location_hash.hpp"
+#include "mhm/mhm.hpp"
+#include "support/rng.hpp"
+
+using namespace icheck;
+
+namespace
+{
+
+void
+runStream(mhm::Mhm &module, benchmark::State &state)
+{
+    module.startHashing();
+    module.stopFpRounding();
+    Xoshiro256 rng(1);
+    std::uint64_t prev = 0;
+    for (auto _ : state) {
+        const Addr addr = 0x1000 + (rng.next() & 0xfff8);
+        const std::uint64_t value = rng.next();
+        module.observeStore(addr, prev, value, 8,
+                            hashing::ValueClass::Integer);
+        prev = value;
+    }
+    benchmark::DoNotOptimize(module.th());
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations()));
+}
+
+void
+BM_BasicMhm(benchmark::State &state)
+{
+    hashing::Crc64LocationHasher hasher;
+    mhm::BasicMhm module(hasher, hashing::FpRoundMode::paperDefault());
+    runStream(module, state);
+}
+
+void
+BM_ClusteredMhm(benchmark::State &state)
+{
+    hashing::Crc64LocationHasher hasher;
+    mhm::ClusteredMhm module(hasher, hashing::FpRoundMode::paperDefault(),
+                             static_cast<std::size_t>(state.range(0)),
+                             mhm::DispatchPolicy::RoundRobin, 1);
+    runStream(module, state);
+}
+
+void
+BM_ClusteredMhmRandomDispatch(benchmark::State &state)
+{
+    hashing::Crc64LocationHasher hasher;
+    mhm::ClusteredMhm module(hasher, hashing::FpRoundMode::paperDefault(),
+                             8, mhm::DispatchPolicy::Random, 1);
+    runStream(module, state);
+}
+
+void
+BM_WriteBufferDrain(benchmark::State &state, cache::DrainPolicy policy)
+{
+    Xoshiro256 rng(2);
+    for (auto _ : state) {
+        cache::WriteBuffer wb(16, policy, 7);
+        std::uint64_t sink_sum = 0;
+        auto sink = [&](const cache::WriteBufferEntry &entry) {
+            sink_sum += entry.vaddr() + entry.newBits;
+        };
+        for (int i = 0; i < 64; ++i) {
+            cache::WriteBufferEntry entry;
+            const Addr vaddr = 0x1000 + (rng.next() & 0xff8);
+            entry.paddr = cache::translate(vaddr);
+            entry.vpn = vaddr / cache::vpnPageSize;
+            entry.width = 8;
+            entry.newBits = rng.next();
+            wb.push(entry, sink);
+        }
+        wb.drainAll(sink);
+        benchmark::DoNotOptimize(sink_sum);
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_BasicMhm);
+BENCHMARK(BM_ClusteredMhm)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_ClusteredMhmRandomDispatch);
+BENCHMARK_CAPTURE(BM_WriteBufferDrain, fifo, cache::DrainPolicy::Fifo);
+BENCHMARK_CAPTURE(BM_WriteBufferDrain, lifo, cache::DrainPolicy::Lifo);
+BENCHMARK_CAPTURE(BM_WriteBufferDrain, random,
+                  cache::DrainPolicy::Random);

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Regenerates Table 2: detection of the three seeded bugs (semantic,
+ * atomicity violation, order violation) in formerly deterministic
+ * applications — 30 runs each, reporting deterministic / nondeterministic
+ * checking points and the first run at which the bug's nondeterminism is
+ * detected.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "apps/apps.hpp"
+#include "check/driver.hpp"
+
+using namespace icheck;
+
+namespace
+{
+
+struct Row
+{
+    const char *app;
+    const char *bugType;
+    check::ProgramFactory buggy;
+};
+
+check::DriverConfig
+driverConfig()
+{
+    check::DriverConfig cfg;
+    cfg.runs = 30;
+    cfg.machine.numCores = 8;
+    cfg.machine.fpRoundingEnabled = true;
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    const Row rows[] = {
+        {"waterNS", "semantic",
+         [] {
+             return std::make_unique<apps::WaterNS>(
+                 8, 48, 5, apps::BugSeed::Semantic);
+         }},
+        {"waterSP", "atomicity violation",
+         [] {
+             return std::make_unique<apps::WaterSP>(
+                 8, 48, 4, apps::BugSeed::AtomicityViolation);
+         }},
+        {"radix", "order violation",
+         [] {
+             return std::make_unique<apps::Radix>(
+                 8, 512, apps::BugSeed::OrderViolation);
+         }},
+    };
+
+    std::printf("Table 2: seeded-bug detection (30 runs, bug seeded in "
+                "thread 3 only)\n");
+    std::printf("%-12s %-22s %10s %10s %12s\n", "App", "BugType",
+                "DetPoints", "NDetPoints", "FirstNDetRun");
+    std::printf("%s\n", std::string(70, '-').c_str());
+
+    for (const Row &row : rows) {
+        check::DeterminismDriver driver(driverConfig());
+        const check::DriverReport report = driver.check(row.buggy);
+        std::printf("%-12s %-22s %10llu %10llu %12d\n", row.app,
+                    row.bugType,
+                    static_cast<unsigned long long>(report.detPoints),
+                    static_cast<unsigned long long>(report.ndetPoints),
+                    report.firstNdetRun);
+    }
+    std::printf("\nAll three bug types manifest as nondeterminism and are "
+                "caught by the same check, without bug-type-specific\n"
+                "detectors, annotations, or training runs "
+                "(Section 7.4).\n");
+    return 0;
+}

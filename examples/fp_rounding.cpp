@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Floating-point round-off control (sections 3.1 and 5).
+ *
+ * Parallel reductions reassociate FP additions, so bit-by-bit comparison
+ * reports nondeterminism even for programs whose results are numerically
+ * identical. This example checks the same reduction program under:
+ *   - bit-by-bit comparison          -> nondeterministic,
+ *   - decimal flooring (default 1e-3) -> deterministic,
+ *   - mantissa masking (M low bits)   -> deterministic,
+ * and shows a genuine (semantic) error is NOT masked by rounding.
+ *
+ *   ./fp_rounding
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "apps/apps.hpp"
+#include "check/driver.hpp"
+#include "sim/lambda_program.hpp"
+
+using namespace icheck;
+
+namespace
+{
+
+/** Threads accumulate fixed terms into one global sum, in lock order. */
+check::ProgramFactory
+reduction()
+{
+    return [] {
+        auto mutex_id = std::make_shared<sim::MutexId>();
+        return std::make_unique<sim::LambdaProgram>(
+            "reduction", 8,
+            [mutex_id](sim::SetupCtx &ctx) {
+                const Addr acc = ctx.global("acc", mem::tDouble());
+                ctx.init<double>(acc, 0.0005); // keep off grid boundaries
+                *mutex_id = ctx.mutex();
+            },
+            [mutex_id](sim::ThreadCtx &ctx) {
+                const Addr acc = ctx.global("acc");
+                for (int i = 0; i < 8; ++i) {
+                    const double term =
+                        1.0 / (3.0 + ctx.tid()) + 1e-14 * (i + 1);
+                    ctx.lock(*mutex_id);
+                    ctx.store<double>(acc,
+                                      ctx.load<double>(acc) + term);
+                    ctx.unlock(*mutex_id);
+                }
+            });
+    };
+}
+
+check::DriverConfig
+configWith(bool rounding, hashing::FpRoundMode mode)
+{
+    check::DriverConfig cfg;
+    cfg.runs = 20;
+    cfg.machine.numCores = 8;
+    cfg.machine.fpRoundingEnabled = rounding;
+    cfg.machine.mhmCfg.fpMode = mode;
+    return cfg;
+}
+
+void
+report(const char *label, const check::DriverConfig &cfg)
+{
+    check::DeterminismDriver driver(cfg);
+    const check::DriverReport rep = driver.check(reduction());
+    std::printf("  %-34s %s (first ndet run: %d)\n", label,
+                rep.deterministic() ? "deterministic"
+                                    : "NONDETERMINISTIC",
+                rep.firstNdetRun);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("FP reduction checked under different comparison "
+                "modes:\n");
+    report("bit-by-bit",
+           configWith(false, hashing::FpRoundMode::none()));
+    report("floor to 0.001 (paper default)",
+           configWith(true, hashing::FpRoundMode::paperDefault()));
+    report("floor to 1e-6",
+           configWith(true, hashing::FpRoundMode::floorDigits(6)));
+    report("mantissa mask, M = 24 bits",
+           configWith(true, hashing::FpRoundMode::mask(24)));
+
+    std::printf("\nA real numerical bug is NOT masked by rounding "
+                "(waterNS + seeded semantic bug, floor 0.001):\n");
+    check::DriverConfig cfg =
+        configWith(true, hashing::FpRoundMode::paperDefault());
+    check::DeterminismDriver driver(cfg);
+    const check::DriverReport buggy = driver.check([] {
+        return std::make_unique<apps::WaterNS>(8, 48, 5,
+                                               apps::BugSeed::Semantic);
+    });
+    std::printf("  waterNS+semantic: %s (first ndet run: %d)\n",
+                buggy.deterministic() ? "deterministic"
+                                      : "NONDETERMINISTIC",
+                buggy.firstNdetRun);
+    std::printf("\nRounding discards reassociation noise without hiding "
+                "errors larger than the grain (Section 5).\n");
+    return 0;
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Filtering benign data races with fast state comparison (Section 6.1).
+ *
+ * Most reported data races are benign. InstantCheck makes the classifying
+ * state comparison a 64-bit hash compare: run the program under many
+ * schedules (exercising both orders of each race), detect races with a
+ * happens-before detector, and check whether the final state hash is
+ * schedule-invariant.
+ *
+ *   ./race_filter
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "apps/apps.hpp"
+#include "race/benign_filter.hpp"
+#include "race/race_detector.hpp"
+#include "sim/lambda_program.hpp"
+
+using namespace icheck;
+
+namespace
+{
+
+const char *
+verdictName(race::RaceVerdict verdict)
+{
+    switch (verdict) {
+      case race::RaceVerdict::NoRaces: return "no races";
+      case race::RaceVerdict::Benign:  return "BENIGN races";
+      case race::RaceVerdict::Harmful: return "HARMFUL races";
+    }
+    return "?";
+}
+
+void
+classify(const char *label, const check::ProgramFactory &factory)
+{
+    sim::MachineConfig mc;
+    mc.numCores = 4;
+    mc.minQuantum = 1;
+    mc.maxQuantum = 6;
+    const race::FilterReport report =
+        race::classifyRaces(factory, mc, /*runs=*/10, /*base_seed=*/500);
+    std::printf("  %-26s %-14s (%zu distinct races, %zu distinct final "
+                "states over %d runs)\n",
+                label, verdictName(report.verdict), report.races.size(),
+                report.distinctStates, report.runs);
+    if (report.races.empty())
+        return;
+    // Symbolize a few of the races against a fresh run's allocation map.
+    sim::MachineConfig sym_cfg = mc;
+    sym_cfg.schedSeed = 500;
+    sim::Machine machine(sym_cfg);
+    auto program = factory();
+    machine.run(*program);
+    const auto lines = race::describeRaces(report.races, machine);
+    for (std::size_t i = 0; i < lines.size() && i < 3; ++i)
+        std::printf("      %s\n", lines[i].c_str());
+    if (lines.size() > 3)
+        std::printf("      ... and %zu more\n", lines.size() - 3);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Benign-race filtering via state-hash comparison:\n\n");
+
+    // 1. Clean program: lock-protected counter.
+    classify("locked counter", [] {
+        auto mutex_id = std::make_shared<sim::MutexId>();
+        return std::make_unique<sim::LambdaProgram>(
+            "locked", 4,
+            [mutex_id](sim::SetupCtx &ctx) {
+                ctx.global("c", mem::tInt64());
+                *mutex_id = ctx.mutex();
+            },
+            [mutex_id](sim::ThreadCtx &ctx) {
+                for (int i = 0; i < 10; ++i) {
+                    ctx.lock(*mutex_id);
+                    ctx.store<std::int64_t>(
+                        ctx.global("c"),
+                        ctx.load<std::int64_t>(ctx.global("c")) + 1);
+                    ctx.unlock(*mutex_id);
+                }
+            });
+    });
+
+    // 2. Benign race: volrend's hand-coded barrier spins on a flag that
+    // is written under a lock but read without it. Racy, yet the program
+    // is externally deterministic (Table 1).
+    classify("volrend hand-coded barrier", [] {
+        return std::make_unique<apps::Volrend>(4, /*frames=*/2,
+                                               /*pixels=*/64);
+    });
+
+    // 3. Harmful race: last-writer-wins on a shared result.
+    classify("last-writer-wins result", [] {
+        return std::make_unique<sim::LambdaProgram>(
+            "harmful", 4,
+            [](sim::SetupCtx &ctx) { ctx.global("r", mem::tInt64()); },
+            [](sim::ThreadCtx &ctx) {
+                for (int i = 0; i < 8; ++i)
+                    ctx.store<std::int64_t>(ctx.global("r"),
+                                            ctx.tid() * 100 + i);
+            });
+    });
+
+    std::printf("\nNarayanasamy et al. report ~90%% of races are benign; "
+                "InstantCheck reduces their state comparison to one\n"
+                "64-bit compare per run (Section 6.1).\n");
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Deterministic-replay assist (Section 6.3).
+ *
+ * Records a racy run's schedule plus its InstantCheck state hash, then
+ * shows the three uses of the hash: certifying an exact replay, hash-
+ * verified search from a *partial* log (the modern low-overhead replay
+ * approach), and early rejection of executions that diverge from the
+ * original.
+ *
+ *   ./replay_assist
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "explore/replay.hpp"
+#include "sim/lambda_program.hpp"
+
+using namespace icheck;
+
+namespace
+{
+
+check::ProgramFactory
+racyWorkload()
+{
+    return [] {
+        return std::make_unique<sim::LambdaProgram>(
+            "racy", 3,
+            [](sim::SetupCtx &ctx) {
+                ctx.global("cells", mem::tArray(mem::tInt64(), 8));
+            },
+            [](sim::ThreadCtx &ctx) {
+                const Addr cells = ctx.global("cells");
+                for (int i = 0; i < 12; ++i) {
+                    const Addr cell = cells + 8 * (i % 8);
+                    const auto v = ctx.load<std::int64_t>(cell);
+                    ctx.store<std::int64_t>(cell,
+                                            v * 2 + ctx.tid() + 1);
+                }
+            });
+    };
+}
+
+sim::MachineConfig
+machineConfig()
+{
+    sim::MachineConfig cfg;
+    cfg.numCores = 2;
+    cfg.minQuantum = 1;
+    cfg.maxQuantum = 4;
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    // Record the "original" (buggy, say) execution.
+    const explore::ScheduleLog log =
+        explore::recordRun(racyWorkload(), machineConfig(),
+                           /*sched_seed=*/42);
+    std::printf("recorded run: %zu scheduling decisions, state hash "
+                "%016llx\n",
+                log.choices.size(),
+                static_cast<unsigned long long>(log.finalStateHash));
+
+    // 1. Exact replay: the hash certifies the whole state was recreated
+    // (so the programmer can inspect *all* variables, not just the bug).
+    const HashWord replayed =
+        explore::replayExact(racyWorkload(), machineConfig(), log);
+    std::printf("exact replay: state hash %016llx -> %s\n",
+                static_cast<unsigned long long>(replayed),
+                replayed == log.finalStateHash ? "entire state "
+                                                 "reproduced"
+                                               : "MISMATCH");
+
+    // 2. Partial-log search: keep a fraction of the log and search random
+    // continuations; the state hash tells the searcher when it has found
+    // an execution that recreates the original state.
+    for (double fraction : {0.9, 0.6, 0.3}) {
+        const explore::ReplaySearchResult result = explore::searchReplay(
+            racyWorkload(), machineConfig(), log, fraction,
+            /*max_attempts=*/2000);
+        std::printf("partial log (%2.0f%% kept): %s after %d "
+                    "attempt(s)\n",
+                    fraction * 100,
+                    result.reproduced ? "state reproduced"
+                                      : "not reproduced",
+                    result.attempts);
+    }
+
+    std::printf("\nSmaller logs need more search — and without the state "
+                "hash the searcher could not cheaply tell a true\n"
+                "reproduction from an execution that merely obeys the "
+                "log (Section 6.3).\n");
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Systematic testing with state-hash pruning (Section 6.2).
+ *
+ * CHESS-style systematic testing enumerates thread interleavings; the
+ * search space explodes, so testers prune interleavings they can prove
+ * equivalent. CHESS compares happens-before, which cannot see that two
+ * different lock orders reached the same state — InstantCheck's state
+ * hash can. This example explores the paper's Figure 1 program under
+ * exhaustive, happens-before-pruned, state-hash-pruned, and
+ * preemption-bounded searches.
+ *
+ *   ./systematic_testing
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "explore/explorer.hpp"
+#include "sim/lambda_program.hpp"
+
+using namespace icheck;
+
+namespace
+{
+
+/** Figure 1 with three threads: lock-ordered G += L(tid). */
+check::ProgramFactory
+figure1(ThreadId threads)
+{
+    return [threads] {
+        auto mutex_id = std::make_shared<sim::MutexId>();
+        return std::make_unique<sim::LambdaProgram>(
+            "fig1", threads,
+            [mutex_id](sim::SetupCtx &ctx) {
+                const Addr g = ctx.global("G", mem::tInt64());
+                ctx.init<std::int64_t>(g, 2);
+                *mutex_id = ctx.mutex();
+            },
+            [mutex_id](sim::ThreadCtx &ctx) {
+                ctx.lock(*mutex_id);
+                const auto g = ctx.load<std::int64_t>(ctx.global("G"));
+                ctx.store<std::int64_t>(ctx.global("G"),
+                                        g + 3 + ctx.tid());
+                ctx.unlock(*mutex_id);
+            });
+    };
+}
+
+void
+report(const char *label, const explore::ExploreResult &result)
+{
+    std::printf("  %-24s %6d runs, %3zu distinct final state(s), "
+                "%llu branches pruned%s\n",
+                label, result.runsExecuted, result.finalStates.size(),
+                static_cast<unsigned long long>(result.branchesPruned +
+                                                result
+                                                    .branchesBoundedOut),
+                result.exhausted ? "" : " (run cap hit)");
+}
+
+} // namespace
+
+int
+main()
+{
+    sim::MachineConfig mc;
+    mc.numCores = 2;
+
+    explore::ExploreConfig cfg;
+    cfg.maxRuns = 20000;
+    cfg.quantum = 1; // interleave at every memory access
+
+    std::printf("Exploring every interleaving of Figure 1 with 3 "
+                "threads:\n");
+    cfg.prune = explore::PruneMode::None;
+    report("exhaustive", explore::explore(figure1(3), mc, cfg));
+
+    cfg.prune = explore::PruneMode::HappensBefore;
+    report("happens-before pruning",
+           explore::explore(figure1(3), mc, cfg));
+
+    cfg.prune = explore::PruneMode::StateHash;
+    report("state-hash pruning", explore::explore(figure1(3), mc, cfg));
+
+    cfg.prune = explore::PruneMode::None;
+    cfg.maxPreemptions = 1;
+    report("preemption bound p=1", explore::explore(figure1(3), mc, cfg));
+
+    std::printf(
+        "\nAll searches agree on the final states (the program is\n"
+        "externally deterministic: one state). Happens-before pruning\n"
+        "cannot merge different lock-acquisition orders even though they\n"
+        "reach identical states; the InstantCheck state hash can, which\n"
+        "is the Section 6.2 speedup. Preemption bounding is the\n"
+        "orthogonal CHESS trick and composes with either.\n");
+    return 0;
+}

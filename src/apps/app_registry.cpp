@@ -1,0 +1,135 @@
+#include "apps/app_registry.hpp"
+
+#include <memory>
+
+#include "apps/apps.hpp"
+#include "support/logging.hpp"
+
+namespace icheck::apps
+{
+
+std::string
+detClassName(DetClass cls)
+{
+    switch (cls) {
+      case DetClass::BitByBit:    return "bit-by-bit";
+      case DetClass::FpRounding:  return "FP-precision";
+      case DetClass::SmallStruct: return "small-struct";
+      case DetClass::NonDet:      return "NDet";
+    }
+    ICHECK_PANIC("unknown DetClass");
+}
+
+namespace
+{
+
+template <typename App, typename... Args>
+check::ProgramFactory
+factoryOf(Args... args)
+{
+    return [=] { return std::make_unique<App>(8, args...); };
+}
+
+std::vector<AppInfo>
+buildRegistry()
+{
+    std::vector<AppInfo> apps;
+
+    // --- bit-by-bit deterministic ------------------------------------
+    apps.push_back({"blackscholes", "parsec", true, DetClass::BitByBit,
+                    {}, factoryOf<Blackscholes>(), ""});
+    apps.push_back({"fft", "splash2", true, DetClass::BitByBit, {},
+                    factoryOf<Fft>(), ""});
+    apps.push_back({"lu", "splash2", true, DetClass::BitByBit, {},
+                    factoryOf<Lu>(), ""});
+    apps.push_back({"radix", "splash2", false, DetClass::BitByBit, {},
+                    factoryOf<Radix>(), ""});
+    apps.push_back({"streamcluster", "parsec", true, DetClass::BitByBit,
+                    {},
+                    [] {
+                        return std::make_unique<Streamcluster>(
+                            8, /*medium_input=*/true, /*with_bug=*/true);
+                    },
+                    "version 2.1 order-violation bug: nondeterministic "
+                    "internal barriers, masked at program end for the "
+                    "medium input"});
+    apps.push_back({"swaptions", "parsec", true, DetClass::BitByBit, {},
+                    factoryOf<Swaptions>(), ""});
+    apps.push_back({"volrend", "splash2", false, DetClass::BitByBit, {},
+                    factoryOf<Volrend>(),
+                    "benign data race in a hand-coded barrier"});
+
+    // --- deterministic after FP rounding ------------------------------
+    apps.push_back({"fluidanimate", "parsec", true, DetClass::FpRounding,
+                    {}, factoryOf<Fluidanimate>(), ""});
+    apps.push_back({"ocean", "splash2", true, DetClass::FpRounding, {},
+                    factoryOf<Ocean>(), ""});
+    apps.push_back({"waterNS", "splash2", true, DetClass::FpRounding, {},
+                    factoryOf<WaterNS>(), ""});
+    apps.push_back({"waterSP", "splash2", true, DetClass::FpRounding, {},
+                    factoryOf<WaterSP>(), ""});
+
+    // --- deterministic after ignoring small structures ----------------
+    {
+        check::IgnoreSpec ignores;
+        ignores.sites.push_back(Cholesky::taskNodeSite());
+        ignores.globals.push_back("free_task_head");
+        apps.push_back({"cholesky", "splash2", true,
+                        DetClass::SmallStruct, ignores,
+                        factoryOf<Cholesky>(),
+                        "nondeterministic freeTask linked list"});
+    }
+    {
+        check::IgnoreSpec ignores;
+        ignores.fields.push_back({Pbzip2::taskSite(),
+                                  Pbzip2::resultPtrOffset,
+                                  Pbzip2::resultPtrWidth});
+        apps.push_back({"pbzip2", "openSrc", false,
+                        DetClass::SmallStruct, ignores,
+                        factoryOf<Pbzip2>(),
+                        "dangling result pointers in task structs; "
+                        "output stream hashed and deterministic"});
+    }
+    {
+        check::IgnoreSpec ignores;
+        ignores.sites.push_back(Sphinx3::scratchSite());
+        ignores.globals.push_back("scratch_ptrs");
+        apps.push_back({"sphinx3", "alpBench", true,
+                        DetClass::SmallStruct, ignores,
+                        factoryOf<Sphinx3>(),
+                        "nondeterministic scratch allocations (~4% of "
+                        "state)"});
+    }
+
+    // --- nondeterministic ----------------------------------------------
+    apps.push_back({"barnes", "splash2", true, DetClass::NonDet, {},
+                    factoryOf<Barnes>(), "tree shape depends on "
+                                         "insertion interleaving"});
+    apps.push_back({"canneal", "parsec", false, DetClass::NonDet, {},
+                    factoryOf<Canneal>(), "unlocked annealing swaps"});
+    apps.push_back({"radiosity", "splash2", false, DetClass::NonDet, {},
+                    factoryOf<Radiosity>(),
+                    "task stealing leaks into results"});
+    return apps;
+}
+
+} // namespace
+
+const std::vector<AppInfo> &
+registry()
+{
+    static const std::vector<AppInfo> apps = buildRegistry();
+    return apps;
+}
+
+const AppInfo &
+findApp(const std::string &name)
+{
+    for (const AppInfo &app : registry()) {
+        if (app.name == name)
+            return app;
+    }
+    ICHECK_PANIC("unknown app ", name);
+}
+
+} // namespace icheck::apps

@@ -1,0 +1,58 @@
+#ifndef ICHECK_APPS_APP_REGISTRY_HPP
+#define ICHECK_APPS_APP_REGISTRY_HPP
+
+/**
+ * @file
+ * Registry of the 17 evaluation workloads with their Table 1 metadata:
+ * source suite, FP usage, expected determinism class, and the ignore
+ * specification used to isolate small nondeterministic structures.
+ */
+
+#include <string>
+#include <vector>
+
+#include "check/driver.hpp"
+#include "check/ignore.hpp"
+
+namespace icheck::apps
+{
+
+/** The four determinism classes of Table 1. */
+enum class DetClass
+{
+    BitByBit,    ///< Deterministic as-is.
+    FpRounding,  ///< Deterministic after FP round-off.
+    SmallStruct, ///< Deterministic after ignoring small structures.
+    NonDet,      ///< Nondeterministic.
+};
+
+/** Printable class label. */
+std::string detClassName(DetClass cls);
+
+/** One registered workload. */
+struct AppInfo
+{
+    std::string name;
+    std::string source; ///< parsec / splash2 / openSrc / alpBench.
+    bool usesFp = false;
+    DetClass expected = DetClass::BitByBit;
+
+    /** Structures to isolate (empty unless class is SmallStruct). */
+    check::IgnoreSpec ignores;
+
+    /** Factory for the default-input configuration. */
+    check::ProgramFactory factory;
+
+    /** Extra note rendered in reports (e.g., the streamcluster bug). */
+    std::string note;
+};
+
+/** All 17 workloads in the paper's Table 1 order. */
+const std::vector<AppInfo> &registry();
+
+/** Workload by name (panics if absent). */
+const AppInfo &findApp(const std::string &name);
+
+} // namespace icheck::apps
+
+#endif // ICHECK_APPS_APP_REGISTRY_HPP

@@ -1,0 +1,471 @@
+/**
+ * @file
+ * The bit-by-bit deterministic workloads of Table 1 (minus streamcluster,
+ * which lives in its own file): blackscholes, fft, lu, radix, swaptions,
+ * volrend. Each partitions work so that every memory location has exactly
+ * one writer between barriers, which is why even their FP results are
+ * schedule-invariant.
+ */
+
+#include "apps/apps.hpp"
+
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace icheck::apps
+{
+
+using mem::tArray;
+using mem::tDouble;
+using mem::tInt32;
+using mem::tInt64;
+
+// --------------------------------------------------------------------
+// blackscholes
+// --------------------------------------------------------------------
+
+Blackscholes::Blackscholes(ThreadId threads, std::uint32_t options,
+                           std::uint32_t iterations)
+    : BaseApp(threads), options(options), iterations(iterations)
+{}
+
+void
+Blackscholes::setup(sim::SetupCtx &ctx)
+{
+    spot = ctx.global("spot", tArray(tDouble(), options));
+    strike = ctx.global("strike", tArray(tDouble(), options));
+    vol = ctx.global("vol", tArray(tDouble(), options));
+    prices = ctx.global("prices", tArray(tDouble(), options));
+    for (std::uint32_t i = 0; i < options; ++i) {
+        ctx.init<double>(spot + 8 * i, 50.0 + ctx.rng().uniform() * 100);
+        ctx.init<double>(strike + 8 * i, 50.0 + ctx.rng().uniform() * 100);
+        ctx.init<double>(vol + 8 * i, 0.1 + ctx.rng().uniform() * 0.5);
+    }
+    iterBarrier = ctx.barrier(threads);
+}
+
+void
+Blackscholes::threadMain(sim::ThreadCtx &ctx)
+{
+    const std::uint32_t lo = options * ctx.tid() / threads;
+    const std::uint32_t hi = options * (ctx.tid() + 1) / threads;
+    for (std::uint32_t iter = 0; iter < iterations; ++iter) {
+        for (std::uint32_t i = lo; i < hi; ++i) {
+            const double s = ctx.load<double>(spot + 8 * i);
+            const double k = ctx.load<double>(strike + 8 * i);
+            const double v = ctx.load<double>(vol + 8 * i);
+            // A cheap Black-Scholes-flavored closed form; the exact shape
+            // is irrelevant, single-writer FP determinism is the point.
+            const double d1 = (std::log(s / k) + 0.5 * v * v) / v;
+            const double price =
+                s * (0.5 + 0.5 * std::tanh(d1)) -
+                k * (0.5 + 0.5 * std::tanh(d1 - v));
+            ctx.store<double>(prices + 8 * i, price);
+            ctx.tick(40);
+        }
+        // The paper checks blackscholes at the end of each simulation-pass
+        // iteration; the barrier provides exactly that checkpoint.
+        ctx.barrier(iterBarrier);
+    }
+}
+
+// --------------------------------------------------------------------
+// fft
+// --------------------------------------------------------------------
+
+Fft::Fft(ThreadId threads, std::uint32_t log2n)
+    : BaseApp(threads), log2n(log2n), n(1u << log2n)
+{}
+
+void
+Fft::setup(sim::SetupCtx &ctx)
+{
+    re = ctx.global("re", tArray(tDouble(), n));
+    im = ctx.global("im", tArray(tDouble(), n));
+    for (std::uint32_t i = 0; i < n; ++i) {
+        ctx.init<double>(re + 8 * i, ctx.rng().uniform() * 2 - 1);
+        ctx.init<double>(im + 8 * i, ctx.rng().uniform() * 2 - 1);
+    }
+    stageBarrier = ctx.barrier(threads);
+}
+
+void
+Fft::threadMain(sim::ThreadCtx &ctx)
+{
+    const std::uint32_t pairs = n / 2;
+    const std::uint32_t lo = pairs * ctx.tid() / threads;
+    const std::uint32_t hi = pairs * (ctx.tid() + 1) / threads;
+    for (std::uint32_t stage = 0; stage < log2n; ++stage) {
+        const std::uint32_t half = 1u << stage;
+        for (std::uint32_t k = lo; k < hi; ++k) {
+            const std::uint32_t i =
+                (k / half) * 2 * half + (k % half);
+            const std::uint32_t j = i + half;
+            const double angle = -3.14159265358979323846 *
+                                 static_cast<double>(k % half) /
+                                 static_cast<double>(half);
+            const double wr = std::cos(angle);
+            const double wi = std::sin(angle);
+            const double ar = ctx.load<double>(re + 8 * i);
+            const double ai = ctx.load<double>(im + 8 * i);
+            const double br = ctx.load<double>(re + 8 * j);
+            const double bi = ctx.load<double>(im + 8 * j);
+            const double tr = wr * br - wi * bi;
+            const double ti = wr * bi + wi * br;
+            ctx.store<double>(re + 8 * i, ar + tr);
+            ctx.store<double>(im + 8 * i, ai + ti);
+            ctx.store<double>(re + 8 * j, ar - tr);
+            ctx.store<double>(im + 8 * j, ai - ti);
+            ctx.tick(30);
+        }
+        ctx.barrier(stageBarrier);
+    }
+}
+
+// --------------------------------------------------------------------
+// lu
+// --------------------------------------------------------------------
+
+Lu::Lu(ThreadId threads, std::uint32_t dim, std::uint32_t block)
+    : BaseApp(threads), dim(dim), block(block)
+{}
+
+void
+Lu::setup(sim::SetupCtx &ctx)
+{
+    matrix = ctx.global("matrix", tArray(tDouble(), dim * dim));
+    for (std::uint32_t r = 0; r < dim; ++r) {
+        for (std::uint32_t c = 0; c < dim; ++c) {
+            const double base = r == c ? dim + 1.0 : 0.0;
+            ctx.init<double>(matrix + 8 * (r * dim + c),
+                             base + ctx.rng().uniform());
+        }
+    }
+    stepBarrier = ctx.barrier(threads);
+}
+
+void
+Lu::threadMain(sim::ThreadCtx &ctx)
+{
+    const std::uint32_t nb = dim / block;
+    auto at = [&](std::uint32_t r, std::uint32_t c) {
+        return matrix + 8 * (r * dim + c);
+    };
+    auto owner = [&](std::uint32_t bi, std::uint32_t bj) {
+        return static_cast<ThreadId>((bi * nb + bj) % threads);
+    };
+
+    for (std::uint32_t k = 0; k < nb; ++k) {
+        const std::uint32_t base = k * block;
+        // 1. Factor the diagonal block (owner-computes).
+        if (owner(k, k) == ctx.tid()) {
+            for (std::uint32_t p = 0; p < block; ++p) {
+                const double pivot =
+                    ctx.load<double>(at(base + p, base + p));
+                for (std::uint32_t r = p + 1; r < block; ++r) {
+                    const double l =
+                        ctx.load<double>(at(base + r, base + p)) / pivot;
+                    ctx.store<double>(at(base + r, base + p), l);
+                    for (std::uint32_t c = p + 1; c < block; ++c) {
+                        const double v =
+                            ctx.load<double>(at(base + r, base + c));
+                        const double u =
+                            ctx.load<double>(at(base + p, base + c));
+                        ctx.store<double>(at(base + r, base + c),
+                                          v - l * u);
+                        ctx.tick(4);
+                    }
+                }
+            }
+        }
+        ctx.barrier(stepBarrier);
+
+        // 2. Update row and column panels.
+        for (std::uint32_t j = k + 1; j < nb; ++j) {
+            if (owner(k, j) == ctx.tid()) {
+                // Apply L(k,k)^-1 from the left.
+                for (std::uint32_t p = 0; p < block; ++p) {
+                    for (std::uint32_t r = p + 1; r < block; ++r) {
+                        const double l =
+                            ctx.load<double>(at(base + r, base + p));
+                        for (std::uint32_t c = 0; c < block; ++c) {
+                            const Addr cell =
+                                at(base + r, j * block + c);
+                            const double v = ctx.load<double>(cell);
+                            const double u = ctx.load<double>(
+                                at(base + p, j * block + c));
+                            ctx.store<double>(cell, v - l * u);
+                            ctx.tick(4);
+                        }
+                    }
+                }
+            }
+            if (owner(j, k) == ctx.tid()) {
+                // Apply U(k,k)^-1 from the right.
+                for (std::uint32_t p = 0; p < block; ++p) {
+                    const double pivot =
+                        ctx.load<double>(at(base + p, base + p));
+                    for (std::uint32_t r = 0; r < block; ++r) {
+                        const Addr cell = at(j * block + r, base + p);
+                        const double l =
+                            ctx.load<double>(cell) / pivot;
+                        ctx.store<double>(cell, l);
+                        for (std::uint32_t c = p + 1; c < block; ++c) {
+                            const Addr tcell =
+                                at(j * block + r, base + c);
+                            const double v = ctx.load<double>(tcell);
+                            const double u = ctx.load<double>(
+                                at(base + p, base + c));
+                            ctx.store<double>(tcell, v - l * u);
+                            ctx.tick(4);
+                        }
+                    }
+                }
+            }
+        }
+        ctx.barrier(stepBarrier);
+
+        // 3. Trailing submatrix update.
+        for (std::uint32_t i = k + 1; i < nb; ++i) {
+            for (std::uint32_t j = k + 1; j < nb; ++j) {
+                if (owner(i, j) != ctx.tid())
+                    continue;
+                // Accumulate in memory per rank-1 update, as the SPLASH-2
+                // kernel does — this is what makes lu write-heavy between
+                // barriers (and traversal hashing the cheaper software
+                // scheme for it, Figure 6).
+                for (std::uint32_t r = 0; r < block; ++r) {
+                    for (std::uint32_t c = 0; c < block; ++c) {
+                        const Addr cell =
+                            at(i * block + r, j * block + c);
+                        for (std::uint32_t p = 0; p < block; ++p) {
+                            const double acc = ctx.load<double>(cell) -
+                                ctx.load<double>(
+                                    at(i * block + r, base + p)) *
+                                ctx.load<double>(
+                                    at(base + p, j * block + c));
+                            ctx.store<double>(cell, acc);
+                            ctx.tick(2);
+                        }
+                    }
+                }
+            }
+        }
+        ctx.barrier(stepBarrier);
+    }
+}
+
+// --------------------------------------------------------------------
+// radix (with the Figure 7(c) order-violation seed)
+// --------------------------------------------------------------------
+
+Radix::Radix(ThreadId threads, std::uint32_t keys, BugSeed bug)
+    : BaseApp(threads), keys(keys), bug(bug)
+{}
+
+void
+Radix::setup(sim::SetupCtx &ctx)
+{
+    const std::uint32_t buckets = 1u << radixBits;
+    src = ctx.global("src", tArray(tInt32(), keys));
+    dst = ctx.global("dst", tArray(tInt32(), keys));
+    histograms = ctx.global("histograms",
+                            tArray(tInt32(), threads * buckets));
+    offsets = ctx.global("offsets", tArray(tInt32(), threads * buckets));
+    for (std::uint32_t i = 0; i < keys; ++i) {
+        ctx.init<std::uint32_t>(
+            src + 4 * i,
+            static_cast<std::uint32_t>(ctx.rng().below(
+                1u << (radixBits * passes))));
+    }
+    passBarrier = ctx.barrier(threads);
+}
+
+void
+Radix::threadMain(sim::ThreadCtx &ctx)
+{
+    const std::uint32_t buckets = 1u << radixBits;
+    const std::uint32_t lo = keys * ctx.tid() / threads;
+    const std::uint32_t hi = keys * (ctx.tid() + 1) / threads;
+    const Addr my_hist = histograms + 4 * (ctx.tid() * buckets);
+
+    for (std::uint32_t pass = 0; pass < passes; ++pass) {
+        const Addr from = pass % 2 == 0 ? src : dst;
+        const Addr to = pass % 2 == 0 ? dst : src;
+        const std::uint32_t shift = pass * radixBits;
+
+        // 1. Local histogram.
+        for (std::uint32_t b = 0; b < buckets; ++b)
+            ctx.store<std::uint32_t>(my_hist + 4 * b, 0);
+        for (std::uint32_t i = lo; i < hi; ++i) {
+            const std::uint32_t key =
+                ctx.load<std::uint32_t>(from + 4 * i);
+            const std::uint32_t digit = (key >> shift) & (buckets - 1);
+            const Addr cell = my_hist + 4 * digit;
+            ctx.store<std::uint32_t>(
+                cell, ctx.load<std::uint32_t>(cell) + 1);
+            ctx.tick(6);
+        }
+        ctx.barrier(passBarrier);
+
+        // 2. Thread 0 turns histograms into scatter offsets.
+        if (ctx.tid() == 0) {
+            std::uint32_t running = 0;
+            for (std::uint32_t d = 0; d < buckets; ++d) {
+                for (ThreadId t = 0; t < threads; ++t) {
+                    ctx.store<std::uint32_t>(
+                        offsets + 4 * (t * buckets + d), running);
+                    running += ctx.load<std::uint32_t>(
+                        histograms + 4 * (t * buckets + d));
+                    ctx.tick(4);
+                }
+            }
+        }
+
+        // The order violation (Figure 7(c)): thread 3 scatters *before*
+        // the barrier that publishes the offsets, once (pass 2), using
+        // whatever offsets happen to be in memory.
+        const bool violate = bug == BugSeed::OrderViolation &&
+                             ctx.tid() == buggyThread && pass == 2;
+        if (violate)
+            scatterPass(ctx, from, to, shift, lo, hi);
+        ctx.barrier(passBarrier);
+        if (!violate)
+            scatterPass(ctx, from, to, shift, lo, hi);
+        ctx.barrier(passBarrier);
+    }
+}
+
+void
+Radix::scatterPass(sim::ThreadCtx &ctx, Addr from, Addr to,
+                   std::uint32_t shift, std::uint32_t lo,
+                   std::uint32_t hi)
+{
+    const std::uint32_t buckets = 1u << radixBits;
+    for (std::uint32_t i = lo; i < hi; ++i) {
+        const std::uint32_t key = ctx.load<std::uint32_t>(from + 4 * i);
+        const std::uint32_t digit = (key >> shift) & (buckets - 1);
+        const Addr slot = offsets + 4 * (ctx.tid() * buckets + digit);
+        std::uint32_t position = ctx.load<std::uint32_t>(slot);
+        if (position >= keys)
+            position = keys - 1; // bug containment: never crash
+        ctx.store<std::uint32_t>(slot, position + 1);
+        ctx.store<std::uint32_t>(to + 4 * position, key);
+        ctx.tick(6);
+    }
+}
+
+// --------------------------------------------------------------------
+// swaptions
+// --------------------------------------------------------------------
+
+Swaptions::Swaptions(ThreadId threads, std::uint32_t swaptions,
+                     std::uint32_t trials)
+    : BaseApp(threads), nSwaptions(swaptions), trials(trials)
+{}
+
+void
+Swaptions::setup(sim::SetupCtx &ctx)
+{
+    params = ctx.global("params", tArray(tDouble(), nSwaptions * 2));
+    results = ctx.global("results", tArray(tDouble(), nSwaptions));
+    for (std::uint32_t i = 0; i < nSwaptions * 2; ++i)
+        ctx.init<double>(params + 8 * i, 0.5 + ctx.rng().uniform());
+    blockBarrier = ctx.barrier(threads);
+}
+
+void
+Swaptions::threadMain(sim::ThreadCtx &ctx)
+{
+    // The paper's key observation: swaptions is a Monte Carlo simulation,
+    // yet deterministic, because each thread has a *local* RNG with no
+    // shared state.
+    Xoshiro256 local_rng(ctx.inputSeed() ^
+                         (0x9e3779b97f4a7c15ULL * (ctx.tid() + 1)));
+    const std::uint32_t lo = nSwaptions * ctx.tid() / threads;
+    const std::uint32_t hi = nSwaptions * (ctx.tid() + 1) / threads;
+    for (std::uint32_t half = 0; half < 2; ++half) {
+        for (std::uint32_t i = lo; i < hi; ++i) {
+            const double rate = ctx.load<double>(params + 8 * (2 * i));
+            const double volp =
+                ctx.load<double>(params + 8 * (2 * i + 1));
+            double sum = 0;
+            for (std::uint32_t t = 0; t < trials / 2; ++t) {
+                const double shock = local_rng.uniform() - 0.5;
+                sum += rate + volp * shock * shock;
+                ctx.tick(12);
+            }
+            const Addr slot = results + 8 * i;
+            ctx.store<double>(slot, ctx.load<double>(slot) +
+                                        sum /
+                                            static_cast<double>(trials));
+        }
+        ctx.barrier(blockBarrier);
+    }
+}
+
+// --------------------------------------------------------------------
+// volrend
+// --------------------------------------------------------------------
+
+Volrend::Volrend(ThreadId threads, std::uint32_t frames,
+                 std::uint32_t pixels)
+    : BaseApp(threads), frames(frames), pixels(pixels)
+{}
+
+void
+Volrend::setup(sim::SetupCtx &ctx)
+{
+    image = ctx.global("image", tArray(tInt32(), pixels));
+    volume = ctx.global("volume", tArray(tInt32(), pixels * 2));
+    hbCount = ctx.global("hb_count", tInt64());
+    hbGen = ctx.global("hb_gen", tInt64());
+    for (std::uint32_t i = 0; i < pixels * 2; ++i) {
+        ctx.init<std::int32_t>(
+            volume + 4 * i,
+            static_cast<std::int32_t>(ctx.rng().below(256)));
+    }
+    hbMutex = ctx.mutex();
+    frameBarrier = ctx.barrier(threads);
+}
+
+void
+Volrend::threadMain(sim::ThreadCtx &ctx)
+{
+    const std::uint32_t lo = pixels * ctx.tid() / threads;
+    const std::uint32_t hi = pixels * (ctx.tid() + 1) / threads;
+    for (std::uint32_t frame = 0; frame < frames; ++frame) {
+        for (std::uint32_t i = lo; i < hi; ++i) {
+            const std::int32_t a =
+                ctx.load<std::int32_t>(volume + 4 * (2 * i));
+            const std::int32_t b =
+                ctx.load<std::int32_t>(volume + 4 * (2 * i + 1));
+            ctx.store<std::int32_t>(
+                image + 4 * i,
+                (a * 3 + b + static_cast<std::int32_t>(frame)) / 2);
+            ctx.tick(25);
+        }
+        // Hand-coded sense-reversing barrier with a benign data race: the
+        // generation flag is written under the lock but spun on without
+        // it. volrend is still externally deterministic (Table 1), and
+        // the race detector flags the race as benign.
+        const auto my_gen = ctx.load<std::int64_t>(hbGen); // racy read
+        ctx.lock(hbMutex);
+        const auto arrived = ctx.load<std::int64_t>(hbCount) + 1;
+        if (arrived == threads) {
+            ctx.store<std::int64_t>(hbCount, 0);
+            ctx.store<std::int64_t>(hbGen, my_gen + 1);
+        } else {
+            ctx.store<std::int64_t>(hbCount, arrived);
+        }
+        ctx.unlock(hbMutex);
+        while (ctx.load<std::int64_t>(hbGen) == my_gen) // racy spin
+            ctx.tick(1);
+        // The pthread barrier is where InstantCheck checks (the paper does
+        // not check at hand-coded barriers).
+        ctx.barrier(frameBarrier);
+    }
+}
+
+} // namespace icheck::apps

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * The "deterministic after FP rounding" workloads of Table 1:
+ * fluidanimate, ocean, waterNS, waterSP. All accumulate floating-point
+ * sums in schedule-dependent order under locks — each location receives a
+ * fixed multiset of contributions, so results differ only in reassociation
+ * noise that the round-off unit absorbs.
+ *
+ * waterNS and waterSP carry the Figure 7 bug seeds (semantic bug and
+ * atomicity violation, thread 3 only), whose effects exceed the rounding
+ * grain and are therefore detected as nondeterminism (Table 2).
+ */
+
+#include "apps/apps.hpp"
+
+#include <cmath>
+
+namespace icheck::apps
+{
+
+using mem::tArray;
+using mem::tDouble;
+
+// --------------------------------------------------------------------
+// fluidanimate
+// --------------------------------------------------------------------
+
+Fluidanimate::Fluidanimate(ThreadId threads, std::uint32_t cells,
+                           std::uint32_t steps)
+    : BaseApp(threads), cells(cells), steps(steps)
+{}
+
+void
+Fluidanimate::setup(sim::SetupCtx &ctx)
+{
+    density = ctx.global("density", tArray(tDouble(), cells));
+    position = ctx.global("position", tArray(tDouble(), cells));
+    for (std::uint32_t i = 0; i < cells; ++i)
+        ctx.init<double>(position + 8 * i, ctx.rng().uniform() * 5);
+    cellMutex = ctx.mutex();
+    stepBarrier = ctx.barrier(threads);
+}
+
+void
+Fluidanimate::threadMain(sim::ThreadCtx &ctx)
+{
+    // Strided particle ownership: neighbors of any particle belong to
+    // *other* threads at similar loop positions, so the lock-protected
+    // neighbor accumulations interleave differently under every schedule
+    // (contiguous slices would only race at slice edges, and fair
+    // scheduling keeps those in stable order).
+    for (std::uint32_t step = 0; step < steps; ++step) {
+        // Clear this thread's cells (single-writer).
+        for (std::uint32_t i = ctx.tid(); i < cells; i += threads)
+            ctx.store<double>(density + 8 * i, 0.0);
+        ctx.barrier(stepBarrier);
+
+        // Each particle contributes to its neighbor cells; the shared
+        // accumulation order depends on the schedule. Contribution
+        // magnitudes span several orders of magnitude so that summation
+        // order is visible in the last bits (as with real SPH kernels).
+        for (std::uint32_t i = ctx.tid(); i < cells; i += threads) {
+            const double p = ctx.load<double>(position + 8 * i);
+            for (int d = -2; d <= 2; ++d) {
+                const std::uint32_t j =
+                    (i + cells + static_cast<std::uint32_t>(d + 2) - 2) %
+                    cells;
+                // Source-particle-dependent magnitudes: each cell gathers
+                // terms spanning ~6 decades, so summation order shows in
+                // the result bits whenever two threads interleave.
+                const double scale =
+                    std::pow(10.0,
+                             -static_cast<double>((i * 3) % 7));
+                const double w = scale / (3.0 + p + d * 0.5);
+                ctx.lock(cellMutex);
+                const double cur = ctx.load<double>(density + 8 * j);
+                ctx.store<double>(density + 8 * j, cur + w);
+                ctx.unlock(cellMutex);
+                ctx.tick(18);
+            }
+        }
+        ctx.barrier(stepBarrier);
+    }
+}
+
+// --------------------------------------------------------------------
+// ocean
+// --------------------------------------------------------------------
+
+Ocean::Ocean(ThreadId threads, std::uint32_t dim,
+             std::uint32_t iterations)
+    : BaseApp(threads), dim(dim), iterations(iterations)
+{}
+
+void
+Ocean::setup(sim::SetupCtx &ctx)
+{
+    grid = ctx.global("grid", tArray(tDouble(), dim * dim));
+    residual = ctx.global("residual", tDouble());
+    for (std::uint32_t i = 0; i < dim * dim; ++i)
+        ctx.init<double>(grid + 8 * i, ctx.rng().uniform());
+    residualMutex = ctx.mutex();
+    sweepBarrier = ctx.barrier(threads);
+}
+
+void
+Ocean::threadMain(sim::ThreadCtx &ctx)
+{
+    const std::uint32_t row_lo = 1 + (dim - 2) * ctx.tid() / threads;
+    const std::uint32_t row_hi = 1 + (dim - 2) * (ctx.tid() + 1) / threads;
+    auto at = [&](std::uint32_t r, std::uint32_t c) {
+        return grid + 8 * (r * dim + c);
+    };
+    auto sweep = [&](std::uint32_t color) {
+        for (std::uint32_t r = row_lo; r < row_hi; ++r) {
+            for (std::uint32_t c = 1 + (r + color) % 2; c < dim - 1;
+                 c += 2) {
+                const double center = ctx.load<double>(at(r, c));
+                const double next =
+                    0.25 * (ctx.load<double>(at(r - 1, c)) +
+                            ctx.load<double>(at(r + 1, c)) +
+                            ctx.load<double>(at(r, c - 1)) +
+                            ctx.load<double>(at(r, c + 1))) *
+                        0.9 +
+                    0.1 * center;
+                ctx.store<double>(at(r, c), next);
+                ctx.tick(12);
+            }
+        }
+    };
+
+    for (std::uint32_t iter = 0; iter < iterations; ++iter) {
+        // Red/black Gauss-Seidel: single-writer cells, barrier-ordered
+        // neighbor reads — bit-by-bit deterministic.
+        sweep(0);
+        ctx.barrier(sweepBarrier);
+        sweep(1);
+        ctx.barrier(sweepBarrier);
+
+        // Global residual reduction: the FP nondeterminism source.
+        if (ctx.tid() == 0)
+            ctx.store<double>(residual, 0.0005);
+        ctx.barrier(sweepBarrier);
+        double local = 0;
+        for (std::uint32_t r = row_lo; r < row_hi; ++r) {
+            for (std::uint32_t c = 1; c < dim - 1; ++c)
+                local += std::fabs(ctx.load<double>(at(r, c)));
+        }
+        ctx.lock(residualMutex);
+        ctx.store<double>(residual,
+                          ctx.load<double>(residual) + local);
+        ctx.unlock(residualMutex);
+        ctx.barrier(sweepBarrier);
+    }
+}
+
+// --------------------------------------------------------------------
+// waterNS (semantic-bug seed, Figure 7(a))
+// --------------------------------------------------------------------
+
+WaterNS::WaterNS(ThreadId threads, std::uint32_t molecules,
+                 std::uint32_t steps, BugSeed bug)
+    : BaseApp(threads), molecules(molecules), steps(steps), bug(bug)
+{}
+
+void
+WaterNS::setup(sim::SetupCtx &ctx)
+{
+    pos = ctx.global("pos", tArray(tDouble(), molecules));
+    vel = ctx.global("vel", tArray(tDouble(), molecules));
+    potential = ctx.global("potential", tDouble());
+    for (std::uint32_t i = 0; i < molecules; ++i) {
+        ctx.init<double>(pos + 8 * i, ctx.rng().uniform() * 3);
+        ctx.init<double>(vel + 8 * i, ctx.rng().uniform() - 0.5);
+    }
+    ctx.init<double>(potential, 0.0005);
+    energyMutex = ctx.mutex();
+    stepBarrier = ctx.barrier(threads);
+}
+
+void
+WaterNS::threadMain(sim::ThreadCtx &ctx)
+{
+    const std::uint32_t lo = molecules * ctx.tid() / threads;
+    const std::uint32_t hi = molecules * (ctx.tid() + 1) / threads;
+    for (std::uint32_t step = 0; step < steps; ++step) {
+        if (ctx.tid() == 0)
+            ctx.store<double>(potential, 0.0005);
+        ctx.barrier(stepBarrier);
+
+        // Force computation on this thread's molecules (single-writer).
+        double local = 0;
+        for (std::uint32_t i = lo; i < hi; ++i) {
+            const double p = ctx.load<double>(pos + 8 * i);
+            const double f = 0.01 * std::sin(p * 3.0);
+            ctx.store<double>(vel + 8 * i,
+                              ctx.load<double>(vel + 8 * i) + f);
+            local += 1.0 / (1.5 + p);
+            ctx.tick(25);
+        }
+        if (bug == BugSeed::Semantic && ctx.tid() == buggyThread) {
+            // Figure 7(a): the buggy thread scales its contribution by a
+            // *racy read* of the shared accumulator — a semantic bug whose
+            // result depends on how many threads have already added.
+            const double racy = ctx.load<double>(potential);
+            local = local * (1.0 + 0.05 * racy);
+        }
+        ctx.lock(energyMutex);
+        ctx.store<double>(potential,
+                          ctx.load<double>(potential) + local);
+        ctx.unlock(energyMutex);
+        ctx.barrier(stepBarrier);
+
+        // Position integration (single-writer).
+        for (std::uint32_t i = lo; i < hi; ++i) {
+            ctx.store<double>(pos + 8 * i,
+                              ctx.load<double>(pos + 8 * i) +
+                                  0.1 * ctx.load<double>(vel + 8 * i));
+            ctx.tick(10);
+        }
+        ctx.barrier(stepBarrier);
+    }
+}
+
+// --------------------------------------------------------------------
+// waterSP (atomicity-violation seed, Figure 7(b))
+// --------------------------------------------------------------------
+
+WaterSP::WaterSP(ThreadId threads, std::uint32_t molecules,
+                 std::uint32_t steps, BugSeed bug)
+    : BaseApp(threads), molecules(molecules), steps(steps), bug(bug)
+{}
+
+void
+WaterSP::setup(sim::SetupCtx &ctx)
+{
+    pos = ctx.global("pos", tArray(tDouble(), molecules));
+    kinetic = ctx.global("kinetic", tDouble());
+    for (std::uint32_t i = 0; i < molecules; ++i)
+        ctx.init<double>(pos + 8 * i, ctx.rng().uniform() * 2);
+    ctx.init<double>(kinetic, 0.0005);
+    energyMutex = ctx.mutex();
+    stepBarrier = ctx.barrier(threads);
+}
+
+void
+WaterSP::threadMain(sim::ThreadCtx &ctx)
+{
+    const std::uint32_t lo = molecules * ctx.tid() / threads;
+    const std::uint32_t hi = molecules * (ctx.tid() + 1) / threads;
+    for (std::uint32_t step = 0; step < steps; ++step) {
+        if (ctx.tid() == 0)
+            ctx.store<double>(kinetic, 0.0005);
+        ctx.barrier(stepBarrier);
+
+        double local = 0;
+        for (std::uint32_t i = lo; i < hi; ++i) {
+            const double p = ctx.load<double>(pos + 8 * i);
+            ctx.store<double>(pos + 8 * i, p + 0.01 * std::cos(p));
+            local += p * p * 0.1;
+            ctx.tick(22);
+        }
+        if (bug == BugSeed::AtomicityViolation &&
+            ctx.tid() == buggyThread) {
+            // Figure 7(b): read-modify-write without the lock. The racy
+            // region spans an unrelated critical section (a common real
+            // shape for atomicity violations), so the serializing
+            // scheduler always gets a switch point inside the window and
+            // other threads' locked updates can be lost.
+            const double k = ctx.load<double>(kinetic);
+            ctx.lock(energyMutex);
+            const double probe = ctx.load<double>(pos + 8 * lo);
+            ctx.unlock(energyMutex);
+            ctx.tick(static_cast<InstCount>(probe > -1e9 ? 10 : 11));
+            ctx.store<double>(kinetic, k + local);
+        } else {
+            ctx.lock(energyMutex);
+            ctx.store<double>(kinetic,
+                              ctx.load<double>(kinetic) + local);
+            ctx.unlock(energyMutex);
+        }
+        ctx.barrier(stepBarrier);
+    }
+}
+
+} // namespace icheck::apps

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * The nondeterministic workloads of Table 1: barnes (racy tree build
+ * whose shape depends on insertion interleaving), canneal (unlocked
+ * simulated-annealing swaps), radiosity (task stealing leaking into
+ * results). All end in schedule-dependent states with many differences —
+ * the class the paper reports as NDet and suggests rewriting (a Java
+ * barnes was made deterministic in DPJ).
+ */
+
+#include "apps/apps.hpp"
+
+#include <cmath>
+
+namespace icheck::apps
+{
+
+using mem::tArray;
+using mem::tDouble;
+using mem::tInt64;
+using mem::tPointer;
+using mem::tStruct;
+
+// --------------------------------------------------------------------
+// barnes
+// --------------------------------------------------------------------
+
+namespace
+{
+
+/** Tree node shape: { left, right, key, mass }. */
+mem::TypeRef
+barnesNodeType()
+{
+    return tStruct({tPointer(), tPointer(), tInt64(), tDouble()});
+}
+
+} // namespace
+
+Barnes::Barnes(ThreadId threads, std::uint32_t bodies,
+               std::uint32_t steps)
+    : BaseApp(threads), bodies(bodies), steps(steps)
+{}
+
+void
+Barnes::setup(sim::SetupCtx &ctx)
+{
+    keys = ctx.global("keys", tArray(tInt64(), bodies));
+    root = ctx.global("root", tPointer());
+    forces = ctx.global("forces", tArray(tDouble(), bodies));
+    for (std::uint32_t i = 0; i < bodies; ++i) {
+        ctx.init<std::int64_t>(
+            keys + 8 * i,
+            static_cast<std::int64_t>(ctx.rng().below(1u << 20)));
+    }
+    treeMutex = ctx.mutex();
+    stepBarrier = ctx.barrier(threads);
+}
+
+void
+Barnes::threadMain(sim::ThreadCtx &ctx)
+{
+    const std::uint32_t lo = bodies * ctx.tid() / threads;
+    const std::uint32_t hi = bodies * (ctx.tid() + 1) / threads;
+
+    // Phase 1: racy-order tree build. The lock keeps the structure
+    // consistent, but the BST *shape* depends on insertion interleaving —
+    // externally visible nondeterminism.
+    for (std::uint32_t i = lo; i < hi; ++i) {
+        const auto key = ctx.load<std::int64_t>(keys + 8 * i);
+        const Addr node = ctx.malloc("barnes.cpp:node",
+                                     barnesNodeType());
+        ctx.store<std::int64_t>(node + 16, key);
+        ctx.store<double>(node + 24, 1.0 + 0.001 * (key % 97));
+        ctx.lock(treeMutex);
+        Addr parent = ctx.loadPtr(root);
+        if (parent == 0) {
+            ctx.storePtr(root, node);
+        } else {
+            for (;;) {
+                const auto pkey = ctx.load<std::int64_t>(parent + 16);
+                const Addr slot = key < pkey ? parent : parent + 8;
+                const Addr child = ctx.loadPtr(slot);
+                if (child == 0) {
+                    ctx.storePtr(slot, node);
+                    break;
+                }
+                parent = child;
+                ctx.tick(4);
+            }
+        }
+        ctx.unlock(treeMutex);
+    }
+    ctx.barrier(stepBarrier);
+
+    // Phase 2..: force computation from depth-dependent traversals; the
+    // tree shape feeds straight into the results.
+    for (std::uint32_t step = 0; step < steps; ++step) {
+        for (std::uint32_t i = lo; i < hi; ++i) {
+            const auto key = ctx.load<std::int64_t>(keys + 8 * i);
+            const Addr slot = forces + 8 * i;
+            ctx.store<double>(slot, 0.0);
+            Addr walk = ctx.loadPtr(root);
+            std::uint32_t depth = 0;
+            // Accumulate the force in memory per tree level (as the
+            // straightforward SPLASH-2 code does): barnes is write-heavy
+            // between checkpoints, which is why traversal hashing beats
+            // incremental hashing for it in Figure 6.
+            while (walk != 0 && depth < 64) {
+                const auto wkey = ctx.load<std::int64_t>(walk + 16);
+                const double mass = ctx.load<double>(walk + 24);
+                ctx.store<double>(slot, ctx.load<double>(slot) +
+                                            mass / (1.0 + depth));
+                walk = key < wkey ? ctx.loadPtr(walk)
+                                  : ctx.loadPtr(walk + 8);
+                ++depth;
+                ctx.tick(8);
+            }
+        }
+        ctx.barrier(stepBarrier);
+    }
+}
+
+// --------------------------------------------------------------------
+// canneal
+// --------------------------------------------------------------------
+
+Canneal::Canneal(ThreadId threads, std::uint32_t elements,
+                 std::uint32_t moves)
+    : BaseApp(threads), elements(elements), moves(moves)
+{}
+
+void
+Canneal::setup(sim::SetupCtx &ctx)
+{
+    placement = ctx.global("placement", tArray(tInt64(), elements));
+    for (std::uint32_t i = 0; i < elements; ++i)
+        ctx.init<std::int64_t>(placement + 8 * i,
+                               static_cast<std::int64_t>(i * 13 % 101));
+    roundBarrier = ctx.barrier(threads);
+}
+
+void
+Canneal::threadMain(sim::ThreadCtx &ctx)
+{
+    // Simulated annealing with *unlocked* element swaps: the paper's
+    // truly nondeterministic algorithm class. Each thread's random picks
+    // are themselves deterministic (intercepted rand), so all remaining
+    // nondeterminism is thread interleaving.
+    for (std::uint32_t half = 0; half < 2; ++half) {
+        for (std::uint32_t m = 0; m < moves / 2; ++m) {
+            const auto i = static_cast<std::uint32_t>(ctx.rand64() %
+                                                      elements);
+            const auto j = static_cast<std::uint32_t>(ctx.rand64() %
+                                                      elements);
+            const auto a = ctx.load<std::int64_t>(placement + 8 * i);
+            const auto b = ctx.load<std::int64_t>(placement + 8 * j);
+            ctx.tick(10);
+            if ((a + i) % 7 > (b + j) % 7) {
+                ctx.store<std::int64_t>(placement + 8 * i, b);
+                ctx.store<std::int64_t>(placement + 8 * j, a);
+            }
+        }
+        ctx.barrier(roundBarrier);
+    }
+}
+
+// --------------------------------------------------------------------
+// radiosity
+// --------------------------------------------------------------------
+
+Radiosity::Radiosity(ThreadId threads, std::uint32_t patches,
+                     std::uint32_t rounds)
+    : BaseApp(threads), patches(patches), rounds(rounds)
+{}
+
+void
+Radiosity::setup(sim::SetupCtx &ctx)
+{
+    // Integer energies (the paper's radiosity row has FP == N).
+    energy = ctx.global("energy", tArray(tInt64(), patches));
+    owner = ctx.global("owner", tArray(tInt64(), patches));
+    nextTask = ctx.global("next_task", tInt64());
+    for (std::uint32_t i = 0; i < patches; ++i)
+        ctx.init<std::int64_t>(energy + 8 * i,
+                               1000 + static_cast<std::int64_t>(
+                                          ctx.rng().below(1000)));
+    taskMutex = ctx.mutex();
+    roundBarrier = ctx.barrier(threads);
+}
+
+void
+Radiosity::threadMain(sim::ThreadCtx &ctx)
+{
+    for (std::uint32_t round = 0; round < rounds; ++round) {
+        if (ctx.tid() == 0)
+            ctx.store<std::int64_t>(nextTask, 0);
+        ctx.barrier(roundBarrier);
+
+        // Work stealing: tasks go to whichever thread grabs them; the
+        // grabbing thread's identity and racy neighbor reads leak into
+        // the results.
+        for (;;) {
+            ctx.lock(taskMutex);
+            const auto t = ctx.load<std::int64_t>(nextTask);
+            if (t >= static_cast<std::int64_t>(patches)) {
+                ctx.unlock(taskMutex);
+                break;
+            }
+            ctx.store<std::int64_t>(nextTask, t + 1);
+            ctx.unlock(taskMutex);
+
+            const auto patch = static_cast<std::uint32_t>(t);
+            const std::uint32_t left = (patch + patches - 1) % patches;
+            const std::uint32_t right = (patch + 1) % patches;
+            // Neighbors may be mid-update in this round: racy reads.
+            const std::int64_t gather =
+                (ctx.load<std::int64_t>(energy + 8 * left) +
+                 ctx.load<std::int64_t>(energy + 8 * right)) /
+                2;
+            const Addr cell = energy + 8 * patch;
+            ctx.store<std::int64_t>(
+                cell,
+                (7 * ctx.load<std::int64_t>(cell) + 3 * gather) / 10);
+            ctx.store<std::int64_t>(owner + 8 * patch, ctx.tid());
+            ctx.tick(30);
+        }
+        ctx.barrier(roundBarrier);
+    }
+}
+
+} // namespace icheck::apps

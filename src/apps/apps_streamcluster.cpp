@@ -1,0 +1,126 @@
+/**
+ * @file
+ * streamcluster, including a model of the real PARSEC 2.1 bug the paper
+ * found with InstantCheck (Section 7.2.1): a non-benign data race that
+ * creates an order violation. Intermediate barriers observe the
+ * nondeterminism; for medium inputs a later deterministic rewrite masks it
+ * before the program end, while for small inputs it propagates into the
+ * output — exactly the behaviour that makes checking at *every* barrier
+ * (cheap with HW-InstantCheck) worthwhile.
+ */
+
+#include "apps/apps.hpp"
+
+#include <cmath>
+
+namespace icheck::apps
+{
+
+using mem::tArray;
+using mem::tDouble;
+using mem::tInt32;
+using mem::tInt64;
+
+Streamcluster::Streamcluster(ThreadId threads, bool medium_input,
+                             bool with_bug, std::uint32_t points)
+    : BaseApp(threads), mediumInput(medium_input), withBug(with_bug),
+      points(points)
+{
+    iterations = mediumInput ? 24 : 8;
+    buggyFirst = 4;
+    buggyLast = mediumInput ? 10 : iterations; // window of racy iterations
+    resetIteration = mediumInput ? 16 : iterations + 1; // never, if small
+}
+
+void
+Streamcluster::setup(sim::SetupCtx &ctx)
+{
+    coords = ctx.global("coords", tArray(tDouble(), points));
+    partials = ctx.global("partials", tArray(tDouble(), threads));
+    cost = ctx.global("cost", tDouble());
+    scratch = ctx.global("scratch", tArray(tInt32(), points));
+    param = ctx.global("param", tDouble());
+    ready = ctx.global("ready", tInt64());
+    for (std::uint32_t i = 0; i < points; ++i)
+        ctx.init<double>(coords + 8 * i, ctx.rng().uniform() * 10);
+    ctx.init<double>(param, 1.0);
+    phaseBarrier = ctx.barrier(threads);
+}
+
+void
+Streamcluster::threadMain(sim::ThreadCtx &ctx)
+{
+    const std::uint32_t lo = points * ctx.tid() / threads;
+    const std::uint32_t hi = points * (ctx.tid() + 1) / threads;
+
+    for (std::uint32_t iter = 0; iter < iterations; ++iter) {
+        // Thread 0 publishes this iteration's clustering parameter.
+        if (ctx.tid() == 0) {
+            ctx.store<double>(param, 1.0 + 0.01 * iter);
+            ctx.store<std::int64_t>(ready,
+                                    static_cast<std::int64_t>(iter));
+        }
+        const bool racy_window =
+            withBug && iter >= buggyFirst && iter < buggyLast;
+        // The fix (and all iterations outside the bug window): a barrier
+        // orders the publication before the consumers' reads. The bug:
+        // consumers read immediately — an order violation — and may use
+        // the previous iteration's parameter.
+        if (!racy_window)
+            ctx.barrier(phaseBarrier);
+        const double p = ctx.load<double>(param);
+
+        // Phase 1: schedule work assignments into scratch.
+        for (std::uint32_t i = lo; i < hi; ++i) {
+            const double c = ctx.load<double>(coords + 8 * i);
+            ctx.store<std::int32_t>(
+                scratch + 4 * i,
+                static_cast<std::int32_t>(c * 10 + p * 100) % 7);
+            ctx.tick(20);
+        }
+        ctx.barrier(phaseBarrier);
+
+        // Phase 2: per-thread cost partials over the scratch assignment.
+        double local = 0;
+        for (std::uint32_t i = lo; i < hi; ++i) {
+            const auto s = ctx.load<std::int32_t>(scratch + 4 * i);
+            const double c = ctx.load<double>(coords + 8 * i);
+            local += c * (1.0 + 0.125 * s);
+            ctx.tick(15);
+        }
+        ctx.store<double>(partials + 8 * ctx.tid(), local);
+        ctx.barrier(phaseBarrier);
+
+        // Phase 3: thread 0 reduces in fixed order; at the reset
+        // iteration the scratch is deterministically rewritten, which is
+        // what masks the bug for medium inputs.
+        if (ctx.tid() == 0) {
+            double total = 0;
+            for (ThreadId t = 0; t < threads; ++t)
+                total += ctx.load<double>(partials + 8 * t);
+            ctx.store<double>(cost, total);
+            if (iter == resetIteration) {
+                for (std::uint32_t i = 0; i < points; ++i) {
+                    const double c = ctx.load<double>(coords + 8 * i);
+                    ctx.store<std::int32_t>(
+                        scratch + 4 * i,
+                        static_cast<std::int32_t>(c * 10) % 7);
+                }
+            }
+        }
+        ctx.barrier(phaseBarrier);
+    }
+
+    if (ctx.tid() == 0) {
+        // Program output: final cost plus the scratch checksum. For small
+        // inputs the bug's corruption is still present here.
+        const double final_cost = ctx.load<double>(cost);
+        std::int64_t checksum = 0;
+        for (std::uint32_t i = 0; i < points; ++i)
+            checksum += ctx.load<std::int32_t>(scratch + 4 * i);
+        ctx.outputValue(final_cost);
+        ctx.outputValue(checksum);
+    }
+}
+
+} // namespace icheck::apps

@@ -1,0 +1,34 @@
+#ifndef ICHECK_APPS_BUG_SEEDS_HPP
+#define ICHECK_APPS_BUG_SEEDS_HPP
+
+/**
+ * @file
+ * The seeded bugs of Figure 7 / Table 2.
+ *
+ * Each bug is injected into one formerly deterministic application, only
+ * in thread 3, and (for the order violation) only once dynamically — the
+ * paper's recipe for simulating rarely occurring bugs. None crash the
+ * program; all corrupt results in a schedule-dependent way that
+ * InstantCheck detects as nondeterminism.
+ */
+
+#include <cstdint>
+
+namespace icheck::apps
+{
+
+/** Which bug (if any) an application instance is seeded with. */
+enum class BugSeed : std::uint8_t
+{
+    None,
+    Semantic,           ///< waterNS: wrong value computed from a racy read.
+    AtomicityViolation, ///< waterSP: non-atomic read-modify-write.
+    OrderViolation,     ///< radix: consume before the producer published.
+};
+
+/** The thread the paper seeds bugs into. */
+inline constexpr std::uint32_t buggyThread = 3;
+
+} // namespace icheck::apps
+
+#endif // ICHECK_APPS_BUG_SEEDS_HPP

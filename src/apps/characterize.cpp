@@ -1,0 +1,69 @@
+#include "apps/characterize.hpp"
+
+namespace icheck::apps
+{
+
+namespace
+{
+
+check::DriverConfig
+driverConfig(const CharacterizeConfig &config, bool fp_rounding,
+             const check::IgnoreSpec &ignores)
+{
+    check::DriverConfig cfg;
+    cfg.scheme = config.scheme;
+    cfg.runs = config.runs;
+    cfg.baseSchedSeed = config.baseSchedSeed;
+    cfg.machine.numCores = config.cores;
+    cfg.machine.inputSeed = config.inputSeed;
+    cfg.machine.fpRoundingEnabled = fp_rounding;
+    cfg.ignores = ignores;
+    return cfg;
+}
+
+} // namespace
+
+Table1Row
+characterizeApp(const AppInfo &app, const CharacterizeConfig &config)
+{
+    Table1Row row;
+    row.app = &app;
+
+    // Configuration A: bit-by-bit comparison (columns 5-6).
+    {
+        check::DeterminismDriver driver(
+            driverConfig(config, /*fp_rounding=*/false, {}));
+        row.bitwise = driver.check(app.factory);
+        row.detAsIs = row.bitwise.deterministic();
+        row.firstNdetRun = row.bitwise.firstNdetRun;
+    }
+
+    // Configuration B: FP rounding (columns 7-8).
+    {
+        check::DeterminismDriver driver(
+            driverConfig(config, /*fp_rounding=*/true, {}));
+        row.rounded = driver.check(app.factory);
+        row.detAfterFp = row.rounded.deterministic();
+        row.firstNdetAfterFp = row.rounded.firstNdetRun;
+    }
+
+    // Configuration C: FP rounding + isolated structures (column 9).
+    if (!app.ignores.empty()) {
+        check::DeterminismDriver driver(
+            driverConfig(config, /*fp_rounding=*/true, app.ignores));
+        row.isolated = driver.check(app.factory);
+        row.detAfterIgnores = row.isolated->deterministic();
+    }
+
+    // Checking-point columns (10-12) come from the app's class config.
+    const check::DriverReport &class_report =
+        row.isolated.has_value() ? *row.isolated
+        : app.usesFp             ? row.rounded
+                                 : row.bitwise;
+    row.detPoints = class_report.detPoints;
+    row.ndetPoints = class_report.ndetPoints;
+    row.detAtEnd = class_report.detAtEnd;
+    return row;
+}
+
+} // namespace icheck::apps

@@ -1,0 +1,59 @@
+#ifndef ICHECK_APPS_CHARACTERIZE_HPP
+#define ICHECK_APPS_CHARACTERIZE_HPP
+
+/**
+ * @file
+ * The Table 1 pipeline: run one workload through the three InstantCheck
+ * configurations — bit-by-bit, FP-rounded, FP-rounded + isolated small
+ * structures — and derive the paper's columns.
+ */
+
+#include <optional>
+
+#include "apps/app_registry.hpp"
+#include "check/driver.hpp"
+
+namespace icheck::apps
+{
+
+/** Campaign parameters shared across apps. */
+struct CharacterizeConfig
+{
+    check::Scheme scheme = check::Scheme::HwInc;
+    int runs = 30;
+    std::uint64_t baseSchedSeed = 1000;
+    std::uint64_t inputSeed = 42;
+    CoreId cores = 8;
+};
+
+/** One Table 1 row, with the underlying campaign reports retained. */
+struct Table1Row
+{
+    const AppInfo *app = nullptr;
+
+    bool detAsIs = false;
+    int firstNdetRun = 0; ///< 0 == never (column 6 "-").
+
+    bool detAfterFp = false;
+    int firstNdetAfterFp = 0; ///< Column 8.
+
+    /** Meaningful only when the app declares an ignore spec. */
+    std::optional<bool> detAfterIgnores;
+
+    /** Checking-point counts under the app's class configuration. */
+    std::uint64_t detPoints = 0;
+    std::uint64_t ndetPoints = 0;
+    bool detAtEnd = false;
+
+    check::DriverReport bitwise;
+    check::DriverReport rounded;
+    std::optional<check::DriverReport> isolated;
+};
+
+/** Run the three campaigns for @p app. */
+Table1Row characterizeApp(const AppInfo &app,
+                          const CharacterizeConfig &config);
+
+} // namespace icheck::apps
+
+#endif // ICHECK_APPS_CHARACTERIZE_HPP

@@ -1,0 +1,167 @@
+#include "apps/scales.hpp"
+
+#include <memory>
+
+#include "apps/apps.hpp"
+#include "support/logging.hpp"
+
+namespace icheck::apps
+{
+
+std::string
+scaleName(InputScale scale)
+{
+    switch (scale) {
+      case InputScale::Dev:    return "simdev";
+      case InputScale::Medium: return "simmedium";
+      case InputScale::Large:  return "simlarge";
+    }
+    ICHECK_PANIC("unknown InputScale");
+}
+
+namespace
+{
+
+/** Index 0 = Dev, 1 = Medium, 2 = Large. */
+std::size_t
+idx(InputScale scale)
+{
+    return static_cast<std::size_t>(scale);
+}
+
+template <typename T>
+T
+pick(InputScale scale, T dev, T medium, T large)
+{
+    const T values[3] = {dev, medium, large};
+    return values[idx(scale)];
+}
+
+} // namespace
+
+check::ProgramFactory
+scaledFactory(const std::string &app_name, InputScale s)
+{
+    if (app_name == "blackscholes") {
+        return [=] {
+            return std::make_unique<Blackscholes>(
+                8, pick<std::uint32_t>(s, 32, 96, 256),
+                pick<std::uint32_t>(s, 2, 5, 10));
+        };
+    }
+    if (app_name == "fft") {
+        return [=] {
+            return std::make_unique<Fft>(
+                8, pick<std::uint32_t>(s, 6, 8, 10));
+        };
+    }
+    if (app_name == "lu") {
+        return [=] {
+            return std::make_unique<Lu>(
+                8, pick<std::uint32_t>(s, 16, 32, 48),
+                pick<std::uint32_t>(s, 8, 8, 8));
+        };
+    }
+    if (app_name == "radix") {
+        return [=] {
+            return std::make_unique<Radix>(
+                8, pick<std::uint32_t>(s, 128, 512, 2048));
+        };
+    }
+    if (app_name == "streamcluster") {
+        // Dev is the small input on which the real bug reaches the
+        // output; medium/large mask it before program end.
+        return [=] {
+            return std::make_unique<Streamcluster>(
+                8, /*medium_input=*/s != InputScale::Dev,
+                /*with_bug=*/true,
+                pick<std::uint32_t>(s, 32, 64, 160));
+        };
+    }
+    if (app_name == "swaptions") {
+        return [=] {
+            return std::make_unique<Swaptions>(
+                8, pick<std::uint32_t>(s, 8, 32, 64),
+                pick<std::uint32_t>(s, 10, 40, 100));
+        };
+    }
+    if (app_name == "volrend") {
+        return [=] {
+            return std::make_unique<Volrend>(
+                8, pick<std::uint32_t>(s, 2, 5, 10),
+                pick<std::uint32_t>(s, 64, 256, 512));
+        };
+    }
+    if (app_name == "fluidanimate") {
+        return [=] {
+            return std::make_unique<Fluidanimate>(
+                8, pick<std::uint32_t>(s, 32, 64, 128),
+                pick<std::uint32_t>(s, 2, 5, 8));
+        };
+    }
+    if (app_name == "ocean") {
+        return [=] {
+            return std::make_unique<Ocean>(
+                8, pick<std::uint32_t>(s, 12, 24, 48),
+                pick<std::uint32_t>(s, 4, 8, 12));
+        };
+    }
+    if (app_name == "waterNS") {
+        return [=] {
+            return std::make_unique<WaterNS>(
+                8, pick<std::uint32_t>(s, 16, 48, 96),
+                pick<std::uint32_t>(s, 3, 5, 8));
+        };
+    }
+    if (app_name == "waterSP") {
+        return [=] {
+            return std::make_unique<WaterSP>(
+                8, pick<std::uint32_t>(s, 16, 48, 96),
+                pick<std::uint32_t>(s, 2, 4, 6));
+        };
+    }
+    if (app_name == "cholesky") {
+        return [=] {
+            return std::make_unique<Cholesky>(
+                8, pick<std::uint32_t>(s, 10, 20, 32));
+        };
+    }
+    if (app_name == "pbzip2") {
+        return [=] {
+            return std::make_unique<Pbzip2>(
+                8, pick<std::uint32_t>(s, 6, 12, 24),
+                pick<std::uint32_t>(s, 48, 96, 192));
+        };
+    }
+    if (app_name == "sphinx3") {
+        return [=] {
+            return std::make_unique<Sphinx3>(
+                8, pick<std::uint32_t>(s, 10, 40, 100),
+                pick<std::uint32_t>(s, 48, 96, 192));
+        };
+    }
+    if (app_name == "barnes") {
+        return [=] {
+            return std::make_unique<Barnes>(
+                8, pick<std::uint32_t>(s, 16, 48, 96),
+                pick<std::uint32_t>(s, 1, 2, 3));
+        };
+    }
+    if (app_name == "canneal") {
+        return [=] {
+            return std::make_unique<Canneal>(
+                8, pick<std::uint32_t>(s, 32, 64, 128),
+                pick<std::uint32_t>(s, 20, 60, 150));
+        };
+    }
+    if (app_name == "radiosity") {
+        return [=] {
+            return std::make_unique<Radiosity>(
+                8, pick<std::uint32_t>(s, 16, 48, 96),
+                pick<std::uint32_t>(s, 2, 3, 5));
+        };
+    }
+    ICHECK_PANIC("unknown app ", app_name);
+}
+
+} // namespace icheck::apps

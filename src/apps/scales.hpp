@@ -1,0 +1,38 @@
+#ifndef ICHECK_APPS_SCALES_HPP
+#define ICHECK_APPS_SCALES_HPP
+
+/**
+ * @file
+ * Input scales for the workloads — the analogue of PARSEC's simdev /
+ * simmedium / simlarge inputs (Section 7.1 uses simmedium; the
+ * streamcluster bug analysis contrasts simdev).
+ */
+
+#include <string>
+
+#include "check/driver.hpp"
+
+namespace icheck::apps
+{
+
+/** Input size classes. */
+enum class InputScale
+{
+    Dev,    ///< Smallest: quick runs, fewest phases.
+    Medium, ///< The default evaluation input (registry factories).
+    Large,  ///< Stress input: larger state, more phases.
+};
+
+/** Printable scale name. */
+std::string scaleName(InputScale scale);
+
+/**
+ * Factory for @p app_name at @p scale. Medium matches the registry's
+ * default factory parameters. Panics on unknown names.
+ */
+check::ProgramFactory scaledFactory(const std::string &app_name,
+                                    InputScale scale);
+
+} // namespace icheck::apps
+
+#endif // ICHECK_APPS_SCALES_HPP

@@ -1,0 +1,92 @@
+#include "cache/l1_cache.hpp"
+
+#include "support/logging.hpp"
+
+namespace icheck::cache
+{
+
+L1Cache::L1Cache(const CacheConfig &config) : cfg(config)
+{
+    ICHECK_ASSERT(cfg.lineBytes > 0 && (cfg.lineBytes & (cfg.lineBytes - 1))
+                  == 0, "line size must be a power of two");
+    ICHECK_ASSERT(cfg.associativity > 0, "associativity must be positive");
+    const std::size_t num_lines = cfg.sizeBytes / cfg.lineBytes;
+    ICHECK_ASSERT(num_lines % cfg.associativity == 0,
+                  "cache geometry does not divide evenly");
+    numSets = num_lines / cfg.associativity;
+    lines.resize(num_lines);
+}
+
+std::size_t
+L1Cache::setIndex(Addr paddr) const
+{
+    return (paddr / cfg.lineBytes) % numSets;
+}
+
+Addr
+L1Cache::tagOf(Addr paddr) const
+{
+    return paddr / cfg.lineBytes / numSets;
+}
+
+AccessResult
+L1Cache::access(Addr paddr, bool is_write)
+{
+    const std::size_t set = setIndex(paddr);
+    const Addr tag = tagOf(paddr);
+    Line *base = &lines[set * cfg.associativity];
+    ++stamp;
+
+    Line *victim = nullptr;
+    for (std::size_t way = 0; way < cfg.associativity; ++way) {
+        Line &line = base[way];
+        if (line.valid && line.tag == tag) {
+            line.lruStamp = stamp;
+            line.dirty = line.dirty || is_write;
+            ++nHits;
+            return {true, false};
+        }
+        if (!victim || !line.valid ||
+            (victim->valid && line.lruStamp < victim->lruStamp)) {
+            if (!victim || victim->valid)
+                victim = &line;
+        }
+    }
+
+    ++nMisses;
+    AccessResult result{false, false};
+    ICHECK_ASSERT(victim != nullptr, "no victim line");
+    if (victim->valid && victim->dirty) {
+        ++nWritebacks;
+        result.evictedDirty = true;
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->dirty = is_write;
+    victim->lruStamp = stamp;
+    return result;
+}
+
+bool
+L1Cache::resident(Addr paddr) const
+{
+    const std::size_t set = setIndex(paddr);
+    const Addr tag = tagOf(paddr);
+    const Line *base = &lines[set * cfg.associativity];
+    for (std::size_t way = 0; way < cfg.associativity; ++way) {
+        if (base[way].valid && base[way].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+L1Cache::reset()
+{
+    for (auto &line : lines)
+        line = Line{};
+    stamp = 0;
+    nHits = nMisses = nWritebacks = 0;
+}
+
+} // namespace icheck::cache

@@ -1,0 +1,52 @@
+#include "cache/write_buffer.hpp"
+
+#include "support/logging.hpp"
+
+namespace icheck::cache
+{
+
+WriteBuffer::WriteBuffer(std::size_t capacity, DrainPolicy policy,
+                         std::uint64_t seed)
+    : cap(capacity), drainPolicy(policy), rng(seed)
+{
+    ICHECK_ASSERT(cap > 0, "write buffer needs capacity");
+}
+
+std::size_t
+WriteBuffer::pickIndex()
+{
+    switch (drainPolicy) {
+      case DrainPolicy::Fifo:
+        return 0;
+      case DrainPolicy::Lifo:
+        return entries.size() - 1;
+      case DrainPolicy::Random:
+        return static_cast<std::size_t>(rng.below(entries.size()));
+    }
+    ICHECK_PANIC("unknown DrainPolicy");
+}
+
+void
+WriteBuffer::push(const WriteBufferEntry &entry,
+                  const std::function<void(const WriteBufferEntry &)> &sink)
+{
+    if (entries.size() >= cap) {
+        const std::size_t idx = pickIndex();
+        sink(entries[idx]);
+        entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    entries.push_back(entry);
+}
+
+void
+WriteBuffer::drainAll(
+    const std::function<void(const WriteBufferEntry &)> &sink)
+{
+    while (!entries.empty()) {
+        const std::size_t idx = pickIndex();
+        sink(entries[idx]);
+        entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+}
+
+} // namespace icheck::cache

@@ -1,0 +1,107 @@
+#include "check/checker.hpp"
+
+#include "check/hw_inc.hpp"
+#include "check/region.hpp"
+#include "check/sw_inc.hpp"
+#include "check/sw_tr.hpp"
+#include "support/logging.hpp"
+
+namespace icheck::check
+{
+
+std::string
+schemeName(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::HwInc: return "HW-InstantCheck-Inc";
+      case Scheme::SwInc: return "SW-InstantCheck-Inc";
+      case Scheme::SwTr:  return "SW-InstantCheck-Tr";
+    }
+    ICHECK_PANIC("unknown Scheme");
+}
+
+void
+Checker::attach(sim::Machine &m)
+{
+    ICHECK_ASSERT(boundMachine == nullptr, "checker already attached");
+    boundMachine = &m;
+    hasherPipeline.emplace(m.hasher(), m.effectiveFpMode());
+    m.setInstrumentation(true);
+}
+
+void
+Checker::onRunStart()
+{
+    // Snapshot the initial image so that ignore deletion can restore the
+    // hashed initial bytes of any range, including globals initialized
+    // during setup.
+    if (!ignores.empty())
+        initialImage.emplace(machine().memory().clone());
+}
+
+sim::Machine &
+Checker::machine()
+{
+    ICHECK_ASSERT(boundMachine != nullptr, "checker not attached");
+    return *boundMachine;
+}
+
+const hashing::StateHasher &
+Checker::pipeline() const
+{
+    ICHECK_ASSERT(hasherPipeline.has_value(), "checker not attached");
+    return *hasherPipeline;
+}
+
+hashing::ModHash
+Checker::deletionAdjustment()
+{
+    if (ignores.empty())
+        return hashing::ModHash{};
+
+    const auto ranges =
+        resolveIgnores(ignores, machine().allocator(),
+                       machine().staticSegment());
+    hashing::ModHash adjust;
+    std::size_t bytes = 0;
+    for (const IgnoreRange &range : ranges) {
+        // ominus the current contents...
+        adjust -= hashTypedRegion(pipeline(), machine().memory(),
+                                  range.addr, range.type, range.len);
+        // ...oplus the initial contents. Heap ranges born during the run
+        // are zero-initialized, and the snapshot reads them as zero, so
+        // using the snapshot is correct for both cases.
+        if (initialImage.has_value()) {
+            adjust += hashTypedRegion(pipeline(), *initialImage,
+                                      range.addr, range.type, range.len);
+        }
+        bytes += range.len;
+    }
+    addOverhead(static_cast<InstCount>(
+        static_cast<double>(2 * bytes) * deletionCostPerByte()));
+    return adjust;
+}
+
+hashing::ModHash
+Checker::checkpointHash()
+{
+    return rawStateHash() + deletionAdjustment();
+}
+
+std::unique_ptr<Checker>
+makeChecker(Scheme scheme, IgnoreSpec ignores, bool ideal_cost_model)
+{
+    switch (scheme) {
+      case Scheme::HwInc:
+        return std::make_unique<HwInstantCheckInc>(std::move(ignores));
+      case Scheme::SwInc:
+        return std::make_unique<SwInstantCheckInc>(std::move(ignores),
+                                                   ideal_cost_model);
+      case Scheme::SwTr:
+        return std::make_unique<SwInstantCheckTr>(std::move(ignores),
+                                                  ideal_cost_model);
+    }
+    ICHECK_PANIC("unknown Scheme");
+}
+
+} // namespace icheck::check

@@ -1,0 +1,120 @@
+#ifndef ICHECK_CHECK_CHECKER_HPP
+#define ICHECK_CHECK_CHECKER_HPP
+
+/**
+ * @file
+ * The InstantCheck scheme interface and shared machinery.
+ *
+ * Three schemes compute the same State Hash with different costs:
+ *   - HwInstantCheckInc  (Section 3): per-core MHM hardware; negligible
+ *     overhead (only the Section 5 allocation zeroing).
+ *   - SwInstantCheckInc  (Section 4.1): instrumented stores hashed in
+ *     software at 5 instructions per byte.
+ *   - SwInstantCheckTr   (Section 4.2): full state traversal at every
+ *     checkpoint, using the allocation table's type annotations.
+ *
+ * All schemes report hashes as deltas from the run's initial state, so two
+ * runs from the same input state compare equal exactly when their states
+ * are equal (modulo FP rounding and ignored structures).
+ */
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "check/ignore.hpp"
+#include "hashing/mod_hash.hpp"
+#include "hashing/state_hash.hpp"
+#include "sim/machine.hpp"
+#include "support/types.hpp"
+
+namespace icheck::check
+{
+
+/** Which InstantCheck scheme to use. */
+enum class Scheme
+{
+    HwInc,
+    SwInc,
+    SwTr,
+};
+
+/** Printable scheme name. */
+std::string schemeName(Scheme scheme);
+
+/**
+ * One attached determinism checker. Lifecycle:
+ *   attach(machine) -> machine.run() { onRunStart(); checkpointHash()* }.
+ * A checker instance serves exactly one run.
+ */
+class Checker
+{
+  public:
+    virtual ~Checker() = default;
+
+    /** Scheme identity. */
+    virtual Scheme scheme() const = 0;
+
+    /**
+     * Bind to @p machine: subscribe listeners and enable the Section 5
+     * instrumentation (zero-on-allocate, scrub-on-free).
+     */
+    virtual void attach(sim::Machine &machine);
+
+    /** Called after setup, before the first thread runs. */
+    virtual void onRunStart();
+
+    /**
+     * The State Hash at the current quiescent point, as a delta from the
+     * initial state, with ignored structures deleted.
+     */
+    hashing::ModHash checkpointHash();
+
+    /**
+     * Software instructions this scheme spent so far (hashing, traversal,
+     * deletion). The machine separately accounts the zeroing stores, which
+     * are common to all schemes.
+     */
+    InstCount overheadInstrs() const { return swOverhead; }
+
+  protected:
+    explicit Checker(IgnoreSpec ignores) : ignores(std::move(ignores)) {}
+
+    /** Raw State Hash delta, before ignore deletion. */
+    virtual hashing::ModHash rawStateHash() = 0;
+
+    /** Per-byte software cost of the scheme's deletion pass. */
+    virtual double deletionCostPerByte() const = 0;
+
+    /** The machine this checker is attached to. */
+    sim::Machine &machine();
+
+    /** The hashing pipeline matching the machine's MHM configuration. */
+    const hashing::StateHasher &pipeline() const;
+
+    /** Account @p n software instructions to this scheme. */
+    void addOverhead(InstCount n) { swOverhead += n; }
+
+    /**
+     * Deletion adjustment: oplus hash(initial bytes) ominus hash(current
+     * bytes) over every resolved ignore range (Section 2.2).
+     */
+    hashing::ModHash deletionAdjustment();
+
+    IgnoreSpec ignores;
+
+  private:
+    sim::Machine *boundMachine = nullptr;
+    std::optional<hashing::StateHasher> hasherPipeline;
+    std::optional<mem::SparseMemory> initialImage;
+    InstCount swOverhead = 0;
+};
+
+/** Construct a checker of @p scheme with @p ignores. */
+std::unique_ptr<Checker> makeChecker(Scheme scheme, IgnoreSpec ignores = {},
+                                     bool ideal_cost_model = true);
+
+} // namespace icheck::check
+
+#endif // ICHECK_CHECK_CHECKER_HPP

@@ -1,0 +1,46 @@
+#include "check/distribution.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+namespace icheck::check
+{
+
+std::string
+Distribution::render() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (i > 0)
+            os << "-";
+        os << counts[i];
+    }
+    return os.str();
+}
+
+Distribution
+distributionOf(const std::vector<HashWord> &hashes)
+{
+    std::unordered_map<HashWord, std::uint32_t> buckets;
+    for (HashWord hash : hashes)
+        ++buckets[hash];
+    Distribution dist;
+    dist.counts.reserve(buckets.size());
+    for (const auto &[hash, count] : buckets)
+        dist.counts.push_back(count);
+    std::sort(dist.counts.begin(), dist.counts.end(),
+              std::greater<std::uint32_t>());
+    return dist;
+}
+
+std::map<Distribution, std::uint64_t>
+groupDistributions(const std::vector<Distribution> &per_checkpoint)
+{
+    std::map<Distribution, std::uint64_t> groups;
+    for (const Distribution &dist : per_checkpoint)
+        ++groups[dist];
+    return groups;
+}
+
+} // namespace icheck::check

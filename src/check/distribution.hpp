@@ -1,0 +1,59 @@
+#ifndef ICHECK_CHECK_DISTRIBUTION_HPP
+#define ICHECK_CHECK_DISTRIBUTION_HPP
+
+/**
+ * @file
+ * Nondeterminism distributions (figures 5 and 8).
+ *
+ * For one checkpoint observed across N runs, the distribution is the
+ * multiset of "how many runs produced each distinct state", sorted
+ * descending — e.g. {16, 11, 3} means three distinct states were seen, in
+ * 16, 11, and 3 runs respectively. {30} means the checkpoint was
+ * deterministic across all 30 runs. The figures group checkpoints that
+ * share a distribution.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace icheck::check
+{
+
+/**
+ * Distribution of distinct states at one checkpoint across runs.
+ */
+struct Distribution
+{
+    /** Run counts per distinct state, descending. */
+    std::vector<std::uint32_t> counts;
+
+    /** True if a single state was observed. */
+    bool deterministic() const { return counts.size() <= 1; }
+
+    /** Render as "16-11-3". */
+    std::string render() const;
+
+    bool operator==(const Distribution &) const = default;
+    bool operator<(const Distribution &other) const
+    {
+        return counts < other.counts;
+    }
+};
+
+/** Distribution of the hashes observed at one checkpoint. */
+Distribution distributionOf(const std::vector<HashWord> &hashes);
+
+/**
+ * Group checkpoints by identical distribution: distribution -> number of
+ * checkpoints exhibiting it (the D_1..D_k groups of Fig 5).
+ */
+std::map<Distribution, std::uint64_t>
+groupDistributions(const std::vector<Distribution> &per_checkpoint);
+
+} // namespace icheck::check
+
+#endif // ICHECK_CHECK_DISTRIBUTION_HPP

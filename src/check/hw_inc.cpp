@@ -1,0 +1,21 @@
+#include "check/hw_inc.hpp"
+
+namespace icheck::check
+{
+
+hashing::ModHash
+HwInstantCheckInc::rawStateHash()
+{
+    // SH = TH_0 oplus TH_1 oplus ... (Section 2.2). Every parked thread's
+    // TH is architectural in its SimThread; the machine synced the
+    // checkpointing thread's TH before invoking us.
+    sim::Machine &m = machine();
+    hashing::ModHash sum;
+    for (ThreadId tid = 0; tid < m.numThreads(); ++tid)
+        sum += hashing::ModHash(m.threadHash(tid));
+    // Summing N 64-bit registers in software: a handful of instructions.
+    addOverhead(m.numThreads());
+    return sum;
+}
+
+} // namespace icheck::check

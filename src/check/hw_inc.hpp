@@ -1,0 +1,43 @@
+#ifndef ICHECK_CHECK_HW_INC_HPP
+#define ICHECK_CHECK_HW_INC_HPP
+
+/**
+ * @file
+ * HW-InstantCheck_Inc: the hardware-supported incremental scheme
+ * (Section 3).
+ *
+ * The per-core MHMs (already wired into the Machine) do all the hashing;
+ * this checker merely sums the per-thread TH registers in software when a
+ * State Hash is needed — a rare, cheap, global operation that typically
+ * overlaps barrier communication. The only runtime overhead is the
+ * Section 5 zeroing of allocations (accounted by the Machine) plus the
+ * minus_hash/plus_hash deletion work for explicitly ignored structures.
+ */
+
+#include "check/checker.hpp"
+
+namespace icheck::check
+{
+
+/**
+ * Hardware incremental-hashing scheme. See file comment.
+ */
+class HwInstantCheckInc : public Checker
+{
+  public:
+    explicit HwInstantCheckInc(IgnoreSpec ignores)
+        : Checker(std::move(ignores))
+    {}
+
+    Scheme scheme() const override { return Scheme::HwInc; }
+
+  protected:
+    hashing::ModHash rawStateHash() override;
+
+    /** minus_hash/plus_hash execute in hardware; ~2 instr per byte. */
+    double deletionCostPerByte() const override { return 1.0; }
+};
+
+} // namespace icheck::check
+
+#endif // ICHECK_CHECK_HW_INC_HPP

@@ -1,0 +1,49 @@
+#include "check/ignore.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace icheck::check
+{
+
+std::vector<IgnoreRange>
+resolveIgnores(const IgnoreSpec &spec,
+               const mem::DeterministicAllocator &allocator,
+               const mem::StaticSegment &statics)
+{
+    std::vector<IgnoreRange> ranges;
+    if (spec.empty())
+        return ranges;
+
+    const auto live = allocator.liveBlocks();
+    for (const std::string &site : spec.sites) {
+        for (const mem::Block *block : live) {
+            if (block->site == site)
+                ranges.push_back({block->addr, block->size, block->type});
+        }
+    }
+    for (const IgnoreField &field : spec.fields) {
+        for (const mem::Block *block : live) {
+            if (block->site != field.site)
+                continue;
+            ICHECK_ASSERT(field.offset + field.width <= block->size,
+                          "ignore field outside block from ", field.site);
+            ranges.push_back({block->addr + field.offset, field.width,
+                              nullptr});
+        }
+    }
+    for (const std::string &name : spec.globals) {
+        const Addr addr = statics.addressOf(name);
+        const mem::GlobalVar *var = statics.findContaining(addr);
+        ICHECK_ASSERT(var != nullptr, "unknown ignore global ", name);
+        ranges.push_back({var->addr, var->type->size(), var->type});
+    }
+    std::sort(ranges.begin(), ranges.end(),
+              [](const IgnoreRange &a, const IgnoreRange &b) {
+                  return a.addr < b.addr;
+              });
+    return ranges;
+}
+
+} // namespace icheck::check

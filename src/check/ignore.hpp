@@ -1,0 +1,77 @@
+#ifndef ICHECK_CHECK_IGNORE_HPP
+#define ICHECK_CHECK_IGNORE_HPP
+
+/**
+ * @file
+ * Explicit specification of nondeterministic structures to delete from the
+ * State Hash (sections 2.2 and 5).
+ *
+ * "For advanced users, InstantCheck allows explicitly specifying
+ * nondeterministic structures" — e.g., cholesky's freeTask linked list,
+ * pbzip2's dangling pointer fields, sphinx3's scratch allocations. Deletion
+ * works by adding the hashed initial value of every ignored byte and
+ * subtracting its hashed current value.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/alloc.hpp"
+#include "mem/static_segment.hpp"
+#include "mem/type_desc.hpp"
+#include "support/types.hpp"
+
+namespace icheck::check
+{
+
+/** A field slice ignored inside every block of one allocation site. */
+struct IgnoreField
+{
+    std::string site;
+    std::size_t offset = 0;
+    std::size_t width = 0;
+};
+
+/**
+ * Which parts of the state to delete from the hash before comparison.
+ */
+struct IgnoreSpec
+{
+    /** Whole live blocks from these allocation sites. */
+    std::vector<std::string> sites;
+
+    /** Field slices within live blocks of a site. */
+    std::vector<IgnoreField> fields;
+
+    /** Whole globals by name. */
+    std::vector<std::string> globals;
+
+    bool
+    empty() const
+    {
+        return sites.empty() && fields.empty() && globals.empty();
+    }
+};
+
+/** One concrete address range to delete, with optional type info. */
+struct IgnoreRange
+{
+    Addr addr = 0;
+    std::size_t len = 0;
+    mem::TypeRef type; ///< Null for raw (bit-by-bit) ranges.
+};
+
+/**
+ * Resolve @p spec against the current allocator/static-segment state.
+ * Called at every checkpoint, because site-based ignores cover blocks
+ * allocated at any point during the run.
+ */
+std::vector<IgnoreRange>
+resolveIgnores(const IgnoreSpec &spec,
+               const mem::DeterministicAllocator &allocator,
+               const mem::StaticSegment &statics);
+
+} // namespace icheck::check
+
+#endif // ICHECK_CHECK_IGNORE_HPP

@@ -1,0 +1,191 @@
+#include "check/infer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "hashing/fp_round.hpp"
+#include "mem/memory.hpp"
+#include "support/logging.hpp"
+
+namespace icheck::check
+{
+
+namespace
+{
+
+/** One run to completion, capturing the final memory image. */
+struct FinalState
+{
+    std::unique_ptr<sim::Machine> machine;
+    mem::SparseMemory image;
+};
+
+FinalState
+runToEnd(const ProgramFactory &factory, const sim::MachineConfig &mc,
+         mem::ReplayLog &log, mem::DeterministicAllocator::Mode mode)
+{
+    FinalState out;
+    out.machine = std::make_unique<sim::Machine>(mc, &log, mode);
+    out.machine->setInstrumentation(true);
+    out.machine->setCheckpointHandler(
+        [&](const sim::CheckpointInfo &info) {
+            if (info.kind == sim::CheckpointKind::ProgramEnd)
+                out.image = out.machine->memory().clone();
+        });
+    auto program = factory();
+    out.machine->run(*program);
+    return out;
+}
+
+/** The scalar field layout of one owner, for byte -> field lookup. */
+struct ScalarMap
+{
+    struct Field
+    {
+        std::size_t offset;
+        mem::ScalarKind kind;
+        unsigned width;
+    };
+    std::vector<Field> fields; ///< Sorted by offset.
+
+    const Field *
+    containing(std::size_t offset) const
+    {
+        auto it = std::upper_bound(
+            fields.begin(), fields.end(), offset,
+            [](std::size_t off, const Field &field) {
+                return off < field.offset;
+            });
+        if (it == fields.begin())
+            return nullptr;
+        --it;
+        return offset < it->offset + it->width ? &*it : nullptr;
+    }
+};
+
+ScalarMap
+scalarMapOf(const mem::TypeRef &type)
+{
+    ScalarMap map;
+    type->forEachScalar([&](std::size_t offset, mem::ScalarKind kind,
+                            unsigned width) {
+        map.fields.push_back({offset, kind, width});
+    });
+    return map;
+}
+
+} // namespace
+
+InferenceResult
+inferIgnores(const ProgramFactory &factory,
+             const sim::MachineConfig &machine_template, int runs,
+             std::uint64_t base_seed)
+{
+    ICHECK_ASSERT(runs >= 2, "inference needs at least two runs");
+
+    mem::ReplayLog log;
+    sim::MachineConfig mc0 = machine_template;
+    mc0.schedSeed = base_seed;
+    FinalState reference =
+        runToEnd(factory, mc0, log,
+                 mem::DeterministicAllocator::Mode::Record);
+
+    const hashing::FpRoundMode mode =
+        reference.machine->effectiveFpMode();
+    const auto &allocator = reference.machine->allocator();
+    const auto &statics = reference.machine->staticSegment();
+
+    struct Accum
+    {
+        std::string type;
+        std::size_t lo = ~std::size_t{0};
+        std::size_t hi = 0;
+        std::uint64_t bytes = 0;
+    };
+    std::map<std::string, Accum> by_owner;
+    std::map<std::string, ScalarMap> scalar_maps;
+    int comparisons = 0;
+
+    for (int run = 1; run < runs; ++run) {
+        sim::MachineConfig mc = machine_template;
+        mc.schedSeed = base_seed + static_cast<std::uint64_t>(run);
+        FinalState other =
+            runToEnd(factory, mc, log,
+                     mem::DeterministicAllocator::Mode::Replay);
+        ++comparisons;
+
+        mem::SparseMemory::diff(
+            reference.image, other.image,
+            [&](Addr addr, std::uint8_t, std::uint8_t) {
+                std::string owner = "unknown";
+                std::string type_name = "?";
+                Addr base = addr;
+                mem::TypeRef type;
+                if (const mem::Block *block =
+                        allocator.findHistorical(addr)) {
+                    owner = "site:" + block->site;
+                    type = block->type;
+                    base = block->addr;
+                } else if (const mem::GlobalVar *var =
+                               statics.findContaining(addr)) {
+                    owner = "global:" + var->name;
+                    type = var->type;
+                    base = var->addr;
+                }
+                if (type) {
+                    type_name = type->describe();
+                    auto [it, inserted] =
+                        scalar_maps.try_emplace(owner);
+                    if (inserted)
+                        it->second = scalarMapOf(type);
+                    // FP-rounding-aware filtering: a differing byte
+                    // inside an FP scalar whose *rounded* values agree is
+                    // reassociation noise, not nondeterminism.
+                    if (const ScalarMap::Field *field =
+                            it->second.containing(addr - base)) {
+                        const auto cls = mem::scalarClass(field->kind);
+                        if (hashing::isFpClass(cls)) {
+                            const Addr faddr = base + field->offset;
+                            const std::uint64_t a =
+                                reference.image.readValue(faddr,
+                                                          field->width);
+                            const std::uint64_t b =
+                                other.image.readValue(faddr,
+                                                      field->width);
+                            if (hashing::roundFpBits(a, field->width,
+                                                     mode) ==
+                                hashing::roundFpBits(b, field->width,
+                                                     mode)) {
+                                return; // noise under the active mode
+                            }
+                        }
+                    }
+                }
+                Accum &acc = by_owner[owner];
+                acc.type = type_name;
+                acc.lo = std::min(acc.lo, std::size_t(addr - base));
+                acc.hi = std::max(acc.hi, std::size_t(addr - base));
+                ++acc.bytes;
+            });
+    }
+
+    InferenceResult result;
+    result.comparisons = comparisons;
+    for (const auto &[owner, acc] : by_owner) {
+        result.evidence.push_back(
+            {owner, acc.type, acc.lo, acc.hi, acc.bytes});
+        if (owner.rfind("site:", 0) == 0)
+            result.spec.sites.push_back(owner.substr(5));
+        else if (owner.rfind("global:", 0) == 0)
+            result.spec.globals.push_back(owner.substr(7));
+    }
+    std::sort(result.evidence.begin(), result.evidence.end(),
+              [](const DiffSite &a, const DiffSite &b) {
+                  return a.bytes > b.bytes;
+              });
+    return result;
+}
+
+} // namespace icheck::check

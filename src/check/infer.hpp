@@ -1,0 +1,58 @@
+#ifndef ICHECK_CHECK_INFER_HPP
+#define ICHECK_CHECK_INFER_HPP
+
+/**
+ * @file
+ * Automatic inference of nondeterministic structures.
+ *
+ * The paper's small-struct applications require the programmer to name
+ * the structures to ignore (cholesky's freeTask list, pbzip2's result
+ * pointers, sphinx3's scratch — "easy to identify" by looking at the
+ * memory that differs, Section 7.2.1). This module automates that look:
+ * run the program under several schedules, diff the final memory states
+ * FP-rounding-aware (so benign reassociation noise is not misattributed),
+ * attribute every real difference to its owning allocation site or
+ * global, and emit the IgnoreSpec that isolates them.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/driver.hpp"
+#include "check/ignore.hpp"
+#include "check/localize.hpp"
+
+namespace icheck::check
+{
+
+/** Outcome of an inference pass. */
+struct InferenceResult
+{
+    /** The proposed isolation (whole sites and whole globals). */
+    IgnoreSpec spec;
+
+    /** Attribution evidence, most-differing owner first. */
+    std::vector<DiffSite> evidence;
+
+    /** Pairs of runs compared. */
+    int comparisons = 0;
+
+    bool empty() const { return spec.empty(); }
+};
+
+/**
+ * Infer the nondeterministic structures of programs from @p factory by
+ * comparing the final states of @p runs schedules against the first.
+ * The machine template's FP rounding settings decide which FP
+ * differences count: under rounding, reassociation noise is filtered out
+ * before attribution, so only genuinely nondeterministic structures are
+ * proposed.
+ */
+InferenceResult inferIgnores(const ProgramFactory &factory,
+                             const sim::MachineConfig &machine_template,
+                             int runs, std::uint64_t base_seed = 1000);
+
+} // namespace icheck::check
+
+#endif // ICHECK_CHECK_INFER_HPP

@@ -1,0 +1,15 @@
+#include "check/io_hash.hpp"
+
+#include "hashing/crc64.hpp"
+
+namespace icheck::check
+{
+
+void
+OutputHasher::onOutput(ThreadId, const std::uint8_t *data, std::size_t len)
+{
+    crc = hashing::Crc64::compute(data, len, crc);
+    total += len;
+}
+
+} // namespace icheck::check

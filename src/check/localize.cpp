@@ -1,0 +1,126 @@
+#include "check/localize.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "mem/memory.hpp"
+#include "support/logging.hpp"
+
+namespace icheck::check
+{
+
+namespace
+{
+
+/** One run up to the target checkpoint, with machine kept alive. */
+struct SnapshotRun
+{
+    std::unique_ptr<sim::Machine> machine;
+    mem::SparseMemory image;
+    bool captured = false;
+};
+
+SnapshotRun
+runAndSnapshot(const ProgramFactory &factory,
+               const sim::MachineConfig &mc, mem::ReplayLog &log,
+               mem::DeterministicAllocator::Mode mode,
+               std::uint64_t checkpoint_index)
+{
+    SnapshotRun out;
+    out.machine = std::make_unique<sim::Machine>(mc, &log, mode);
+    // Instrumentation keeps the memory image canonical (zeroed allocs,
+    // scrubbed frees) exactly as during checking.
+    out.machine->setInstrumentation(true);
+    out.machine->setCheckpointHandler(
+        [&](const sim::CheckpointInfo &info) {
+            if (info.index == checkpoint_index && !out.captured) {
+                out.image = out.machine->memory().clone();
+                out.captured = true;
+            }
+        });
+    auto program = factory();
+    out.machine->run(*program);
+    return out;
+}
+
+} // namespace
+
+LocalizeReport
+localizeNondeterminism(const ProgramFactory &factory,
+                       const sim::MachineConfig &machine_template,
+                       std::uint64_t seed_a, std::uint64_t seed_b,
+                       std::uint64_t checkpoint_index)
+{
+    mem::ReplayLog log;
+
+    sim::MachineConfig mc_a = machine_template;
+    mc_a.schedSeed = seed_a;
+    SnapshotRun run_a =
+        runAndSnapshot(factory, mc_a, log,
+                       mem::DeterministicAllocator::Mode::Record,
+                       checkpoint_index);
+
+    sim::MachineConfig mc_b = machine_template;
+    mc_b.schedSeed = seed_b;
+    SnapshotRun run_b =
+        runAndSnapshot(factory, mc_b, log,
+                       mem::DeterministicAllocator::Mode::Replay,
+                       checkpoint_index);
+
+    ICHECK_ASSERT(run_a.captured && run_b.captured,
+                  "checkpoint ", checkpoint_index, " not reached");
+
+    LocalizeReport report;
+    report.checkpointIndex = checkpoint_index;
+
+    struct Accum
+    {
+        std::string type;
+        std::size_t lo = ~std::size_t{0};
+        std::size_t hi = 0;
+        std::uint64_t bytes = 0;
+    };
+    std::map<std::string, Accum> by_owner;
+
+    // Attribution uses run A's machine: replayed allocation addresses are
+    // identical across the two runs by construction.
+    const auto &allocator = run_a.machine->allocator();
+    const auto &statics = run_a.machine->staticSegment();
+
+    mem::SparseMemory::diff(
+        run_a.image, run_b.image,
+        [&](Addr addr, std::uint8_t, std::uint8_t) {
+            ++report.totalDiffBytes;
+            std::string owner = "unknown";
+            std::string type = "?";
+            std::size_t offset = 0;
+            if (const mem::Block *block = allocator.findHistorical(addr)) {
+                owner = "site:" + block->site;
+                type = block->type->describe();
+                offset = addr - block->addr;
+            } else if (const mem::GlobalVar *var =
+                           statics.findContaining(addr)) {
+                owner = "global:" + var->name;
+                type = var->type->describe();
+                offset = addr - var->addr;
+            }
+            Accum &acc = by_owner[owner];
+            acc.type = type;
+            acc.lo = std::min(acc.lo, offset);
+            acc.hi = std::max(acc.hi, offset);
+            ++acc.bytes;
+        });
+
+    for (const auto &[owner, acc] : by_owner) {
+        report.sites.push_back(
+            {owner, acc.type, acc.lo, acc.hi, acc.bytes});
+    }
+    std::sort(report.sites.begin(), report.sites.end(),
+              [](const DiffSite &a, const DiffSite &b) {
+                  return a.bytes > b.bytes;
+              });
+    return report;
+}
+
+} // namespace icheck::check

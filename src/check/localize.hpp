@@ -1,0 +1,62 @@
+#ifndef ICHECK_CHECK_LOCALIZE_HPP
+#define ICHECK_CHECK_LOCALIZE_HPP
+
+/**
+ * @file
+ * The bug-localization prototype of Section 2.3.
+ *
+ * When InstantCheck flags a nondeterministic checkpoint, this tool
+ * re-executes the two differing runs, stores the *entire* memory state at
+ * that checkpoint (not just the hash), diffs the two states, and maps each
+ * differing address back to the allocation site (plus offset within the
+ * block) or global variable that owns it.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/driver.hpp"
+#include "support/types.hpp"
+
+namespace icheck::check
+{
+
+/** One differing region attributed to its owner. */
+struct DiffSite
+{
+    std::string owner;      ///< "site:<alloc site>" or "global:<name>".
+    std::string type;       ///< Declared shape of the owning region.
+    std::size_t offsetLo;   ///< First differing offset within the owner.
+    std::size_t offsetHi;   ///< Last differing offset within the owner.
+    std::uint64_t bytes;    ///< Number of differing bytes attributed.
+};
+
+/** Result of one localization. */
+struct LocalizeReport
+{
+    std::uint64_t checkpointIndex = 0;
+    std::uint64_t totalDiffBytes = 0;
+    std::vector<DiffSite> sites; ///< Sorted by bytes, descending.
+};
+
+/**
+ * Re-execute runs with scheduler seeds @p seed_a and @p seed_b, snapshot
+ * memory at checkpoint @p checkpoint_index, and attribute the differences.
+ *
+ * @param factory          Program factory.
+ * @param machine_template Machine configuration (input seed, cores, ...).
+ * @param seed_a           Scheduler seed of the first run.
+ * @param seed_b           Scheduler seed of the second run.
+ * @param checkpoint_index Index of the nondeterministic checkpoint.
+ */
+LocalizeReport localizeNondeterminism(const ProgramFactory &factory,
+                                      const sim::MachineConfig
+                                          &machine_template,
+                                      std::uint64_t seed_a,
+                                      std::uint64_t seed_b,
+                                      std::uint64_t checkpoint_index);
+
+} // namespace icheck::check
+
+#endif // ICHECK_CHECK_LOCALIZE_HPP

@@ -1,0 +1,43 @@
+#include "check/region.hpp"
+
+#include <vector>
+
+#include "support/logging.hpp"
+
+namespace icheck::check
+{
+
+hashing::ModHash
+hashRawRegion(const hashing::StateHasher &hasher,
+              const mem::SparseMemory &image, Addr addr, std::size_t len)
+{
+    hashing::ModHash sum;
+    std::vector<std::uint8_t> buffer(len);
+    image.readBytes(addr, buffer.data(), len);
+    sum += hasher.spanHash(addr, buffer.data(), len);
+    return sum;
+}
+
+hashing::ModHash
+hashTypedRegion(const hashing::StateHasher &hasher,
+                const mem::SparseMemory &image, Addr addr,
+                const mem::TypeRef &type, std::size_t len)
+{
+    if (!type)
+        return hashRawRegion(hasher, image, addr, len);
+
+    hashing::ModHash sum;
+    type->forEachScalar([&](std::size_t offset, mem::ScalarKind kind,
+                            unsigned width) {
+        const Addr at = addr + offset;
+        if (kind == mem::ScalarKind::Pad) {
+            sum += hashRawRegion(hasher, image, at, width);
+            return;
+        }
+        const std::uint64_t bits = image.readValue(at, width);
+        sum += hasher.valueHash(at, bits, width, mem::scalarClass(kind));
+    });
+    return sum;
+}
+
+} // namespace icheck::check

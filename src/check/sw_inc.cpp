@@ -1,0 +1,61 @@
+#include "check/sw_inc.hpp"
+
+#include "support/logging.hpp"
+
+namespace icheck::check
+{
+
+namespace
+{
+
+/** The paper's software hashing cost (Jenkins): 5 instructions per byte. */
+constexpr InstCount hashInstrPerByte = 5;
+
+/** Non-ideal per-store trampoline: call, loads, branch. */
+constexpr InstCount trampolineInstrs = 12;
+
+} // namespace
+
+void
+SwInstantCheckInc::attach(sim::Machine &m)
+{
+    Checker::attach(m);
+    m.addListener(this);
+}
+
+void
+SwInstantCheckInc::onStore(const sim::StoreEvent &event)
+{
+    // Stores inside a stop_hashing window bypass instrumentation too.
+    if (!event.hashed)
+        return;
+    if (event.tid >= thByThread.size())
+        thByThread.resize(event.tid + 1);
+    thByThread[event.tid] +=
+        pipeline().storeDelta(event.addr, event.oldBits, event.newBits,
+                              event.width, event.cls);
+    // Old and new value bytes both pass through the software hash.
+    addOverhead(2ULL * event.width * hashInstrPerByte);
+    if (!ideal)
+        addOverhead(trampolineInstrs);
+}
+
+hashing::ModHash
+SwInstantCheckInc::threadHash(ThreadId tid) const
+{
+    if (tid >= thByThread.size())
+        return hashing::ModHash{};
+    return thByThread[tid];
+}
+
+hashing::ModHash
+SwInstantCheckInc::rawStateHash()
+{
+    hashing::ModHash sum;
+    for (const auto &th : thByThread)
+        sum += th;
+    addOverhead(thByThread.size());
+    return sum;
+}
+
+} // namespace icheck::check

@@ -1,0 +1,286 @@
+#include "explore/explorer.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "race/vector_clock.hpp"
+#include "support/logging.hpp"
+
+namespace icheck::explore
+{
+
+namespace
+{
+
+/** Mix one word into a running signature. */
+std::uint64_t
+mix(std::uint64_t acc, std::uint64_t word)
+{
+    std::uint64_t z = acc ^ (word + 0x9e3779b97f4a7c15ULL +
+                             (acc << 6) + (acc >> 2));
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * Order-independent happens-before signature: modular sum of per-event
+ * hashes, each covering (kind, object, tid, vector timestamp). Events
+ * include synchronization operations *and* memory accesses with their
+ * conflict order (every access to a granule joins the granule's clock),
+ * so two interleavings get the same signature exactly when they are
+ * trace-equivalent. This is the approximation systematic testers like
+ * CHESS prune with — and what state hashing improves on, because equal
+ * states can arise from inequivalent traces (Figure 1).
+ */
+class HbTracker : public sim::AccessListener
+{
+  public:
+    void
+    onStore(const sim::StoreEvent &event) override
+    {
+        if (event.domain != sim::CostDomain::Native)
+            return;
+        recordAccess(event.tid, event.addr & ~Addr{7}, /*is_write=*/true);
+    }
+
+    void
+    onLoad(const sim::LoadEvent &event) override
+    {
+        recordAccess(event.tid, event.addr & ~Addr{7},
+                     /*is_write=*/false);
+    }
+    void
+    onSync(const sim::SyncEvent &event) override
+    {
+        // Maintain the same clock algebra as the race detector.
+        race::VectorClock &now = clock(event.tid);
+        switch (event.kind) {
+          case sim::SyncKind::LockAcquire:
+            now.join(mutexClocks[event.object]);
+            break;
+          case sim::SyncKind::LockRelease:
+            mutexClocks[event.object].join(now);
+            now.tick(event.tid);
+            break;
+          case sim::SyncKind::BarrierArrive:
+            barrierGather[{event.object, event.epoch}].join(now);
+            break;
+          case sim::SyncKind::BarrierLeave:
+            now.join(barrierGather[{event.object, event.epoch}]);
+            now.tick(event.tid);
+            break;
+          case sim::SyncKind::CondSignal:
+            condClocks[event.object].join(now);
+            now.tick(event.tid);
+            break;
+          case sim::SyncKind::CondWait:
+            now.join(condClocks[event.object]);
+            break;
+          case sim::SyncKind::ThreadStart:
+          case sim::SyncKind::ThreadFinish:
+            break;
+        }
+        std::uint64_t event_hash = 0x51ULL;
+        event_hash = mix(event_hash, static_cast<std::uint64_t>(
+                                         event.kind));
+        event_hash = mix(event_hash, event.object);
+        event_hash = mix(event_hash, event.tid);
+        for (ThreadId t = 0; t < clocks.size(); ++t)
+            event_hash = mix(event_hash, now.get(t));
+        signature += event_hash; // order-independent accumulation
+    }
+
+    std::uint64_t value() const { return signature; }
+
+  private:
+    race::VectorClock &
+    clock(ThreadId tid)
+    {
+        if (tid >= clocks.size())
+            clocks.resize(tid + 1);
+        return clocks[tid];
+    }
+
+    void
+    recordAccess(ThreadId tid, Addr granule, bool is_write)
+    {
+        // Conservative conflict order: every access to a granule is
+        // ordered after all earlier accesses to it (read-read ordering is
+        // stronger than necessary — it only costs pruning power, never
+        // soundness).
+        race::VectorClock &now = clock(tid);
+        race::VectorClock &loc = granuleClocks[granule];
+        now.join(loc);
+        now.tick(tid);
+        loc.join(now);
+        std::uint64_t event_hash = is_write ? 0x77ULL : 0x72ULL;
+        event_hash = mix(event_hash, granule);
+        event_hash = mix(event_hash, tid);
+        for (ThreadId t = 0; t < clocks.size(); ++t)
+            event_hash = mix(event_hash, now.get(t));
+        signature += event_hash;
+    }
+
+    std::vector<race::VectorClock> clocks;
+    std::map<Addr, race::VectorClock> granuleClocks;
+    std::map<std::uint32_t, race::VectorClock> mutexClocks;
+    std::map<std::pair<std::uint32_t, std::uint64_t>, race::VectorClock>
+        barrierGather;
+    std::map<std::uint32_t, race::VectorClock> condClocks;
+    std::uint64_t signature = 0;
+};
+
+/** Everything observed during one scripted run. */
+struct RunObservation
+{
+    std::vector<std::uint32_t> fanout;
+    std::vector<std::uint32_t> path; ///< Choice taken at each decision.
+    std::vector<std::int32_t> prevIdx; ///< Previous-thread index per decision.
+    std::vector<std::size_t> preemptionsBefore; ///< Prefix preemption counts.
+    std::size_t pruneAt = ~std::size_t{0};
+    HashWord finalState = 0;
+};
+
+RunObservation
+runOnce(const check::ProgramFactory &factory,
+        const sim::MachineConfig &machine_template,
+        const ExploreConfig &config,
+        const std::vector<std::uint32_t> &prefix,
+        std::set<std::uint64_t> *seen_sigs)
+{
+    sim::Machine machine(machine_template);
+    const bool bounded = config.maxPreemptions != ~std::size_t{0};
+    auto sched = std::make_unique<sim::ScriptedScheduler>(
+        std::vector<std::uint32_t>(prefix), config.quantum,
+        /*prefer_previous=*/bounded);
+    sim::ScriptedScheduler *sched_ptr = sched.get();
+    machine.setScheduler(std::move(sched));
+
+    RunObservation obs;
+    HbTracker hb;
+    if (config.prune == PruneMode::HappensBefore)
+        machine.addListener(&hb);
+
+    std::size_t decision = 0;
+    machine.setDecisionHandler(
+        [&](const std::vector<ThreadId> &runnable) {
+            // Both pruning modes work at decision granularity: if the
+            // fingerprint of the execution prefix repeats, every
+            // continuation from here was already reachable from the
+            // earlier occurrence, so branches past this decision need not
+            // be expanded. StateHash fingerprints the reached *state*
+            // (merging state-equal prefixes even when their traces
+            // differ, the paper's improvement); HappensBefore fingerprints
+            // the *trace* (the CHESS approximation). Decisions before
+            // prefix.size() are shared with the ancestor run that spawned
+            // this prefix and were recorded by it already.
+            if (config.prune != PruneMode::None &&
+                decision >= prefix.size() &&
+                obs.pruneAt == ~std::size_t{0}) {
+                std::uint64_t sig =
+                    config.prune == PruneMode::StateHash
+                        ? machine.stateSignature()
+                        : hb.value();
+                for (ThreadId t : runnable)
+                    sig = mix(sig, t + 1);
+                if (!seen_sigs->insert(sig).second)
+                    obs.pruneAt = decision;
+            }
+            ++decision;
+        });
+
+    machine.setCheckpointHandler([&](const sim::CheckpointInfo &info) {
+        if (info.kind == sim::CheckpointKind::ProgramEnd) {
+            hashing::ModHash sum;
+            for (ThreadId t = 0; t < machine.numThreads(); ++t)
+                sum += hashing::ModHash(machine.threadHash(t));
+            obs.finalState = sum.raw();
+        }
+    });
+
+    auto program = factory();
+    machine.run(*program);
+
+    obs.fanout = sched_ptr->decisionFanout();
+    obs.path = sched_ptr->chosenIndices();
+    obs.prevIdx = sched_ptr->previousIndices();
+    // Prefix sums of preemptions: decision d preempts when the previous
+    // thread was runnable but a different one was chosen.
+    obs.preemptionsBefore.resize(obs.fanout.size() + 1, 0);
+    for (std::size_t d = 0; d < obs.fanout.size(); ++d) {
+        const bool preempted =
+            obs.prevIdx[d] >= 0 &&
+            obs.path[d] != static_cast<std::uint32_t>(obs.prevIdx[d]);
+        obs.preemptionsBefore[d + 1] =
+            obs.preemptionsBefore[d] + (preempted ? 1 : 0);
+    }
+    return obs;
+}
+
+} // namespace
+
+ExploreResult
+explore(const check::ProgramFactory &factory,
+        const sim::MachineConfig &machine_template,
+        const ExploreConfig &config)
+{
+    ExploreResult result;
+    std::set<std::uint64_t> seen_sigs;
+
+    std::vector<std::vector<std::uint32_t>> pending;
+    pending.push_back({});
+
+    while (!pending.empty() && result.runsExecuted < config.maxRuns) {
+        const std::vector<std::uint32_t> prefix = std::move(
+            pending.back());
+        pending.pop_back();
+
+        const RunObservation obs =
+            runOnce(factory, machine_template, config, prefix,
+                    &seen_sigs);
+        ++result.runsExecuted;
+        result.finalStates.insert(obs.finalState);
+
+        // Expand new branches only up to the first pruned decision.
+        const std::size_t limit =
+            std::min({obs.fanout.size(), config.maxDepth, obs.pruneAt});
+
+        // Expand every non-designated choice at every decision past the
+        // prefix. The designated (executed) child is a deterministic
+        // function of the execution history, so each prefix is generated
+        // exactly once across the whole search.
+        for (std::size_t d = prefix.size();
+             d < std::min(obs.fanout.size(), config.maxDepth); ++d) {
+            for (std::uint32_t c = 0; c < obs.fanout[d]; ++c) {
+                if (c == obs.path[d])
+                    continue;
+                if (d >= limit) {
+                    ++result.branchesPruned;
+                    continue;
+                }
+                // Context bounding: skip branches whose preemption count
+                // would exceed the budget.
+                const bool branch_preempts =
+                    obs.prevIdx[d] >= 0 &&
+                    c != static_cast<std::uint32_t>(obs.prevIdx[d]);
+                if (obs.preemptionsBefore[d] + (branch_preempts ? 1 : 0) >
+                    config.maxPreemptions) {
+                    ++result.branchesBoundedOut;
+                    continue;
+                }
+                std::vector<std::uint32_t> next(obs.path.begin(),
+                                                obs.path.begin() +
+                                                    static_cast<
+                                                        std::ptrdiff_t>(
+                                                        d));
+                next.push_back(c);
+                pending.push_back(std::move(next));
+            }
+        }
+    }
+
+    result.exhausted = pending.empty();
+    return result;
+}
+
+} // namespace icheck::explore

@@ -1,0 +1,90 @@
+#ifndef ICHECK_EXPLORE_EXPLORER_HPP
+#define ICHECK_EXPLORE_EXPLORER_HPP
+
+/**
+ * @file
+ * Bounded systematic-testing explorer (Section 6.2).
+ *
+ * Enumerates thread interleavings of a small program by DFS over
+ * scheduling choices (ScriptedScheduler) and compares three search-space
+ * reduction strategies:
+ *
+ *  - None: exhaustive enumeration;
+ *  - HappensBefore: do not expand branches from a run whose happens-before
+ *    signature was already seen (the approximation CHESS uses);
+ *  - StateHash: do not expand branches past the first scheduling decision
+ *    whose machine state (InstantCheck State Hash + per-thread progress)
+ *    was already seen.
+ *
+ * The paper's Figure 1 argument is exactly that the two runs lead to the
+ * same state but different happens-before, so state pruning merges what
+ * happens-before pruning cannot. The pruning signature includes per-thread
+ * progress counters as a program-counter proxy; it is exact for programs
+ * whose thread-local state is a function of progress — true of the small
+ * test programs used here.
+ */
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "check/driver.hpp"
+#include "sim/machine.hpp"
+#include "support/types.hpp"
+
+namespace icheck::explore
+{
+
+/** Search-space reduction strategy. */
+enum class PruneMode
+{
+    None,
+    HappensBefore,
+    StateHash,
+};
+
+/** Exploration bounds and scheduling granularity. */
+struct ExploreConfig
+{
+    PruneMode prune = PruneMode::None;
+
+    /** Hard cap on executed runs. */
+    int maxRuns = 20000;
+
+    /** Accesses per slice; 1 interleaves at every access. */
+    std::uint64_t quantum = 1;
+
+    /** Cap on scheduling decisions considered for branching per run. */
+    std::size_t maxDepth = 4096;
+
+    /**
+     * CHESS-style iterative context bounding: maximum *preemptive*
+     * context switches per explored schedule (switching away from a
+     * thread that is still runnable). Unbounded by default. With a
+     * bound, default continuations are preemption-free and branches
+     * whose preemption count would exceed the bound are skipped.
+     */
+    std::size_t maxPreemptions = ~std::size_t{0};
+};
+
+/** Exploration outcome. */
+struct ExploreResult
+{
+    int runsExecuted = 0;
+    std::uint64_t branchesPruned = 0;
+    std::uint64_t branchesBoundedOut = 0; ///< Skipped by the preemption bound.
+    bool exhausted = false; ///< True if the full tree was covered.
+    std::set<HashWord> finalStates;
+};
+
+/**
+ * Explore interleavings of programs from @p factory on machines built
+ * from @p machine_template.
+ */
+ExploreResult explore(const check::ProgramFactory &factory,
+                      const sim::MachineConfig &machine_template,
+                      const ExploreConfig &config);
+
+} // namespace icheck::explore
+
+#endif // ICHECK_EXPLORE_EXPLORER_HPP

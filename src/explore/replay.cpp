@@ -1,0 +1,200 @@
+#include "explore/replay.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/logging.hpp"
+
+namespace icheck::explore
+{
+
+/** Stable text form: header, hash, count, then choice:quantum pairs. */
+std::string
+ScheduleLog::serialize() const
+{
+    std::ostringstream os;
+    os << "v1 " << finalStateHash << " " << choices.size();
+    for (std::size_t i = 0; i < choices.size(); ++i) {
+        os << " " << choices[i] << ":"
+           << (i < quanta.size() ? quanta[i] : 1);
+    }
+    return os.str();
+}
+
+ScheduleLog
+ScheduleLog::deserialize(const std::string &text)
+{
+    std::istringstream is(text);
+    std::string version;
+    ScheduleLog log;
+    std::size_t count = 0;
+    if (!(is >> version >> log.finalStateHash >> count) ||
+        version != "v1") {
+        throw std::invalid_argument("bad schedule log header");
+    }
+    log.choices.reserve(count);
+    log.quanta.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        std::string pair;
+        if (!(is >> pair))
+            throw std::invalid_argument("truncated schedule log");
+        const std::size_t colon = pair.find(':');
+        if (colon == std::string::npos)
+            throw std::invalid_argument("malformed schedule entry");
+        log.choices.push_back(static_cast<std::uint32_t>(
+            std::stoul(pair.substr(0, colon))));
+        log.quanta.push_back(std::stoull(pair.substr(colon + 1)));
+    }
+    return log;
+}
+
+namespace
+{
+
+/** Final state hash of a machine whose run just completed. */
+HashWord
+finalHash(const sim::Machine &machine)
+{
+    hashing::ModHash sum;
+    for (ThreadId t = 0; t < machine.numThreads(); ++t)
+        sum += hashing::ModHash(machine.threadHash(t));
+    return sum.raw();
+}
+
+/** Run the program once under @p sched and return the final state hash. */
+HashWord
+runUnder(const check::ProgramFactory &factory,
+         const sim::MachineConfig &machine_template,
+         std::unique_ptr<sim::Scheduler> sched)
+{
+    sim::Machine machine(machine_template);
+    machine.setScheduler(std::move(sched));
+    auto program = factory();
+    machine.run(*program);
+    return finalHash(machine);
+}
+
+} // namespace
+
+ThreadId
+RecordingScheduler::pick(const std::vector<ThreadId> &runnable)
+{
+    const ThreadId tid = inner->pick(runnable);
+    const auto it = std::find(runnable.begin(), runnable.end(), tid);
+    ICHECK_ASSERT(it != runnable.end(), "inner scheduler picked a "
+                                        "non-runnable thread");
+    log.push_back(
+        static_cast<std::uint32_t>(it - runnable.begin()));
+    return tid;
+}
+
+std::uint64_t
+RecordingScheduler::quantum()
+{
+    const std::uint64_t q = inner->quantum();
+    quantaLog.push_back(q);
+    return q;
+}
+
+PrefixReplayScheduler::PrefixReplayScheduler(const ScheduleLog &log,
+                                             std::size_t prefix_len,
+                                             std::uint64_t search_seed,
+                                             std::uint64_t min_quantum,
+                                             std::uint64_t max_quantum)
+    : choices(log.choices), quanta(log.quanta),
+      prefixLen(std::min(prefix_len, log.choices.size())),
+      rng(search_seed), minQuantum(min_quantum), maxQuantum(max_quantum)
+{}
+
+ThreadId
+PrefixReplayScheduler::pick(const std::vector<ThreadId> &runnable)
+{
+    std::size_t idx;
+    if (pickCursor < prefixLen && pickCursor < choices.size()) {
+        idx = std::min<std::size_t>(choices[pickCursor],
+                                    runnable.size() - 1);
+    } else {
+        idx = static_cast<std::size_t>(rng.below(runnable.size()));
+    }
+    ++pickCursor;
+    return runnable[idx];
+}
+
+std::uint64_t
+PrefixReplayScheduler::quantum()
+{
+    std::uint64_t q;
+    if (quantumCursor < prefixLen && quantumCursor < quanta.size())
+        q = quanta[quantumCursor];
+    else
+        q = rng.range(minQuantum, maxQuantum);
+    ++quantumCursor;
+    return q;
+}
+
+ScheduleLog
+recordRun(const check::ProgramFactory &factory,
+          const sim::MachineConfig &machine_template,
+          std::uint64_t sched_seed)
+{
+    sim::Machine machine(machine_template);
+    auto recorder = std::make_unique<RecordingScheduler>(
+        std::make_unique<sim::RandomScheduler>(
+            sched_seed, machine_template.minQuantum,
+            machine_template.maxQuantum, /*migrate_prob=*/0.0));
+    RecordingScheduler *recorder_ptr = recorder.get();
+    machine.setScheduler(std::move(recorder));
+    auto program = factory();
+    machine.run(*program);
+
+    ScheduleLog log;
+    log.choices = recorder_ptr->choices();
+    log.quanta = recorder_ptr->quanta();
+    log.finalStateHash = finalHash(machine);
+    return log;
+}
+
+HashWord
+replayExact(const check::ProgramFactory &factory,
+            const sim::MachineConfig &machine_template,
+            const ScheduleLog &log)
+{
+    return runUnder(factory, machine_template,
+                    std::make_unique<PrefixReplayScheduler>(
+                        log, log.choices.size(), /*search_seed=*/0,
+                        machine_template.minQuantum,
+                        machine_template.maxQuantum));
+}
+
+ReplaySearchResult
+searchReplay(const check::ProgramFactory &factory,
+             const sim::MachineConfig &machine_template,
+             const ScheduleLog &log, double prefix_fraction,
+             int max_attempts)
+{
+    ICHECK_ASSERT(prefix_fraction >= 0.0 && prefix_fraction <= 1.0,
+                  "prefix fraction must be in [0, 1]");
+    const auto prefix_len = static_cast<std::size_t>(
+        prefix_fraction * static_cast<double>(log.choices.size()));
+    ReplaySearchResult result;
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+        const std::uint64_t seed =
+            0x5eed0000ULL + static_cast<std::uint64_t>(attempt);
+        const HashWord reached = runUnder(
+            factory, machine_template,
+            std::make_unique<PrefixReplayScheduler>(
+                log, prefix_len, seed, machine_template.minQuantum,
+                machine_template.maxQuantum));
+        ++result.attempts;
+        if (reached == log.finalStateHash) {
+            result.reproduced = true;
+            result.matchingSeed = seed;
+            return result;
+        }
+    }
+    return result;
+}
+
+} // namespace icheck::explore

@@ -1,0 +1,132 @@
+#ifndef ICHECK_EXPLORE_REPLAY_HPP
+#define ICHECK_EXPLORE_REPLAY_HPP
+
+/**
+ * @file
+ * Deterministic-replay assist (Section 6.3).
+ *
+ * Classic replay saves a precise schedule log; recent systems save only a
+ * partial log and search executions consistent with it. InstantCheck's
+ * role: the state hash stored with the log tells the searcher *when it has
+ * reproduced the entire state*, not just the bug — a 64-bit compare
+ * instead of a full state diff.
+ *
+ * Implemented here: full schedule recording (choice indices + quanta),
+ * exact scripted replay, and a partial-log search that replays a prefix of
+ * the log and randomizes the suffix until the recorded final state hash is
+ * reproduced.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/driver.hpp"
+#include "sim/machine.hpp"
+#include "sim/sched.hpp"
+#include "support/types.hpp"
+
+namespace icheck::explore
+{
+
+/** A recorded schedule plus the state fingerprint it reached. */
+struct ScheduleLog
+{
+    std::vector<std::uint32_t> choices; ///< Index into the runnable set.
+    std::vector<std::uint64_t> quanta;  ///< Slice length per decision.
+    HashWord finalStateHash = 0;
+
+    /**
+     * Serialize to a stable single-line text format ("v1 <hash> <n>
+     * <choice:quantum>...") so logs can be stored beside a failing test
+     * and replayed in another process.
+     */
+    std::string serialize() const;
+
+    /** Parse a serialize()d log; throws std::invalid_argument on junk. */
+    static ScheduleLog deserialize(const std::string &text);
+
+    bool operator==(const ScheduleLog &) const = default;
+};
+
+/**
+ * Scheduler wrapper that records every decision of an inner scheduler.
+ */
+class RecordingScheduler : public sim::Scheduler
+{
+  public:
+    explicit RecordingScheduler(std::unique_ptr<sim::Scheduler> inner)
+        : inner(std::move(inner))
+    {}
+
+    ThreadId pick(const std::vector<ThreadId> &runnable) override;
+    std::uint64_t quantum() override;
+
+    /** Decisions recorded so far. */
+    const std::vector<std::uint32_t> &choices() const { return log; }
+    const std::vector<std::uint64_t> &quanta() const { return quantaLog; }
+
+  private:
+    std::unique_ptr<sim::Scheduler> inner;
+    std::vector<std::uint32_t> log;
+    std::vector<std::uint64_t> quantaLog;
+};
+
+/**
+ * Replays a log prefix exactly, then continues with seeded random
+ * decisions — the "search executions that obey the partial log" step.
+ */
+class PrefixReplayScheduler : public sim::Scheduler
+{
+  public:
+    PrefixReplayScheduler(const ScheduleLog &log, std::size_t prefix_len,
+                          std::uint64_t search_seed,
+                          std::uint64_t min_quantum,
+                          std::uint64_t max_quantum);
+
+    ThreadId pick(const std::vector<ThreadId> &runnable) override;
+    std::uint64_t quantum() override;
+
+  private:
+    std::vector<std::uint32_t> choices;
+    std::vector<std::uint64_t> quanta;
+    std::size_t prefixLen;
+    std::size_t pickCursor = 0;
+    std::size_t quantumCursor = 0;
+    Xoshiro256 rng;
+    std::uint64_t minQuantum;
+    std::uint64_t maxQuantum;
+};
+
+/** Record one run under a random schedule. */
+ScheduleLog recordRun(const check::ProgramFactory &factory,
+                      const sim::MachineConfig &machine_template,
+                      std::uint64_t sched_seed);
+
+/** Replay a full log exactly; returns the reached state hash. */
+HashWord replayExact(const check::ProgramFactory &factory,
+                     const sim::MachineConfig &machine_template,
+                     const ScheduleLog &log);
+
+/** Outcome of a partial-log replay search. */
+struct ReplaySearchResult
+{
+    bool reproduced = false;
+    int attempts = 0;
+    std::uint64_t matchingSeed = 0;
+};
+
+/**
+ * Keep only the first @p prefix_fraction of the log and search random
+ * continuations until the recorded state hash is reproduced (hash-verified
+ * replay) or @p max_attempts is exhausted.
+ */
+ReplaySearchResult searchReplay(const check::ProgramFactory &factory,
+                                const sim::MachineConfig
+                                    &machine_template,
+                                const ScheduleLog &log,
+                                double prefix_fraction, int max_attempts);
+
+} // namespace icheck::explore
+
+#endif // ICHECK_EXPLORE_REPLAY_HPP

@@ -1,0 +1,49 @@
+#include "hashing/crc64.hpp"
+
+#include <array>
+
+namespace icheck::hashing
+{
+
+namespace
+{
+
+constexpr std::uint64_t polynomial = 0x42f0e1eba9ea3693ULL;
+
+std::array<std::uint64_t, 256>
+buildTable()
+{
+    std::array<std::uint64_t, 256> table{};
+    for (std::uint64_t i = 0; i < 256; ++i) {
+        std::uint64_t crc = i << 56;
+        for (int bit = 0; bit < 8; ++bit) {
+            if (crc & (1ULL << 63))
+                crc = (crc << 1) ^ polynomial;
+            else
+                crc <<= 1;
+        }
+        table[i] = crc;
+    }
+    return table;
+}
+
+} // namespace
+
+const std::uint64_t *
+Crc64::table()
+{
+    static const std::array<std::uint64_t, 256> tbl = buildTable();
+    return tbl.data();
+}
+
+std::uint64_t
+Crc64::compute(const void *data, std::size_t len, std::uint64_t seed)
+{
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    std::uint64_t crc = seed;
+    for (std::size_t i = 0; i < len; ++i)
+        crc = feed(crc, bytes[i]);
+    return crc;
+}
+
+} // namespace icheck::hashing

@@ -1,0 +1,41 @@
+#ifndef ICHECK_HASHING_CRC64_HPP
+#define ICHECK_HASHING_CRC64_HPP
+
+/**
+ * @file
+ * Table-driven CRC-64/ECMA-182 (polynomial 0x42f0e1eba9ea3693), the "regular
+ * hash function h (e.g., CRC)" the paper suggests for hashing individual
+ * memory locations.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+namespace icheck::hashing
+{
+
+/**
+ * Stateless CRC-64/ECMA-182 engine over byte spans.
+ */
+class Crc64
+{
+  public:
+    /** CRC of @p len bytes at @p data, continuing from @p seed. */
+    static std::uint64_t compute(const void *data, std::size_t len,
+                                 std::uint64_t seed = 0);
+
+    /** Feed one byte into a running CRC value. */
+    static std::uint64_t
+    feed(std::uint64_t crc, std::uint8_t byte)
+    {
+        return (crc << 8) ^ table()[((crc >> 56) ^ byte) & 0xff];
+    }
+
+  private:
+    /** Lazily built 256-entry lookup table. */
+    static const std::uint64_t *table();
+};
+
+} // namespace icheck::hashing
+
+#endif // ICHECK_HASHING_CRC64_HPP

@@ -1,0 +1,96 @@
+#ifndef ICHECK_HASHING_FP_ROUND_HPP
+#define ICHECK_HASHING_FP_ROUND_HPP
+
+/**
+ * @file
+ * The FP round-off unit of Section 3.1 / Section 5.
+ *
+ * Parallel code that reassociates floating-point additions produces tiny
+ * run-to-run differences. InstantCheck optionally rounds FP values before
+ * hashing so such runs still compare equal. Two rounding alternatives are
+ * offered, matching the paper:
+ *
+ *  - MantissaMask: zero out the least-significant M mantissa bits
+ *    (discards small *relative* differences; a simple AND in hardware);
+ *  - DecimalFloor: floor to N decimal digits (discards small *absolute*
+ *    differences; default N = 3, i.e. round to the closest 0.001, as used
+ *    in systematic testing).
+ */
+
+#include <cstdint>
+
+namespace icheck::hashing
+{
+
+/** Which rounding alternative the round-off unit applies. */
+enum class FpRoundKind
+{
+    None,         ///< Bit-by-bit comparison; no rounding.
+    MantissaMask, ///< Zero the least-significant M mantissa bits.
+    DecimalFloor, ///< Floor to N decimal digits.
+};
+
+/**
+ * Configuration of the FP round-off unit (the CNTR inputs of Fig 3a).
+ */
+struct FpRoundMode
+{
+    FpRoundKind kind = FpRoundKind::None;
+
+    /** M: mantissa bits to zero (MantissaMask). */
+    int mantissaBits = 20;
+
+    /** N: decimal digits kept (DecimalFloor). */
+    int decimalDigits = 3;
+
+    /** The paper's default: floor to the closest 0.001. */
+    static FpRoundMode
+    paperDefault()
+    {
+        return {FpRoundKind::DecimalFloor, 20, 3};
+    }
+
+    /** Bit-by-bit mode. */
+    static FpRoundMode
+    none()
+    {
+        return {};
+    }
+
+    /** Mask @p m low mantissa bits. */
+    static FpRoundMode
+    mask(int m)
+    {
+        return {FpRoundKind::MantissaMask, m, 3};
+    }
+
+    /** Floor to @p n decimal digits. */
+    static FpRoundMode
+    floorDigits(int n)
+    {
+        return {FpRoundKind::DecimalFloor, 20, n};
+    }
+
+    bool operator==(const FpRoundMode &) const = default;
+};
+
+/** Round one double per @p mode. */
+double roundDouble(double value, const FpRoundMode &mode);
+
+/** Round one float per @p mode. */
+float roundFloat(float value, const FpRoundMode &mode);
+
+/**
+ * Round the raw bit pattern of a float/double value per @p mode.
+ *
+ * @param bits   Raw IEEE-754 bits (low @p width bytes significant).
+ * @param width  4 for float, 8 for double.
+ * @param mode   Rounding mode.
+ * @return Raw bits of the rounded value.
+ */
+std::uint64_t roundFpBits(std::uint64_t bits, unsigned width,
+                          const FpRoundMode &mode);
+
+} // namespace icheck::hashing
+
+#endif // ICHECK_HASHING_FP_ROUND_HPP

@@ -1,0 +1,48 @@
+#include "hashing/location_hash.hpp"
+
+#include "hashing/crc64.hpp"
+#include "support/logging.hpp"
+
+namespace icheck::hashing
+{
+
+ModHash
+Crc64LocationHasher::hashByte(Addr addr, std::uint8_t value) const
+{
+    if (value == 0)
+        return ModHash{};
+    std::uint8_t record[9];
+    for (int i = 0; i < 8; ++i)
+        record[i] = static_cast<std::uint8_t>(addr >> (8 * i));
+    record[8] = value;
+    return ModHash(Crc64::compute(record, sizeof(record)));
+}
+
+ModHash
+Mix64LocationHasher::hashByte(Addr addr, std::uint8_t value) const
+{
+    if (value == 0)
+        return ModHash{};
+    // Pack the pair and run a SplitMix64-style finalizer. The value byte is
+    // rotated into the high bits so that adjacent addresses with adjacent
+    // values do not collide structurally.
+    std::uint64_t z = addr ^ (static_cast<std::uint64_t>(value) << 56)
+                           ^ 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return ModHash(z ^ (z >> 31));
+}
+
+std::unique_ptr<LocationHasher>
+makeLocationHasher(HasherKind kind)
+{
+    switch (kind) {
+      case HasherKind::Crc64:
+        return std::make_unique<Crc64LocationHasher>();
+      case HasherKind::Mix64:
+        return std::make_unique<Mix64LocationHasher>();
+    }
+    ICHECK_PANIC("unknown HasherKind");
+}
+
+} // namespace icheck::hashing

@@ -1,0 +1,86 @@
+#ifndef ICHECK_HASHING_MOD_HASH_HPP
+#define ICHECK_HASHING_MOD_HASH_HPP
+
+/**
+ * @file
+ * The commutative group underlying incremental hashing.
+ *
+ * Following Bellare and Micciancio's incremental hashing paradigm, a state
+ * hash is a sum of per-location hashes in a commutative group; InstantCheck
+ * uses (Z / 2^64, +). ModHash wraps a 64-bit word with the group operations
+ * used throughout the paper: oplus (modulo addition), ominus (modulo
+ * subtraction, which cancels a previous oplus), and the identity 0.
+ */
+
+#include <compare>
+#include <cstdint>
+
+#include "support/types.hpp"
+
+namespace icheck::hashing
+{
+
+/**
+ * A value in the incremental-hash group (Z / 2^64, +).
+ *
+ * Addition and subtraction wrap modulo 2^64; they are commutative and
+ * associative, which is exactly what lets Thread Hashes be combined in any
+ * order and lets individual location hashes be cancelled later.
+ */
+class ModHash
+{
+  public:
+    /** The group identity (the hash of the empty state delta). */
+    constexpr ModHash() : word(0) {}
+
+    /** Wrap a raw 64-bit word. */
+    explicit constexpr ModHash(HashWord w) : word(w) {}
+
+    /** Raw 64-bit word (what a TH register holds). */
+    constexpr HashWord raw() const { return word; }
+
+    /** Group addition (the paper's oplus). */
+    constexpr ModHash
+    operator+(ModHash other) const
+    {
+        return ModHash(word + other.word);
+    }
+
+    /** Group subtraction (the paper's ominus). */
+    constexpr ModHash
+    operator-(ModHash other) const
+    {
+        return ModHash(word - other.word);
+    }
+
+    /** In-place oplus. */
+    constexpr ModHash &
+    operator+=(ModHash other)
+    {
+        word += other.word;
+        return *this;
+    }
+
+    /** In-place ominus. */
+    constexpr ModHash &
+    operator-=(ModHash other)
+    {
+        word -= other.word;
+        return *this;
+    }
+
+    /** Group inverse: x + (-x) == identity. */
+    constexpr ModHash operator-() const { return ModHash(0 - word); }
+
+    constexpr auto operator<=>(const ModHash &) const = default;
+
+  private:
+    HashWord word;
+};
+
+/** The group identity, named for readability at call sites. */
+inline constexpr ModHash zeroHash{};
+
+} // namespace icheck::hashing
+
+#endif // ICHECK_HASHING_MOD_HASH_HPP

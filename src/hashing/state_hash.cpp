@@ -1,0 +1,37 @@
+#include "hashing/state_hash.hpp"
+
+#include "support/logging.hpp"
+
+namespace icheck::hashing
+{
+
+ModHash
+StateHasher::valueHash(Addr addr, std::uint64_t rawBits, unsigned width,
+                       ValueClass cls) const
+{
+    ICHECK_ASSERT(width >= 1 && width <= 8, "store width must be 1..8");
+    std::uint64_t bits = rawBits;
+    if (isFpClass(cls)) {
+        const unsigned fp_width = cls == ValueClass::Float ? 4 : 8;
+        ICHECK_ASSERT(width == fp_width, "FP store width mismatch");
+        bits = roundFpBits(bits, fp_width, roundMode);
+    }
+    ModHash sum;
+    for (unsigned i = 0; i < width; ++i) {
+        const auto byte = static_cast<std::uint8_t>(bits >> (8 * i));
+        sum += locHasher.hashByte(addr + i, byte);
+    }
+    return sum;
+}
+
+ModHash
+StateHasher::spanHash(Addr addr, const std::uint8_t *bytes,
+                      std::size_t len) const
+{
+    ModHash sum;
+    for (std::size_t i = 0; i < len; ++i)
+        sum += locHasher.hashByte(addr + i, bytes[i]);
+    return sum;
+}
+
+} // namespace icheck::hashing

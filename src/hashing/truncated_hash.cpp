@@ -1,0 +1,29 @@
+#include "hashing/truncated_hash.hpp"
+
+#include "support/logging.hpp"
+
+namespace icheck::hashing
+{
+
+TruncatedLocationHasher::TruncatedLocationHasher(
+    std::unique_ptr<LocationHasher> inner_hasher, unsigned width)
+    : inner(std::move(inner_hasher)), bits(width),
+      mask(width >= 64 ? ~HashWord{0} : ((HashWord{1} << width) - 1))
+{
+    ICHECK_ASSERT(inner != nullptr, "truncation needs an inner hasher");
+    ICHECK_ASSERT(width >= 1 && width <= 64, "width must be 1..64");
+}
+
+ModHash
+TruncatedLocationHasher::hashByte(Addr addr, std::uint8_t value) const
+{
+    return ModHash(inner->hashByte(addr, value).raw() & mask);
+}
+
+std::string
+TruncatedLocationHasher::name() const
+{
+    return inner->name() + "/" + std::to_string(bits);
+}
+
+} // namespace icheck::hashing

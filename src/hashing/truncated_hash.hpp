@@ -1,0 +1,54 @@
+#ifndef ICHECK_HASHING_TRUNCATED_HASH_HPP
+#define ICHECK_HASHING_TRUNCATED_HASH_HPP
+
+/**
+ * @file
+ * Width-truncated location hashing, for studying the paper's collision
+ * argument empirically.
+ *
+ * InstantCheck's accuracy claim (Section 1) is that false negatives —
+ * two different states with equal hashes — occur with probability 2^-W
+ * for a W-bit hash. TruncatedLocationHasher masks an underlying hasher
+ * to W bits so tests and the hash-width ablation bench can observe the
+ * collision rate grow as W shrinks, which is the empirical footing for
+ * choosing 64 bits in hardware.
+ *
+ * Truncation happens per location hash; the group operations then live in
+ * (Z / 2^W, +), which is exactly what a W-bit TH register would compute.
+ */
+
+#include <memory>
+
+#include "hashing/location_hash.hpp"
+
+namespace icheck::hashing
+{
+
+/**
+ * Masks an inner LocationHasher to the low @p width bits.
+ */
+class TruncatedLocationHasher : public LocationHasher
+{
+  public:
+    /**
+     * @param inner Underlying hasher (owned).
+     * @param width Hash width in bits, 1..64.
+     */
+    TruncatedLocationHasher(std::unique_ptr<LocationHasher> inner,
+                            unsigned width);
+
+    ModHash hashByte(Addr addr, std::uint8_t value) const override;
+    std::string name() const override;
+
+    /** The configured width. */
+    unsigned width() const { return bits; }
+
+  private:
+    std::unique_ptr<LocationHasher> inner;
+    unsigned bits;
+    HashWord mask;
+};
+
+} // namespace icheck::hashing
+
+#endif // ICHECK_HASHING_TRUNCATED_HASH_HPP

@@ -1,0 +1,116 @@
+#include "mem/memory.hpp"
+
+#include <cstring>
+
+#include "support/logging.hpp"
+
+namespace icheck::mem
+{
+
+SparseMemory::Page &
+SparseMemory::pageFor(Addr addr)
+{
+    const Addr page_idx = addr / pageSize;
+    auto &slot = pages[page_idx];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+const SparseMemory::Page *
+SparseMemory::pageAt(Addr addr) const
+{
+    auto it = pages.find(addr / pageSize);
+    return it == pages.end() ? nullptr : it->second.get();
+}
+
+std::uint8_t
+SparseMemory::readByte(Addr addr) const
+{
+    const Page *page = pageAt(addr);
+    return page ? (*page)[addr % pageSize] : 0;
+}
+
+void
+SparseMemory::writeByte(Addr addr, std::uint8_t value)
+{
+    pageFor(addr)[addr % pageSize] = value;
+}
+
+std::uint64_t
+SparseMemory::readValue(Addr addr, unsigned width) const
+{
+    ICHECK_ASSERT(width >= 1 && width <= 8, "bad read width");
+    std::uint64_t bits = 0;
+    for (unsigned i = 0; i < width; ++i)
+        bits |= static_cast<std::uint64_t>(readByte(addr + i)) << (8 * i);
+    return bits;
+}
+
+void
+SparseMemory::writeValue(Addr addr, unsigned width, std::uint64_t bits)
+{
+    ICHECK_ASSERT(width >= 1 && width <= 8, "bad write width");
+    for (unsigned i = 0; i < width; ++i)
+        writeByte(addr + i, static_cast<std::uint8_t>(bits >> (8 * i)));
+}
+
+void
+SparseMemory::readBytes(Addr addr, std::uint8_t *out, std::size_t len) const
+{
+    for (std::size_t i = 0; i < len; ++i)
+        out[i] = readByte(addr + i);
+}
+
+void
+SparseMemory::writeBytes(Addr addr, const std::uint8_t *in, std::size_t len)
+{
+    for (std::size_t i = 0; i < len; ++i)
+        writeByte(addr + i, in[i]);
+}
+
+SparseMemory
+SparseMemory::clone() const
+{
+    SparseMemory copy;
+    for (const auto &[idx, page] : pages) {
+        auto dup = std::make_unique<Page>(*page);
+        copy.pages.emplace(idx, std::move(dup));
+    }
+    return copy;
+}
+
+void
+SparseMemory::diff(const SparseMemory &a, const SparseMemory &b,
+                   const std::function<void(Addr, std::uint8_t,
+                                            std::uint8_t)> &visit)
+{
+    auto ia = a.pages.begin();
+    auto ib = b.pages.begin();
+    auto emit_page = [&](Addr page_idx, const Page *pa, const Page *pb) {
+        for (std::size_t off = 0; off < pageSize; ++off) {
+            const std::uint8_t va = pa ? (*pa)[off] : 0;
+            const std::uint8_t vb = pb ? (*pb)[off] : 0;
+            if (va != vb)
+                visit(page_idx * pageSize + off, va, vb);
+        }
+    };
+    while (ia != a.pages.end() || ib != b.pages.end()) {
+        if (ib == b.pages.end() ||
+            (ia != a.pages.end() && ia->first < ib->first)) {
+            emit_page(ia->first, ia->second.get(), nullptr);
+            ++ia;
+        } else if (ia == a.pages.end() || ib->first < ia->first) {
+            emit_page(ib->first, nullptr, ib->second.get());
+            ++ib;
+        } else {
+            emit_page(ia->first, ia->second.get(), ib->second.get());
+            ++ia;
+            ++ib;
+        }
+    }
+}
+
+} // namespace icheck::mem

@@ -1,0 +1,93 @@
+#ifndef ICHECK_MEM_MEMORY_HPP
+#define ICHECK_MEM_MEMORY_HPP
+
+/**
+ * @file
+ * The simulated flat shared-memory address space.
+ *
+ * SparseMemory backs the simulated machine: a page-granular sparse byte
+ * array where unmapped bytes read as zero. Every simulated load and store
+ * funnels through this class, which is the substitute for the Pin-observed
+ * native address space of the paper's evaluation.
+ */
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "support/types.hpp"
+
+namespace icheck::mem
+{
+
+/** Simulated page size in bytes. */
+inline constexpr std::size_t pageSize = 4096;
+
+/** Base virtual address of the static data segment. */
+inline constexpr Addr staticBase = 0x0001'0000;
+
+/** Base virtual address of the heap segment. */
+inline constexpr Addr heapBase = 0x2000'0000;
+
+/** Base virtual address of per-thread output-staging scratch space. */
+inline constexpr Addr scratchBase = 0x6000'0000;
+
+/**
+ * Page-sparse simulated memory. Reads of unmapped pages return zero
+ * without materializing the page; writes materialize zero-filled pages.
+ */
+class SparseMemory
+{
+  public:
+    /** Read one byte. */
+    std::uint8_t readByte(Addr addr) const;
+
+    /** Write one byte. */
+    void writeByte(Addr addr, std::uint8_t value);
+
+    /**
+     * Read a little-endian value of @p width bytes (1..8) as raw bits in
+     * the low bytes of the returned word.
+     */
+    std::uint64_t readValue(Addr addr, unsigned width) const;
+
+    /** Write the low @p width bytes of @p bits little-endian at @p addr. */
+    void writeValue(Addr addr, unsigned width, std::uint64_t bits);
+
+    /** Bulk read into @p out. */
+    void readBytes(Addr addr, std::uint8_t *out, std::size_t len) const;
+
+    /** Bulk write from @p in. */
+    void writeBytes(Addr addr, const std::uint8_t *in, std::size_t len);
+
+    /** Number of materialized pages. */
+    std::size_t mappedPages() const { return pages.size(); }
+
+    /** Deep-copy the full image (used by the bug-localization tool). */
+    SparseMemory clone() const;
+
+    /**
+     * Visit every address whose byte differs between @p a and @p b, in
+     * increasing address order.
+     */
+    static void diff(const SparseMemory &a, const SparseMemory &b,
+                     const std::function<void(Addr, std::uint8_t,
+                                              std::uint8_t)> &visit);
+
+  private:
+    using Page = std::array<std::uint8_t, pageSize>;
+
+    /** Page holding @p addr, materializing it if absent. */
+    Page &pageFor(Addr addr);
+
+    /** Page holding @p addr or nullptr if unmapped. */
+    const Page *pageAt(Addr addr) const;
+
+    std::map<Addr, std::unique_ptr<Page>> pages;
+};
+
+} // namespace icheck::mem
+
+#endif // ICHECK_MEM_MEMORY_HPP

@@ -1,0 +1,38 @@
+#include "mem/static_segment.hpp"
+
+#include "support/logging.hpp"
+
+namespace icheck::mem
+{
+
+Addr
+StaticSegment::reserve(const std::string &name, const TypeRef &type)
+{
+    ICHECK_ASSERT(type != nullptr, "global needs a type");
+    ICHECK_ASSERT(!byName.contains(name), "duplicate global ", name);
+    const Addr addr = next;
+    next += (type->size() + 7) & ~std::size_t{7};
+    byName[name] = vars.size();
+    vars.push_back({name, addr, type});
+    return addr;
+}
+
+Addr
+StaticSegment::addressOf(const std::string &name) const
+{
+    auto it = byName.find(name);
+    ICHECK_ASSERT(it != byName.end(), "unknown global ", name);
+    return vars[it->second].addr;
+}
+
+const GlobalVar *
+StaticSegment::findContaining(Addr addr) const
+{
+    for (const auto &var : vars) {
+        if (addr >= var.addr && addr < var.addr + var.type->size())
+            return &var;
+    }
+    return nullptr;
+}
+
+} // namespace icheck::mem

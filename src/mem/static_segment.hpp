@@ -1,0 +1,65 @@
+#ifndef ICHECK_MEM_STATIC_SEGMENT_HPP
+#define ICHECK_MEM_STATIC_SEGMENT_HPP
+
+/**
+ * @file
+ * The static data segment of a simulated program.
+ *
+ * InstantCheck hashes "heap and static data" (Section 2.1). Simulated
+ * programs declare their globals here during single-threaded setup; each
+ * global carries a type descriptor so the traversal checker can apply FP
+ * rounding to static FP data too.
+ */
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mem/memory.hpp"
+#include "mem/type_desc.hpp"
+#include "support/types.hpp"
+
+namespace icheck::mem
+{
+
+/** One declared global variable. */
+struct GlobalVar
+{
+    std::string name;
+    Addr addr = 0;
+    TypeRef type;
+};
+
+/**
+ * Sequential, deterministic layout of named globals starting at staticBase.
+ */
+class StaticSegment
+{
+  public:
+    /**
+     * Reserve space for global @p name of shape @p type; 8-byte aligned.
+     * Names must be unique within a program.
+     */
+    Addr reserve(const std::string &name, const TypeRef &type);
+
+    /** Address of global @p name (panics if absent). */
+    Addr addressOf(const std::string &name) const;
+
+    /** The global covering @p addr, if any. */
+    const GlobalVar *findContaining(Addr addr) const;
+
+    /** All globals in layout order. */
+    const std::vector<GlobalVar> &globals() const { return vars; }
+
+    /** Total reserved bytes. */
+    std::size_t bytes() const { return next - staticBase; }
+
+  private:
+    std::vector<GlobalVar> vars;
+    std::map<std::string, std::size_t> byName;
+    Addr next = staticBase;
+};
+
+} // namespace icheck::mem
+
+#endif // ICHECK_MEM_STATIC_SEGMENT_HPP

@@ -1,0 +1,135 @@
+#include "mhm/mhm.hpp"
+
+#include "support/logging.hpp"
+
+namespace icheck::mhm
+{
+
+Mhm::Mhm(const hashing::LocationHasher &hasher,
+         hashing::FpRoundMode fp_mode)
+    : locHasher(hasher), fpMode(fp_mode)
+{}
+
+void
+Mhm::restoreHash(HashWord word)
+{
+    loadState(hashing::ModHash(word));
+}
+
+void
+Mhm::reset()
+{
+    clearState();
+    hashingOn = false;
+    fpRoundingOn = true;
+    nStores = 0;
+    nBytes = 0;
+}
+
+hashing::ModHash
+Mhm::hashValue(Addr addr, std::uint64_t bits, unsigned width,
+               hashing::ValueClass cls) const
+{
+    const hashing::FpRoundMode effective =
+        fpRoundingOn ? fpMode : hashing::FpRoundMode::none();
+    const hashing::StateHasher pipeline(locHasher, effective);
+    return pipeline.valueHash(addr, bits, width, cls);
+}
+
+void
+Mhm::observeStore(Addr vaddr, std::uint64_t old_bits,
+                  std::uint64_t new_bits, unsigned width,
+                  hashing::ValueClass cls)
+{
+    if (!hashingOn)
+        return;
+    // The two halves are independent group elements; feed them separately
+    // so a clustered design can route them to different clusters (Fig 3b).
+    accumulate(-hashValue(vaddr, old_bits, width, cls));
+    accumulate(hashValue(vaddr, new_bits, width, cls));
+    ++nStores;
+    nBytes += 2ULL * width;
+}
+
+void
+Mhm::minusHash(Addr addr, std::uint64_t current_bits, unsigned width,
+               hashing::ValueClass cls)
+{
+    accumulate(-hashValue(addr, current_bits, width, cls));
+    nBytes += width;
+}
+
+void
+Mhm::plusHash(Addr addr, std::uint64_t bits, unsigned width,
+              hashing::ValueClass cls)
+{
+    accumulate(hashValue(addr, bits, width, cls));
+    nBytes += width;
+}
+
+ClusteredMhm::ClusteredMhm(const hashing::LocationHasher &hasher,
+                           hashing::FpRoundMode fp_mode,
+                           std::size_t clusters, DispatchPolicy policy,
+                           std::uint64_t seed)
+    : Mhm(hasher, fp_mode), partials(clusters), opCounts(clusters, 0),
+      policy(policy), rng(seed)
+{
+    ICHECK_ASSERT(clusters > 0, "clustered MHM needs at least one cluster");
+}
+
+hashing::ModHash
+ClusteredMhm::th() const
+{
+    hashing::ModHash sum;
+    for (const auto &partial : partials)
+        sum += partial;
+    return sum;
+}
+
+void
+ClusteredMhm::accumulate(hashing::ModHash delta)
+{
+    std::size_t idx;
+    switch (policy) {
+      case DispatchPolicy::RoundRobin:
+        idx = nextCluster;
+        nextCluster = (nextCluster + 1) % partials.size();
+        break;
+      case DispatchPolicy::Random:
+        idx = static_cast<std::size_t>(rng.below(partials.size()));
+        break;
+      default:
+        ICHECK_PANIC("unknown DispatchPolicy");
+    }
+    partials[idx] += delta;
+    ++opCounts[idx];
+}
+
+void
+ClusteredMhm::clearState()
+{
+    for (auto &partial : partials)
+        partial = hashing::ModHash{};
+    nextCluster = 0;
+}
+
+void
+ClusteredMhm::loadState(hashing::ModHash value)
+{
+    clearState();
+    partials[0] = value;
+}
+
+std::unique_ptr<Mhm>
+makeMhm(const hashing::LocationHasher &hasher, const MhmConfig &config)
+{
+    if (config.clustered) {
+        return std::make_unique<ClusteredMhm>(hasher, config.fpMode,
+                                              config.clusters,
+                                              config.dispatch,
+                                              config.dispatchSeed);
+    }
+    return std::make_unique<BasicMhm>(hasher, config.fpMode);
+}
+
+} // namespace icheck::mhm

@@ -1,0 +1,58 @@
+#include "race/benign_filter.hpp"
+
+#include <set>
+
+#include "support/logging.hpp"
+
+namespace icheck::race
+{
+
+FilterReport
+classifyRaces(const check::ProgramFactory &factory,
+              const sim::MachineConfig &machine_template, int runs,
+              std::uint64_t base_seed)
+{
+    ICHECK_ASSERT(runs >= 2, "need at least two runs to flip races");
+    FilterReport report;
+    report.runs = runs;
+
+    mem::ReplayLog log;
+    std::set<HashWord> final_hashes;
+    for (int run = 0; run < runs; ++run) {
+        sim::MachineConfig mc = machine_template;
+        mc.schedSeed = base_seed + static_cast<std::uint64_t>(run);
+        const auto mode = run == 0
+                              ? mem::DeterministicAllocator::Mode::Record
+                              : mem::DeterministicAllocator::Mode::Replay;
+        sim::Machine machine(mc, &log, mode);
+
+        auto checker = check::makeChecker(check::Scheme::HwInc);
+        checker->attach(machine);
+        machine.setRunStartHandler([&] { checker->onRunStart(); });
+        RaceDetector detector;
+        machine.addListener(&detector);
+
+        HashWord final_hash = 0;
+        machine.setCheckpointHandler(
+            [&](const sim::CheckpointInfo &info) {
+                if (info.kind == sim::CheckpointKind::ProgramEnd)
+                    final_hash = checker->checkpointHash().raw();
+            });
+        auto program = factory();
+        machine.run(*program);
+        final_hashes.insert(final_hash);
+        report.races.insert(detector.races().begin(),
+                            detector.races().end());
+    }
+
+    report.distinctStates = final_hashes.size();
+    if (report.races.empty())
+        report.verdict = RaceVerdict::NoRaces;
+    else if (final_hashes.size() == 1)
+        report.verdict = RaceVerdict::Benign;
+    else
+        report.verdict = RaceVerdict::Harmful;
+    return report;
+}
+
+} // namespace icheck::race

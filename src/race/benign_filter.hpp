@@ -1,0 +1,56 @@
+#ifndef ICHECK_RACE_BENIGN_FILTER_HPP
+#define ICHECK_RACE_BENIGN_FILTER_HPP
+
+/**
+ * @file
+ * Benign-race filtering via fast state comparison (Section 6.1).
+ *
+ * Narayanasamy et al. classify a race as benign if flipping its order
+ * leaves the memory state unchanged; the expensive part is comparing
+ * states. InstantCheck's contribution is making that comparison a 64-bit
+ * hash compare. This filter runs a program under many schedules (which
+ * exercises both orders of each race), detects races with the happens-
+ * before detector, and classifies: if every schedule that exercised the
+ * races reaches the same state hash, the races are benign.
+ */
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "check/checker.hpp"
+#include "check/driver.hpp"
+#include "race/race_detector.hpp"
+#include "support/types.hpp"
+
+namespace icheck::race
+{
+
+/** Verdict for the set of races a program exhibits. */
+enum class RaceVerdict
+{
+    NoRaces,  ///< Nothing to classify.
+    Benign,   ///< Races exist; final state hash is schedule-invariant.
+    Harmful,  ///< Races exist and change the final state.
+};
+
+/** Result of one filtering campaign. */
+struct FilterReport
+{
+    RaceVerdict verdict = RaceVerdict::NoRaces;
+    std::set<RaceRecord> races;    ///< Union over all runs.
+    std::size_t distinctStates = 0;
+    int runs = 0;
+};
+
+/**
+ * Run @p factory under @p runs schedules with a HW checker attached and
+ * a race detector listening; classify the program's races.
+ */
+FilterReport classifyRaces(const check::ProgramFactory &factory,
+                           const sim::MachineConfig &machine_template,
+                           int runs, std::uint64_t base_seed);
+
+} // namespace icheck::race
+
+#endif // ICHECK_RACE_BENIGN_FILTER_HPP

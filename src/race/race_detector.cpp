@@ -1,0 +1,163 @@
+#include "race/race_detector.hpp"
+
+#include <sstream>
+
+#include "support/logging.hpp"
+
+namespace icheck::race
+{
+
+std::string
+raceKindName(RaceKind kind)
+{
+    switch (kind) {
+      case RaceKind::WriteWrite: return "write-write";
+      case RaceKind::ReadWrite:  return "read-write";
+      case RaceKind::WriteRead:  return "write-read";
+    }
+    ICHECK_PANIC("unknown RaceKind");
+}
+
+std::vector<std::string>
+describeRaces(const std::set<RaceRecord> &races,
+              const sim::Machine &machine)
+{
+    std::vector<std::string> lines;
+    lines.reserve(races.size());
+    for (const RaceRecord &race : races) {
+        std::ostringstream os;
+        os << raceKindName(race.kind) << " race between t" << race.first
+           << " and t" << race.second << " on ";
+        if (const mem::Block *block =
+                machine.allocator().findHistorical(race.granule)) {
+            os << "site:" << block->site << "+0x" << std::hex
+               << race.granule - block->addr << std::dec;
+        } else if (const mem::GlobalVar *var =
+                       machine.staticSegment().findContaining(
+                           race.granule)) {
+            os << "global:" << var->name << "+0x" << std::hex
+               << race.granule - var->addr << std::dec;
+        } else {
+            os << "addr:0x" << std::hex << race.granule << std::dec;
+        }
+        lines.push_back(os.str());
+    }
+    return lines;
+}
+
+VectorClock &
+RaceDetector::threadClock(ThreadId tid)
+{
+    if (tid >= threads.size()) {
+        threads.resize(tid + 1);
+        // Each thread starts with its own component at 1 so that epochs
+        // are never confused with the zero clock.
+        threads[tid].tick(tid);
+    }
+    return threads[tid];
+}
+
+void
+RaceDetector::checkWrite(ThreadId tid, Addr granule)
+{
+    VectorClock &now = threadClock(tid);
+    LocationState &loc = locations[granule];
+
+    if (loc.lastWrite.valid() && loc.lastWrite.tid != tid &&
+        !loc.lastWrite.happensBefore(now)) {
+        found.insert({granule, loc.lastWrite.tid, tid,
+                      RaceKind::WriteWrite});
+    }
+    for (const auto &[reader, clock] : loc.reads) {
+        if (reader != tid && clock > now.get(reader))
+            found.insert({granule, reader, tid, RaceKind::ReadWrite});
+    }
+    loc.lastWrite = {tid, now.get(tid)};
+    loc.reads.clear();
+}
+
+void
+RaceDetector::checkRead(ThreadId tid, Addr granule)
+{
+    VectorClock &now = threadClock(tid);
+    LocationState &loc = locations[granule];
+    if (loc.lastWrite.valid() && loc.lastWrite.tid != tid &&
+        !loc.lastWrite.happensBefore(now)) {
+        found.insert({granule, loc.lastWrite.tid, tid,
+                      RaceKind::WriteRead});
+    }
+    loc.reads[tid] = now.get(tid);
+}
+
+void
+RaceDetector::onStore(const sim::StoreEvent &event)
+{
+    // Instrumentation stores (zeroing/scrubbing) are InstantCheck-internal
+    // and must not be analyzed as program accesses.
+    if (event.domain != sim::CostDomain::Native)
+        return;
+    ++nAccesses;
+    // A store may straddle two granules.
+    const Addr first = granuleOf(event.addr);
+    const Addr last = granuleOf(event.addr + event.width - 1);
+    checkWrite(event.tid, first);
+    if (last != first)
+        checkWrite(event.tid, last);
+}
+
+void
+RaceDetector::onLoad(const sim::LoadEvent &event)
+{
+    ++nAccesses;
+    const Addr first = granuleOf(event.addr);
+    const Addr last = granuleOf(event.addr + event.width - 1);
+    checkRead(event.tid, first);
+    if (last != first)
+        checkRead(event.tid, last);
+}
+
+void
+RaceDetector::onSync(const sim::SyncEvent &event)
+{
+    VectorClock &now = threadClock(event.tid);
+    switch (event.kind) {
+      case sim::SyncKind::LockAcquire:
+        now.join(mutexClocks[event.object]);
+        break;
+      case sim::SyncKind::LockRelease:
+        mutexClocks[event.object].join(now);
+        now.tick(event.tid);
+        break;
+      case sim::SyncKind::BarrierArrive:
+        barrierGather[{event.object, event.epoch}].join(now);
+        break;
+      case sim::SyncKind::BarrierLeave:
+        now.join(barrierGather[{event.object, event.epoch}]);
+        now.tick(event.tid);
+        break;
+      case sim::SyncKind::CondSignal:
+        condClocks[event.object].join(now);
+        now.tick(event.tid);
+        break;
+      case sim::SyncKind::CondWait:
+        // The wakeup edge is approximated by the mutex reacquisition that
+        // pthreads semantics force after cond_wait; joining the cond clock
+        // here additionally orders signal-before-wait pairs.
+        now.join(condClocks[event.object]);
+        break;
+      case sim::SyncKind::ThreadStart:
+      case sim::SyncKind::ThreadFinish:
+        break;
+    }
+}
+
+std::set<Addr>
+RaceDetector::racyGranules() const
+{
+    std::set<Addr> granules;
+    for (const RaceRecord &race : found)
+        granules.insert(race.granule);
+    return granules;
+}
+
+} // namespace icheck::race

@@ -1,0 +1,75 @@
+#include "race/vector_clock.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace icheck::race
+{
+
+std::uint64_t
+VectorClock::get(ThreadId tid) const
+{
+    return tid < components.size() ? components[tid] : 0;
+}
+
+void
+VectorClock::set(ThreadId tid, std::uint64_t value)
+{
+    if (tid >= components.size())
+        components.resize(tid + 1, 0);
+    components[tid] = value;
+}
+
+void
+VectorClock::tick(ThreadId tid)
+{
+    set(tid, get(tid) + 1);
+}
+
+void
+VectorClock::join(const VectorClock &other)
+{
+    if (other.components.size() > components.size())
+        components.resize(other.components.size(), 0);
+    for (std::size_t i = 0; i < other.components.size(); ++i)
+        components[i] = std::max(components[i], other.components[i]);
+}
+
+bool
+VectorClock::precedesOrEquals(const VectorClock &other) const
+{
+    for (std::size_t i = 0; i < components.size(); ++i) {
+        if (components[i] > other.get(static_cast<ThreadId>(i)))
+            return false;
+    }
+    return true;
+}
+
+std::string
+VectorClock::render() const
+{
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t i = 0; i < components.size(); ++i) {
+        if (i > 0)
+            os << ",";
+        os << components[i];
+    }
+    os << "]";
+    return os.str();
+}
+
+bool
+VectorClock::operator==(const VectorClock &other) const
+{
+    const std::size_t n =
+        std::max(components.size(), other.components.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (get(static_cast<ThreadId>(i)) !=
+            other.get(static_cast<ThreadId>(i)))
+            return false;
+    }
+    return true;
+}
+
+} // namespace icheck::race

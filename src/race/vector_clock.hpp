@@ -1,0 +1,75 @@
+#ifndef ICHECK_RACE_VECTOR_CLOCK_HPP
+#define ICHECK_RACE_VECTOR_CLOCK_HPP
+
+/**
+ * @file
+ * Vector clocks for the happens-before race detector (Section 6.1
+ * substrate). Lamport-style: each thread owns one component; joins take
+ * componentwise maxima.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace icheck::race
+{
+
+/**
+ * A grow-on-demand vector clock. Missing components read as zero.
+ */
+class VectorClock
+{
+  public:
+    /** Component for @p tid. */
+    std::uint64_t get(ThreadId tid) const;
+
+    /** Set component @p tid to @p value. */
+    void set(ThreadId tid, std::uint64_t value);
+
+    /** Increment component @p tid (a local step of that thread). */
+    void tick(ThreadId tid);
+
+    /** Componentwise maximum with @p other. */
+    void join(const VectorClock &other);
+
+    /**
+     * True if this clock happens-before-or-equals @p other
+     * (componentwise <=).
+     */
+    bool precedesOrEquals(const VectorClock &other) const;
+
+    /** Render "[3,0,7]" for diagnostics. */
+    std::string render() const;
+
+    bool operator==(const VectorClock &) const;
+
+  private:
+    std::vector<std::uint64_t> components;
+};
+
+/**
+ * A FastTrack-style epoch: one (thread, clock-value) pair. An epoch (t, c)
+ * happens-before a clock V iff c <= V[t] — an O(1) check that suffices for
+ * last-write tracking.
+ */
+struct Epoch
+{
+    ThreadId tid = invalidThreadId;
+    std::uint64_t clock = 0;
+
+    /** Whether this epoch is ordered before @p now. */
+    bool
+    happensBefore(const VectorClock &now) const
+    {
+        return tid == invalidThreadId || clock <= now.get(tid);
+    }
+
+    bool valid() const { return tid != invalidThreadId; }
+};
+
+} // namespace icheck::race
+
+#endif // ICHECK_RACE_VECTOR_CLOCK_HPP

@@ -1,0 +1,81 @@
+#include "sim/context.hpp"
+
+#include "support/logging.hpp"
+
+namespace icheck::sim
+{
+
+SetupCtx::SetupCtx(Machine &machine)
+    : machine(machine), inputRng(machine.cfg.inputSeed)
+{}
+
+Addr
+SetupCtx::global(const std::string &name, const mem::TypeRef &type)
+{
+    return machine.statics.reserve(name, type);
+}
+
+Addr
+SetupCtx::addressOf(const std::string &name) const
+{
+    return machine.statics.addressOf(name);
+}
+
+Addr
+SetupCtx::alloc(const std::string &site, const mem::TypeRef &type)
+{
+    const Addr addr = machine.heap.allocate(site, type);
+    const mem::Block *block = machine.heap.findLive(addr);
+    for (auto *listener : machine.listeners)
+        listener->onAlloc(*block);
+    return addr;
+}
+
+MutexId
+SetupCtx::mutex()
+{
+    return machine.createMutex();
+}
+
+BarrierId
+SetupCtx::barrier(std::uint32_t parties)
+{
+    return machine.createBarrier(parties);
+}
+
+CondId
+SetupCtx::cond()
+{
+    return machine.createCond();
+}
+
+ThreadId
+SetupCtx::threadsPlanned() const
+{
+    ICHECK_ASSERT(machine.program != nullptr, "setup outside run()");
+    return machine.program->numThreads();
+}
+
+ThreadCtx::ThreadCtx(Machine &machine, ThreadId tid)
+    : machine(machine), threadId(tid)
+{}
+
+ThreadId
+ThreadCtx::nthreads() const
+{
+    return machine.numThreads();
+}
+
+std::uint64_t
+ThreadCtx::inputSeed() const
+{
+    return machine.cfg.inputSeed;
+}
+
+Addr
+ThreadCtx::global(const std::string &name) const
+{
+    return machine.statics.addressOf(name);
+}
+
+} // namespace icheck::sim

@@ -1,0 +1,256 @@
+#ifndef ICHECK_SIM_CONTEXT_HPP
+#define ICHECK_SIM_CONTEXT_HPP
+
+/**
+ * @file
+ * The APIs a simulated program uses to touch the machine.
+ *
+ * SetupCtx is the single-threaded initialization facade: it declares
+ * globals, builds the initial memory image directly (before hashing
+ * starts), creates synchronization objects, and provides the deterministic
+ * input RNG.
+ *
+ * ThreadCtx is the worker-thread facade: typed loads/stores that flow
+ * through the cache/MHM/listener pipeline, malloc/free with
+ * zero-on-allocate, pthreads-style synchronization, intercepted library
+ * calls, compute-cost ticks, and the hashed output stream.
+ */
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+
+#include "mem/type_desc.hpp"
+#include "sim/machine.hpp"
+#include "support/rng.hpp"
+#include "support/types.hpp"
+
+namespace icheck::sim
+{
+
+namespace detail
+{
+
+/** Raw little-endian bits of a storable value. */
+template <typename T>
+std::uint64_t
+toBits(T value)
+{
+    static_assert(std::is_arithmetic_v<T> && sizeof(T) <= 8,
+                  "storable types are arithmetic and at most 8 bytes");
+    if constexpr (std::is_same_v<T, float>) {
+        return std::bit_cast<std::uint32_t>(value);
+    } else if constexpr (std::is_same_v<T, double>) {
+        return std::bit_cast<std::uint64_t>(value);
+    } else {
+        using U = std::make_unsigned_t<T>;
+        return static_cast<std::uint64_t>(static_cast<U>(value));
+    }
+}
+
+/** Reverse of toBits. */
+template <typename T>
+T
+fromBits(std::uint64_t bits)
+{
+    if constexpr (std::is_same_v<T, float>) {
+        return std::bit_cast<float>(static_cast<std::uint32_t>(bits));
+    } else if constexpr (std::is_same_v<T, double>) {
+        return std::bit_cast<double>(bits);
+    } else {
+        using U = std::make_unsigned_t<T>;
+        return static_cast<T>(static_cast<U>(bits));
+    }
+}
+
+/** ValueClass a store of T carries (the compiler's FP marking, Section 5). */
+template <typename T>
+constexpr hashing::ValueClass
+classOf()
+{
+    if constexpr (std::is_same_v<T, float>)
+        return hashing::ValueClass::Float;
+    else if constexpr (std::is_same_v<T, double>)
+        return hashing::ValueClass::Double;
+    else
+        return hashing::ValueClass::Integer;
+}
+
+} // namespace detail
+
+/**
+ * Single-threaded program-initialization facade. Valid only inside
+ * Program::setup().
+ */
+class SetupCtx
+{
+  public:
+    explicit SetupCtx(Machine &machine);
+
+    /** Declare a global of shape @p type; returns its address. */
+    Addr global(const std::string &name, const mem::TypeRef &type);
+
+    /** Address of a previously declared global. */
+    Addr addressOf(const std::string &name) const;
+
+    /** Initialize memory directly (pre-hashing; part of the input state). */
+    template <typename T>
+    void
+    init(Addr addr, T value)
+    {
+        machine.mem.writeValue(addr, sizeof(T), detail::toBits(value));
+    }
+
+    /** Read back a value written during setup. */
+    template <typename T>
+    T
+    peek(Addr addr) const
+    {
+        return detail::fromBits<T>(machine.mem.readValue(addr, sizeof(T)));
+    }
+
+    /** Allocate an initial-state heap block (fresh memory is zero). */
+    Addr alloc(const std::string &site, const mem::TypeRef &type);
+
+    MutexId mutex();
+    BarrierId barrier(std::uint32_t parties);
+    CondId cond();
+
+    /** Deterministic input-data RNG (same across runs/schedules). */
+    Xoshiro256 &rng() { return inputRng; }
+
+    /** The run's input seed. */
+    std::uint64_t inputSeed() const { return machine.cfg.inputSeed; }
+
+    /** Number of worker threads the machine will run. */
+    ThreadId threadsPlanned() const;
+
+  private:
+    Machine &machine;
+    Xoshiro256 inputRng;
+};
+
+/**
+ * Worker-thread facade. Valid only inside Program::threadMain(); all calls
+ * execute on the simulated thread under the serializing scheduler.
+ */
+class ThreadCtx
+{
+  public:
+    ThreadCtx(Machine &machine, ThreadId tid);
+
+    /** This thread's id. */
+    ThreadId tid() const { return threadId; }
+
+    /** Total worker threads. */
+    ThreadId nthreads() const;
+
+    /** The run's input seed (for thread-local algorithmic RNGs). */
+    std::uint64_t inputSeed() const;
+
+    /** Typed load through the cache model. */
+    template <typename T>
+    T
+    load(Addr addr)
+    {
+        return detail::fromBits<T>(machine.loadAccess(addr, sizeof(T)));
+    }
+
+    /** Typed store through the write buffer / MHM pipeline. */
+    template <typename T>
+    void
+    store(Addr addr, T value)
+    {
+        machine.storeAccess(addr, sizeof(T), detail::toBits(value),
+                            detail::classOf<T>(), CostDomain::Native);
+    }
+
+    /** Load a simulated pointer. */
+    Addr loadPtr(Addr addr) { return load<std::uint64_t>(addr); }
+
+    /** Store a simulated pointer. */
+    void storePtr(Addr addr, Addr value)
+    {
+        store<std::uint64_t>(addr, value);
+    }
+
+    /** Address of a global declared in setup. */
+    Addr global(const std::string &name) const;
+
+    /** Account @p n instructions of pure compute. */
+    void tick(InstCount n) { machine.tick(n); }
+
+    /** malloc with site annotation; zero-filled under instrumentation. */
+    Addr malloc(const std::string &site, const mem::TypeRef &type)
+    {
+        return machine.allocBlock(site, type);
+    }
+
+    /** free; scrubbed under instrumentation. */
+    void free(Addr addr) { machine.freeBlock(addr); }
+
+    void lock(MutexId id) { machine.lockMutex(id); }
+    void unlock(MutexId id) { machine.unlockMutex(id); }
+    void barrier(BarrierId id) { machine.barrierWait(id); }
+    void condWait(CondId cond, MutexId mutex)
+    {
+        machine.condWait(cond, mutex);
+    }
+    void condSignal(CondId cond) { machine.condSignal(cond); }
+    void condBroadcast(CondId cond) { machine.condBroadcast(cond); }
+
+    /** Programmer-specified determinism checkpoint (Section 2.3). */
+    void checkpoint() { machine.manualCheckpoint(); }
+
+    /**
+     * stop_hashing (Fig 4): subsequent stores by this thread are not
+     * hashed by any scheme — for tool code running in the checked
+     * thread's address space (Section 3.3). Unhashed stores should
+     * target scratch space (see scratch()) so the traversal scheme's
+     * view stays consistent.
+     */
+    void stopHashing() { machine.setThreadHashing(false); }
+
+    /** start_hashing: resume hashing this thread's stores. */
+    void startHashing() { machine.setThreadHashing(true); }
+
+    /**
+     * Base of this thread's 1 MiB tool-scratch region: outside the
+     * checked state (not part of heap or statics, never traversed).
+     */
+    Addr
+    scratch() const
+    {
+        return mem::scratchBase +
+               static_cast<Addr>(threadId) * (1u << 20);
+    }
+
+    /** Intercepted rand(): same sequence per thread across runs. */
+    std::uint64_t rand64() { return machine.interceptedRand(); }
+
+    /** Intercepted gettimeofday() in microseconds (virtual time). */
+    std::uint64_t timeOfDayUs() { return machine.interceptedTimeUs(); }
+
+    /** Write to the program output stream (hashed per Section 4.3). */
+    void output(const void *data, std::size_t len)
+    {
+        machine.writeOutput(static_cast<const std::uint8_t *>(data), len);
+    }
+
+    /** Convenience: write one value to the output stream. */
+    template <typename T>
+    void
+    outputValue(T value)
+    {
+        output(&value, sizeof(T));
+    }
+
+  private:
+    Machine &machine;
+    ThreadId threadId;
+};
+
+} // namespace icheck::sim
+
+#endif // ICHECK_SIM_CONTEXT_HPP

@@ -1,0 +1,51 @@
+#ifndef ICHECK_SIM_CORE_HPP
+#define ICHECK_SIM_CORE_HPP
+
+/**
+ * @file
+ * A simulated core: instruction counters, private L1, write buffer, and
+ * the per-core Memory-State Hashing Module.
+ */
+
+#include <memory>
+
+#include "cache/l1_cache.hpp"
+#include "cache/write_buffer.hpp"
+#include "mhm/mhm.hpp"
+#include "support/types.hpp"
+
+namespace icheck::sim
+{
+
+/**
+ * Per-core microarchitectural state. Owned by the Machine; mutated only
+ * while the core's current thread (or the scheduler) runs.
+ */
+struct Core
+{
+    Core(CoreId id, const cache::CacheConfig &cache_cfg,
+         std::size_t wb_capacity, cache::DrainPolicy wb_policy,
+         std::uint64_t wb_seed, std::unique_ptr<mhm::Mhm> module)
+        : id(id), l1(cache_cfg), wb(wb_capacity, wb_policy, wb_seed),
+          mhm(std::move(module))
+    {}
+
+    CoreId id;
+
+    /** Instructions retired on behalf of the program under test. */
+    InstCount nativeInstrs = 0;
+
+    /** Instructions retired on behalf of InstantCheck instrumentation. */
+    InstCount overheadInstrs = 0;
+
+    cache::L1Cache l1;
+    cache::WriteBuffer wb;
+    std::unique_ptr<mhm::Mhm> mhm;
+
+    /** Thread currently resident (invalid when idle). */
+    ThreadId currentThread = invalidThreadId;
+};
+
+} // namespace icheck::sim
+
+#endif // ICHECK_SIM_CORE_HPP

@@ -1,0 +1,67 @@
+#ifndef ICHECK_SIM_LAMBDA_PROGRAM_HPP
+#define ICHECK_SIM_LAMBDA_PROGRAM_HPP
+
+/**
+ * @file
+ * A Program assembled from closures — the quickest way to express the
+ * small parallel fragments used in tests, examples, and the systematic-
+ * testing explorer (e.g. the Figure 1 "G += L" example).
+ */
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "sim/context.hpp"
+#include "sim/program.hpp"
+
+namespace icheck::sim
+{
+
+/**
+ * Program whose setup and thread body are std::functions.
+ */
+class LambdaProgram : public Program
+{
+  public:
+    using SetupFn = std::function<void(SetupCtx &)>;
+    using MainFn = std::function<void(ThreadCtx &)>;
+
+    /**
+     * @param name     Report name.
+     * @param threads  Worker count.
+     * @param setup_fn Runs single-threaded before hashing.
+     * @param main_fn  Body of every worker (dispatch on ctx.tid()).
+     */
+    LambdaProgram(std::string name, ThreadId threads, SetupFn setup_fn,
+                  MainFn main_fn)
+        : progName(std::move(name)), threads(threads),
+          setupFn(std::move(setup_fn)), mainFn(std::move(main_fn))
+    {}
+
+    std::string name() const override { return progName; }
+    ThreadId numThreads() const override { return threads; }
+
+    void
+    setup(SetupCtx &ctx) override
+    {
+        if (setupFn)
+            setupFn(ctx);
+    }
+
+    void
+    threadMain(ThreadCtx &ctx) override
+    {
+        mainFn(ctx);
+    }
+
+  private:
+    std::string progName;
+    ThreadId threads;
+    SetupFn setupFn;
+    MainFn mainFn;
+};
+
+} // namespace icheck::sim
+
+#endif // ICHECK_SIM_LAMBDA_PROGRAM_HPP

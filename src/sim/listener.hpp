@@ -1,0 +1,100 @@
+#ifndef ICHECK_SIM_LISTENER_HPP
+#define ICHECK_SIM_LISTENER_HPP
+
+/**
+ * @file
+ * Observation interface onto a simulated run.
+ *
+ * Software InstantCheck schemes, the race detector, and ad-hoc analysis
+ * tools subscribe here. This is the repo's substitute for Pin
+ * instrumentation callbacks: every simulated memory access, allocation,
+ * synchronization operation, and output write is reported.
+ */
+
+#include <cstdint>
+
+#include "hashing/state_hash.hpp"
+#include "mem/alloc.hpp"
+#include "support/types.hpp"
+
+namespace icheck::sim
+{
+
+/** Whose cost account an access belongs to. */
+enum class CostDomain : std::uint8_t
+{
+    Native,   ///< The program under test.
+    Overhead, ///< Instrumentation added by InstantCheck (zeroing etc.).
+};
+
+/** One store, observed after the value is in simulated memory. */
+struct StoreEvent
+{
+    ThreadId tid = 0;
+    CoreId core = 0;
+    Addr addr = 0;
+    std::uint64_t oldBits = 0;
+    std::uint64_t newBits = 0;
+    unsigned width = 0;
+    hashing::ValueClass cls = hashing::ValueClass::Integer;
+    CostDomain domain = CostDomain::Native;
+
+    /**
+     * False when the store happened inside a stop_hashing window
+     * (Section 3.3): software incremental checkers must skip it, exactly
+     * as the MHM does.
+     */
+    bool hashed = true;
+};
+
+/** One load. */
+struct LoadEvent
+{
+    ThreadId tid = 0;
+    CoreId core = 0;
+    Addr addr = 0;
+    unsigned width = 0;
+};
+
+/** Synchronization event kinds. */
+enum class SyncKind : std::uint8_t
+{
+    LockAcquire,
+    LockRelease,
+    BarrierArrive,
+    BarrierLeave,
+    CondWait,
+    CondSignal,
+    ThreadStart,
+    ThreadFinish,
+};
+
+/** One synchronization operation. */
+struct SyncEvent
+{
+    SyncKind kind;
+    ThreadId tid = 0;
+    std::uint32_t object = 0; ///< Mutex/barrier/cond id (0 for thread ops).
+    std::uint64_t epoch = 0;  ///< Barrier epoch, when applicable.
+};
+
+/**
+ * Subscriber to run events. All callbacks fire on the currently running
+ * simulated thread; because execution is serialized, no locking is needed.
+ */
+class AccessListener
+{
+  public:
+    virtual ~AccessListener() = default;
+
+    virtual void onStore(const StoreEvent &) {}
+    virtual void onLoad(const LoadEvent &) {}
+    virtual void onSync(const SyncEvent &) {}
+    virtual void onAlloc(const mem::Block &) {}
+    virtual void onFree(const mem::Block &) {}
+    virtual void onOutput(ThreadId, const std::uint8_t *, std::size_t) {}
+};
+
+} // namespace icheck::sim
+
+#endif // ICHECK_SIM_LISTENER_HPP

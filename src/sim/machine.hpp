@@ -1,0 +1,299 @@
+#ifndef ICHECK_SIM_MACHINE_HPP
+#define ICHECK_SIM_MACHINE_HPP
+
+/**
+ * @file
+ * The simulated multicore machine.
+ *
+ * A Machine owns the shared memory, the cores (each with an L1 cache,
+ * write buffer, and MHM), the simulated threads, and the synchronization
+ * objects of one program run. It executes a Program under a serializing
+ * scheduler: exactly one simulated thread runs at any time, and every
+ * scheduling decision comes from the (seeded) Scheduler, making the whole
+ * run a pure function of (program, input seed, scheduler seed).
+ *
+ * A Machine instance executes exactly one run; the determinism driver
+ * constructs a fresh Machine per run.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cache/write_buffer.hpp"
+#include "hashing/location_hash.hpp"
+#include "mem/alloc.hpp"
+#include "mem/memory.hpp"
+#include "mem/static_segment.hpp"
+#include "mhm/mhm.hpp"
+#include "sim/core.hpp"
+#include "sim/listener.hpp"
+#include "sim/program.hpp"
+#include "sim/sched.hpp"
+#include "sim/sync.hpp"
+#include "sim/thread.hpp"
+#include "support/stats.hpp"
+#include "support/types.hpp"
+
+namespace icheck::sim
+{
+
+/** Full configuration of one simulated run. */
+struct MachineConfig
+{
+    CoreId numCores = 8;
+
+    /** Seed for the default RandomScheduler (ignored if one is injected). */
+    std::uint64_t schedSeed = 1;
+
+    /** Seed for program input data and intercepted library calls. */
+    std::uint64_t inputSeed = 42;
+
+    std::uint64_t minQuantum = 20;
+    std::uint64_t maxQuantum = 200;
+    double migrateProb = 0.05;
+
+    cache::CacheConfig cacheCfg{};
+    std::size_t wbCapacity = 16;
+    cache::DrainPolicy wbPolicy = cache::DrainPolicy::Fifo;
+
+    mhm::MhmConfig mhmCfg{};
+    hashing::HasherKind hasherKind = hashing::HasherKind::Crc64;
+
+    /** Whether the FP round-off unit is active during this run. */
+    bool fpRoundingEnabled = true;
+};
+
+/** Kind of a determinism checkpoint (Section 2.3). */
+enum class CheckpointKind : std::uint8_t
+{
+    Barrier,    ///< A pthread-style barrier completed.
+    Manual,     ///< Programmer-specified point (e.g., loop iteration end).
+    ProgramEnd, ///< All threads finished.
+};
+
+/** Information passed to the checkpoint handler. */
+struct CheckpointInfo
+{
+    CheckpointKind kind;
+    std::uint64_t index; ///< 0-based sequence number within the run.
+    ThreadId tid;        ///< Thread at the checkpoint (invalid at end).
+};
+
+/** Aggregate results of one run. */
+struct RunResult
+{
+    std::uint64_t checkpoints = 0;
+    InstCount nativeInstrs = 0;
+    InstCount overheadInstrs = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t storesHashed = 0;
+};
+
+/**
+ * Pseudo lock id used for the allocator's internal serialization in sync
+ * events (real mallocs take a lock; the happens-before detector needs
+ * that edge to order frees before reuses).
+ */
+inline constexpr std::uint32_t allocatorLockId = 0xffffffffu;
+
+/** Thrown when a run cannot proceed (e.g., deadlock). */
+class SimError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+class SetupCtx;
+class ThreadCtx;
+
+/**
+ * One simulated machine executing one run. See file comment.
+ */
+class Machine
+{
+  public:
+    /**
+     * @param config     Run configuration.
+     * @param shared_log Malloc-replay log shared across runs (may be null,
+     *                   in which case a private log is used).
+     * @param alloc_mode Record (log addresses) or Replay (serve them).
+     */
+    explicit Machine(
+        const MachineConfig &config,
+        mem::ReplayLog *shared_log = nullptr,
+        mem::DeterministicAllocator::Mode alloc_mode =
+            mem::DeterministicAllocator::Mode::Record);
+
+    ~Machine();
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    /** Inject a scheduler (default: RandomScheduler from schedSeed). */
+    void setScheduler(std::unique_ptr<Scheduler> sched);
+
+    /** Subscribe @p listener to run events (not owned). */
+    void addListener(AccessListener *listener);
+
+    /** Called after setup(), before the first thread runs. */
+    void setRunStartHandler(std::function<void()> handler);
+
+    /** Called at every determinism checkpoint. */
+    void
+    setCheckpointHandler(std::function<void(const CheckpointInfo &)> handler);
+
+    /**
+     * Called at every scheduling decision with the runnable set, while
+     * every thread is parked (write buffers drained, TH registers saved).
+     * Used by the systematic-testing explorer to compute state-pruning
+     * signatures.
+     */
+    void setDecisionHandler(
+        std::function<void(const std::vector<ThreadId> &)> handler);
+
+    /**
+     * Enable InstantCheck instrumentation: allocations are zero-filled and
+     * freed blocks scrubbed through the hashed store path (the Section 5
+     * "set allocated values to zero" behaviour whose cost is the HW
+     * scheme's only overhead).
+     */
+    void setInstrumentation(bool on) { instrumentation = on; }
+
+    /** Execute @p program to completion. May be called once. */
+    RunResult run(Program &program);
+
+    /// @name Accessors for checkers and tools.
+    /// @{
+    mem::SparseMemory &memory() { return mem; }
+    const mem::SparseMemory &memory() const { return mem; }
+    const mem::DeterministicAllocator &allocator() const { return heap; }
+    const mem::StaticSegment &staticSegment() const { return statics; }
+    const hashing::LocationHasher &hasher() const { return *locHasher; }
+
+    /** Rounding in effect for FP stores this run. */
+    hashing::FpRoundMode effectiveFpMode() const;
+
+    const MachineConfig &config() const { return cfg; }
+    CoreId numCores() const { return static_cast<CoreId>(cores.size()); }
+    Core &core(CoreId id) { return *cores[id]; }
+    const Core &core(CoreId id) const { return *cores[id]; }
+
+    ThreadId numThreads() const
+    {
+        return static_cast<ThreadId>(threads.size());
+    }
+
+    /** Architectural TH of thread @p tid (valid whenever it is parked). */
+    HashWord threadHash(ThreadId tid) const;
+
+    /** Progress counter of thread @p tid (accesses + sync ops executed). */
+    std::uint64_t threadProgress(ThreadId tid) const;
+
+    /**
+     * Fingerprint of the complete simulated state (memory via TH sums,
+     * per-thread local state via progress + load-history hashes, and
+     * synchronization-object states). Only meaningful while all threads
+     * are parked, i.e. inside a decision or checkpoint handler. Used for
+     * state pruning in systematic testing (Section 6.2).
+     */
+    std::uint64_t stateSignature() const;
+
+    /** Output stream written through ctx.output() (Section 4.3). */
+    const std::vector<std::uint8_t> &output() const { return outputBytes; }
+
+    StatGroup &stats() { return statistics; }
+    bool instrumentationActive() const { return instrumentation; }
+
+    /**
+     * Render a full post-run statistics report: machine-level counters,
+     * per-core instruction/cache/MHM numbers, allocator and memory
+     * footprint — in the spirit of a simulator stats dump.
+     */
+    std::string renderStats() const;
+    /// @}
+
+  private:
+    friend class SetupCtx;
+    friend class ThreadCtx;
+
+    /// @name Internal API used by the contexts (simulated-thread side).
+    /// @{
+    std::uint64_t loadAccess(Addr addr, unsigned width);
+    void storeAccess(Addr addr, unsigned width, std::uint64_t bits,
+                     hashing::ValueClass cls, CostDomain domain);
+    void tick(InstCount n);
+    Addr allocBlock(const std::string &site, const mem::TypeRef &type);
+    void freeBlock(Addr addr);
+    void lockMutex(MutexId id);
+    void unlockMutex(MutexId id);
+    void barrierWait(BarrierId id);
+    void condWait(CondId cond, MutexId mutex);
+    void condSignal(CondId cond);
+    void condBroadcast(CondId cond);
+    void manualCheckpoint();
+    void setThreadHashing(bool enabled);
+    std::uint64_t interceptedRand();
+    std::uint64_t interceptedTimeUs();
+    void writeOutput(const std::uint8_t *data, std::size_t len);
+    /// @}
+
+    MutexId createMutex();
+    BarrierId createBarrier(std::uint32_t parties);
+    CondId createCond();
+
+    void threadEntry(ThreadId tid);
+    void yieldCurrent(YieldReason reason);
+    void step();
+    SimThread &cur();
+    Core &curCoreRef();
+
+    void switchIn(ThreadId tid, CoreId core_id);
+    void switchOut(ThreadId tid);
+    void drainWriteBuffer(Core &core);
+    void drainEntry(Core &core, const cache::WriteBufferEntry &entry);
+    void fireCheckpoint(CheckpointKind kind, ThreadId tid);
+    void emitSync(SyncKind kind, ThreadId tid, std::uint32_t object = 0,
+                  std::uint64_t epoch = 0);
+    void zeroRange(Addr addr, std::size_t len);
+    void scrubTyped(Addr addr, const mem::TypeRef &type);
+    void abortAll();
+
+    MachineConfig cfg;
+    mem::SparseMemory mem;
+    mem::StaticSegment statics;
+    mem::ReplayLog privateLog;
+    mem::DeterministicAllocator heap;
+    std::unique_ptr<hashing::LocationHasher> locHasher;
+    std::unique_ptr<Scheduler> scheduler;
+
+    std::vector<std::unique_ptr<Core>> cores;
+    std::vector<std::unique_ptr<SimThread>> threads;
+    std::vector<SimMutex> mutexes;
+    std::vector<SimBarrier> barriers;
+    std::vector<SimCond> conds;
+
+    std::vector<AccessListener *> listeners;
+    std::function<void()> runStartHandler;
+    std::function<void(const CheckpointInfo &)> checkpointHandler;
+    std::function<void(const std::vector<ThreadId> &)> decisionHandler;
+
+    Program *program = nullptr;
+    ThreadId curTid = invalidThreadId;
+    CoreId curCore = invalidCoreId;
+    std::uint64_t checkpointIndex = 0;
+    bool instrumentation = false;
+    bool ran = false;
+    bool threadsLive = false;
+
+    std::vector<std::uint8_t> outputBytes;
+    StatGroup statistics;
+};
+
+} // namespace icheck::sim
+
+#endif // ICHECK_SIM_MACHINE_HPP

@@ -1,0 +1,53 @@
+#ifndef ICHECK_SIM_PROGRAM_HPP
+#define ICHECK_SIM_PROGRAM_HPP
+
+/**
+ * @file
+ * The interface a simulated parallel program implements.
+ *
+ * A Program is the analogue of one of the paper's benchmark applications:
+ * it declares its globals and initial state in setup() (single-threaded,
+ * before hashing starts — this *is* the input state), then runs numThreads
+ * copies of threadMain() under the serializing scheduler.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "support/types.hpp"
+
+namespace icheck::sim
+{
+
+class SetupCtx;
+class ThreadCtx;
+
+/**
+ * A parallel program under test. Instances are single-run: the determinism
+ * driver constructs a fresh instance (via a factory) for every run.
+ */
+class Program
+{
+  public:
+    virtual ~Program() = default;
+
+    /** Short name (used in reports). */
+    virtual std::string name() const = 0;
+
+    /** Number of worker threads. */
+    virtual ThreadId numThreads() const = 0;
+
+    /**
+     * Single-threaded initialization: declare globals, build the initial
+     * memory state, create sync objects. Runs before hashing begins; two
+     * runs with equal input seeds must produce identical initial states.
+     */
+    virtual void setup(SetupCtx &ctx) = 0;
+
+    /** Body of worker thread ctx.tid(). */
+    virtual void threadMain(ThreadCtx &ctx) = 0;
+};
+
+} // namespace icheck::sim
+
+#endif // ICHECK_SIM_PROGRAM_HPP

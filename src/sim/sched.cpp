@@ -1,0 +1,113 @@
+#include "sim/sched.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace icheck::sim
+{
+
+RandomScheduler::RandomScheduler(std::uint64_t seed,
+                                 std::uint64_t min_quantum,
+                                 std::uint64_t max_quantum,
+                                 double migrate_prob)
+    : rng(seed), minQuantum(min_quantum), maxQuantum(max_quantum),
+      migrateProb(migrate_prob)
+{
+    ICHECK_ASSERT(min_quantum >= 1 && min_quantum <= max_quantum,
+                  "bad quantum range");
+}
+
+ThreadId
+RandomScheduler::pick(const std::vector<ThreadId> &runnable)
+{
+    ICHECK_ASSERT(!runnable.empty(), "pick() from empty runnable set");
+    return runnable[rng.below(runnable.size())];
+}
+
+std::uint64_t
+RandomScheduler::quantum()
+{
+    return rng.range(minQuantum, maxQuantum);
+}
+
+CoreId
+RandomScheduler::coreFor(ThreadId tid, CoreId home, CoreId num_cores)
+{
+    (void)tid;
+    if (num_cores > 1 && rng.chance(migrateProb))
+        return static_cast<CoreId>(rng.below(num_cores));
+    return home;
+}
+
+RoundRobinScheduler::RoundRobinScheduler(std::uint64_t fixed_quantum)
+    : fixedQuantum(fixed_quantum)
+{
+    ICHECK_ASSERT(fixed_quantum >= 1, "quantum must be positive");
+}
+
+ThreadId
+RoundRobinScheduler::pick(const std::vector<ThreadId> &runnable)
+{
+    ICHECK_ASSERT(!runnable.empty(), "pick() from empty runnable set");
+    // The smallest tid strictly greater than the last pick, wrapping.
+    for (ThreadId tid : runnable) {
+        if (lastPicked == invalidThreadId || tid > lastPicked) {
+            lastPicked = tid;
+            return tid;
+        }
+    }
+    lastPicked = runnable.front();
+    return lastPicked;
+}
+
+std::uint64_t
+RoundRobinScheduler::quantum()
+{
+    return fixedQuantum;
+}
+
+ScriptedScheduler::ScriptedScheduler(std::vector<std::uint32_t> choices,
+                                     std::uint64_t fixed_quantum,
+                                     bool prefer_previous)
+    : choices(std::move(choices)), fixedQuantum(fixed_quantum),
+      preferPrevious(prefer_previous)
+{
+    ICHECK_ASSERT(fixed_quantum >= 1, "quantum must be positive");
+}
+
+ThreadId
+ScriptedScheduler::pick(const std::vector<ThreadId> &runnable)
+{
+    ICHECK_ASSERT(!runnable.empty(), "pick() from empty runnable set");
+    fanout.push_back(static_cast<std::uint32_t>(runnable.size()));
+
+    std::int32_t prev_index = -1;
+    if (lastPick != invalidThreadId) {
+        const auto it =
+            std::find(runnable.begin(), runnable.end(), lastPick);
+        if (it != runnable.end())
+            prev_index =
+                static_cast<std::int32_t>(it - runnable.begin());
+    }
+    prevIdx.push_back(prev_index);
+
+    std::size_t idx = 0;
+    if (cursor < choices.size()) {
+        idx = std::min<std::size_t>(choices[cursor], runnable.size() - 1);
+        ++cursor;
+    } else if (preferPrevious && prev_index >= 0) {
+        idx = static_cast<std::size_t>(prev_index);
+    }
+    chosen.push_back(static_cast<std::uint32_t>(idx));
+    lastPick = runnable[idx];
+    return lastPick;
+}
+
+std::uint64_t
+ScriptedScheduler::quantum()
+{
+    return fixedQuantum;
+}
+
+} // namespace icheck::sim

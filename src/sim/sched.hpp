@@ -1,0 +1,148 @@
+#ifndef ICHECK_SIM_SCHED_HPP
+#define ICHECK_SIM_SCHED_HPP
+
+/**
+ * @file
+ * Serializing thread schedulers (Section 7.1 methodology).
+ *
+ * The paper evaluates InstantCheck under a testing technique that runs one
+ * thread at a time and switches at synchronization points — the approach of
+ * PCT and CHESS — choosing the next thread randomly. The scheduler is
+ * explicitly *not* part of InstantCheck: in real usage it is whatever tool
+ * the programmer already uses. These schedulers play that role.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/types.hpp"
+
+namespace icheck::sim
+{
+
+/**
+ * Picks which runnable thread executes next, for how many native memory
+ * accesses (the preemption quantum), and on which core.
+ */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    /** Choose one of @p runnable (non-empty, ascending tid order). */
+    virtual ThreadId pick(const std::vector<ThreadId> &runnable) = 0;
+
+    /** Preemption quantum in native accesses for the chosen slice. */
+    virtual std::uint64_t quantum() = 0;
+
+    /**
+     * Core for this slice of @p tid. @p home is the thread's affinity core
+     * (tid mod cores); schedulers may occasionally migrate.
+     */
+    virtual CoreId
+    coreFor(ThreadId tid, CoreId home, CoreId num_cores)
+    {
+        (void)tid;
+        (void)num_cores;
+        return home;
+    }
+};
+
+/**
+ * The paper's random serializing scheduler: uniform thread choice,
+ * uniform quantum in [minQuantum, maxQuantum], occasional migration.
+ */
+class RandomScheduler : public Scheduler
+{
+  public:
+    RandomScheduler(std::uint64_t seed, std::uint64_t min_quantum = 20,
+                    std::uint64_t max_quantum = 200,
+                    double migrate_prob = 0.05);
+
+    ThreadId pick(const std::vector<ThreadId> &runnable) override;
+    std::uint64_t quantum() override;
+    CoreId coreFor(ThreadId tid, CoreId home, CoreId num_cores) override;
+
+  private:
+    Xoshiro256 rng;
+    std::uint64_t minQuantum;
+    std::uint64_t maxQuantum;
+    double migrateProb;
+};
+
+/**
+ * Deterministic round-robin with a fixed quantum; useful as a baseline
+ * "one boring interleaving" scheduler in tests.
+ */
+class RoundRobinScheduler : public Scheduler
+{
+  public:
+    explicit RoundRobinScheduler(std::uint64_t fixed_quantum = 100);
+
+    ThreadId pick(const std::vector<ThreadId> &runnable) override;
+    std::uint64_t quantum() override;
+
+  private:
+    std::uint64_t fixedQuantum;
+    ThreadId lastPicked = invalidThreadId;
+};
+
+/**
+ * Follows a script of choice indices into the runnable list (used by the
+ * systematic-testing explorer of Section 6.2). Once the script is
+ * exhausted, falls back to index 0 — or, with prefer_previous (used for
+ * CHESS-style preemption bounding), to the previously running thread
+ * whenever it is still runnable, making the default continuation
+ * preemption-free.
+ */
+class ScriptedScheduler : public Scheduler
+{
+  public:
+    ScriptedScheduler(std::vector<std::uint32_t> choices,
+                      std::uint64_t fixed_quantum,
+                      bool prefer_previous = false);
+
+    ThreadId pick(const std::vector<ThreadId> &runnable) override;
+    std::uint64_t quantum() override;
+
+    /** Number of scripted choices consumed so far. */
+    std::size_t consumed() const { return cursor; }
+
+    /** Sizes of the runnable sets seen at each decision (for DFS). */
+    const std::vector<std::uint32_t> &decisionFanout() const
+    {
+        return fanout;
+    }
+
+    /** Index actually chosen at each decision. */
+    const std::vector<std::uint32_t> &chosenIndices() const
+    {
+        return chosen;
+    }
+
+    /**
+     * Per decision: index of the previously running thread in that
+     * decision's runnable set, or -1 if it was not runnable (finished or
+     * blocked — choosing someone else is then not a preemption).
+     */
+    const std::vector<std::int32_t> &previousIndices() const
+    {
+        return prevIdx;
+    }
+
+  private:
+    std::vector<std::uint32_t> choices;
+    std::size_t cursor = 0;
+    std::uint64_t fixedQuantum;
+    bool preferPrevious;
+    ThreadId lastPick = invalidThreadId;
+    std::vector<std::uint32_t> fanout;
+    std::vector<std::uint32_t> chosen;
+    std::vector<std::int32_t> prevIdx;
+};
+
+} // namespace icheck::sim
+
+#endif // ICHECK_SIM_SCHED_HPP

@@ -1,0 +1,52 @@
+#ifndef ICHECK_SIM_SYNC_HPP
+#define ICHECK_SIM_SYNC_HPP
+
+/**
+ * @file
+ * Simulated synchronization objects.
+ *
+ * These are plain data manipulated by the machine under the one-runs-at-a-
+ * time invariant of the serializing scheduler, so they need no host
+ * synchronization. Semantics mirror pthreads: Mesa-style mutexes and
+ * condition variables, counting barriers with epochs (the determinism
+ * checkpoints of Section 2.3 hang off barrier completion).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace icheck::sim
+{
+
+/** Identifier types for synchronization objects. */
+using MutexId = std::uint32_t;
+using BarrierId = std::uint32_t;
+using CondId = std::uint32_t;
+
+/** A simulated mutex. */
+struct SimMutex
+{
+    ThreadId owner = invalidThreadId;
+    std::vector<ThreadId> waiters;
+};
+
+/** A simulated counting barrier. */
+struct SimBarrier
+{
+    std::uint32_t parties = 0;
+    std::uint32_t arrived = 0;
+    std::uint64_t epoch = 0;
+    std::vector<ThreadId> waiters;
+};
+
+/** A simulated condition variable. */
+struct SimCond
+{
+    std::vector<ThreadId> waiters;
+};
+
+} // namespace icheck::sim
+
+#endif // ICHECK_SIM_SYNC_HPP

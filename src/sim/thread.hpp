@@ -1,0 +1,110 @@
+#ifndef ICHECK_SIM_THREAD_HPP
+#define ICHECK_SIM_THREAD_HPP
+
+/**
+ * @file
+ * A simulated thread: one host thread plus the handoff machinery that
+ * guarantees exactly one simulated thread runs at a time.
+ *
+ * The scheduler releases a thread's run semaphore and blocks on its done
+ * semaphore; the thread runs until it yields (quantum expiry, sync point,
+ * blocking, or finish), releases done, and re-blocks on run. This makes
+ * every run a pure function of the scheduler's decisions.
+ */
+
+#include <cstdint>
+#include <semaphore>
+#include <thread>
+
+#include "support/types.hpp"
+
+namespace icheck::sim
+{
+
+/** Scheduling state of a simulated thread. */
+enum class ThreadState : std::uint8_t
+{
+    Ready,
+    Running,
+    BlockedMutex,
+    BlockedBarrier,
+    BlockedCond,
+    Finished,
+};
+
+/** Why a running thread handed control back to the scheduler. */
+enum class YieldReason : std::uint8_t
+{
+    Quantum,        ///< Preemption quantum expired.
+    Sync,           ///< Voluntary yield at a synchronization point.
+    BlockedMutex,   ///< Waiting for a mutex.
+    BlockedBarrier, ///< Waiting at a barrier.
+    BlockedCond,    ///< Waiting on a condition variable.
+    Finished,       ///< threadMain returned.
+};
+
+/** Thrown inside a simulated thread when the machine aborts the run. */
+struct AbortRun
+{
+};
+
+/**
+ * Host-thread container and per-thread architectural state.
+ */
+class SimThread
+{
+  public:
+    explicit SimThread(ThreadId id) : tid(id) {}
+
+    SimThread(const SimThread &) = delete;
+    SimThread &operator=(const SimThread &) = delete;
+
+    ThreadId tid;
+    std::thread host;
+    std::binary_semaphore runSem{0};
+    std::binary_semaphore doneSem{0};
+
+    ThreadState state = ThreadState::Ready;
+    YieldReason lastReason = YieldReason::Sync;
+    bool aborting = false;
+
+    /**
+     * True while the thread executes inside a stop_hashing window
+     * (Section 3.3): its stores bypass hashing in every scheme.
+     */
+    bool hashingPaused = false;
+
+    /** Remaining native accesses in the current quantum. */
+    std::int64_t quantum = 0;
+
+    /** Architectural TH register content while descheduled. */
+    HashWord savedTh = 0;
+
+    /** Core the thread last ran on (for migration accounting). */
+    CoreId lastCore = invalidCoreId;
+
+    /** Per-thread counters for intercepted library calls (Section 5). */
+    std::uint64_t randCalls = 0;
+    std::uint64_t timeCalls = 0;
+
+    /**
+     * Monotone progress counter (accesses + sync ops executed). Serves as
+     * a deterministic program-counter proxy for state-pruning signatures
+     * in the systematic-testing explorer.
+     */
+    std::uint64_t progress = 0;
+
+    /**
+     * Order-sensitive hash of every value this thread has loaded (plus
+     * intercepted library-call results). Together with progress it
+     * captures the thread's local state: a thread's continuation is a
+     * deterministic function of its load history. Used by the explorer's
+     * state-pruning signature (and conceptually identical to Light64's
+     * load-value hashing).
+     */
+    std::uint64_t loadHash = 0;
+};
+
+} // namespace icheck::sim
+
+#endif // ICHECK_SIM_THREAD_HPP

@@ -1,0 +1,107 @@
+#include "sim/trace_listener.hpp"
+
+#include <sstream>
+
+namespace icheck::sim
+{
+
+namespace
+{
+
+const char *
+syncKindName(SyncKind kind)
+{
+    switch (kind) {
+      case SyncKind::LockAcquire:   return "lock";
+      case SyncKind::LockRelease:   return "unlock";
+      case SyncKind::BarrierArrive: return "barrier-arrive";
+      case SyncKind::BarrierLeave:  return "barrier-leave";
+      case SyncKind::CondWait:      return "cond-wait";
+      case SyncKind::CondSignal:    return "cond-signal";
+      case SyncKind::ThreadStart:   return "thread-start";
+      case SyncKind::ThreadFinish:  return "thread-finish";
+    }
+    return "?";
+}
+
+} // namespace
+
+TraceListener::TraceListener(Sink sink) : sink(std::move(sink)) {}
+
+TraceListener::TraceListener() : capture(true) {}
+
+void
+TraceListener::emit(const std::string &line)
+{
+    if (capture)
+        captured.push_back(line);
+    else if (sink)
+        sink(line);
+}
+
+void
+TraceListener::onStore(const StoreEvent &event)
+{
+    std::ostringstream os;
+    os << "t" << event.tid << " store" << 8 * event.width << " 0x"
+       << std::hex << event.addr << std::dec << " " << event.oldBits
+       << "->" << event.newBits;
+    if (event.domain == CostDomain::Overhead)
+        os << " [instr]";
+    if (!event.hashed)
+        os << " [unhashed]";
+    emit(os.str());
+}
+
+void
+TraceListener::onLoad(const LoadEvent &event)
+{
+    if (!traceLoads)
+        return;
+    std::ostringstream os;
+    os << "t" << event.tid << " load" << 8 * event.width << " 0x"
+       << std::hex << event.addr << std::dec;
+    emit(os.str());
+}
+
+void
+TraceListener::onSync(const SyncEvent &event)
+{
+    std::ostringstream os;
+    os << "t" << event.tid << " " << syncKindName(event.kind);
+    if (event.kind != SyncKind::ThreadStart &&
+        event.kind != SyncKind::ThreadFinish)
+        os << " #" << event.object;
+    if (event.kind == SyncKind::BarrierArrive ||
+        event.kind == SyncKind::BarrierLeave)
+        os << " epoch " << event.epoch;
+    emit(os.str());
+}
+
+void
+TraceListener::onAlloc(const mem::Block &block)
+{
+    std::ostringstream os;
+    os << "alloc " << block.site << "#" << block.seq << " 0x" << std::hex
+       << block.addr << std::dec << " " << block.size << "B";
+    emit(os.str());
+}
+
+void
+TraceListener::onFree(const mem::Block &block)
+{
+    std::ostringstream os;
+    os << "free " << block.site << "#" << block.seq << " 0x" << std::hex
+       << block.addr << std::dec;
+    emit(os.str());
+}
+
+void
+TraceListener::onOutput(ThreadId tid, const std::uint8_t *, std::size_t len)
+{
+    std::ostringstream os;
+    os << "t" << tid << " output " << len << "B";
+    emit(os.str());
+}
+
+} // namespace icheck::sim

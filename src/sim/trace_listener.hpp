@@ -1,0 +1,62 @@
+#ifndef ICHECK_SIM_TRACE_LISTENER_HPP
+#define ICHECK_SIM_TRACE_LISTENER_HPP
+
+/**
+ * @file
+ * Human-readable event tracing — the debugging companion of the event
+ * stream. Attach a TraceListener to a Machine to dump every access,
+ * synchronization operation, allocation, and output write to a stream
+ * (or capture them as lines for test assertions). The analogue of a
+ * simulator's exec-trace debug flag.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/listener.hpp"
+
+namespace icheck::sim
+{
+
+/**
+ * Formats run events as one line each and hands them to a sink.
+ */
+class TraceListener : public AccessListener
+{
+  public:
+    using Sink = std::function<void(const std::string &)>;
+
+    /** @param sink Receives each formatted event line. */
+    explicit TraceListener(Sink sink);
+
+    /** Capture-to-vector convenience: lines() holds everything seen. */
+    TraceListener();
+
+    void onStore(const StoreEvent &event) override;
+    void onLoad(const LoadEvent &event) override;
+    void onSync(const SyncEvent &event) override;
+    void onAlloc(const mem::Block &block) override;
+    void onFree(const mem::Block &block) override;
+    void onOutput(ThreadId tid, const std::uint8_t *data,
+                  std::size_t len) override;
+
+    /** Toggle tracing of loads (they dominate volume). */
+    void setTraceLoads(bool on) { traceLoads = on; }
+
+    /** Captured lines (when built with the capturing constructor). */
+    const std::vector<std::string> &lines() const { return captured; }
+
+  private:
+    void emit(const std::string &line);
+
+    Sink sink;
+    bool traceLoads = true;
+    std::vector<std::string> captured;
+    bool capture = false;
+};
+
+} // namespace icheck::sim
+
+#endif // ICHECK_SIM_TRACE_LISTENER_HPP

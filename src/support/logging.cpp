@@ -1,0 +1,68 @@
+#include "support/logging.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+namespace icheck
+{
+
+namespace
+{
+
+LogLevel globalLevel = LogLevel::Warn;
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Quiet: return "quiet";
+      case LogLevel::Warn:  return "warn";
+      case LogLevel::Info:  return "info";
+      case LogLevel::Debug: return "debug";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+namespace detail
+{
+
+void
+logLine(LogLevel level, const std::string &msg)
+{
+    if (static_cast<int>(level) > static_cast<int>(globalLevel))
+        return;
+    std::fprintf(stderr, "[%s] %s\n", levelTag(level), msg.c_str());
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+} // namespace detail
+
+} // namespace icheck

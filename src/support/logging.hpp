@@ -1,0 +1,113 @@
+#ifndef ICHECK_SUPPORT_LOGGING_HPP
+#define ICHECK_SUPPORT_LOGGING_HPP
+
+/**
+ * @file
+ * Minimal logging and error-termination helpers, following the gem5
+ * panic/fatal distinction: panic() for internal invariant violations
+ * (a bug in this library), fatal() for user errors (bad configuration,
+ * invalid arguments).
+ */
+
+#include <sstream>
+#include <string>
+
+namespace icheck
+{
+
+/** Verbosity levels for informational logging. */
+enum class LogLevel
+{
+    Quiet,
+    Warn,
+    Info,
+    Debug,
+};
+
+/** Set the global log verbosity. Default is Warn. */
+void setLogLevel(LogLevel level);
+
+/** Current global log verbosity. */
+LogLevel logLevel();
+
+namespace detail
+{
+
+/** Emit a log line if @p level is enabled. */
+void logLine(LogLevel level, const std::string &msg);
+
+/** Abort the process with an internal-bug message. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Exit the process with a user-error message. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Fold a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Log an informational message (enabled at Info and above). */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::logLine(LogLevel::Info,
+                    detail::concat(std::forward<Args>(args)...));
+}
+
+/** Log a warning (enabled at Warn and above). */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::logLine(LogLevel::Warn,
+                    detail::concat(std::forward<Args>(args)...));
+}
+
+/** Log a debug message (enabled at Debug). */
+template <typename... Args>
+void
+debugLog(Args &&...args)
+{
+    detail::logLine(LogLevel::Debug,
+                    detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace icheck
+
+/**
+ * Abort on an internal invariant violation (a bug in InstantCheck itself).
+ */
+#define ICHECK_PANIC(...) \
+    ::icheck::detail::panicImpl(__FILE__, __LINE__, \
+                                ::icheck::detail::concat(__VA_ARGS__))
+
+/**
+ * Exit on a condition that is the user's fault (bad configuration or
+ * arguments), not an InstantCheck bug.
+ */
+#define ICHECK_FATAL(...) \
+    ::icheck::detail::fatalImpl(__FILE__, __LINE__, \
+                                ::icheck::detail::concat(__VA_ARGS__))
+
+/** Panic unless @p cond holds. */
+#define ICHECK_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::icheck::detail::panicImpl(__FILE__, __LINE__, \
+                ::icheck::detail::concat("assertion failed: " #cond " ", \
+                                         ##__VA_ARGS__)); \
+        } \
+    } while (false)
+
+#endif // ICHECK_SUPPORT_LOGGING_HPP

@@ -1,0 +1,123 @@
+#ifndef ICHECK_SUPPORT_RNG_HPP
+#define ICHECK_SUPPORT_RNG_HPP
+
+/**
+ * @file
+ * Deterministic pseudo-random number generators.
+ *
+ * Every source of randomness in the simulator (scheduler decisions,
+ * workload data, intercepted library calls) draws from these generators so
+ * that a run is a pure function of its seeds. std::mt19937 is avoided on
+ * purpose: its state is large and its distributions are not guaranteed to
+ * be identical across standard library implementations.
+ */
+
+#include <cstdint>
+
+#include "support/logging.hpp"
+
+namespace icheck
+{
+
+/**
+ * SplitMix64: tiny, high-quality 64-bit generator. Used both directly and
+ * to seed Xoshiro256**.
+ */
+class SplitMix64
+{
+  public:
+    /** Construct with a seed; equal seeds give equal sequences. */
+    explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+
+    /** Next 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+/**
+ * Xoshiro256**: fast general-purpose generator with 256-bit state.
+ */
+class Xoshiro256
+{
+  public:
+    /** Construct from a single 64-bit seed (expanded via SplitMix64). */
+    explicit Xoshiro256(std::uint64_t seed)
+    {
+        SplitMix64 sm(seed);
+        for (auto &word : state)
+            word = sm.next();
+    }
+
+    /** Next 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        ICHECK_ASSERT(bound > 0, "below() needs a positive bound");
+        // Debiased multiply-shift rejection.
+        const std::uint64_t threshold = -bound % bound;
+        for (;;) {
+            const std::uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        ICHECK_ASSERT(lo <= hi, "range() needs lo <= hi");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state[4];
+};
+
+} // namespace icheck
+
+#endif // ICHECK_SUPPORT_RNG_HPP

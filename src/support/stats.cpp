@@ -1,0 +1,71 @@
+#include "support/stats.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/logging.hpp"
+
+namespace icheck
+{
+
+void
+StatGroup::add(const std::string &name, std::uint64_t delta)
+{
+    counters[name] += delta;
+}
+
+std::uint64_t
+StatGroup::get(const std::string &name) const
+{
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &entry : counters)
+        entry.second = 0;
+}
+
+std::string
+StatGroup::render() const
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : counters)
+        os << name << "=" << value << "\n";
+    return os.str();
+}
+
+void
+SampleStat::record(double value)
+{
+    if (n == 0) {
+        minValue = maxValue = value;
+    } else {
+        if (value < minValue)
+            minValue = value;
+        if (value > maxValue)
+            maxValue = value;
+    }
+    ++n;
+    sum += value;
+}
+
+void
+GeoMean::record(double value)
+{
+    ICHECK_ASSERT(value > 0.0, "geometric mean needs positive samples");
+    ++n;
+    logSum += std::log(value);
+}
+
+double
+GeoMean::value() const
+{
+    if (n == 0)
+        return 1.0;
+    return std::exp(logSum / static_cast<double>(n));
+}
+
+} // namespace icheck

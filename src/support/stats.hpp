@@ -1,0 +1,100 @@
+#ifndef ICHECK_SUPPORT_STATS_HPP
+#define ICHECK_SUPPORT_STATS_HPP
+
+/**
+ * @file
+ * Lightweight statistics containers used across the simulator: named
+ * counters and value distributions with summary statistics.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace icheck
+{
+
+/**
+ * A group of named monotonically increasing counters.
+ */
+class StatGroup
+{
+  public:
+    /** Add @p delta to counter @p name, creating it at zero if needed. */
+    void add(const std::string &name, std::uint64_t delta = 1);
+
+    /** Current value of counter @p name (zero if never touched). */
+    std::uint64_t get(const std::string &name) const;
+
+    /** Reset every counter to zero. */
+    void reset();
+
+    /** All counters in name order. */
+    const std::map<std::string, std::uint64_t> &all() const
+    {
+        return counters;
+    }
+
+    /** Render as "name=value" lines. */
+    std::string render() const;
+
+  private:
+    std::map<std::string, std::uint64_t> counters;
+};
+
+/**
+ * An online accumulator of scalar samples with min/max/mean and optional
+ * full sample retention for percentiles.
+ */
+class SampleStat
+{
+  public:
+    /** Record one sample. */
+    void record(double value);
+
+    /** Number of samples recorded. */
+    std::uint64_t count() const { return n; }
+
+    /** Smallest sample (0 if empty). */
+    double min() const { return n ? minValue : 0.0; }
+
+    /** Largest sample (0 if empty). */
+    double max() const { return n ? maxValue : 0.0; }
+
+    /** Arithmetic mean (0 if empty). */
+    double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
+
+    /** Sum of all samples. */
+    double total() const { return sum; }
+
+  private:
+    std::uint64_t n = 0;
+    double sum = 0.0;
+    double minValue = 0.0;
+    double maxValue = 0.0;
+};
+
+/**
+ * Geometric mean accumulator (used for the Figure 6 GEOM column).
+ */
+class GeoMean
+{
+  public:
+    /** Record a strictly positive sample. */
+    void record(double value);
+
+    /** Geometric mean of recorded samples (1.0 if empty). */
+    double value() const;
+
+    /** Number of samples. */
+    std::uint64_t count() const { return n; }
+
+  private:
+    std::uint64_t n = 0;
+    double logSum = 0.0;
+};
+
+} // namespace icheck
+
+#endif // ICHECK_SUPPORT_STATS_HPP

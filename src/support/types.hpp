@@ -1,0 +1,38 @@
+#ifndef ICHECK_SUPPORT_TYPES_HPP
+#define ICHECK_SUPPORT_TYPES_HPP
+
+/**
+ * @file
+ * Fundamental type aliases shared by every InstantCheck module.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+namespace icheck
+{
+
+/** A virtual address in the simulated address space. */
+using Addr = std::uint64_t;
+
+/** A 64-bit raw hash word (the value held in a TH register). */
+using HashWord = std::uint64_t;
+
+/** Identifier of a simulated thread. */
+using ThreadId = std::uint32_t;
+
+/** Identifier of a simulated core. */
+using CoreId = std::uint32_t;
+
+/** Simulated instruction count. */
+using InstCount = std::uint64_t;
+
+/** An invalid thread id sentinel. */
+inline constexpr ThreadId invalidThreadId = ~ThreadId{0};
+
+/** An invalid core id sentinel. */
+inline constexpr CoreId invalidCoreId = ~CoreId{0};
+
+} // namespace icheck
+
+#endif // ICHECK_SUPPORT_TYPES_HPP

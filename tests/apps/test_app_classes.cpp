@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The Table 1 classification, as tests: every workload must land in its
+ * paper-assigned determinism class under the characterization pipeline
+ * (bit-by-bit -> FP rounding -> structure isolation).
+ */
+
+#include <gtest/gtest.h>
+#include <memory>
+
+#include "apps/apps.hpp"
+#include "apps/characterize.hpp"
+
+namespace icheck::apps
+{
+namespace
+{
+
+CharacterizeConfig
+testConfig()
+{
+    CharacterizeConfig cfg;
+    cfg.runs = 10; // lighter than the paper's 30, still discriminating
+    return cfg;
+}
+
+class AppClass : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    Table1Row
+    row() const
+    {
+        return characterizeApp(findApp(GetParam()), testConfig());
+    }
+};
+
+class BitDetApp : public AppClass
+{
+};
+
+TEST_P(BitDetApp, DeterministicAsIs)
+{
+    const Table1Row r = row();
+    EXPECT_TRUE(r.detAsIs) << "first ndet run " << r.firstNdetRun;
+    EXPECT_TRUE(r.detAfterFp) << "rounding must not break determinism";
+    EXPECT_TRUE(r.detAtEnd);
+    EXPECT_EQ(r.ndetPoints, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, BitDetApp,
+                         ::testing::Values("blackscholes", "fft", "lu",
+                                           "radix", "swaptions",
+                                           "volrend"),
+                         [](const auto &info) { return info.param; });
+
+class FpDetApp : public AppClass
+{
+};
+
+TEST_P(FpDetApp, NdetBitwiseDetRounded)
+{
+    const Table1Row r = row();
+    EXPECT_FALSE(r.detAsIs)
+        << "FP reassociation noise must show bit-by-bit";
+    EXPECT_GT(r.firstNdetRun, 0);
+    EXPECT_LE(r.firstNdetRun, 5) << "detected within a few runs (7.2.2)";
+    EXPECT_TRUE(r.detAfterFp);
+    EXPECT_TRUE(r.detAtEnd);
+    EXPECT_EQ(r.ndetPoints, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, FpDetApp,
+                         ::testing::Values("fluidanimate", "ocean",
+                                           "waterNS", "waterSP"),
+                         [](const auto &info) { return info.param; });
+
+class SmallStructApp : public AppClass
+{
+};
+
+TEST_P(SmallStructApp, DetOnlyAfterIsolation)
+{
+    const Table1Row r = row();
+    EXPECT_FALSE(r.detAsIs);
+    EXPECT_FALSE(r.detAfterFp)
+        << "rounding alone must not be enough for this class";
+    ASSERT_TRUE(r.detAfterIgnores.has_value());
+    EXPECT_TRUE(*r.detAfterIgnores)
+        << "isolating the declared structures must restore determinism";
+    EXPECT_TRUE(r.detAtEnd);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, SmallStructApp,
+                         ::testing::Values("cholesky", "pbzip2",
+                                           "sphinx3"),
+                         [](const auto &info) { return info.param; });
+
+class NdetApp : public AppClass
+{
+};
+
+TEST_P(NdetApp, NondeterministicThroughout)
+{
+    const Table1Row r = row();
+    EXPECT_FALSE(r.detAsIs);
+    EXPECT_FALSE(r.detAfterFp);
+    EXPECT_GT(r.firstNdetRun, 0);
+    EXPECT_LE(r.firstNdetRun, 4);
+    EXPECT_FALSE(r.detAtEnd);
+    EXPECT_GT(r.ndetPoints, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, NdetApp,
+                         ::testing::Values("barnes", "canneal",
+                                           "radiosity"),
+                         [](const auto &info) { return info.param; });
+
+TEST(Streamcluster, BugNdetAtBarriersMaskedAtEndForMediumInput)
+{
+    // The paper's real PARSEC bug: with the medium input, internal
+    // barriers are nondeterministic but the program end is clean.
+    const Table1Row r = characterizeApp(findApp("streamcluster"),
+                                        testConfig());
+    EXPECT_FALSE(r.bitwise.deterministic());
+    EXPECT_GT(r.bitwise.ndetPoints, 0u);
+    EXPECT_TRUE(r.bitwise.detAtEnd)
+        << "the corruption must be masked before the program end";
+    EXPECT_TRUE(r.bitwise.outputDeterministic);
+    // Checking only at the end would therefore miss the bug entirely.
+    EXPECT_GT(r.bitwise.detPoints, r.bitwise.ndetPoints)
+        << "most barriers stay deterministic";
+}
+
+TEST(Streamcluster, BugReachesOutputForSmallInput)
+{
+    check::DriverConfig cfg;
+    cfg.runs = 10;
+    cfg.machine.numCores = 8;
+    cfg.machine.fpRoundingEnabled = false;
+    check::DeterminismDriver driver(cfg);
+    const auto report = driver.check([] {
+        return std::make_unique<Streamcluster>(8, /*medium_input=*/false,
+                                               /*with_bug=*/true);
+    });
+    EXPECT_FALSE(report.deterministic());
+    EXPECT_FALSE(report.detAtEnd);
+    EXPECT_FALSE(report.outputDeterministic)
+        << "for small inputs the corruption reaches the output "
+           "(Section 7.2.1, footnote)";
+}
+
+TEST(Streamcluster, FixedVersionIsBitDeterministic)
+{
+    check::DriverConfig cfg;
+    cfg.runs = 10;
+    cfg.machine.numCores = 8;
+    cfg.machine.fpRoundingEnabled = false;
+    check::DeterminismDriver driver(cfg);
+    const auto report = driver.check([] {
+        return std::make_unique<Streamcluster>(8, /*medium_input=*/true,
+                                               /*with_bug=*/false);
+    });
+    EXPECT_TRUE(report.deterministic());
+    EXPECT_EQ(report.ndetPoints, 0u);
+}
+
+} // namespace
+} // namespace icheck::apps

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Smoke tests: every registered workload runs to completion under several
+ * schedules, produces checkpoints, and is reproducible given a seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/app_registry.hpp"
+#include "sim/machine.hpp"
+
+namespace icheck::apps
+{
+namespace
+{
+
+class AppSmoke : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const AppInfo &app() const { return findApp(GetParam()); }
+};
+
+TEST_P(AppSmoke, RunsToCompletion)
+{
+    sim::MachineConfig cfg;
+    cfg.numCores = 8;
+    cfg.schedSeed = 12345;
+    sim::Machine machine(cfg);
+    machine.setInstrumentation(true);
+    auto program = app().factory();
+    const sim::RunResult result = machine.run(*program);
+    EXPECT_GT(result.nativeInstrs, 100u);
+    EXPECT_GE(result.checkpoints, 1u);
+}
+
+TEST_P(AppSmoke, ReproducibleGivenSeed)
+{
+    auto run = [&](std::uint64_t seed) {
+        sim::MachineConfig cfg;
+        cfg.numCores = 8;
+        cfg.schedSeed = seed;
+        sim::Machine machine(cfg);
+        auto program = app().factory();
+        const sim::RunResult result = machine.run(*program);
+        hashing::ModHash sum;
+        for (ThreadId t = 0; t < machine.numThreads(); ++t)
+            sum += hashing::ModHash(machine.threadHash(t));
+        return std::pair{result.nativeInstrs, sum};
+    };
+    EXPECT_EQ(run(777), run(777));
+}
+
+TEST_P(AppSmoke, SurvivesManySeeds)
+{
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        sim::MachineConfig cfg;
+        cfg.numCores = 8;
+        cfg.schedSeed = seed;
+        sim::Machine machine(cfg);
+        machine.setInstrumentation(true);
+        auto program = app().factory();
+        EXPECT_NO_THROW(machine.run(*program)) << "seed " << seed;
+    }
+}
+
+std::vector<std::string>
+appNames()
+{
+    std::vector<std::string> names;
+    for (const AppInfo &app : registry())
+        names.push_back(app.name);
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppSmoke,
+                         ::testing::ValuesIn(appNames()),
+                         [](const auto &info) { return info.param; });
+
+TEST(Registry, HasAll17Apps)
+{
+    EXPECT_EQ(registry().size(), 17u);
+}
+
+TEST(Registry, ClassCountsMatchTable1)
+{
+    int bit = 0, fp = 0, small = 0, ndet = 0;
+    for (const AppInfo &app : registry()) {
+        switch (app.expected) {
+          case DetClass::BitByBit:    ++bit;  break;
+          case DetClass::FpRounding:  ++fp;   break;
+          case DetClass::SmallStruct: ++small; break;
+          case DetClass::NonDet:      ++ndet; break;
+        }
+    }
+    EXPECT_EQ(bit, 7);
+    EXPECT_EQ(fp, 4);
+    EXPECT_EQ(small, 3);
+    EXPECT_EQ(ndet, 3);
+}
+
+TEST(Registry, FindAppPanicsOnUnknown)
+{
+    EXPECT_DEATH(findApp("nonesuch"), "unknown app");
+}
+
+} // namespace
+} // namespace icheck::apps

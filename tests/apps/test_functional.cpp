@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Functional correctness of the workloads: determinism checking is only
+ * meaningful if the mini-apps compute real results. radix must sort,
+ * pbzip2's output must decompress back to its input, lu must factorize
+ * (A == L*U), fft must conserve energy (Parseval), blackscholes prices
+ * must be sane.
+ */
+
+#include <gtest/gtest.h>
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "sim/machine.hpp"
+
+namespace icheck::apps
+{
+namespace
+{
+
+/** Run @p program, capturing the post-setup memory image. */
+struct RunCapture
+{
+    sim::Machine machine;
+    mem::SparseMemory initial;
+
+    explicit RunCapture(std::uint64_t seed,
+                        const sim::MachineConfig &base = {})
+        : machine([&] {
+              sim::MachineConfig cfg = base;
+              cfg.numCores = 8;
+              cfg.schedSeed = seed;
+              return cfg;
+          }())
+    {
+        machine.setRunStartHandler(
+            [this] { initial = machine.memory().clone(); });
+    }
+};
+
+TEST(Functional, RadixSortsItsKeys)
+{
+    RunCapture capture(5);
+    Radix app(8, 512);
+    capture.machine.run(app);
+
+    const Addr src = capture.machine.staticSegment().addressOf("src");
+    std::multiset<std::uint32_t> input, output;
+    std::vector<std::uint32_t> final_keys;
+    for (std::uint32_t i = 0; i < 512; ++i) {
+        input.insert(static_cast<std::uint32_t>(
+            capture.initial.readValue(src + 4 * i, 4)));
+        const auto v = static_cast<std::uint32_t>(
+            capture.machine.memory().readValue(src + 4 * i, 4));
+        output.insert(v);
+        final_keys.push_back(v);
+    }
+    EXPECT_EQ(output, input) << "sorting must permute, not alter";
+    EXPECT_TRUE(std::is_sorted(final_keys.begin(), final_keys.end()));
+}
+
+TEST(Functional, Pbzip2OutputDecompressesToItsInput)
+{
+    RunCapture capture(7);
+    Pbzip2 app(8, 12, 96);
+    capture.machine.run(app);
+
+    const Addr input = capture.machine.staticSegment().addressOf(
+        "input");
+    std::vector<std::uint8_t> original(12 * 96);
+    capture.initial.readBytes(input, original.data(), original.size());
+
+    // Decode the (count, byte) RLE stream the writer emitted.
+    std::vector<std::uint8_t> decoded;
+    const auto &stream = capture.machine.output();
+    ASSERT_EQ(stream.size() % 2, 0u);
+    for (std::size_t i = 0; i < stream.size(); i += 2) {
+        for (std::uint8_t r = 0; r < stream[i]; ++r)
+            decoded.push_back(stream[i + 1]);
+    }
+    EXPECT_EQ(decoded, original);
+    EXPECT_LT(stream.size(), original.size())
+        << "the run-heavy input must actually compress";
+}
+
+TEST(Functional, LuFactorizationReconstructsTheMatrix)
+{
+    constexpr std::uint32_t dim = 16;
+    RunCapture capture(9);
+    Lu app(8, dim, 8);
+    capture.machine.run(app);
+
+    const Addr matrix =
+        capture.machine.staticSegment().addressOf("matrix");
+    auto initial_at = [&](std::uint32_t r, std::uint32_t c) {
+        return std::bit_cast<double>(
+            capture.initial.readValue(matrix + 8 * (r * dim + c), 8));
+    };
+    auto final_at = [&](std::uint32_t r, std::uint32_t c) {
+        return std::bit_cast<double>(
+            capture.machine.memory().readValue(
+                matrix + 8 * (r * dim + c), 8));
+    };
+    // The in-place result stores L below the diagonal (unit diagonal)
+    // and U on/above it; verify A == L*U.
+    for (std::uint32_t r = 0; r < dim; ++r) {
+        for (std::uint32_t c = 0; c < dim; ++c) {
+            double acc = 0;
+            const std::uint32_t k_max = std::min(r, c);
+            for (std::uint32_t k = 0; k <= k_max; ++k) {
+                const double l = k == r ? 1.0 : final_at(r, k);
+                const double u = final_at(k, c);
+                acc += l * u;
+            }
+            EXPECT_NEAR(acc, initial_at(r, c), 1e-8)
+                << "A[" << r << "][" << c << "]";
+        }
+    }
+}
+
+TEST(Functional, FftConservesEnergy)
+{
+    constexpr std::uint32_t n = 256;
+    RunCapture capture(11);
+    Fft app(8, 8);
+    capture.machine.run(app);
+
+    const Addr re = capture.machine.staticSegment().addressOf("re");
+    const Addr im = capture.machine.staticSegment().addressOf("im");
+    double energy_in = 0, energy_out = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const double r0 = std::bit_cast<double>(
+            capture.initial.readValue(re + 8 * i, 8));
+        const double i0 = std::bit_cast<double>(
+            capture.initial.readValue(im + 8 * i, 8));
+        const double r1 = std::bit_cast<double>(
+            capture.machine.memory().readValue(re + 8 * i, 8));
+        const double i1 = std::bit_cast<double>(
+            capture.machine.memory().readValue(im + 8 * i, 8));
+        energy_in += r0 * r0 + i0 * i0;
+        energy_out += r1 * r1 + i1 * i1;
+    }
+    // Parseval: the transform scales total energy by exactly n.
+    EXPECT_NEAR(energy_out, n * energy_in, 1e-6 * energy_out)
+        << "the butterflies must implement a genuine DFT";
+}
+
+TEST(Functional, BlackscholesPricesAreSane)
+{
+    RunCapture capture(13);
+    Blackscholes app(8);
+    capture.machine.run(app);
+    const auto &statics = capture.machine.staticSegment();
+    const Addr spot = statics.addressOf("spot");
+    const Addr prices = statics.addressOf("prices");
+    for (std::uint32_t i = 0; i < 96; ++i) {
+        const double s = std::bit_cast<double>(
+            capture.machine.memory().readValue(spot + 8 * i, 8));
+        const double p = std::bit_cast<double>(
+            capture.machine.memory().readValue(prices + 8 * i, 8));
+        EXPECT_GT(p, -s) << "option " << i;
+        EXPECT_LT(p, 2 * s) << "option " << i;
+    }
+}
+
+TEST(Functional, VolrendImageMatchesReferenceFormula)
+{
+    constexpr std::uint32_t pixels = 256;
+    constexpr std::uint32_t frames = 5;
+    RunCapture capture(15);
+    Volrend app(8, frames, pixels);
+    capture.machine.run(app);
+    const auto &statics = capture.machine.staticSegment();
+    const Addr image = statics.addressOf("image");
+    const Addr volume = statics.addressOf("volume");
+    for (std::uint32_t i = 0; i < pixels; i += 37) {
+        const auto a = static_cast<std::int32_t>(
+            capture.machine.memory().readValue(volume + 4 * (2 * i), 4));
+        const auto b = static_cast<std::int32_t>(
+            capture.machine.memory().readValue(volume + 4 * (2 * i + 1),
+                                               4));
+        const auto px = static_cast<std::int32_t>(
+            capture.machine.memory().readValue(image + 4 * i, 4));
+        EXPECT_EQ(px,
+                  (a * 3 + b + static_cast<std::int32_t>(frames - 1)) /
+                      2)
+            << "pixel " << i;
+    }
+}
+
+} // namespace
+} // namespace icheck::apps

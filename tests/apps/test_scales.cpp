@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Input scales (simdev/simmedium/simlarge analogue): every workload runs
+ * at every scale, work grows with scale, and determinism classes are
+ * scale-stable — with the one deliberate exception the paper documents:
+ * the streamcluster bug reaches the output only on the small input.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/app_registry.hpp"
+#include "apps/scales.hpp"
+#include "sim/machine.hpp"
+
+namespace icheck::apps
+{
+namespace
+{
+
+sim::RunResult
+runOnce(const check::ProgramFactory &factory, std::uint64_t seed)
+{
+    sim::MachineConfig cfg;
+    cfg.numCores = 8;
+    cfg.schedSeed = seed;
+    sim::Machine machine(cfg);
+    machine.setInstrumentation(true);
+    auto program = factory();
+    return machine.run(*program);
+}
+
+class ScaledApps : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ScaledApps, AllScalesRunAndGrow)
+{
+    const auto dev = runOnce(scaledFactory(GetParam(), InputScale::Dev),
+                             11);
+    const auto medium = runOnce(
+        scaledFactory(GetParam(), InputScale::Medium), 11);
+    const auto large = runOnce(
+        scaledFactory(GetParam(), InputScale::Large), 11);
+    EXPECT_LT(dev.nativeInstrs, medium.nativeInstrs);
+    EXPECT_LT(medium.nativeInstrs, large.nativeInstrs);
+}
+
+std::vector<std::string>
+appNames()
+{
+    std::vector<std::string> names;
+    for (const AppInfo &app : registry())
+        names.push_back(app.name);
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, ScaledApps,
+                         ::testing::ValuesIn(appNames()),
+                         [](const auto &info) { return info.param; });
+
+TEST(Scales, MediumMatchesRegistryInstructionCounts)
+{
+    for (const char *name : {"fft", "ocean", "canneal"}) {
+        const AppInfo &app = findApp(name);
+        const auto registry_run = runOnce(app.factory, 21);
+        const auto scaled_run =
+            runOnce(scaledFactory(name, InputScale::Medium), 21);
+        EXPECT_EQ(registry_run.nativeInstrs, scaled_run.nativeInstrs)
+            << name;
+    }
+}
+
+TEST(Scales, ClassesStableAcrossScales)
+{
+    auto deterministic = [](const check::ProgramFactory &factory,
+                            bool fp_rounding) {
+        check::DriverConfig cfg;
+        cfg.runs = 6;
+        cfg.machine.numCores = 8;
+        cfg.machine.fpRoundingEnabled = fp_rounding;
+        check::DeterminismDriver driver(cfg);
+        return driver.check(factory).deterministic();
+    };
+    for (InputScale scale :
+         {InputScale::Dev, InputScale::Medium, InputScale::Large}) {
+        EXPECT_TRUE(deterministic(scaledFactory("radix", scale), false))
+            << scaleName(scale);
+        EXPECT_TRUE(deterministic(scaledFactory("ocean", scale), true))
+            << scaleName(scale);
+        EXPECT_FALSE(
+            deterministic(scaledFactory("canneal", scale), true))
+            << scaleName(scale);
+    }
+}
+
+TEST(Scales, StreamclusterBugOutcomeDependsOnScale)
+{
+    check::DriverConfig cfg;
+    cfg.runs = 10;
+    cfg.machine.numCores = 8;
+    cfg.machine.fpRoundingEnabled = false;
+    check::DeterminismDriver driver(cfg);
+
+    const auto dev =
+        driver.check(scaledFactory("streamcluster", InputScale::Dev));
+    EXPECT_FALSE(dev.outputDeterministic)
+        << "simdev: the bug propagates to the output (Section 7.2.1)";
+
+    const auto medium = driver.check(
+        scaledFactory("streamcluster", InputScale::Medium));
+    EXPECT_TRUE(medium.outputDeterministic);
+    EXPECT_TRUE(medium.detAtEnd) << "simmedium: masked at the end";
+    EXPECT_GT(medium.ndetPoints, 0u)
+        << "but still visible at internal barriers";
+}
+
+TEST(Scales, NamesRender)
+{
+    EXPECT_EQ(scaleName(InputScale::Dev), "simdev");
+    EXPECT_EQ(scaleName(InputScale::Medium), "simmedium");
+    EXPECT_EQ(scaleName(InputScale::Large), "simlarge");
+}
+
+TEST(Scales, UnknownAppPanics)
+{
+    EXPECT_DEATH(scaledFactory("nope", InputScale::Dev), "unknown app");
+}
+
+} // namespace
+} // namespace icheck::apps

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * End-to-end VPN capture (Fig 3a): the MHM must hash *virtual* addresses
+ * reconstructed from the write-buffer's saved VPN plus the physical page
+ * offset. The simulated machine uses a nonzero linear translation, so if
+ * the MHM saw physical addresses instead, its TH would differ from a
+ * software hash computed over virtual addresses — which is exactly what
+ * this test cross-checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/write_buffer.hpp"
+#include "hashing/state_hash.hpp"
+#include "sim/lambda_program.hpp"
+#include "sim/machine.hpp"
+
+namespace icheck::cache
+{
+namespace
+{
+
+TEST(VpnCapture, TranslationIsNontrivialAndPageAligned)
+{
+    ASSERT_NE(physOffset, 0u)
+        << "a zero offset would make this test vacuous";
+    EXPECT_EQ(physOffset % vpnPageSize, 0u)
+        << "page offsets must survive translation";
+    EXPECT_EQ(translate(0x1234) - 0x1234, physOffset);
+}
+
+TEST(VpnCapture, MhmHashesVirtualAddresses)
+{
+    sim::MachineConfig cfg;
+    cfg.numCores = 1;
+    cfg.schedSeed = 1;
+    cfg.fpRoundingEnabled = false;
+    sim::Machine machine(cfg);
+    Addr target = 0;
+    sim::LambdaProgram prog(
+        "vpn", 1,
+        [&](sim::SetupCtx &ctx) {
+            target = ctx.global("x", mem::tInt64());
+        },
+        [&](sim::ThreadCtx &ctx) {
+            ctx.store<std::int64_t>(target, 0x5a5a);
+        });
+    machine.run(prog);
+
+    const hashing::StateHasher pipeline(machine.hasher(),
+                                        hashing::FpRoundMode::none());
+    const hashing::ModHash expected_virtual = pipeline.valueHash(
+        target, 0x5a5a, 8, hashing::ValueClass::Integer);
+    const hashing::ModHash wrong_physical = pipeline.valueHash(
+        translate(target), 0x5a5a, 8, hashing::ValueClass::Integer);
+
+    EXPECT_EQ(machine.threadHash(0), expected_virtual.raw())
+        << "TH must reflect the virtual address";
+    EXPECT_NE(machine.threadHash(0), wrong_physical.raw())
+        << "hashing physical addresses would be detectable";
+}
+
+TEST(VpnCapture, CrossPageStoreReconstructsBothPages)
+{
+    // A store straddling a page boundary: per-byte hashing attributes
+    // each byte to its own virtual address; the write-buffer entry's
+    // reconstruction must keep that exact.
+    sim::MachineConfig cfg;
+    cfg.numCores = 1;
+    cfg.schedSeed = 1;
+    sim::Machine machine(cfg);
+    const Addr boundary =
+        mem::staticBase + vpnPageSize - 3; // 8-byte store crosses
+    sim::LambdaProgram prog(
+        "cross", 1,
+        [&](sim::SetupCtx &ctx) {
+            ctx.global("pad",
+                       mem::tArray(mem::tInt64(), vpnPageSize / 4));
+        },
+        [&](sim::ThreadCtx &ctx) {
+            ctx.store<std::uint64_t>(boundary, 0x1122334455667788ULL);
+        });
+    machine.run(prog);
+
+    const hashing::StateHasher pipeline(machine.hasher(),
+                                        hashing::FpRoundMode::none());
+    EXPECT_EQ(machine.threadHash(0),
+              pipeline
+                  .valueHash(boundary, 0x1122334455667788ULL, 8,
+                             hashing::ValueClass::Integer)
+                  .raw());
+}
+
+} // namespace
+} // namespace icheck::cache

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * The three InstantCheck schemes agree: on the same run, HW-Inc, SW-Inc,
+ * and SW-Tr compute bit-identical State Hashes — including FP rounding,
+ * allocation/free churn, and ignore deletion.
+ */
+
+#include <gtest/gtest.h>
+#include <memory>
+
+#include "check/checker.hpp"
+#include "sim/lambda_program.hpp"
+#include "sim/machine.hpp"
+
+namespace icheck::check
+{
+namespace
+{
+
+using sim::LambdaProgram;
+using sim::Machine;
+using sim::MachineConfig;
+
+/** A workload exercising ints, FP, malloc/free, locks, and barriers. */
+std::unique_ptr<LambdaProgram>
+busyProgram()
+{
+    struct Ids
+    {
+        sim::MutexId mutex = 0;
+        sim::BarrierId barrier = 0;
+    };
+    auto ids = std::make_shared<Ids>();
+    return std::make_unique<LambdaProgram>(
+        "busy", 4,
+        [ids](sim::SetupCtx &ctx) {
+            ctx.global("sum", mem::tDouble());
+            ctx.global("hist", mem::tArray(mem::tInt64(), 16));
+            ids->mutex = ctx.mutex();
+            ids->barrier = ctx.barrier(4);
+        },
+        [ids](sim::ThreadCtx &ctx) {
+            const Addr sum = ctx.global("sum");
+            const Addr hist = ctx.global("hist");
+            const Addr scratch =
+                ctx.malloc("busy.cpp:scratch",
+                           mem::tArray(mem::tDouble(), 8));
+            for (int round = 0; round < 3; ++round) {
+                for (int i = 0; i < 8; ++i) {
+                    ctx.store<double>(scratch + 8 * i,
+                                      0.1 * (i + 1) * (ctx.tid() + 1));
+                }
+                double local = 0;
+                for (int i = 0; i < 8; ++i)
+                    local += ctx.load<double>(scratch + 8 * i);
+                ctx.lock(ids->mutex);
+                ctx.store<double>(sum, ctx.load<double>(sum) + local);
+                ctx.unlock(ids->mutex);
+                const Addr slot = hist + 8 * ((ctx.tid() + round) % 16);
+                ctx.store<std::int64_t>(
+                    slot, ctx.load<std::int64_t>(slot) + 1);
+                ctx.barrier(ids->barrier);
+            }
+            ctx.free(scratch);
+        });
+}
+
+/** One run of @p scheme at @p seed; returns the checkpoint hash trace. */
+std::vector<HashWord>
+runScheme(Scheme scheme, std::uint64_t seed, bool fp_rounding,
+          const IgnoreSpec &ignores = {})
+{
+    MachineConfig cfg;
+    cfg.numCores = 4;
+    cfg.schedSeed = seed;
+    cfg.minQuantum = 2;
+    cfg.maxQuantum = 9;
+    cfg.fpRoundingEnabled = fp_rounding;
+    Machine machine(cfg);
+    auto checker = makeChecker(scheme, ignores);
+    checker->attach(machine);
+    machine.setRunStartHandler([&] { checker->onRunStart(); });
+    std::vector<HashWord> trace;
+    machine.setCheckpointHandler([&](const sim::CheckpointInfo &) {
+        trace.push_back(checker->checkpointHash().raw());
+    });
+    auto prog = busyProgram();
+    machine.run(*prog);
+    return trace;
+}
+
+class CrossScheme : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(CrossScheme, AllThreeSchemesAgreeBitwise)
+{
+    const std::uint64_t seed = GetParam();
+    const auto hw = runScheme(Scheme::HwInc, seed, false);
+    const auto sw = runScheme(Scheme::SwInc, seed, false);
+    const auto tr = runScheme(Scheme::SwTr, seed, false);
+    ASSERT_FALSE(hw.empty());
+    EXPECT_EQ(hw, sw);
+    EXPECT_EQ(hw, tr);
+}
+
+TEST_P(CrossScheme, AllThreeSchemesAgreeWithFpRounding)
+{
+    const std::uint64_t seed = GetParam();
+    const auto hw = runScheme(Scheme::HwInc, seed, true);
+    const auto sw = runScheme(Scheme::SwInc, seed, true);
+    const auto tr = runScheme(Scheme::SwTr, seed, true);
+    EXPECT_EQ(hw, sw);
+    EXPECT_EQ(hw, tr);
+}
+
+TEST_P(CrossScheme, AllThreeSchemesAgreeWithIgnores)
+{
+    const std::uint64_t seed = GetParam();
+    IgnoreSpec ignores;
+    ignores.sites.push_back("busy.cpp:scratch");
+    ignores.globals.push_back("hist");
+    const auto hw = runScheme(Scheme::HwInc, seed, true, ignores);
+    const auto sw = runScheme(Scheme::SwInc, seed, true, ignores);
+    const auto tr = runScheme(Scheme::SwTr, seed, true, ignores);
+    EXPECT_EQ(hw, sw);
+    EXPECT_EQ(hw, tr);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossScheme,
+                         ::testing::Values(1, 7, 42, 1234, 99999));
+
+TEST(Checkers, SwIncCountsHashingCost)
+{
+    MachineConfig cfg;
+    cfg.numCores = 2;
+    cfg.schedSeed = 3;
+    Machine machine(cfg);
+    auto checker = makeChecker(Scheme::SwInc);
+    checker->attach(machine);
+    machine.setRunStartHandler([&] { checker->onRunStart(); });
+    LambdaProgram prog(
+        "cost", 1,
+        [](sim::SetupCtx &ctx) { ctx.global("x", mem::tInt64()); },
+        [](sim::ThreadCtx &ctx) {
+            for (int i = 0; i < 100; ++i)
+                ctx.store<std::int64_t>(ctx.global("x"), i);
+        });
+    machine.run(prog);
+    // 100 stores * 8 bytes * 2 (old+new) * 5 instr/byte = 8000 minimum.
+    EXPECT_GE(checker->overheadInstrs(), 8000u);
+}
+
+TEST(Checkers, HwIncOverheadIsOrdersOfMagnitudeSmaller)
+{
+    auto measure = [](Scheme scheme) {
+        MachineConfig cfg;
+        cfg.numCores = 2;
+        cfg.schedSeed = 3;
+        Machine machine(cfg);
+        auto checker = makeChecker(scheme);
+        checker->attach(machine);
+        machine.setRunStartHandler([&] { checker->onRunStart(); });
+        std::uint64_t checkpoint_hashes = 0;
+        machine.setCheckpointHandler([&](const sim::CheckpointInfo &) {
+            checker->checkpointHash();
+            ++checkpoint_hashes;
+        });
+        LambdaProgram prog(
+            "cost", 1,
+            [](sim::SetupCtx &ctx) {
+                ctx.global("arr", mem::tArray(mem::tInt64(), 64));
+            },
+            [](sim::ThreadCtx &ctx) {
+                const Addr arr = ctx.global("arr");
+                for (int i = 0; i < 1000; ++i)
+                    ctx.store<std::int64_t>(arr + 8 * (i % 64), i);
+            });
+        const auto result = machine.run(prog);
+        return std::pair{result.overheadInstrs +
+                             checker->overheadInstrs(),
+                         result.nativeInstrs};
+    };
+    const auto [hw_over, native] = measure(Scheme::HwInc);
+    const auto [sw_over, native2] = measure(Scheme::SwInc);
+    EXPECT_EQ(native, native2) << "schedule must be scheme-independent";
+    EXPECT_LT(hw_over * 100, sw_over)
+        << "HW overhead must be orders of magnitude below SW";
+}
+
+TEST(Checkers, SchemeNamesArePrintable)
+{
+    EXPECT_EQ(schemeName(Scheme::HwInc), "HW-InstantCheck-Inc");
+    EXPECT_EQ(schemeName(Scheme::SwInc), "SW-InstantCheck-Inc");
+    EXPECT_EQ(schemeName(Scheme::SwTr), "SW-InstantCheck-Tr");
+}
+
+} // namespace
+} // namespace icheck::check
+
+namespace icheck::check
+{
+namespace
+{
+
+TEST(Checkers, NonIdealCostModelsExceedIdeal)
+{
+    auto overhead = [](Scheme scheme, bool ideal) {
+        sim::MachineConfig cfg;
+        cfg.numCores = 4;
+        cfg.schedSeed = 9;
+        sim::Machine machine(cfg);
+        auto checker = makeChecker(scheme, {}, ideal);
+        checker->attach(machine);
+        machine.setRunStartHandler([&] { checker->onRunStart(); });
+        machine.setCheckpointHandler([&](const sim::CheckpointInfo &) {
+            checker->checkpointHash();
+        });
+        sim::LambdaProgram prog(
+            "cost", 2, nullptr,
+            [](sim::ThreadCtx &ctx) {
+                const Addr block = ctx.malloc(
+                    "cost.cpp:b", mem::tArray(mem::tInt64(), 16));
+                for (int i = 0; i < 64; ++i)
+                    ctx.store<std::int64_t>(block + 8 * (i % 16), i);
+                ctx.free(block);
+            });
+        machine.run(prog);
+        return checker->overheadInstrs();
+    };
+    EXPECT_GT(overhead(Scheme::SwInc, false),
+              overhead(Scheme::SwInc, true));
+    EXPECT_GT(overhead(Scheme::SwTr, false),
+              overhead(Scheme::SwTr, true));
+}
+
+} // namespace
+} // namespace icheck::check

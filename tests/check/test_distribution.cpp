@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Distribution analysis for figures 5 and 8.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/distribution.hpp"
+
+namespace icheck::check
+{
+namespace
+{
+
+TEST(Distribution, AllSameIsDeterministic)
+{
+    const Distribution dist = distributionOf({7, 7, 7, 7});
+    EXPECT_TRUE(dist.deterministic());
+    EXPECT_EQ(dist.render(), "4");
+}
+
+TEST(Distribution, CountsSortedDescending)
+{
+    // 16 runs of state A, 11 of B, 3 of C — the paper's D_5 example.
+    std::vector<HashWord> hashes;
+    hashes.insert(hashes.end(), 16, 0xa);
+    hashes.insert(hashes.end(), 11, 0xb);
+    hashes.insert(hashes.end(), 3, 0xc);
+    const Distribution dist = distributionOf(hashes);
+    EXPECT_FALSE(dist.deterministic());
+    EXPECT_EQ(dist.render(), "16-11-3");
+}
+
+TEST(Distribution, EmptyIsDeterministic)
+{
+    EXPECT_TRUE(distributionOf({}).deterministic());
+}
+
+TEST(Distribution, InsertionOrderIrrelevant)
+{
+    const Distribution a = distributionOf({1, 2, 1, 3, 1, 2});
+    const Distribution b = distributionOf({3, 1, 2, 1, 2, 1});
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.render(), "3-2-1");
+}
+
+TEST(Distribution, GroupingCountsCheckpointsPerShape)
+{
+    const Distribution det = distributionOf({9, 9, 9});
+    const Distribution split = distributionOf({1, 1, 2});
+    const auto groups = groupDistributions({det, split, det, det, split});
+    ASSERT_EQ(groups.size(), 2u);
+    EXPECT_EQ(groups.at(det), 3u);
+    EXPECT_EQ(groups.at(split), 2u);
+}
+
+} // namespace
+} // namespace icheck::check

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * DeterminismDriver campaigns: classification of deterministic, racy,
+ * FP-noisy, and ignorable-structure programs — the Section 7 pipeline in
+ * miniature.
+ */
+
+#include <gtest/gtest.h>
+#include <memory>
+
+#include "check/driver.hpp"
+#include "sim/lambda_program.hpp"
+
+namespace icheck::check
+{
+namespace
+{
+
+using sim::LambdaProgram;
+
+DriverConfig
+baseConfig(Scheme scheme, bool fp_rounding)
+{
+    DriverConfig cfg;
+    cfg.scheme = scheme;
+    cfg.runs = 12;
+    cfg.machine.numCores = 4;
+    cfg.machine.minQuantum = 2;
+    cfg.machine.maxQuantum = 10;
+    cfg.machine.fpRoundingEnabled = fp_rounding;
+    return cfg;
+}
+
+/** Figure 1: G += L under a lock — externally deterministic. */
+ProgramFactory
+figure1Factory()
+{
+    return [] {
+        auto ids = std::make_shared<sim::MutexId>();
+        return std::make_unique<LambdaProgram>(
+            "fig1", 2,
+            [ids](sim::SetupCtx &ctx) {
+                const Addr g = ctx.global("G", mem::tInt64());
+                ctx.init<std::int64_t>(g, 2);
+                *ids = ctx.mutex();
+            },
+            [ids](sim::ThreadCtx &ctx) {
+                const std::int64_t local = ctx.tid() == 0 ? 7 : 3;
+                ctx.lock(*ids);
+                const auto g = ctx.load<std::int64_t>(ctx.global("G"));
+                ctx.store<std::int64_t>(ctx.global("G"), g + local);
+                ctx.unlock(*ids);
+            });
+    };
+}
+
+/** A racy last-writer-wins program — externally nondeterministic. */
+ProgramFactory
+racyFactory()
+{
+    return [] {
+        return std::make_unique<LambdaProgram>(
+            "racy", 4,
+            [](sim::SetupCtx &ctx) { ctx.global("w", mem::tInt64()); },
+            [](sim::ThreadCtx &ctx) {
+                for (int i = 0; i < 10; ++i)
+                    ctx.store<std::int64_t>(ctx.global("w"),
+                                            ctx.tid() * 100 + i);
+            });
+    };
+}
+
+/** FP accumulation in schedule order: noisy bitwise, clean rounded. */
+ProgramFactory
+fpNoiseFactory()
+{
+    return [] {
+        auto ids = std::make_shared<sim::MutexId>();
+        return std::make_unique<LambdaProgram>(
+            "fpnoise", 4,
+            [ids](sim::SetupCtx &ctx) {
+                const Addr acc = ctx.global("acc", mem::tDouble());
+                // Offset keeps the final sum mid-cell of the 0.001
+                // rounding grid, away from floor boundaries.
+                ctx.init<double>(acc, 0.0005);
+                *ids = ctx.mutex();
+            },
+            [ids](sim::ThreadCtx &ctx) {
+                const Addr acc = ctx.global("acc");
+                for (int i = 0; i < 6; ++i) {
+                    const double term =
+                        0.1 * (ctx.tid() + 1) + 1e-13 * (i + 1);
+                    ctx.lock(*ids);
+                    ctx.store<double>(acc,
+                                      ctx.load<double>(acc) + term);
+                    ctx.unlock(*ids);
+                }
+            });
+    };
+}
+
+/** Deterministic result + a nondeterministic side structure. */
+ProgramFactory
+sideStructFactory()
+{
+    return [] {
+        auto ids = std::make_shared<sim::MutexId>();
+        return std::make_unique<LambdaProgram>(
+            "sidestruct", 4,
+            [ids](sim::SetupCtx &ctx) {
+                ctx.global("result", mem::tInt64());
+                ctx.global("last_writer", mem::tInt64());
+                *ids = ctx.mutex();
+            },
+            [ids](sim::ThreadCtx &ctx) {
+                ctx.lock(*ids);
+                const auto r =
+                    ctx.load<std::int64_t>(ctx.global("result"));
+                ctx.store<std::int64_t>(ctx.global("result"), r + 10);
+                // Schedule-dependent scratch: who got here last.
+                ctx.store<std::int64_t>(ctx.global("last_writer"),
+                                        ctx.tid());
+                ctx.unlock(*ids);
+            });
+    };
+}
+
+TEST(Driver, Figure1IsExternallyDeterministic)
+{
+    DeterminismDriver driver(baseConfig(Scheme::HwInc, false));
+    const DriverReport report = driver.check(figure1Factory());
+    EXPECT_TRUE(report.deterministic()) << "first ndet run "
+                                        << report.firstNdetRun;
+    EXPECT_TRUE(report.detAtEnd);
+    EXPECT_EQ(report.ndetPoints, 0u);
+    EXPECT_EQ(report.app, "fig1");
+}
+
+TEST(Driver, RacyProgramDetectedQuickly)
+{
+    DeterminismDriver driver(baseConfig(Scheme::HwInc, false));
+    const DriverReport report = driver.check(racyFactory());
+    EXPECT_FALSE(report.deterministic());
+    EXPECT_GT(report.firstNdetRun, 0);
+    EXPECT_LE(report.firstNdetRun, 5)
+        << "nondeterminism should surface within a few runs (7.2.2)";
+    EXPECT_FALSE(report.detAtEnd);
+    EXPECT_GT(report.ndetPoints, 0u);
+}
+
+TEST(Driver, FpNoiseNdetBitwiseDetRounded)
+{
+    DeterminismDriver bitwise(baseConfig(Scheme::HwInc, false));
+    const DriverReport noisy = bitwise.check(fpNoiseFactory());
+    EXPECT_FALSE(noisy.deterministic())
+        << "reassociation noise must show bit-by-bit";
+
+    DeterminismDriver rounded(baseConfig(Scheme::HwInc, true));
+    const DriverReport clean = rounded.check(fpNoiseFactory());
+    EXPECT_TRUE(clean.deterministic())
+        << "FP rounding must absorb the noise";
+}
+
+TEST(Driver, IgnoringSideStructureRestoresDeterminism)
+{
+    DriverConfig cfg = baseConfig(Scheme::HwInc, false);
+    DeterminismDriver plain(cfg);
+    const DriverReport with_struct = plain.check(sideStructFactory());
+    EXPECT_FALSE(with_struct.deterministic());
+
+    cfg.ignores.globals.push_back("last_writer");
+    DeterminismDriver ignoring(cfg);
+    const DriverReport without = ignoring.check(sideStructFactory());
+    EXPECT_TRUE(without.deterministic());
+    EXPECT_TRUE(without.detAtEnd);
+}
+
+TEST(Driver, SchemesAgreeOnVerdicts)
+{
+    for (Scheme scheme : {Scheme::HwInc, Scheme::SwInc, Scheme::SwTr}) {
+        DeterminismDriver driver(baseConfig(scheme, false));
+        EXPECT_TRUE(driver.check(figure1Factory()).deterministic())
+            << schemeName(scheme);
+        EXPECT_FALSE(driver.check(racyFactory()).deterministic())
+            << schemeName(scheme);
+    }
+}
+
+TEST(Driver, OverheadOrdering)
+{
+    // HW < SW-Inc; both measured on the same deterministic workload.
+    DeterminismDriver hw(baseConfig(Scheme::HwInc, false));
+    DeterminismDriver sw(baseConfig(Scheme::SwInc, false));
+    const double hw_factor =
+        hw.check(figure1Factory()).overheadFactor();
+    const double sw_factor =
+        sw.check(figure1Factory()).overheadFactor();
+    EXPECT_LT(hw_factor, sw_factor);
+    EXPECT_GE(hw_factor, 1.0);
+}
+
+TEST(Driver, NativeRunHasNoOverhead)
+{
+    DeterminismDriver driver(baseConfig(Scheme::HwInc, false));
+    const sim::RunResult native = driver.runNative(figure1Factory(), 1);
+    EXPECT_EQ(native.overheadInstrs, 0u);
+    EXPECT_GT(native.nativeInstrs, 0u);
+}
+
+TEST(Driver, RequiresAtLeastTwoRuns)
+{
+    DriverConfig cfg = baseConfig(Scheme::HwInc, false);
+    cfg.runs = 1;
+    DeterminismDriver driver(cfg);
+    EXPECT_DEATH(driver.check(figure1Factory()), "at least two runs");
+}
+
+} // namespace
+} // namespace icheck::check

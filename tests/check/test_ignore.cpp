@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Ignore-spec resolution against allocator and static-segment state.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/ignore.hpp"
+
+namespace icheck::check
+{
+namespace
+{
+
+TEST(IgnoreSpec, EmptyResolvesToNothing)
+{
+    mem::ReplayLog log;
+    mem::DeterministicAllocator alloc(
+        log, mem::DeterministicAllocator::Mode::Record);
+    mem::StaticSegment statics;
+    EXPECT_TRUE(resolveIgnores({}, alloc, statics).empty());
+}
+
+TEST(IgnoreSpec, SiteCoversAllLiveBlocks)
+{
+    mem::ReplayLog log;
+    mem::DeterministicAllocator alloc(
+        log, mem::DeterministicAllocator::Mode::Record);
+    mem::StaticSegment statics;
+    const mem::TypeRef node = mem::tStruct({mem::tInt64(),
+                                            mem::tPointer()});
+    const Addr a = alloc.allocate("free_task", node);
+    const Addr b = alloc.allocate("free_task", node);
+    alloc.allocate("other", node);
+    IgnoreSpec spec;
+    spec.sites.push_back("free_task");
+    const auto ranges = resolveIgnores(spec, alloc, statics);
+    ASSERT_EQ(ranges.size(), 2u);
+    EXPECT_EQ(ranges[0].addr, a);
+    EXPECT_EQ(ranges[1].addr, b);
+    EXPECT_EQ(ranges[0].len, node->size());
+    EXPECT_EQ(ranges[0].type, node);
+}
+
+TEST(IgnoreSpec, FreedBlocksNotResolved)
+{
+    mem::ReplayLog log;
+    mem::DeterministicAllocator alloc(
+        log, mem::DeterministicAllocator::Mode::Record);
+    mem::StaticSegment statics;
+    const Addr a = alloc.allocate("s", mem::tInt64());
+    alloc.free(a);
+    IgnoreSpec spec;
+    spec.sites.push_back("s");
+    EXPECT_TRUE(resolveIgnores(spec, alloc, statics).empty())
+        << "freed blocks are scrubbed, not ignored";
+}
+
+TEST(IgnoreSpec, FieldSlicesEveryBlockOfSite)
+{
+    mem::ReplayLog log;
+    mem::DeterministicAllocator alloc(
+        log, mem::DeterministicAllocator::Mode::Record);
+    mem::StaticSegment statics;
+    const mem::TypeRef task = mem::tStruct({mem::tInt64(), mem::tPointer(),
+                                            mem::tInt64()});
+    const Addr a = alloc.allocate("task", task);
+    const Addr b = alloc.allocate("task", task);
+    IgnoreSpec spec;
+    spec.fields.push_back({"task", 8, 8}); // the pointer field
+    const auto ranges = resolveIgnores(spec, alloc, statics);
+    ASSERT_EQ(ranges.size(), 2u);
+    EXPECT_EQ(ranges[0].addr, a + 8);
+    EXPECT_EQ(ranges[0].len, 8u);
+    EXPECT_EQ(ranges[0].type, nullptr) << "field slices hash raw";
+    EXPECT_EQ(ranges[1].addr, b + 8);
+}
+
+TEST(IgnoreSpec, GlobalsResolveWholeVariable)
+{
+    mem::ReplayLog log;
+    mem::DeterministicAllocator alloc(
+        log, mem::DeterministicAllocator::Mode::Record);
+    mem::StaticSegment statics;
+    statics.reserve("keep", mem::tInt64());
+    const Addr g = statics.reserve("scratch", mem::tArray(mem::tDouble(),
+                                                          4));
+    IgnoreSpec spec;
+    spec.globals.push_back("scratch");
+    const auto ranges = resolveIgnores(spec, alloc, statics);
+    ASSERT_EQ(ranges.size(), 1u);
+    EXPECT_EQ(ranges[0].addr, g);
+    EXPECT_EQ(ranges[0].len, 32u);
+}
+
+TEST(IgnoreSpec, FieldOutsideBlockPanics)
+{
+    mem::ReplayLog log;
+    mem::DeterministicAllocator alloc(
+        log, mem::DeterministicAllocator::Mode::Record);
+    mem::StaticSegment statics;
+    alloc.allocate("small", mem::tInt32());
+    IgnoreSpec spec;
+    spec.fields.push_back({"small", 2, 8});
+    EXPECT_DEATH(resolveIgnores(spec, alloc, statics),
+                 "ignore field outside block");
+}
+
+} // namespace
+} // namespace icheck::check

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Automatic inference of nondeterministic structures: the tool must
+ * propose exactly the isolations the paper's authors identified by hand
+ * for the small-struct applications, propose nothing for clean or
+ * FP-noise-only programs (under rounding), and the proposed spec must
+ * actually restore determinism.
+ */
+
+#include <gtest/gtest.h>
+#include <algorithm>
+#include <memory>
+
+#include "apps/app_registry.hpp"
+#include "check/infer.hpp"
+
+namespace icheck::check
+{
+namespace
+{
+
+sim::MachineConfig
+machineConfig(bool fp_rounding)
+{
+    sim::MachineConfig cfg;
+    cfg.numCores = 8;
+    cfg.fpRoundingEnabled = fp_rounding;
+    return cfg;
+}
+
+bool
+specDeterminizes(const ProgramFactory &factory, const IgnoreSpec &spec)
+{
+    DriverConfig cfg;
+    cfg.runs = 8;
+    cfg.machine = machineConfig(true);
+    cfg.ignores = spec;
+    DeterminismDriver driver(cfg);
+    return driver.check(factory).deterministic();
+}
+
+TEST(Infer, CleanProgramYieldsEmptySpec)
+{
+    const auto &app = apps::findApp("radix");
+    const InferenceResult result =
+        inferIgnores(app.factory, machineConfig(true), 6);
+    EXPECT_TRUE(result.empty());
+    EXPECT_TRUE(result.evidence.empty());
+}
+
+TEST(Infer, FpNoiseFilteredUnderRounding)
+{
+    // ocean's final state differs bitwise across schedules only in FP
+    // reassociation noise: inference under rounding must propose nothing,
+    // while bitwise inference flags the FP data.
+    const auto &app = apps::findApp("ocean");
+    const InferenceResult rounded =
+        inferIgnores(app.factory, machineConfig(true), 6);
+    EXPECT_TRUE(rounded.empty())
+        << "rounding-aware inference must filter reassociation noise";
+
+    const InferenceResult bitwise =
+        inferIgnores(app.factory, machineConfig(false), 6);
+    EXPECT_FALSE(bitwise.empty())
+        << "bitwise inference should see the noisy FP locations";
+}
+
+class InferSmallStruct : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(InferSmallStruct, ProposesASpecThatRestoresDeterminism)
+{
+    const auto &app = apps::findApp(GetParam());
+    const InferenceResult result =
+        inferIgnores(app.factory, machineConfig(true), 8);
+    ASSERT_FALSE(result.empty())
+        << "small-struct apps must show real nondeterminism";
+    EXPECT_TRUE(specDeterminizes(app.factory, result.spec))
+        << "the inferred isolation must work end-to-end";
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, InferSmallStruct,
+                         ::testing::Values("cholesky", "pbzip2",
+                                           "sphinx3"),
+                         [](const auto &info) { return info.param; });
+
+TEST(Infer, CholeskyEvidenceNamesTheFreeList)
+{
+    const auto &app = apps::findApp("cholesky");
+    const InferenceResult result =
+        inferIgnores(app.factory, machineConfig(true), 8);
+    const bool saw_nodes =
+        std::any_of(result.spec.sites.begin(), result.spec.sites.end(),
+                    [](const std::string &site) {
+                        return site == "cholesky.cpp:task_node";
+                    });
+    const bool saw_head = std::any_of(
+        result.spec.globals.begin(), result.spec.globals.end(),
+        [](const std::string &name) {
+            return name == "free_task_head";
+        });
+    EXPECT_TRUE(saw_nodes) << "the freeTask nodes must be proposed";
+    EXPECT_TRUE(saw_head) << "the list head must be proposed";
+}
+
+TEST(Infer, Sphinx3EvidenceNamesTheScratch)
+{
+    const auto &app = apps::findApp("sphinx3");
+    const InferenceResult result =
+        inferIgnores(app.factory, machineConfig(true), 8);
+    EXPECT_TRUE(std::any_of(
+        result.spec.sites.begin(), result.spec.sites.end(),
+        [](const std::string &site) {
+            return site == "sphinx3.cpp:scratch";
+        }));
+    // The deterministic score tables must NOT be implicated.
+    for (const DiffSite &site : result.evidence) {
+        EXPECT_NE(site.owner, "global:scores") << "false positive";
+        EXPECT_NE(site.owner, "global:features") << "false positive";
+    }
+}
+
+TEST(Infer, NeedsAtLeastTwoRuns)
+{
+    const auto &app = apps::findApp("radix");
+    EXPECT_DEATH(inferIgnores(app.factory, machineConfig(true), 1),
+                 "at least two runs");
+}
+
+} // namespace
+} // namespace icheck::check

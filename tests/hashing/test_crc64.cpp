@@ -1,0 +1,62 @@
+/**
+ * @file
+ * CRC-64/ECMA-182 correctness.
+ */
+
+#include <cstring>
+#include <gtest/gtest.h>
+
+#include "hashing/crc64.hpp"
+
+namespace icheck::hashing
+{
+namespace
+{
+
+TEST(Crc64, EmptyInputIsSeed)
+{
+    EXPECT_EQ(Crc64::compute(nullptr, 0), 0u);
+    EXPECT_EQ(Crc64::compute(nullptr, 0, 0xdeadbeef), 0xdeadbeefu);
+}
+
+TEST(Crc64, KnownVector)
+{
+    // CRC-64/ECMA-182 of "123456789" (init 0, no reflection, no xorout).
+    const char *msg = "123456789";
+    EXPECT_EQ(Crc64::compute(msg, std::strlen(msg)),
+              0x6C40DF5F0B497347ULL);
+}
+
+TEST(Crc64, FeedMatchesCompute)
+{
+    const char *msg = "incremental hashing";
+    std::uint64_t crc = 0;
+    for (const char *p = msg; *p; ++p)
+        crc = Crc64::feed(crc, static_cast<std::uint8_t>(*p));
+    EXPECT_EQ(crc, Crc64::compute(msg, std::strlen(msg)));
+}
+
+TEST(Crc64, SeedContinuesStream)
+{
+    const char *msg = "split into two parts";
+    const std::size_t cut = 7;
+    const std::uint64_t first = Crc64::compute(msg, cut);
+    const std::uint64_t full =
+        Crc64::compute(msg + cut, std::strlen(msg) - cut, first);
+    EXPECT_EQ(full, Crc64::compute(msg, std::strlen(msg)));
+}
+
+TEST(Crc64, SensitiveToEveryByte)
+{
+    std::uint8_t data[16] = {};
+    const std::uint64_t base = Crc64::compute(data, sizeof(data));
+    for (std::size_t i = 0; i < sizeof(data); ++i) {
+        std::uint8_t copy[16] = {};
+        copy[i] = 1;
+        EXPECT_NE(Crc64::compute(copy, sizeof(copy)), base)
+            << "byte " << i;
+    }
+}
+
+} // namespace
+} // namespace icheck::hashing

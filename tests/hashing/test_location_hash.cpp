@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Per-location hash function h(a, v) properties, for both the CRC-64 and
+ * Mix64 instantiations.
+ */
+
+#include <gtest/gtest.h>
+#include <memory>
+#include <set>
+
+#include "hashing/location_hash.hpp"
+#include "support/rng.hpp"
+
+namespace icheck::hashing
+{
+namespace
+{
+
+class LocationHasherTest : public ::testing::TestWithParam<HasherKind>
+{
+  protected:
+    void SetUp() override { hasher = makeLocationHasher(GetParam()); }
+
+    std::unique_ptr<LocationHasher> hasher;
+};
+
+TEST_P(LocationHasherTest, PureFunction)
+{
+    Xoshiro256 rng(3);
+    for (int i = 0; i < 50; ++i) {
+        const Addr addr = rng.next();
+        const auto value = static_cast<std::uint8_t>(rng.next());
+        EXPECT_EQ(hasher->hashByte(addr, value),
+                  hasher->hashByte(addr, value));
+    }
+}
+
+TEST_P(LocationHasherTest, ZeroByteIsIdentity)
+{
+    // h(a, 0) == identity: zero memory contributes nothing to a state
+    // hash, which is what keeps incremental and traversal hashing in
+    // agreement over allocation and scrubbing.
+    Xoshiro256 rng(5);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(hasher->hashByte(rng.next(), 0), zeroHash);
+}
+
+TEST_P(LocationHasherTest, AddressSensitive)
+{
+    // The hash includes addresses so a permutation of the same values
+    // hashes differently (Section 2.2).
+    EXPECT_NE(hasher->hashByte(0x1000, 7), hasher->hashByte(0x1001, 7));
+    const ModHash permuted_a = hasher->hashByte(0x1000, 7) +
+                               hasher->hashByte(0x1001, 9);
+    const ModHash permuted_b = hasher->hashByte(0x1000, 9) +
+                               hasher->hashByte(0x1001, 7);
+    EXPECT_NE(permuted_a, permuted_b);
+}
+
+TEST_P(LocationHasherTest, ValueSensitive)
+{
+    std::set<HashWord> seen;
+    for (unsigned v = 1; v < 256; ++v)
+        seen.insert(hasher->hashByte(0x2000, static_cast<std::uint8_t>(v))
+                        .raw());
+    EXPECT_EQ(seen.size(), 255u) << "nonzero byte values must not collide "
+                                    "at one address";
+}
+
+TEST_P(LocationHasherTest, NoAccidentalSumCollisions)
+{
+    // Sum a few thousand random (addr, value) hashes two ways: batches
+    // assembled in different orders agree; distinct batches do not.
+    Xoshiro256 rng(9);
+    ModHash forward, backward;
+    std::vector<std::pair<Addr, std::uint8_t>> pairs;
+    for (int i = 0; i < 2000; ++i) {
+        pairs.emplace_back(rng.next(),
+                           static_cast<std::uint8_t>(rng.range(1, 255)));
+    }
+    for (const auto &[addr, value] : pairs)
+        forward += hasher->hashByte(addr, value);
+    for (auto it = pairs.rbegin(); it != pairs.rend(); ++it)
+        backward += hasher->hashByte(it->first, it->second);
+    EXPECT_EQ(forward, backward);
+
+    ModHash other = forward - hasher->hashByte(pairs[0].first,
+                                               pairs[0].second);
+    EXPECT_NE(other, forward);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllHashers, LocationHasherTest,
+                         ::testing::Values(HasherKind::Crc64,
+                                           HasherKind::Mix64),
+                         [](const auto &info) {
+                             return info.param == HasherKind::Crc64
+                                        ? "Crc64"
+                                        : "Mix64";
+                         });
+
+TEST(LocationHasherFactory, NamesMatchKinds)
+{
+    EXPECT_EQ(makeLocationHasher(HasherKind::Crc64)->name(), "crc64");
+    EXPECT_EQ(makeLocationHasher(HasherKind::Mix64)->name(), "mix64");
+}
+
+} // namespace
+} // namespace icheck::hashing

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Group-algebra properties of ModHash — the foundation that makes
+ * incremental hashing sound (Section 2.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "hashing/mod_hash.hpp"
+#include "support/rng.hpp"
+
+namespace icheck::hashing
+{
+namespace
+{
+
+TEST(ModHash, IdentityIsZero)
+{
+    ModHash h(0x1234);
+    EXPECT_EQ(h + zeroHash, h);
+    EXPECT_EQ(zeroHash + h, h);
+    EXPECT_EQ(h - zeroHash, h);
+}
+
+TEST(ModHash, AdditionCommutes)
+{
+    Xoshiro256 rng(7);
+    for (int i = 0; i < 100; ++i) {
+        ModHash a(rng.next());
+        ModHash b(rng.next());
+        EXPECT_EQ(a + b, b + a);
+    }
+}
+
+TEST(ModHash, AdditionAssociates)
+{
+    Xoshiro256 rng(11);
+    for (int i = 0; i < 100; ++i) {
+        ModHash a(rng.next());
+        ModHash b(rng.next());
+        ModHash c(rng.next());
+        EXPECT_EQ((a + b) + c, a + (b + c));
+    }
+}
+
+TEST(ModHash, SubtractionCancelsAddition)
+{
+    Xoshiro256 rng(13);
+    for (int i = 0; i < 100; ++i) {
+        ModHash a(rng.next());
+        ModHash b(rng.next());
+        EXPECT_EQ((a + b) - b, a);
+        EXPECT_EQ((a - b) + b, a);
+    }
+}
+
+TEST(ModHash, UnaryMinusIsInverse)
+{
+    Xoshiro256 rng(17);
+    for (int i = 0; i < 100; ++i) {
+        ModHash a(rng.next());
+        EXPECT_EQ(a + (-a), zeroHash);
+    }
+}
+
+TEST(ModHash, WrapsModulo64)
+{
+    ModHash max(~std::uint64_t{0});
+    EXPECT_EQ(max + ModHash(1), zeroHash);
+    EXPECT_EQ(zeroHash - ModHash(1), max);
+}
+
+TEST(ModHash, CompoundAssignmentMatchesBinary)
+{
+    ModHash a(5);
+    ModHash acc = a;
+    acc += ModHash(9);
+    EXPECT_EQ(acc, a + ModHash(9));
+    acc -= ModHash(9);
+    EXPECT_EQ(acc, a);
+}
+
+} // namespace
+} // namespace icheck::hashing

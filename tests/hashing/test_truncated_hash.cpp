@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Width-truncated hashing: the substrate of the hash-width collision
+ * ablation (the paper's 2^-W false-negative argument).
+ */
+
+#include <gtest/gtest.h>
+#include <set>
+
+#include "hashing/truncated_hash.hpp"
+#include "support/rng.hpp"
+
+namespace icheck::hashing
+{
+namespace
+{
+
+std::unique_ptr<TruncatedLocationHasher>
+make(unsigned width)
+{
+    return std::make_unique<TruncatedLocationHasher>(
+        makeLocationHasher(HasherKind::Crc64), width);
+}
+
+TEST(TruncatedHasher, MasksToWidth)
+{
+    const auto hasher = make(12);
+    Xoshiro256 rng(1);
+    for (int i = 0; i < 200; ++i) {
+        const HashWord word =
+            hasher->hashByte(rng.next(),
+                             static_cast<std::uint8_t>(rng.range(1, 255)))
+                .raw();
+        EXPECT_LT(word, HashWord{1} << 12);
+    }
+}
+
+TEST(TruncatedHasher, Width64IsTransparent)
+{
+    const auto full = makeLocationHasher(HasherKind::Crc64);
+    const auto truncated = make(64);
+    EXPECT_EQ(truncated->hashByte(0x1234, 99), full->hashByte(0x1234, 99));
+}
+
+TEST(TruncatedHasher, PreservesZeroIdentity)
+{
+    const auto hasher = make(16);
+    EXPECT_EQ(hasher->hashByte(0x5555, 0), ModHash{});
+}
+
+TEST(TruncatedHasher, AgreesWithInnerOnLowBits)
+{
+    const auto full = makeLocationHasher(HasherKind::Crc64);
+    const auto hasher = make(20);
+    Xoshiro256 rng(2);
+    for (int i = 0; i < 100; ++i) {
+        const Addr addr = rng.next();
+        const auto value = static_cast<std::uint8_t>(rng.range(1, 255));
+        EXPECT_EQ(hasher->hashByte(addr, value).raw(),
+                  full->hashByte(addr, value).raw() &
+                      ((HashWord{1} << 20) - 1));
+    }
+}
+
+TEST(TruncatedHasher, NameEncodesWidth)
+{
+    EXPECT_EQ(make(16)->name(), "crc64/16");
+    EXPECT_EQ(make(16)->width(), 16u);
+}
+
+TEST(TruncatedHasher, NarrowWidthsCollideAtBirthdayRate)
+{
+    // ~2000 distinct nonzero (addr, value) pairs at 10 bits: expect
+    // heavy collisions; at 64 bits: none.
+    Xoshiro256 rng(3);
+    std::vector<std::pair<Addr, std::uint8_t>> inputs;
+    for (int i = 0; i < 2000; ++i)
+        inputs.emplace_back(rng.next(),
+                            static_cast<std::uint8_t>(rng.range(1, 255)));
+
+    const auto narrow = make(10);
+    std::set<HashWord> narrow_values;
+    for (const auto &[addr, value] : inputs)
+        narrow_values.insert(narrow->hashByte(addr, value).raw());
+    EXPECT_LT(narrow_values.size(), inputs.size())
+        << "10-bit hashes of 2000 inputs must collide";
+
+    const auto wide = make(64);
+    std::set<HashWord> wide_values;
+    for (const auto &[addr, value] : inputs)
+        wide_values.insert(wide->hashByte(addr, value).raw());
+    EXPECT_EQ(wide_values.size(), inputs.size());
+}
+
+TEST(TruncatedHasher, InvalidWidthPanics)
+{
+    EXPECT_DEATH(make(0), "width");
+    EXPECT_DEATH(make(65), "width");
+}
+
+} // namespace
+} // namespace icheck::hashing

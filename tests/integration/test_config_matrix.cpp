@@ -1,0 +1,125 @@
+/**
+ * @file
+ * End-to-end configuration matrix: the State Hash of a run must be
+ * invariant to *implementation* choices — location hasher construction
+ * cannot change verdicts, the clustered MHM must equal the basic MHM, and
+ * write-buffer drain policy must not matter (Section 3.2's ordering
+ * freedom, verified through the whole machine rather than unit-level).
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/app_registry.hpp"
+#include "check/checker.hpp"
+#include "sim/machine.hpp"
+
+namespace icheck
+{
+namespace
+{
+
+struct MatrixParam
+{
+    hashing::HasherKind hasher;
+    bool clustered;
+    std::size_t clusters;
+    mhm::DispatchPolicy dispatch;
+    cache::DrainPolicy drain;
+    std::string label;
+};
+
+std::vector<HashWord>
+runWith(const MatrixParam &param, const apps::AppInfo &app,
+        std::uint64_t seed)
+{
+    sim::MachineConfig cfg;
+    cfg.numCores = 8;
+    cfg.schedSeed = seed;
+    cfg.hasherKind = param.hasher;
+    cfg.mhmCfg.clustered = param.clustered;
+    cfg.mhmCfg.clusters = param.clusters;
+    cfg.mhmCfg.dispatch = param.dispatch;
+    cfg.mhmCfg.dispatchSeed = seed * 31 + 7;
+    cfg.wbPolicy = param.drain;
+    sim::Machine machine(cfg);
+    auto checker = check::makeChecker(check::Scheme::HwInc, app.ignores);
+    checker->attach(machine);
+    machine.setRunStartHandler([&] { checker->onRunStart(); });
+    std::vector<HashWord> trace;
+    machine.setCheckpointHandler([&](const sim::CheckpointInfo &) {
+        trace.push_back(checker->checkpointHash().raw());
+    });
+    auto program = app.factory();
+    machine.run(*program);
+    return trace;
+}
+
+class ConfigMatrix : public ::testing::TestWithParam<MatrixParam>
+{
+};
+
+TEST_P(ConfigMatrix, MicroarchitectureChoicesDoNotChangeTheHash)
+{
+    const MatrixParam &param = GetParam();
+    // Reference: same hasher, basic MHM, FIFO drain. The hash value
+    // itself depends on the hasher kind, so compare within-kind.
+    MatrixParam reference = param;
+    reference.clustered = false;
+    reference.drain = cache::DrainPolicy::Fifo;
+
+    for (const char *name : {"fft", "cholesky", "canneal"}) {
+        const apps::AppInfo &app = apps::findApp(name);
+        const auto expected = runWith(reference, app, 11);
+        const auto actual = runWith(param, app, 11);
+        EXPECT_EQ(actual, expected) << name << " under " << param.label;
+    }
+}
+
+TEST_P(ConfigMatrix, VerdictsAreImplementationIndependent)
+{
+    // A deterministic app stays deterministic and a nondeterministic one
+    // stays nondeterministic under every microarchitecture.
+    const MatrixParam &param = GetParam();
+    auto hashes_for = [&](const char *name, std::uint64_t seed) {
+        return runWith(param, apps::findApp(name), seed);
+    };
+    EXPECT_EQ(hashes_for("radix", 21), hashes_for("radix", 22))
+        << "radix must stay deterministic under " << param.label;
+    std::set<std::vector<HashWord>> canneal_traces;
+    for (std::uint64_t seed = 31; seed < 37; ++seed)
+        canneal_traces.insert(hashes_for("canneal", seed));
+    EXPECT_GT(canneal_traces.size(), 1u)
+        << "canneal must stay nondeterministic under " << param.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Microarchitectures, ConfigMatrix,
+    ::testing::Values(
+        MatrixParam{hashing::HasherKind::Crc64, false, 0,
+                    mhm::DispatchPolicy::RoundRobin,
+                    cache::DrainPolicy::Fifo, "crc64_basic_fifo"},
+        MatrixParam{hashing::HasherKind::Mix64, false, 0,
+                    mhm::DispatchPolicy::RoundRobin,
+                    cache::DrainPolicy::Fifo, "mix64_basic_fifo"},
+        MatrixParam{hashing::HasherKind::Crc64, true, 4,
+                    mhm::DispatchPolicy::RoundRobin,
+                    cache::DrainPolicy::Fifo, "crc64_clustered4_fifo"},
+        MatrixParam{hashing::HasherKind::Crc64, true, 8,
+                    mhm::DispatchPolicy::Random,
+                    cache::DrainPolicy::Fifo,
+                    "crc64_clustered8rand_fifo"},
+        MatrixParam{hashing::HasherKind::Crc64, false, 0,
+                    mhm::DispatchPolicy::RoundRobin,
+                    cache::DrainPolicy::Lifo, "crc64_basic_lifo"},
+        MatrixParam{hashing::HasherKind::Crc64, true, 16,
+                    mhm::DispatchPolicy::Random,
+                    cache::DrainPolicy::Random,
+                    "crc64_clustered16rand_randomdrain"},
+        MatrixParam{hashing::HasherKind::Mix64, true, 2,
+                    mhm::DispatchPolicy::Random,
+                    cache::DrainPolicy::Random,
+                    "mix64_clustered2rand_randomdrain"}),
+    [](const auto &info) { return info.param.label; });
+
+} // namespace
+} // namespace icheck

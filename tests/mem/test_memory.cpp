@@ -1,0 +1,110 @@
+/**
+ * @file
+ * SparseMemory semantics: zero-default reads, typed round trips, clone
+ * and diff (the localization substrate).
+ */
+
+#include <gtest/gtest.h>
+#include <vector>
+
+#include "mem/memory.hpp"
+
+namespace icheck::mem
+{
+namespace
+{
+
+TEST(SparseMemory, UnmappedReadsZero)
+{
+    SparseMemory mem;
+    EXPECT_EQ(mem.readByte(0x12345), 0u);
+    EXPECT_EQ(mem.readValue(0xdeadbeef, 8), 0u);
+    EXPECT_EQ(mem.mappedPages(), 0u) << "reads must not materialize pages";
+}
+
+TEST(SparseMemory, ValueRoundTripAllWidths)
+{
+    SparseMemory mem;
+    for (unsigned width = 1; width <= 8; ++width) {
+        const std::uint64_t value =
+            0x1122334455667788ULL &
+            (width == 8 ? ~0ULL : ((1ULL << (8 * width)) - 1));
+        mem.writeValue(0x1000 + width * 16, width, value);
+        EXPECT_EQ(mem.readValue(0x1000 + width * 16, width), value);
+    }
+}
+
+TEST(SparseMemory, LittleEndianLayout)
+{
+    SparseMemory mem;
+    mem.writeValue(0x2000, 4, 0xddccbbaa);
+    EXPECT_EQ(mem.readByte(0x2000), 0xaa);
+    EXPECT_EQ(mem.readByte(0x2001), 0xbb);
+    EXPECT_EQ(mem.readByte(0x2002), 0xcc);
+    EXPECT_EQ(mem.readByte(0x2003), 0xdd);
+}
+
+TEST(SparseMemory, CrossPageAccess)
+{
+    SparseMemory mem;
+    const Addr boundary = pageSize - 3;
+    mem.writeValue(boundary, 8, 0x0807060504030201ULL);
+    EXPECT_EQ(mem.readValue(boundary, 8), 0x0807060504030201ULL);
+    EXPECT_EQ(mem.mappedPages(), 2u);
+}
+
+TEST(SparseMemory, BulkReadWrite)
+{
+    SparseMemory mem;
+    std::vector<std::uint8_t> data(10000);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 7);
+    mem.writeBytes(0x3000, data.data(), data.size());
+    std::vector<std::uint8_t> back(data.size());
+    mem.readBytes(0x3000, back.data(), back.size());
+    EXPECT_EQ(back, data);
+}
+
+TEST(SparseMemory, CloneIsDeepAndIndependent)
+{
+    SparseMemory mem;
+    mem.writeValue(0x100, 8, 42);
+    SparseMemory copy = mem.clone();
+    mem.writeValue(0x100, 8, 43);
+    EXPECT_EQ(copy.readValue(0x100, 8), 42u);
+    EXPECT_EQ(mem.readValue(0x100, 8), 43u);
+}
+
+TEST(SparseMemory, DiffFindsExactBytes)
+{
+    SparseMemory a, b;
+    a.writeValue(0x100, 4, 0x01020304);
+    b.writeValue(0x100, 4, 0x01ff0304);
+    b.writeValue(0x9000, 1, 0x55); // page only in b
+    std::vector<std::tuple<Addr, std::uint8_t, std::uint8_t>> diffs;
+    SparseMemory::diff(a, b, [&](Addr addr, std::uint8_t va,
+                                 std::uint8_t vb) {
+        diffs.emplace_back(addr, va, vb);
+    });
+    ASSERT_EQ(diffs.size(), 2u);
+    EXPECT_EQ(std::get<0>(diffs[0]), 0x102u);
+    EXPECT_EQ(std::get<1>(diffs[0]), 0x02);
+    EXPECT_EQ(std::get<2>(diffs[0]), 0xff);
+    EXPECT_EQ(std::get<0>(diffs[1]), 0x9000u);
+    EXPECT_EQ(std::get<1>(diffs[1]), 0x00);
+    EXPECT_EQ(std::get<2>(diffs[1]), 0x55);
+}
+
+TEST(SparseMemory, DiffOfEqualStatesIsEmpty)
+{
+    SparseMemory a;
+    a.writeValue(0x500, 8, 999);
+    SparseMemory b = a.clone();
+    int count = 0;
+    SparseMemory::diff(a, b,
+                       [&](Addr, std::uint8_t, std::uint8_t) { ++count; });
+    EXPECT_EQ(count, 0);
+}
+
+} // namespace
+} // namespace icheck::mem

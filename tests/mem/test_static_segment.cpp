@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Static segment layout of program globals.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/static_segment.hpp"
+
+namespace icheck::mem
+{
+namespace
+{
+
+TEST(StaticSegment, SequentialAlignedLayout)
+{
+    StaticSegment seg;
+    const Addr a = seg.reserve("a", tInt32());
+    const Addr b = seg.reserve("b", tDouble());
+    EXPECT_EQ(a, staticBase);
+    EXPECT_EQ(b, staticBase + 8) << "4-byte global padded to 8";
+    EXPECT_EQ(seg.bytes(), 16u);
+}
+
+TEST(StaticSegment, AddressOfFindsGlobals)
+{
+    StaticSegment seg;
+    seg.reserve("x", tInt64());
+    const Addr y = seg.reserve("y", tArray(tFloat(), 5));
+    EXPECT_EQ(seg.addressOf("y"), y);
+}
+
+TEST(StaticSegment, UnknownGlobalPanics)
+{
+    StaticSegment seg;
+    EXPECT_DEATH(seg.addressOf("nope"), "unknown global");
+}
+
+TEST(StaticSegment, DuplicateNamePanics)
+{
+    StaticSegment seg;
+    seg.reserve("dup", tInt8());
+    EXPECT_DEATH(seg.reserve("dup", tInt8()), "duplicate global");
+}
+
+TEST(StaticSegment, FindContainingCoversWholeType)
+{
+    StaticSegment seg;
+    seg.reserve("first", tInt64());
+    const Addr arr = seg.reserve("arr", tArray(tInt32(), 10));
+    const GlobalVar *var = seg.findContaining(arr + 17);
+    ASSERT_NE(var, nullptr);
+    EXPECT_EQ(var->name, "arr");
+    EXPECT_EQ(seg.findContaining(arr + 40), nullptr);
+}
+
+} // namespace
+} // namespace icheck::mem

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * MHM microarchitecture: basic vs clustered equivalence (Fig 3),
+ * dispatch-order freedom, FP round-off unit integration.
+ */
+
+#include <gtest/gtest.h>
+#include <bit>
+#include <memory>
+
+#include "hashing/location_hash.hpp"
+#include "mhm/mhm.hpp"
+#include "support/rng.hpp"
+
+namespace icheck::mhm
+{
+namespace
+{
+
+using hashing::FpRoundMode;
+using hashing::ModHash;
+using hashing::ValueClass;
+
+class MhmEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::size_t,
+                                                 DispatchPolicy>>
+{
+};
+
+TEST_P(MhmEquivalence, ClusteredMatchesBasic)
+{
+    const auto [clusters, policy] = GetParam();
+    hashing::Crc64LocationHasher hasher;
+    BasicMhm basic(hasher, FpRoundMode::none());
+    ClusteredMhm clustered(hasher, FpRoundMode::none(), clusters, policy,
+                           /*seed=*/777);
+    basic.startHashing();
+    clustered.startHashing();
+    basic.stopFpRounding();
+    clustered.stopFpRounding();
+
+    Xoshiro256 rng(31);
+    std::uint64_t prev = 0;
+    for (int i = 0; i < 3000; ++i) {
+        const Addr addr = 0x1000 + rng.below(256) * 8;
+        const std::uint64_t value = rng.next();
+        basic.observeStore(addr, prev, value, 8, ValueClass::Integer);
+        clustered.observeStore(addr, prev, value, 8, ValueClass::Integer);
+        prev = value;
+    }
+    EXPECT_EQ(basic.th(), clustered.th())
+        << "partial-sum clustering must not change TH";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MhmEquivalence,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8, 16),
+                       ::testing::Values(DispatchPolicy::RoundRobin,
+                                         DispatchPolicy::Random)));
+
+TEST(Mhm, StartStopHashingGatesObservation)
+{
+    hashing::Crc64LocationHasher hasher;
+    BasicMhm mhm(hasher, FpRoundMode::none());
+    mhm.observeStore(0x100, 0, 5, 8, ValueClass::Integer);
+    EXPECT_EQ(mhm.th(), ModHash{}) << "not yet started";
+    mhm.startHashing();
+    mhm.observeStore(0x100, 0, 5, 8, ValueClass::Integer);
+    const ModHash after = mhm.th();
+    EXPECT_NE(after, ModHash{});
+    mhm.stopHashing();
+    mhm.observeStore(0x100, 5, 9, 8, ValueClass::Integer);
+    EXPECT_EQ(mhm.th(), after) << "stop_hashing must gate updates";
+}
+
+TEST(Mhm, SaveRestoreRoundTrips)
+{
+    hashing::Crc64LocationHasher hasher;
+    BasicMhm mhm(hasher, FpRoundMode::none());
+    mhm.startHashing();
+    mhm.observeStore(0x200, 0, 42, 8, ValueClass::Integer);
+    const HashWord saved = mhm.saveHash();
+    mhm.observeStore(0x200, 42, 43, 8, ValueClass::Integer);
+    EXPECT_NE(mhm.saveHash(), saved);
+    mhm.restoreHash(saved);
+    EXPECT_EQ(mhm.saveHash(), saved);
+}
+
+TEST(Mhm, ClusteredSaveRestoreCollapsesPartials)
+{
+    hashing::Crc64LocationHasher hasher;
+    ClusteredMhm mhm(hasher, FpRoundMode::none(), 4,
+                     DispatchPolicy::RoundRobin, 1);
+    mhm.startHashing();
+    for (int i = 0; i < 10; ++i)
+        mhm.observeStore(0x300 + i * 8, 0, i + 1, 8, ValueClass::Integer);
+    const HashWord saved = mhm.saveHash();
+    mhm.restoreHash(saved);
+    EXPECT_EQ(mhm.saveHash(), saved);
+    EXPECT_EQ(mhm.th().raw(), saved);
+}
+
+TEST(Mhm, ClusterLoadIsBalancedUnderRoundRobin)
+{
+    hashing::Crc64LocationHasher hasher;
+    ClusteredMhm mhm(hasher, FpRoundMode::none(), 4,
+                     DispatchPolicy::RoundRobin, 1);
+    mhm.startHashing();
+    for (int i = 0; i < 100; ++i)
+        mhm.observeStore(0x400, i, i + 1, 8, ValueClass::Integer);
+    // 100 stores * 2 half-operations = 200 ops over 4 clusters.
+    for (std::size_t c = 0; c < mhm.clusterCount(); ++c)
+        EXPECT_EQ(mhm.clusterOps(c), 50u);
+}
+
+TEST(Mhm, FpRoundingUnitMergesNoise)
+{
+    hashing::Crc64LocationHasher hasher;
+    BasicMhm a(hasher, FpRoundMode::paperDefault());
+    BasicMhm b(hasher, FpRoundMode::paperDefault());
+    a.startHashing();
+    a.startFpRounding();
+    b.startHashing();
+    b.startFpRounding();
+    const double va = (0.1 + 0.2) + 0.3;
+    const double vb = 0.1 + (0.2 + 0.3);
+    ASSERT_NE(va, vb);
+    a.observeStore(0x500, 0, std::bit_cast<std::uint64_t>(va), 8,
+                   ValueClass::Double);
+    b.observeStore(0x500, 0, std::bit_cast<std::uint64_t>(vb), 8,
+                   ValueClass::Double);
+    EXPECT_EQ(a.th(), b.th());
+}
+
+TEST(Mhm, FpRoundingCanBeDisabled)
+{
+    hashing::Crc64LocationHasher hasher;
+    BasicMhm a(hasher, FpRoundMode::paperDefault());
+    BasicMhm b(hasher, FpRoundMode::paperDefault());
+    for (BasicMhm *m : {&a, &b}) {
+        m->startHashing();
+        m->stopFpRounding();
+    }
+    const double va = (0.1 + 0.2) + 0.3;
+    const double vb = 0.1 + (0.2 + 0.3);
+    a.observeStore(0x600, 0, std::bit_cast<std::uint64_t>(va), 8,
+                   ValueClass::Double);
+    b.observeStore(0x600, 0, std::bit_cast<std::uint64_t>(vb), 8,
+                   ValueClass::Double);
+    EXPECT_NE(a.th(), b.th()) << "bit-by-bit mode must see the noise";
+}
+
+TEST(Mhm, IntegerStoresBypassRounding)
+{
+    hashing::Crc64LocationHasher hasher;
+    BasicMhm mhm(hasher, FpRoundMode::paperDefault());
+    mhm.startHashing();
+    mhm.startFpRounding();
+    // An integer that happens to look like a noisy double must be hashed
+    // bit-by-bit: two close-but-different integers give different hashes.
+    const auto bits_a = std::bit_cast<std::uint64_t>(1.00000001);
+    const auto bits_b = std::bit_cast<std::uint64_t>(1.00000002);
+    BasicMhm other(hasher, FpRoundMode::paperDefault());
+    other.startHashing();
+    other.startFpRounding();
+    mhm.observeStore(0x700, 0, bits_a, 8, ValueClass::Integer);
+    other.observeStore(0x700, 0, bits_b, 8, ValueClass::Integer);
+    EXPECT_NE(mhm.th(), other.th());
+}
+
+TEST(Mhm, StatisticsCountStoresAndBytes)
+{
+    hashing::Crc64LocationHasher hasher;
+    BasicMhm mhm(hasher, FpRoundMode::none());
+    mhm.startHashing();
+    mhm.observeStore(0x800, 0, 1, 4, ValueClass::Integer);
+    mhm.observeStore(0x808, 0, 2, 8, ValueClass::Integer);
+    EXPECT_EQ(mhm.storesHashed(), 2u);
+    EXPECT_EQ(mhm.bytesHashed(), 24u) << "old+new bytes";
+}
+
+} // namespace
+} // namespace icheck::mhm

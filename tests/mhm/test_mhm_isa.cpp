@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The Fig 4 software interface: minus_hash / plus_hash deletion semantics
+ * and their interaction with start/stop_hashing.
+ */
+
+#include <gtest/gtest.h>
+#include <bit>
+
+#include "hashing/location_hash.hpp"
+#include "mhm/mhm.hpp"
+
+namespace icheck::mhm
+{
+namespace
+{
+
+using hashing::FpRoundMode;
+using hashing::ModHash;
+using hashing::ValueClass;
+
+TEST(MhmIsa, MinusPlusHashDeletesALocation)
+{
+    // Reproduces the Section 2.2 deletion example: after the run, delete
+    // G (initial 2, current 12) from the hash; what remains equals a run
+    // that never touched G.
+    hashing::Crc64LocationHasher hasher;
+
+    BasicMhm with_g(hasher, FpRoundMode::none());
+    with_g.startHashing();
+    with_g.observeStore(0x1000, 2, 9, 8, ValueClass::Integer);  // G=9
+    with_g.observeStore(0x1000, 9, 12, 8, ValueClass::Integer); // G=12
+    with_g.observeStore(0x2000, 0, 55, 8, ValueClass::Integer); // other
+    // Delete G: minus current, plus initial.
+    with_g.minusHash(0x1000, 12, 8, ValueClass::Integer);
+    with_g.plusHash(0x1000, 2, 8, ValueClass::Integer);
+
+    BasicMhm without_g(hasher, FpRoundMode::none());
+    without_g.startHashing();
+    without_g.observeStore(0x2000, 0, 55, 8, ValueClass::Integer);
+
+    EXPECT_EQ(with_g.th(), without_g.th());
+}
+
+TEST(MhmIsa, ExplicitOpsApplyEvenWhileHashingStopped)
+{
+    // start/stop_hashing gates *write observation*; the explicit ISA ops
+    // are instructions the tool executes deliberately.
+    hashing::Crc64LocationHasher hasher;
+    BasicMhm mhm(hasher, FpRoundMode::none());
+    mhm.stopHashing();
+    mhm.plusHash(0x100, 7, 8, ValueClass::Integer);
+    EXPECT_NE(mhm.th(), ModHash{});
+    mhm.minusHash(0x100, 7, 8, ValueClass::Integer);
+    EXPECT_EQ(mhm.th(), ModHash{});
+}
+
+TEST(MhmIsa, DeletionWorksOnFpValuesThroughRounding)
+{
+    hashing::Crc64LocationHasher hasher;
+    BasicMhm mhm(hasher, FpRoundMode::paperDefault());
+    mhm.startHashing();
+    mhm.startFpRounding();
+    const double value = 3.14159;
+    mhm.observeStore(0x900, 0, std::bit_cast<std::uint64_t>(value), 8,
+                     ValueClass::Double);
+    // Delete with a slightly different bit pattern that rounds equal.
+    const double close = 3.14161;
+    mhm.minusHash(0x900, std::bit_cast<std::uint64_t>(close), 8,
+                  ValueClass::Double);
+    mhm.plusHash(0x900, std::bit_cast<std::uint64_t>(0.0), 8,
+                 ValueClass::Double);
+    EXPECT_EQ(mhm.th(), ModHash{})
+        << "deletion must pass through the same round-off unit";
+}
+
+TEST(MhmIsa, ResetClearsRegisterAndCounters)
+{
+    hashing::Crc64LocationHasher hasher;
+    BasicMhm mhm(hasher, FpRoundMode::none());
+    mhm.startHashing();
+    mhm.observeStore(0x100, 0, 9, 8, ValueClass::Integer);
+    mhm.reset();
+    EXPECT_EQ(mhm.th(), ModHash{});
+    EXPECT_EQ(mhm.storesHashed(), 0u);
+    EXPECT_FALSE(mhm.hashingEnabled());
+}
+
+TEST(MhmIsa, FactoryBuildsConfiguredShape)
+{
+    hashing::Crc64LocationHasher hasher;
+    MhmConfig basic_cfg;
+    EXPECT_NE(dynamic_cast<BasicMhm *>(makeMhm(hasher, basic_cfg).get()),
+              nullptr);
+    MhmConfig clustered_cfg;
+    clustered_cfg.clustered = true;
+    clustered_cfg.clusters = 6;
+    auto clustered = makeMhm(hasher, clustered_cfg);
+    auto *as_clustered = dynamic_cast<ClusteredMhm *>(clustered.get());
+    ASSERT_NE(as_clustered, nullptr);
+    EXPECT_EQ(as_clustered->clusterCount(), 6u);
+}
+
+} // namespace
+} // namespace icheck::mhm

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Vector clock algebra.
+ */
+
+#include <gtest/gtest.h>
+
+#include "race/vector_clock.hpp"
+
+namespace icheck::race
+{
+namespace
+{
+
+TEST(VectorClock, DefaultIsZero)
+{
+    VectorClock vc;
+    EXPECT_EQ(vc.get(0), 0u);
+    EXPECT_EQ(vc.get(100), 0u);
+}
+
+TEST(VectorClock, TickIncrementsOwnComponent)
+{
+    VectorClock vc;
+    vc.tick(2);
+    vc.tick(2);
+    vc.tick(5);
+    EXPECT_EQ(vc.get(2), 2u);
+    EXPECT_EQ(vc.get(5), 1u);
+    EXPECT_EQ(vc.get(0), 0u);
+}
+
+TEST(VectorClock, JoinTakesComponentwiseMax)
+{
+    VectorClock a, b;
+    a.set(0, 3);
+    a.set(1, 1);
+    b.set(1, 5);
+    b.set(2, 2);
+    a.join(b);
+    EXPECT_EQ(a.get(0), 3u);
+    EXPECT_EQ(a.get(1), 5u);
+    EXPECT_EQ(a.get(2), 2u);
+}
+
+TEST(VectorClock, PrecedesOrEquals)
+{
+    VectorClock a, b;
+    a.set(0, 1);
+    b.set(0, 2);
+    b.set(1, 1);
+    EXPECT_TRUE(a.precedesOrEquals(b));
+    EXPECT_FALSE(b.precedesOrEquals(a));
+    EXPECT_TRUE(a.precedesOrEquals(a));
+}
+
+TEST(VectorClock, ConcurrentClocksUnordered)
+{
+    VectorClock a, b;
+    a.set(0, 2);
+    b.set(1, 2);
+    EXPECT_FALSE(a.precedesOrEquals(b));
+    EXPECT_FALSE(b.precedesOrEquals(a));
+}
+
+TEST(VectorClock, EqualityIgnoresTrailingZeros)
+{
+    VectorClock a, b;
+    a.set(0, 1);
+    b.set(0, 1);
+    b.set(5, 0);
+    EXPECT_TRUE(a == b);
+}
+
+TEST(Epoch, HappensBeforeIsO1ComponentCheck)
+{
+    VectorClock now;
+    now.set(3, 7);
+    EXPECT_TRUE((Epoch{3, 7}).happensBefore(now));
+    EXPECT_TRUE((Epoch{3, 5}).happensBefore(now));
+    EXPECT_FALSE((Epoch{3, 8}).happensBefore(now));
+    EXPECT_FALSE((Epoch{1, 1}).happensBefore(now));
+    EXPECT_TRUE(Epoch{}.happensBefore(now)) << "invalid epoch: no write";
+}
+
+TEST(VectorClock, RenderIsReadable)
+{
+    VectorClock vc;
+    vc.set(0, 3);
+    vc.set(2, 7);
+    EXPECT_EQ(vc.render(), "[3,0,7]");
+}
+
+} // namespace
+} // namespace icheck::race

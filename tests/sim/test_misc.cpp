@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Remaining simulator surfaces: stats rendering, setup-context helpers,
+ * subset barriers, scripted-scheduler bookkeeping, recording scheduler.
+ */
+
+#include <gtest/gtest.h>
+#include <memory>
+
+#include "explore/replay.hpp"
+#include "sim/lambda_program.hpp"
+#include "sim/machine.hpp"
+
+namespace icheck::sim
+{
+namespace
+{
+
+TEST(MachineStats, RenderCoversMachineAndCores)
+{
+    MachineConfig cfg;
+    cfg.numCores = 2;
+    Machine machine(cfg);
+    machine.setInstrumentation(true);
+    LambdaProgram prog(
+        "stats", 2, nullptr,
+        [](ThreadCtx &ctx) {
+            const Addr block = ctx.malloc("stats.cpp:b", mem::tInt64());
+            ctx.store<std::int64_t>(block, 1);
+            ctx.outputValue<std::uint16_t>(3);
+        });
+    machine.run(prog);
+    const std::string report = machine.renderStats();
+    EXPECT_NE(report.find("---------- machine ----------"),
+              std::string::npos);
+    EXPECT_NE(report.find("---------- core 0 ----------"),
+              std::string::npos);
+    EXPECT_NE(report.find("---------- core 1 ----------"),
+              std::string::npos);
+    EXPECT_NE(report.find("heap.allocations=2"), std::string::npos);
+    EXPECT_NE(report.find("output.bytes=4"), std::string::npos);
+    EXPECT_NE(report.find("mhm.stores_hashed="), std::string::npos);
+}
+
+TEST(SetupCtx, AllocPeekAndInitWork)
+{
+    MachineConfig cfg;
+    cfg.numCores = 1;
+    Machine machine(cfg);
+    Addr heap_block = 0;
+    LambdaProgram prog(
+        "setup", 1,
+        [&](SetupCtx &ctx) {
+            const Addr g = ctx.global("g", mem::tDouble());
+            ctx.init<double>(g, 2.75);
+            EXPECT_DOUBLE_EQ(ctx.peek<double>(g), 2.75);
+            heap_block =
+                ctx.alloc("setup.cpp:init", mem::tArray(mem::tInt32(), 4));
+            ctx.init<std::int32_t>(heap_block + 4, -9);
+            EXPECT_EQ(ctx.threadsPlanned(), 1u);
+            EXPECT_EQ(ctx.inputSeed(), 42u);
+            EXPECT_EQ(ctx.addressOf("g"), g);
+        },
+        [&](ThreadCtx &ctx) {
+            EXPECT_DOUBLE_EQ(ctx.load<double>(ctx.global("g")), 2.75);
+            EXPECT_EQ(ctx.load<std::int32_t>(heap_block + 4), -9);
+        });
+    machine.run(prog);
+    EXPECT_EQ(machine.allocator().liveBytes(), 16u);
+}
+
+TEST(Sync, SubsetBarrierReleasesOnlyItsParties)
+{
+    // A barrier among threads 0 and 1 while thread 2 works independently:
+    // the barrier must complete without thread 2 and still checkpoint.
+    MachineConfig cfg;
+    cfg.numCores = 2;
+    cfg.schedSeed = 3;
+    Machine machine(cfg);
+    std::uint64_t barrier_checkpoints = 0;
+    machine.setCheckpointHandler([&](const CheckpointInfo &info) {
+        if (info.kind == CheckpointKind::Barrier)
+            ++barrier_checkpoints;
+    });
+    BarrierId pair_barrier = 0;
+    LambdaProgram prog(
+        "subset", 3,
+        [&](SetupCtx &ctx) {
+            ctx.global("done2", mem::tInt64());
+            pair_barrier = ctx.barrier(2);
+        },
+        [&](ThreadCtx &ctx) {
+            if (ctx.tid() < 2) {
+                for (int round = 0; round < 3; ++round)
+                    ctx.barrier(pair_barrier);
+            } else {
+                ctx.store<std::int64_t>(ctx.global("done2"), 1);
+            }
+        });
+    machine.run(prog);
+    EXPECT_EQ(barrier_checkpoints, 3u);
+}
+
+TEST(ScriptedScheduler, PreferPreviousAvoidsPreemption)
+{
+    ScriptedScheduler sched({}, 1, /*prefer_previous=*/true);
+    EXPECT_EQ(sched.pick({0, 1, 2}), 0u) << "first pick defaults low";
+    EXPECT_EQ(sched.pick({0, 1, 2}), 0u) << "sticks with the runner";
+    EXPECT_EQ(sched.pick({1, 2}), 1u)
+        << "previous blocked: fall back to index 0";
+    EXPECT_EQ(sched.pick({0, 1, 2}), 1u) << "now sticks with thread 1";
+    ASSERT_EQ(sched.previousIndices().size(), 4u);
+    EXPECT_EQ(sched.previousIndices()[0], -1);
+    EXPECT_EQ(sched.previousIndices()[2], -1)
+        << "thread 0 absent from the runnable set";
+    EXPECT_EQ(sched.previousIndices()[3], 1);
+    EXPECT_EQ(sched.chosenIndices().size(), 4u);
+}
+
+TEST(RecordingScheduler, LogsChoiceIndicesAndQuanta)
+{
+    explore::RecordingScheduler recorder(
+        std::make_unique<RoundRobinScheduler>(7));
+    const std::vector<ThreadId> runnable{3, 5, 9};
+    recorder.pick(runnable);   // round robin: 3 -> index 0
+    recorder.quantum();
+    recorder.pick(runnable);   // 5 -> index 1
+    recorder.quantum();
+    recorder.pick({3, 9});     // after 5, next is 9 -> index 1
+    EXPECT_EQ(recorder.choices(),
+              (std::vector<std::uint32_t>{0, 1, 1}));
+    EXPECT_EQ(recorder.quanta(),
+              (std::vector<std::uint64_t>{7, 7}));
+}
+
+} // namespace
+} // namespace icheck::sim

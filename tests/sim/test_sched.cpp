@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Scheduler unit behaviour: random choice reproducibility, round-robin
+ * fairness, scripted replay of decisions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/sched.hpp"
+
+namespace icheck::sim
+{
+namespace
+{
+
+TEST(RandomScheduler, ReproducibleGivenSeed)
+{
+    RandomScheduler a(77, 10, 100, 0.1);
+    RandomScheduler b(77, 10, 100, 0.1);
+    const std::vector<ThreadId> runnable{0, 1, 2, 3, 4};
+    for (int i = 0; i < 200; ++i) {
+        EXPECT_EQ(a.pick(runnable), b.pick(runnable));
+        EXPECT_EQ(a.quantum(), b.quantum());
+        EXPECT_EQ(a.coreFor(1, 1, 8), b.coreFor(1, 1, 8));
+    }
+}
+
+TEST(RandomScheduler, QuantaInRange)
+{
+    RandomScheduler sched(5, 20, 200, 0.0);
+    for (int i = 0; i < 500; ++i) {
+        const std::uint64_t q = sched.quantum();
+        EXPECT_GE(q, 20u);
+        EXPECT_LE(q, 200u);
+    }
+}
+
+TEST(RandomScheduler, EventuallyPicksEveryThread)
+{
+    RandomScheduler sched(5, 1, 2, 0.0);
+    const std::vector<ThreadId> runnable{0, 1, 2, 3};
+    std::set<ThreadId> seen;
+    for (int i = 0; i < 200; ++i)
+        seen.insert(sched.pick(runnable));
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(RandomScheduler, NoMigrationWhenDisabled)
+{
+    RandomScheduler sched(5, 1, 2, 0.0);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(sched.coreFor(3, 3, 8), 3u);
+}
+
+TEST(RoundRobinScheduler, CyclesThroughRunnable)
+{
+    RoundRobinScheduler sched(10);
+    const std::vector<ThreadId> runnable{0, 1, 2};
+    EXPECT_EQ(sched.pick(runnable), 0u);
+    EXPECT_EQ(sched.pick(runnable), 1u);
+    EXPECT_EQ(sched.pick(runnable), 2u);
+    EXPECT_EQ(sched.pick(runnable), 0u);
+}
+
+TEST(RoundRobinScheduler, SkipsBlockedThreads)
+{
+    RoundRobinScheduler sched(10);
+    EXPECT_EQ(sched.pick({0, 1, 2, 3}), 0u);
+    // Thread 1 blocked: next pick after 0 is 2.
+    EXPECT_EQ(sched.pick({0, 2, 3}), 2u);
+    EXPECT_EQ(sched.pick({0, 3}), 3u);
+    EXPECT_EQ(sched.pick({0, 3}), 0u);
+}
+
+TEST(ScriptedScheduler, FollowsScriptThenDefaults)
+{
+    ScriptedScheduler sched({2, 0, 1}, 50);
+    const std::vector<ThreadId> runnable{10, 20, 30};
+    EXPECT_EQ(sched.pick(runnable), 30u);
+    EXPECT_EQ(sched.pick(runnable), 10u);
+    EXPECT_EQ(sched.pick(runnable), 20u);
+    // Script exhausted: index 0.
+    EXPECT_EQ(sched.pick(runnable), 10u);
+    EXPECT_EQ(sched.consumed(), 3u);
+    EXPECT_EQ(sched.decisionFanout().size(), 4u);
+    EXPECT_EQ(sched.decisionFanout()[0], 3u);
+}
+
+TEST(ScriptedScheduler, ClampsOutOfRangeChoices)
+{
+    ScriptedScheduler sched({9}, 50);
+    EXPECT_EQ(sched.pick({4, 5}), 5u) << "choice past end clamps to last";
+}
+
+} // namespace
+} // namespace icheck::sim

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Event tracing: the exec-trace debugging facility.
+ */
+
+#include <gtest/gtest.h>
+#include <algorithm>
+
+#include "sim/lambda_program.hpp"
+#include "sim/machine.hpp"
+#include "sim/trace_listener.hpp"
+
+namespace icheck::sim
+{
+namespace
+{
+
+bool
+anyLineContains(const std::vector<std::string> &lines,
+                const std::string &needle)
+{
+    return std::any_of(lines.begin(), lines.end(),
+                       [&](const std::string &line) {
+                           return line.find(needle) != std::string::npos;
+                       });
+}
+
+TEST(TraceListener, CapturesAllEventKinds)
+{
+    MachineConfig cfg;
+    cfg.numCores = 2;
+    cfg.schedSeed = 3;
+    Machine machine(cfg);
+    machine.setInstrumentation(true);
+    TraceListener trace;
+    machine.addListener(&trace);
+    MutexId mutex_id = 0;
+    BarrierId barrier_id = 0;
+    LambdaProgram prog(
+        "traced", 2,
+        [&](SetupCtx &ctx) {
+            ctx.global("g", mem::tInt64());
+            mutex_id = ctx.mutex();
+            barrier_id = ctx.barrier(2);
+        },
+        [&](ThreadCtx &ctx) {
+            const Addr block =
+                ctx.malloc("traced.cpp:b", mem::tInt64());
+            ctx.lock(mutex_id);
+            ctx.store<std::int64_t>(ctx.global("g"),
+                                    ctx.load<std::int64_t>(
+                                        ctx.global("g")) +
+                                        1);
+            ctx.unlock(mutex_id);
+            ctx.barrier(barrier_id);
+            ctx.free(block);
+            if (ctx.tid() == 0)
+                ctx.outputValue<std::uint32_t>(7);
+        });
+    machine.run(prog);
+
+    const auto &lines = trace.lines();
+    EXPECT_TRUE(anyLineContains(lines, "store64"));
+    EXPECT_TRUE(anyLineContains(lines, "load64"));
+    EXPECT_TRUE(anyLineContains(lines, "lock #0"));
+    EXPECT_TRUE(anyLineContains(lines, "unlock #0"));
+    EXPECT_TRUE(anyLineContains(lines, "barrier-arrive #0 epoch 0"));
+    EXPECT_TRUE(anyLineContains(lines, "barrier-leave #0 epoch 0"));
+    EXPECT_TRUE(anyLineContains(lines, "alloc traced.cpp:b#0"));
+    EXPECT_TRUE(anyLineContains(lines, "free traced.cpp:b#"));
+    EXPECT_TRUE(anyLineContains(lines, "output 4B"));
+    EXPECT_TRUE(anyLineContains(lines, "[instr]"))
+        << "zeroing stores must be marked as instrumentation";
+    EXPECT_TRUE(anyLineContains(lines, "thread-start"));
+    EXPECT_TRUE(anyLineContains(lines, "thread-finish"));
+}
+
+TEST(TraceListener, LoadTracingCanBeDisabled)
+{
+    MachineConfig cfg;
+    cfg.numCores = 1;
+    Machine machine(cfg);
+    TraceListener trace;
+    trace.setTraceLoads(false);
+    machine.addListener(&trace);
+    LambdaProgram prog(
+        "quiet", 1,
+        [](SetupCtx &ctx) { ctx.global("g", mem::tInt64()); },
+        [](ThreadCtx &ctx) {
+            ctx.store<std::int64_t>(ctx.global("g"), 1);
+            (void)ctx.load<std::int64_t>(ctx.global("g"));
+        });
+    machine.run(prog);
+    EXPECT_TRUE(anyLineContains(trace.lines(), "store64"));
+    EXPECT_FALSE(anyLineContains(trace.lines(), "load64"));
+}
+
+TEST(TraceListener, SinkVariantStreamsLines)
+{
+    std::vector<std::string> received;
+    TraceListener trace(
+        [&](const std::string &line) { received.push_back(line); });
+    MachineConfig cfg;
+    cfg.numCores = 1;
+    Machine machine(cfg);
+    machine.addListener(&trace);
+    LambdaProgram prog("sink", 1, nullptr, [](ThreadCtx &ctx) {
+        ctx.tick(1);
+        ctx.outputValue<std::uint8_t>(1);
+    });
+    machine.run(prog);
+    EXPECT_TRUE(anyLineContains(received, "output 1B"));
+    EXPECT_TRUE(trace.lines().empty()) << "sink mode does not capture";
+}
+
+TEST(TraceListener, UnhashedStoresAreMarked)
+{
+    MachineConfig cfg;
+    cfg.numCores = 1;
+    Machine machine(cfg);
+    TraceListener trace;
+    machine.addListener(&trace);
+    LambdaProgram prog("window", 1, nullptr, [](ThreadCtx &ctx) {
+        ctx.stopHashing();
+        ctx.store<std::int64_t>(ctx.scratch(), 1);
+        ctx.startHashing();
+    });
+    machine.run(prog);
+    EXPECT_TRUE(anyLineContains(trace.lines(), "[unhashed]"));
+}
+
+} // namespace
+} // namespace icheck::sim

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Deterministic RNG sanity: reproducibility, bounds, rough uniformity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace icheck
+{
+namespace
+{
+
+TEST(SplitMix64, Reproducible)
+{
+    SplitMix64 a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, SeedsDiverge)
+{
+    SplitMix64 a(1), b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256, Reproducible)
+{
+    Xoshiro256 a(55), b(55);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, BelowStaysInBounds)
+{
+    Xoshiro256 rng(9);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(7), 7u);
+}
+
+TEST(Xoshiro256, RangeInclusive)
+{
+    Xoshiro256 rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t v = rng.range(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        saw_lo = saw_lo || v == 3;
+        saw_hi = saw_hi || v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro256, UniformIsUnitInterval)
+{
+    Xoshiro256 rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, ChanceRespectsProbability)
+{
+    Xoshiro256 rng(13);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+} // namespace
+} // namespace icheck

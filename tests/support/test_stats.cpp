@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Statistics containers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/stats.hpp"
+
+namespace icheck
+{
+namespace
+{
+
+TEST(StatGroup, AddAndGet)
+{
+    StatGroup stats;
+    EXPECT_EQ(stats.get("x"), 0u);
+    stats.add("x");
+    stats.add("x", 4);
+    EXPECT_EQ(stats.get("x"), 5u);
+}
+
+TEST(StatGroup, ResetZeroesEverything)
+{
+    StatGroup stats;
+    stats.add("a", 3);
+    stats.add("b", 7);
+    stats.reset();
+    EXPECT_EQ(stats.get("a"), 0u);
+    EXPECT_EQ(stats.get("b"), 0u);
+    EXPECT_EQ(stats.all().size(), 2u);
+}
+
+TEST(StatGroup, RenderListsNameOrder)
+{
+    StatGroup stats;
+    stats.add("zeta", 1);
+    stats.add("alpha", 2);
+    EXPECT_EQ(stats.render(), "alpha=2\nzeta=1\n");
+}
+
+TEST(SampleStat, TracksMinMaxMean)
+{
+    SampleStat stat;
+    EXPECT_EQ(stat.count(), 0u);
+    EXPECT_EQ(stat.mean(), 0.0);
+    stat.record(2.0);
+    stat.record(8.0);
+    stat.record(-1.0);
+    EXPECT_EQ(stat.count(), 3u);
+    EXPECT_EQ(stat.min(), -1.0);
+    EXPECT_EQ(stat.max(), 8.0);
+    EXPECT_DOUBLE_EQ(stat.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(stat.total(), 9.0);
+}
+
+TEST(GeoMean, MatchesClosedForm)
+{
+    GeoMean gm;
+    gm.record(2.0);
+    gm.record(8.0);
+    EXPECT_DOUBLE_EQ(gm.value(), 4.0);
+    EXPECT_EQ(gm.count(), 2u);
+}
+
+TEST(GeoMean, EmptyIsOne)
+{
+    GeoMean gm;
+    EXPECT_DOUBLE_EQ(gm.value(), 1.0);
+}
+
+} // namespace
+} // namespace icheck

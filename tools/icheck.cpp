@@ -1,0 +1,387 @@
+/**
+ * @file
+ * The `icheck` command-line tool: run InstantCheck determinism campaigns
+ * on the bundled workloads without writing any code.
+ *
+ *   icheck list
+ *   icheck check <app> [--runs N] [--scheme hw|swinc|swtr]
+ *                      [--no-rounding] [--no-ignores] [--seed S]
+ *                      [--distributions]
+ *   icheck characterize <app> [--runs N]
+ *   icheck localize <app> [--checkpoint K] [--seed-a A] [--seed-b B]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/characterize.hpp"
+#include "apps/scales.hpp"
+#include "check/distribution.hpp"
+#include "check/infer.hpp"
+#include "check/localize.hpp"
+#include "support/logging.hpp"
+
+using namespace icheck;
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage:\n"
+        "  icheck list\n"
+        "  icheck check <app> [--runs N] [--scheme hw|swinc|swtr]\n"
+        "                     [--no-rounding] [--no-ignores] [--seed S]\n"
+        "                     [--input dev|medium|large]"
+        " [--distributions]\n"
+        "  icheck characterize <app> [--runs N]\n"
+        "  icheck localize <app> [--checkpoint K] [--seed-a A]"
+        " [--seed-b B]\n"
+        "  icheck stats <app> [--seed S] [--input dev|medium|large]\n"
+        "  icheck infer <app> [--runs N] [--no-rounding]\n"
+        "  icheck verify [--runs N]\n");
+    return 2;
+}
+
+/** Tiny flag parser: --name value / --name. */
+class Args
+{
+  public:
+    Args(int argc, char **argv, int first)
+    {
+        for (int i = first; i < argc; ++i)
+            tokens.emplace_back(argv[i]);
+    }
+
+    bool
+    flag(const std::string &name)
+    {
+        for (auto it = tokens.begin(); it != tokens.end(); ++it) {
+            if (*it == name) {
+                tokens.erase(it);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    std::optional<std::string>
+    value(const std::string &name)
+    {
+        for (auto it = tokens.begin(); it != tokens.end(); ++it) {
+            if (*it == name && std::next(it) != tokens.end()) {
+                const std::string v = *std::next(it);
+                tokens.erase(it, std::next(it, 2));
+                return v;
+            }
+        }
+        return std::nullopt;
+    }
+
+    std::uint64_t
+    number(const std::string &name, std::uint64_t fallback)
+    {
+        if (const auto v = value(name))
+            return std::strtoull(v->c_str(), nullptr, 10);
+        return fallback;
+    }
+
+    bool leftovers() const { return !tokens.empty(); }
+
+  private:
+    std::vector<std::string> tokens;
+};
+
+int
+cmdList()
+{
+    std::printf("%-14s %-9s %-3s %-13s %s\n", "App", "Source", "FP",
+                "Class", "Notes");
+    for (const apps::AppInfo &app : apps::registry()) {
+        std::printf("%-14s %-9s %-3s %-13s %s\n", app.name.c_str(),
+                    app.source.c_str(), app.usesFp ? "Y" : "N",
+                    apps::detClassName(app.expected).c_str(),
+                    app.note.c_str());
+    }
+    return 0;
+}
+
+check::Scheme
+parseScheme(const std::string &name)
+{
+    if (name == "hw")
+        return check::Scheme::HwInc;
+    if (name == "swinc")
+        return check::Scheme::SwInc;
+    if (name == "swtr")
+        return check::Scheme::SwTr;
+    ICHECK_FATAL("unknown scheme '", name, "' (hw | swinc | swtr)");
+}
+
+apps::InputScale
+parseScale(const std::string &name)
+{
+    if (name == "dev")
+        return apps::InputScale::Dev;
+    if (name == "medium")
+        return apps::InputScale::Medium;
+    if (name == "large")
+        return apps::InputScale::Large;
+    ICHECK_FATAL("unknown input scale '", name,
+                 "' (dev | medium | large)");
+}
+
+int
+cmdCheck(const std::string &app_name, Args &args)
+{
+    const apps::AppInfo &app = apps::findApp(app_name);
+    check::DriverConfig cfg;
+    cfg.runs = static_cast<int>(args.number("--runs", 30));
+    cfg.scheme = parseScheme(
+        args.value("--scheme").value_or("hw"));
+    cfg.machine.fpRoundingEnabled = !args.flag("--no-rounding");
+    cfg.baseSchedSeed = args.number("--seed", 1000);
+    if (!args.flag("--no-ignores"))
+        cfg.ignores = app.ignores;
+    const bool show_distributions = args.flag("--distributions");
+    const apps::InputScale scale =
+        parseScale(args.value("--input").value_or("medium"));
+    if (args.leftovers())
+        return usage();
+
+    check::DeterminismDriver driver(cfg);
+    const check::DriverReport report =
+        driver.check(apps::scaledFactory(app.name, scale));
+
+    std::printf("%s under %s (%d runs, rounding %s, ignores %s)\n",
+                app.name.c_str(), report.scheme.c_str(), report.runs,
+                cfg.machine.fpRoundingEnabled ? "on" : "off",
+                cfg.ignores.empty() ? "off" : "on");
+    std::printf("  verdict: %s\n",
+                report.deterministic()
+                    ? "externally DETERMINISTIC (within coverage)"
+                    : "NONDETERMINISTIC");
+    if (report.firstNdetRun)
+        std::printf("  first nondeterministic run: %d\n",
+                    report.firstNdetRun);
+    std::printf("  checking points: %llu det, %llu ndet; end %s; "
+                "output %s\n",
+                static_cast<unsigned long long>(report.detPoints),
+                static_cast<unsigned long long>(report.ndetPoints),
+                report.detAtEnd ? "det" : "NDET",
+                report.outputDeterministic ? "det" : "NDET");
+    std::printf("  overhead: %.3f%% over native (%.0f native instrs "
+                "per run)\n",
+                (report.overheadFactor() - 1.0) * 100.0,
+                report.avgNativeInstrs);
+    if (show_distributions) {
+        const auto groups =
+            check::groupDistributions(report.distributions);
+        int index = 1;
+        for (const auto &[dist, count] : groups) {
+            std::printf("  D%-2d: %6llu checkpoints x [%s]\n", index++,
+                        static_cast<unsigned long long>(count),
+                        dist.render().c_str());
+        }
+    }
+    return report.deterministic() ? 0 : 1;
+}
+
+int
+cmdCharacterize(const std::string &app_name, Args &args)
+{
+    const apps::AppInfo &app = apps::findApp(app_name);
+    apps::CharacterizeConfig cfg;
+    cfg.runs = static_cast<int>(args.number("--runs", 30));
+    if (args.leftovers())
+        return usage();
+    const apps::Table1Row row = apps::characterizeApp(app, cfg);
+    std::printf("%s (%s): expected class %s\n", app.name.c_str(),
+                app.source.c_str(),
+                apps::detClassName(app.expected).c_str());
+    const std::string first_ndet =
+        row.firstNdetRun ? " (first ndet run " +
+                               std::to_string(row.firstNdetRun) + ")"
+                         : std::string{};
+    std::printf("  bit-by-bit:          %s%s\n",
+                row.detAsIs ? "Det" : "NDet", first_ndet.c_str());
+    std::printf("  with FP rounding:    %s\n",
+                row.detAfterFp ? "Det" : "NDet");
+    if (row.detAfterIgnores.has_value())
+        std::printf("  isolating structs:   %s\n",
+                    *row.detAfterIgnores ? "Det" : "NDet");
+    std::printf("  checking points:     %llu det / %llu ndet, end %s\n",
+                static_cast<unsigned long long>(row.detPoints),
+                static_cast<unsigned long long>(row.ndetPoints),
+                row.detAtEnd ? "det" : "NDET");
+    return 0;
+}
+
+int
+cmdInfer(const std::string &app_name, Args &args)
+{
+    const apps::AppInfo &app = apps::findApp(app_name);
+    const int runs = static_cast<int>(args.number("--runs", 8));
+    sim::MachineConfig mc;
+    mc.numCores = 8;
+    mc.fpRoundingEnabled = !args.flag("--no-rounding");
+    if (args.leftovers())
+        return usage();
+    const check::InferenceResult result =
+        check::inferIgnores(app.factory, mc, runs);
+    if (result.empty()) {
+        std::printf("%s: no nondeterministic structures found over %d "
+                    "comparisons\n",
+                    app.name.c_str(), result.comparisons);
+        return 0;
+    }
+    std::printf("%s: nondeterministic structures (from %d "
+                "comparisons):\n",
+                app.name.c_str(), result.comparisons);
+    for (const check::DiffSite &site : result.evidence) {
+        std::printf("  %-30s %-12s offsets [%zu, %zu]  %llu bytes\n",
+                    site.owner.c_str(), site.type.c_str(), site.offsetLo,
+                    site.offsetHi,
+                    static_cast<unsigned long long>(site.bytes));
+    }
+    std::printf("proposed ignore spec:\n");
+    for (const std::string &site : result.spec.sites)
+        std::printf("  site   %s\n", site.c_str());
+    for (const std::string &name : result.spec.globals)
+        std::printf("  global %s\n", name.c_str());
+    return 0;
+}
+
+int
+cmdStats(const std::string &app_name, Args &args)
+{
+    const apps::AppInfo &app = apps::findApp(app_name);
+    const std::uint64_t seed = args.number("--seed", 1000);
+    const apps::InputScale scale =
+        parseScale(args.value("--input").value_or("medium"));
+    if (args.leftovers())
+        return usage();
+    sim::MachineConfig cfg;
+    cfg.numCores = 8;
+    cfg.schedSeed = seed;
+    sim::Machine machine(cfg);
+    machine.setInstrumentation(true);
+    auto program = apps::scaledFactory(app.name, scale)();
+    machine.run(*program);
+    std::printf("%s", machine.renderStats().c_str());
+    return 0;
+}
+
+/**
+ * Release gate: re-derive every workload's determinism class and compare
+ * against the registry's expectation (i.e., against Table 1).
+ */
+int
+cmdVerify(Args &args)
+{
+    apps::CharacterizeConfig cfg;
+    cfg.runs = static_cast<int>(args.number("--runs", 12));
+    if (args.leftovers())
+        return usage();
+    int failures = 0;
+    for (const apps::AppInfo &app : apps::registry()) {
+        const apps::Table1Row row = apps::characterizeApp(app, cfg);
+        apps::DetClass measured;
+        if (row.detAsIs) {
+            measured = apps::DetClass::BitByBit;
+        } else if (row.detAfterFp) {
+            measured = apps::DetClass::FpRounding;
+        } else if (row.detAfterIgnores.value_or(false)) {
+            measured = apps::DetClass::SmallStruct;
+        } else {
+            measured = apps::DetClass::NonDet;
+        }
+        // streamcluster ships with the real bug: bitwise-nondet at
+        // internal barriers yet classified bit-by-bit (Table 1's star).
+        const bool streamcluster_star =
+            app.name == "streamcluster" &&
+            app.expected == apps::DetClass::BitByBit &&
+            row.bitwise.detAtEnd && row.bitwise.outputDeterministic;
+        const bool ok =
+            measured == app.expected || streamcluster_star;
+        std::printf("%-14s expected %-13s measured %-13s %s\n",
+                    app.name.c_str(),
+                    apps::detClassName(app.expected).c_str(),
+                    apps::detClassName(measured).c_str(),
+                    ok ? "OK" : "MISMATCH");
+        failures += ok ? 0 : 1;
+    }
+    if (failures == 0)
+        std::printf("all %zu workloads match Table 1\n",
+                    apps::registry().size());
+    return failures == 0 ? 0 : 1;
+}
+
+int
+cmdLocalize(const std::string &app_name, Args &args)
+{
+    const apps::AppInfo &app = apps::findApp(app_name);
+    const std::uint64_t checkpoint = args.number("--checkpoint", 0);
+    const std::uint64_t seed_a = args.number("--seed-a", 1000);
+    const std::uint64_t seed_b = args.number("--seed-b", 1001);
+    if (args.leftovers())
+        return usage();
+    sim::MachineConfig mc;
+    mc.numCores = 8;
+    const check::LocalizeReport report = check::localizeNondeterminism(
+        app.factory, mc, seed_a, seed_b, checkpoint);
+    std::printf("%s: %llu differing bytes at checkpoint %llu "
+                "(seeds %llu vs %llu)\n",
+                app.name.c_str(),
+                static_cast<unsigned long long>(report.totalDiffBytes),
+                static_cast<unsigned long long>(checkpoint),
+                static_cast<unsigned long long>(seed_a),
+                static_cast<unsigned long long>(seed_b));
+    for (const check::DiffSite &site : report.sites) {
+        std::printf("  %-30s %-12s offsets [%zu, %zu]  %llu bytes\n",
+                    site.owner.c_str(), site.type.c_str(), site.offsetLo,
+                    site.offsetHi,
+                    static_cast<unsigned long long>(site.bytes));
+    }
+    if (report.sites.empty())
+        std::printf("  (states identical at this checkpoint)\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string command = argv[1];
+    if (command == "list")
+        return cmdList();
+    if (command == "verify") {
+        Args args(argc, argv, 2);
+        return cmdVerify(args);
+    }
+    if (argc < 3)
+        return usage();
+    const std::string app_name = argv[2];
+    Args args(argc, argv, 3);
+    if (command == "check")
+        return cmdCheck(app_name, args);
+    if (command == "characterize")
+        return cmdCharacterize(app_name, args);
+    if (command == "localize")
+        return cmdLocalize(app_name, args);
+    if (command == "stats")
+        return cmdStats(app_name, args);
+    if (command == "infer")
+        return cmdInfer(app_name, args);
+    return usage();
+}
