@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hashwidth.dir/ablation_hashwidth.cpp.o"
+  "CMakeFiles/ablation_hashwidth.dir/ablation_hashwidth.cpp.o.d"
+  "ablation_hashwidth"
+  "ablation_hashwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hashwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_inputscale.cpp" "bench/CMakeFiles/ablation_inputscale.dir/ablation_inputscale.cpp.o" "gcc" "bench/CMakeFiles/ablation_inputscale.dir/ablation_inputscale.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/explore/CMakeFiles/icheck_explore.dir/DependInfo.cmake"
+  "/root/repo/build/src/race/CMakeFiles/icheck_race.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/icheck_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/check/CMakeFiles/icheck_check.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/icheck_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/icheck_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/mhm/CMakeFiles/icheck_mhm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/icheck_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashing/CMakeFiles/icheck_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/icheck_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

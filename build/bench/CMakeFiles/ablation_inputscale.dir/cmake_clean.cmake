@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_inputscale.dir/ablation_inputscale.cpp.o"
+  "CMakeFiles/ablation_inputscale.dir/ablation_inputscale.cpp.o.d"
+  "ablation_inputscale"
+  "ablation_inputscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_inputscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

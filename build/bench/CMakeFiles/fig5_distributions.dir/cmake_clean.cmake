@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_distributions.dir/fig5_distributions.cpp.o"
+  "CMakeFiles/fig5_distributions.dir/fig5_distributions.cpp.o.d"
+  "fig5_distributions"
+  "fig5_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

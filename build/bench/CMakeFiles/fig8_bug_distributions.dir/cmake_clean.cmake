@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_bug_distributions.dir/fig8_bug_distributions.cpp.o"
+  "CMakeFiles/fig8_bug_distributions.dir/fig8_bug_distributions.cpp.o.d"
+  "fig8_bug_distributions"
+  "fig8_bug_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_bug_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_mhm.dir/micro_mhm.cpp.o"
+  "CMakeFiles/micro_mhm.dir/micro_mhm.cpp.o.d"
+  "micro_mhm"
+  "micro_mhm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_mhm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_determinism.dir/table1_determinism.cpp.o"
+  "CMakeFiles/table1_determinism.dir/table1_determinism.cpp.o.d"
+  "table1_determinism"
+  "table1_determinism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_determinism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

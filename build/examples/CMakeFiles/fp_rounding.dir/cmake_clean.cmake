@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_rounding.dir/fp_rounding.cpp.o"
+  "CMakeFiles/fp_rounding.dir/fp_rounding.cpp.o.d"
+  "fp_rounding"
+  "fp_rounding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_rounding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/race_filter.dir/race_filter.cpp.o"
+  "CMakeFiles/race_filter.dir/race_filter.cpp.o.d"
+  "race_filter"
+  "race_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/race_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_assist.dir/replay_assist.cpp.o"
+  "CMakeFiles/replay_assist.dir/replay_assist.cpp.o.d"
+  "replay_assist"
+  "replay_assist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_assist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

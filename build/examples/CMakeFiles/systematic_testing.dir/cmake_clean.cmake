@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/systematic_testing.dir/systematic_testing.cpp.o"
+  "CMakeFiles/systematic_testing.dir/systematic_testing.cpp.o.d"
+  "systematic_testing"
+  "systematic_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/systematic_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app_registry.cpp" "src/apps/CMakeFiles/icheck_apps.dir/app_registry.cpp.o" "gcc" "src/apps/CMakeFiles/icheck_apps.dir/app_registry.cpp.o.d"
+  "/root/repo/src/apps/apps_bitdet.cpp" "src/apps/CMakeFiles/icheck_apps.dir/apps_bitdet.cpp.o" "gcc" "src/apps/CMakeFiles/icheck_apps.dir/apps_bitdet.cpp.o.d"
+  "/root/repo/src/apps/apps_fp.cpp" "src/apps/CMakeFiles/icheck_apps.dir/apps_fp.cpp.o" "gcc" "src/apps/CMakeFiles/icheck_apps.dir/apps_fp.cpp.o.d"
+  "/root/repo/src/apps/apps_ndet.cpp" "src/apps/CMakeFiles/icheck_apps.dir/apps_ndet.cpp.o" "gcc" "src/apps/CMakeFiles/icheck_apps.dir/apps_ndet.cpp.o.d"
+  "/root/repo/src/apps/apps_small_struct.cpp" "src/apps/CMakeFiles/icheck_apps.dir/apps_small_struct.cpp.o" "gcc" "src/apps/CMakeFiles/icheck_apps.dir/apps_small_struct.cpp.o.d"
+  "/root/repo/src/apps/apps_streamcluster.cpp" "src/apps/CMakeFiles/icheck_apps.dir/apps_streamcluster.cpp.o" "gcc" "src/apps/CMakeFiles/icheck_apps.dir/apps_streamcluster.cpp.o.d"
+  "/root/repo/src/apps/characterize.cpp" "src/apps/CMakeFiles/icheck_apps.dir/characterize.cpp.o" "gcc" "src/apps/CMakeFiles/icheck_apps.dir/characterize.cpp.o.d"
+  "/root/repo/src/apps/scales.cpp" "src/apps/CMakeFiles/icheck_apps.dir/scales.cpp.o" "gcc" "src/apps/CMakeFiles/icheck_apps.dir/scales.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/icheck_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/icheck_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/check/CMakeFiles/icheck_check.dir/DependInfo.cmake"
+  "/root/repo/build/src/mhm/CMakeFiles/icheck_mhm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/icheck_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/icheck_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashing/CMakeFiles/icheck_hashing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icheck_apps.dir/app_registry.cpp.o"
+  "CMakeFiles/icheck_apps.dir/app_registry.cpp.o.d"
+  "CMakeFiles/icheck_apps.dir/apps_bitdet.cpp.o"
+  "CMakeFiles/icheck_apps.dir/apps_bitdet.cpp.o.d"
+  "CMakeFiles/icheck_apps.dir/apps_fp.cpp.o"
+  "CMakeFiles/icheck_apps.dir/apps_fp.cpp.o.d"
+  "CMakeFiles/icheck_apps.dir/apps_ndet.cpp.o"
+  "CMakeFiles/icheck_apps.dir/apps_ndet.cpp.o.d"
+  "CMakeFiles/icheck_apps.dir/apps_small_struct.cpp.o"
+  "CMakeFiles/icheck_apps.dir/apps_small_struct.cpp.o.d"
+  "CMakeFiles/icheck_apps.dir/apps_streamcluster.cpp.o"
+  "CMakeFiles/icheck_apps.dir/apps_streamcluster.cpp.o.d"
+  "CMakeFiles/icheck_apps.dir/characterize.cpp.o"
+  "CMakeFiles/icheck_apps.dir/characterize.cpp.o.d"
+  "CMakeFiles/icheck_apps.dir/scales.cpp.o"
+  "CMakeFiles/icheck_apps.dir/scales.cpp.o.d"
+  "libicheck_apps.a"
+  "libicheck_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icheck_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/l1_cache.cpp" "src/cache/CMakeFiles/icheck_cache.dir/l1_cache.cpp.o" "gcc" "src/cache/CMakeFiles/icheck_cache.dir/l1_cache.cpp.o.d"
+  "/root/repo/src/cache/write_buffer.cpp" "src/cache/CMakeFiles/icheck_cache.dir/write_buffer.cpp.o" "gcc" "src/cache/CMakeFiles/icheck_cache.dir/write_buffer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/icheck_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashing/CMakeFiles/icheck_hashing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

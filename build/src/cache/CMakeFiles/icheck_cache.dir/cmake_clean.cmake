@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icheck_cache.dir/l1_cache.cpp.o"
+  "CMakeFiles/icheck_cache.dir/l1_cache.cpp.o.d"
+  "CMakeFiles/icheck_cache.dir/write_buffer.cpp.o"
+  "CMakeFiles/icheck_cache.dir/write_buffer.cpp.o.d"
+  "libicheck_cache.a"
+  "libicheck_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icheck_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/check/checker.cpp" "src/check/CMakeFiles/icheck_check.dir/checker.cpp.o" "gcc" "src/check/CMakeFiles/icheck_check.dir/checker.cpp.o.d"
+  "/root/repo/src/check/distribution.cpp" "src/check/CMakeFiles/icheck_check.dir/distribution.cpp.o" "gcc" "src/check/CMakeFiles/icheck_check.dir/distribution.cpp.o.d"
+  "/root/repo/src/check/driver.cpp" "src/check/CMakeFiles/icheck_check.dir/driver.cpp.o" "gcc" "src/check/CMakeFiles/icheck_check.dir/driver.cpp.o.d"
+  "/root/repo/src/check/hw_inc.cpp" "src/check/CMakeFiles/icheck_check.dir/hw_inc.cpp.o" "gcc" "src/check/CMakeFiles/icheck_check.dir/hw_inc.cpp.o.d"
+  "/root/repo/src/check/ignore.cpp" "src/check/CMakeFiles/icheck_check.dir/ignore.cpp.o" "gcc" "src/check/CMakeFiles/icheck_check.dir/ignore.cpp.o.d"
+  "/root/repo/src/check/infer.cpp" "src/check/CMakeFiles/icheck_check.dir/infer.cpp.o" "gcc" "src/check/CMakeFiles/icheck_check.dir/infer.cpp.o.d"
+  "/root/repo/src/check/io_hash.cpp" "src/check/CMakeFiles/icheck_check.dir/io_hash.cpp.o" "gcc" "src/check/CMakeFiles/icheck_check.dir/io_hash.cpp.o.d"
+  "/root/repo/src/check/localize.cpp" "src/check/CMakeFiles/icheck_check.dir/localize.cpp.o" "gcc" "src/check/CMakeFiles/icheck_check.dir/localize.cpp.o.d"
+  "/root/repo/src/check/region.cpp" "src/check/CMakeFiles/icheck_check.dir/region.cpp.o" "gcc" "src/check/CMakeFiles/icheck_check.dir/region.cpp.o.d"
+  "/root/repo/src/check/sw_inc.cpp" "src/check/CMakeFiles/icheck_check.dir/sw_inc.cpp.o" "gcc" "src/check/CMakeFiles/icheck_check.dir/sw_inc.cpp.o.d"
+  "/root/repo/src/check/sw_tr.cpp" "src/check/CMakeFiles/icheck_check.dir/sw_tr.cpp.o" "gcc" "src/check/CMakeFiles/icheck_check.dir/sw_tr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/icheck_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashing/CMakeFiles/icheck_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/icheck_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/icheck_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mhm/CMakeFiles/icheck_mhm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/icheck_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

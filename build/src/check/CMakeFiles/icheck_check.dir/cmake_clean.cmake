@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icheck_check.dir/checker.cpp.o"
+  "CMakeFiles/icheck_check.dir/checker.cpp.o.d"
+  "CMakeFiles/icheck_check.dir/distribution.cpp.o"
+  "CMakeFiles/icheck_check.dir/distribution.cpp.o.d"
+  "CMakeFiles/icheck_check.dir/driver.cpp.o"
+  "CMakeFiles/icheck_check.dir/driver.cpp.o.d"
+  "CMakeFiles/icheck_check.dir/hw_inc.cpp.o"
+  "CMakeFiles/icheck_check.dir/hw_inc.cpp.o.d"
+  "CMakeFiles/icheck_check.dir/ignore.cpp.o"
+  "CMakeFiles/icheck_check.dir/ignore.cpp.o.d"
+  "CMakeFiles/icheck_check.dir/infer.cpp.o"
+  "CMakeFiles/icheck_check.dir/infer.cpp.o.d"
+  "CMakeFiles/icheck_check.dir/io_hash.cpp.o"
+  "CMakeFiles/icheck_check.dir/io_hash.cpp.o.d"
+  "CMakeFiles/icheck_check.dir/localize.cpp.o"
+  "CMakeFiles/icheck_check.dir/localize.cpp.o.d"
+  "CMakeFiles/icheck_check.dir/region.cpp.o"
+  "CMakeFiles/icheck_check.dir/region.cpp.o.d"
+  "CMakeFiles/icheck_check.dir/sw_inc.cpp.o"
+  "CMakeFiles/icheck_check.dir/sw_inc.cpp.o.d"
+  "CMakeFiles/icheck_check.dir/sw_tr.cpp.o"
+  "CMakeFiles/icheck_check.dir/sw_tr.cpp.o.d"
+  "libicheck_check.a"
+  "libicheck_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icheck_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icheck_explore.dir/explorer.cpp.o"
+  "CMakeFiles/icheck_explore.dir/explorer.cpp.o.d"
+  "CMakeFiles/icheck_explore.dir/replay.cpp.o"
+  "CMakeFiles/icheck_explore.dir/replay.cpp.o.d"
+  "libicheck_explore.a"
+  "libicheck_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icheck_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hashing/crc64.cpp" "src/hashing/CMakeFiles/icheck_hashing.dir/crc64.cpp.o" "gcc" "src/hashing/CMakeFiles/icheck_hashing.dir/crc64.cpp.o.d"
+  "/root/repo/src/hashing/fp_round.cpp" "src/hashing/CMakeFiles/icheck_hashing.dir/fp_round.cpp.o" "gcc" "src/hashing/CMakeFiles/icheck_hashing.dir/fp_round.cpp.o.d"
+  "/root/repo/src/hashing/location_hash.cpp" "src/hashing/CMakeFiles/icheck_hashing.dir/location_hash.cpp.o" "gcc" "src/hashing/CMakeFiles/icheck_hashing.dir/location_hash.cpp.o.d"
+  "/root/repo/src/hashing/state_hash.cpp" "src/hashing/CMakeFiles/icheck_hashing.dir/state_hash.cpp.o" "gcc" "src/hashing/CMakeFiles/icheck_hashing.dir/state_hash.cpp.o.d"
+  "/root/repo/src/hashing/truncated_hash.cpp" "src/hashing/CMakeFiles/icheck_hashing.dir/truncated_hash.cpp.o" "gcc" "src/hashing/CMakeFiles/icheck_hashing.dir/truncated_hash.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/icheck_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icheck_hashing.dir/crc64.cpp.o"
+  "CMakeFiles/icheck_hashing.dir/crc64.cpp.o.d"
+  "CMakeFiles/icheck_hashing.dir/fp_round.cpp.o"
+  "CMakeFiles/icheck_hashing.dir/fp_round.cpp.o.d"
+  "CMakeFiles/icheck_hashing.dir/location_hash.cpp.o"
+  "CMakeFiles/icheck_hashing.dir/location_hash.cpp.o.d"
+  "CMakeFiles/icheck_hashing.dir/state_hash.cpp.o"
+  "CMakeFiles/icheck_hashing.dir/state_hash.cpp.o.d"
+  "CMakeFiles/icheck_hashing.dir/truncated_hash.cpp.o"
+  "CMakeFiles/icheck_hashing.dir/truncated_hash.cpp.o.d"
+  "libicheck_hashing.a"
+  "libicheck_hashing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icheck_hashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libicheck_hashing.a"
+)

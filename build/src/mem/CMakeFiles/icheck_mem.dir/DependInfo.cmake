@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/alloc.cpp" "src/mem/CMakeFiles/icheck_mem.dir/alloc.cpp.o" "gcc" "src/mem/CMakeFiles/icheck_mem.dir/alloc.cpp.o.d"
+  "/root/repo/src/mem/memory.cpp" "src/mem/CMakeFiles/icheck_mem.dir/memory.cpp.o" "gcc" "src/mem/CMakeFiles/icheck_mem.dir/memory.cpp.o.d"
+  "/root/repo/src/mem/static_segment.cpp" "src/mem/CMakeFiles/icheck_mem.dir/static_segment.cpp.o" "gcc" "src/mem/CMakeFiles/icheck_mem.dir/static_segment.cpp.o.d"
+  "/root/repo/src/mem/type_desc.cpp" "src/mem/CMakeFiles/icheck_mem.dir/type_desc.cpp.o" "gcc" "src/mem/CMakeFiles/icheck_mem.dir/type_desc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/icheck_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashing/CMakeFiles/icheck_hashing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icheck_mem.dir/alloc.cpp.o"
+  "CMakeFiles/icheck_mem.dir/alloc.cpp.o.d"
+  "CMakeFiles/icheck_mem.dir/memory.cpp.o"
+  "CMakeFiles/icheck_mem.dir/memory.cpp.o.d"
+  "CMakeFiles/icheck_mem.dir/static_segment.cpp.o"
+  "CMakeFiles/icheck_mem.dir/static_segment.cpp.o.d"
+  "CMakeFiles/icheck_mem.dir/type_desc.cpp.o"
+  "CMakeFiles/icheck_mem.dir/type_desc.cpp.o.d"
+  "libicheck_mem.a"
+  "libicheck_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icheck_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

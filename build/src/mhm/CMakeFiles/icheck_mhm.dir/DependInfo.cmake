@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mhm/mhm.cpp" "src/mhm/CMakeFiles/icheck_mhm.dir/mhm.cpp.o" "gcc" "src/mhm/CMakeFiles/icheck_mhm.dir/mhm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/icheck_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashing/CMakeFiles/icheck_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/icheck_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icheck_mhm.dir/mhm.cpp.o"
+  "CMakeFiles/icheck_mhm.dir/mhm.cpp.o.d"
+  "libicheck_mhm.a"
+  "libicheck_mhm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icheck_mhm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

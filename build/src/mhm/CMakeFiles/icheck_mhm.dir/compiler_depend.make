@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for icheck_mhm.
+# This may be replaced when dependencies are built.

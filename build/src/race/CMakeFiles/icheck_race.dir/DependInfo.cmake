@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/race/benign_filter.cpp" "src/race/CMakeFiles/icheck_race.dir/benign_filter.cpp.o" "gcc" "src/race/CMakeFiles/icheck_race.dir/benign_filter.cpp.o.d"
+  "/root/repo/src/race/race_detector.cpp" "src/race/CMakeFiles/icheck_race.dir/race_detector.cpp.o" "gcc" "src/race/CMakeFiles/icheck_race.dir/race_detector.cpp.o.d"
+  "/root/repo/src/race/vector_clock.cpp" "src/race/CMakeFiles/icheck_race.dir/vector_clock.cpp.o" "gcc" "src/race/CMakeFiles/icheck_race.dir/vector_clock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/icheck_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/icheck_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/check/CMakeFiles/icheck_check.dir/DependInfo.cmake"
+  "/root/repo/build/src/mhm/CMakeFiles/icheck_mhm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/icheck_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/icheck_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashing/CMakeFiles/icheck_hashing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

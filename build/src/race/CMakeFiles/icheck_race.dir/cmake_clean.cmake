@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icheck_race.dir/benign_filter.cpp.o"
+  "CMakeFiles/icheck_race.dir/benign_filter.cpp.o.d"
+  "CMakeFiles/icheck_race.dir/race_detector.cpp.o"
+  "CMakeFiles/icheck_race.dir/race_detector.cpp.o.d"
+  "CMakeFiles/icheck_race.dir/vector_clock.cpp.o"
+  "CMakeFiles/icheck_race.dir/vector_clock.cpp.o.d"
+  "libicheck_race.a"
+  "libicheck_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icheck_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

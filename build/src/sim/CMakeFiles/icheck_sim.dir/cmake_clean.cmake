@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icheck_sim.dir/context.cpp.o"
+  "CMakeFiles/icheck_sim.dir/context.cpp.o.d"
+  "CMakeFiles/icheck_sim.dir/machine.cpp.o"
+  "CMakeFiles/icheck_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/icheck_sim.dir/sched.cpp.o"
+  "CMakeFiles/icheck_sim.dir/sched.cpp.o.d"
+  "CMakeFiles/icheck_sim.dir/trace_listener.cpp.o"
+  "CMakeFiles/icheck_sim.dir/trace_listener.cpp.o.d"
+  "libicheck_sim.a"
+  "libicheck_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icheck_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

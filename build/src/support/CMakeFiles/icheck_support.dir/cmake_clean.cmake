@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icheck_support.dir/logging.cpp.o"
+  "CMakeFiles/icheck_support.dir/logging.cpp.o.d"
+  "CMakeFiles/icheck_support.dir/stats.cpp.o"
+  "CMakeFiles/icheck_support.dir/stats.cpp.o.d"
+  "libicheck_support.a"
+  "libicheck_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icheck_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

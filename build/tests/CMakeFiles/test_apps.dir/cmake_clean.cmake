@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps.dir/apps/test_app_classes.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_app_classes.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_app_smoke.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_app_smoke.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_bug_seeds.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_bug_seeds.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_functional.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_functional.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_scales.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_scales.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_thread_sweep.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_thread_sweep.cpp.o.d"
+  "test_apps"
+  "test_apps.pdb"
+  "test_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache.dir/cache/test_l1_cache.cpp.o"
+  "CMakeFiles/test_cache.dir/cache/test_l1_cache.cpp.o.d"
+  "CMakeFiles/test_cache.dir/cache/test_vpn_capture.cpp.o"
+  "CMakeFiles/test_cache.dir/cache/test_vpn_capture.cpp.o.d"
+  "CMakeFiles/test_cache.dir/cache/test_write_buffer.cpp.o"
+  "CMakeFiles/test_cache.dir/cache/test_write_buffer.cpp.o.d"
+  "test_cache"
+  "test_cache.pdb"
+  "test_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/check/test_checkers.cpp" "tests/CMakeFiles/test_check.dir/check/test_checkers.cpp.o" "gcc" "tests/CMakeFiles/test_check.dir/check/test_checkers.cpp.o.d"
+  "/root/repo/tests/check/test_distribution.cpp" "tests/CMakeFiles/test_check.dir/check/test_distribution.cpp.o" "gcc" "tests/CMakeFiles/test_check.dir/check/test_distribution.cpp.o.d"
+  "/root/repo/tests/check/test_driver.cpp" "tests/CMakeFiles/test_check.dir/check/test_driver.cpp.o" "gcc" "tests/CMakeFiles/test_check.dir/check/test_driver.cpp.o.d"
+  "/root/repo/tests/check/test_driver_edge.cpp" "tests/CMakeFiles/test_check.dir/check/test_driver_edge.cpp.o" "gcc" "tests/CMakeFiles/test_check.dir/check/test_driver_edge.cpp.o.d"
+  "/root/repo/tests/check/test_ignore.cpp" "tests/CMakeFiles/test_check.dir/check/test_ignore.cpp.o" "gcc" "tests/CMakeFiles/test_check.dir/check/test_ignore.cpp.o.d"
+  "/root/repo/tests/check/test_infer.cpp" "tests/CMakeFiles/test_check.dir/check/test_infer.cpp.o" "gcc" "tests/CMakeFiles/test_check.dir/check/test_infer.cpp.o.d"
+  "/root/repo/tests/check/test_localize.cpp" "tests/CMakeFiles/test_check.dir/check/test_localize.cpp.o" "gcc" "tests/CMakeFiles/test_check.dir/check/test_localize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/explore/CMakeFiles/icheck_explore.dir/DependInfo.cmake"
+  "/root/repo/build/src/race/CMakeFiles/icheck_race.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/icheck_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/check/CMakeFiles/icheck_check.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/icheck_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/icheck_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/mhm/CMakeFiles/icheck_mhm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/icheck_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/hashing/CMakeFiles/icheck_hashing.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/icheck_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_check.dir/check/test_checkers.cpp.o"
+  "CMakeFiles/test_check.dir/check/test_checkers.cpp.o.d"
+  "CMakeFiles/test_check.dir/check/test_distribution.cpp.o"
+  "CMakeFiles/test_check.dir/check/test_distribution.cpp.o.d"
+  "CMakeFiles/test_check.dir/check/test_driver.cpp.o"
+  "CMakeFiles/test_check.dir/check/test_driver.cpp.o.d"
+  "CMakeFiles/test_check.dir/check/test_driver_edge.cpp.o"
+  "CMakeFiles/test_check.dir/check/test_driver_edge.cpp.o.d"
+  "CMakeFiles/test_check.dir/check/test_ignore.cpp.o"
+  "CMakeFiles/test_check.dir/check/test_ignore.cpp.o.d"
+  "CMakeFiles/test_check.dir/check/test_infer.cpp.o"
+  "CMakeFiles/test_check.dir/check/test_infer.cpp.o.d"
+  "CMakeFiles/test_check.dir/check/test_localize.cpp.o"
+  "CMakeFiles/test_check.dir/check/test_localize.cpp.o.d"
+  "test_check"
+  "test_check.pdb"
+  "test_check[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_explore.dir/explore/test_context_bound.cpp.o"
+  "CMakeFiles/test_explore.dir/explore/test_context_bound.cpp.o.d"
+  "CMakeFiles/test_explore.dir/explore/test_explorer.cpp.o"
+  "CMakeFiles/test_explore.dir/explore/test_explorer.cpp.o.d"
+  "CMakeFiles/test_explore.dir/explore/test_replay.cpp.o"
+  "CMakeFiles/test_explore.dir/explore/test_replay.cpp.o.d"
+  "test_explore"
+  "test_explore.pdb"
+  "test_explore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

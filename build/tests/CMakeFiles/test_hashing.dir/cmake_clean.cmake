@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hashing.dir/hashing/test_crc64.cpp.o"
+  "CMakeFiles/test_hashing.dir/hashing/test_crc64.cpp.o.d"
+  "CMakeFiles/test_hashing.dir/hashing/test_fp_round.cpp.o"
+  "CMakeFiles/test_hashing.dir/hashing/test_fp_round.cpp.o.d"
+  "CMakeFiles/test_hashing.dir/hashing/test_incremental.cpp.o"
+  "CMakeFiles/test_hashing.dir/hashing/test_incremental.cpp.o.d"
+  "CMakeFiles/test_hashing.dir/hashing/test_location_hash.cpp.o"
+  "CMakeFiles/test_hashing.dir/hashing/test_location_hash.cpp.o.d"
+  "CMakeFiles/test_hashing.dir/hashing/test_mod_hash.cpp.o"
+  "CMakeFiles/test_hashing.dir/hashing/test_mod_hash.cpp.o.d"
+  "CMakeFiles/test_hashing.dir/hashing/test_truncated_hash.cpp.o"
+  "CMakeFiles/test_hashing.dir/hashing/test_truncated_hash.cpp.o.d"
+  "test_hashing"
+  "test_hashing.pdb"
+  "test_hashing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

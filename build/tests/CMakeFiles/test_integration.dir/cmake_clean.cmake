@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/test_config_matrix.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_config_matrix.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_cross_scheme.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_cross_scheme.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_paper_examples.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_paper_examples.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_random_programs.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_random_programs.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

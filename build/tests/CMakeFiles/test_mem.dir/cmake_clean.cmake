@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem.dir/mem/test_alloc.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_alloc.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_memory.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_memory.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_static_segment.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_static_segment.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_type_desc.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_type_desc.cpp.o.d"
+  "test_mem"
+  "test_mem.pdb"
+  "test_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

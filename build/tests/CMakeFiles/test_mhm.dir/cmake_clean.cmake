@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mhm.dir/mhm/test_mhm.cpp.o"
+  "CMakeFiles/test_mhm.dir/mhm/test_mhm.cpp.o.d"
+  "CMakeFiles/test_mhm.dir/mhm/test_mhm_isa.cpp.o"
+  "CMakeFiles/test_mhm.dir/mhm/test_mhm_isa.cpp.o.d"
+  "test_mhm"
+  "test_mhm.pdb"
+  "test_mhm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mhm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_mhm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_race.dir/race/test_race_detector.cpp.o"
+  "CMakeFiles/test_race.dir/race/test_race_detector.cpp.o.d"
+  "CMakeFiles/test_race.dir/race/test_vector_clock.cpp.o"
+  "CMakeFiles/test_race.dir/race/test_vector_clock.cpp.o.d"
+  "test_race"
+  "test_race.pdb"
+  "test_race[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

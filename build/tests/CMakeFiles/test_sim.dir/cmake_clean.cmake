@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_determinism.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_determinism.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_hashing_window.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_hashing_window.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_interception.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_interception.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_machine.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_machine.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_misc.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_misc.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_sched.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_sched.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_sync.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_sync.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_trace_listener.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_trace_listener.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icheck.dir/icheck.cpp.o"
+  "CMakeFiles/icheck.dir/icheck.cpp.o.d"
+  "icheck"
+  "icheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

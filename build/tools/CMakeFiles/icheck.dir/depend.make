@@ -1,0 +1,2 @@
+# Empty dependencies file for icheck.
+# This may be replaced when dependencies are built.
