@@ -22,12 +22,21 @@
 
 #include "apps/app_registry.hpp"
 #include "check/driver.hpp"
+#include "runtime/parallel_driver.hpp"
 #include "support/stats.hpp"
 
 using namespace icheck;
 
 namespace
 {
+
+/** One pool shared across every campaign in this figure. */
+runtime::ThreadPool &
+pool()
+{
+    static runtime::ThreadPool shared;
+    return shared;
+}
 
 check::DriverConfig
 configFor(check::Scheme scheme, const check::IgnoreSpec &ignores)
@@ -48,8 +57,11 @@ overheadFactor(const apps::AppInfo &app, check::Scheme scheme,
 {
     const check::IgnoreSpec ignores =
         with_ignores ? app.ignores : check::IgnoreSpec{};
-    check::DeterminismDriver driver(configFor(scheme, ignores));
-    return driver.check(app.factory).overheadFactor();
+    runtime::CampaignOptions options;
+    options.pool = &pool();
+    return runtime::runCampaign(configFor(scheme, ignores), app.factory,
+                                options)
+        .overheadFactor();
 }
 
 } // namespace

@@ -50,6 +50,7 @@ main()
 
     apps::CharacterizeConfig config;
     config.runs = 30;
+    config.jobs = 0; // fan runs out across all hardware workers
 
     for (const apps::AppInfo &app : apps::registry()) {
         const Table1Row row = apps::characterizeApp(app, config);

@@ -1,10 +1,22 @@
 #include "apps/characterize.hpp"
 
+#include "runtime/parallel_driver.hpp"
+
 namespace icheck::apps
 {
 
 namespace
 {
+
+/** The three campaigns per app all run through the parallel executor. */
+check::DriverReport
+runCampaign(const check::DriverConfig &cfg, const CharacterizeConfig &config,
+            const check::ProgramFactory &factory)
+{
+    runtime::CampaignOptions options;
+    options.jobs = config.jobs;
+    return runtime::runCampaign(cfg, factory, options);
+}
 
 check::DriverConfig
 driverConfig(const CharacterizeConfig &config, bool fp_rounding,
@@ -30,28 +42,23 @@ characterizeApp(const AppInfo &app, const CharacterizeConfig &config)
     row.app = &app;
 
     // Configuration A: bit-by-bit comparison (columns 5-6).
-    {
-        check::DeterminismDriver driver(
-            driverConfig(config, /*fp_rounding=*/false, {}));
-        row.bitwise = driver.check(app.factory);
-        row.detAsIs = row.bitwise.deterministic();
-        row.firstNdetRun = row.bitwise.firstNdetRun;
-    }
+    row.bitwise = runCampaign(driverConfig(config, /*fp_rounding=*/false, {}),
+                              config, app.factory);
+    row.detAsIs = row.bitwise.deterministic();
+    row.firstNdetRun = row.bitwise.firstNdetRun;
 
     // Configuration B: FP rounding (columns 7-8).
-    {
-        check::DeterminismDriver driver(
-            driverConfig(config, /*fp_rounding=*/true, {}));
-        row.rounded = driver.check(app.factory);
-        row.detAfterFp = row.rounded.deterministic();
-        row.firstNdetAfterFp = row.rounded.firstNdetRun;
-    }
+    row.rounded = runCampaign(driverConfig(config, /*fp_rounding=*/true, {}),
+                              config, app.factory);
+    row.detAfterFp = row.rounded.deterministic();
+    row.firstNdetAfterFp = row.rounded.firstNdetRun;
 
     // Configuration C: FP rounding + isolated structures (column 9).
     if (!app.ignores.empty()) {
-        check::DeterminismDriver driver(
-            driverConfig(config, /*fp_rounding=*/true, app.ignores));
-        row.isolated = driver.check(app.factory);
+        row.isolated =
+            runCampaign(driverConfig(config, /*fp_rounding=*/true,
+                                     app.ignores),
+                        config, app.factory);
         row.detAfterIgnores = row.isolated->deterministic();
     }
 

@@ -24,6 +24,12 @@ struct CharacterizeConfig
     std::uint64_t baseSchedSeed = 1000;
     std::uint64_t inputSeed = 42;
     CoreId cores = 8;
+
+    /**
+     * Campaign worker threads (0 = hardware concurrency). Reports are
+     * bit-identical for every value; see src/runtime/parallel_driver.
+     */
+    int jobs = 1;
 };
 
 /** One Table 1 row, with the underlying campaign reports retained. */

@@ -16,50 +16,51 @@ DriverReport::overheadFactor() const
     return (avgNativeInstrs + avgOverheadInstrs) / avgNativeInstrs;
 }
 
-DriverReport
-DeterminismDriver::check(const ProgramFactory &factory) const
+RunRecord
+executeCampaignRun(const DriverConfig &cfg, const ProgramFactory &factory,
+                   int run_index, mem::ReplayLog &replay_log,
+                   mem::DeterministicAllocator::Mode mode,
+                   std::string *app_name)
 {
-    ICHECK_ASSERT(cfg.runs >= 2, "need at least two runs to compare");
+    sim::MachineConfig mc = cfg.machine;
+    mc.schedSeed =
+        cfg.baseSchedSeed + static_cast<std::uint64_t>(run_index);
+    sim::Machine machine(mc, &replay_log, mode);
 
+    auto checker = makeChecker(cfg.scheme, cfg.ignores, cfg.idealCostModel);
+    checker->attach(machine);
+    OutputHasher output_hasher;
+    machine.addListener(&output_hasher);
+
+    RunRecord record;
+    machine.setRunStartHandler([&] { checker->onRunStart(); });
+    machine.setCheckpointHandler([&](const sim::CheckpointInfo &) {
+        record.checkpointHashes.push_back(checker->checkpointHash().raw());
+    });
+
+    auto program = factory();
+    ICHECK_ASSERT(program != nullptr, "factory returned null");
+    if (app_name != nullptr)
+        *app_name = program->name();
+    record.result = machine.run(*program);
+    record.outputHash = output_hasher.value();
+    record.outputBytes = output_hasher.bytes();
+    record.checkerOverheadInstrs = checker->overheadInstrs();
+    return record;
+}
+
+DriverReport
+analyzeCampaign(const DriverConfig &cfg, std::string app,
+                std::vector<RunRecord> records_in)
+{
     DriverReport report;
+    report.app = std::move(app);
     report.scheme = schemeName(cfg.scheme);
     report.runs = cfg.runs;
+    report.records = std::move(records_in);
 
-    mem::ReplayLog replay_log;
-    for (int run = 0; run < cfg.runs; ++run) {
-        sim::MachineConfig mc = cfg.machine;
-        mc.schedSeed = cfg.baseSchedSeed + static_cast<std::uint64_t>(run);
-        const auto mode = run == 0
-                              ? mem::DeterministicAllocator::Mode::Record
-                              : mem::DeterministicAllocator::Mode::Replay;
-        sim::Machine machine(mc, &replay_log, mode);
-
-        auto checker = makeChecker(cfg.scheme, cfg.ignores,
-                                   cfg.idealCostModel);
-        checker->attach(machine);
-        OutputHasher output_hasher;
-        machine.addListener(&output_hasher);
-
-        RunRecord record;
-        machine.setRunStartHandler([&] { checker->onRunStart(); });
-        machine.setCheckpointHandler([&](const sim::CheckpointInfo &) {
-            record.checkpointHashes.push_back(
-                checker->checkpointHash().raw());
-        });
-
-        auto program = factory();
-        ICHECK_ASSERT(program != nullptr, "factory returned null");
-        if (report.app.empty())
-            report.app = program->name();
-        record.result = machine.run(*program);
-        record.outputHash = output_hasher.value();
-        record.outputBytes = output_hasher.bytes();
-        record.checkerOverheadInstrs = checker->overheadInstrs();
-        report.records.push_back(std::move(record));
-    }
-
-    // --- Analysis -------------------------------------------------------
     const auto &records = report.records;
+    ICHECK_ASSERT(!records.empty(), "campaign produced no records");
     std::size_t min_checkpoints = records[0].checkpointHashes.size();
     for (const RunRecord &record : records) {
         if (record.checkpointHashes.size() !=
@@ -124,9 +125,28 @@ DeterminismDriver::check(const ProgramFactory &factory) const
             static_cast<double>(record.checkerOverheadInstrs);
     }
     report.avgNativeInstrs = native_sum / static_cast<double>(cfg.runs);
-    report.avgOverheadInstrs =
-        overhead_sum / static_cast<double>(cfg.runs);
+    report.avgOverheadInstrs = overhead_sum / static_cast<double>(cfg.runs);
     return report;
+}
+
+DriverReport
+DeterminismDriver::check(const ProgramFactory &factory) const
+{
+    ICHECK_ASSERT(cfg.runs >= 2, "need at least two runs to compare");
+
+    mem::ReplayLog replay_log;
+    std::string app;
+    std::vector<RunRecord> records;
+    records.reserve(static_cast<std::size_t>(cfg.runs));
+    for (int run = 0; run < cfg.runs; ++run) {
+        const auto mode = run == 0
+                              ? mem::DeterministicAllocator::Mode::Record
+                              : mem::DeterministicAllocator::Mode::Replay;
+        records.push_back(executeCampaignRun(
+            cfg, factory, run, replay_log, mode,
+            run == 0 ? &app : nullptr));
+    }
+    return analyzeCampaign(cfg, std::move(app), std::move(records));
 }
 
 sim::RunResult

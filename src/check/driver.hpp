@@ -111,6 +111,30 @@ struct DriverReport
 };
 
 /**
+ * Execute run @p run_index of the campaign described by @p cfg and return
+ * its record. Run 0 must execute in Record mode before any Replay run so
+ * the malloc replay log is populated; Replay runs only read the log, so
+ * they may execute concurrently (the parallel campaign executor in
+ * src/runtime relies on exactly this).
+ *
+ * @param app_name If non-null, receives the program's name.
+ */
+RunRecord executeCampaignRun(const DriverConfig &cfg,
+                             const ProgramFactory &factory, int run_index,
+                             mem::ReplayLog &replay_log,
+                             mem::DeterministicAllocator::Mode mode,
+                             std::string *app_name = nullptr);
+
+/**
+ * Derive the campaign verdict from per-run records. Pure function of
+ * (cfg, app, records): both the sequential driver and the parallel
+ * executor call this, which is what makes their reports bit-identical.
+ * @p records must be in seed order (record for run i at index i).
+ */
+DriverReport analyzeCampaign(const DriverConfig &cfg, std::string app,
+                             std::vector<RunRecord> records);
+
+/**
  * The campaign runner. Stateless apart from configuration; each call to
  * check() owns its replay log, so campaigns are independent.
  */

@@ -130,23 +130,17 @@ class HbTracker : public sim::AccessListener
     std::uint64_t signature = 0;
 };
 
-/** Everything observed during one scripted run. */
-struct RunObservation
+} // namespace
+
+namespace detail
 {
-    std::vector<std::uint32_t> fanout;
-    std::vector<std::uint32_t> path; ///< Choice taken at each decision.
-    std::vector<std::int32_t> prevIdx; ///< Previous-thread index per decision.
-    std::vector<std::size_t> preemptionsBefore; ///< Prefix preemption counts.
-    std::size_t pruneAt = ~std::size_t{0};
-    HashWord finalState = 0;
-};
 
 RunObservation
 runOnce(const check::ProgramFactory &factory,
         const sim::MachineConfig &machine_template,
         const ExploreConfig &config,
         const std::vector<std::uint32_t> &prefix,
-        std::set<std::uint64_t> *seen_sigs)
+        const SignatureInsert &insert_sig)
 {
     sim::Machine machine(machine_template);
     const bool bounded = config.maxPreemptions != ~std::size_t{0};
@@ -183,7 +177,7 @@ runOnce(const check::ProgramFactory &factory,
                         : hb.value();
                 for (ThreadId t : runnable)
                     sig = mix(sig, t + 1);
-                if (!seen_sigs->insert(sig).second)
+                if (!insert_sig(sig))
                     obs.pruneAt = decision;
             }
             ++decision;
@@ -217,7 +211,51 @@ runOnce(const check::ProgramFactory &factory,
     return obs;
 }
 
-} // namespace
+ExpandCounts
+expandBranches(const RunObservation &obs, std::size_t prefix_size,
+               const ExploreConfig &config,
+               const std::function<void(std::vector<std::uint32_t>)> &emit)
+{
+    ExpandCounts counts;
+
+    // Expand new branches only up to the first pruned decision.
+    const std::size_t limit =
+        std::min({obs.fanout.size(), config.maxDepth, obs.pruneAt});
+
+    // Expand every non-designated choice at every decision past the
+    // prefix. The designated (executed) child is a deterministic
+    // function of the execution history, so each prefix is generated
+    // exactly once across the whole search.
+    for (std::size_t d = prefix_size;
+         d < std::min(obs.fanout.size(), config.maxDepth); ++d) {
+        for (std::uint32_t c = 0; c < obs.fanout[d]; ++c) {
+            if (c == obs.path[d])
+                continue;
+            if (d >= limit) {
+                ++counts.pruned;
+                continue;
+            }
+            // Context bounding: skip branches whose preemption count
+            // would exceed the budget.
+            const bool branch_preempts =
+                obs.prevIdx[d] >= 0 &&
+                c != static_cast<std::uint32_t>(obs.prevIdx[d]);
+            if (obs.preemptionsBefore[d] + (branch_preempts ? 1 : 0) >
+                config.maxPreemptions) {
+                ++counts.boundedOut;
+                continue;
+            }
+            std::vector<std::uint32_t> next(
+                obs.path.begin(),
+                obs.path.begin() + static_cast<std::ptrdiff_t>(d));
+            next.push_back(c);
+            emit(std::move(next));
+        }
+    }
+    return counts;
+}
+
+} // namespace detail
 
 ExploreResult
 explore(const check::ProgramFactory &factory,
@@ -226,6 +264,10 @@ explore(const check::ProgramFactory &factory,
 {
     ExploreResult result;
     std::set<std::uint64_t> seen_sigs;
+    const detail::SignatureInsert insert_sig =
+        [&seen_sigs](std::uint64_t sig) {
+            return seen_sigs.insert(sig).second;
+        };
 
     std::vector<std::vector<std::uint32_t>> pending;
     pending.push_back({});
@@ -235,48 +277,18 @@ explore(const check::ProgramFactory &factory,
             pending.back());
         pending.pop_back();
 
-        const RunObservation obs =
-            runOnce(factory, machine_template, config, prefix,
-                    &seen_sigs);
+        const detail::RunObservation obs = detail::runOnce(
+            factory, machine_template, config, prefix, insert_sig);
         ++result.runsExecuted;
         result.finalStates.insert(obs.finalState);
 
-        // Expand new branches only up to the first pruned decision.
-        const std::size_t limit =
-            std::min({obs.fanout.size(), config.maxDepth, obs.pruneAt});
-
-        // Expand every non-designated choice at every decision past the
-        // prefix. The designated (executed) child is a deterministic
-        // function of the execution history, so each prefix is generated
-        // exactly once across the whole search.
-        for (std::size_t d = prefix.size();
-             d < std::min(obs.fanout.size(), config.maxDepth); ++d) {
-            for (std::uint32_t c = 0; c < obs.fanout[d]; ++c) {
-                if (c == obs.path[d])
-                    continue;
-                if (d >= limit) {
-                    ++result.branchesPruned;
-                    continue;
-                }
-                // Context bounding: skip branches whose preemption count
-                // would exceed the budget.
-                const bool branch_preempts =
-                    obs.prevIdx[d] >= 0 &&
-                    c != static_cast<std::uint32_t>(obs.prevIdx[d]);
-                if (obs.preemptionsBefore[d] + (branch_preempts ? 1 : 0) >
-                    config.maxPreemptions) {
-                    ++result.branchesBoundedOut;
-                    continue;
-                }
-                std::vector<std::uint32_t> next(obs.path.begin(),
-                                                obs.path.begin() +
-                                                    static_cast<
-                                                        std::ptrdiff_t>(
-                                                        d));
-                next.push_back(c);
+        const detail::ExpandCounts counts = detail::expandBranches(
+            obs, prefix.size(), config,
+            [&pending](std::vector<std::uint32_t> next) {
                 pending.push_back(std::move(next));
-            }
-        }
+            });
+        result.branchesPruned += counts.pruned;
+        result.branchesBoundedOut += counts.boundedOut;
     }
 
     result.exhausted = pending.empty();

@@ -25,6 +25,7 @@
  */
 
 #include <cstdint>
+#include <functional>
 #include <set>
 #include <vector>
 
@@ -84,6 +85,61 @@ struct ExploreResult
 ExploreResult explore(const check::ProgramFactory &factory,
                       const sim::MachineConfig &machine_template,
                       const ExploreConfig &config);
+
+namespace detail
+{
+
+/**
+ * The single-run / branch-expansion engine underneath explore(), exposed
+ * so the parallel exploration frontier (src/runtime) can drive the same
+ * search with a shared, thread-safe seen-signature set.
+ */
+
+/** Everything observed during one scripted run. */
+struct RunObservation
+{
+    std::vector<std::uint32_t> fanout;
+    std::vector<std::uint32_t> path; ///< Choice taken at each decision.
+    std::vector<std::int32_t> prevIdx; ///< Previous-thread index per decision.
+    std::vector<std::size_t> preemptionsBefore; ///< Prefix preemption counts.
+    std::size_t pruneAt = ~std::size_t{0};
+    HashWord finalState = 0;
+};
+
+/**
+ * Insert a pruning signature into the seen set; returns true if the
+ * signature was new. Sequential search backs this with a plain std::set,
+ * the parallel frontier with a sharded mutex-protected set.
+ */
+using SignatureInsert = std::function<bool(std::uint64_t)>;
+
+/** Execute one scripted run continuing past @p prefix. */
+RunObservation runOnce(const check::ProgramFactory &factory,
+                       const sim::MachineConfig &machine_template,
+                       const ExploreConfig &config,
+                       const std::vector<std::uint32_t> &prefix,
+                       const SignatureInsert &insert_sig);
+
+/** Branches not expanded (per-observation pruning/bounding counts). */
+struct ExpandCounts
+{
+    std::uint64_t pruned = 0;
+    std::uint64_t boundedOut = 0;
+};
+
+/**
+ * Enumerate the unexplored child prefixes of @p obs (decisions at or past
+ * @p prefix_size), calling @p emit for each; pruned and bounded-out
+ * branches are counted instead of emitted. The designated (executed)
+ * child is never emitted, so each prefix is generated exactly once across
+ * the whole search regardless of which worker expands it.
+ */
+ExpandCounts
+expandBranches(const RunObservation &obs, std::size_t prefix_size,
+               const ExploreConfig &config,
+               const std::function<void(std::vector<std::uint32_t>)> &emit);
+
+} // namespace detail
 
 } // namespace icheck::explore
 

@@ -1,0 +1,123 @@
+#include "runtime/parallel_driver.hpp"
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "support/logging.hpp"
+
+namespace icheck::runtime
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+} // namespace
+
+int
+resolveJobs(int jobs)
+{
+    if (jobs <= 0)
+        return static_cast<int>(ThreadPool::hardwareWorkers());
+    return jobs;
+}
+
+check::DriverReport
+runCampaign(const check::DriverConfig &cfg,
+            const check::ProgramFactory &factory,
+            const CampaignOptions &options)
+{
+    ICHECK_ASSERT(cfg.runs >= 2, "need at least two runs to compare");
+
+    const auto campaign_start = Clock::now();
+    const int jobs = options.pool != nullptr
+                         ? static_cast<int>(options.pool->workerCount())
+                         : resolveJobs(options.jobs);
+
+    mem::ReplayLog replay_log;
+    std::string app;
+    std::vector<check::RunRecord> records(
+        static_cast<std::size_t>(cfg.runs));
+
+    // Per-run wall time summed across workers; the utilization
+    // denominator (pool busy time would trail the last tasks).
+    std::mutex busy_mu;
+    double busy_seconds = 0.0;
+
+    const auto execute = [&](int run) {
+        const auto run_start = Clock::now();
+        const auto mode = run == 0
+                              ? mem::DeterministicAllocator::Mode::Record
+                              : mem::DeterministicAllocator::Mode::Replay;
+        records[static_cast<std::size_t>(run)] = check::executeCampaignRun(
+            cfg, factory, run, replay_log, mode,
+            run == 0 ? &app : nullptr);
+        const double seconds = secondsSince(run_start);
+        {
+            std::lock_guard<std::mutex> lock(busy_mu);
+            busy_seconds += seconds;
+        }
+        if (options.sink != nullptr)
+            options.sink->onRun(app, check::schemeName(cfg.scheme), run,
+                                records[static_cast<std::size_t>(run)],
+                                seconds);
+    };
+
+    // Record-then-fan-out: run 0 writes the replay log on the calling
+    // thread; every later run only reads it, so they fan out freely.
+    execute(0);
+
+    PoolStats pool_stats;
+    if (jobs <= 1) {
+        for (int run = 1; run < cfg.runs; ++run)
+            execute(run);
+    } else {
+        ThreadPool *pool = options.pool;
+        std::unique_ptr<ThreadPool> owned;
+        if (pool == nullptr) {
+            owned = std::make_unique<ThreadPool>(
+                static_cast<unsigned>(jobs));
+            pool = owned.get();
+        }
+        pool->parallelFor(static_cast<std::size_t>(cfg.runs) - 1,
+                          [&execute](std::size_t i) {
+                              execute(static_cast<int>(i) + 1);
+                          });
+        pool_stats = pool->stats();
+    }
+
+    check::DriverReport report =
+        check::analyzeCampaign(cfg, std::move(app), std::move(records));
+
+    if (options.sink != nullptr) {
+        CampaignCounters counters;
+        counters.app = report.app;
+        counters.scheme = report.scheme;
+        counters.runs = cfg.runs;
+        counters.jobs = jobs;
+        counters.wallSeconds = secondsSince(campaign_start);
+        counters.runsPerSec =
+            counters.wallSeconds > 0.0
+                ? static_cast<double>(cfg.runs) / counters.wallSeconds
+                : 0.0;
+        counters.workerUtilization =
+            counters.wallSeconds > 0.0 && jobs > 1
+                ? busy_seconds /
+                      (counters.wallSeconds * static_cast<double>(jobs))
+                : 1.0;
+        counters.tasksStolen = pool_stats.tasksStolen;
+        counters.maxQueueDepth = pool_stats.maxQueueDepth;
+        options.sink->onCampaignEnd(counters);
+    }
+    return report;
+}
+
+} // namespace icheck::runtime

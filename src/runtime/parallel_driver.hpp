@@ -1,0 +1,61 @@
+#ifndef ICHECK_RUNTIME_PARALLEL_DRIVER_HPP
+#define ICHECK_RUNTIME_PARALLEL_DRIVER_HPP
+
+/**
+ * @file
+ * Parallel campaign executor.
+ *
+ * A determinism campaign is embarrassingly parallel: every seeded run is
+ * a pure function of (program, input seed, scheduler seed) — except that
+ * run 0 records the malloc replay log the later runs replay (Section 5
+ * input-nondeterminism control). The executor therefore follows a
+ * record-then-fan-out protocol:
+ *
+ *   1. run 0 executes on the calling thread in Record mode, writing the
+ *      replay log;
+ *   2. runs 1..N-1 fan out across the thread pool in Replay mode, which
+ *      only *reads* the shared log — no synchronization needed;
+ *   3. records land in a pre-sized vector at their seed index, and the
+ *      verdict comes from check::analyzeCampaign over that seed-ordered
+ *      vector.
+ *
+ * Because both execution (check::executeCampaignRun) and analysis
+ * (check::analyzeCampaign) are the exact functions the sequential
+ * DeterminismDriver uses, the resulting DriverReport is bit-identical to
+ * the sequential one for any worker count.
+ */
+
+#include "check/driver.hpp"
+#include "runtime/result_sink.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace icheck::runtime
+{
+
+/** Execution options of one parallel campaign. */
+struct CampaignOptions
+{
+    /** Worker count; 0 = hardware concurrency, 1 = run on the caller. */
+    int jobs = 0;
+
+    /** Optional per-run streaming and aggregate counters. */
+    ResultSink *sink = nullptr;
+
+    /** Optional externally owned pool (jobs is ignored if set). */
+    ThreadPool *pool = nullptr;
+};
+
+/**
+ * Run the campaign described by @p cfg across workers and return a
+ * DriverReport bit-identical to DeterminismDriver(cfg).check(factory).
+ */
+check::DriverReport runCampaign(const check::DriverConfig &cfg,
+                                const check::ProgramFactory &factory,
+                                const CampaignOptions &options = {});
+
+/** Resolve a --jobs value: 0 means hardware concurrency; minimum 1. */
+int resolveJobs(int jobs);
+
+} // namespace icheck::runtime
+
+#endif // ICHECK_RUNTIME_PARALLEL_DRIVER_HPP

@@ -1,0 +1,142 @@
+#include "runtime/parallel_explore.hpp"
+
+#include <array>
+#include <condition_variable>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "runtime/parallel_driver.hpp"
+
+namespace icheck::runtime
+{
+
+namespace
+{
+
+/**
+ * Shard-locked signature set: a state reached by any worker immediately
+ * prunes every worker's branches, without a single hot lock. Signatures
+ * are already avalanche-mixed by the explorer, so the low bits pick the
+ * shard uniformly.
+ */
+class ShardedSignatureSet
+{
+  public:
+    bool
+    insert(std::uint64_t sig)
+    {
+        Shard &shard = shards[sig % shards.size()];
+        std::lock_guard<std::mutex> lock(shard.mu);
+        return shard.seen.insert(sig).second;
+    }
+
+  private:
+    struct Shard
+    {
+        std::mutex mu;
+        std::unordered_set<std::uint64_t> seen;
+    };
+    std::array<Shard, 64> shards;
+};
+
+/** Shared LIFO frontier plus the merged result, all under one lock. */
+struct Frontier
+{
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<std::vector<std::uint32_t>> pending;
+    int inFlight = 0;
+    int claimed = 0; ///< Runs handed to workers (capped at maxRuns).
+    bool done = false;
+    explore::ExploreResult result;
+};
+
+void
+workerLoop(Frontier &frontier, ShardedSignatureSet &seen,
+           const check::ProgramFactory &factory,
+           const sim::MachineConfig &machine_template,
+           const explore::ExploreConfig &config)
+{
+    const explore::detail::SignatureInsert insert_sig =
+        [&seen](std::uint64_t sig) { return seen.insert(sig); };
+
+    for (;;) {
+        std::vector<std::uint32_t> prefix;
+        {
+            std::unique_lock<std::mutex> lock(frontier.mu);
+            for (;;) {
+                if (frontier.done)
+                    return;
+                if (frontier.claimed >= config.maxRuns) {
+                    frontier.done = true;
+                    frontier.cv.notify_all();
+                    return;
+                }
+                if (!frontier.pending.empty()) {
+                    prefix = std::move(frontier.pending.back());
+                    frontier.pending.pop_back();
+                    ++frontier.inFlight;
+                    ++frontier.claimed;
+                    break;
+                }
+                if (frontier.inFlight == 0) {
+                    // Nothing queued, nothing running: search complete.
+                    frontier.done = true;
+                    frontier.cv.notify_all();
+                    return;
+                }
+                frontier.cv.wait(lock);
+            }
+        }
+
+        const explore::detail::RunObservation obs =
+            explore::detail::runOnce(factory, machine_template, config,
+                                     prefix, insert_sig);
+        std::vector<std::vector<std::uint32_t>> children;
+        const explore::detail::ExpandCounts counts =
+            explore::detail::expandBranches(
+                obs, prefix.size(), config,
+                [&children](std::vector<std::uint32_t> next) {
+                    children.push_back(std::move(next));
+                });
+
+        {
+            std::lock_guard<std::mutex> lock(frontier.mu);
+            ++frontier.result.runsExecuted;
+            frontier.result.finalStates.insert(obs.finalState);
+            frontier.result.branchesPruned += counts.pruned;
+            frontier.result.branchesBoundedOut += counts.boundedOut;
+            for (std::vector<std::uint32_t> &child : children)
+                frontier.pending.push_back(std::move(child));
+            --frontier.inFlight;
+        }
+        frontier.cv.notify_all();
+    }
+}
+
+} // namespace
+
+explore::ExploreResult
+exploreParallel(const check::ProgramFactory &factory,
+                const sim::MachineConfig &machine_template,
+                const explore::ExploreConfig &config, int jobs)
+{
+    jobs = resolveJobs(jobs);
+    if (jobs <= 1 || config.maxRuns <= 1)
+        return explore::explore(factory, machine_template, config);
+
+    Frontier frontier;
+    frontier.pending.push_back({});
+    ShardedSignatureSet seen;
+
+    ThreadPool pool(static_cast<unsigned>(jobs));
+    pool.parallelFor(static_cast<std::size_t>(jobs), [&](std::size_t) {
+        workerLoop(frontier, seen, factory, machine_template, config);
+    });
+
+    frontier.result.exhausted = frontier.pending.empty();
+    return frontier.result;
+}
+
+} // namespace icheck::runtime

@@ -1,0 +1,42 @@
+#ifndef ICHECK_RUNTIME_PARALLEL_EXPLORE_HPP
+#define ICHECK_RUNTIME_PARALLEL_EXPLORE_HPP
+
+/**
+ * @file
+ * Parallel systematic-testing frontier.
+ *
+ * Shards the Section 6.2 explorer's scheduling-decision tree across
+ * workers: a shared LIFO frontier of schedule prefixes feeds the pool,
+ * each worker executes one scripted run (explore::detail::runOnce),
+ * expands its unexplored branches, and pushes them back. The pruning
+ * signature set is shared and shard-locked, so a state reached by any
+ * worker prunes every other worker's branches.
+ *
+ * Determinism contract: with pruning off, the set of executed prefixes
+ * is exactly the sequential explorer's (each prefix is generated once,
+ * by its designated parent), so runsExecuted and finalStates match the
+ * sequential result whenever the search completes within maxRuns. With
+ * pruning on, *which* run first claims a signature depends on worker
+ * timing, so runsExecuted may differ run to run — but pruning only ever
+ * skips continuations of already-seen states, so an exhausted search
+ * still reports the same finalStates.
+ */
+
+#include "explore/explorer.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace icheck::runtime
+{
+
+/**
+ * Explore interleavings like explore::explore(), fanning runs out over
+ * @p jobs workers (0 = hardware concurrency; 1 = sequential engine).
+ */
+explore::ExploreResult
+exploreParallel(const check::ProgramFactory &factory,
+                const sim::MachineConfig &machine_template,
+                const explore::ExploreConfig &config, int jobs = 0);
+
+} // namespace icheck::runtime
+
+#endif // ICHECK_RUNTIME_PARALLEL_EXPLORE_HPP

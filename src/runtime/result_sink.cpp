@@ -1,0 +1,112 @@
+#include "runtime/result_sink.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace icheck::runtime
+{
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string escaped;
+    escaped.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"':
+            escaped += "\\\"";
+            break;
+          case '\\':
+            escaped += "\\\\";
+            break;
+          case '\n':
+            escaped += "\\n";
+            break;
+          case '\t':
+            escaped += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c));
+                escaped += buf;
+            } else {
+                escaped += c;
+            }
+        }
+    }
+    return escaped;
+}
+
+void
+ResultSink::onRun(const std::string &app, const std::string &scheme,
+                  int run, const check::RunRecord &record, double seconds)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    ++runCount;
+    if (out == nullptr)
+        return;
+    const HashWord final_hash = record.checkpointHashes.empty()
+                                    ? HashWord{0}
+                                    : record.checkpointHashes.back();
+    char line[512];
+    std::snprintf(
+        line, sizeof line,
+        "{\"type\":\"run\",\"app\":\"%s\",\"scheme\":\"%s\","
+        "\"run\":%d,\"checkpoints\":%zu,"
+        "\"finalHash\":\"%016llx\",\"outputHash\":\"%016llx\","
+        "\"outputBytes\":%llu,\"nativeInstrs\":%llu,"
+        "\"overheadInstrs\":%llu,\"seconds\":%.6f}",
+        jsonEscape(app).c_str(), jsonEscape(scheme).c_str(), run,
+        record.checkpointHashes.size(),
+        static_cast<unsigned long long>(final_hash),
+        static_cast<unsigned long long>(record.outputHash),
+        static_cast<unsigned long long>(record.outputBytes),
+        static_cast<unsigned long long>(record.result.nativeInstrs),
+        static_cast<unsigned long long>(
+            record.result.overheadInstrs +
+            record.checkerOverheadInstrs),
+        seconds);
+    *out << line << '\n';
+}
+
+void
+ResultSink::onCampaignEnd(const CampaignCounters &counters)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    last = counters;
+    if (out == nullptr)
+        return;
+    char line[512];
+    std::snprintf(
+        line, sizeof line,
+        "{\"type\":\"campaign\",\"app\":\"%s\",\"scheme\":\"%s\","
+        "\"runs\":%d,\"jobs\":%d,\"wallSeconds\":%.6f,"
+        "\"runsPerSec\":%.2f,\"workerUtilization\":%.4f,"
+        "\"tasksStolen\":%llu,\"maxQueueDepth\":%llu}",
+        jsonEscape(counters.app).c_str(),
+        jsonEscape(counters.scheme).c_str(), counters.runs, counters.jobs,
+        counters.wallSeconds, counters.runsPerSec,
+        counters.workerUtilization,
+        static_cast<unsigned long long>(counters.tasksStolen),
+        static_cast<unsigned long long>(counters.maxQueueDepth));
+    *out << line << '\n';
+    out->flush();
+}
+
+int
+ResultSink::runsRecorded() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return runCount;
+}
+
+CampaignCounters
+ResultSink::lastCampaign() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return last;
+}
+
+} // namespace icheck::runtime

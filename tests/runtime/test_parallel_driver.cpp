@@ -1,0 +1,171 @@
+/**
+ * @file
+ * The parallel campaign executor's contract: for any worker count the
+ * DriverReport — checkpoint hash sequences, distributions, det/ndet
+ * verdicts, firstNdetRun, and overhead statistics — is bit-identical to
+ * the sequential DeterminismDriver's, for deterministic and
+ * nondeterministic apps alike. Also covers the result sink's streaming
+ * counters and JSONL output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/app_registry.hpp"
+#include "runtime/parallel_driver.hpp"
+#include "runtime/result_sink.hpp"
+
+namespace icheck::runtime
+{
+namespace
+{
+
+check::DriverConfig
+campaignConfig(const apps::AppInfo &app, int runs)
+{
+    check::DriverConfig cfg;
+    cfg.runs = runs;
+    cfg.machine.numCores = 8;
+    cfg.ignores = app.ignores;
+    return cfg;
+}
+
+/** Assert every field the report derives is equal, run records included. */
+void
+expectBitIdentical(const check::DriverReport &expected,
+                   const check::DriverReport &actual)
+{
+    EXPECT_EQ(expected.app, actual.app);
+    EXPECT_EQ(expected.scheme, actual.scheme);
+    EXPECT_EQ(expected.runs, actual.runs);
+    ASSERT_EQ(expected.records.size(), actual.records.size());
+    for (std::size_t i = 0; i < expected.records.size(); ++i) {
+        const check::RunRecord &e = expected.records[i];
+        const check::RunRecord &a = actual.records[i];
+        EXPECT_EQ(e.checkpointHashes, a.checkpointHashes) << "run " << i;
+        EXPECT_EQ(e.outputHash, a.outputHash) << "run " << i;
+        EXPECT_EQ(e.outputBytes, a.outputBytes) << "run " << i;
+        EXPECT_EQ(e.result.nativeInstrs, a.result.nativeInstrs)
+            << "run " << i;
+        EXPECT_EQ(e.result.overheadInstrs, a.result.overheadInstrs)
+            << "run " << i;
+        EXPECT_EQ(e.checkerOverheadInstrs, a.checkerOverheadInstrs)
+            << "run " << i;
+    }
+    EXPECT_EQ(expected.checkpointCountsMatch, actual.checkpointCountsMatch);
+    ASSERT_EQ(expected.distributions.size(), actual.distributions.size());
+    for (std::size_t cp = 0; cp < expected.distributions.size(); ++cp)
+        EXPECT_EQ(expected.distributions[cp], actual.distributions[cp])
+            << "checkpoint " << cp;
+    EXPECT_EQ(expected.detPoints, actual.detPoints);
+    EXPECT_EQ(expected.ndetPoints, actual.ndetPoints);
+    EXPECT_EQ(expected.detAtEnd, actual.detAtEnd);
+    EXPECT_EQ(expected.outputDeterministic, actual.outputDeterministic);
+    EXPECT_EQ(expected.firstNdetRun, actual.firstNdetRun);
+    EXPECT_EQ(expected.deterministic(), actual.deterministic());
+    EXPECT_EQ(expected.avgNativeInstrs, actual.avgNativeInstrs);
+    EXPECT_EQ(expected.avgOverheadInstrs, actual.avgOverheadInstrs);
+    EXPECT_EQ(expected.overheadFactor(), actual.overheadFactor());
+}
+
+class ParallelDriverIdentity
+    : public ::testing::TestWithParam<std::tuple<const char *, int>>
+{
+};
+
+TEST_P(ParallelDriverIdentity, MatchesSequentialReport)
+{
+    const auto [app_name, jobs] = GetParam();
+    const apps::AppInfo &app = apps::findApp(app_name);
+    const check::DriverConfig cfg = campaignConfig(app, /*runs=*/10);
+
+    const check::DriverReport sequential =
+        check::DeterminismDriver(cfg).check(app.factory);
+
+    CampaignOptions options;
+    options.jobs = jobs;
+    const check::DriverReport parallel =
+        runCampaign(cfg, app.factory, options);
+
+    expectBitIdentical(sequential, parallel);
+}
+
+// radix is bit-by-bit deterministic; barnes is nondeterministic (tree
+// shape depends on the interleaving), so firstNdetRun and per-checkpoint
+// distributions are all exercised.
+INSTANTIATE_TEST_SUITE_P(
+    DetAndNdetAppsAcrossJobCounts, ParallelDriverIdentity,
+    ::testing::Combine(::testing::Values("radix", "barnes"),
+                       ::testing::Values(1, 2, 8)),
+    [](const auto &info) {
+        return std::string(std::get<0>(info.param)) + "_jobs" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ParallelDriver, AllSchemesMatchSequential)
+{
+    const apps::AppInfo &app = apps::findApp("fluidanimate");
+    for (const check::Scheme scheme :
+         {check::Scheme::HwInc, check::Scheme::SwInc,
+          check::Scheme::SwTr}) {
+        check::DriverConfig cfg = campaignConfig(app, /*runs=*/6);
+        cfg.scheme = scheme;
+        const check::DriverReport sequential =
+            check::DeterminismDriver(cfg).check(app.factory);
+        CampaignOptions options;
+        options.jobs = 4;
+        expectBitIdentical(sequential,
+                           runCampaign(cfg, app.factory, options));
+    }
+}
+
+TEST(ParallelDriver, ReusesExternalPool)
+{
+    const apps::AppInfo &app = apps::findApp("radix");
+    const check::DriverConfig cfg = campaignConfig(app, /*runs=*/8);
+    const check::DriverReport sequential =
+        check::DeterminismDriver(cfg).check(app.factory);
+
+    ThreadPool pool(4);
+    CampaignOptions options;
+    options.pool = &pool;
+    expectBitIdentical(sequential, runCampaign(cfg, app.factory, options));
+    // The pool executed the fanned-out replay runs (all but run 0).
+    EXPECT_EQ(pool.stats().tasksExecuted, 7u);
+}
+
+TEST(ParallelDriver, SinkStreamsEveryRunAndCampaignCounters)
+{
+    const apps::AppInfo &app = apps::findApp("radix");
+    const check::DriverConfig cfg = campaignConfig(app, /*runs=*/8);
+
+    std::ostringstream jsonl;
+    ResultSink sink(&jsonl);
+    CampaignOptions options;
+    options.jobs = 4;
+    options.sink = &sink;
+    runCampaign(cfg, app.factory, options);
+
+    EXPECT_EQ(sink.runsRecorded(), 8);
+    const CampaignCounters counters = sink.lastCampaign();
+    EXPECT_EQ(counters.app, "radix");
+    EXPECT_EQ(counters.runs, 8);
+    EXPECT_EQ(counters.jobs, 4);
+    EXPECT_GT(counters.runsPerSec, 0.0);
+    EXPECT_GT(counters.workerUtilization, 0.0);
+
+    // One JSONL line per run plus the campaign line.
+    const std::string text = jsonl.str();
+    std::size_t lines = 0;
+    for (const char c : text)
+        lines += c == '\n' ? 1 : 0;
+    EXPECT_EQ(lines, 9u);
+    EXPECT_NE(text.find("\"type\":\"run\""), std::string::npos);
+    EXPECT_NE(text.find("\"type\":\"campaign\""), std::string::npos);
+}
+
+} // namespace
+} // namespace icheck::runtime

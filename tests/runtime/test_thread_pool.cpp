@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The work-stealing pool's contracts: submission-order execution on one
+ * worker, full coverage under parallelFor, exception propagation through
+ * futures and parallelFor, destructor drain, and counter plausibility.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace icheck::runtime
+{
+namespace
+{
+
+TEST(ThreadPool, SingleWorkerPreservesSubmissionOrder)
+{
+    std::vector<int> order;
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 64; ++i)
+            pool.submit([&order, i] { order.push_back(i); });
+    } // destructor drains
+    ASSERT_EQ(order.size(), 64u);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPool, SubmitReturnsValueThroughFuture)
+{
+    ThreadPool pool(2);
+    auto future = pool.submit([] { return 6 * 7; });
+    EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture)
+{
+    ThreadPool pool(2);
+    auto future = pool.submit(
+        []() -> int { throw std::runtime_error("task failed"); });
+    EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(257);
+    pool.parallelFor(hits.size(), [&hits](std::size_t i) {
+        hits[i].fetch_add(1);
+    });
+    for (const std::atomic<int> &hit : hits)
+        EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestIndexException)
+{
+    ThreadPool pool(4);
+    std::atomic<int> completed{0};
+    try {
+        pool.parallelFor(50, [&completed](std::size_t i) {
+            if (i == 7 || i == 31)
+                throw std::out_of_range("iteration " + std::to_string(i));
+            ++completed;
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::out_of_range &error) {
+        EXPECT_STREQ(error.what(), "iteration 7");
+    }
+    // Every non-throwing iteration still ran to completion.
+    EXPECT_EQ(completed.load(), 48);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks)
+{
+    std::atomic<int> executed{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 100; ++i) {
+            pool.submit([&executed] {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(100));
+                ++executed;
+            });
+        }
+        // Destruction must wait for all 100, not just in-flight ones.
+    }
+    EXPECT_EQ(executed.load(), 100);
+}
+
+TEST(ThreadPool, CountsExecutedTasksAndQueueDepth)
+{
+    ThreadPool pool(2);
+    pool.parallelFor(32, [](std::size_t) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+    });
+    const PoolStats stats = pool.stats();
+    EXPECT_EQ(stats.tasksExecuted, 32u);
+    EXPECT_GE(stats.maxQueueDepth, 1u);
+    EXPECT_GT(stats.busySeconds, 0.0);
+}
+
+TEST(ThreadPool, DefaultSizeUsesHardwareWorkers)
+{
+    ThreadPool pool;
+    EXPECT_EQ(pool.workerCount(), ThreadPool::hardwareWorkers());
+    EXPECT_GE(ThreadPool::hardwareWorkers(), 1u);
+}
+
+} // namespace
+} // namespace icheck::runtime

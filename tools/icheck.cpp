@@ -6,14 +6,23 @@
  *   icheck list
  *   icheck check <app> [--runs N] [--scheme hw|swinc|swtr]
  *                      [--no-rounding] [--no-ignores] [--seed S]
- *                      [--distributions]
- *   icheck characterize <app> [--runs N]
+ *                      [--input dev|medium|large] [--distributions]
+ *                      [--jobs N] [--jsonl FILE]
+ *   icheck characterize <app> [--runs N] [--jobs N]
  *   icheck localize <app> [--checkpoint K] [--seed-a A] [--seed-b B]
+ *   icheck stats <app> [--seed S] [--input dev|medium|large]
+ *   icheck infer <app> [--runs N] [--no-rounding]
+ *   icheck verify [--runs N] [--jobs N]
+ *
+ * Campaigns fan their N seeded runs out across --jobs worker threads
+ * (default: hardware concurrency); the report is bit-identical for every
+ * worker count. --jsonl streams per-run records and campaign counters.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
@@ -23,6 +32,7 @@
 #include "check/distribution.hpp"
 #include "check/infer.hpp"
 #include "check/localize.hpp"
+#include "runtime/parallel_driver.hpp"
 #include "support/logging.hpp"
 
 using namespace icheck;
@@ -41,12 +51,17 @@ usage()
         "                     [--no-rounding] [--no-ignores] [--seed S]\n"
         "                     [--input dev|medium|large]"
         " [--distributions]\n"
-        "  icheck characterize <app> [--runs N]\n"
+        "                     [--jobs N] [--jsonl FILE]\n"
+        "  icheck characterize <app> [--runs N] [--jobs N]\n"
         "  icheck localize <app> [--checkpoint K] [--seed-a A]"
         " [--seed-b B]\n"
         "  icheck stats <app> [--seed S] [--input dev|medium|large]\n"
         "  icheck infer <app> [--runs N] [--no-rounding]\n"
-        "  icheck verify [--runs N]\n");
+        "  icheck verify [--runs N] [--jobs N]\n"
+        "\n"
+        "--jobs N fans campaign runs out over N worker threads (default:\n"
+        "hardware concurrency); reports are bit-identical for any N.\n"
+        "--jsonl FILE streams per-run records and campaign counters.\n");
     return 2;
 }
 
@@ -153,12 +168,23 @@ cmdCheck(const std::string &app_name, Args &args)
     const bool show_distributions = args.flag("--distributions");
     const apps::InputScale scale =
         parseScale(args.value("--input").value_or("medium"));
+    const int jobs = static_cast<int>(args.number("--jobs", 0));
+    const std::optional<std::string> jsonl_path = args.value("--jsonl");
     if (args.leftovers())
         return usage();
 
-    check::DeterminismDriver driver(cfg);
-    const check::DriverReport report =
-        driver.check(apps::scaledFactory(app.name, scale));
+    std::ofstream jsonl_stream;
+    if (jsonl_path.has_value()) {
+        jsonl_stream.open(*jsonl_path, std::ios::app);
+        if (!jsonl_stream)
+            ICHECK_FATAL("cannot open --jsonl file '", *jsonl_path, "'");
+    }
+    runtime::ResultSink sink(jsonl_path ? &jsonl_stream : nullptr);
+    runtime::CampaignOptions options;
+    options.jobs = jobs;
+    options.sink = &sink;
+    const check::DriverReport report = runtime::runCampaign(
+        cfg, apps::scaledFactory(app.name, scale), options);
 
     std::printf("%s under %s (%d runs, rounding %s, ignores %s)\n",
                 app.name.c_str(), report.scheme.c_str(), report.runs,
@@ -200,6 +226,7 @@ cmdCharacterize(const std::string &app_name, Args &args)
     const apps::AppInfo &app = apps::findApp(app_name);
     apps::CharacterizeConfig cfg;
     cfg.runs = static_cast<int>(args.number("--runs", 30));
+    cfg.jobs = static_cast<int>(args.number("--jobs", 0));
     if (args.leftovers())
         return usage();
     const apps::Table1Row row = apps::characterizeApp(app, cfg);
@@ -288,6 +315,7 @@ cmdVerify(Args &args)
 {
     apps::CharacterizeConfig cfg;
     cfg.runs = static_cast<int>(args.number("--runs", 12));
+    cfg.jobs = static_cast<int>(args.number("--jobs", 0));
     if (args.leftovers())
         return usage();
     int failures = 0;

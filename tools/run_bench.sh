@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Build and run the campaign-throughput benchmark, leaving the
+# machine-readable perf trajectory in BENCH_parallel.json at the repo
+# root. Run from anywhere inside the repo:
+#
+#   tools/run_bench.sh [build-dir] [output.json]
+#
+# The JSON records serial vs. pooled campaign runs/sec (plus speedup and
+# worker utilization per job count); comparing the file across commits
+# tracks the runtime subsystem's trajectory.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+out_json="${2:-${repo_root}/BENCH_parallel.json}"
+
+if [ ! -f "${build_dir}/CMakeCache.txt" ]; then
+    cmake -B "${build_dir}" -S "${repo_root}"
+fi
+cmake --build "${build_dir}" -t micro_parallel -j
+
+"${build_dir}/bench/micro_parallel" "${out_json}"
+echo "perf trajectory written to ${out_json}"
