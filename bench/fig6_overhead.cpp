@@ -34,6 +34,8 @@ namespace
 runtime::ThreadPool &
 pool()
 {
+    // icheck-lint: allow(C1): ThreadPool is internally synchronized;
+    // sharing one across campaigns is this benchmark's point.
     static runtime::ThreadPool shared;
     return shared;
 }

@@ -79,7 +79,9 @@ class Checker
     InstCount overheadInstrs() const { return swOverhead; }
 
   protected:
-    explicit Checker(IgnoreSpec ignores) : ignores(std::move(ignores)) {}
+    explicit Checker(IgnoreSpec ignore_spec)
+        : ignores(std::move(ignore_spec))
+    {}
 
     /** Raw State Hash delta, before ignore deletion. */
     virtual hashing::ModHash rawStateHash() = 0;

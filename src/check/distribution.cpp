@@ -1,8 +1,8 @@
 #include "check/distribution.hpp"
 
 #include <algorithm>
+#include <map>
 #include <sstream>
-#include <unordered_map>
 
 namespace icheck::check
 {
@@ -22,7 +22,10 @@ Distribution::render() const
 Distribution
 distributionOf(const std::vector<HashWord> &hashes)
 {
-    std::unordered_map<HashWord, std::uint32_t> buckets;
+    // Ordered map, not unordered: the bucket walk below feeds counts
+    // whose grouping reaches DriverReport, so its order must not depend
+    // on hash-table layout.
+    std::map<HashWord, std::uint32_t> buckets;
     for (HashWord hash : hashes)
         ++buckets[hash];
     Distribution dist;

@@ -25,8 +25,8 @@ namespace icheck::check
 class HwInstantCheckInc : public Checker
 {
   public:
-    explicit HwInstantCheckInc(IgnoreSpec ignores)
-        : Checker(std::move(ignores))
+    explicit HwInstantCheckInc(IgnoreSpec ignore_spec)
+        : Checker(std::move(ignore_spec))
     {}
 
     Scheme scheme() const override { return Scheme::HwInc; }

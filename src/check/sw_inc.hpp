@@ -27,8 +27,8 @@ namespace icheck::check
 class SwInstantCheckInc : public Checker, public sim::AccessListener
 {
   public:
-    SwInstantCheckInc(IgnoreSpec ignores, bool ideal_cost_model)
-        : Checker(std::move(ignores)), ideal(ideal_cost_model)
+    SwInstantCheckInc(IgnoreSpec ignore_spec, bool ideal_cost_model)
+        : Checker(std::move(ignore_spec)), ideal(ideal_cost_model)
     {}
 
     Scheme scheme() const override { return Scheme::SwInc; }

@@ -28,8 +28,8 @@ namespace icheck::check
 class SwInstantCheckTr : public Checker, public sim::AccessListener
 {
   public:
-    SwInstantCheckTr(IgnoreSpec ignores, bool ideal_cost_model)
-        : Checker(std::move(ignores)), ideal(ideal_cost_model)
+    SwInstantCheckTr(IgnoreSpec ignore_spec, bool ideal_cost_model)
+        : Checker(std::move(ignore_spec)), ideal(ideal_cost_model)
     {}
 
     Scheme scheme() const override { return Scheme::SwTr; }

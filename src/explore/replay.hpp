@@ -55,8 +55,8 @@ struct ScheduleLog
 class RecordingScheduler : public sim::Scheduler
 {
   public:
-    explicit RecordingScheduler(std::unique_ptr<sim::Scheduler> inner)
-        : inner(std::move(inner))
+    explicit RecordingScheduler(std::unique_ptr<sim::Scheduler> wrapped)
+        : inner(std::move(wrapped))
     {}
 
     ThreadId pick(const std::vector<ThreadId> &runnable) override;

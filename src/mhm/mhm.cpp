@@ -69,10 +69,11 @@ Mhm::plusHash(Addr addr, std::uint64_t bits, unsigned width,
 
 ClusteredMhm::ClusteredMhm(const hashing::LocationHasher &hasher,
                            hashing::FpRoundMode fp_mode,
-                           std::size_t clusters, DispatchPolicy policy,
+                           std::size_t clusters,
+                           DispatchPolicy dispatch_policy,
                            std::uint64_t seed)
     : Mhm(hasher, fp_mode), partials(clusters), opCounts(clusters, 0),
-      policy(policy), rng(seed)
+      policy(dispatch_policy), rng(seed)
 {
     ICHECK_ASSERT(clusters > 0, "clustered MHM needs at least one cluster");
 }

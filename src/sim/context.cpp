@@ -5,8 +5,8 @@
 namespace icheck::sim
 {
 
-SetupCtx::SetupCtx(Machine &machine)
-    : machine(machine), inputRng(machine.cfg.inputSeed)
+SetupCtx::SetupCtx(Machine &owner)
+    : machine(owner), inputRng(owner.cfg.inputSeed)
 {}
 
 Addr
@@ -56,8 +56,8 @@ SetupCtx::threadsPlanned() const
     return machine.program->numThreads();
 }
 
-ThreadCtx::ThreadCtx(Machine &machine, ThreadId tid)
-    : machine(machine), threadId(tid)
+ThreadCtx::ThreadCtx(Machine &owner, ThreadId tid)
+    : machine(owner), threadId(tid)
 {}
 
 ThreadId

@@ -23,10 +23,10 @@ namespace icheck::sim
  */
 struct Core
 {
-    Core(CoreId id, const cache::CacheConfig &cache_cfg,
+    Core(CoreId core_id, const cache::CacheConfig &cache_cfg,
          std::size_t wb_capacity, cache::DrainPolicy wb_policy,
          std::uint64_t wb_seed, std::unique_ptr<mhm::Mhm> module)
-        : id(id), l1(cache_cfg), wb(wb_capacity, wb_policy, wb_seed),
+        : id(core_id), l1(cache_cfg), wb(wb_capacity, wb_policy, wb_seed),
           mhm(std::move(module))
     {}
 

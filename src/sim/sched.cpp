@@ -67,10 +67,10 @@ RoundRobinScheduler::quantum()
     return fixedQuantum;
 }
 
-ScriptedScheduler::ScriptedScheduler(std::vector<std::uint32_t> choices,
+ScriptedScheduler::ScriptedScheduler(std::vector<std::uint32_t> script,
                                      std::uint64_t fixed_quantum,
                                      bool prefer_previous)
-    : choices(std::move(choices)), fixedQuantum(fixed_quantum),
+    : choices(std::move(script)), fixedQuantum(fixed_quantum),
       preferPrevious(prefer_previous)
 {
     ICHECK_ASSERT(fixed_quantum >= 1, "quantum must be positive");

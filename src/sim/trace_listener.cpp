@@ -26,7 +26,7 @@ syncKindName(SyncKind kind)
 
 } // namespace
 
-TraceListener::TraceListener(Sink sink) : sink(std::move(sink)) {}
+TraceListener::TraceListener(Sink out) : sink(std::move(out)) {}
 
 TraceListener::TraceListener() : capture(true) {}
 

@@ -1,5 +1,6 @@
 #include "support/logging.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -10,7 +11,9 @@ namespace icheck
 namespace
 {
 
-LogLevel globalLevel = LogLevel::Warn;
+// Atomic: the level is set once by the driver but read from pool
+// workers, and a plain global here would be a benign-looking race.
+std::atomic<LogLevel> globalLevel{LogLevel::Warn};
 
 const char *
 levelTag(LogLevel level)
@@ -44,7 +47,8 @@ namespace detail
 void
 logLine(LogLevel level, const std::string &msg)
 {
-    if (static_cast<int>(level) > static_cast<int>(globalLevel))
+    if (static_cast<int>(level) >
+        static_cast<int>(globalLevel.load(std::memory_order_relaxed)))
         return;
     std::fprintf(stderr, "[%s] %s\n", levelTag(level), msg.c_str());
 }

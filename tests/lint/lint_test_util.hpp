@@ -1,0 +1,49 @@
+#ifndef ICHECK_TESTS_LINT_TEST_UTIL_HPP
+#define ICHECK_TESTS_LINT_TEST_UTIL_HPP
+
+/**
+ * @file
+ * Shared helpers for the icheck-lint test suite: lint an in-memory
+ * snippet under a fake path (the path selects which scoped rules
+ * apply) and count findings per rule.
+ */
+
+#include <string>
+#include <vector>
+
+#include "linter.hpp"
+
+namespace icheck::lint::testutil
+{
+
+inline std::vector<KeyedFinding>
+lintSnippet(const std::string &path, const std::string &source)
+{
+    return lintSource(path, source, LintConfig{});
+}
+
+inline int
+countRule(const std::vector<KeyedFinding> &findings, Rule rule)
+{
+    int count = 0;
+    for (const KeyedFinding &entry : findings) {
+        if (entry.finding.rule == rule)
+            ++count;
+    }
+    return count;
+}
+
+/** Line of the first finding of @p rule, or -1 if none. */
+inline int
+firstLineOf(const std::vector<KeyedFinding> &findings, Rule rule)
+{
+    for (const KeyedFinding &entry : findings) {
+        if (entry.finding.rule == rule)
+            return entry.finding.line;
+    }
+    return -1;
+}
+
+} // namespace icheck::lint::testutil
+
+#endif // ICHECK_TESTS_LINT_TEST_UTIL_HPP

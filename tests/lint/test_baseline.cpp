@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Baseline mechanics: round-trip through the text format, multiset
+ * matching, and tolerance to findings moving between lines as long as
+ * the offending source text is unchanged.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "lint_test_util.hpp"
+
+namespace icheck::lint
+{
+namespace
+{
+
+using testutil::lintSnippet;
+
+const char *const kHazard = R"cpp(
+#include <unordered_map>
+void emit(const std::unordered_map<int, int> &stats)
+{
+    for (const auto &entry : stats)
+        use(entry);
+}
+)cpp";
+
+TEST(LintBaseline, RoundTripSubtractsEverything)
+{
+    const auto findings = lintSnippet("src/check/x.cpp", kHazard);
+    ASSERT_FALSE(findings.empty());
+
+    std::ostringstream out;
+    writeBaseline(out, findings);
+    std::istringstream in(out.str());
+    const Baseline baseline = readBaseline(in);
+
+    EXPECT_TRUE(subtractBaseline(findings, baseline).empty());
+}
+
+TEST(LintBaseline, SurvivesLineNumberDrift)
+{
+    const auto original = lintSnippet("src/check/x.cpp", kHazard);
+    std::ostringstream out;
+    writeBaseline(out, original);
+    std::istringstream in(out.str());
+    const Baseline baseline = readBaseline(in);
+
+    // Same hazard, pushed down by new code above it.
+    const auto shifted = lintSnippet("src/check/x.cpp",
+                                     std::string("// a new comment\n"
+                                                 "int added = 1;\n") +
+                                         kHazard);
+    EXPECT_TRUE(subtractBaseline(shifted, baseline).empty());
+}
+
+TEST(LintBaseline, NewFindingIsNotAbsorbed)
+{
+    const auto original = lintSnippet("src/check/x.cpp", kHazard);
+    std::ostringstream out;
+    writeBaseline(out, original);
+    std::istringstream in(out.str());
+    const Baseline baseline = readBaseline(in);
+
+    const auto grown = lintSnippet(
+        "src/check/x.cpp",
+        std::string(kHazard) +
+            "void more(std::unordered_map<int, int> &m)\n"
+            "{\n"
+            "    for (const auto &e : m)\n"
+            "        use(e);\n"
+            "}\n");
+    const auto fresh = subtractBaseline(grown, baseline);
+    ASSERT_EQ(fresh.size(), 1u);
+    EXPECT_EQ(fresh[0].finding.rule, Rule::D1);
+}
+
+TEST(LintBaseline, DuplicateFindingsNeedDuplicateEntries)
+{
+    // Two identical hazards on identical source lines: a baseline with
+    // one entry absorbs only one of them.
+    const std::string twice = std::string(kHazard) +
+                              "void emitAgain(const "
+                              "std::unordered_map<int, int> &stats)\n"
+                              "{\n"
+                              "    for (const auto &entry : stats)\n"
+                              "        use(entry);\n"
+                              "}\n";
+    const auto findings = lintSnippet("src/check/x.cpp", twice);
+    ASSERT_EQ(findings.size(), 2u);
+    // Both findings share one key (same rule, file, line text).
+    ASSERT_EQ(findings[0].key, findings[1].key);
+
+    Baseline one;
+    one[findings[0].key] = 1;
+    EXPECT_EQ(subtractBaseline(findings, one).size(), 1u);
+
+    Baseline both;
+    both[findings[0].key] = 2;
+    EXPECT_TRUE(subtractBaseline(findings, both).empty());
+}
+
+TEST(LintBaseline, CommentsAndBlankLinesIgnored)
+{
+    std::istringstream in("# header\n\n# another\nD1\tsrc/x.cpp\tdead\n");
+    const Baseline baseline = readBaseline(in);
+    ASSERT_EQ(baseline.size(), 1u);
+    EXPECT_EQ(baseline.count("D1\tsrc/x.cpp\tdead"), 1u);
+}
+
+TEST(LintBaseline, KeyIncludesRuleFileAndLineHash)
+{
+    const auto findings = lintSnippet("src/check/x.cpp", kHazard);
+    ASSERT_FALSE(findings.empty());
+    const std::string &key = findings[0].key;
+    EXPECT_EQ(key.rfind("D1\tsrc/check/x.cpp\t", 0), 0u);
+    char expected[32];
+    std::snprintf(expected, sizeof expected, "%016llx",
+                  static_cast<unsigned long long>(
+                      fnv1a64(findings[0].lineText)));
+    EXPECT_NE(key.find(expected), std::string::npos);
+}
+
+} // namespace
+} // namespace icheck::lint

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The lexer's contracts: code that looks like code inside strings and
+ * comments must not become tokens, raw strings must not derail the
+ * scan, and consecutive // lines merge into one logical comment.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lexer.hpp"
+
+namespace icheck::lint
+{
+namespace
+{
+
+std::vector<std::string>
+tokenTexts(const LexResult &lexed)
+{
+    std::vector<std::string> texts;
+    for (const Token &token : lexed.tokens)
+        texts.push_back(token.text);
+    return texts;
+}
+
+TEST(LintLexer, TokenizesIdentifiersOperatorsAndNumbers)
+{
+    const LexResult lexed = lex("int x = a->b + 0x1f;");
+    const std::vector<std::string> expected = {"int", "x",  "=", "a",
+                                               "->",  "b",  "+", "0x1f",
+                                               ";"};
+    EXPECT_EQ(tokenTexts(lexed), expected);
+}
+
+TEST(LintLexer, StringsAndCharsDoNotLeakCodeTokens)
+{
+    const LexResult lexed =
+        lex("call(\"rand() detach() new delete\", 'x');");
+    for (const Token &token : lexed.tokens) {
+        EXPECT_NE(token.text, "rand");
+        EXPECT_NE(token.text, "detach");
+        EXPECT_NE(token.text, "new");
+    }
+}
+
+TEST(LintLexer, RawStringsAreSkippedWholesale)
+{
+    const LexResult lexed =
+        lex("auto s = R\"(for (x : m) { rand(); })\"; int after = 1;");
+    bool saw_after = false;
+    for (const Token &token : lexed.tokens) {
+        EXPECT_NE(token.text, "rand");
+        if (token.text == "after")
+            saw_after = true;
+    }
+    EXPECT_TRUE(saw_after);
+}
+
+TEST(LintLexer, CommentsGoToTheSideChannel)
+{
+    const LexResult lexed = lex("int a; // trailing note\n"
+                                "/* block\n spanning */ int b;");
+    ASSERT_EQ(lexed.comments.size(), 2u);
+    EXPECT_EQ(lexed.comments[0].text, " trailing note");
+    EXPECT_EQ(lexed.comments[0].line, 1);
+    EXPECT_EQ(lexed.comments[1].line, 2);
+    EXPECT_EQ(lexed.comments[1].endLine, 3);
+    for (const Token &token : lexed.tokens) {
+        EXPECT_NE(token.text, "trailing");
+        EXPECT_NE(token.text, "block");
+    }
+}
+
+TEST(LintLexer, ConsecutiveLineCommentsMergeIntoOne)
+{
+    const LexResult lexed = lex("// first half\n"
+                                "// second half\n"
+                                "int x;\n"
+                                "// separate\n");
+    ASSERT_EQ(lexed.comments.size(), 2u);
+    EXPECT_EQ(lexed.comments[0].line, 1);
+    EXPECT_EQ(lexed.comments[0].endLine, 2);
+    EXPECT_NE(lexed.comments[0].text.find("second"), std::string::npos);
+    EXPECT_EQ(lexed.comments[1].line, 4);
+}
+
+TEST(LintLexer, TrailingCommentDoesNotMergeWithNextLine)
+{
+    const LexResult lexed = lex("int a; // about a\n"
+                                "// about something else\n");
+    ASSERT_EQ(lexed.comments.size(), 2u);
+}
+
+TEST(LintLexer, PreprocessorDirectivesBecomeSingleTokens)
+{
+    const LexResult lexed = lex("#include <unordered_map>\n"
+                                "#define X(a) \\\n    (a + 1)\n"
+                                "int y;");
+    ASSERT_GE(lexed.tokens.size(), 3u);
+    EXPECT_EQ(lexed.tokens[0].kind, TokenKind::Preprocessor);
+    EXPECT_EQ(lexed.tokens[1].kind, TokenKind::Preprocessor);
+    EXPECT_EQ(lexed.tokens[2].text, "int");
+    // The directive's body must not produce an identifier token that a
+    // rule could mistake for a declaration.
+    for (std::size_t i = 2; i < lexed.tokens.size(); ++i)
+        EXPECT_NE(lexed.tokens[i].text, "unordered_map");
+}
+
+TEST(LintLexer, LineNumbersSurviveMultilineConstructs)
+{
+    const LexResult lexed = lex("/* one\n two\n three */\n"
+                                "int here;");
+    ASSERT_FALSE(lexed.tokens.empty());
+    EXPECT_EQ(lexed.tokens[0].text, "int");
+    EXPECT_EQ(lexed.tokens[0].line, 4);
+}
+
+} // namespace
+} // namespace icheck::lint

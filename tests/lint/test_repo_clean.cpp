@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The repository itself must lint clean against the committed baseline.
+ * This is the same check the `lint` CTest target runs via the CLI, kept
+ * here as a unit test so a rule change that floods the repo with new
+ * findings fails the test suite even before the CLI is rebuilt.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "linter.hpp"
+
+namespace icheck::lint
+{
+namespace
+{
+
+// Root of the source checkout, injected by the build so the test can be
+// run from any working directory.
+const std::string kRoot = ICHECK_REPO_ROOT;
+
+TEST(RepoLint, LintsCleanAgainstCommittedBaseline)
+{
+    namespace fs = std::filesystem;
+
+    // Scan with repo-relative paths, as the `lint` CTest target does:
+    // baseline keys embed the path exactly as scanned.
+    const fs::path previous = fs::current_path();
+    fs::current_path(kRoot);
+    LintRun run;
+    try {
+        run = lintPaths({"src", "tools", "bench", "tests"},
+                        LintConfig{});
+    } catch (...) {
+        fs::current_path(previous);
+        throw;
+    }
+    fs::current_path(previous);
+    EXPECT_GT(run.filesScanned, 100);
+
+    std::ifstream in(kRoot + "/tools/lint/baseline.txt");
+    ASSERT_TRUE(in.good()) << "missing tools/lint/baseline.txt";
+    const Baseline baseline = readBaseline(in);
+
+    const auto fresh = subtractBaseline(run.findings, baseline);
+    std::ostringstream detail;
+    for (const KeyedFinding &entry : fresh)
+        detail << entry.finding.file << ":" << entry.finding.line << ": ["
+               << ruleInfo(entry.finding.rule).id << "] "
+               << entry.finding.message << "\n";
+    EXPECT_TRUE(fresh.empty()) << detail.str();
+}
+
+} // namespace
+} // namespace icheck::lint

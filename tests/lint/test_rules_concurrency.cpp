@@ -1,0 +1,232 @@
+/**
+ * @file
+ * C-rule fixtures: shared mutable statics, unlocked counter updates in
+ * the runtime layer, and detached threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lint_test_util.hpp"
+
+namespace icheck::lint
+{
+namespace
+{
+
+using testutil::countRule;
+using testutil::lintSnippet;
+
+/* ---------------------------------- C1 --------------------------- */
+
+TEST(RuleC1, FiresOnMutableStaticAndAnonymousNamespaceGlobal)
+{
+    const auto findings = lintSnippet("src/sim/x.cpp", R"cpp(
+namespace demo
+{
+static int hitCount = 0;
+double lastSeen;
+}
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::C1), 2);
+}
+
+TEST(RuleC1, FiresOnMutableClassLevelStatic)
+{
+    const auto findings = lintSnippet("src/sim/x.cpp", R"cpp(
+class Registry
+{
+    static Registry *instance;
+};
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::C1), 1);
+}
+
+TEST(RuleC1, QuietOnConstAtomicAndMutexStatics)
+{
+    const auto findings = lintSnippet("src/sim/x.cpp", R"cpp(
+#include <atomic>
+#include <mutex>
+namespace demo
+{
+const int kLimit = 8;
+constexpr double kScale = 1.5;
+static const char *const kName = "icheck";
+std::atomic<int> liveCount{0};
+static std::mutex registryMu;
+thread_local int scratch = 0;
+}
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::C1), 0);
+}
+
+TEST(RuleC1, QuietOnFunctionDeclarations)
+{
+    const auto findings = lintSnippet("src/sim/x.cpp", R"cpp(
+namespace demo
+{
+static int helper(int x);
+int publicHelper(double y);
+}
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::C1), 0);
+}
+
+TEST(RuleC1, SuppressedWithReason)
+{
+    const auto findings = lintSnippet("src/sim/x.cpp", R"cpp(
+namespace demo
+{
+// icheck-lint: allow(C1): written only before threads start.
+static int configuredWidth = 64;
+}
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::C1), 0);
+}
+
+/* ---------------------------------- C2 --------------------------- */
+
+TEST(RuleC2, FiresOnUnlockedCounterUpdateInRuntime)
+{
+    const auto findings = lintSnippet("src/runtime/x.cpp", R"cpp(
+struct Stats
+{
+    long executed = 0;
+    void
+    bump()
+    {
+        ++executed;
+    }
+};
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::C2), 1);
+}
+
+TEST(RuleC2, QuietWhenLockGuardIsHeld)
+{
+    const auto findings = lintSnippet("src/runtime/x.cpp", R"cpp(
+#include <mutex>
+struct Stats
+{
+    std::mutex mu;
+    long executed = 0;
+    void
+    bump()
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        ++executed;
+    }
+};
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::C2), 0);
+}
+
+TEST(RuleC2, QuietOnLocalsLoopIndicesAndAtomics)
+{
+    const auto findings = lintSnippet("src/runtime/x.cpp", R"cpp(
+#include <atomic>
+std::atomic<long> liveTotal{0};
+void
+work(int n)
+{
+    int done = 0;
+    for (int i = 0; i < n; ++i)
+        ++done;
+    liveTotal += done;
+    std::string text;
+    text += "chunk";
+}
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::C2), 0);
+}
+
+TEST(RuleC2, LockInDefiningScopeDoesNotCoverLambdaBody)
+{
+    const auto findings = lintSnippet("src/runtime/x.cpp", R"cpp(
+#include <mutex>
+struct Pool
+{
+    std::mutex mu;
+    long queued = 0;
+    auto
+    deferred()
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        return [this] { ++queued; };
+    }
+};
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::C2), 1);
+}
+
+TEST(RuleC2, DoesNotApplyOutsideRuntime)
+{
+    const auto findings = lintSnippet("src/check/x.cpp", R"cpp(
+struct Stats
+{
+    long executed = 0;
+    void bump() { ++executed; }
+};
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::C2), 0);
+}
+
+TEST(RuleC2, SuppressedWithReason)
+{
+    const auto findings = lintSnippet("src/runtime/x.cpp", R"cpp(
+struct Stats
+{
+    long executed = 0;
+    void
+    bump()
+    {
+        ++executed; // icheck-lint: allow(C2): caller holds mu.
+    }
+};
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::C2), 0);
+}
+
+/* ---------------------------------- C3 --------------------------- */
+
+TEST(RuleC3, FiresOnDetach)
+{
+    const auto findings = lintSnippet("src/sim/x.cpp", R"cpp(
+#include <thread>
+void fireAndForget()
+{
+    std::thread worker([] {});
+    worker.detach();
+}
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::C3), 1);
+}
+
+TEST(RuleC3, QuietOnJoin)
+{
+    const auto findings = lintSnippet("src/sim/x.cpp", R"cpp(
+#include <thread>
+void waitFor()
+{
+    std::thread worker([] {});
+    worker.join();
+}
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::C3), 0);
+}
+
+TEST(RuleC3, SuppressedWithReason)
+{
+    const auto findings = lintSnippet("src/sim/x.cpp", R"cpp(
+#include <thread>
+void fireAndForget()
+{
+    std::thread watchdog([] {});
+    // icheck-lint: allow(C3): watchdog outlives main by design.
+    watchdog.detach();
+}
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::C3), 0);
+}
+
+} // namespace
+} // namespace icheck::lint

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * D-rule fixtures: each determinism rule must fire on a positive
+ * snippet, stay quiet on the deterministic rewrite, and be silenced by
+ * a reasoned allow-suppression.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lint_test_util.hpp"
+
+namespace icheck::lint
+{
+namespace
+{
+
+using testutil::countRule;
+using testutil::firstLineOf;
+using testutil::lintSnippet;
+
+/* ---------------------------------- D1 --------------------------- */
+
+TEST(RuleD1, FiresOnRangeForOverUnorderedMap)
+{
+    const auto findings = lintSnippet("src/check/x.cpp", R"cpp(
+#include <unordered_map>
+void emit(const std::unordered_map<int, int> &stats)
+{
+    for (const auto &entry : stats)
+        use(entry);
+}
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::D1), 1);
+    EXPECT_EQ(firstLineOf(findings, Rule::D1), 5);
+}
+
+TEST(RuleD1, FiresOnIteratorTraversal)
+{
+    const auto findings = lintSnippet("src/check/x.cpp", R"cpp(
+#include <unordered_set>
+void walk(std::unordered_set<int> &seen)
+{
+    for (auto it = seen.begin(); it != seen.end(); ++it)
+        use(*it);
+}
+)cpp");
+    EXPECT_GE(countRule(findings, Rule::D1), 1);
+}
+
+TEST(RuleD1, QuietOnOrderedMapIteration)
+{
+    const auto findings = lintSnippet("src/check/x.cpp", R"cpp(
+#include <map>
+void emit(const std::map<int, int> &stats)
+{
+    for (const auto &entry : stats)
+        use(entry);
+}
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::D1), 0);
+}
+
+TEST(RuleD1, QuietOnNonIteratingUse)
+{
+    const auto findings = lintSnippet("src/check/x.cpp", R"cpp(
+#include <unordered_set>
+bool insert(std::unordered_set<long> &seen, long sig)
+{
+    return seen.insert(sig).second;
+}
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::D1), 0);
+}
+
+TEST(RuleD1, SuppressedWithReason)
+{
+    const auto findings = lintSnippet("src/check/x.cpp", R"cpp(
+#include <unordered_map>
+int total(const std::unordered_map<int, int> &stats)
+{
+    int sum = 0;
+    // icheck-lint: allow(D1): summation is order-independent.
+    for (const auto &entry : stats)
+        sum += entry.second;
+    return sum;
+}
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::D1), 0);
+    EXPECT_EQ(countRule(findings, Rule::H4), 0);
+}
+
+/* ---------------------------------- D2 --------------------------- */
+
+TEST(RuleD2, FiresOnPointerKeyedMap)
+{
+    const auto findings = lintSnippet("src/check/x.cpp", R"cpp(
+#include <map>
+std::map<const Node *, int> ranks;
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::D2), 1);
+}
+
+TEST(RuleD2, FiresOnPointerComparatorSort)
+{
+    const auto findings = lintSnippet("src/check/x.cpp", R"cpp(
+#include <algorithm>
+#include <vector>
+void order(std::vector<Node *> &nodes)
+{
+    std::sort(nodes.begin(), nodes.end(),
+              [](const Node *a, const Node *b) { return a < b; });
+}
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::D2), 1);
+}
+
+TEST(RuleD2, QuietOnValueKeyedMapAndPointerValues)
+{
+    const auto findings = lintSnippet("src/check/x.cpp", R"cpp(
+#include <map>
+std::map<int, Node *> byId;
+std::set<std::string> names;
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::D2), 0);
+}
+
+TEST(RuleD2, SuppressedWithReason)
+{
+    const auto findings = lintSnippet("src/check/x.cpp", R"cpp(
+#include <map>
+// icheck-lint: allow(D2): scratch index, never iterated in order.
+std::map<const Node *, int> ranks;
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::D2), 0);
+}
+
+/* ---------------------------------- D3 --------------------------- */
+
+TEST(RuleD3, FiresOnRandAndRandomDevice)
+{
+    const auto findings = lintSnippet("src/apps/x.cpp", R"cpp(
+#include <cstdlib>
+#include <random>
+int roll()
+{
+    std::random_device entropy;
+    return rand() + static_cast<int>(entropy());
+}
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::D3), 2);
+}
+
+TEST(RuleD3, FiresOnWallClockOutsideWhitelist)
+{
+    const auto findings = lintSnippet("src/check/x.cpp", R"cpp(
+#include <chrono>
+double stamp()
+{
+    const auto t = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::D3), 1);
+}
+
+TEST(RuleD3, SystemClockFlaggedEvenInTimingCode)
+{
+    const auto findings = lintSnippet("src/runtime/x.cpp", R"cpp(
+#include <chrono>
+auto when() { return std::chrono::system_clock::now(); }
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::D3), 1);
+}
+
+TEST(RuleD3, SteadyClockAllowedInTimingWhitelist)
+{
+    const auto findings = lintSnippet("src/runtime/x.cpp", R"cpp(
+#include <chrono>
+using Clock = std::chrono::steady_clock;
+double elapsed(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::D3), 0);
+}
+
+TEST(RuleD3, QuietOnMemberFunctionsNamedLikeLibc)
+{
+    const auto findings = lintSnippet("src/explore/x.cpp", R"cpp(
+struct Clocks
+{
+    int clock(int tid) { return tid; }
+    int use() { return clock(3) + timer.time(5); }
+};
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::D3), 0);
+}
+
+TEST(RuleD3, FiresOnLibcTimeAndClock)
+{
+    const auto findings = lintSnippet("src/apps/x.cpp", R"cpp(
+#include <ctime>
+long seed() { return time(nullptr) + clock(); }
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::D3), 2);
+}
+
+TEST(RuleD3, SuppressedWithReason)
+{
+    const auto findings = lintSnippet("src/check/x.cpp", R"cpp(
+#include <cstdlib>
+// icheck-lint: allow(D3): PATH is read once at startup, not hashed.
+const char *path() { return getenv("PATH"); }
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::D3), 0);
+}
+
+} // namespace
+} // namespace icheck::lint

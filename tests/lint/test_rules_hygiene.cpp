@@ -1,0 +1,221 @@
+/**
+ * @file
+ * H-rule fixtures: missing override, raw new/delete outside arenas,
+ * unowned to-do markers, and malformed suppressions (which are
+ * themselves findings and can never be suppressed).
+ */
+
+#include <gtest/gtest.h>
+
+#include "lint_test_util.hpp"
+
+namespace icheck::lint
+{
+namespace
+{
+
+using testutil::countRule;
+using testutil::lintSnippet;
+
+/* ---------------------------------- H1 --------------------------- */
+
+TEST(RuleH1, FiresOnVirtualWithoutOverrideInDerivedClass)
+{
+    const auto findings = lintSnippet("src/sim/x.hpp", R"cpp(
+struct Listener
+{
+    virtual void onEvent(int id);
+    virtual ~Listener() = default;
+};
+struct Tracer : public Listener
+{
+    virtual void onEvent(int id);
+};
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::H1), 1);
+}
+
+TEST(RuleH1, QuietWithOverrideOrFinal)
+{
+    const auto findings = lintSnippet("src/sim/x.hpp", R"cpp(
+struct Listener
+{
+    virtual void onEvent(int id);
+};
+struct Tracer : public Listener
+{
+    void onEvent(int id) override;
+    virtual void onDone() final;
+};
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::H1), 0);
+}
+
+TEST(RuleH1, SuppressedWithReason)
+{
+    const auto findings = lintSnippet("src/sim/x.hpp", R"cpp(
+struct Tracer : public Listener
+{
+    // icheck-lint: allow(H1): introduces a new virtual, not an
+    // override of a base member.
+    virtual void onExtension(int id);
+};
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::H1), 0);
+}
+
+/* ---------------------------------- H2 --------------------------- */
+
+TEST(RuleH2, FiresOnRawNewAndDelete)
+{
+    const auto findings = lintSnippet("src/sim/x.cpp", R"cpp(
+void churn()
+{
+    int *p = new int(3);
+    delete p;
+    int *arr = new int[8];
+    delete[] arr;
+}
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::H2), 4);
+}
+
+TEST(RuleH2, QuietInArenaCodeAndOnDeletedFunctions)
+{
+    const auto arena = lintSnippet("src/mem/alloc.cpp", R"cpp(
+void *grow() { return new char[4096]; }
+)cpp");
+    EXPECT_EQ(countRule(arena, Rule::H2), 0);
+
+    const auto deleted = lintSnippet("src/sim/x.hpp", R"cpp(
+struct Pinned
+{
+    Pinned(const Pinned &) = delete;
+    Pinned &operator=(const Pinned &) = delete;
+};
+)cpp");
+    EXPECT_EQ(countRule(deleted, Rule::H2), 0);
+}
+
+TEST(RuleH2, QuietOnOperatorNewDeclarations)
+{
+    const auto findings = lintSnippet("src/sim/x.hpp", R"cpp(
+struct Arena
+{
+    void *operator new(unsigned long size);
+    void operator delete(void *p);
+};
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::H2), 0);
+}
+
+TEST(RuleH2, SuppressedWithReason)
+{
+    const auto findings = lintSnippet("src/sim/x.cpp", R"cpp(
+void *raw()
+{
+    // icheck-lint: allow(H2): ownership passes to the C callback API.
+    return new char[16];
+}
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::H2), 0);
+}
+
+/* ---------------------------------- H3 --------------------------- */
+
+TEST(RuleH3, FiresOnUnownedTodoAndFixme)
+{
+    const auto findings = lintSnippet("src/sim/x.cpp", R"cpp(
+// TODO: make this faster
+int a;
+/* FIXME - drop the copy */
+int b;
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::H3), 2);
+}
+
+TEST(RuleH3, QuietWithIssueReference)
+{
+    const auto findings = lintSnippet("src/sim/x.cpp", R"cpp(
+// TODO(#142): make this faster
+int a;
+// FIXME(gh-77): drop the copy
+int b;
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::H3), 0);
+}
+
+TEST(RuleH3, SuppressedWithReason)
+{
+    const auto findings = lintSnippet("src/sim/x.cpp", R"cpp(
+// icheck-lint: allow(H3): tracked in the design doc, not an issue.
+// TODO: revisit when the arena grows beyond one segment
+int a;
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::H3), 0);
+}
+
+/* ---------------------------------- H4 --------------------------- */
+
+TEST(RuleH4, FiresOnMissingReason)
+{
+    const auto findings = lintSnippet("src/sim/x.cpp", R"cpp(
+// icheck-lint: allow(D1)
+int a;
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::H4), 1);
+}
+
+TEST(RuleH4, FiresOnUnknownRule)
+{
+    const auto findings = lintSnippet("src/sim/x.cpp", R"cpp(
+// icheck-lint: allow(Z9): no such rule family.
+int a;
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::H4), 1);
+}
+
+TEST(RuleH4, FiresOnMarkerWithoutDirective)
+{
+    const auto findings = lintSnippet("src/sim/x.cpp", R"cpp(
+// icheck-lint: please ignore everything below
+int a;
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::H4), 1);
+}
+
+TEST(RuleH4, MalformedSuppressionDoesNotSuppress)
+{
+    const auto findings = lintSnippet("src/check/x.cpp", R"cpp(
+#include <unordered_map>
+void emit(const std::unordered_map<int, int> &stats)
+{
+    // icheck-lint: allow(D1)
+    for (const auto &entry : stats)
+        use(entry);
+}
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::H4), 1);
+    EXPECT_EQ(countRule(findings, Rule::D1), 1);
+}
+
+TEST(RuleH4, MultipleDirectivesInOneComment)
+{
+    const auto findings = lintSnippet("src/check/x.cpp", R"cpp(
+#include <unordered_map>
+int total(const std::unordered_map<int, int> &stats)
+{
+    int sum = 0;
+    // icheck-lint: allow(D1): order-independent sum.
+    // icheck-lint: allow(D3): seed is logged, not hashed.
+    for (const auto &entry : stats) sum += entry.second + rand();
+    return sum;
+}
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::H4), 0);
+    EXPECT_EQ(countRule(findings, Rule::D1), 0);
+    EXPECT_EQ(countRule(findings, Rule::D3), 0);
+}
+
+} // namespace
+} // namespace icheck::lint

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Contention stress for the work-stealing pool, written to give TSan
+ * something to chew on: many producers submitting from outside the
+ * pool while a deliberately undersized worker set steals across
+ * deques, plus exception-heavy loads through both futures and
+ * parallelFor. The assertions are deliberately coarse (totals, not
+ * orders) — the point of these tests is the interleaving they force,
+ * and the sanitizer verdict on it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace icheck::runtime
+{
+namespace
+{
+
+TEST(PoolStress, ManyProducersFewWorkers)
+{
+    constexpr int kProducers = 8;
+    constexpr int kTasksPerProducer = 200;
+
+    // Two workers for eight producers: every deque stays contended and
+    // the stealing path runs constantly.
+    ThreadPool pool(2);
+    std::atomic<int> executed{0};
+
+    std::vector<std::thread> producers;
+    std::vector<std::vector<std::future<int>>> futures(kProducers);
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&pool, &executed, &futures, p] {
+            for (int t = 0; t < kTasksPerProducer; ++t) {
+                futures[p].push_back(pool.submit([&executed, p, t] {
+                    executed.fetch_add(1, std::memory_order_relaxed);
+                    return p * kTasksPerProducer + t;
+                }));
+            }
+        });
+    }
+    for (std::thread &producer : producers)
+        producer.join();
+
+    int sum = 0;
+    for (int p = 0; p < kProducers; ++p) {
+        for (std::future<int> &future : futures[p])
+            sum += future.get();
+    }
+    EXPECT_EQ(executed.load(), kProducers * kTasksPerProducer);
+    const int n = kProducers * kTasksPerProducer;
+    EXPECT_EQ(sum, n * (n - 1) / 2);
+
+    const PoolStats stats = pool.stats();
+    EXPECT_EQ(stats.tasksExecuted,
+              static_cast<std::uint64_t>(kProducers * kTasksPerProducer));
+}
+
+TEST(PoolStress, ExceptionsUnderContention)
+{
+    ThreadPool pool(3);
+    constexpr int kTasks = 300;
+
+    std::vector<std::future<int>> futures;
+    futures.reserve(kTasks);
+    for (int t = 0; t < kTasks; ++t) {
+        futures.push_back(pool.submit([t]() -> int {
+            if (t % 7 == 0)
+                throw std::runtime_error("planned failure");
+            return t;
+        }));
+    }
+
+    int failures = 0;
+    for (int t = 0; t < kTasks; ++t) {
+        try {
+            EXPECT_EQ(futures[static_cast<std::size_t>(t)].get(), t);
+        } catch (const std::runtime_error &) {
+            ++failures;
+            EXPECT_EQ(t % 7, 0);
+        }
+    }
+    EXPECT_EQ(failures, (kTasks + 6) / 7);
+}
+
+TEST(PoolStress, ParallelForExceptionUnderContention)
+{
+    ThreadPool pool(4);
+    std::atomic<int> settled{0};
+
+    bool threw = false;
+    try {
+        pool.parallelFor(500, [&settled](std::size_t i) {
+            settled.fetch_add(1, std::memory_order_relaxed);
+            if (i % 41 == 0)
+                throw std::out_of_range("planned");
+        });
+    } catch (const std::out_of_range &) {
+        threw = true;
+    }
+    EXPECT_TRUE(threw);
+    // parallelFor settles every iteration before rethrowing.
+    EXPECT_EQ(settled.load(), 500);
+}
+
+TEST(PoolStress, DestructorDrainsWhileProducersRace)
+{
+    std::atomic<int> executed{0};
+    constexpr int kTasks = 400;
+    {
+        ThreadPool pool(2);
+        for (int t = 0; t < kTasks; ++t) {
+            pool.submit([&executed] {
+                executed.fetch_add(1, std::memory_order_relaxed);
+            });
+        }
+        // Destruction races the workers through the drain path.
+    }
+    EXPECT_EQ(executed.load(), kTasks);
+}
+
+TEST(PoolStress, StatsSnapshotsRaceExecution)
+{
+    ThreadPool pool(2);
+    std::atomic<bool> stop{false};
+
+    // Hammer the stats() reader while tasks execute: TSan verifies the
+    // snapshot lock actually covers the counters.
+    std::thread reader([&pool, &stop] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            const PoolStats stats = pool.stats();
+            EXPECT_LE(stats.tasksStolen, stats.tasksExecuted);
+        }
+    });
+
+    std::vector<std::future<void>> futures;
+    for (int t = 0; t < 200; ++t)
+        futures.push_back(pool.submit([] {
+            std::this_thread::yield();
+        }));
+    for (std::future<void> &future : futures)
+        future.get();
+
+    stop.store(true, std::memory_order_relaxed);
+    reader.join();
+    EXPECT_EQ(pool.stats().tasksExecuted, 200u);
+}
+
+} // namespace
+} // namespace icheck::runtime

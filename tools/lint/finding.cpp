@@ -1,0 +1,77 @@
+#include "finding.hpp"
+
+namespace icheck::lint
+{
+
+const std::vector<RuleInfo> &
+ruleRegistry()
+{
+    static const std::vector<RuleInfo> registry = {
+        {Rule::D1, "D1",
+         "iteration over an unordered container (hash order is not "
+         "deterministic across runs or library versions)",
+         "copy into a sorted container or sort the results before they "
+         "can reach a report, hash, or output; suppress only if order "
+         "provably cannot escape"},
+        {Rule::D2, "D2",
+         "pointer-valued ordering key (addresses differ between runs, "
+         "so the order is not reproducible)",
+         "key on a stable id (index, name, sequence number) instead of "
+         "an address"},
+        {Rule::D3, "D3",
+         "nondeterministic call outside the seeded-RNG/timing whitelist "
+         "(rand, random_device, time, clock, *_clock::now, getenv)",
+         "draw randomness from support/rng.hpp; measure time only in "
+         "whitelisted timing code (bench/, src/runtime/, tests/) and "
+         "keep it out of hashes and reports"},
+        {Rule::C1, "C1",
+         "mutable namespace- or class-level static (shared state "
+         "reachable from pool workers without synchronization)",
+         "make it const/constexpr, thread_local, std::atomic, or move "
+         "it behind a mutex-owning class"},
+        {Rule::C2, "C2",
+         "counter updated outside any lock scope in src/runtime",
+         "take the owning mutex, make the counter std::atomic, or "
+         "suppress with the lock that the caller is documented to hold"},
+        {Rule::C3, "C3",
+         "std::thread::detach (detached threads outlive scope and race "
+         "shutdown)",
+         "keep the thread joinable and join it, or hand it to the pool"},
+        {Rule::H1, "H1",
+         "virtual member function in a derived class without "
+         "override/final",
+         "spell override so signature drift is a compile error; "
+         "suppress when intentionally introducing a new virtual"},
+        {Rule::H2, "H2",
+         "raw new/delete outside arena code (src/mem)",
+         "use make_unique/make_shared or the arena allocator"},
+        {Rule::H3, "H3",
+         "TODO/FIXME without an issue reference",
+         "write TODO(#123) so the debt is owned, or delete the marker"},
+        {Rule::H4, "H4",
+         "malformed icheck-lint suppression (unknown rule or missing "
+         "reason)",
+         "write // icheck-lint: allow(D1): <why this is safe>"},
+    };
+    return registry;
+}
+
+const RuleInfo &
+ruleInfo(Rule rule)
+{
+    return ruleRegistry()[static_cast<std::size_t>(rule)];
+}
+
+bool
+parseRule(const std::string &id, Rule &out)
+{
+    for (const RuleInfo &info : ruleRegistry()) {
+        if (id == info.id) {
+            out = info.rule;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace icheck::lint

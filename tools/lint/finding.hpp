@@ -1,0 +1,71 @@
+#ifndef ICHECK_LINT_FINDING_HPP
+#define ICHECK_LINT_FINDING_HPP
+
+/**
+ * @file
+ * Findings and the rule registry for icheck-lint.
+ *
+ * Rule families mirror the determinism promise of the project itself:
+ *
+ *  - D-rules flag determinism hazards — anything whose result can differ
+ *    between two executions of the same build (hash-ordered iteration,
+ *    address-valued ordering keys, wall-clock and environment reads).
+ *  - C-rules flag concurrency hazards in code reachable from the pool
+ *    workers (shared mutable statics, unlocked counter updates, detached
+ *    threads).
+ *  - H-rules flag hygiene issues that make the first two families harder
+ *    to audit (missing override, raw new/delete outside arenas,
+ *    unowned to-do markers, malformed suppressions).
+ */
+
+#include <string>
+#include <vector>
+
+namespace icheck::lint
+{
+
+/** Every rule icheck-lint knows. Stable ids: they appear in baselines. */
+enum class Rule
+{
+    D1, ///< Iteration over an unordered container.
+    D2, ///< Pointer-valued ordering key (map/set key or sort comparator).
+    D3, ///< Nondeterministic call (rand/random_device/time/clock/getenv).
+    C1, ///< Mutable namespace- or class-level static.
+    C2, ///< Non-atomic counter update outside a lock (src/runtime).
+    C3, ///< std::thread::detach.
+    H1, ///< Virtual member in a derived class without override/final.
+    H2, ///< Raw new/delete outside arena code.
+    H3, ///< To-do marker without an issue reference.
+    H4, ///< Malformed suppression (unknown rule or missing reason).
+};
+
+/** Static description of one rule. */
+struct RuleInfo
+{
+    Rule rule;
+    const char *id;      ///< "D1" etc., the spelling used everywhere.
+    const char *summary; ///< One-line description of the hazard.
+    const char *hint;    ///< How to fix or legitimately suppress it.
+};
+
+/** Registry of all rules, in id order. */
+const std::vector<RuleInfo> &ruleRegistry();
+
+/** The info entry for @p rule. */
+const RuleInfo &ruleInfo(Rule rule);
+
+/** Parse "D1" etc.; returns false if @p id names no rule. */
+bool parseRule(const std::string &id, Rule &out);
+
+/** One reported lint finding. */
+struct Finding
+{
+    Rule rule = Rule::D1;
+    std::string file;
+    int line = 0;
+    std::string message;
+};
+
+} // namespace icheck::lint
+
+#endif // ICHECK_LINT_FINDING_HPP

@@ -1,0 +1,285 @@
+#include "lexer.hpp"
+
+#include <cctype>
+#include <cstddef>
+
+namespace icheck::lint
+{
+
+namespace
+{
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Multi-character punctuators, longest first within each leading char. */
+const char *const kMultiOps[] = {
+    "<<=", ">>=", "...", "->*", "<=>", "::", "->", "++", "--", "+=",
+    "-=",  "*=",  "/=",  "%=",  "&=",  "|=", "^=", "==", "!=", "<=",
+    ">=",  "&&",  "||",  "<<",  ">>",  "##",
+};
+
+/** Stream cursor with line tracking. */
+struct Cursor
+{
+    const std::string &text;
+    std::size_t pos = 0;
+    int line = 1;
+
+    bool
+    done() const
+    {
+        return pos >= text.size();
+    }
+
+    char
+    peek(std::size_t ahead = 0) const
+    {
+        return pos + ahead < text.size() ? text[pos + ahead] : '\0';
+    }
+
+    char
+    advance()
+    {
+        const char c = text[pos++];
+        if (c == '\n')
+            ++line;
+        return c;
+    }
+};
+
+/**
+ * Lex one // comment. Consecutive // lines with no code between them
+ * merge into a single logical comment, so a suppression directive or
+ * to-do marker wrapped over several lines is seen whole.
+ */
+void
+lexLineComment(Cursor &cur, LexResult &out, std::size_t tokens_before,
+               bool own_line)
+{
+    const int line = cur.line;
+    cur.advance();
+    cur.advance(); // the two slashes
+    std::string text;
+    while (!cur.done() && cur.peek() != '\n')
+        text += cur.advance();
+
+    // Only whole-line comments merge: a comment trailing code belongs
+    // to that line alone, even if another comment follows directly.
+    if (own_line && !out.comments.empty()) {
+        Comment &prev = out.comments.back();
+        if (prev.endLine + 1 == line && prev.mergeable &&
+            prev.tokensBefore == tokens_before) {
+            prev.text += "\n" + text;
+            prev.endLine = line;
+            return;
+        }
+    }
+    Comment comment;
+    comment.line = line;
+    comment.endLine = line;
+    comment.text = std::move(text);
+    comment.mergeable = own_line;
+    comment.tokensBefore = tokens_before;
+    out.comments.push_back(std::move(comment));
+}
+
+void
+lexBlockComment(Cursor &cur, LexResult &out)
+{
+    Comment comment;
+    comment.line = cur.line;
+    cur.advance();
+    cur.advance(); // the slash-star
+    while (!cur.done()) {
+        if (cur.peek() == '*' && cur.peek(1) == '/') {
+            cur.advance();
+            cur.advance();
+            break;
+        }
+        comment.text += cur.advance();
+    }
+    comment.endLine = cur.line;
+    out.comments.push_back(std::move(comment));
+}
+
+/** Lex an ordinary (possibly prefixed) string or char literal body. */
+void
+lexQuoted(Cursor &cur, char quote)
+{
+    cur.advance(); // opening quote
+    while (!cur.done()) {
+        const char c = cur.advance();
+        if (c == '\\' && !cur.done())
+            cur.advance();
+        else if (c == quote)
+            break;
+    }
+}
+
+/** Lex a raw string literal starting at R" (prefix already consumed). */
+void
+lexRawString(Cursor &cur)
+{
+    cur.advance(); // R
+    cur.advance(); // "
+    std::string delim;
+    while (!cur.done() && cur.peek() != '(')
+        delim += cur.advance();
+    if (!cur.done())
+        cur.advance(); // (
+    const std::string close = ")" + delim + "\"";
+    std::string window;
+    while (!cur.done()) {
+        window += cur.advance();
+        if (window.size() > close.size())
+            window.erase(window.begin());
+        if (window == close)
+            break;
+    }
+}
+
+/** True if the raw-string introducer R"... starts at the cursor. */
+bool
+atRawString(const Cursor &cur)
+{
+    return cur.peek() == 'R' && cur.peek(1) == '"';
+}
+
+void
+lexNumber(Cursor &cur, LexResult &out)
+{
+    Token token{TokenKind::Number, "", cur.line};
+    while (!cur.done()) {
+        const char c = cur.peek();
+        if (isIdentChar(c) || c == '.' || c == '\'') {
+            token.text += cur.advance();
+        } else if ((c == '+' || c == '-') && !token.text.empty()) {
+            const char prev = token.text.back();
+            if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P')
+                token.text += cur.advance();
+            else
+                break;
+        } else {
+            break;
+        }
+    }
+    out.tokens.push_back(std::move(token));
+}
+
+void
+lexPreprocessor(Cursor &cur, LexResult &out)
+{
+    Token token{TokenKind::Preprocessor, "", cur.line};
+    while (!cur.done()) {
+        if (cur.peek() == '\\' && cur.peek(1) == '\n') {
+            cur.advance();
+            cur.advance();
+            token.text += ' ';
+            continue;
+        }
+        if (cur.peek() == '\n')
+            break;
+        if (cur.peek() == '/' &&
+            (cur.peek(1) == '/' || cur.peek(1) == '*'))
+            break; // let the comment lexers record it
+        token.text += cur.advance();
+    }
+    out.tokens.push_back(std::move(token));
+}
+
+void
+lexPunct(Cursor &cur, LexResult &out)
+{
+    Token token{TokenKind::Punct, "", cur.line};
+    for (const char *op : kMultiOps) {
+        std::size_t len = 0;
+        while (op[len] != '\0' && cur.peek(len) == op[len])
+            ++len;
+        if (op[len] == '\0') {
+            for (std::size_t i = 0; i < len; ++i)
+                token.text += cur.advance();
+            out.tokens.push_back(std::move(token));
+            return;
+        }
+    }
+    token.text += cur.advance();
+    out.tokens.push_back(std::move(token));
+}
+
+} // namespace
+
+LexResult
+lex(const std::string &source)
+{
+    LexResult out;
+    Cursor cur{source};
+    bool at_line_start = true;
+
+    while (!cur.done()) {
+        const char c = cur.peek();
+        if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+            if (c == '\n')
+                at_line_start = true;
+            cur.advance();
+            continue;
+        }
+        if (c == '/' && cur.peek(1) == '/') {
+            lexLineComment(cur, out, out.tokens.size(), at_line_start);
+            continue;
+        }
+        if (c == '/' && cur.peek(1) == '*') {
+            lexBlockComment(cur, out);
+            continue;
+        }
+        if (c == '#' && at_line_start) {
+            lexPreprocessor(cur, out);
+            continue;
+        }
+        at_line_start = false;
+        if (atRawString(cur)) {
+            out.tokens.push_back(Token{TokenKind::String, "R\"...\"",
+                                       cur.line});
+            lexRawString(cur);
+            continue;
+        }
+        if (c == '"') {
+            out.tokens.push_back(Token{TokenKind::String, "\"...\"",
+                                       cur.line});
+            lexQuoted(cur, '"');
+            continue;
+        }
+        if (c == '\'') {
+            out.tokens.push_back(Token{TokenKind::CharLit, "'...'",
+                                       cur.line});
+            lexQuoted(cur, '\'');
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' &&
+             std::isdigit(static_cast<unsigned char>(cur.peek(1))))) {
+            lexNumber(cur, out);
+            continue;
+        }
+        if (isIdentStart(c)) {
+            Token token{TokenKind::Identifier, "", cur.line};
+            while (!cur.done() && isIdentChar(cur.peek()))
+                token.text += cur.advance();
+            out.tokens.push_back(std::move(token));
+            continue;
+        }
+        lexPunct(cur, out);
+    }
+    return out;
+}
+
+} // namespace icheck::lint

@@ -1,0 +1,27 @@
+#ifndef ICHECK_LINT_LEXER_HPP
+#define ICHECK_LINT_LEXER_HPP
+
+/**
+ * @file
+ * Minimal C++ lexer for icheck-lint.
+ *
+ * Handles exactly what the rules need: identifiers, numbers, string and
+ * character literals (including raw strings), multi-character operators,
+ * preprocessor directives (folded across backslash continuations), and
+ * line/block comments routed to a side channel. It does not expand
+ * macros or track includes; the rules are written to tolerate that.
+ */
+
+#include <string>
+
+#include "token.hpp"
+
+namespace icheck::lint
+{
+
+/** Lex @p source into code tokens plus a comment side channel. */
+LexResult lex(const std::string &source);
+
+} // namespace icheck::lint
+
+#endif // ICHECK_LINT_LEXER_HPP

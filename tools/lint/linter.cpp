@@ -1,0 +1,308 @@
+#include "linter.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "lexer.hpp"
+
+namespace icheck::lint
+{
+
+namespace
+{
+
+/** One parsed, well-formed suppression directive. */
+struct Suppression
+{
+    Rule rule = Rule::D1;
+    int firstLine = 0; ///< First line it covers.
+    int lastLine = 0;  ///< Last line it covers (comment end + 1).
+};
+
+std::string
+trim(const std::string &text)
+{
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end &&
+           std::isspace(static_cast<unsigned char>(text[begin])))
+        ++begin;
+    while (end > begin &&
+           std::isspace(static_cast<unsigned char>(text[end - 1])))
+        --end;
+    return text.substr(begin, end - begin);
+}
+
+/**
+ * Parse every allow-directive in a comment carrying the icheck-lint
+ * marker. A directive needs a known rule id and a non-empty reason
+ * after the closing paren; anything else is an H4.
+ */
+void
+parseSuppressions(const std::string &path, const Comment &comment,
+                  std::vector<Suppression> &suppressions,
+                  std::vector<Finding> &findings)
+{
+    const std::string marker = "icheck-lint:";
+    std::size_t at = comment.text.find(marker);
+    if (at == std::string::npos)
+        return;
+    int directives = 0;
+    std::size_t cursor = at + marker.size();
+    while ((at = comment.text.find("allow", cursor)) !=
+           std::string::npos) {
+        cursor = at + 5;
+        std::size_t open = comment.text.find('(', cursor);
+        if (open == std::string::npos)
+            break;
+        std::size_t close = comment.text.find(')', open);
+        if (close == std::string::npos)
+            break;
+        const std::string id =
+            trim(comment.text.substr(open + 1, close - open - 1));
+        cursor = close + 1;
+
+        // Reason: the text after ')' (and an optional ':' or '--'),
+        // up to the next allow() if any.
+        std::size_t reason_end = comment.text.find("allow", cursor);
+        if (reason_end == std::string::npos)
+            reason_end = comment.text.size();
+        std::string reason =
+            trim(comment.text.substr(cursor, reason_end - cursor));
+        while (!reason.empty() &&
+               (reason.front() == ':' || reason.front() == '-'))
+            reason = trim(reason.substr(1));
+
+        ++directives;
+        Rule rule = Rule::D1;
+        if (!parseRule(id, rule)) {
+            Finding finding;
+            finding.rule = Rule::H4;
+            finding.file = path;
+            finding.line = comment.line;
+            finding.message = "suppression names unknown rule '" + id +
+                              "'";
+            findings.push_back(std::move(finding));
+            continue;
+        }
+        if (reason.empty()) {
+            Finding finding;
+            finding.rule = Rule::H4;
+            finding.file = path;
+            finding.line = comment.line;
+            finding.message = "suppression of " + id +
+                              " is missing its reason";
+            findings.push_back(std::move(finding));
+            continue;
+        }
+        Suppression suppression;
+        suppression.rule = rule;
+        suppression.firstLine = comment.line;
+        suppression.lastLine = comment.endLine + 1;
+        suppressions.push_back(suppression);
+    }
+    if (directives == 0) {
+        // An icheck-lint marker with no parseable allow-directive.
+        Finding finding;
+        finding.rule = Rule::H4;
+        finding.file = path;
+        finding.line = comment.line;
+        finding.message = "icheck-lint comment contains no valid "
+                          "allow(<rule>) directive";
+        findings.push_back(std::move(finding));
+    }
+}
+
+std::vector<std::string>
+splitLines(const std::string &source)
+{
+    std::vector<std::string> lines;
+    std::string line;
+    std::istringstream in(source);
+    while (std::getline(in, line))
+        lines.push_back(line);
+    return lines;
+}
+
+bool
+isSourceFile(const std::filesystem::path &path)
+{
+    const std::string ext = path.extension().string();
+    return ext == ".cpp" || ext == ".hpp" || ext == ".h" ||
+           ext == ".cc" || ext == ".hh" || ext == ".cxx" ||
+           ext == ".hxx";
+}
+
+} // namespace
+
+std::uint64_t
+fnv1a64(const std::string &text)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (const char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+std::vector<KeyedFinding>
+lintSource(const std::string &path, const std::string &source,
+           const LintConfig &config)
+{
+    const LexResult lexed = lex(source);
+
+    std::vector<Finding> findings;
+    std::vector<Suppression> suppressions;
+    for (const Comment &comment : lexed.comments) {
+        std::vector<Finding> h4;
+        parseSuppressions(path, comment, suppressions, h4);
+        findings.insert(findings.end(), h4.begin(), h4.end());
+    }
+
+    runCodeRules(path, lexed, config, findings);
+    runCommentRules(path, lexed, findings);
+
+    std::vector<Finding> kept;
+    for (Finding &finding : findings) {
+        bool suppressed = false;
+        if (finding.rule != Rule::H4) {
+            for (const Suppression &suppression : suppressions) {
+                if (suppression.rule == finding.rule &&
+                    finding.line >= suppression.firstLine &&
+                    finding.line <= suppression.lastLine) {
+                    suppressed = true;
+                    break;
+                }
+            }
+        }
+        if (!suppressed)
+            kept.push_back(std::move(finding));
+    }
+
+    std::stable_sort(kept.begin(), kept.end(),
+                     [](const Finding &a, const Finding &b) {
+                         if (a.line != b.line)
+                             return a.line < b.line;
+                         return static_cast<int>(a.rule) <
+                                static_cast<int>(b.rule);
+                     });
+
+    const std::vector<std::string> lines = splitLines(source);
+    std::vector<KeyedFinding> keyed;
+    keyed.reserve(kept.size());
+    for (Finding &finding : kept) {
+        KeyedFinding entry;
+        const std::size_t index =
+            static_cast<std::size_t>(finding.line) - 1;
+        entry.lineText = index < lines.size() ? trim(lines[index]) : "";
+        char hash[32];
+        std::snprintf(hash, sizeof hash, "%016llx",
+                      static_cast<unsigned long long>(
+                          fnv1a64(entry.lineText)));
+        entry.key = std::string(ruleInfo(finding.rule).id) + "\t" +
+                    finding.file + "\t" + hash;
+        entry.finding = std::move(finding);
+        keyed.push_back(std::move(entry));
+    }
+    return keyed;
+}
+
+LintRun
+lintPaths(const std::vector<std::string> &paths, const LintConfig &config)
+{
+    namespace fs = std::filesystem;
+
+    std::vector<std::string> files;
+    for (const std::string &path : paths) {
+        if (fs::is_directory(path)) {
+            for (const auto &entry :
+                 fs::recursive_directory_iterator(path)) {
+                if (entry.is_regular_file() &&
+                    isSourceFile(entry.path()))
+                    files.push_back(entry.path().generic_string());
+            }
+        } else if (fs::is_regular_file(path)) {
+            files.push_back(fs::path(path).generic_string());
+        } else {
+            throw std::runtime_error("no such file or directory: " +
+                                     path);
+        }
+    }
+    // Directory iteration order is filesystem-dependent; the lint's own
+    // output must not be.
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    LintRun run;
+    for (const std::string &file : files) {
+        std::ifstream in(file, std::ios::binary);
+        if (!in)
+            throw std::runtime_error("cannot read " + file);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        std::vector<KeyedFinding> found =
+            lintSource(file, buffer.str(), config);
+        run.findings.insert(run.findings.end(),
+                            std::make_move_iterator(found.begin()),
+                            std::make_move_iterator(found.end()));
+        ++run.filesScanned;
+    }
+    return run;
+}
+
+Baseline
+readBaseline(std::istream &in)
+{
+    Baseline baseline;
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::string entry = trim(line);
+        if (entry.empty() || entry.front() == '#')
+            continue;
+        ++baseline[entry];
+    }
+    return baseline;
+}
+
+void
+writeBaseline(std::ostream &out,
+              const std::vector<KeyedFinding> &findings)
+{
+    out << "# icheck-lint baseline: one tab-separated entry per "
+           "accepted finding.\n"
+        << "# <rule>\t<file>\t<fnv1a64 of the trimmed source line>\n"
+        << "# Regenerate with: icheck-lint --write-baseline <this file> "
+           "<paths>\n";
+    std::vector<std::string> keys;
+    keys.reserve(findings.size());
+    for (const KeyedFinding &finding : findings)
+        keys.push_back(finding.key);
+    std::sort(keys.begin(), keys.end());
+    for (const std::string &key : keys)
+        out << key << "\n";
+}
+
+std::vector<KeyedFinding>
+subtractBaseline(const std::vector<KeyedFinding> &findings,
+                 Baseline baseline)
+{
+    std::vector<KeyedFinding> fresh;
+    for (const KeyedFinding &finding : findings) {
+        const auto budget = baseline.find(finding.key);
+        if (budget != baseline.end() && budget->second > 0) {
+            --budget->second;
+            continue;
+        }
+        fresh.push_back(finding);
+    }
+    return fresh;
+}
+
+} // namespace icheck::lint

@@ -1,0 +1,81 @@
+#ifndef ICHECK_LINT_LINTER_HPP
+#define ICHECK_LINT_LINTER_HPP
+
+/**
+ * @file
+ * The linting driver: runs the rules over sources, applies
+ * suppression comments of the form `icheck-lint: allow(D1): reason`
+ * (any rule id in place of D1), and matches findings against a
+ * committed baseline.
+ *
+ * Baseline entries are keyed on (rule, file, hash of the trimmed source
+ * line), not on line numbers, so unrelated edits above a baselined
+ * finding do not invalidate it. The build's `lint` test enforces zero
+ * findings that are neither suppressed nor baselined.
+ */
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "finding.hpp"
+#include "rules.hpp"
+
+namespace icheck::lint
+{
+
+/** A finding paired with its drift-tolerant baseline identity. */
+struct KeyedFinding
+{
+    Finding finding;
+    std::string lineText; ///< Trimmed text of the offending line.
+    std::string key;      ///< "<rule>\t<file>\t<fnv64 of lineText>".
+};
+
+/**
+ * Lint one in-memory source. Runs every rule, drops findings covered by
+ * a well-formed suppression on the same or preceding line, and emits H4
+ * for malformed suppressions. Findings come back sorted by line.
+ */
+std::vector<KeyedFinding> lintSource(const std::string &path,
+                                     const std::string &source,
+                                     const LintConfig &config);
+
+/** Outcome of linting a path set. */
+struct LintRun
+{
+    std::vector<KeyedFinding> findings;
+    int filesScanned = 0;
+};
+
+/**
+ * Lint every C++ source under @p paths (files or directories,
+ * recursively; deterministic order). Unreadable paths are fatal.
+ */
+LintRun lintPaths(const std::vector<std::string> &paths,
+                  const LintConfig &config);
+
+/** Baseline as multiset: key -> remaining match budget. */
+using Baseline = std::map<std::string, int>;
+
+/** Parse a baseline stream (comments and blank lines ignored). */
+Baseline readBaseline(std::istream &in);
+
+/** Serialize @p findings as a baseline, sorted, with a header. */
+void writeBaseline(std::ostream &out,
+                   const std::vector<KeyedFinding> &findings);
+
+/**
+ * Remove findings whose key has remaining budget in @p baseline,
+ * consuming budget per match. What remains is "new" findings.
+ */
+std::vector<KeyedFinding> subtractBaseline(
+    const std::vector<KeyedFinding> &findings, Baseline baseline);
+
+/** FNV-1a 64-bit, the baseline's line-content hash. */
+std::uint64_t fnv1a64(const std::string &text);
+
+} // namespace icheck::lint
+
+#endif // ICHECK_LINT_LINTER_HPP

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * icheck-lint command line.
+ *
+ *   icheck-lint [options] <paths...>
+ *     --baseline FILE        subtract FILE's accepted findings
+ *     --write-baseline FILE  record current findings as the baseline
+ *     --list-rules           describe every rule and exit
+ *     --jsonl                machine-readable output, one JSON per line
+ *     --quiet                suppress per-finding hints
+ *
+ * Exit status: 0 when no new findings, 1 when new findings remain,
+ * 2 on usage or I/O errors.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "linter.hpp"
+
+namespace
+{
+
+using namespace icheck::lint;
+
+int
+usage(const char *argv0)
+{
+    std::cerr << "usage: " << argv0
+              << " [--baseline FILE] [--write-baseline FILE]"
+                 " [--list-rules] [--jsonl] [--quiet] <paths...>\n";
+    return 2;
+}
+
+void
+listRules()
+{
+    for (const RuleInfo &info : ruleRegistry()) {
+        std::cout << info.id << ": " << info.summary << "\n"
+                  << "    fix: " << info.hint << "\n";
+    }
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string escaped;
+    for (const char c : text) {
+        if (c == '"' || c == '\\')
+            escaped += '\\';
+        if (c == '\n') {
+            escaped += "\\n";
+            continue;
+        }
+        escaped += c;
+    }
+    return escaped;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> paths;
+    std::string baseline_path;
+    std::string write_baseline_path;
+    bool jsonl = false;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list-rules") {
+            listRules();
+            return 0;
+        } else if (arg == "--baseline" && i + 1 < argc) {
+            baseline_path = argv[++i];
+        } else if (arg == "--write-baseline" && i + 1 < argc) {
+            write_baseline_path = argv[++i];
+        } else if (arg == "--jsonl") {
+            jsonl = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage(argv[0]);
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty())
+        return usage(argv[0]);
+
+    LintRun run;
+    try {
+        run = lintPaths(paths, LintConfig{});
+    } catch (const std::exception &error) {
+        std::cerr << "icheck-lint: " << error.what() << "\n";
+        return 2;
+    }
+
+    if (!write_baseline_path.empty()) {
+        std::ofstream out(write_baseline_path);
+        if (!out) {
+            std::cerr << "icheck-lint: cannot write "
+                      << write_baseline_path << "\n";
+            return 2;
+        }
+        writeBaseline(out, run.findings);
+        std::cout << "icheck-lint: wrote " << run.findings.size()
+                  << " baseline entries to " << write_baseline_path
+                  << "\n";
+        return 0;
+    }
+
+    std::vector<KeyedFinding> fresh = run.findings;
+    if (!baseline_path.empty()) {
+        std::ifstream in(baseline_path);
+        if (!in) {
+            std::cerr << "icheck-lint: cannot read " << baseline_path
+                      << "\n";
+            return 2;
+        }
+        fresh = subtractBaseline(run.findings, readBaseline(in));
+    }
+
+    for (const KeyedFinding &entry : fresh) {
+        const RuleInfo &info = ruleInfo(entry.finding.rule);
+        if (jsonl) {
+            std::cout << "{\"file\":\"" << jsonEscape(entry.finding.file)
+                      << "\",\"line\":" << entry.finding.line
+                      << ",\"rule\":\"" << info.id << "\",\"message\":\""
+                      << jsonEscape(entry.finding.message) << "\"}\n";
+            continue;
+        }
+        std::cout << entry.finding.file << ":" << entry.finding.line
+                  << ": [" << info.id << "] " << entry.finding.message
+                  << "\n";
+        if (!quiet)
+            std::cout << "    fix: " << info.hint << "\n";
+    }
+    if (!jsonl) {
+        std::cout << "icheck-lint: " << run.filesScanned
+                  << " files scanned, " << fresh.size()
+                  << " new finding(s)";
+        if (!baseline_path.empty())
+            std::cout << " (" << run.findings.size() - fresh.size()
+                      << " baselined)";
+        std::cout << "\n";
+    }
+    return fresh.empty() ? 0 : 1;
+}

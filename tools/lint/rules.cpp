@@ -1,0 +1,830 @@
+#include "rules.hpp"
+
+#include <cstddef>
+#include <map>
+#include <set>
+
+namespace icheck::lint
+{
+
+namespace
+{
+
+/** Bounds-safe view over the code token vector. */
+struct Stream
+{
+    const std::vector<Token> &tokens;
+
+    std::size_t
+    size() const
+    {
+        return tokens.size();
+    }
+
+    const std::string &
+    text(std::size_t i) const
+    {
+        static const std::string empty;
+        return i < tokens.size() ? tokens[i].text : empty;
+    }
+
+    TokenKind
+    kind(std::size_t i) const
+    {
+        return i < tokens.size() ? tokens[i].kind : TokenKind::Punct;
+    }
+
+    bool
+    is(std::size_t i, const char *want) const
+    {
+        return i < tokens.size() && tokens[i].text == want;
+    }
+
+    bool
+    isIdent(std::size_t i) const
+    {
+        return kind(i) == TokenKind::Identifier;
+    }
+
+    int
+    line(std::size_t i) const
+    {
+        return i < tokens.size() ? tokens[i].line : 0;
+    }
+};
+
+void
+report(std::vector<Finding> &findings, Rule rule, const std::string &path,
+       int line, const std::string &detail)
+{
+    Finding finding;
+    finding.rule = rule;
+    finding.file = path;
+    finding.line = line;
+    finding.message = detail;
+    findings.push_back(std::move(finding));
+}
+
+/**
+ * Skip a balanced template argument list; @p i points at '<'. Returns
+ * the index just past the matching '>', or @p i + 1 if the brackets
+ * never balance (then it probably was a comparison, not a template).
+ */
+std::size_t
+skipAngles(const Stream &s, std::size_t i)
+{
+    int depth = 0;
+    for (std::size_t j = i; j < s.size(); ++j) {
+        const std::string &text = s.text(j);
+        if (text == "<")
+            ++depth;
+        else if (text == ">")
+            --depth;
+        else if (text == ">>")
+            depth -= 2;
+        else if (text == ";" || text == "{" || text == "}")
+            break;
+        if (depth <= 0)
+            return j + 1;
+    }
+    return i + 1;
+}
+
+/** Skip a balanced paren group; @p i points at '('. */
+std::size_t
+skipParens(const Stream &s, std::size_t i)
+{
+    int depth = 0;
+    for (std::size_t j = i; j < s.size(); ++j) {
+        if (s.is(j, "("))
+            ++depth;
+        else if (s.is(j, ")") && --depth == 0)
+            return j + 1;
+    }
+    return s.size();
+}
+
+bool
+isUnorderedContainer(const std::string &name)
+{
+    return name == "unordered_map" || name == "unordered_set" ||
+           name == "unordered_multimap" || name == "unordered_multiset";
+}
+
+bool
+isClockName(const std::string &name)
+{
+    return name == "steady_clock" || name == "system_clock" ||
+           name == "high_resolution_clock";
+}
+
+/** Names declared in the file that the pattern rules care about. */
+struct DeclNames
+{
+    std::set<std::string> unorderedVars;
+    std::set<std::string> atomicVars;
+    /** using Alias = ...steady_clock; maps Alias -> clock identifier. */
+    std::map<std::string, std::string> clockAliases;
+};
+
+DeclNames
+collectDeclNames(const Stream &s)
+{
+    DeclNames names;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        const std::string &text = s.text(i);
+        if (isUnorderedContainer(text) || text == "atomic") {
+            std::size_t j = i + 1;
+            if (s.is(j, "<"))
+                j = skipAngles(s, j);
+            while (s.is(j, "&") || s.is(j, "*") || s.is(j, "const"))
+                ++j;
+            if (s.isIdent(j)) {
+                if (text == "atomic")
+                    names.atomicVars.insert(s.text(j));
+                else
+                    names.unorderedVars.insert(s.text(j));
+            }
+        } else if (text == "using" && s.isIdent(i + 1) &&
+                   s.is(i + 2, "=")) {
+            for (std::size_t j = i + 3;
+                 j < s.size() && !s.is(j, ";"); ++j) {
+                if (isClockName(s.text(j))) {
+                    names.clockAliases[s.text(i + 1)] = s.text(j);
+                    break;
+                }
+            }
+        }
+    }
+    return names;
+}
+
+/* ------------------------------------------------------------------ */
+/* D1: iteration over unordered containers                            */
+/* ------------------------------------------------------------------ */
+
+void
+scanUnorderedIteration(const Stream &s, const DeclNames &names,
+                       const std::string &path,
+                       std::vector<Finding> &findings)
+{
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        // Range-for whose range expression ends in an unordered name.
+        if (s.is(i, "for") && s.is(i + 1, "(")) {
+            const std::size_t close = skipParens(s, i + 1) - 1;
+            if (close < s.size() && s.isIdent(close - 1) &&
+                names.unorderedVars.count(s.text(close - 1)) != 0) {
+                report(findings, Rule::D1, path, s.line(close - 1),
+                       "range-for over unordered container '" +
+                           s.text(close - 1) + "'");
+            }
+        }
+        // Explicit iterator traversal: name.begin() / name.cbegin().
+        if (s.isIdent(i) && names.unorderedVars.count(s.text(i)) != 0 &&
+            (s.is(i + 1, ".") || s.is(i + 1, "->")) &&
+            (s.is(i + 2, "begin") || s.is(i + 2, "cbegin")) &&
+            s.is(i + 3, "(")) {
+            report(findings, Rule::D1, path, s.line(i),
+                   "iterator traversal of unordered container '" +
+                       s.text(i) + "'");
+        }
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* D2: pointer-valued ordering keys                                   */
+/* ------------------------------------------------------------------ */
+
+bool
+isOrderedAssoc(const std::string &name)
+{
+    return name == "map" || name == "set" || name == "multimap" ||
+           name == "multiset";
+}
+
+void
+scanPointerKeys(const Stream &s, const std::string &path,
+                std::vector<Finding> &findings)
+{
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (isOrderedAssoc(s.text(i)) && s.is(i + 1, "<") &&
+            !s.is(i - 1, ".") && !s.is(i - 1, "->")) {
+            // Walk the first template argument (up to the ',' or the
+            // closing '>' at depth 1) looking for a pointer declarator.
+            int depth = 0;
+            for (std::size_t j = i + 1; j < s.size(); ++j) {
+                const std::string &text = s.text(j);
+                if (text == "<")
+                    ++depth;
+                else if (text == ">")
+                    --depth;
+                else if (text == ">>")
+                    depth -= 2;
+                else if (text == ";" || text == "{")
+                    break;
+                else if (text == "," && depth == 1)
+                    break;
+                else if (text == "*") {
+                    report(findings, Rule::D2, path, s.line(i),
+                           "ordered container '" + s.text(i) +
+                               "' keyed by a pointer type");
+                    break;
+                }
+                if (depth <= 0)
+                    break;
+            }
+        }
+        // sort(...) with a comparator lambda taking pointer parameters.
+        if ((s.is(i, "sort") || s.is(i, "stable_sort")) &&
+            s.is(i + 1, "(")) {
+            const std::size_t close = skipParens(s, i + 1);
+            for (std::size_t j = i + 2; j < close; ++j) {
+                if (!s.is(j, "["))
+                    continue;
+                std::size_t k = j;
+                while (k < close && !s.is(k, "]"))
+                    ++k;
+                if (!s.is(k + 1, "("))
+                    continue;
+                const std::size_t params_end = skipParens(s, k + 1);
+                int stars = 0;
+                for (std::size_t p = k + 1; p < params_end; ++p) {
+                    if (s.is(p, "*"))
+                        ++stars;
+                }
+                if (stars >= 2) {
+                    report(findings, Rule::D2, path, s.line(j),
+                           "sort comparator ordering by pointer "
+                           "parameters");
+                }
+                j = params_end;
+            }
+        }
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* D3: nondeterministic calls                                         */
+/* ------------------------------------------------------------------ */
+
+void
+scanNondetCalls(const Stream &s, const DeclNames &names,
+                const std::string &path, const LintConfig &config,
+                std::vector<Finding> &findings)
+{
+    const bool timing_ok = pathMatchesAny(path, config.timingWhitelist);
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (!s.isIdent(i))
+            continue;
+        if (s.is(i - 1, ".") || s.is(i - 1, "->"))
+            continue; // member access: some other type's method
+        const std::string &name = s.text(i);
+        if (name == "random_device") {
+            report(findings, Rule::D3, path, s.line(i),
+                   "std::random_device is nondeterministic by design");
+        } else if ((name == "rand" || name == "srand" ||
+                    name == "getenv") &&
+                   s.is(i + 1, "(")) {
+            report(findings, Rule::D3, path, s.line(i),
+                   "call to '" + name + "'");
+        } else if (name == "clock" && s.is(i + 1, "(") &&
+                   s.is(i + 2, ")")) {
+            // libc clock() is niladic; clock(x) is someone's own
+            // function.
+            report(findings, Rule::D3, path, s.line(i),
+                   "call to 'clock'");
+        } else if (name == "time" && s.is(i + 1, "(") &&
+                   (s.is(i + 2, "nullptr") || s.is(i + 2, "NULL") ||
+                    s.is(i + 2, "0") || s.is(i + 2, "&"))) {
+            // libc time() is called with a null or address argument;
+            // anything else is likelier a local function named time.
+            report(findings, Rule::D3, path, s.line(i),
+                   "call to 'time'");
+        } else if (name == "now" && s.is(i - 1, "::")) {
+            std::string clock = s.text(i - 2);
+            const auto alias = names.clockAliases.find(clock);
+            if (alias != names.clockAliases.end())
+                clock = alias->second;
+            if (clock == "steady_clock" && timing_ok)
+                continue;
+            if (isClockName(clock)) {
+                report(findings, Rule::D3, path, s.line(i),
+                       clock + "::now() outside the timing whitelist");
+            }
+        }
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* C3: detached threads                                               */
+/* ------------------------------------------------------------------ */
+
+void
+scanDetach(const Stream &s, const std::string &path,
+           std::vector<Finding> &findings)
+{
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if ((s.is(i, ".") || s.is(i, "->")) && s.is(i + 1, "detach") &&
+            s.is(i + 2, "(")) {
+            report(findings, Rule::C3, path, s.line(i + 1),
+                   "thread detached instead of joined");
+        }
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* H2: raw new/delete outside arena code                              */
+/* ------------------------------------------------------------------ */
+
+void
+scanRawNewDelete(const Stream &s, const std::string &path,
+                 const LintConfig &config,
+                 std::vector<Finding> &findings)
+{
+    if (pathMatchesAny(path, config.arenaWhitelist))
+        return;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s.is(i - 1, "operator"))
+            continue;
+        if (s.is(i, "new")) {
+            report(findings, Rule::H2, path, s.line(i),
+                   "raw new outside arena code");
+        } else if (s.is(i, "delete") && !s.is(i - 1, "=")) {
+            report(findings, Rule::H2, path, s.line(i),
+                   "raw delete outside arena code");
+        }
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Scope walker: C1 (mutable statics), C2 (unlocked counter updates), */
+/* H1 (virtual without override in derived classes)                   */
+/* ------------------------------------------------------------------ */
+
+enum class ScopeKind
+{
+    Top,
+    Namespace,
+    Class,
+    DerivedClass,
+    Enum,
+    Function,
+    Block,
+};
+
+struct Scope
+{
+    ScopeKind kind = ScopeKind::Top;
+    bool lockHeld = false;
+    std::set<std::string> locals;
+};
+
+bool
+isControlKeyword(const std::string &text)
+{
+    return text == "if" || text == "for" || text == "while" ||
+           text == "switch" || text == "do" || text == "else" ||
+           text == "try" || text == "catch";
+}
+
+/** Type-ish tokens allowed in a declaration head before the name. */
+bool
+isDeclHeadToken(const Stream &s, std::size_t i)
+{
+    if (s.isIdent(i))
+        return true;
+    const std::string &text = s.text(i);
+    return text == "::" || text == "<" || text == ">" || text == ">>" ||
+           text == "*" || text == "&" || text == ",";
+}
+
+class ScopeWalker
+{
+  public:
+    ScopeWalker(const Stream &s, const DeclNames &names,
+                const std::string &path, const LintConfig &config,
+                std::vector<Finding> &findings)
+        : s(s), names(names), path(path), findings(findings),
+          counterRules(pathMatchesAny(path, config.lockedCounterScope))
+    {
+        stack.push_back(Scope{});
+    }
+
+    void
+    run()
+    {
+        for (std::size_t i = 0; i < s.size(); ++i)
+            step(i);
+    }
+
+  private:
+    const Stream &s;
+    const DeclNames &names;
+    const std::string &path;
+    std::vector<Finding> &findings;
+    const bool counterRules;
+
+    std::vector<Scope> stack;
+    std::vector<std::size_t> head; ///< Token indices of the open statement.
+
+    Scope &
+    current()
+    {
+        return stack.back();
+    }
+
+    bool
+    lockActive() const
+    {
+        return stack.back().lockHeld;
+    }
+
+    bool
+    isLocal(const std::string &name) const
+    {
+        for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+            if (it->locals.count(name) != 0)
+                return true;
+            if (it->kind == ScopeKind::Function)
+                break; // captures of enclosing functions do not count
+        }
+        return false;
+    }
+
+    bool
+    headContains(const char *want) const
+    {
+        for (const std::size_t i : head) {
+            if (s.is(i, want))
+                return true;
+        }
+        return false;
+    }
+
+    /** Register names that look like parameters in the head's parens. */
+    void
+    declareHeadParams(Scope &scope)
+    {
+        for (std::size_t n = 0; n + 1 < head.size(); ++n) {
+            const std::size_t i = head[n];
+            const std::size_t next = head[n + 1];
+            if (s.isIdent(i) &&
+                (s.is(next, ",") || s.is(next, ")") || s.is(next, "=") ||
+                 s.is(next, ":")))
+                scope.locals.insert(s.text(i));
+        }
+    }
+
+    /** Declare range-for and init-statement variables when 'for (' opens. */
+    void
+    declareForHeader(std::size_t i)
+    {
+        const std::size_t close = skipParens(s, i + 1);
+        for (std::size_t j = i + 2; j + 1 < close; ++j) {
+            if (s.isIdent(j) && (s.is(j + 1, "=") || s.is(j + 1, ":")))
+                current().locals.insert(s.text(j));
+        }
+    }
+
+    void
+    classifyAndPush()
+    {
+        Scope scope;
+        const ScopeKind enclosing = current().kind;
+        if (headContains("namespace")) {
+            scope.kind = ScopeKind::Namespace;
+        } else if (headContains("enum")) {
+            scope.kind = ScopeKind::Enum;
+        } else if ((headContains("class") || headContains("struct") ||
+                    headContains("union")) &&
+                   !headContains("(")) {
+            scope.kind = headContains(":") ? ScopeKind::DerivedClass
+                                           : ScopeKind::Class;
+        } else if (!head.empty() && s.is(head.back(), "]")) {
+            // Capture-only lambda, `[this] { ... }`: a body with no
+            // parameter list still starts a new execution context.
+            scope.kind = ScopeKind::Function;
+        } else if (!head.empty() &&
+                   isControlKeyword(s.text(head.front()))) {
+            scope.kind = ScopeKind::Block;
+            scope.lockHeld = lockActive();
+        } else if (headContains(")") &&
+                   (enclosing == ScopeKind::Function ||
+                    enclosing == ScopeKind::Block) &&
+                   !headContains("]")) {
+            // A paren group inside another function that is not a
+            // lambda: an initializer or compound expression, not a new
+            // execution context.
+            scope.kind = ScopeKind::Block;
+            scope.lockHeld = lockActive();
+            declareHeadParams(scope);
+        } else if (headContains(")")) {
+            scope.kind = ScopeKind::Function;
+            declareHeadParams(scope);
+        } else if (headContains("]") && headContains("(")) {
+            scope.kind = ScopeKind::Function;
+            declareHeadParams(scope);
+        } else {
+            scope.kind = ScopeKind::Block;
+            scope.lockHeld = lockActive();
+        }
+        // Lambdas are deferred execution: the lock at the definition
+        // site is not held when the body runs.
+        if (headContains("]") && scope.kind == ScopeKind::Function)
+            scope.lockHeld = false;
+        stack.push_back(std::move(scope));
+        head.clear();
+    }
+
+    /** Handle a declaration statement ending at ';' or '=': add locals. */
+    void
+    declareFromHead()
+    {
+        if (current().kind != ScopeKind::Function &&
+            current().kind != ScopeKind::Block)
+            return;
+        // Candidate segment: head up to the first '=' or '(' if any.
+        std::size_t end = head.size();
+        for (std::size_t n = 0; n < head.size(); ++n) {
+            if (s.is(head[n], "=") || s.is(head[n], "(")) {
+                end = n;
+                break;
+            }
+        }
+        if (end < 2)
+            return;
+        const std::size_t last = head[end - 1];
+        if (!s.isIdent(last))
+            return;
+        for (std::size_t n = 0; n < end - 1; ++n) {
+            if (!isDeclHeadToken(s, head[n]))
+                return;
+        }
+        current().locals.insert(s.text(last));
+    }
+
+    /** True if @p text names a type that is safe to share mutable. */
+    static bool
+    isSynchronizedOrImmutable(const std::string &text)
+    {
+        return text == "const" || text == "constexpr" ||
+               text == "constinit" || text == "thread_local" ||
+               text == "atomic" || text == "mutex" ||
+               text == "shared_mutex" || text == "once_flag" ||
+               text == "condition_variable";
+    }
+
+    /** C1 (keyword form): a 'static' declaration in any scope. */
+    void
+    checkStatic(std::size_t i)
+    {
+        for (std::size_t j = i + 1; j < s.size(); ++j) {
+            const std::string &text = s.text(j);
+            if (isSynchronizedOrImmutable(text))
+                return;
+            if (text == "(")
+                return; // function declaration (or paren-init, rare)
+            if (text == ";" || text == "{" || text == "=") {
+                report(findings, Rule::C1, path, s.line(i),
+                       "mutable static variable");
+                return;
+            }
+        }
+    }
+
+    /**
+     * C1 (linkage form): a mutable global declared at namespace scope
+     * without the static keyword — anonymous-namespace globals have
+     * internal linkage and are exactly as reachable from pool workers.
+     */
+    void
+    checkNamespaceGlobal()
+    {
+        if (current().kind != ScopeKind::Namespace || head.empty())
+            return;
+        static const std::set<std::string> head_skip = {
+            "extern",    "using",   "typedef",       "template",
+            "friend",    "class",   "struct",        "union",
+            "enum",      "namespace", "static_assert", "return",
+            "throw",     "operator", "static",       "inline",
+        };
+        if (head_skip.count(s.text(head.front())) != 0)
+            return;
+        std::size_t end = head.size();
+        for (std::size_t n = 0; n < head.size(); ++n) {
+            if (s.is(head[n], "("))
+                return; // function declaration or macro invocation
+            if (s.is(head[n], ")"))
+                return; // tail of a statement split by a braced default
+            if (isSynchronizedOrImmutable(s.text(head[n])))
+                return;
+            if (s.is(head[n], "=") && n < end)
+                end = n;
+        }
+        if (end < 2)
+            return;
+        const std::size_t last = head[end - 1];
+        if (!s.isIdent(last))
+            return;
+        for (std::size_t n = 0; n < end - 1; ++n) {
+            if (!isDeclHeadToken(s, head[n]))
+                return;
+        }
+        report(findings, Rule::C1, path, s.line(last),
+               "mutable global '" + s.text(last) +
+                   "' at namespace scope");
+    }
+
+    /** H1: 'virtual' inside a derived class without override/final. */
+    void
+    checkVirtual(std::size_t i)
+    {
+        if (current().kind != ScopeKind::DerivedClass)
+            return;
+        int parens = 0;
+        for (std::size_t j = i + 1; j < s.size(); ++j) {
+            const std::string &text = s.text(j);
+            if (text == "override" || text == "final")
+                return;
+            if (text == "(")
+                ++parens;
+            else if (text == ")")
+                --parens;
+            else if ((text == ";" || text == "{") && parens <= 0)
+                break;
+        }
+        report(findings, Rule::H1, path, s.line(i),
+               "virtual member in derived class lacks override/final");
+    }
+
+    /** Root identifier of a member chain ending at token @p i. */
+    std::size_t
+    chainStart(std::size_t i) const
+    {
+        std::size_t root = i;
+        while (root >= 2 &&
+               (s.is(root - 1, ".") || s.is(root - 1, "->")) &&
+               s.isIdent(root - 2))
+            root -= 2;
+        return root;
+    }
+
+    void
+    reportCounter(std::size_t ident, const char *op)
+    {
+        const std::size_t root = chainStart(ident);
+        const std::string &name = s.text(root);
+        if (isLocal(name) || names.atomicVars.count(name) != 0 ||
+            names.atomicVars.count(s.text(ident)) != 0)
+            return;
+        report(findings, Rule::C2, path, s.line(ident),
+               std::string("'") + s.text(ident) + "' updated with " + op +
+                   " outside any lock scope");
+    }
+
+    /** C2: ++/--/+=/-= on a shared name with no lock in scope. */
+    void
+    checkCounterUpdate(std::size_t i)
+    {
+        if (!counterRules || lockActive())
+            return;
+        const ScopeKind kind = current().kind;
+        if (kind != ScopeKind::Function && kind != ScopeKind::Block)
+            return;
+        const std::string &text = s.text(i);
+        if (text == "++" || text == "--") {
+            if (s.isIdent(i + 1) && !s.isIdent(i - 1) &&
+                !s.is(i - 1, ")") && !s.is(i - 1, "]")) {
+                // Prefix form: target chain extends forward.
+                std::size_t last = i + 1;
+                while ((s.is(last + 1, ".") || s.is(last + 1, "->")) &&
+                       s.isIdent(last + 2))
+                    last += 2;
+                reportCounter(last, text.c_str());
+            } else if (s.isIdent(i - 1)) {
+                reportCounter(i - 1, text.c_str());
+            }
+        } else if (text == "+=" || text == "-=") {
+            if (s.isIdent(i - 1))
+                reportCounter(i - 1, text.c_str());
+        }
+    }
+
+    void
+    step(std::size_t i)
+    {
+        if (s.kind(i) == TokenKind::Preprocessor)
+            return;
+        const std::string &text = s.text(i);
+        if (text == "{") {
+            classifyAndPush();
+            return;
+        }
+        if (text == "}") {
+            if (stack.size() > 1)
+                stack.pop_back();
+            head.clear();
+            return;
+        }
+        if (text == ";") {
+            declareFromHead();
+            checkNamespaceGlobal();
+            head.clear();
+            return;
+        }
+        if ((text == "public" || text == "private" ||
+             text == "protected") &&
+            s.is(i + 1, ":")) {
+            head.clear();
+            return;
+        }
+        if (text == "static") {
+            checkStatic(i);
+        } else if (text == "virtual") {
+            checkVirtual(i);
+        } else if (text == "for" && s.is(i + 1, "(")) {
+            declareForHeader(i);
+        } else if (text == "lock_guard" || text == "unique_lock" ||
+                   text == "scoped_lock" || text == "shared_lock") {
+            current().lockHeld = true;
+        } else if (text == "lock" && s.is(i + 1, "(") &&
+                   (s.is(i - 1, ".") || s.is(i - 1, "->"))) {
+            current().lockHeld = true;
+        } else if (text == "unlock" && s.is(i + 1, "(") &&
+                   (s.is(i - 1, ".") || s.is(i - 1, "->"))) {
+            current().lockHeld = false;
+        } else {
+            checkCounterUpdate(i);
+        }
+        // '=' also ends the *declaration* part of a statement: the
+        // declared name must be visible to the initializer expression
+        // (e.g. `auto it = container.begin()`).
+        if (text == "=")
+            declareFromHead();
+        head.push_back(i);
+    }
+};
+
+} // namespace
+
+bool
+pathMatchesAny(const std::string &path,
+               const std::vector<std::string> &needles)
+{
+    for (const std::string &needle : needles) {
+        if (path.find(needle) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+void
+runCodeRules(const std::string &path, const LexResult &lexed,
+             const LintConfig &config, std::vector<Finding> &findings)
+{
+    const Stream s{lexed.tokens};
+    const DeclNames names = collectDeclNames(s);
+    scanUnorderedIteration(s, names, path, findings);
+    scanPointerKeys(s, path, findings);
+    scanNondetCalls(s, names, path, config, findings);
+    scanDetach(s, path, findings);
+    scanRawNewDelete(s, path, config, findings);
+    ScopeWalker(s, names, path, config, findings).run();
+}
+
+void
+runCommentRules(const std::string &path, const LexResult &lexed,
+                std::vector<Finding> &findings)
+{
+    for (const Comment &comment : lexed.comments) {
+        const std::size_t todo = comment.text.find("TODO");
+        const std::size_t fixme = comment.text.find("FIXME");
+        const std::size_t at = todo != std::string::npos ? todo : fixme;
+        if (at == std::string::npos)
+            continue;
+        // Accept TODO(#123), TODO(issue-42), FIXME(gh#7): any
+        // parenthesized tag containing a digit right after the marker.
+        bool owned = false;
+        std::size_t i = at;
+        while (i < comment.text.size() && comment.text[i] != '(' &&
+               comment.text[i] != '\n')
+            ++i;
+        if (i < comment.text.size() && comment.text[i] == '(') {
+            for (std::size_t j = i + 1;
+                 j < comment.text.size() && comment.text[j] != ')';
+                 ++j) {
+                if (std::isdigit(
+                        static_cast<unsigned char>(comment.text[j]))) {
+                    owned = true;
+                    break;
+                }
+            }
+        }
+        if (!owned) {
+            report(findings, Rule::H3, path, comment.line,
+                   "TODO/FIXME without an issue reference");
+        }
+    }
+}
+
+} // namespace icheck::lint

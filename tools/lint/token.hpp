@@ -1,0 +1,64 @@
+#ifndef ICHECK_LINT_TOKEN_HPP
+#define ICHECK_LINT_TOKEN_HPP
+
+/**
+ * @file
+ * Token model for icheck-lint's single-purpose C++ lexer.
+ *
+ * The linter reasons about token streams, never raw text: string
+ * literals, character literals, and comments can all contain text that
+ * looks like code, and matching them as code is the classic source of
+ * false lint findings. Comments are lexed into a separate side channel
+ * because two rule inputs live there (suppression directives and to-do
+ * markers) while every code rule must ignore them.
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace icheck::lint
+{
+
+/** Classification of one lexed token. */
+enum class TokenKind
+{
+    Identifier,   ///< Identifiers and keywords (no keyword table needed).
+    Number,       ///< Numeric literal, including ' separators.
+    String,       ///< String literal (ordinary or raw), text excluded.
+    CharLit,      ///< Character literal.
+    Punct,        ///< Operator or punctuator, multi-char ops kept whole.
+    Preprocessor, ///< One whole directive, continuations folded in.
+};
+
+/** One token of the input, with the 1-based line it starts on. */
+struct Token
+{
+    TokenKind kind = TokenKind::Punct;
+    std::string text;
+    int line = 0;
+};
+
+/** One comment, kept out of the code token stream. */
+struct Comment
+{
+    std::string text; ///< Body without the // or slash-star delimiters.
+    int line = 0;     ///< 1-based first line.
+    int endLine = 0;  ///< 1-based last line of the (merged) comment.
+
+    /** Run of // lines eligible to merge with a following // line. */
+    bool mergeable = false;
+    /** Code tokens seen before this comment (merge guard). */
+    std::size_t tokensBefore = 0;
+};
+
+/** Result of lexing one translation unit. */
+struct LexResult
+{
+    std::vector<Token> tokens;
+    std::vector<Comment> comments;
+};
+
+} // namespace icheck::lint
+
+#endif // ICHECK_LINT_TOKEN_HPP

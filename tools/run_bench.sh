@@ -17,6 +17,18 @@ out_json="${2:-${repo_root}/BENCH_parallel.json}"
 if [ ! -f "${build_dir}/CMakeCache.txt" ]; then
     cmake -B "${build_dir}" -S "${repo_root}"
 fi
+
+# Sanitizer instrumentation skews timings by 2-20x; numbers from such a
+# build must never land in a committed BENCH_*.json.
+sanitize="$(sed -n 's/^ICHECK_SANITIZE:[^=]*=//p' \
+    "${build_dir}/CMakeCache.txt")"
+if [ -n "${sanitize}" ]; then
+    echo "error: ${build_dir} was configured with" \
+        "ICHECK_SANITIZE=${sanitize}; refusing to record benchmark" \
+        "numbers from an instrumented build" >&2
+    exit 1
+fi
+
 cmake --build "${build_dir}" -t micro_parallel -j
 
 "${build_dir}/bench/micro_parallel" "${out_json}"
