@@ -50,6 +50,8 @@ runOnce(std::optional<check::Scheme> scheme, benchmark::State &state)
         sim::MachineConfig cfg;
         cfg.numCores = 4;
         cfg.schedSeed = 42;
+        // The native baseline models a stock machine: MHM fused off.
+        cfg.hashingArmed = scheme.has_value();
         sim::Machine machine(cfg);
         std::unique_ptr<check::Checker> checker;
         if (scheme.has_value()) {

@@ -15,18 +15,29 @@ L1Cache::L1Cache(const CacheConfig &config) : cfg(config)
                   "cache geometry does not divide evenly");
     numSets = num_lines / cfg.associativity;
     lines.resize(num_lines);
+    while ((std::size_t{1} << lineShift) < cfg.lineBytes)
+        ++lineShift;
+    setsArePow2 = (numSets & (numSets - 1)) == 0;
+    if (setsArePow2) {
+        while ((std::size_t{1} << setShift) < numSets)
+            ++setShift;
+    }
 }
 
 std::size_t
 L1Cache::setIndex(Addr paddr) const
 {
-    return (paddr / cfg.lineBytes) % numSets;
+    // One divide per simulated access is measurable; the usual power-of-two
+    // geometry reduces to shift/mask.
+    const Addr line = paddr >> lineShift;
+    return setsArePow2 ? (line & (numSets - 1)) : (line % numSets);
 }
 
 Addr
 L1Cache::tagOf(Addr paddr) const
 {
-    return paddr / cfg.lineBytes / numSets;
+    const Addr line = paddr >> lineShift;
+    return setsArePow2 ? (line >> setShift) : (line / numSets);
 }
 
 AccessResult

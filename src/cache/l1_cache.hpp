@@ -81,6 +81,12 @@ class L1Cache
 
     CacheConfig cfg;
     std::size_t numSets;
+    /** log2(lineBytes); line size is asserted to be a power of two. */
+    unsigned lineShift = 0;
+    /** log2(numSets) when numSets is a power of two, else 0 with
+     *  setsArePow2 false — setIndex/tagOf then fall back to divides. */
+    unsigned setShift = 0;
+    bool setsArePow2 = false;
     std::vector<Line> lines; ///< numSets * associativity, set-major.
     std::uint64_t stamp = 0;
     std::uint64_t nHits = 0;

@@ -26,27 +26,4 @@ WriteBuffer::pickIndex()
     ICHECK_PANIC("unknown DrainPolicy");
 }
 
-void
-WriteBuffer::push(const WriteBufferEntry &entry,
-                  const std::function<void(const WriteBufferEntry &)> &sink)
-{
-    if (entries.size() >= cap) {
-        const std::size_t idx = pickIndex();
-        sink(entries[idx]);
-        entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(idx));
-    }
-    entries.push_back(entry);
-}
-
-void
-WriteBuffer::drainAll(
-    const std::function<void(const WriteBufferEntry &)> &sink)
-{
-    while (!entries.empty()) {
-        const std::size_t idx = pickIndex();
-        sink(entries[idx]);
-        entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(idx));
-    }
-}
-
 } // namespace icheck::cache

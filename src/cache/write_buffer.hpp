@@ -19,7 +19,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 
 #include "hashing/state_hash.hpp"
 #include "support/rng.hpp"
@@ -96,14 +95,26 @@ class WriteBuffer
 
     /**
      * Enqueue a retired store; if the buffer is full, drains one entry
-     * first via @p sink.
+     * first via @p sink. The sink is a template so the per-store call in
+     * the simulator inlines instead of routing through a std::function.
      */
-    void push(const WriteBufferEntry &entry,
-              const std::function<void(const WriteBufferEntry &)> &sink);
+    template <typename Sink>
+    void
+    push(const WriteBufferEntry &entry, const Sink &sink)
+    {
+        if (entries.size() >= cap)
+            drainOne(sink);
+        entries.push_back(entry);
+    }
 
     /** Drain everything via @p sink in policy order. */
+    template <typename Sink>
     void
-    drainAll(const std::function<void(const WriteBufferEntry &)> &sink);
+    drainAll(const Sink &sink)
+    {
+        while (!entries.empty())
+            drainOne(sink);
+    }
 
     /** Buffered entry count. */
     std::size_t size() const { return entries.size(); }
@@ -111,6 +122,17 @@ class WriteBuffer
   private:
     /** Index of the next entry to drain under the current policy. */
     std::size_t pickIndex();
+
+    /** Pop the policy-selected entry and hand it to @p sink. */
+    template <typename Sink>
+    void
+    drainOne(const Sink &sink)
+    {
+        const std::size_t idx = pickIndex();
+        const WriteBufferEntry entry = entries[idx];
+        entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(idx));
+        sink(entry);
+    }
 
     std::size_t cap;
     DrainPolicy drainPolicy;

@@ -1,48 +1,31 @@
 #include "hashing/crc64.hpp"
 
-#include <array>
-
 namespace icheck::hashing
 {
-
-namespace
-{
-
-constexpr std::uint64_t polynomial = 0x42f0e1eba9ea3693ULL;
-
-std::array<std::uint64_t, 256>
-buildTable()
-{
-    std::array<std::uint64_t, 256> table{};
-    for (std::uint64_t i = 0; i < 256; ++i) {
-        std::uint64_t crc = i << 56;
-        for (int bit = 0; bit < 8; ++bit) {
-            if (crc & (1ULL << 63))
-                crc = (crc << 1) ^ polynomial;
-            else
-                crc <<= 1;
-        }
-        table[i] = crc;
-    }
-    return table;
-}
-
-} // namespace
-
-const std::uint64_t *
-Crc64::table()
-{
-    static const std::array<std::uint64_t, 256> tbl = buildTable();
-    return tbl.data();
-}
 
 std::uint64_t
 Crc64::compute(const void *data, std::size_t len, std::uint64_t seed)
 {
     const auto *bytes = static_cast<const std::uint8_t *>(data);
     std::uint64_t crc = seed;
-    for (std::size_t i = 0; i < len; ++i)
-        crc = feed(crc, bytes[i]);
+    // Slicing-by-8 main loop: one table-lookup fan-out per 8 bytes. The
+    // block is composed low-byte-first to match feed() consumption order.
+    while (len >= 8) {
+        const std::uint64_t word =
+            static_cast<std::uint64_t>(bytes[0]) |
+            static_cast<std::uint64_t>(bytes[1]) << 8 |
+            static_cast<std::uint64_t>(bytes[2]) << 16 |
+            static_cast<std::uint64_t>(bytes[3]) << 24 |
+            static_cast<std::uint64_t>(bytes[4]) << 32 |
+            static_cast<std::uint64_t>(bytes[5]) << 40 |
+            static_cast<std::uint64_t>(bytes[6]) << 48 |
+            static_cast<std::uint64_t>(bytes[7]) << 56;
+        crc = feedWordLe(crc, word);
+        bytes += 8;
+        len -= 8;
+    }
+    while (len-- > 0)
+        crc = feed(crc, *bytes++);
     return crc;
 }
 

@@ -6,13 +6,63 @@
  * Table-driven CRC-64/ECMA-182 (polynomial 0x42f0e1eba9ea3693), the "regular
  * hash function h (e.g., CRC)" the paper suggests for hashing individual
  * memory locations.
+ *
+ * The engine is slicing-by-8: eight derived lookup tables let `compute`
+ * absorb eight bytes per step with independent loads instead of an
+ * eight-deep feed dependency chain, while producing bit-identical results
+ * to the classic byte-at-a-time recurrence (asserted exhaustively by
+ * tests/hashing/test_equivalence.cpp against a tableless bitwise
+ * reference). All tables are built at compile time, so the hot path has no
+ * static-local initialization guard.
  */
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 
 namespace icheck::hashing
 {
+
+namespace detail
+{
+
+/** The CRC-64/ECMA-182 generator polynomial (MSB-first, non-reflected). */
+inline constexpr std::uint64_t crc64Polynomial = 0x42f0e1eba9ea3693ULL;
+
+/** Slicing tables: t[0] is the classic byte table; t[k] advances k zero
+ *  bytes further, so eight lookups absorb one aligned 8-byte block. */
+struct Crc64Tables
+{
+    std::uint64_t t[8][256];
+};
+
+consteval Crc64Tables
+buildCrc64Tables()
+{
+    Crc64Tables tables{};
+    for (std::uint64_t i = 0; i < 256; ++i) {
+        std::uint64_t crc = i << 56;
+        for (int bit = 0; bit < 8; ++bit) {
+            if (crc & (1ULL << 63))
+                crc = (crc << 1) ^ crc64Polynomial;
+            else
+                crc <<= 1;
+        }
+        tables.t[0][i] = crc;
+    }
+    for (int k = 1; k < 8; ++k) {
+        for (std::uint64_t i = 0; i < 256; ++i) {
+            const std::uint64_t prev = tables.t[k - 1][i];
+            tables.t[k][i] =
+                (prev << 8) ^ tables.t[0][(prev >> 56) & 0xff];
+        }
+    }
+    return tables;
+}
+
+inline constexpr Crc64Tables crc64Tables = buildCrc64Tables();
+
+} // namespace detail
 
 /**
  * Stateless CRC-64/ECMA-182 engine over byte spans.
@@ -28,12 +78,36 @@ class Crc64
     static std::uint64_t
     feed(std::uint64_t crc, std::uint8_t byte)
     {
-        return (crc << 8) ^ table()[((crc >> 56) ^ byte) & 0xff];
+        return (crc << 8) ^
+               detail::crc64Tables.t[0][((crc >> 56) ^ byte) & 0xff];
     }
 
-  private:
-    /** Lazily built 256-entry lookup table. */
-    static const std::uint64_t *table();
+    /**
+     * Absorb the 8-byte little-endian representation of @p word into
+     * @p crc in one slicing step — identical to eight feed() calls over
+     * the word's bytes, low byte first.
+     */
+    static std::uint64_t
+    feedWordLe(std::uint64_t crc, std::uint64_t word)
+    {
+        const auto &t = detail::crc64Tables.t;
+        // feed() consumes the low byte of word first; in the slicing
+        // identity the first-consumed byte pairs with the deepest table.
+        const std::uint64_t x[8] = {
+            (crc >> 56) ^ (word & 0xff),
+            (crc >> 48) ^ (word >> 8),
+            (crc >> 40) ^ (word >> 16),
+            (crc >> 32) ^ (word >> 24),
+            (crc >> 24) ^ (word >> 32),
+            (crc >> 16) ^ (word >> 40),
+            (crc >> 8) ^ (word >> 48),
+            crc ^ (word >> 56),
+        };
+        return t[7][x[0] & 0xff] ^ t[6][x[1] & 0xff] ^
+               t[5][x[2] & 0xff] ^ t[4][x[3] & 0xff] ^
+               t[3][x[4] & 0xff] ^ t[2][x[5] & 0xff] ^
+               t[1][x[6] & 0xff] ^ t[0][x[7] & 0xff];
+    }
 };
 
 } // namespace icheck::hashing

@@ -6,16 +6,90 @@
 namespace icheck::hashing
 {
 
+namespace
+{
+
+/**
+ * CRC of the seven high address bytes of a 9-byte (address, value) record.
+ * crcOfAddr(a) == T7[a & 0xff] ^ addrSuffixCrc(a >> 8); the suffix is
+ * constant across a run of addresses that share everything above the low
+ * byte, which is what lets hashSpan hoist it out of its inner loop.
+ */
+inline std::uint64_t
+addrSuffixCrc(std::uint64_t hi)
+{
+    const auto &t = detail::crc64Tables.t;
+    return t[6][hi & 0xff] ^ t[5][(hi >> 8) & 0xff] ^
+           t[4][(hi >> 16) & 0xff] ^ t[3][(hi >> 24) & 0xff] ^
+           t[2][(hi >> 32) & 0xff] ^ t[1][(hi >> 40) & 0xff] ^
+           t[0][(hi >> 48) & 0xff];
+}
+
+/** SplitMix64-style finalizer over the packed (address, value) word. */
+inline std::uint64_t
+mix64Pair(Addr addr, std::uint8_t value)
+{
+    std::uint64_t z = addr ^ (static_cast<std::uint64_t>(value) << 56)
+                           ^ 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+ModHash
+LocationHasher::hashSpan(Addr addr, const std::uint8_t *bytes,
+                         std::size_t len) const
+{
+    // Generic fold; concrete hashers override with batched versions that
+    // must stay bit-identical to this definition.
+    ModHash sum;
+    for (std::size_t i = 0; i < len; ++i)
+        sum += hashByte(addr + i, bytes[i]);
+    return sum;
+}
+
 ModHash
 Crc64LocationHasher::hashByte(Addr addr, std::uint8_t value) const
 {
     if (value == 0)
         return ModHash{};
-    std::uint8_t record[9];
-    for (int i = 0; i < 8; ++i)
-        record[i] = static_cast<std::uint8_t>(addr >> (8 * i));
-    record[8] = value;
-    return ModHash(Crc64::compute(record, sizeof(record)));
+    // CRC-64 of the 9-byte record (8-byte little-endian address, then the
+    // value byte): one slicing step for the address, one feed for the
+    // value.
+    const std::uint64_t addr_crc = Crc64::feedWordLe(0, addr);
+    return ModHash(Crc64::feed(addr_crc, value));
+}
+
+ModHash
+Crc64LocationHasher::hashSpan(Addr addr, const std::uint8_t *bytes,
+                              std::size_t len) const
+{
+    const auto &t = detail::crc64Tables.t;
+    ModHash sum;
+    std::size_t i = 0;
+    while (i < len) {
+        // All addresses in [base, base + chunk) share the bytes above the
+        // low one, so the CRC of those seven record bytes is loop
+        // invariant.
+        const Addr base = addr + i;
+        const std::uint64_t suffix = addrSuffixCrc(base >> 8);
+        const std::size_t low = base & 0xff;
+        std::size_t chunk = 0x100 - low;
+        if (chunk > len - i)
+            chunk = len - i;
+        for (std::size_t k = 0; k < chunk; ++k) {
+            const std::uint8_t value = bytes[i + k];
+            if (value == 0)
+                continue;
+            const std::uint64_t addr_crc = t[7][low + k] ^ suffix;
+            sum += ModHash((addr_crc << 8) ^
+                           t[0][((addr_crc >> 56) ^ value) & 0xff]);
+        }
+        i += chunk;
+    }
+    return sum;
 }
 
 ModHash
@@ -23,14 +97,22 @@ Mix64LocationHasher::hashByte(Addr addr, std::uint8_t value) const
 {
     if (value == 0)
         return ModHash{};
-    // Pack the pair and run a SplitMix64-style finalizer. The value byte is
-    // rotated into the high bits so that adjacent addresses with adjacent
-    // values do not collide structurally.
-    std::uint64_t z = addr ^ (static_cast<std::uint64_t>(value) << 56)
-                           ^ 0x9e3779b97f4a7c15ULL;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return ModHash(z ^ (z >> 31));
+    // The value byte is rotated into the high bits so that adjacent
+    // addresses with adjacent values do not collide structurally.
+    return ModHash(mix64Pair(addr, value));
+}
+
+ModHash
+Mix64LocationHasher::hashSpan(Addr addr, const std::uint8_t *bytes,
+                              std::size_t len) const
+{
+    // Same per-byte math, minus the per-byte virtual dispatch.
+    ModHash sum;
+    for (std::size_t i = 0; i < len; ++i) {
+        if (bytes[i] != 0)
+            sum += ModHash(mix64Pair(addr + i, bytes[i]));
+    }
+    return sum;
 }
 
 std::unique_ptr<LocationHasher>

@@ -22,6 +22,7 @@
  * workload.
  */
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -47,6 +48,15 @@ class LocationHasher
     /** Hash of one (address, byte value) pair. */
     virtual ModHash hashByte(Addr addr, std::uint8_t value) const = 0;
 
+    /**
+     * Batched form: the group sum of hashByte(addr + i, bytes[i]) for
+     * i in [0, len). One virtual call per store or span instead of one
+     * per byte; overrides must be bit-identical to the per-byte fold
+     * (tests/hashing/test_equivalence.cpp asserts this exhaustively).
+     */
+    virtual ModHash hashSpan(Addr addr, const std::uint8_t *bytes,
+                             std::size_t len) const;
+
     /** Human-readable implementation name. */
     virtual std::string name() const = 0;
 };
@@ -59,6 +69,8 @@ class Crc64LocationHasher : public LocationHasher
 {
   public:
     ModHash hashByte(Addr addr, std::uint8_t value) const override;
+    ModHash hashSpan(Addr addr, const std::uint8_t *bytes,
+                     std::size_t len) const override;
     std::string name() const override { return "crc64"; }
 };
 
@@ -71,6 +83,8 @@ class Mix64LocationHasher : public LocationHasher
 {
   public:
     ModHash hashByte(Addr addr, std::uint8_t value) const override;
+    ModHash hashSpan(Addr addr, const std::uint8_t *bytes,
+                     std::size_t len) const override;
     std::string name() const override { return "mix64"; }
 };
 

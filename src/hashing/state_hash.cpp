@@ -16,22 +16,18 @@ StateHasher::valueHash(Addr addr, std::uint64_t rawBits, unsigned width,
         ICHECK_ASSERT(width == fp_width, "FP store width mismatch");
         bits = roundFpBits(bits, fp_width, roundMode);
     }
-    ModHash sum;
-    for (unsigned i = 0; i < width; ++i) {
-        const auto byte = static_cast<std::uint8_t>(bits >> (8 * i));
-        sum += locHasher.hashByte(addr + i, byte);
-    }
-    return sum;
+    std::uint8_t bytes[8];
+    for (unsigned i = 0; i < width; ++i)
+        bytes[i] = static_cast<std::uint8_t>(bits >> (8 * i));
+    // One batched call per store instead of one virtual call per byte.
+    return locHasher.hashSpan(addr, bytes, width);
 }
 
 ModHash
 StateHasher::spanHash(Addr addr, const std::uint8_t *bytes,
                       std::size_t len) const
 {
-    ModHash sum;
-    for (std::size_t i = 0; i < len; ++i)
-        sum += locHasher.hashByte(addr + i, bytes[i]);
-    return sum;
+    return locHasher.hashSpan(addr, bytes, len);
 }
 
 } // namespace icheck::hashing

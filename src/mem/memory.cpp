@@ -1,5 +1,6 @@
 #include "mem/memory.hpp"
 
+#include <bit>
 #include <cstring>
 
 #include "support/logging.hpp"
@@ -7,42 +8,75 @@
 namespace icheck::mem
 {
 
-SparseMemory::Page &
-SparseMemory::pageFor(Addr addr)
+static_assert(pageSize % 8 == 0, "page-chunk word loops need 8 | pageSize");
+
+SparseMemory::Page *
+SparseMemory::findPage(Addr page_idx) const
 {
-    const Addr page_idx = addr / pageSize;
-    auto &slot = pages[page_idx];
-    if (!slot) {
-        slot = std::make_unique<Page>();
-        slot->fill(0);
-    }
-    return *slot;
+    CacheSlot &slot = cache[page_idx % cacheSlots];
+    if (slot.tag == page_idx)
+        return slot.page;
+    auto it = pages.find(page_idx);
+    if (it == pages.end())
+        return nullptr; // unmapped pages are not cached (reads stay free
+                        // of side effects and a later materialization
+                        // needs no invalidation)
+    slot.tag = page_idx;
+    slot.page = it->second.get();
+    return slot.page;
 }
 
-const SparseMemory::Page *
-SparseMemory::pageAt(Addr addr) const
+SparseMemory::Page &
+SparseMemory::ensurePage(Addr page_idx)
 {
-    auto it = pages.find(addr / pageSize);
-    return it == pages.end() ? nullptr : it->second.get();
+    CacheSlot &slot = cache[page_idx % cacheSlots];
+    if (slot.tag == page_idx)
+        return *slot.page;
+    auto &mapped = pages[page_idx];
+    if (!mapped) {
+        mapped = std::make_unique<Page>();
+        mapped->fill(0);
+    }
+    slot.tag = page_idx;
+    slot.page = mapped.get();
+    return *mapped;
 }
 
 std::uint8_t
 SparseMemory::readByte(Addr addr) const
 {
-    const Page *page = pageAt(addr);
+    const Page *page = findPage(addr / pageSize);
     return page ? (*page)[addr % pageSize] : 0;
 }
 
 void
 SparseMemory::writeByte(Addr addr, std::uint8_t value)
 {
-    pageFor(addr)[addr % pageSize] = value;
+    ensurePage(addr / pageSize)[addr % pageSize] = value;
 }
 
 std::uint64_t
 SparseMemory::readValue(Addr addr, unsigned width) const
 {
     ICHECK_ASSERT(width >= 1 && width <= 8, "bad read width");
+    const std::size_t off = addr % pageSize;
+    if (off + width <= pageSize) {
+        // Fast path: the whole value sits inside one page — one cached
+        // translation, one copy.
+        const Page *page = findPage(addr / pageSize);
+        if (page == nullptr)
+            return 0;
+        std::uint64_t bits = 0;
+        if constexpr (std::endian::native == std::endian::little) {
+            std::memcpy(&bits, page->data() + off, width);
+        } else {
+            for (unsigned i = 0; i < width; ++i)
+                bits |= static_cast<std::uint64_t>((*page)[off + i])
+                        << (8 * i);
+        }
+        return bits;
+    }
+    // Page-straddling access: per-byte fallback.
     std::uint64_t bits = 0;
     for (unsigned i = 0; i < width; ++i)
         bits |= static_cast<std::uint64_t>(readByte(addr + i)) << (8 * i);
@@ -53,6 +87,18 @@ void
 SparseMemory::writeValue(Addr addr, unsigned width, std::uint64_t bits)
 {
     ICHECK_ASSERT(width >= 1 && width <= 8, "bad write width");
+    const std::size_t off = addr % pageSize;
+    if (off + width <= pageSize) {
+        Page &page = ensurePage(addr / pageSize);
+        if constexpr (std::endian::native == std::endian::little) {
+            std::memcpy(page.data() + off, &bits, width);
+        } else {
+            for (unsigned i = 0; i < width; ++i)
+                page[off + i] =
+                    static_cast<std::uint8_t>(bits >> (8 * i));
+        }
+        return;
+    }
     for (unsigned i = 0; i < width; ++i)
         writeByte(addr + i, static_cast<std::uint8_t>(bits >> (8 * i)));
 }
@@ -60,15 +106,35 @@ SparseMemory::writeValue(Addr addr, unsigned width, std::uint64_t bits)
 void
 SparseMemory::readBytes(Addr addr, std::uint8_t *out, std::size_t len) const
 {
-    for (std::size_t i = 0; i < len; ++i)
-        out[i] = readByte(addr + i);
+    while (len > 0) {
+        const std::size_t off = addr % pageSize;
+        std::size_t chunk = pageSize - off;
+        if (chunk > len)
+            chunk = len;
+        const Page *page = findPage(addr / pageSize);
+        if (page != nullptr)
+            std::memcpy(out, page->data() + off, chunk);
+        else
+            std::memset(out, 0, chunk);
+        addr += chunk;
+        out += chunk;
+        len -= chunk;
+    }
 }
 
 void
 SparseMemory::writeBytes(Addr addr, const std::uint8_t *in, std::size_t len)
 {
-    for (std::size_t i = 0; i < len; ++i)
-        writeByte(addr + i, in[i]);
+    while (len > 0) {
+        const std::size_t off = addr % pageSize;
+        std::size_t chunk = pageSize - off;
+        if (chunk > len)
+            chunk = len;
+        std::memcpy(ensurePage(addr / pageSize).data() + off, in, chunk);
+        addr += chunk;
+        in += chunk;
+        len -= chunk;
+    }
 }
 
 SparseMemory
@@ -90,11 +156,23 @@ SparseMemory::diff(const SparseMemory &a, const SparseMemory &b,
     auto ia = a.pages.begin();
     auto ib = b.pages.begin();
     auto emit_page = [&](Addr page_idx, const Page *pa, const Page *pb) {
-        for (std::size_t off = 0; off < pageSize; ++off) {
-            const std::uint8_t va = pa ? (*pa)[off] : 0;
-            const std::uint8_t vb = pb ? (*pb)[off] : 0;
-            if (va != vb)
-                visit(page_idx * pageSize + off, va, vb);
+        // Compare a word at a time; only mismatching words fall back to
+        // the byte walk, preserving the exact visit order.
+        for (std::size_t off = 0; off < pageSize; off += 8) {
+            std::uint64_t wa = 0;
+            std::uint64_t wb = 0;
+            if (pa != nullptr)
+                std::memcpy(&wa, pa->data() + off, 8);
+            if (pb != nullptr)
+                std::memcpy(&wb, pb->data() + off, 8);
+            if (wa == wb)
+                continue;
+            for (std::size_t i = 0; i < 8; ++i) {
+                const std::uint8_t va = pa ? (*pa)[off + i] : 0;
+                const std::uint8_t vb = pb ? (*pb)[off + i] : 0;
+                if (va != vb)
+                    visit(page_idx * pageSize + off + i, va, vb);
+            }
         }
     };
     while (ia != a.pages.end() || ib != b.pages.end()) {

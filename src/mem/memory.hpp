@@ -9,6 +9,14 @@
  * array where unmapped bytes read as zero. Every simulated load and store
  * funnels through this class, which is the substitute for the Pin-observed
  * native address space of the paper's evaluation.
+ *
+ * Because this is the hottest layer of the whole simulator, page
+ * translation is cached: a small direct-mapped table short-circuits the
+ * page-map lookup, so an access that fits inside one page touches the
+ * std::map only on a cache miss instead of once per byte. Pages are never
+ * deallocated while a SparseMemory is alive, so cached page pointers can
+ * only go stale across a move — the move operations invalidate the
+ * source's cache.
  */
 
 #include <array>
@@ -41,6 +49,30 @@ inline constexpr Addr scratchBase = 0x6000'0000;
 class SparseMemory
 {
   public:
+    SparseMemory() = default;
+
+    SparseMemory(const SparseMemory &) = delete;
+    SparseMemory &operator=(const SparseMemory &) = delete;
+
+    /** Moves transfer the page map; the source's page cache would then
+     *  point at pages it no longer owns, so it is invalidated. */
+    SparseMemory(SparseMemory &&other) noexcept
+        : pages(std::move(other.pages)), cache(other.cache)
+    {
+        other.invalidateCache();
+    }
+
+    SparseMemory &
+    operator=(SparseMemory &&other) noexcept
+    {
+        if (this != &other) {
+            pages = std::move(other.pages);
+            cache = other.cache;
+            other.invalidateCache();
+        }
+        return *this;
+    }
+
     /** Read one byte. */
     std::uint8_t readByte(Addr addr) const;
 
@@ -79,13 +111,35 @@ class SparseMemory
   private:
     using Page = std::array<std::uint8_t, pageSize>;
 
-    /** Page holding @p addr, materializing it if absent. */
-    Page &pageFor(Addr addr);
+    /** Tag value no real page index reaches (would need a 2^76 space). */
+    static constexpr Addr noTag = ~Addr{0};
 
-    /** Page holding @p addr or nullptr if unmapped. */
-    const Page *pageAt(Addr addr) const;
+    /** Direct-mapped page-translation cache size (power of two). */
+    static constexpr std::size_t cacheSlots = 64;
+
+    struct CacheSlot
+    {
+        Addr tag = noTag;     ///< Page index, or noTag while empty.
+        Page *page = nullptr; ///< Materialized page for that index.
+    };
+
+    /** Page @p page_idx if materialized (cache-accelerated), else null. */
+    Page *findPage(Addr page_idx) const;
+
+    /** Page @p page_idx, materializing it zero-filled if absent. */
+    Page &ensurePage(Addr page_idx);
+
+    void
+    invalidateCache() const
+    {
+        for (CacheSlot &slot : cache)
+            slot = CacheSlot{};
+    }
 
     std::map<Addr, std::unique_ptr<Page>> pages;
+
+    /** Translation cache; mutable so reads can fill it. */
+    mutable std::array<CacheSlot, cacheSlots> cache{};
 };
 
 } // namespace icheck::mem

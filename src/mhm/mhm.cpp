@@ -7,7 +7,8 @@ namespace icheck::mhm
 
 Mhm::Mhm(const hashing::LocationHasher &hasher,
          hashing::FpRoundMode fp_mode)
-    : locHasher(hasher), fpMode(fp_mode)
+    : roundedPipeline(hasher, fp_mode),
+      rawPipeline(hasher, hashing::FpRoundMode::none())
 {}
 
 void
@@ -30,9 +31,8 @@ hashing::ModHash
 Mhm::hashValue(Addr addr, std::uint64_t bits, unsigned width,
                hashing::ValueClass cls) const
 {
-    const hashing::FpRoundMode effective =
-        fpRoundingOn ? fpMode : hashing::FpRoundMode::none();
-    const hashing::StateHasher pipeline(locHasher, effective);
+    const hashing::StateHasher &pipeline =
+        fpRoundingOn ? roundedPipeline : rawPipeline;
     return pipeline.valueHash(addr, bits, width, cls);
 }
 
@@ -94,7 +94,9 @@ ClusteredMhm::accumulate(hashing::ModHash delta)
     switch (policy) {
       case DispatchPolicy::RoundRobin:
         idx = nextCluster;
-        nextCluster = (nextCluster + 1) % partials.size();
+        // Compare-based wrap: the integer divide in `% clusters` is the
+        // single most expensive instruction on this path.
+        nextCluster = idx + 1 == partials.size() ? 0 : idx + 1;
         break;
       case DispatchPolicy::Random:
         idx = static_cast<std::size_t>(rng.below(partials.size()));

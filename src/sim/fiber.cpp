@@ -1,0 +1,157 @@
+#include "sim/fiber.hpp"
+
+#include "support/logging.hpp"
+
+#if !ICHECK_FIBER_THREADS && defined(__SANITIZE_ADDRESS__)
+#include <sanitizer/common_interface_defs.h>
+#define ICHECK_FIBER_ASAN 1
+#else
+#define ICHECK_FIBER_ASAN 0
+#endif
+
+namespace icheck::sim
+{
+
+#if ICHECK_FIBER_THREADS
+
+SimFiber::~SimFiber()
+{
+    ICHECK_ASSERT(!host.joinable(),
+                  "SimFiber destroyed without join()");
+}
+
+void
+SimFiber::start(std::function<void()> body)
+{
+    ICHECK_ASSERT(!entry, "SimFiber started twice");
+    entry = std::move(body);
+    host = std::thread([this] {
+        runSem.acquire();
+        entry();
+        done = true;
+        doneSem.release();
+    });
+}
+
+void
+SimFiber::resume()
+{
+    ICHECK_ASSERT(entry && !done, "resume of an unstarted/finished fiber");
+    runSem.release();
+    doneSem.acquire();
+}
+
+void
+SimFiber::yield()
+{
+    doneSem.release();
+    runSem.acquire();
+}
+
+void
+SimFiber::join()
+{
+    if (!host.joinable())
+        return;
+    if (!done)
+        runSem.release(); // wake a parked body so it can exit
+    host.join();
+}
+
+#else // ucontext implementation
+
+SimFiber::~SimFiber() = default;
+
+void
+SimFiber::trampoline(unsigned hi, unsigned lo)
+{
+    auto *fiber = reinterpret_cast<SimFiber *>(
+        (static_cast<std::uintptr_t>(hi) << 32) |
+        static_cast<std::uintptr_t>(lo));
+    fiber->bodyMain();
+    // Returning resumes uc_link (the scheduler-side context saved by the
+    // resume() that ran this slice).
+}
+
+void
+SimFiber::bodyMain()
+{
+#if ICHECK_FIBER_ASAN
+    // First entry onto this stack: tell ASan where we came from so the
+    // switch back is annotated with real bounds.
+    __sanitizer_finish_switch_fiber(nullptr, &parentStackBottom,
+                                    &parentStackSize);
+#endif
+    entry();
+    done = true;
+#if ICHECK_FIBER_ASAN
+    // This stack dies now (uc_link return): null fake_stack_save tells
+    // ASan to destroy its fake stack instead of preserving it.
+    __sanitizer_start_switch_fiber(nullptr, parentStackBottom,
+                                   parentStackSize);
+#endif
+}
+
+void
+SimFiber::start(std::function<void()> body)
+{
+    ICHECK_ASSERT(!entry, "SimFiber started twice");
+    entry = std::move(body);
+}
+
+void
+SimFiber::resume()
+{
+    ICHECK_ASSERT(entry && !done, "resume of an unstarted/finished fiber");
+    if (!started) {
+        started = true;
+        // Uninitialized on purpose: only the pages the body actually
+        // touches get faulted in, so a Machine with many mostly-idle
+        // fibers does not pay for megabytes of zero-fill.
+        stack = std::make_unique_for_overwrite<std::uint8_t[]>(stackBytes);
+        const int got = getcontext(&self);
+        ICHECK_ASSERT(got == 0, "getcontext failed");
+        self.uc_stack.ss_sp = stack.get();
+        self.uc_stack.ss_size = stackBytes;
+        self.uc_link = &ret;
+        const auto ptr = reinterpret_cast<std::uintptr_t>(this);
+        makecontext(&self, reinterpret_cast<void (*)()>(&trampoline), 2,
+                    static_cast<unsigned>(ptr >> 32),
+                    static_cast<unsigned>(ptr & 0xffffffffu));
+    }
+#if ICHECK_FIBER_ASAN
+    void *fakeStack = nullptr;
+    __sanitizer_start_switch_fiber(&fakeStack, stack.get(), stackBytes);
+#endif
+    const int swapped = swapcontext(&ret, &self);
+    ICHECK_ASSERT(swapped == 0, "swapcontext failed");
+#if ICHECK_FIBER_ASAN
+    __sanitizer_finish_switch_fiber(fakeStack, nullptr, nullptr);
+#endif
+}
+
+void
+SimFiber::yield()
+{
+#if ICHECK_FIBER_ASAN
+    void *fakeStack = nullptr;
+    __sanitizer_start_switch_fiber(&fakeStack, parentStackBottom,
+                                   parentStackSize);
+#endif
+    const int swapped = swapcontext(&self, &ret);
+    ICHECK_ASSERT(swapped == 0, "swapcontext failed");
+#if ICHECK_FIBER_ASAN
+    __sanitizer_finish_switch_fiber(fakeStack, nullptr, nullptr);
+#endif
+}
+
+void
+SimFiber::join()
+{
+    // Nothing to release: an unfinished fiber's stack and context die
+    // with the object, and a parked one is simply never resumed again.
+}
+
+#endif
+
+} // namespace icheck::sim

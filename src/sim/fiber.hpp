@@ -1,0 +1,127 @@
+#ifndef ICHECK_SIM_FIBER_HPP
+#define ICHECK_SIM_FIBER_HPP
+
+/**
+ * @file
+ * The control-transfer primitive under the serializing scheduler.
+ *
+ * A SimFiber runs one simulated thread's body and hands control back and
+ * forth with the scheduler: resume() runs the body until its next yield()
+ * (or until it returns), yield() parks it until the next resume(). Exactly
+ * one side executes at a time, so the mechanism is invisible to simulation
+ * semantics — every run produces bit-identical events and hashes no matter
+ * how the handoff is implemented.
+ *
+ * Two implementations exist behind this interface:
+ *
+ *  - user-level contexts (ucontext): a cooperative switch costs a few
+ *    hundred nanoseconds, which matters because the scheduler switches
+ *    every quantum (~100 simulated accesses). Under AddressSanitizer the
+ *    switches carry the sanitizer fiber annotations.
+ *  - host threads + semaphore handoff: the original mechanism, kept for
+ *    ThreadSanitizer builds (TSan models the semaphores natively but has
+ *    no stable story for ucontext stacks). A semaphore round trip costs
+ *    microseconds, so this path is for checking, not for throughput.
+ */
+
+#include <cstddef>
+#include <functional>
+
+#if defined(__SANITIZE_THREAD__)
+#define ICHECK_FIBER_THREADS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ICHECK_FIBER_THREADS 1
+#else
+#define ICHECK_FIBER_THREADS 0
+#endif
+#else
+#define ICHECK_FIBER_THREADS 0
+#endif
+
+#if ICHECK_FIBER_THREADS
+#include <semaphore>
+#include <thread>
+#else
+#include <ucontext.h>
+
+#include <cstdint>
+#include <memory>
+#endif
+
+namespace icheck::sim
+{
+
+/**
+ * One suspendable simulated-thread body. See file comment.
+ */
+class SimFiber
+{
+  public:
+    SimFiber() = default;
+    ~SimFiber();
+
+    SimFiber(const SimFiber &) = delete;
+    SimFiber &operator=(const SimFiber &) = delete;
+
+    /**
+     * Bind the body. It does not run until the first resume(); a body
+     * that is never resumed simply never executes.
+     */
+    void start(std::function<void()> body);
+
+    /**
+     * Run the body until its next yield() or until it returns. Must be
+     * called from the scheduler side.
+     */
+    void resume();
+
+    /**
+     * Park the body and return control to the resume() that started this
+     * slice. Must be called from inside the body.
+     */
+    void yield();
+
+    /** True once the body has returned. */
+    bool finished() const { return done; }
+
+    /**
+     * Release whatever the implementation holds for a body that has
+     * returned (or was never resumed). For the host-thread
+     * implementation this wakes and joins the thread; the caller must
+     * first ensure the body will exit promptly when resumed (e.g. an
+     * abort flag it checks on wake).
+     */
+    void join();
+
+  private:
+    std::function<void()> entry;
+    bool done = false;
+
+#if ICHECK_FIBER_THREADS
+    std::thread host;
+    std::binary_semaphore runSem{0};
+    std::binary_semaphore doneSem{0};
+#else
+    static void trampoline(unsigned hi, unsigned lo);
+    void bodyMain();
+
+    /** Default fiber stack; simulated program bodies are shallow, and
+     *  sanitizer redzones inflate frames, so be generous. Allocated
+     *  uninitialized — zero-filling a megabyte per short-lived Machine
+     *  would dominate small runs. */
+    static constexpr std::size_t stackBytes = 1 << 20;
+
+    std::unique_ptr<std::uint8_t[]> stack;
+    ucontext_t self{};
+    ucontext_t ret{};
+    bool started = false;
+    /** Scheduler-side stack bounds captured on first entry (ASan). */
+    const void *parentStackBottom = nullptr;
+    std::size_t parentStackSize = 0;
+#endif
+};
+
+} // namespace icheck::sim
+
+#endif // ICHECK_SIM_FIBER_HPP

@@ -186,7 +186,8 @@ Machine::run(Program &prog)
     // Phase 2: arm hashing hardware.
     for (auto &core : cores) {
         core->mhm->reset();
-        core->mhm->startHashing();
+        if (cfg.hashingArmed)
+            core->mhm->startHashing();
         if (cfg.fpRoundingEnabled)
             core->mhm->startFpRounding();
         else
@@ -207,7 +208,7 @@ Machine::run(Program &prog)
         threads.push_back(std::make_unique<SimThread>(tid));
     threadsLive = true;
     for (ThreadId tid = 0; tid < n_threads; ++tid)
-        threads[tid]->host = std::thread([this, tid] { threadEntry(tid); });
+        threads[tid]->fiber.start([this, tid] { threadEntry(tid); });
 
     // Phase 4: the serializing scheduler loop.
     std::uint32_t alive = n_threads;
@@ -233,8 +234,7 @@ Machine::run(Program &prog)
         switchIn(tid, core_id);
         thread.quantum = static_cast<std::int64_t>(scheduler->quantum());
         thread.state = ThreadState::Running;
-        thread.runSem.release();
-        thread.doneSem.acquire();
+        thread.fiber.resume();
         switchOut(tid);
 
         switch (thread.lastReason) {
@@ -259,10 +259,8 @@ Machine::run(Program &prog)
         statistics.add("slices");
     }
 
-    for (auto &thread : threads) {
-        if (thread->host.joinable())
-            thread->host.join();
-    }
+    for (auto &thread : threads)
+        thread->fiber.join();
     threadsLive = false;
 
     // Phase 5: program-end determinism checkpoint.
@@ -284,7 +282,6 @@ void
 Machine::threadEntry(ThreadId tid)
 {
     SimThread &thread = *threads[tid];
-    thread.runSem.acquire();
     if (thread.aborting)
         return;
     try {
@@ -295,8 +292,8 @@ Machine::threadEntry(ThreadId tid)
     } catch (const AbortRun &) {
         return;
     }
+    // Returning ends the fiber's slice; the scheduler sees Finished.
     thread.lastReason = YieldReason::Finished;
-    thread.doneSem.release();
 }
 
 void
@@ -304,8 +301,7 @@ Machine::yieldCurrent(YieldReason reason)
 {
     SimThread &thread = cur();
     thread.lastReason = reason;
-    thread.doneSem.release();
-    thread.runSem.acquire();
+    thread.fiber.yield();
     if (thread.aborting)
         throw AbortRun{};
 }
@@ -339,7 +335,7 @@ Machine::switchIn(ThreadId tid, CoreId core_id)
     Core &core = *cores[core_id];
     // restore_hash: the thread's TH becomes architectural on this core.
     core.mhm->restoreHash(thread.savedTh);
-    if (thread.hashingPaused)
+    if (thread.hashingPaused || !cfg.hashingArmed)
         core.mhm->stopHashing();
     else
         core.mhm->startHashing();
@@ -388,14 +384,17 @@ std::uint64_t
 Machine::loadAccess(Addr addr, unsigned width)
 {
     Core &core = curCoreRef();
+    SimThread &thread = cur();
     const std::uint64_t bits = mem.readValue(addr, width);
     ++core.nativeInstrs;
-    ++cur().progress;
-    cur().loadHash = mixSig(cur().loadHash, bits);
+    ++thread.progress;
+    thread.loadHash = mixSig(thread.loadHash, bits);
     core.l1.access(cache::translate(addr), false);
-    LoadEvent event{curTid, core.id, addr, width};
-    for (auto *listener : listeners)
-        listener->onLoad(event);
+    if (!listeners.empty()) {
+        LoadEvent event{curTid, core.id, addr, width};
+        for (auto *listener : listeners)
+            listener->onLoad(event);
+    }
     step();
     return bits;
 }
@@ -405,13 +404,19 @@ Machine::storeAccess(Addr addr, unsigned width, std::uint64_t bits,
                      hashing::ValueClass cls, CostDomain domain)
 {
     Core &core = curCoreRef();
-    const std::uint64_t old_bits = mem.readValue(addr, width);
+    SimThread &thread = cur();
+    const bool hashed = cfg.hashingArmed && !thread.hashingPaused;
+    // The old value is consumed only by the MHM and by listeners. When the
+    // hash gate is closed and nobody listens, skip the read entirely —
+    // safe because write buffers are drained before the gate ever flips,
+    // so no hashed=true entry can be in flight while hashed is false here.
+    const bool observed = hashed || !listeners.empty();
+    const std::uint64_t old_bits =
+        observed ? mem.readValue(addr, width) : 0;
     mem.writeValue(addr, width, bits);
-
-    const bool hashed = !cur().hashingPaused;
     if (domain == CostDomain::Native) {
         ++core.nativeInstrs;
-        ++cur().progress;
+        ++thread.progress;
         cache::WriteBufferEntry entry;
         entry.paddr = cache::translate(addr);
         entry.vpn = addr / cache::vpnPageSize;
@@ -431,10 +436,12 @@ Machine::storeAccess(Addr addr, unsigned width, std::uint64_t bits,
         core.mhm->observeStore(addr, old_bits, bits, width, cls);
     }
 
-    StoreEvent event{curTid, core.id, addr, old_bits, bits,
-                     width, cls, domain, hashed};
-    for (auto *listener : listeners)
-        listener->onStore(event);
+    if (!listeners.empty()) {
+        StoreEvent event{curTid, core.id, addr, old_bits, bits,
+                         width, cls, domain, hashed};
+        for (auto *listener : listeners)
+            listener->onStore(event);
+    }
 
     if (domain == CostDomain::Native)
         step();
@@ -644,7 +651,7 @@ Machine::setThreadHashing(bool enabled)
     // Drain buffered (hashed) stores before flipping the gate so they
     // still reach the MHM with their original status.
     drainWriteBuffer(core);
-    if (enabled)
+    if (enabled && cfg.hashingArmed)
         core.mhm->startHashing();
     else
         core.mhm->stopHashing();
@@ -742,16 +749,19 @@ Machine::renderStats() const
 void
 Machine::abortAll()
 {
+    // Resume every unfinished body once with the abort flag set: a parked
+    // one throws AbortRun from its yield and unwinds its stack (running
+    // destructors of everything it holds); a never-started one sees the
+    // flag on entry and returns immediately.
     for (auto &thread : threads) {
-        if (thread->state != ThreadState::Finished) {
+        if (thread->state != ThreadState::Finished &&
+            !thread->fiber.finished()) {
             thread->aborting = true;
-            thread->runSem.release();
+            thread->fiber.resume();
         }
     }
-    for (auto &thread : threads) {
-        if (thread->host.joinable())
-            thread->host.join();
-    }
+    for (auto &thread : threads)
+        thread->fiber.join();
     threadsLive = false;
 }
 

@@ -65,6 +65,14 @@ struct MachineConfig
 
     /** Whether the FP round-off unit is active during this run. */
     bool fpRoundingEnabled = true;
+
+    /**
+     * Whether the MHM hardware is armed at all this run. False models a
+     * stock machine with the hashing hardware fused off: TH registers
+     * stay zero and drained stores skip the MHM entirely — the native
+     * baseline of the overhead benchmarks.
+     */
+    bool hashingArmed = true;
 };
 
 /** Kind of a determinism checkpoint (Section 2.3). */

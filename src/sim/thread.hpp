@@ -3,19 +3,18 @@
 
 /**
  * @file
- * A simulated thread: one host thread plus the handoff machinery that
- * guarantees exactly one simulated thread runs at a time.
+ * A simulated thread: a SimFiber running the thread body plus the
+ * per-thread architectural state.
  *
- * The scheduler releases a thread's run semaphore and blocks on its done
- * semaphore; the thread runs until it yields (quantum expiry, sync point,
- * blocking, or finish), releases done, and re-blocks on run. This makes
- * every run a pure function of the scheduler's decisions.
+ * The scheduler resumes a thread's fiber; the body runs until it yields
+ * (quantum expiry, sync point, blocking, or finish), which hands control
+ * back to the scheduler. Exactly one simulated thread runs at a time, so
+ * every run is a pure function of the scheduler's decisions.
  */
 
 #include <cstdint>
-#include <semaphore>
-#include <thread>
 
+#include "sim/fiber.hpp"
 #include "support/types.hpp"
 
 namespace icheck::sim
@@ -49,7 +48,7 @@ struct AbortRun
 };
 
 /**
- * Host-thread container and per-thread architectural state.
+ * Fiber container and per-thread architectural state.
  */
 class SimThread
 {
@@ -60,9 +59,7 @@ class SimThread
     SimThread &operator=(const SimThread &) = delete;
 
     ThreadId tid;
-    std::thread host;
-    std::binary_semaphore runSem{0};
-    std::binary_semaphore doneSem{0};
+    SimFiber fiber;
 
     ThreadState state = ThreadState::Ready;
     YieldReason lastReason = YieldReason::Sync;

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * The fast paths of SparseMemory: the page-translation cache, the aligned
+ * word path in readValue/writeValue, and the page-chunk bulk and diff
+ * loops. Every case is phrased so that the fast path and the per-byte
+ * definition must agree — boundary straddles, cache-slot aliasing, and
+ * moved-from instances are where they could diverge.
+ */
+
+#include <algorithm>
+#include <cstring>
+#include <gtest/gtest.h>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "mem/memory.hpp"
+#include "support/rng.hpp"
+
+namespace icheck::mem
+{
+namespace
+{
+
+TEST(SparseMemoryBulk, ValueAccessAgreesWithBytesAtEveryBoundaryOffset)
+{
+    // Slide every width across a page boundary so each access is exercised
+    // fully-inside, straddling, and fully-after.
+    SparseMemory mem;
+    SplitMix64 gen(0x1234);
+    const Addr boundary = heapBase + pageSize;
+    for (unsigned width = 1; width <= 8; ++width) {
+        for (unsigned back = 0; back <= 8; ++back) {
+            const Addr addr = boundary - back;
+            const std::uint64_t value =
+                width == 8 ? gen.next()
+                           : gen.next() & ((1ULL << (8 * width)) - 1);
+            mem.writeValue(addr, width, value);
+            EXPECT_EQ(mem.readValue(addr, width), value);
+            std::uint64_t composed = 0;
+            for (unsigned i = 0; i < width; ++i) {
+                composed |= static_cast<std::uint64_t>(
+                                mem.readByte(addr + i))
+                            << (8 * i);
+            }
+            EXPECT_EQ(composed, value)
+                << "width " << width << " back " << back;
+        }
+    }
+}
+
+TEST(SparseMemoryBulk, PerByteWritesVisibleToValueReads)
+{
+    SparseMemory mem;
+    const Addr addr = staticBase + pageSize - 3; // straddles
+    for (unsigned i = 0; i < 8; ++i)
+        mem.writeByte(addr + i, static_cast<std::uint8_t>(0xa0 + i));
+    EXPECT_EQ(mem.readValue(addr, 8), 0xa7a6a5a4a3a2a1a0ULL);
+}
+
+TEST(SparseMemoryBulk, BulkWriteReadStraddlesManyPages)
+{
+    SparseMemory mem;
+    const std::size_t len = 3 * pageSize + 123;
+    std::vector<std::uint8_t> data(len);
+    for (std::size_t i = 0; i < len; ++i)
+        data[i] = static_cast<std::uint8_t>(i * 13 + 7);
+    const Addr addr = heapBase + pageSize - 50; // unaligned start
+    mem.writeBytes(addr, data.data(), len);
+    std::vector<std::uint8_t> back(len);
+    mem.readBytes(addr, back.data(), len);
+    EXPECT_EQ(back, data);
+    // Spot-check against the per-byte view.
+    for (std::size_t i : {std::size_t{0}, std::size_t{49},
+                          std::size_t{50}, len - 1})
+        EXPECT_EQ(mem.readByte(addr + i), data[i]);
+}
+
+TEST(SparseMemoryBulk, BulkReadZeroFillsUnmappedGap)
+{
+    SparseMemory mem;
+    const Addr addr = heapBase;
+    mem.writeByte(addr, 0x11);                     // page 0 mapped
+    mem.writeByte(addr + 2 * pageSize, 0x22);      // page 2 mapped
+    std::vector<std::uint8_t> out(3 * pageSize, 0xcc);
+    mem.readBytes(addr, out.data(), out.size());
+    EXPECT_EQ(out[0], 0x11);
+    EXPECT_EQ(out[2 * pageSize], 0x22);
+    // The unmapped middle page must read as zero, not stale buffer bytes.
+    for (std::size_t i = pageSize; i < 2 * pageSize; ++i)
+        ASSERT_EQ(out[i], 0) << "offset " << i;
+    EXPECT_EQ(mem.mappedPages(), 2u) << "bulk read must not map pages";
+}
+
+TEST(SparseMemoryBulk, ZeroLengthBulkOpsAreNoOps)
+{
+    SparseMemory mem;
+    mem.writeBytes(heapBase, nullptr, 0);
+    mem.readBytes(heapBase, nullptr, 0);
+    EXPECT_EQ(mem.mappedPages(), 0u);
+}
+
+TEST(SparseMemoryBulk, CacheAliasingManyPagesStaysCoherent)
+{
+    // More distinct pages than cache slots, revisited in a pattern that
+    // forces every slot to be evicted and refilled repeatedly.
+    SparseMemory mem;
+    const std::size_t nPages = 300;
+    for (std::size_t p = 0; p < nPages; ++p) {
+        mem.writeValue(heapBase + p * pageSize, 8,
+                       0x1000 + static_cast<std::uint64_t>(p));
+    }
+    for (std::size_t round = 0; round < 3; ++round) {
+        for (std::size_t p = 0; p < nPages; ++p) {
+            const std::size_t q = (p * 67) % nPages; // stride through slots
+            EXPECT_EQ(mem.readValue(heapBase + q * pageSize, 8),
+                      0x1000 + static_cast<std::uint64_t>(q));
+        }
+    }
+}
+
+TEST(SparseMemoryBulk, InterleavedReadWriteThroughSamePage)
+{
+    // Reads prime the translation cache; subsequent writes through the
+    // cached page must be observed by subsequent reads and vice versa.
+    SparseMemory mem;
+    const Addr addr = scratchBase + 8;
+    EXPECT_EQ(mem.readValue(addr, 8), 0u); // cache the miss path
+    mem.writeValue(addr, 8, 0xdeadbeefcafef00dULL);
+    EXPECT_EQ(mem.readValue(addr, 8), 0xdeadbeefcafef00dULL);
+    mem.writeByte(addr + 3, 0x00);
+    EXPECT_EQ(mem.readValue(addr, 8), 0xdeadbeef00fef00dULL);
+}
+
+TEST(SparseMemoryBulk, MovedInstancesStayCorrect)
+{
+    SparseMemory mem;
+    mem.writeValue(heapBase, 8, 41);
+    EXPECT_EQ(mem.readValue(heapBase, 8), 41u); // warm the cache
+
+    SparseMemory moved(std::move(mem));
+    EXPECT_EQ(moved.readValue(heapBase, 8), 41u);
+
+    SparseMemory target;
+    target.writeValue(heapBase, 8, 99);
+    EXPECT_EQ(target.readValue(heapBase, 8), 99u); // warm target cache
+    target = std::move(moved);
+    EXPECT_EQ(target.readValue(heapBase, 8), 41u)
+        << "stale cached page from before the move-assign";
+
+    // The moved-from source must be safely reusable as an empty memory.
+    mem = SparseMemory{}; // NOLINT(bugprone-use-after-move)
+    EXPECT_EQ(mem.readValue(heapBase, 8), 0u);
+    mem.writeValue(heapBase, 8, 7);
+    EXPECT_EQ(mem.readValue(heapBase, 8), 7u);
+}
+
+TEST(SparseMemoryBulk, CloneAfterCachedReadsIsIndependent)
+{
+    SparseMemory mem;
+    mem.writeValue(heapBase, 8, 1);
+    EXPECT_EQ(mem.readValue(heapBase, 8), 1u); // warm the cache
+    SparseMemory copy = mem.clone();
+    copy.writeValue(heapBase, 8, 2);
+    EXPECT_EQ(mem.readValue(heapBase, 8), 1u);
+    EXPECT_EQ(copy.readValue(heapBase, 8), 2u);
+}
+
+TEST(SparseMemoryBulk, DiffFindsAdjacentBytesInsideOneWord)
+{
+    SparseMemory a, b;
+    a.writeValue(heapBase, 8, 0x1111111111111111ULL);
+    b.writeValue(heapBase, 8, 0x1111ff11ee111111ULL);
+    std::vector<std::tuple<Addr, std::uint8_t, std::uint8_t>> diffs;
+    SparseMemory::diff(a, b, [&](Addr addr, std::uint8_t va,
+                                 std::uint8_t vb) {
+        diffs.emplace_back(addr, va, vb);
+    });
+    ASSERT_EQ(diffs.size(), 2u);
+    EXPECT_EQ(diffs[0], std::make_tuple(Addr{heapBase + 3},
+                                        std::uint8_t{0x11},
+                                        std::uint8_t{0xee}));
+    EXPECT_EQ(diffs[1], std::make_tuple(Addr{heapBase + 5},
+                                        std::uint8_t{0x11},
+                                        std::uint8_t{0xff}));
+}
+
+TEST(SparseMemoryBulk, DiffVisitsIncreasingAddressesAcrossPages)
+{
+    SparseMemory a, b;
+    // Differences in the last word of one page and the first word of the
+    // next, plus a page present on only one side in between.
+    a.writeByte(heapBase + pageSize - 1, 0x01);
+    b.writeByte(heapBase + 2 * pageSize, 0x02);
+    a.writeByte(heapBase + 3 * pageSize + 7, 0x03);
+    b.writeByte(heapBase + 3 * pageSize + 7, 0x04);
+    std::vector<Addr> order;
+    SparseMemory::diff(a, b, [&](Addr addr, std::uint8_t,
+                                 std::uint8_t) {
+        order.push_back(addr);
+    });
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], heapBase + pageSize - 1);
+    EXPECT_EQ(order[1], heapBase + 2 * pageSize);
+    EXPECT_EQ(order[2], heapBase + 3 * pageSize + 7);
+    EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(SparseMemoryBulk, DiffIgnoresPagesMappedButEqual)
+{
+    SparseMemory a, b;
+    a.writeValue(heapBase, 8, 123); // mapped in a only, but...
+    a.writeValue(heapBase, 8, 0);   // ...all zero again
+    b.writeByte(heapBase + pageSize, 0); // mapped-but-zero page in b only
+    int count = 0;
+    SparseMemory::diff(a, b,
+                       [&](Addr, std::uint8_t, std::uint8_t) { ++count; });
+    EXPECT_EQ(count, 0) << "zeroed pages equal unmapped pages";
+}
+
+} // namespace
+} // namespace icheck::mem

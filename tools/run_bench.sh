@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
-# Build and run the campaign-throughput benchmark, leaving the
-# machine-readable perf trajectory in BENCH_parallel.json at the repo
-# root. Run from anywhere inside the repo:
+# Build and run the perf-trajectory benchmarks, leaving machine-readable
+# results at the repo root. Run from anywhere inside the repo:
 #
-#   tools/run_bench.sh [build-dir] [output.json]
+#   tools/run_bench.sh [build-dir] [parallel-output.json]
 #
-# The JSON records serial vs. pooled campaign runs/sec (plus speedup and
-# worker utilization per job count); comparing the file across commits
-# tracks the runtime subsystem's trajectory.
+# Two files are produced:
+#   BENCH_parallel.json — serial vs. pooled campaign runs/sec (plus
+#     speedup and worker utilization per job count).
+#   BENCH_hotpath.json  — access/hash hot-path throughput (store-hash
+#     loop, span hashing, memory access, machine end-to-end), compared
+#     against the pinned pre-optimization baseline in
+#     bench/baselines/hotpath_main.json.
+# Comparing the files across commits tracks each subsystem's trajectory.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -29,7 +33,11 @@ if [ -n "${sanitize}" ]; then
     exit 1
 fi
 
-cmake --build "${build_dir}" -t micro_parallel -j
+cmake --build "${build_dir}" -t micro_parallel micro_hotpath -j
 
 "${build_dir}/bench/micro_parallel" "${out_json}"
 echo "perf trajectory written to ${out_json}"
+
+"${build_dir}/bench/micro_hotpath" "${repo_root}/BENCH_hotpath.json" \
+    --baseline "${repo_root}/bench/baselines/hotpath_main.json"
+echo "hot-path trajectory written to ${repo_root}/BENCH_hotpath.json"
