@@ -3,134 +3,29 @@
 #include <algorithm>
 #include <memory>
 
-#include "race/vector_clock.hpp"
+#include "explore/hb_signature.hpp"
+#include "explore/snapshot_tree.hpp"
 #include "support/logging.hpp"
 
 namespace icheck::explore
 {
 
-namespace
+void
+ExploreStats::merge(const ExploreStats &other)
 {
-
-/** Mix one word into a running signature. */
-std::uint64_t
-mix(std::uint64_t acc, std::uint64_t word)
-{
-    std::uint64_t z = acc ^ (word + 0x9e3779b97f4a7c15ULL +
-                             (acc << 6) + (acc >> 2));
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    return z ^ (z >> 31);
+    checkpointing = checkpointing || other.checkpointing;
+    nodesExpanded += other.nodesExpanded;
+    checkpointHits += other.checkpointHits;
+    checkpointMisses += other.checkpointMisses;
+    checkpointsCreated += other.checkpointsCreated;
+    checkpointsEvicted += other.checkpointsEvicted;
+    checkpointBytes += other.checkpointBytes;
+    pagesCowCloned += other.pagesCowCloned;
+    decisionsRestored += other.decisionsRestored;
+    decisionsExecuted += other.decisionsExecuted;
+    sigInserts += other.sigInserts;
+    sigUnique += other.sigUnique;
 }
-
-/**
- * Order-independent happens-before signature: modular sum of per-event
- * hashes, each covering (kind, object, tid, vector timestamp). Events
- * include synchronization operations *and* memory accesses with their
- * conflict order (every access to a granule joins the granule's clock),
- * so two interleavings get the same signature exactly when they are
- * trace-equivalent. This is the approximation systematic testers like
- * CHESS prune with — and what state hashing improves on, because equal
- * states can arise from inequivalent traces (Figure 1).
- */
-class HbTracker : public sim::AccessListener
-{
-  public:
-    void
-    onStore(const sim::StoreEvent &event) override
-    {
-        if (event.domain != sim::CostDomain::Native)
-            return;
-        recordAccess(event.tid, event.addr & ~Addr{7}, /*is_write=*/true);
-    }
-
-    void
-    onLoad(const sim::LoadEvent &event) override
-    {
-        recordAccess(event.tid, event.addr & ~Addr{7},
-                     /*is_write=*/false);
-    }
-    void
-    onSync(const sim::SyncEvent &event) override
-    {
-        // Maintain the same clock algebra as the race detector.
-        race::VectorClock &now = clock(event.tid);
-        switch (event.kind) {
-          case sim::SyncKind::LockAcquire:
-            now.join(mutexClocks[event.object]);
-            break;
-          case sim::SyncKind::LockRelease:
-            mutexClocks[event.object].join(now);
-            now.tick(event.tid);
-            break;
-          case sim::SyncKind::BarrierArrive:
-            barrierGather[{event.object, event.epoch}].join(now);
-            break;
-          case sim::SyncKind::BarrierLeave:
-            now.join(barrierGather[{event.object, event.epoch}]);
-            now.tick(event.tid);
-            break;
-          case sim::SyncKind::CondSignal:
-            condClocks[event.object].join(now);
-            now.tick(event.tid);
-            break;
-          case sim::SyncKind::CondWait:
-            now.join(condClocks[event.object]);
-            break;
-          case sim::SyncKind::ThreadStart:
-          case sim::SyncKind::ThreadFinish:
-            break;
-        }
-        std::uint64_t event_hash = 0x51ULL;
-        event_hash = mix(event_hash, static_cast<std::uint64_t>(
-                                         event.kind));
-        event_hash = mix(event_hash, event.object);
-        event_hash = mix(event_hash, event.tid);
-        for (ThreadId t = 0; t < clocks.size(); ++t)
-            event_hash = mix(event_hash, now.get(t));
-        signature += event_hash; // order-independent accumulation
-    }
-
-    std::uint64_t value() const { return signature; }
-
-  private:
-    race::VectorClock &
-    clock(ThreadId tid)
-    {
-        if (tid >= clocks.size())
-            clocks.resize(tid + 1);
-        return clocks[tid];
-    }
-
-    void
-    recordAccess(ThreadId tid, Addr granule, bool is_write)
-    {
-        // Conservative conflict order: every access to a granule is
-        // ordered after all earlier accesses to it (read-read ordering is
-        // stronger than necessary — it only costs pruning power, never
-        // soundness).
-        race::VectorClock &now = clock(tid);
-        race::VectorClock &loc = granuleClocks[granule];
-        now.join(loc);
-        now.tick(tid);
-        loc.join(now);
-        std::uint64_t event_hash = is_write ? 0x77ULL : 0x72ULL;
-        event_hash = mix(event_hash, granule);
-        event_hash = mix(event_hash, tid);
-        for (ThreadId t = 0; t < clocks.size(); ++t)
-            event_hash = mix(event_hash, now.get(t));
-        signature += event_hash;
-    }
-
-    std::vector<race::VectorClock> clocks;
-    std::map<Addr, race::VectorClock> granuleClocks;
-    std::map<std::uint32_t, race::VectorClock> mutexClocks;
-    std::map<std::pair<std::uint32_t, std::uint64_t>, race::VectorClock>
-        barrierGather;
-    std::map<std::uint32_t, race::VectorClock> condClocks;
-    std::uint64_t signature = 0;
-};
-
-} // namespace
 
 namespace detail
 {
@@ -176,7 +71,7 @@ runOnce(const check::ProgramFactory &factory,
                         ? machine.stateSignature()
                         : hb.value();
                 for (ThreadId t : runnable)
-                    sig = mix(sig, t + 1);
+                    sig = mixSignature(sig, t + 1);
                 if (!insert_sig(sig))
                     obs.pruneAt = decision;
             }
@@ -265,9 +160,27 @@ explore(const check::ProgramFactory &factory,
     ExploreResult result;
     std::set<std::uint64_t> seen_sigs;
     const detail::SignatureInsert insert_sig =
-        [&seen_sigs](std::uint64_t sig) {
-            return seen_sigs.insert(sig).second;
+        [&seen_sigs, &result](std::uint64_t sig) {
+            ++result.stats.sigInserts;
+            const bool fresh = seen_sigs.insert(sig).second;
+            if (fresh)
+                ++result.stats.sigUnique;
+            return fresh;
         };
+
+    // Prefix sharing: one persistent machine plus a checkpoint tree,
+    // unless disabled or unsupported (TSan builds). Either way every
+    // observation — and therefore the whole ExploreResult minus stats —
+    // is byte-identical.
+    const bool warm = config.checkpoints && PrefixEngine::supported();
+    std::unique_ptr<CheckpointTree> tree;
+    std::unique_ptr<PrefixEngine> engine;
+    if (warm) {
+        tree = std::make_unique<CheckpointTree>(
+            config.checkpointBudgetBytes);
+        engine = std::make_unique<PrefixEngine>(
+            factory, machine_template, config, *tree, 0);
+    }
 
     std::vector<std::vector<std::uint32_t>> pending;
     pending.push_back({});
@@ -277,9 +190,15 @@ explore(const check::ProgramFactory &factory,
             pending.back());
         pending.pop_back();
 
-        const detail::RunObservation obs = detail::runOnce(
-            factory, machine_template, config, prefix, insert_sig);
+        const detail::RunObservation obs =
+            warm ? engine->runOnce(prefix, insert_sig)
+                 : detail::runOnce(factory, machine_template, config,
+                                   prefix, insert_sig);
         ++result.runsExecuted;
+        if (!warm) {
+            ++result.stats.nodesExpanded;
+            result.stats.decisionsExecuted += obs.fanout.size();
+        }
         result.finalStates.insert(obs.finalState);
 
         const detail::ExpandCounts counts = detail::expandBranches(
@@ -292,6 +211,12 @@ explore(const check::ProgramFactory &factory,
     }
 
     result.exhausted = pending.empty();
+    if (warm) {
+        result.stats.merge(engine->stats());
+        result.stats.checkpointsCreated = tree->createdCount();
+        result.stats.checkpointsEvicted = tree->evictedCount();
+        result.stats.checkpointBytes = tree->residentBytes();
+    }
     return result;
 }
 

@@ -66,6 +66,56 @@ struct ExploreConfig
      * whose preemption count would exceed the bound are skipped.
      */
     std::size_t maxPreemptions = ~std::size_t{0};
+
+    /**
+     * Share schedule prefixes between runs via machine checkpoints: a
+     * frontier node restores its deepest checkpointed ancestor and
+     * executes only the schedule suffix, instead of cold re-running the
+     * whole prefix. Pure performance — every observation, report, and
+     * hash is byte-identical with this on or off. Automatically falls
+     * back to cold re-execution in builds without fiber snapshots
+     * (TSan).
+     */
+    bool checkpoints = true;
+
+    /**
+     * Create a checkpoint at every Nth eligible scheduling decision.
+     * Creating one costs about as much as restoring one, so stride 1
+     * spends more on snapshots than they save; a hit loses at most
+     * N-1 decisions of re-execution, which stride 4 keeps negligible.
+     */
+    std::size_t checkpointStride = 4;
+
+    /**
+     * Byte budget of the checkpoint tree; least-recently-used entries
+     * are evicted past it (workers holding a lease on an evicted
+     * snapshot keep it alive until they finish with it).
+     */
+    std::size_t checkpointBudgetBytes = 64ULL << 20;
+};
+
+/**
+ * Observability counters of one exploration (the `icheck explore
+ * --stats` JSON footer). Pure metadata: excluded from any equivalence
+ * comparison between checkpointing and cold exploration.
+ */
+struct ExploreStats
+{
+    bool checkpointing = false; ///< Prefix sharing actually in effect.
+    std::uint64_t nodesExpanded = 0;      ///< Schedules executed.
+    std::uint64_t checkpointHits = 0;     ///< Runs resumed from an ancestor.
+    std::uint64_t checkpointMisses = 0;   ///< Runs replayed from the root.
+    std::uint64_t checkpointsCreated = 0;
+    std::uint64_t checkpointsEvicted = 0;
+    std::uint64_t checkpointBytes = 0;    ///< Resident tree bytes at end.
+    std::uint64_t pagesCowCloned = 0;     ///< COW page copies performed.
+    std::uint64_t decisionsRestored = 0;  ///< Decisions skipped via restore.
+    std::uint64_t decisionsExecuted = 0;  ///< Decisions actually simulated.
+    std::uint64_t sigInserts = 0;         ///< Seen-set insert attempts.
+    std::uint64_t sigUnique = 0;          ///< ... that were new.
+
+    /** Accumulate @p other (counter sums; flags OR). */
+    void merge(const ExploreStats &other);
 };
 
 /** Exploration outcome. */
@@ -76,6 +126,9 @@ struct ExploreResult
     std::uint64_t branchesBoundedOut = 0; ///< Skipped by the preemption bound.
     bool exhausted = false; ///< True if the full tree was covered.
     std::set<HashWord> finalStates;
+
+    /** Observability counters (not part of the exploration outcome). */
+    ExploreStats stats;
 };
 
 /**

@@ -1,0 +1,345 @@
+#include "explore/snapshot_tree.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace icheck::explore
+{
+
+// ---------------------------------------------------------------------------
+// CheckpointTree
+
+CheckpointTree::CheckpointTree(std::size_t budget_bytes)
+    : shardBudget(std::max<std::size_t>(budget_bytes / numShards, 1))
+{}
+
+std::uint64_t
+CheckpointTree::hashPrefix(std::size_t owner, const std::uint32_t *choices,
+                           std::size_t count)
+{
+    std::uint64_t h = mixSignature(0x1c5eedULL, owner + 1);
+    for (std::size_t i = 0; i < count; ++i)
+        h = mixSignature(h, choices[i] + 1ULL);
+    return h;
+}
+
+void
+CheckpointTree::evictFor(Shard &shard, std::size_t need,
+                         std::size_t shard_budget)
+{
+    while (!shard.entries.empty() &&
+           shard.bytesResident + need > shard_budget) {
+        auto victim = shard.entries.begin();
+        for (auto it = shard.entries.begin(); it != shard.entries.end();
+             ++it) {
+            if (it->second->lastUse < victim->second->lastUse)
+                victim = it;
+        }
+        shard.bytesResident -= std::min(shard.bytesResident,
+                                        victim->second->bytes);
+        ++shard.evicted;
+        // Dropping the map's shared_ptr: a worker holding a lease keeps
+        // the entry (and its snapshot) alive until it finishes with it.
+        shard.entries.erase(victim);
+    }
+}
+
+void
+CheckpointTree::insert(CheckpointEntry entry)
+{
+    const std::uint64_t key =
+        hashPrefix(entry.owner, entry.chosen.data(), entry.chosen.size());
+    const std::uint64_t stamp =
+        useClock.fetch_add(1, std::memory_order_relaxed) + 1;
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+        if (it->second->owner == entry.owner &&
+            it->second->chosen == entry.chosen) {
+            it->second->lastUse = stamp; // already resident; refresh
+            return;
+        }
+        // Key collision with a different prefix: replace (lookups verify
+        // the exact history, so keeping just one is merely a cache miss
+        // for the displaced prefix).
+        shard.bytesResident -= std::min(shard.bytesResident,
+                                        it->second->bytes);
+        ++shard.evicted;
+        shard.entries.erase(it);
+    }
+    evictFor(shard, entry.bytes, shardBudget);
+    entry.lastUse = stamp;
+    shard.bytesResident += entry.bytes;
+    ++shard.created;
+    shard.entries.emplace(
+        key, std::make_shared<CheckpointEntry>(std::move(entry)));
+}
+
+std::shared_ptr<const CheckpointEntry>
+CheckpointTree::deepestAncestor(std::size_t owner,
+                                const std::vector<std::uint32_t> &prefix)
+{
+    // Rolling hashes of every prefix length, built front to back, then
+    // probed deepest first. Length 0 is excluded: the root snapshot is
+    // pinned by the engine, never stored in the tree.
+    std::vector<std::uint64_t> keys(prefix.size() + 1);
+    std::uint64_t h = mixSignature(0x1c5eedULL, owner + 1);
+    keys[0] = h;
+    for (std::size_t i = 0; i < prefix.size(); ++i) {
+        h = mixSignature(h, prefix[i] + 1ULL);
+        keys[i + 1] = h;
+    }
+    for (std::size_t len = prefix.size(); len >= 1; --len) {
+        Shard &shard = shardFor(keys[len]);
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto it = shard.entries.find(keys[len]);
+        if (it == shard.entries.end())
+            continue;
+        const std::shared_ptr<CheckpointEntry> &entry = it->second;
+        if (entry->owner != owner || entry->chosen.size() != len ||
+            !std::equal(entry->chosen.begin(), entry->chosen.end(),
+                        prefix.begin())) {
+            continue; // hash collision; treat as absent
+        }
+        entry->lastUse =
+            useClock.fetch_add(1, std::memory_order_relaxed) + 1;
+        return entry;
+    }
+    return nullptr;
+}
+
+bool
+CheckpointTree::contains(std::size_t owner,
+                         const std::vector<std::uint32_t> &prefix)
+{
+    return containsKeyed(hashPrefix(owner, prefix.data(), prefix.size()),
+                         owner, prefix);
+}
+
+bool
+CheckpointTree::containsKeyed(std::uint64_t key, std::size_t owner,
+                              const std::vector<std::uint32_t> &prefix)
+{
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    return it != shard.entries.end() && it->second->owner == owner &&
+           it->second->chosen == prefix;
+}
+
+std::uint64_t
+CheckpointTree::createdCount() const
+{
+    std::uint64_t total = 0;
+    for (const Shard &shard : shards) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        total += shard.created;
+    }
+    return total;
+}
+
+std::uint64_t
+CheckpointTree::evictedCount() const
+{
+    std::uint64_t total = 0;
+    for (const Shard &shard : shards) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        total += shard.evicted;
+    }
+    return total;
+}
+
+std::uint64_t
+CheckpointTree::residentBytes() const
+{
+    std::uint64_t total = 0;
+    for (const Shard &shard : shards) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        total += shard.bytesResident;
+    }
+    return total;
+}
+
+// ---------------------------------------------------------------------------
+// PrefixEngine
+
+PrefixEngine::PrefixEngine(const check::ProgramFactory &factory,
+                           const sim::MachineConfig &machine_template,
+                           const ExploreConfig &config,
+                           CheckpointTree &checkpoint_tree,
+                           std::size_t owner_id)
+    : cfg(config), tree(checkpoint_tree), owner(owner_id),
+      program(factory()), machine(machine_template)
+{
+    ICHECK_ASSERT(supported(),
+                  "PrefixEngine requires fiber snapshots (use the cold "
+                  "explorer under TSan)");
+    counters.checkpointing = true;
+
+    machine.setDecisionHandler(
+        [this](const std::vector<ThreadId> &runnable) {
+            onDecision(runnable);
+        });
+    machine.setCheckpointHandler(
+        [this](const sim::CheckpointInfo &info) {
+            if (info.kind == sim::CheckpointKind::ProgramEnd) {
+                hashing::ModHash sum;
+                for (ThreadId t = 0; t < machine.numThreads(); ++t)
+                    sum += hashing::ModHash(machine.threadHash(t));
+                finalState = sum.raw();
+            }
+        });
+    if (cfg.prune == PruneMode::HappensBefore)
+        machine.addListener(&hbState);
+
+    // The scheduler must be injected before beginRun() (which otherwise
+    // installs a RandomScheduler); runOnce() replaces it per run.
+    const bool bounded = cfg.maxPreemptions != ~std::size_t{0};
+    auto seed_sched = std::make_unique<sim::ScriptedScheduler>(
+        std::vector<std::uint32_t>{}, cfg.quantum, bounded);
+    sched = seed_sched.get();
+    machine.setScheduler(std::move(seed_sched));
+
+    machine.beginRun(*program);
+    rootSnap = machine.checkpoint();
+    rootHb = hbState;
+}
+
+PrefixEngine::~PrefixEngine() = default;
+
+void
+PrefixEngine::onDecision(const std::vector<ThreadId> &runnable)
+{
+    const std::vector<std::uint32_t> &prefix = *curPrefix;
+
+    // Fold choices appended since the last decision into the rolling
+    // path hash (the handler runs before pick(), so the history holds
+    // exactly `decision` entries).
+    const std::vector<std::uint32_t> &executed = sched->chosenIndices();
+    while (pathHashLen < executed.size()) {
+        pathHash = mixSignature(pathHash, executed[pathHashLen] + 1ULL);
+        ++pathHashLen;
+    }
+
+    // Pruning-signature logic, identical to the cold path: decisions
+    // before prefix.size() were recorded by the ancestor run that spawned
+    // this prefix. Decisions before startDecision never execute at all —
+    // they were skipped by the checkpoint restore, which is exactly why
+    // the condition must use prefix.size(), not startDecision.
+    if (cfg.prune != PruneMode::None && decision >= prefix.size() &&
+        pruneAt == ~std::size_t{0}) {
+        std::uint64_t sig = cfg.prune == PruneMode::StateHash
+                                ? machine.stateSignature()
+                                : hbState.value();
+        for (ThreadId t : runnable)
+            sig = mixSignature(sig, t + 1);
+        if (!(*curInsert)(sig))
+            pruneAt = decision;
+    }
+
+    // Checkpoint creation. Eligible decisions: past the (pinned) root,
+    // within the branching depth, actually branchy (forced moves add no
+    // reachable prefix keys), on the stride, and not beyond a pruned
+    // decision (expansion never emits prefixes past pruneAt, so deeper
+    // checkpoints on this path could never be hit).
+    if (decision >= 1 && runnable.size() > 1 &&
+        decision < cfg.maxDepth && decision < pruneAt &&
+        (cfg.checkpointStride <= 1 ||
+         decision % cfg.checkpointStride == 0) &&
+        !tree.containsKeyed(pathHash, owner, executed)) {
+        CheckpointEntry entry;
+        entry.owner = owner;
+        entry.fanout = sched->decisionFanout();
+        entry.chosen = sched->chosenIndices();
+        entry.prevIdx = sched->previousIndices();
+        entry.lastPick = sched->lastPicked();
+        entry.snap = machine.checkpoint();
+        if (cfg.prune == PruneMode::HappensBefore)
+            entry.hb = std::make_shared<HbTracker>(hbState);
+        entry.bytes = entry.snap->bytes() +
+                      entry.chosen.size() * 16 + sizeof(CheckpointEntry);
+        tree.insert(std::move(entry));
+    }
+
+    ++decision;
+}
+
+detail::RunObservation
+PrefixEngine::runOnce(const std::vector<std::uint32_t> &prefix,
+                      const detail::SignatureInsert &insert_sig)
+{
+    const bool bounded = cfg.maxPreemptions != ~std::size_t{0};
+    auto fresh = std::make_unique<sim::ScriptedScheduler>(
+        std::vector<std::uint32_t>(prefix), cfg.quantum, bounded);
+    sched = fresh.get();
+
+    const std::shared_ptr<const CheckpointEntry> anc =
+        tree.deepestAncestor(owner, prefix);
+    if (anc) {
+        // The lease (anc) keeps the snapshot alive even if the tree
+        // evicts the entry while we restore.
+        sched->resumeAt(anc->fanout, anc->chosen, anc->prevIdx,
+                        anc->lastPick);
+        machine.restore(*anc->snap);
+        if (cfg.prune == PruneMode::HappensBefore) {
+            ICHECK_ASSERT(anc->hb != nullptr,
+                          "checkpoint without HB state under HB pruning");
+            hbState = *anc->hb;
+        }
+        startDecision = anc->depth();
+        ++counters.checkpointHits;
+    } else {
+        machine.restore(*rootSnap);
+        if (cfg.prune == PruneMode::HappensBefore)
+            hbState = rootHb;
+        startDecision = 0;
+        ++counters.checkpointMisses;
+    }
+    machine.setScheduler(std::move(fresh));
+
+    decision = startDecision;
+    pruneAt = ~std::size_t{0};
+    curPrefix = &prefix;
+    curInsert = &insert_sig;
+    // Seed the rolling path hash from the restored choice history; the
+    // per-decision folds in onDecision() keep it current from here.
+    pathHash = CheckpointTree::hashPrefix(
+        owner, sched->chosenIndices().data(),
+        sched->chosenIndices().size());
+    pathHashLen = sched->chosenIndices().size();
+    counters.decisionsRestored += startDecision;
+
+    machine.finishRun();
+
+    detail::RunObservation obs;
+    obs.fanout = sched->decisionFanout();
+    obs.path = sched->chosenIndices();
+    obs.prevIdx = sched->previousIndices();
+    obs.pruneAt = pruneAt;
+    obs.finalState = finalState;
+    obs.preemptionsBefore.resize(obs.fanout.size() + 1, 0);
+    for (std::size_t d = 0; d < obs.fanout.size(); ++d) {
+        const bool preempted =
+            obs.prevIdx[d] >= 0 &&
+            obs.path[d] != static_cast<std::uint32_t>(obs.prevIdx[d]);
+        obs.preemptionsBefore[d + 1] =
+            obs.preemptionsBefore[d] + (preempted ? 1 : 0);
+    }
+
+    counters.decisionsExecuted += obs.fanout.size() - startDecision;
+    ++counters.nodesExpanded;
+    curPrefix = nullptr;
+    curInsert = nullptr;
+    return obs;
+}
+
+const ExploreStats &
+PrefixEngine::stats()
+{
+    counters.pagesCowCloned = machine.memory().cowClonedPages();
+    return counters;
+}
+
+} // namespace icheck::explore

@@ -131,6 +131,30 @@ DeterministicAllocator::findHistorical(Addr addr) const
     return nullptr;
 }
 
+DeterministicAllocator::State
+DeterministicAllocator::saveState() const
+{
+    State state;
+    state.bump = bump;
+    state.allocSeqTotal = allocSeqTotal;
+    state.siteSeq = siteSeq;
+    state.freeLists = freeLists;
+    state.blocks = blocks;
+    state.bytesLive = bytesLive;
+    return state;
+}
+
+void
+DeterministicAllocator::restoreState(const State &state)
+{
+    bump = state.bump;
+    allocSeqTotal = state.allocSeqTotal;
+    siteSeq = state.siteSeq;
+    freeLists = state.freeLists;
+    blocks = state.blocks;
+    bytesLive = state.bytesLive;
+}
+
 std::vector<const Block *>
 DeterministicAllocator::liveBlocks() const
 {

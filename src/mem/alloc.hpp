@@ -132,6 +132,28 @@ class DeterministicAllocator
 
     Mode mode() const { return allocMode; }
 
+    /**
+     * Complete value state of the allocator for machine checkpoints:
+     * everything except the replay-log reference and the mode, which are
+     * identity, not state. TypeRefs inside blocks are shared, immutable
+     * descriptors, so the copy is cheap and aliasing them is safe.
+     */
+    struct State
+    {
+        Addr bump = heapBase;
+        std::uint64_t allocSeqTotal = 0;
+        std::map<std::string, std::uint32_t> siteSeq;
+        std::map<std::size_t, std::vector<Addr>> freeLists;
+        std::map<Addr, Block> blocks;
+        std::size_t bytesLive = 0;
+    };
+
+    /** Capture the allocator's value state (checkpoint). */
+    State saveState() const;
+
+    /** Rewind the allocator to @p state (same log and mode required). */
+    void restoreState(const State &state);
+
   private:
     Addr takeAddress(const std::string &site, std::uint32_t seq,
                      std::size_t size);

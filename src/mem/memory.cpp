@@ -10,7 +10,7 @@ namespace icheck::mem
 
 static_assert(pageSize % 8 == 0, "page-chunk word loops need 8 | pageSize");
 
-SparseMemory::Page *
+const SparseMemory::Page *
 SparseMemory::findPage(Addr page_idx) const
 {
     CacheSlot &slot = cache[page_idx % cacheSlots];
@@ -23,22 +23,31 @@ SparseMemory::findPage(Addr page_idx) const
                         // needs no invalidation)
     slot.tag = page_idx;
     slot.page = it->second.get();
+    // A read may cache write permission too when the page is exclusive;
+    // any later sharing event demotes it.
+    slot.writable = it->second.use_count() == 1;
     return slot.page;
 }
 
 SparseMemory::Page &
-SparseMemory::ensurePage(Addr page_idx)
+SparseMemory::ensureWritablePage(Addr page_idx)
 {
     CacheSlot &slot = cache[page_idx % cacheSlots];
-    if (slot.tag == page_idx)
+    if (slot.tag == page_idx && slot.writable)
         return *slot.page;
-    auto &mapped = pages[page_idx];
+    PageRef &mapped = pages[page_idx];
     if (!mapped) {
-        mapped = std::make_unique<Page>();
+        mapped = std::make_shared<Page>();
         mapped->fill(0);
+    } else if (mapped.use_count() > 1) {
+        // Copy-on-write: the page is shared with a fork; give this image
+        // its own copy before mutating.
+        mapped = std::make_shared<Page>(*mapped);
+        ++cowCloneCount;
     }
     slot.tag = page_idx;
     slot.page = mapped.get();
+    slot.writable = true;
     return *mapped;
 }
 
@@ -52,7 +61,7 @@ SparseMemory::readByte(Addr addr) const
 void
 SparseMemory::writeByte(Addr addr, std::uint8_t value)
 {
-    ensurePage(addr / pageSize)[addr % pageSize] = value;
+    ensureWritablePage(addr / pageSize)[addr % pageSize] = value;
 }
 
 std::uint64_t
@@ -89,7 +98,7 @@ SparseMemory::writeValue(Addr addr, unsigned width, std::uint64_t bits)
     ICHECK_ASSERT(width >= 1 && width <= 8, "bad write width");
     const std::size_t off = addr % pageSize;
     if (off + width <= pageSize) {
-        Page &page = ensurePage(addr / pageSize);
+        Page &page = ensureWritablePage(addr / pageSize);
         if constexpr (std::endian::native == std::endian::little) {
             std::memcpy(page.data() + off, &bits, width);
         } else {
@@ -130,7 +139,8 @@ SparseMemory::writeBytes(Addr addr, const std::uint8_t *in, std::size_t len)
         std::size_t chunk = pageSize - off;
         if (chunk > len)
             chunk = len;
-        std::memcpy(ensurePage(addr / pageSize).data() + off, in, chunk);
+        std::memcpy(ensureWritablePage(addr / pageSize).data() + off, in,
+                    chunk);
         addr += chunk;
         in += chunk;
         len -= chunk;
@@ -138,13 +148,31 @@ SparseMemory::writeBytes(Addr addr, const std::uint8_t *in, std::size_t len)
 }
 
 SparseMemory
+SparseMemory::fork()
+{
+    SparseMemory child;
+    child.pages = pages; // O(mapped pages) shared_ptr copies
+    // Every page is shared now; cached translations stay valid but their
+    // write permission does not.
+    demoteCacheWrites();
+    ++forkCount;
+    return child;
+}
+
+void
+SparseMemory::restoreFrom(const SparseMemory &source)
+{
+    pages = source.pages;
+    source.demoteCacheWrites();
+    invalidateCache();
+}
+
+SparseMemory
 SparseMemory::clone() const
 {
     SparseMemory copy;
-    for (const auto &[idx, page] : pages) {
-        auto dup = std::make_unique<Page>(*page);
-        copy.pages.emplace(idx, std::move(dup));
-    }
+    for (const auto &[idx, page] : pages)
+        copy.pages.emplace(idx, std::make_shared<Page>(*page));
     return copy;
 }
 
@@ -184,7 +212,11 @@ SparseMemory::diff(const SparseMemory &a, const SparseMemory &b,
             emit_page(ib->first, nullptr, ib->second.get());
             ++ib;
         } else {
-            emit_page(ia->first, ia->second.get(), ib->second.get());
+            // Physically shared pages (COW ancestry) are identical by
+            // construction: skip the compare without emitting anything,
+            // which preserves the visit order.
+            if (ia->second != ib->second)
+                emit_page(ia->first, ia->second.get(), ib->second.get());
             ++ia;
             ++ib;
         }

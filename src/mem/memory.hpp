@@ -13,10 +13,17 @@
  * Because this is the hottest layer of the whole simulator, page
  * translation is cached: a small direct-mapped table short-circuits the
  * page-map lookup, so an access that fits inside one page touches the
- * std::map only on a cache miss instead of once per byte. Pages are never
- * deallocated while a SparseMemory is alive, so cached page pointers can
- * only go stale across a move — the move operations invalidate the
- * source's cache.
+ * std::map only on a cache miss instead of once per byte.
+ *
+ * Pages are refcounted and immutable-while-shared, which makes forking the
+ * whole image O(mapped pages) pointer copies: fork() shares every page
+ * with the child, and the first write to a shared page clones it
+ * (copy-on-write). The translation cache therefore tracks *write*
+ * permission per slot: a slot is writable only while its page is
+ * exclusively owned, and every sharing event (fork, restore) demotes the
+ * affected caches. Cached page pointers can additionally go stale across a
+ * move — the move operations invalidate the source's cache. Each
+ * demotion/invalidation bumps a version counter that tests can observe.
  */
 
 #include <array>
@@ -57,7 +64,9 @@ class SparseMemory
     /** Moves transfer the page map; the source's page cache would then
      *  point at pages it no longer owns, so it is invalidated. */
     SparseMemory(SparseMemory &&other) noexcept
-        : pages(std::move(other.pages)), cache(other.cache)
+        : pages(std::move(other.pages)), cache(other.cache),
+          cowCloneCount(other.cowCloneCount),
+          forkCount(other.forkCount), version(other.version)
     {
         other.invalidateCache();
     }
@@ -68,6 +77,9 @@ class SparseMemory
         if (this != &other) {
             pages = std::move(other.pages);
             cache = other.cache;
+            cowCloneCount = other.cowCloneCount;
+            forkCount = other.forkCount;
+            version = other.version;
             other.invalidateCache();
         }
         return *this;
@@ -97,12 +109,43 @@ class SparseMemory
     /** Number of materialized pages. */
     std::size_t mappedPages() const { return pages.size(); }
 
+    /**
+     * Copy-on-write fork: the result shares every page with this image,
+     * in O(mapped pages) pointer copies. Either side's next write to a
+     * shared page clones that page first, so the two images diverge
+     * independently. Forking demotes this image's cached write
+     * permissions (its pages just became shared).
+     */
+    SparseMemory fork();
+
+    /**
+     * Replace this image's contents with a copy-on-write fork of
+     * @p source (checkpoint restore). Existing pages are released; the
+     * translation cache is invalidated; @p source's cached write
+     * permissions are demoted.
+     */
+    void restoreFrom(const SparseMemory &source);
+
     /** Deep-copy the full image (used by the bug-localization tool). */
     SparseMemory clone() const;
 
+    /** Pages cloned by copy-on-write writes so far (monotone). */
+    std::uint64_t cowClonedPages() const { return cowCloneCount; }
+
+    /** fork() calls performed so far (monotone). */
+    std::uint64_t forks() const { return forkCount; }
+
+    /**
+     * Translation-cache generation: bumped whenever cached translations
+     * are invalidated or demoted (fork, restore, move). Tests assert on
+     * it; no simulation semantics depend on it.
+     */
+    std::uint64_t cacheVersion() const { return version; }
+
     /**
      * Visit every address whose byte differs between @p a and @p b, in
-     * increasing address order.
+     * increasing address order. Pages physically shared between the two
+     * images (COW fork ancestry) are skipped without comparison.
      */
     static void diff(const SparseMemory &a, const SparseMemory &b,
                      const std::function<void(Addr, std::uint8_t,
@@ -110,6 +153,7 @@ class SparseMemory
 
   private:
     using Page = std::array<std::uint8_t, pageSize>;
+    using PageRef = std::shared_ptr<Page>;
 
     /** Tag value no real page index reaches (would need a 2^76 space). */
     static constexpr Addr noTag = ~Addr{0};
@@ -121,25 +165,46 @@ class SparseMemory
     {
         Addr tag = noTag;     ///< Page index, or noTag while empty.
         Page *page = nullptr; ///< Materialized page for that index.
+        bool writable = false; ///< Page exclusively owned at fill time.
     };
 
     /** Page @p page_idx if materialized (cache-accelerated), else null. */
-    Page *findPage(Addr page_idx) const;
+    const Page *findPage(Addr page_idx) const;
 
-    /** Page @p page_idx, materializing it zero-filled if absent. */
-    Page &ensurePage(Addr page_idx);
+    /**
+     * Page @p page_idx, exclusive and safe to mutate: materializes it
+     * zero-filled if absent, clones it first if currently shared with a
+     * fork (the copy-on-write step).
+     */
+    Page &ensureWritablePage(Addr page_idx);
 
     void
     invalidateCache() const
     {
         for (CacheSlot &slot : cache)
             slot = CacheSlot{};
+        ++version;
     }
 
-    std::map<Addr, std::unique_ptr<Page>> pages;
+    /** Clear write permission from every cached translation (the pages
+     *  just became shared); the translations themselves stay valid. */
+    void
+    demoteCacheWrites() const
+    {
+        for (CacheSlot &slot : cache)
+            slot.writable = false;
+        ++version;
+    }
+
+    std::map<Addr, PageRef> pages;
 
     /** Translation cache; mutable so reads can fill it. */
     mutable std::array<CacheSlot, cacheSlots> cache{};
+
+    std::uint64_t cowCloneCount = 0;
+    std::uint64_t forkCount = 0;
+    /** Mutable: demotions happen on const sources of fork/restore. */
+    mutable std::uint64_t version = 0;
 };
 
 } // namespace icheck::mem

@@ -27,6 +27,28 @@ Mhm::reset()
     nBytes = 0;
 }
 
+MhmState
+Mhm::saveState() const
+{
+    MhmState state;
+    state.hashingOn = hashingOn;
+    state.fpRoundingOn = fpRoundingOn;
+    state.nStores = nStores;
+    state.nBytes = nBytes;
+    savePartials(state);
+    return state;
+}
+
+void
+Mhm::restoreState(const MhmState &state)
+{
+    hashingOn = state.hashingOn;
+    fpRoundingOn = state.fpRoundingOn;
+    nStores = state.nStores;
+    nBytes = state.nBytes;
+    loadPartials(state);
+}
+
 hashing::ModHash
 Mhm::hashValue(Addr addr, std::uint64_t bits, unsigned width,
                hashing::ValueClass cls) const
@@ -121,6 +143,27 @@ ClusteredMhm::loadState(hashing::ModHash value)
 {
     clearState();
     partials[0] = value;
+}
+
+void
+ClusteredMhm::savePartials(MhmState &out) const
+{
+    out.partials = partials;
+    out.opCounts = opCounts;
+    out.nextCluster = nextCluster;
+    out.dispatchRng = rng;
+}
+
+void
+ClusteredMhm::loadPartials(const MhmState &in)
+{
+    ICHECK_ASSERT(in.partials.size() == partials.size() &&
+                      in.opCounts.size() == opCounts.size(),
+                  "MhmState shape mismatch (clustered)");
+    partials = in.partials;
+    opCounts = in.opCounts;
+    nextCluster = in.nextCluster;
+    rng = in.dispatchRng;
 }
 
 std::unique_ptr<Mhm>

@@ -2,10 +2,12 @@
 
 #include <array>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <unordered_set>
 #include <vector>
 
+#include "explore/snapshot_tree.hpp"
 #include "runtime/parallel_driver.hpp"
 
 namespace icheck::runtime
@@ -56,20 +58,50 @@ void
 workerLoop(Frontier &frontier, ShardedSignatureSet &seen,
            const check::ProgramFactory &factory,
            const sim::MachineConfig &machine_template,
-           const explore::ExploreConfig &config)
+           const explore::ExploreConfig &config,
+           explore::CheckpointTree *tree, std::size_t worker_id)
 {
+    explore::ExploreStats local;
     const explore::detail::SignatureInsert insert_sig =
-        [&seen](std::uint64_t sig) { return seen.insert(sig); };
+        [&seen, &local](std::uint64_t sig) {
+            // icheck-lint: allow(C2): `local` is worker-private; merged
+            // into the shared result under frontier.mu by flush_stats.
+            ++local.sigInserts;
+            const bool fresh = seen.insert(sig);
+            if (fresh)
+                ++local.sigUnique;
+            return fresh;
+        };
+
+    // With a checkpoint tree, this worker drives a persistent machine
+    // whose snapshots it shares (keyed by worker id: snapshots are
+    // machine-affine, so workers never restore each other's).
+    std::unique_ptr<explore::PrefixEngine> engine;
+    if (tree != nullptr) {
+        engine = std::make_unique<explore::PrefixEngine>(
+            factory, machine_template, config, *tree, worker_id);
+    }
+
+    // Called with frontier.mu held, on every exit path.
+    const auto flush_stats = [&]() {
+        if (engine)
+            local.merge(engine->stats());
+        frontier.result.stats.merge(local);
+        local = explore::ExploreStats{};
+    };
 
     for (;;) {
         std::vector<std::uint32_t> prefix;
         {
             std::unique_lock<std::mutex> lock(frontier.mu);
             for (;;) {
-                if (frontier.done)
+                if (frontier.done) {
+                    flush_stats();
                     return;
+                }
                 if (frontier.claimed >= config.maxRuns) {
                     frontier.done = true;
+                    flush_stats();
                     frontier.cv.notify_all();
                     return;
                 }
@@ -83,6 +115,7 @@ workerLoop(Frontier &frontier, ShardedSignatureSet &seen,
                 if (frontier.inFlight == 0) {
                     // Nothing queued, nothing running: search complete.
                     frontier.done = true;
+                    flush_stats();
                     frontier.cv.notify_all();
                     return;
                 }
@@ -91,8 +124,13 @@ workerLoop(Frontier &frontier, ShardedSignatureSet &seen,
         }
 
         const explore::detail::RunObservation obs =
-            explore::detail::runOnce(factory, machine_template, config,
-                                     prefix, insert_sig);
+            engine ? engine->runOnce(prefix, insert_sig)
+                   : explore::detail::runOnce(factory, machine_template,
+                                              config, prefix, insert_sig);
+        if (!engine) {
+            ++local.nodesExpanded;
+            local.decisionsExecuted += obs.fanout.size();
+        }
         std::vector<std::vector<std::uint32_t>> children;
         const explore::detail::ExpandCounts counts =
             explore::detail::expandBranches(
@@ -130,12 +168,26 @@ exploreParallel(const check::ProgramFactory &factory,
     frontier.pending.push_back({});
     ShardedSignatureSet seen;
 
+    const bool warm =
+        config.checkpoints && explore::PrefixEngine::supported();
+    std::unique_ptr<explore::CheckpointTree> tree;
+    if (warm) {
+        tree = std::make_unique<explore::CheckpointTree>(
+            config.checkpointBudgetBytes);
+    }
+
     ThreadPool pool(static_cast<unsigned>(jobs));
-    pool.parallelFor(static_cast<std::size_t>(jobs), [&](std::size_t) {
-        workerLoop(frontier, seen, factory, machine_template, config);
+    pool.parallelFor(static_cast<std::size_t>(jobs), [&](std::size_t w) {
+        workerLoop(frontier, seen, factory, machine_template, config,
+                   tree.get(), w);
     });
 
     frontier.result.exhausted = frontier.pending.empty();
+    if (warm) {
+        frontier.result.stats.checkpointsCreated = tree->createdCount();
+        frontier.result.stats.checkpointsEvicted = tree->evictedCount();
+        frontier.result.stats.checkpointBytes = tree->residentBytes();
+    }
     return frontier.result;
 }
 

@@ -3,14 +3,64 @@
 #include "support/logging.hpp"
 
 #if !ICHECK_FIBER_THREADS && defined(__SANITIZE_ADDRESS__)
+#include <sanitizer/asan_interface.h>
 #include <sanitizer/common_interface_defs.h>
 #define ICHECK_FIBER_ASAN 1
 #else
 #define ICHECK_FIBER_ASAN 0
 #endif
 
+#if !ICHECK_FIBER_THREADS
+#include <cstring>
+#endif
+
 namespace icheck::sim
 {
+
+#if !ICHECK_FIBER_THREADS
+namespace
+{
+
+/**
+ * memcpy for stack images. Under ASan the parked stack carries poisoned
+ * redzones that a plain memcpy would trip over, so the copy helpers are
+ * exempted from instrumentation; restore() additionally unpoisons the
+ * whole stack buffer so the resurrected frames (whose redzone layout no
+ * longer matches the shadow state of the abandoned frames) do not raise
+ * false positives. The cost is reduced ASan precision *within* restored
+ * fiber stacks — documented in DESIGN.md §9.
+ */
+#if ICHECK_FIBER_ASAN
+__attribute__((no_sanitize("address")))
+#endif
+void
+copyStackBytes(void *dst, const void *src, std::size_t len)
+{
+    std::memcpy(dst, src, len);
+}
+
+/** Bytes below the saved stack pointer also captured: the System V ABI
+ *  red zone (128 bytes) plus margin for any deeper scratch use. */
+constexpr std::size_t stackRedzone = 512;
+
+/** Saved stack pointer of a parked context, or 0 when the architecture
+ *  is not recognized (the caller then images the whole stack). */
+std::uintptr_t
+contextSp(const ucontext_t &context)
+{
+#if defined(__x86_64__)
+    return static_cast<std::uintptr_t>(
+        context.uc_mcontext.gregs[REG_RSP]);
+#elif defined(__aarch64__)
+    return static_cast<std::uintptr_t>(context.uc_mcontext.sp);
+#else
+    (void)context;
+    return 0;
+#endif
+}
+
+} // namespace
+#endif // !ICHECK_FIBER_THREADS
 
 #if ICHECK_FIBER_THREADS
 
@@ -56,6 +106,26 @@ SimFiber::join()
     if (!done)
         runSem.release(); // wake a parked body so it can exit
     host.join();
+}
+
+bool
+SimFiber::snapshotSupported()
+{
+    return false;
+}
+
+FiberSnapshot
+SimFiber::snapshot() const
+{
+    ICHECK_PANIC("fiber snapshots are unavailable with host-thread "
+                 "fibers (TSan builds)");
+}
+
+void
+SimFiber::restore(const FiberSnapshot &)
+{
+    ICHECK_PANIC("fiber snapshots are unavailable with host-thread "
+                 "fibers (TSan builds)");
 }
 
 #else // ucontext implementation
@@ -107,8 +177,15 @@ SimFiber::resume()
         started = true;
         // Uninitialized on purpose: only the pages the body actually
         // touches get faulted in, so a Machine with many mostly-idle
-        // fibers does not pay for megabytes of zero-fill.
-        stack = std::make_unique_for_overwrite<std::uint8_t[]>(stackBytes);
+        // fibers does not pay for megabytes of zero-fill. The buffer is
+        // allocated once and never moves afterwards — even a restart
+        // after a checkpoint restore to the pre-start state reuses it,
+        // because outstanding FiberSnapshots hold images bound to this
+        // address.
+        if (!stack) {
+            stack = std::make_unique_for_overwrite<std::uint8_t[]>(
+                stackBytes);
+        }
         const int got = getcontext(&self);
         ICHECK_ASSERT(got == 0, "getcontext failed");
         self.uc_stack.ss_sp = stack.get();
@@ -150,6 +227,73 @@ SimFiber::join()
 {
     // Nothing to release: an unfinished fiber's stack and context die
     // with the object, and a parked one is simply never resumed again.
+}
+
+bool
+SimFiber::snapshotSupported()
+{
+    return true;
+}
+
+FiberSnapshot
+SimFiber::snapshot() const
+{
+    FiberSnapshot snap;
+    snap.started = started;
+    snap.done = done;
+    if (!started || done)
+        return snap; // no live frames: flags are the whole state
+    ICHECK_ASSERT(stack != nullptr, "started fiber without a stack");
+    snap.context = self;
+    snap.stackBase = stack.get();
+    // Image only the live region: [sp - redzone, stack top). The saved
+    // stack pointer comes from the context swapcontext() filled when the
+    // fiber parked; if the architecture is unrecognized, fall back to
+    // imaging the whole buffer (correct, just larger).
+    const auto base = reinterpret_cast<std::uintptr_t>(stack.get());
+    const std::uintptr_t top = base + stackBytes;
+    std::uintptr_t low = contextSp(self);
+    low = low >= base + stackRedzone ? low - stackRedzone : base;
+    if (low < base || low > top)
+        low = base;
+    snap.imageOffset = low - base;
+    snap.image.resize(top - low);
+    copyStackBytes(snap.image.data(),
+                   reinterpret_cast<const void *>(low), top - low);
+    return snap;
+}
+
+void
+SimFiber::restore(const FiberSnapshot &snap)
+{
+    ICHECK_ASSERT(entry, "restore of an unstarted SimFiber");
+    if (!snap.started || snap.done) {
+        // Pre-start or post-finish state: no frames to resurrect. A
+        // restored pre-start fiber re-runs makecontext on its next
+        // resume (on the same, preserved stack buffer).
+        started = snap.started;
+        done = snap.done;
+        return;
+    }
+    ICHECK_ASSERT(stack != nullptr && stack.get() == snap.stackBase,
+                  "fiber snapshot restored into a different fiber");
+    ICHECK_ASSERT(snap.imageOffset + snap.image.size() == stackBytes,
+                  "malformed fiber stack image");
+#if ICHECK_FIBER_ASAN
+    // The abandoned frames' redzone poisoning no longer describes the
+    // resurrected frames; clear it wholesale (see copyStackBytes).
+    __asan_unpoison_memory_region(stack.get(), stackBytes);
+#endif
+    copyStackBytes(stack.get() + snap.imageOffset, snap.image.data(),
+                   snap.image.size());
+    // The context is rewound by value. Its internal pointers stay valid
+    // because they refer to this object's own members (glibc points
+    // uc_mcontext.fpregs at the context's embedded FP save area, and
+    // uc_link at this->ret), whose addresses are stable for the life of
+    // the fiber.
+    self = snap.context;
+    started = true;
+    done = false;
 }
 
 #endif

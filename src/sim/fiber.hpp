@@ -25,7 +25,9 @@
  */
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <vector>
 
 #if defined(__SANITIZE_THREAD__)
 #define ICHECK_FIBER_THREADS 1
@@ -45,12 +47,51 @@
 #else
 #include <ucontext.h>
 
-#include <cstdint>
 #include <memory>
 #endif
 
 namespace icheck::sim
 {
+
+/**
+ * The captured execution state of one fiber: its saved machine context
+ * plus an image of the live portion of its stack. Machine-affine by
+ * construction — the image contains frame and context pointers into the
+ * fiber's own stack buffer, so a snapshot is only meaningful restored
+ * into the *same* SimFiber object it was taken from (whose stack buffer
+ * is never reallocated once created). Only parked fibers can be
+ * snapshotted: the scheduler side owns control, so the saved context is
+ * complete and stable.
+ *
+ * The host-thread implementation (TSan builds) cannot capture a stack it
+ * does not own; SimFiber::snapshotSupported() reports false there and
+ * callers fall back to cold re-execution.
+ */
+struct FiberSnapshot
+{
+    bool started = false;
+    bool done = false;
+#if !ICHECK_FIBER_THREADS
+    ucontext_t context{};
+    /** Identity of the stack the image belongs to (restore asserts it). */
+    const std::uint8_t *stackBase = nullptr;
+    /** Offset of the image's first byte within the stack buffer. */
+    std::size_t imageOffset = 0;
+    /** Live stack bytes: [stackBase+imageOffset, stackBase+stackBytes). */
+    std::vector<std::uint8_t> image;
+#endif
+
+    /** Approximate heap footprint, for checkpoint-cache budgeting. */
+    std::size_t
+    bytes() const
+    {
+#if ICHECK_FIBER_THREADS
+        return sizeof(*this);
+#else
+        return sizeof(*this) + image.capacity();
+#endif
+    }
+};
 
 /**
  * One suspendable simulated-thread body. See file comment.
@@ -93,6 +134,29 @@ class SimFiber
      * abort flag it checks on wake).
      */
     void join();
+
+    /**
+     * Whether snapshot()/restore() work in this build. False for the
+     * host-thread (TSan) implementation.
+     */
+    static bool snapshotSupported();
+
+    /**
+     * Capture the parked fiber's context and live stack. Must be called
+     * from the scheduler side (the fiber must not be running). See
+     * FiberSnapshot for the affinity contract.
+     */
+    FiberSnapshot snapshot() const;
+
+    /**
+     * Rewind this fiber to @p snap, which must have been taken from this
+     * same SimFiber. Whatever the fiber was doing is abandoned *without*
+     * unwinding: destructors of frames live at abandonment never run, so
+     * bodies that are snapshotted must keep only trivially-destructible
+     * state on the fiber stack (true of the simulated programs, whose
+     * real state lives in simulated memory).
+     */
+    void restore(const FiberSnapshot &snap);
 
   private:
     std::function<void()> entry;

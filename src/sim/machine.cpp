@@ -38,7 +38,8 @@ Machine::Machine(const MachineConfig &config, mem::ReplayLog *shared_log,
                  mem::DeterministicAllocator::Mode alloc_mode)
     : cfg(config),
       heap(shared_log ? *shared_log : privateLog, alloc_mode),
-      locHasher(hashing::makeLocationHasher(config.hasherKind))
+      locHasher(hashing::makeLocationHasher(config.hasherKind)),
+      usesPrivateLog(shared_log == nullptr)
 {
     ICHECK_ASSERT(cfg.numCores > 0, "machine needs at least one core");
     cores.reserve(cfg.numCores);
@@ -170,8 +171,8 @@ Machine::createCond()
     return static_cast<CondId>(conds.size() - 1);
 }
 
-RunResult
-Machine::run(Program &prog)
+void
+Machine::beginRun(Program &prog)
 {
     ICHECK_ASSERT(!ran, "a Machine executes exactly one run");
     ran = true;
@@ -209,16 +210,30 @@ Machine::run(Program &prog)
     threadsLive = true;
     for (ThreadId tid = 0; tid < n_threads; ++tid)
         threads[tid]->fiber.start([this, tid] { threadEntry(tid); });
+}
 
-    // Phase 4: the serializing scheduler loop.
-    std::uint32_t alive = n_threads;
+RunResult
+Machine::finishRun()
+{
+    ICHECK_ASSERT(ran && program != nullptr,
+                  "finishRun() before beginRun()");
+
+    // Phase 4: the serializing scheduler loop. Alive/runnable are derived
+    // from the thread states each iteration (not carried across
+    // iterations), so the loop resumes correctly from any restored
+    // mid-run state.
     std::vector<ThreadId> runnable;
-    while (alive > 0) {
+    for (;;) {
+        std::uint32_t alive = 0;
         runnable.clear();
         for (const auto &thread : threads) {
+            if (thread->state != ThreadState::Finished)
+                ++alive;
             if (thread->state == ThreadState::Ready)
                 runnable.push_back(thread->tid);
         }
+        if (alive == 0)
+            break;
         if (runnable.empty()) {
             abortAll();
             throw SimError("deadlock: no runnable thread (" +
@@ -253,7 +268,6 @@ Machine::run(Program &prog)
             break;
           case YieldReason::Finished:
             thread.state = ThreadState::Finished;
-            --alive;
             break;
         }
         statistics.add("slices");
@@ -276,6 +290,135 @@ Machine::run(Program &prog)
         result.storesHashed += core->mhm->storesHashed();
     }
     return result;
+}
+
+RunResult
+Machine::run(Program &prog)
+{
+    beginRun(prog);
+    return finishRun();
+}
+
+bool
+Machine::snapshotSupported()
+{
+    return SimFiber::snapshotSupported();
+}
+
+std::shared_ptr<const MachineSnapshot>
+Machine::checkpoint()
+{
+    ICHECK_ASSERT(snapshotSupported(),
+                  "checkpoint() in a build without fiber snapshots");
+    ICHECK_ASSERT(ran && curTid == invalidThreadId,
+                  "checkpoint() outside a quiescent point");
+    ICHECK_ASSERT(usesPrivateLog,
+                  "checkpoint() requires a private malloc-replay log");
+
+    auto snap = std::make_shared<MachineSnapshot>();
+    snap->mem = mem.fork();
+    snap->logState = privateLog;
+    snap->heapState = heap.saveState();
+
+    snap->coreStates.reserve(cores.size());
+    for (const auto &core : cores) {
+        MachineSnapshot::CoreState cs;
+        cs.nativeInstrs = core->nativeInstrs;
+        cs.overheadInstrs = core->overheadInstrs;
+        cs.l1 = core->l1;
+        cs.wb = core->wb;
+        cs.mhm = core->mhm->saveState();
+        cs.currentThread = core->currentThread;
+        snap->coreStates.push_back(std::move(cs));
+    }
+
+    snap->threadStates.reserve(threads.size());
+    std::size_t fiber_bytes = 0;
+    for (const auto &thread : threads) {
+        MachineSnapshot::ThreadSnap ts;
+        ts.state = thread->state;
+        ts.lastReason = thread->lastReason;
+        ts.hashingPaused = thread->hashingPaused;
+        ts.quantum = thread->quantum;
+        ts.savedTh = thread->savedTh;
+        ts.lastCore = thread->lastCore;
+        ts.randCalls = thread->randCalls;
+        ts.timeCalls = thread->timeCalls;
+        ts.progress = thread->progress;
+        ts.loadHash = thread->loadHash;
+        ts.fiber = thread->fiber.snapshot();
+        fiber_bytes += ts.fiber.bytes();
+        snap->threadStates.push_back(std::move(ts));
+    }
+
+    snap->mutexes = mutexes;
+    snap->barriers = barriers;
+    snap->conds = conds;
+    snap->outputBytes = outputBytes;
+    snap->statistics = statistics;
+    snap->checkpointIndex = checkpointIndex;
+
+    // Footprint estimate for cache budgeting: fiber images and output
+    // dominate; shared COW pages cost only their map entries until a
+    // write clones them, and the allocator tables are approximated per
+    // block.
+    snap->footprint = sizeof(MachineSnapshot) + fiber_bytes +
+                      snap->outputBytes.capacity() +
+                      mem.mappedPages() * 64 +
+                      snap->heapState.blocks.size() * 192;
+    return snap;
+}
+
+void
+Machine::restore(const MachineSnapshot &snap)
+{
+    ICHECK_ASSERT(ran && curTid == invalidThreadId,
+                  "restore() while a thread is running");
+    ICHECK_ASSERT(snap.coreStates.size() == cores.size() &&
+                      snap.threadStates.size() == threads.size(),
+                  "snapshot from a different machine shape");
+
+    mem.restoreFrom(snap.mem);
+    privateLog = snap.logState;
+    heap.restoreState(snap.heapState);
+
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+        const MachineSnapshot::CoreState &cs = snap.coreStates[i];
+        cores[i]->nativeInstrs = cs.nativeInstrs;
+        cores[i]->overheadInstrs = cs.overheadInstrs;
+        cores[i]->l1 = cs.l1;
+        cores[i]->wb = cs.wb;
+        cores[i]->mhm->restoreState(cs.mhm);
+        cores[i]->currentThread = cs.currentThread;
+    }
+
+    for (std::size_t i = 0; i < threads.size(); ++i) {
+        const MachineSnapshot::ThreadSnap &ts = snap.threadStates[i];
+        SimThread &thread = *threads[i];
+        thread.state = ts.state;
+        thread.lastReason = ts.lastReason;
+        thread.aborting = false;
+        thread.hashingPaused = ts.hashingPaused;
+        thread.quantum = ts.quantum;
+        thread.savedTh = ts.savedTh;
+        thread.lastCore = ts.lastCore;
+        thread.randCalls = ts.randCalls;
+        thread.timeCalls = ts.timeCalls;
+        thread.progress = ts.progress;
+        thread.loadHash = ts.loadHash;
+        thread.fiber.restore(ts.fiber);
+    }
+
+    mutexes = snap.mutexes;
+    barriers = snap.barriers;
+    conds = snap.conds;
+    outputBytes = snap.outputBytes;
+    statistics = snap.statistics;
+    checkpointIndex = snap.checkpointIndex;
+
+    curTid = invalidThreadId;
+    curCore = invalidCoreId;
+    threadsLive = true;
 }
 
 void

@@ -118,6 +118,73 @@ class SimError : public std::runtime_error
 
 class SetupCtx;
 class ThreadCtx;
+class Machine;
+
+/**
+ * The complete captured architectural state of a Machine at one scheduling
+ * decision: a copy-on-write fork of the memory image, the allocator and
+ * malloc-replay state, every core's microarchitecture (instruction
+ * counters, L1 tags, write buffer, MHM registers), every thread's
+ * architectural state plus its fiber stack image, the synchronization
+ * objects, and the run-level byproducts (output stream, statistics,
+ * checkpoint index).
+ *
+ * Snapshots are machine-affine: the fiber images inside them are bound to
+ * the stacks of the Machine that produced them, so a snapshot may only be
+ * restored into that same Machine (restore() asserts the shapes match and
+ * the fibers assert their stack identity). Produced by Machine::checkpoint()
+ * and consumed by Machine::restore(); the explorer's checkpoint tree holds
+ * them behind shared_ptr leases.
+ */
+class MachineSnapshot
+{
+  public:
+    MachineSnapshot() = default;
+
+    /** Approximate incremental heap footprint, for cache budgeting. */
+    std::size_t bytes() const { return footprint; }
+
+  private:
+    friend class Machine;
+
+    struct CoreState
+    {
+        InstCount nativeInstrs = 0;
+        InstCount overheadInstrs = 0;
+        cache::L1Cache l1;
+        cache::WriteBuffer wb;
+        mhm::MhmState mhm;
+        ThreadId currentThread = invalidThreadId;
+    };
+
+    struct ThreadSnap
+    {
+        ThreadState state = ThreadState::Ready;
+        YieldReason lastReason = YieldReason::Sync;
+        bool hashingPaused = false;
+        std::int64_t quantum = 0;
+        HashWord savedTh = 0;
+        CoreId lastCore = invalidCoreId;
+        std::uint64_t randCalls = 0;
+        std::uint64_t timeCalls = 0;
+        std::uint64_t progress = 0;
+        std::uint64_t loadHash = 0;
+        FiberSnapshot fiber;
+    };
+
+    mem::SparseMemory mem;
+    mem::ReplayLog logState;
+    mem::DeterministicAllocator::State heapState;
+    std::vector<CoreState> coreStates;
+    std::vector<ThreadSnap> threadStates;
+    std::vector<SimMutex> mutexes;
+    std::vector<SimBarrier> barriers;
+    std::vector<SimCond> conds;
+    std::vector<std::uint8_t> outputBytes;
+    StatGroup statistics;
+    std::uint64_t checkpointIndex = 0;
+    std::size_t footprint = 0;
+};
 
 /**
  * One simulated machine executing one run. See file comment.
@@ -174,6 +241,48 @@ class Machine
 
     /** Execute @p program to completion. May be called once. */
     RunResult run(Program &program);
+
+    /// @name Checkpoint/restore session API (prefix-sharing exploration).
+    ///
+    /// run() is equivalent to beginRun() + finishRun(). Splitting it lets
+    /// a caller that holds MachineSnapshots rewind the machine between
+    /// finishRun() calls: beginRun() once, then any number of
+    /// { [restore(snapshot);] finishRun() } rounds, each completing the
+    /// run from the machine's current (possibly restored) state. Every
+    /// such completion is bit-identical to a cold run that made the same
+    /// scheduling decisions — memory, hashes, output, statistics, and
+    /// reports all match byte for byte.
+    /// @{
+
+    /** Whether checkpoint()/restore() work in this build (false under the
+     *  host-thread fiber implementation used by TSan). */
+    static bool snapshotSupported();
+
+    /** Phases 1-3 of run(): setup, arming, thread spawn. Once per
+     *  Machine. */
+    void beginRun(Program &program);
+
+    /** Phase 4-5 of run(): drive the scheduler loop from the machine's
+     *  current state until every thread finishes, then fire the
+     *  program-end checkpoint and assemble the result. */
+    RunResult finishRun();
+
+    /**
+     * Capture the machine's complete architectural state. Only valid at a
+     * quiescent point — inside a decision handler or between finishRun()
+     * calls — when no thread is running and every write buffer has
+     * drained through switchOut(). Requires a private malloc-replay log
+     * (a shared log cannot be rewound without affecting other runs).
+     */
+    std::shared_ptr<const MachineSnapshot> checkpoint();
+
+    /**
+     * Rewind the machine to @p snap, which must have been produced by
+     * this Machine's checkpoint(). Only valid while no thread is running
+     * (between finishRun() calls or before the next decision executes).
+     */
+    void restore(const MachineSnapshot &snap);
+    /// @}
 
     /// @name Accessors for checkers and tools.
     /// @{
@@ -297,6 +406,9 @@ class Machine
     bool instrumentation = false;
     bool ran = false;
     bool threadsLive = false;
+    /** True when the malloc-replay log is this machine's own (checkpoint
+     *  precondition: a shared log cannot be rewound per machine). */
+    bool usesPrivateLog = true;
 
     std::vector<std::uint8_t> outputBytes;
     StatGroup statistics;

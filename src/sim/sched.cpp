@@ -110,4 +110,22 @@ ScriptedScheduler::quantum()
     return fixedQuantum;
 }
 
+void
+ScriptedScheduler::resumeAt(std::vector<std::uint32_t> fanout_prefix,
+                            std::vector<std::uint32_t> chosen_prefix,
+                            std::vector<std::int32_t> prev_prefix,
+                            ThreadId last_pick)
+{
+    ICHECK_ASSERT(fanout_prefix.size() == chosen_prefix.size() &&
+                      prev_prefix.size() == chosen_prefix.size(),
+                  "inconsistent decision-history prefix");
+    ICHECK_ASSERT(fanout.empty() && chosen.empty(),
+                  "resumeAt on a scheduler that already ran");
+    cursor = std::min(chosen_prefix.size(), choices.size());
+    fanout = std::move(fanout_prefix);
+    chosen = std::move(chosen_prefix);
+    prevIdx = std::move(prev_prefix);
+    lastPick = last_pick;
+}
+
 } // namespace icheck::sim

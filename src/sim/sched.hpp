@@ -132,6 +132,23 @@ class ScriptedScheduler : public Scheduler
         return prevIdx;
     }
 
+    /** Thread chosen at the most recent decision (preemption detection). */
+    ThreadId lastPicked() const { return lastPick; }
+
+    /**
+     * Prime the scheduler as if it had already replayed a prefix of
+     * @p chosen_prefix decisions (checkpoint restore): the recorded
+     * history is preloaded, the cursor skips past the prefix so the
+     * remaining scripted choices apply to the suffix, and the
+     * prefer-previous fallback resumes from @p last_pick. The three
+     * history vectors must all be @p chosen_prefix-sized views of the
+     * same decisions.
+     */
+    void resumeAt(std::vector<std::uint32_t> fanout_prefix,
+                  std::vector<std::uint32_t> chosen_prefix,
+                  std::vector<std::int32_t> prev_prefix,
+                  ThreadId last_pick);
+
   private:
     std::vector<std::uint32_t> choices;
     std::size_t cursor = 0;

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Replay edge cases: empty partial logs, logs longer than the run they
+ * replay, and hash-verified replay resumed from a restored machine
+ * checkpoint instead of a cold start.
+ */
+
+#include <gtest/gtest.h>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "explore/replay.hpp"
+#include "hashing/mod_hash.hpp"
+#include "sim/lambda_program.hpp"
+#include "sim/machine.hpp"
+#include "sim/sched.hpp"
+
+namespace icheck::explore
+{
+namespace
+{
+
+using sim::LambdaProgram;
+
+/** Racy two-thread increments; final state depends on the schedule. */
+check::ProgramFactory
+racyFactory()
+{
+    return [] {
+        return std::make_unique<LambdaProgram>(
+            "replay-edge-racy", 2,
+            [](sim::SetupCtx &ctx) {
+                const Addr g = ctx.global("G", mem::tInt64());
+                ctx.init<std::int64_t>(g, 2);
+            },
+            [](sim::ThreadCtx &ctx) {
+                const std::int64_t local = ctx.tid() == 0 ? 7 : 3;
+                for (int i = 0; i < 4; ++i) {
+                    const auto g =
+                        ctx.load<std::int64_t>(ctx.global("G"));
+                    ctx.store<std::int64_t>(ctx.global("G"),
+                                            g * 2 + local);
+                }
+            });
+    };
+}
+
+/** Disjoint per-thread slots: every schedule reaches the same state. */
+check::ProgramFactory
+deterministicFactory()
+{
+    return [] {
+        return std::make_unique<LambdaProgram>(
+            "replay-edge-det", 2,
+            [](sim::SetupCtx &ctx) {
+                ctx.global("slots", mem::tArray(mem::tInt64(), 2));
+            },
+            [](sim::ThreadCtx &ctx) {
+                const Addr mine = ctx.global("slots") + 8 * ctx.tid();
+                for (int i = 0; i < 4; ++i) {
+                    const auto v = ctx.load<std::int64_t>(mine);
+                    ctx.store<std::int64_t>(mine, v + ctx.tid() + 1);
+                }
+            });
+    };
+}
+
+sim::MachineConfig
+machineConfig()
+{
+    sim::MachineConfig cfg;
+    cfg.numCores = 2;
+    cfg.minQuantum = 2;
+    cfg.maxQuantum = 2; // fixed quantum: choices alone define a schedule
+    return cfg;
+}
+
+/** The hash recordRun() stores: modular sum of all thread hashes. */
+HashWord
+finalHash(const sim::Machine &machine)
+{
+    hashing::ModHash sum;
+    for (ThreadId t = 0; t < machine.numThreads(); ++t)
+        sum += hashing::ModHash(machine.threadHash(t));
+    return sum.raw();
+}
+
+TEST(ReplayEdge, EmptyPartialLogIsPureRandomSearch)
+{
+    const ScheduleLog log =
+        recordRun(deterministicFactory(), machineConfig(), /*seed=*/11);
+
+    // prefix_fraction 0 keeps nothing of the log: the search runs free,
+    // and must still verify via the recorded hash. The program is
+    // schedule-independent, so the very first attempt reproduces it.
+    const ReplaySearchResult result = searchReplay(
+        deterministicFactory(), machineConfig(), log,
+        /*prefix_fraction=*/0.0, /*max_attempts=*/4);
+    EXPECT_TRUE(result.reproduced);
+    EXPECT_EQ(result.attempts, 1);
+}
+
+TEST(ReplayEdge, LogWithNoChoicesReplaysRandomly)
+{
+    // A literally empty log (no decisions recorded at all) must not
+    // trip replay: every decision falls through to the seeded suffix.
+    ScheduleLog empty;
+    empty.finalStateHash = replayExact(deterministicFactory(),
+                                       machineConfig(), empty);
+
+    // For the deterministic program the reached hash matches any
+    // recorded run, making the empty log a valid (if vacuous) log.
+    const ScheduleLog recorded =
+        recordRun(deterministicFactory(), machineConfig(), /*seed=*/3);
+    EXPECT_EQ(empty.finalStateHash, recorded.finalStateHash);
+
+    // Round-trip through the text format with zero entries.
+    const ScheduleLog parsed = ScheduleLog::deserialize(empty.serialize());
+    EXPECT_EQ(parsed, empty);
+}
+
+TEST(ReplayEdge, LogLongerThanRunIgnoresSurplusEntries)
+{
+    ScheduleLog log =
+        recordRun(racyFactory(), machineConfig(), /*seed=*/17);
+    ASSERT_FALSE(log.choices.empty());
+
+    // Pad the log far past the run's decision count, as a log recorded
+    // against a longer build of the program would be. Replay consumes
+    // decisions only while threads run; the surplus must be ignored.
+    for (int i = 0; i < 64; ++i) {
+        log.choices.push_back(static_cast<std::uint32_t>(i % 2));
+        log.quanta.push_back(2);
+    }
+    EXPECT_EQ(replayExact(racyFactory(), machineConfig(), log),
+              log.finalStateHash);
+
+    // Searching with the padded log keeps working too: every real
+    // decision is inside the prefix, so attempt 1 reproduces.
+    const ReplaySearchResult result =
+        searchReplay(racyFactory(), machineConfig(), log,
+                     /*prefix_fraction=*/1.0, /*max_attempts=*/1);
+    EXPECT_TRUE(result.reproduced);
+}
+
+TEST(ReplayEdge, DeserializeRejectsJunk)
+{
+    EXPECT_THROW(ScheduleLog::deserialize(""), std::invalid_argument);
+    EXPECT_THROW(ScheduleLog::deserialize("v2 0 0"),
+                 std::invalid_argument);
+    EXPECT_THROW(ScheduleLog::deserialize("v1 5 2 0:1"),
+                 std::invalid_argument); // count says 2, one entry given
+    EXPECT_THROW(ScheduleLog::deserialize("v1 5 1 01"),
+                 std::invalid_argument); // missing colon
+}
+
+TEST(ReplayEdge, ReplayExactFromRestoredCheckpoint)
+{
+    if (!sim::Machine::snapshotSupported())
+        GTEST_SKIP() << "fiber snapshots unavailable in this build";
+
+    const ScheduleLog log =
+        recordRun(racyFactory(), machineConfig(), /*seed=*/23);
+    ASSERT_GE(log.choices.size(), 4u)
+        << "need a few decisions for a mid-run checkpoint";
+    ASSERT_EQ(replayExact(racyFactory(), machineConfig(), log),
+              log.finalStateHash);
+
+    // Replay the same log on a machine that checkpoints mid-run: with a
+    // fixed quantum the recorded choices script the schedule exactly.
+    const std::size_t checkpoint_decision = log.choices.size() / 2;
+    sim::Machine machine(machineConfig());
+    auto program = racyFactory()();
+    auto scripted = std::make_unique<sim::ScriptedScheduler>(
+        log.choices, /*fixed_quantum=*/2);
+    sim::ScriptedScheduler *sched = scripted.get();
+    machine.setScheduler(std::move(scripted));
+
+    std::shared_ptr<const sim::MachineSnapshot> snap;
+    std::vector<std::uint32_t> fanout, chosen;
+    std::vector<std::int32_t> prev_idx;
+    ThreadId last_pick = invalidThreadId;
+    std::size_t decision = 0;
+    machine.setDecisionHandler(
+        [&](const std::vector<ThreadId> &) {
+            if (decision == checkpoint_decision) {
+                snap = machine.checkpoint();
+                fanout = sched->decisionFanout();
+                chosen = sched->chosenIndices();
+                prev_idx = sched->previousIndices();
+                last_pick = sched->lastPicked();
+            }
+            ++decision;
+        });
+    machine.beginRun(*program);
+    machine.finishRun();
+    ASSERT_NE(snap, nullptr);
+    EXPECT_EQ(finalHash(machine), log.finalStateHash)
+        << "scripting the recorded choices must reproduce the log";
+
+    // Restore the checkpoint and replay only the suffix: the run must
+    // still land on the recorded hash, which is exactly the check the
+    // replay searcher relies on when resuming from shared prefixes.
+    auto resumed = std::make_unique<sim::ScriptedScheduler>(
+        log.choices, /*fixed_quantum=*/2);
+    resumed->resumeAt(fanout, chosen, prev_idx, last_pick);
+    machine.restore(*snap);
+    machine.setScheduler(std::move(resumed));
+    machine.finishRun();
+    EXPECT_EQ(finalHash(machine), log.finalStateHash)
+        << "restore + suffix replay must verify against the recorded "
+           "state hash";
+}
+
+} // namespace
+} // namespace icheck::explore

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Copy-on-write forking and checkpoint restore of SparseMemory: fork
+ * aliasing, write isolation, translation-cache versioning across
+ * fork/restore/move, and clone()/diff() behaviour on COW-shared images.
+ */
+
+#include <gtest/gtest.h>
+#include <utility>
+#include <vector>
+
+#include "mem/memory.hpp"
+
+namespace icheck::mem
+{
+namespace
+{
+
+TEST(MemorySnapshot, ForkSharesPagesWithoutCopying)
+{
+    SparseMemory parent;
+    for (int p = 0; p < 8; ++p)
+        parent.writeValue(0x10000 + p * pageSize, 8, 100 + p);
+
+    SparseMemory child = parent.fork();
+    EXPECT_EQ(child.mappedPages(), parent.mappedPages());
+    EXPECT_EQ(parent.cowClonedPages(), 0u)
+        << "fork alone must not deep-copy any page";
+    for (int p = 0; p < 8; ++p)
+        EXPECT_EQ(child.readValue(0x10000 + p * pageSize, 8),
+                  100u + p);
+}
+
+TEST(MemorySnapshot, FirstWriteToSharedPageClonesIt)
+{
+    SparseMemory parent;
+    parent.writeValue(0x10000, 8, 41);
+
+    SparseMemory child = parent.fork();
+    child.writeValue(0x10000, 8, 42);
+    EXPECT_EQ(child.cowClonedPages(), 1u);
+    EXPECT_EQ(child.readValue(0x10000, 8), 42u);
+    EXPECT_EQ(parent.readValue(0x10000, 8), 41u)
+        << "child write must not alias the parent's page";
+
+    // The page is exclusive after the clone: further writes are free.
+    child.writeValue(0x10008, 8, 43);
+    EXPECT_EQ(child.cowClonedPages(), 1u);
+}
+
+TEST(MemorySnapshot, ParentWriteAfterForkDoesNotLeakIntoChild)
+{
+    SparseMemory parent;
+    parent.writeValue(0x30000, 8, 7);
+    SparseMemory child = parent.fork();
+
+    parent.writeValue(0x30000, 8, 8);
+    EXPECT_EQ(parent.cowClonedPages(), 1u)
+        << "parent's first write to the now-shared page must clone";
+    EXPECT_EQ(child.readValue(0x30000, 8), 7u);
+}
+
+TEST(MemorySnapshot, RestoreFromRewindsToSnapshotContents)
+{
+    SparseMemory mem;
+    mem.writeValue(0x10000, 8, 1);
+    mem.writeValue(0x20000, 8, 2);
+
+    SparseMemory snap = mem.fork();
+
+    // Diverge: modify one page, map a new one.
+    mem.writeValue(0x10000, 8, 99);
+    mem.writeValue(0x50000, 8, 50);
+    EXPECT_EQ(mem.mappedPages(), 3u);
+
+    mem.restoreFrom(snap);
+    EXPECT_EQ(mem.readValue(0x10000, 8), 1u);
+    EXPECT_EQ(mem.readValue(0x20000, 8), 2u);
+    EXPECT_EQ(mem.readValue(0x50000, 8), 0u)
+        << "pages mapped after the snapshot must vanish on restore";
+    EXPECT_EQ(mem.mappedPages(), 2u);
+}
+
+TEST(MemorySnapshot, ForkWriteRestoreAliasing)
+{
+    // The satellite's audit case: write through a cached translation,
+    // fork, write again (COW clone), restore, and verify no write ever
+    // lands in the snapshot image via a stale cached page pointer.
+    SparseMemory mem;
+    mem.writeValue(0x10000, 8, 10); // fills the translation cache slot
+
+    SparseMemory snap = mem.fork();
+    mem.writeValue(0x10000, 8, 20); // must clone, not reuse the cache
+    EXPECT_EQ(mem.cowClonedPages(), 1u);
+
+    mem.restoreFrom(snap);
+    EXPECT_EQ(mem.readValue(0x10000, 8), 10u);
+
+    // Writing after restore shares with snap again: another clone.
+    mem.writeValue(0x10000, 8, 30);
+    EXPECT_GE(mem.cowClonedPages(), 2u);
+    EXPECT_EQ(mem.readValue(0x10000, 8), 30u);
+
+    SparseMemory snap2 = snap.fork();
+    EXPECT_EQ(snap2.readValue(0x10000, 8), 10u)
+        << "the snapshot image must stay pristine through it all";
+}
+
+TEST(MemorySnapshot, UnmappedPageProbesAfterRestore)
+{
+    SparseMemory mem;
+    mem.writeValue(0x10000, 8, 1);
+    SparseMemory snap = mem.fork();
+
+    // Map and cache a page the snapshot does not have...
+    mem.writeValue(0x70000, 8, 7);
+    EXPECT_EQ(mem.readValue(0x70000, 8), 7u);
+
+    // ...then restore: probes of that page must read zero, not hit a
+    // stale cached translation of the dropped page.
+    mem.restoreFrom(snap);
+    EXPECT_EQ(mem.readValue(0x70000, 8), 0u);
+    EXPECT_EQ(mem.readByte(0x70000), 0u);
+    EXPECT_EQ(mem.mappedPages(), 1u)
+        << "the probe itself must not materialize the page";
+}
+
+TEST(MemorySnapshot, CacheVersionBumpsOnSharingEvents)
+{
+    SparseMemory mem;
+    mem.writeValue(0x10000, 8, 1);
+
+    const std::uint64_t v0 = mem.cacheVersion();
+    SparseMemory child = mem.fork();
+    EXPECT_GT(mem.cacheVersion(), v0)
+        << "fork must demote the source's cached write permissions";
+
+    const std::uint64_t v1 = mem.cacheVersion();
+    mem.restoreFrom(child);
+    EXPECT_GT(mem.cacheVersion(), v1)
+        << "restore must invalidate the target's cache";
+}
+
+TEST(MemorySnapshot, MoveInvalidatesSourceCache)
+{
+    SparseMemory a;
+    a.writeValue(0x10000, 8, 5);
+    EXPECT_EQ(a.readValue(0x10000, 8), 5u); // cache the translation
+
+    const std::uint64_t v0 = a.cacheVersion();
+    SparseMemory b = std::move(a);
+    EXPECT_EQ(b.readValue(0x10000, 8), 5u);
+    EXPECT_GT(a.cacheVersion(), v0)
+        << "moved-from image must not keep stale page pointers";
+
+    // The moved-from image is empty; reads must see zero, not the old
+    // cached page.
+    EXPECT_EQ(a.readValue(0x10000, 8), 0u);
+    EXPECT_EQ(a.mappedPages(), 0u);
+
+    // Move-assignment equally invalidates the source.
+    SparseMemory c;
+    c.writeValue(0x20000, 8, 9);
+    const std::uint64_t vb = b.cacheVersion();
+    c = std::move(b);
+    EXPECT_GT(b.cacheVersion(), vb);
+    EXPECT_EQ(b.readValue(0x10000, 8), 0u);
+    EXPECT_EQ(c.readValue(0x10000, 8), 5u);
+}
+
+TEST(MemorySnapshot, CloneIsIndependentOfCowState)
+{
+    SparseMemory parent;
+    parent.writeValue(0x10000, 8, 1);
+    SparseMemory shared = parent.fork();
+
+    // clone() of an image whose pages are COW-shared must deep-copy:
+    // writes to the clone touch neither the parent nor the fork.
+    SparseMemory deep = parent.clone();
+    deep.writeValue(0x10000, 8, 77);
+    EXPECT_EQ(parent.readValue(0x10000, 8), 1u);
+    EXPECT_EQ(shared.readValue(0x10000, 8), 1u);
+    EXPECT_EQ(parent.cowClonedPages(), 0u)
+        << "writes to a deep clone are not COW events on the source";
+}
+
+TEST(MemorySnapshot, DiffSkipsSharedPagesButSeesDivergence)
+{
+    SparseMemory a;
+    a.writeValue(0x10000, 8, 1);
+    a.writeValue(0x20000, 8, 2);
+    SparseMemory b = a.fork();
+
+    std::vector<Addr> addrs;
+    const auto visit = [&addrs](Addr addr, std::uint8_t, std::uint8_t) {
+        addrs.push_back(addr);
+    };
+    SparseMemory::diff(a, b, visit);
+    EXPECT_TRUE(addrs.empty())
+        << "physically shared pages must not produce diffs";
+
+    b.writeValue(0x20000, 8, 3); // COW-clones, then diverges
+    SparseMemory::diff(a, b, visit);
+    ASSERT_FALSE(addrs.empty());
+    for (const Addr addr : addrs)
+        EXPECT_TRUE(addr >= 0x20000 && addr < 0x20000 + 8)
+            << "only the diverged bytes may differ";
+}
+
+TEST(MemorySnapshot, DiffAfterMoveUsesFreshTranslations)
+{
+    // The audited clone()/diff()-vs-cache interaction: diff must not
+    // trust translations cached before a move re-homed the page map.
+    SparseMemory a;
+    a.writeValue(0x10000, 8, 1);
+    EXPECT_EQ(a.readValue(0x10000, 8), 1u);
+
+    SparseMemory moved = std::move(a);
+    SparseMemory other;
+    other.writeValue(0x10000, 8, 2);
+
+    int diffs = 0;
+    SparseMemory::diff(moved, other,
+                       [&diffs](Addr, std::uint8_t, std::uint8_t) {
+                           ++diffs;
+                       });
+    EXPECT_GT(diffs, 0);
+
+    SparseMemory clone = moved.clone();
+    int clone_diffs = 0;
+    SparseMemory::diff(moved, clone,
+                       [&clone_diffs](Addr, std::uint8_t, std::uint8_t) {
+                           ++clone_diffs;
+                       });
+    EXPECT_EQ(clone_diffs, 0);
+}
+
+} // namespace
+} // namespace icheck::mem

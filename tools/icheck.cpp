@@ -9,6 +9,9 @@
  *                      [--input dev|medium|large] [--distributions]
  *                      [--jobs N] [--jsonl FILE]
  *   icheck characterize <app> [--runs N] [--jobs N]
+ *   icheck explore <app> [--runs N] [--quantum Q] [--depth D]
+ *                        [--prune none|hb|state] [--preemptions P]
+ *                        [--jobs N] [--no-checkpoints] [--stats]
  *   icheck localize <app> [--checkpoint K] [--seed-a A] [--seed-b B]
  *   icheck stats <app> [--seed S] [--input dev|medium|large]
  *   icheck infer <app> [--runs N] [--no-rounding]
@@ -32,7 +35,9 @@
 #include "check/distribution.hpp"
 #include "check/infer.hpp"
 #include "check/localize.hpp"
+#include "explore/explorer.hpp"
 #include "runtime/parallel_driver.hpp"
+#include "runtime/parallel_explore.hpp"
 #include "support/logging.hpp"
 
 using namespace icheck;
@@ -53,6 +58,11 @@ usage()
         " [--distributions]\n"
         "                     [--jobs N] [--jsonl FILE]\n"
         "  icheck characterize <app> [--runs N] [--jobs N]\n"
+        "  icheck explore <app> [--runs N] [--quantum Q] [--depth D]\n"
+        "                       [--prune none|hb|state]"
+        " [--preemptions P]\n"
+        "                       [--jobs N] [--no-checkpoints]"
+        " [--stats]\n"
         "  icheck localize <app> [--checkpoint K] [--seed-a A]"
         " [--seed-b B]\n"
         "  icheck stats <app> [--seed S] [--input dev|medium|large]\n"
@@ -251,6 +261,83 @@ cmdCharacterize(const std::string &app_name, Args &args)
     return 0;
 }
 
+explore::PruneMode
+parsePrune(const std::string &name)
+{
+    if (name == "none")
+        return explore::PruneMode::None;
+    if (name == "hb")
+        return explore::PruneMode::HappensBefore;
+    if (name == "state")
+        return explore::PruneMode::StateHash;
+    ICHECK_FATAL("unknown prune mode '", name, "' (none | hb | state)");
+}
+
+int
+cmdExplore(const std::string &app_name, Args &args)
+{
+    const apps::AppInfo &app = apps::findApp(app_name);
+    explore::ExploreConfig cfg;
+    cfg.maxRuns = static_cast<int>(args.number("--runs", 200));
+    cfg.quantum = args.number("--quantum", 16);
+    cfg.maxDepth = args.number("--depth", 24);
+    cfg.prune = parsePrune(args.value("--prune").value_or("state"));
+    if (const auto p = args.value("--preemptions"))
+        cfg.maxPreemptions = std::strtoull(p->c_str(), nullptr, 10);
+    cfg.checkpoints = !args.flag("--no-checkpoints");
+    const int jobs = static_cast<int>(args.number("--jobs", 1));
+    const bool show_stats = args.flag("--stats");
+    if (args.leftovers())
+        return usage();
+
+    sim::MachineConfig mc;
+    mc.numCores = 2;
+    const explore::ExploreResult result =
+        jobs == 1
+            ? explore::explore(app.factory, mc, cfg)
+            : runtime::exploreParallel(app.factory, mc, cfg, jobs);
+
+    std::printf("%s: %d schedules explored (%s), %zu final state%s\n",
+                app.name.c_str(), result.runsExecuted,
+                result.exhausted ? "exhausted" : "budget reached",
+                result.finalStates.size(),
+                result.finalStates.size() == 1 ? "" : "s");
+    std::printf("  branches pruned %llu, bounded out %llu\n",
+                static_cast<unsigned long long>(result.branchesPruned),
+                static_cast<unsigned long long>(
+                    result.branchesBoundedOut));
+    if (show_stats) {
+        const explore::ExploreStats &s = result.stats;
+        const double dedup =
+            s.sigInserts == 0
+                ? 0.0
+                : 1.0 - static_cast<double>(s.sigUnique) /
+                            static_cast<double>(s.sigInserts);
+        std::printf(
+            "{\"checkpointing\": %s, \"nodes_expanded\": %llu, "
+            "\"checkpoint_hits\": %llu, \"checkpoint_misses\": %llu, "
+            "\"checkpoints_created\": %llu, "
+            "\"checkpoints_evicted\": %llu, "
+            "\"checkpoint_bytes\": %llu, \"pages_cow_cloned\": %llu, "
+            "\"decisions_restored\": %llu, "
+            "\"decisions_executed\": %llu, \"sig_inserts\": %llu, "
+            "\"sig_unique\": %llu, \"dedup_rate\": %.4f}\n",
+            s.checkpointing ? "true" : "false",
+            static_cast<unsigned long long>(s.nodesExpanded),
+            static_cast<unsigned long long>(s.checkpointHits),
+            static_cast<unsigned long long>(s.checkpointMisses),
+            static_cast<unsigned long long>(s.checkpointsCreated),
+            static_cast<unsigned long long>(s.checkpointsEvicted),
+            static_cast<unsigned long long>(s.checkpointBytes),
+            static_cast<unsigned long long>(s.pagesCowCloned),
+            static_cast<unsigned long long>(s.decisionsRestored),
+            static_cast<unsigned long long>(s.decisionsExecuted),
+            static_cast<unsigned long long>(s.sigInserts),
+            static_cast<unsigned long long>(s.sigUnique), dedup);
+    }
+    return 0;
+}
+
 int
 cmdInfer(const std::string &app_name, Args &args)
 {
@@ -405,6 +492,8 @@ main(int argc, char **argv)
         return cmdCheck(app_name, args);
     if (command == "characterize")
         return cmdCharacterize(app_name, args);
+    if (command == "explore")
+        return cmdExplore(app_name, args);
     if (command == "localize")
         return cmdLocalize(app_name, args);
     if (command == "stats")

@@ -3,20 +3,43 @@
 # results at the repo root. Run from anywhere inside the repo:
 #
 #   tools/run_bench.sh [build-dir] [parallel-output.json]
+#   tools/run_bench.sh --pin [build-dir]
 #
-# Two files are produced:
+# Three files are produced:
 #   BENCH_parallel.json — serial vs. pooled campaign runs/sec (plus
 #     speedup and worker utilization per job count).
 #   BENCH_hotpath.json  — access/hash hot-path throughput (store-hash
 #     loop, span hashing, memory access, machine end-to-end), compared
 #     against the pinned pre-optimization baseline in
 #     bench/baselines/hotpath_main.json.
+#   BENCH_snapshot.json — snapshot/prefix-sharing throughput (COW fork
+#     vs clone, restore+suffix vs cold re-run, explore nodes/sec on vs
+#     off), compared against the pinned no-checkpoint baseline in
+#     bench/baselines/snapshot_main.json.
 # Comparing the files across commits tracks each subsystem's trajectory.
+#
+# Every emitted JSON is stamped with provenance (git SHA, hostname,
+# compiler), so a committed result documents where it came from.
+#
+# --pin re-records the pinned baselines under bench/baselines/ instead.
+# Baselines are the denominator of every later speedup claim, so pinning
+# refuses to run from a dirty tree: the stamped SHA must describe
+# exactly the code that produced the numbers.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-build_dir="${1:-${repo_root}/build}"
-out_json="${2:-${repo_root}/BENCH_parallel.json}"
+
+pin=0
+args=()
+for arg in "$@"; do
+    if [ "${arg}" = "--pin" ]; then
+        pin=1
+    else
+        args+=("${arg}")
+    fi
+done
+build_dir="${args[0]:-${repo_root}/build}"
+out_json="${args[1]:-${repo_root}/BENCH_parallel.json}"
 
 if [ ! -f "${build_dir}/CMakeCache.txt" ]; then
     cmake -B "${build_dir}" -S "${repo_root}"
@@ -33,11 +56,69 @@ if [ -n "${sanitize}" ]; then
     exit 1
 fi
 
-cmake --build "${build_dir}" -t micro_parallel micro_hotpath -j
+# Provenance stamped into every emitted JSON.
+git_sha="$(git -C "${repo_root}" rev-parse --short HEAD 2>/dev/null ||
+    echo unknown)"
+if [ -n "$(git -C "${repo_root}" status --porcelain 2>/dev/null)" ]; then
+    git_sha="${git_sha}-dirty"
+fi
+host_name="$(hostname)"
+cxx_path="$(sed -n 's/^CMAKE_CXX_COMPILER:[^=]*=//p' \
+    "${build_dir}/CMakeCache.txt")"
+compiler="$("${cxx_path}" --version 2>/dev/null | head -n 1 ||
+    echo "${cxx_path}")"
+
+# Insert the provenance keys right after the opening brace of $1.
+stamp_provenance() {
+    local file="$1"
+    awk -v sha="${git_sha}" -v host="${host_name}" \
+        -v comp="${compiler}" '
+        NR == 1 && $0 == "{" {
+            print "{"
+            print "  \"gitSha\": \"" sha "\","
+            print "  \"host\": \"" host "\","
+            print "  \"compiler\": \"" comp "\","
+            next
+        }
+        { print }' "${file}" > "${file}.tmp"
+    mv "${file}.tmp" "${file}"
+}
+
+if [ "${pin}" -eq 1 ]; then
+    case "${git_sha}" in
+    *-dirty | unknown)
+        echo "error: refusing to pin baselines from a dirty tree;" \
+            "commit first so the stamped SHA describes the code that" \
+            "produced the numbers" >&2
+        exit 1
+        ;;
+    esac
+    cmake --build "${build_dir}" -t micro_hotpath micro_snapshot -j
+    mkdir -p "${repo_root}/bench/baselines"
+    "${build_dir}/bench/micro_hotpath" \
+        "${repo_root}/bench/baselines/hotpath_main.json"
+    stamp_provenance "${repo_root}/bench/baselines/hotpath_main.json"
+    "${build_dir}/bench/micro_snapshot" \
+        "${repo_root}/bench/baselines/snapshot_main.json" \
+        --no-checkpoints
+    stamp_provenance "${repo_root}/bench/baselines/snapshot_main.json"
+    echo "baselines pinned under ${repo_root}/bench/baselines/"
+    exit 0
+fi
+
+cmake --build "${build_dir}" -t micro_parallel micro_hotpath \
+    micro_snapshot -j
 
 "${build_dir}/bench/micro_parallel" "${out_json}"
+stamp_provenance "${out_json}"
 echo "perf trajectory written to ${out_json}"
 
 "${build_dir}/bench/micro_hotpath" "${repo_root}/BENCH_hotpath.json" \
     --baseline "${repo_root}/bench/baselines/hotpath_main.json"
+stamp_provenance "${repo_root}/BENCH_hotpath.json"
 echo "hot-path trajectory written to ${repo_root}/BENCH_hotpath.json"
+
+"${build_dir}/bench/micro_snapshot" "${repo_root}/BENCH_snapshot.json" \
+    --baseline "${repo_root}/bench/baselines/snapshot_main.json"
+stamp_provenance "${repo_root}/BENCH_snapshot.json"
+echo "snapshot trajectory written to ${repo_root}/BENCH_snapshot.json"
