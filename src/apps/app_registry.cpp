@@ -125,11 +125,19 @@ registry()
 const AppInfo &
 findApp(const std::string &name)
 {
+    if (const AppInfo *app = tryFindApp(name))
+        return *app;
+    ICHECK_PANIC("unknown app ", name);
+}
+
+const AppInfo *
+tryFindApp(const std::string &name)
+{
     for (const AppInfo &app : registry()) {
         if (app.name == name)
-            return app;
+            return &app;
     }
-    ICHECK_PANIC("unknown app ", name);
+    return nullptr;
 }
 
 } // namespace icheck::apps

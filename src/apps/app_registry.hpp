@@ -53,6 +53,13 @@ const std::vector<AppInfo> &registry();
 /** Workload by name (panics if absent). */
 const AppInfo &findApp(const std::string &name);
 
+/**
+ * Workload by name, or null if absent. The campaign service validates
+ * untrusted request payloads through this — an unknown app must become
+ * an error *response*, never a process panic.
+ */
+const AppInfo *tryFindApp(const std::string &name);
+
 } // namespace icheck::apps
 
 #endif // ICHECK_APPS_APP_REGISTRY_HPP

@@ -1,0 +1,81 @@
+#include "check/report_json.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "hashing/crc64.hpp"
+#include "support/json_escape.hpp"
+
+namespace icheck::check
+{
+
+namespace
+{
+
+/** Fold one little-endian word into the digest. */
+std::uint64_t
+digestWord(std::uint64_t crc, std::uint64_t word)
+{
+    return hashing::Crc64::feedWordLe(crc, word);
+}
+
+std::uint64_t
+recordsDigest(const DriverReport &report)
+{
+    std::uint64_t crc = 0;
+    for (const RunRecord &record : report.records) {
+        crc = digestWord(crc, record.checkpointHashes.size());
+        for (const HashWord hash : record.checkpointHashes)
+            crc = digestWord(crc, hash);
+        crc = digestWord(crc, record.outputHash);
+        crc = digestWord(crc, record.outputBytes);
+        crc = digestWord(crc, record.result.checkpoints);
+        crc = digestWord(crc, record.result.nativeInstrs);
+        crc = digestWord(crc, record.result.overheadInstrs);
+        crc = digestWord(crc, record.checkerOverheadInstrs);
+    }
+    return crc;
+}
+
+} // namespace
+
+std::string
+canonicalDouble(double value)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    return buf;
+}
+
+std::string
+renderReportJson(const DriverReport &report)
+{
+    char head[256];
+    std::snprintf(head, sizeof head,
+                  "{\"app\":\"%s\",\"scheme\":\"%s\",\"runs\":%d,"
+                  "\"deterministic\":%s,\"firstNdetRun\":%d,"
+                  "\"checkpointCountsMatch\":%s,"
+                  "\"detPoints\":%" PRIu64 ",\"ndetPoints\":%" PRIu64
+                  ",\"detAtEnd\":%s,\"outputDeterministic\":%s,"
+                  "\"recordsDigest\":\"%016" PRIx64 "\"",
+                  jsonEscapeText(report.app).c_str(),
+                  jsonEscapeText(report.scheme).c_str(), report.runs,
+                  report.deterministic() ? "true" : "false",
+                  report.firstNdetRun,
+                  report.checkpointCountsMatch ? "true" : "false",
+                  report.detPoints, report.ndetPoints,
+                  report.detAtEnd ? "true" : "false",
+                  report.outputDeterministic ? "true" : "false",
+                  recordsDigest(report));
+    std::string json(head);
+    json += ",\"avgNativeInstrs\":" +
+            canonicalDouble(report.avgNativeInstrs);
+    json += ",\"avgOverheadInstrs\":" +
+            canonicalDouble(report.avgOverheadInstrs);
+    json += ",\"overheadFactor\":" +
+            canonicalDouble(report.overheadFactor());
+    json += "}";
+    return json;
+}
+
+} // namespace icheck::check

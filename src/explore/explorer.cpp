@@ -1,6 +1,8 @@
 #include "explore/explorer.hpp"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 #include <memory>
 
 #include "explore/hb_signature.hpp"
@@ -9,6 +11,32 @@
 
 namespace icheck::explore
 {
+
+std::string
+renderStatsJson(const ExploreStats &s)
+{
+    const double dedup =
+        s.sigInserts == 0 ? 0.0
+                          : 1.0 - static_cast<double>(s.sigUnique) /
+                                      static_cast<double>(s.sigInserts);
+    char line[512];
+    std::snprintf(
+        line, sizeof line,
+        "{\"checkpointing\": %s, \"nodes_expanded\": %" PRIu64 ", "
+        "\"checkpoint_hits\": %" PRIu64 ", \"checkpoint_misses\": %" PRIu64
+        ", \"checkpoints_created\": %" PRIu64 ", "
+        "\"checkpoints_evicted\": %" PRIu64 ", "
+        "\"checkpoint_bytes\": %" PRIu64 ", \"pages_cow_cloned\": %" PRIu64
+        ", \"decisions_restored\": %" PRIu64 ", "
+        "\"decisions_executed\": %" PRIu64 ", \"sig_inserts\": %" PRIu64
+        ", \"sig_unique\": %" PRIu64 ", \"dedup_rate\": %.4f}",
+        s.checkpointing ? "true" : "false", s.nodesExpanded,
+        s.checkpointHits, s.checkpointMisses, s.checkpointsCreated,
+        s.checkpointsEvicted, s.checkpointBytes, s.pagesCowCloned,
+        s.decisionsRestored, s.decisionsExecuted, s.sigInserts,
+        s.sigUnique, dedup);
+    return line;
+}
 
 void
 ExploreStats::merge(const ExploreStats &other)

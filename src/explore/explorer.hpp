@@ -118,6 +118,14 @@ struct ExploreStats
     void merge(const ExploreStats &other);
 };
 
+/**
+ * Render @p stats as the canonical single-line JSON object shared by
+ * `icheck explore --stats` and the campaign service's explore
+ * responses. Fixed key order, fixed "%.4f" dedup-rate formatting —
+ * consumers diff these lines byte-for-byte.
+ */
+std::string renderStatsJson(const ExploreStats &stats);
+
 /** Exploration outcome. */
 struct ExploreResult
 {

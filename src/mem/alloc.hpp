@@ -72,6 +72,18 @@ class ReplayLog
 
     std::size_t size() const { return entries.size(); }
 
+    /**
+     * The recorded (site, seq) -> address entries, in deterministic map
+     * order. The service's result store serializes a campaign's replay
+     * log through this so a restarted daemon can resume replay-mode
+     * runs without re-executing the record-mode run.
+     */
+    const std::map<std::pair<std::string, std::uint32_t>, Addr> &
+    entriesMap() const
+    {
+        return entries;
+    }
+
   private:
     std::map<std::pair<std::string, std::uint32_t>, Addr> entries;
     Addr high = 0;

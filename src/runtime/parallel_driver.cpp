@@ -42,10 +42,42 @@ runCampaign(const check::DriverConfig &cfg,
                          ? static_cast<int>(options.pool->workerCount())
                          : resolveJobs(options.jobs);
 
-    mem::ReplayLog replay_log;
-    std::string app;
+    mem::ReplayLog local_log;
+    mem::ReplayLog &replay_log =
+        options.replayLog != nullptr ? *options.replayLog : local_log;
+    // A pre-populated log means run 0 replays like everyone else; an
+    // empty one means run 0 must record it before anyone replays.
+    const bool log_ready = !replay_log.empty();
+
+    std::string app = options.appName;
     std::vector<check::RunRecord> records(
         static_cast<std::size_t>(cfg.runs));
+
+    const auto precomputedFor =
+        [&options](int run) -> const check::RunRecord * {
+        if (options.precomputed == nullptr)
+            return nullptr;
+        const auto index = static_cast<std::size_t>(run);
+        if (index >= options.precomputed->size())
+            return nullptr;
+        return (*options.precomputed)[index];
+    };
+
+    // Runs the service (or a resumed campaign) already has records for
+    // are copied in place; everything else still needs executing. A
+    // cached run 0 must nonetheless re-execute in Record mode when the
+    // log is absent and any Replay run remains — replays read the log.
+    std::vector<int> to_execute;
+    for (int run = 0; run < cfg.runs; ++run) {
+        if (const check::RunRecord *cached = precomputedFor(run))
+            records[static_cast<std::size_t>(run)] = *cached;
+        else
+            to_execute.push_back(run);
+    }
+    const bool need_record_rerun =
+        !log_ready && !to_execute.empty() && to_execute.front() != 0;
+    if (need_record_rerun)
+        to_execute.insert(to_execute.begin(), 0);
 
     // Per-run wall time summed across workers; the utilization
     // denominator (pool busy time would trail the last tasks).
@@ -54,7 +86,7 @@ runCampaign(const check::DriverConfig &cfg,
 
     const auto execute = [&](int run) {
         const auto run_start = Clock::now();
-        const auto mode = run == 0
+        const auto mode = run == 0 && !log_ready
                               ? mem::DeterministicAllocator::Mode::Record
                               : mem::DeterministicAllocator::Mode::Replay;
         records[static_cast<std::size_t>(run)] = check::executeCampaignRun(
@@ -65,21 +97,31 @@ runCampaign(const check::DriverConfig &cfg,
             std::lock_guard<std::mutex> lock(busy_mu);
             busy_seconds += seconds;
         }
+        if (options.onRunComplete)
+            options.onRunComplete(
+                run, records[static_cast<std::size_t>(run)]);
         if (options.sink != nullptr)
             options.sink->onRun(app, check::schemeName(cfg.scheme), run,
                                 records[static_cast<std::size_t>(run)],
                                 seconds);
     };
 
-    // Record-then-fan-out: run 0 writes the replay log on the calling
-    // thread; every later run only reads it, so they fan out freely.
-    execute(0);
+    // Record-then-fan-out: an un-replayable run 0 writes the replay log
+    // on the calling thread; every later run only reads it, so they fan
+    // out freely. With a ready log there is no record run and the whole
+    // remainder fans out at once.
+    std::size_t first_parallel = 0;
+    if (!to_execute.empty() && to_execute.front() == 0 && !log_ready) {
+        execute(0);
+        first_parallel = 1;
+    }
 
     PoolStats pool_stats;
+    const std::size_t remaining = to_execute.size() - first_parallel;
     if (jobs <= 1) {
-        for (int run = 1; run < cfg.runs; ++run)
-            execute(run);
-    } else {
+        for (std::size_t i = first_parallel; i < to_execute.size(); ++i)
+            execute(to_execute[i]);
+    } else if (remaining > 0) {
         ThreadPool *pool = options.pool;
         std::unique_ptr<ThreadPool> owned;
         if (pool == nullptr) {
@@ -87,9 +129,10 @@ runCampaign(const check::DriverConfig &cfg,
                 static_cast<unsigned>(jobs));
             pool = owned.get();
         }
-        pool->parallelFor(static_cast<std::size_t>(cfg.runs) - 1,
-                          [&execute](std::size_t i) {
-                              execute(static_cast<int>(i) + 1);
+        pool->parallelFor(remaining,
+                          [&execute, &to_execute,
+                           first_parallel](std::size_t i) {
+                              execute(to_execute[i + first_parallel]);
                           });
         pool_stats = pool->stats();
     }

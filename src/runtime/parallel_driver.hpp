@@ -43,6 +43,39 @@ struct CampaignOptions
 
     /** Optional externally owned pool (jobs is ignored if set). */
     ThreadPool *pool = nullptr;
+
+    /**
+     * Previously computed records, indexed by run; a non-null entry is
+     * copied into the report instead of executing that run. The campaign
+     * service feeds store-resident units through this so a resumed or
+     * deduplicated campaign only executes the missing runs. May be
+     * shorter than cfg.runs (missing tail entries mean "not cached").
+     */
+    const std::vector<const check::RunRecord *> *precomputed = nullptr;
+
+    /**
+     * Externally owned replay log. If it arrives non-empty, run 0 is
+     * treated like every other run (Replay mode, may be skipped when
+     * precomputed); if empty, run 0 records into it as usual. Without
+     * this option a cached run 0 must still be re-executed whenever any
+     * later run is missing, because Replay runs need the log.
+     */
+    mem::ReplayLog *replayLog = nullptr;
+
+    /**
+     * App name to stamp on the report when run 0 never executes (the
+     * name is otherwise captured from the record-mode run).
+     */
+    std::string appName;
+
+    /**
+     * Called once per *executed* run with its fresh record, from the
+     * worker that ran it (precomputed runs are not re-announced). The
+     * service persists each unit the moment it completes, which is what
+     * makes a killed-and-restarted campaign resume instead of recheck.
+     */
+    std::function<void(int run, const check::RunRecord &record)>
+        onRunComplete;
 };
 
 /**

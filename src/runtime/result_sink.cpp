@@ -3,40 +3,15 @@
 #include <cstdio>
 #include <ostream>
 
+#include "support/json_escape.hpp"
+
 namespace icheck::runtime
 {
 
 std::string
 jsonEscape(const std::string &text)
 {
-    std::string escaped;
-    escaped.reserve(text.size());
-    for (const char c : text) {
-        switch (c) {
-          case '"':
-            escaped += "\\\"";
-            break;
-          case '\\':
-            escaped += "\\\\";
-            break;
-          case '\n':
-            escaped += "\\n";
-            break;
-          case '\t':
-            escaped += "\\t";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof buf, "\\u%04x",
-                              static_cast<unsigned>(c));
-                escaped += buf;
-            } else {
-                escaped += c;
-            }
-        }
-    }
-    return escaped;
+    return jsonEscapeText(text);
 }
 
 void

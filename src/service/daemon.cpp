@@ -1,0 +1,184 @@
+#include "service/daemon.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "check/report_json.hpp"
+#include "runtime/parallel_driver.hpp"
+#include "support/json_escape.hpp"
+
+namespace icheck::service
+{
+
+double
+ServiceSnapshot::dedupHitRate() const
+{
+    const double touched =
+        static_cast<double>(unitsExecuted + unitsReused);
+    if (touched <= 0.0)
+        return 0.0;
+    return static_cast<double>(unitsReused) / touched;
+}
+
+Service::Service(ServiceConfig config)
+    : cfg(std::move(config)),
+      store(cfg.storePath.empty()
+                ? std::make_unique<ResultStore>()
+                : std::make_unique<ResultStore>(cfg.storePath)),
+      startTime(std::chrono::steady_clock::now())
+{
+    const int jobs = runtime::resolveJobs(cfg.jobs);
+    if (jobs > 1)
+        pool = std::make_unique<runtime::ThreadPool>(
+            static_cast<unsigned>(jobs));
+    executor = std::make_unique<CampaignExecutor>(*store, pool.get());
+}
+
+std::string
+Service::handleLine(const std::string &line)
+{
+    ParsedLine parsed = parseRequestLine(line, cfg.maxLineBytes);
+    if (!parsed.ok()) {
+        protocolErrors.fetch_add(1, std::memory_order_relaxed);
+        requestsCompleted.fetch_add(1, std::memory_order_relaxed);
+        return renderErrorResponse(parsed.id, parsed.error);
+    }
+
+    const Request &request = *parsed.request;
+    std::string response;
+    switch (request.op) {
+      case RequestOp::Check:
+        // Once a drain was accepted, new campaigns are refused — only
+        // work that was already in flight when it arrived completes.
+        if (drainRequested()) {
+            drainRejected.fetch_add(1, std::memory_order_relaxed);
+            requestsCompleted.fetch_add(1, std::memory_order_relaxed);
+            return renderDrainingResponse(request.id);
+        }
+        response = handleCheck(request);
+        break;
+      case RequestOp::Stats:
+        response = renderStatsResponse(request.id);
+        break;
+      case RequestOp::Ping:
+        response = renderPongResponse(request.id);
+        break;
+      case RequestOp::Drain:
+        drainFlag.store(true, std::memory_order_release);
+        response = "{\"id\":\"" + jsonEscapeText(request.id) +
+                   "\",\"status\":\"ok\",\"draining\":true}";
+        break;
+    }
+    requestsCompleted.fetch_add(1, std::memory_order_relaxed);
+    return response;
+}
+
+std::string
+Service::handleCheck(const Request &request)
+{
+    const ExecutionOutcome outcome = executor->execute(request);
+    if (outcome.ok) {
+        checksCompleted.fetch_add(1, std::memory_order_relaxed);
+        if (outcome.cachedResponse)
+            responsesCached.fetch_add(1, std::memory_order_relaxed);
+        unitsExecuted.fetch_add(
+            static_cast<std::uint64_t>(outcome.unitsExecuted),
+            std::memory_order_relaxed);
+        unitsReused.fetch_add(
+            static_cast<std::uint64_t>(outcome.unitsReused),
+            std::memory_order_relaxed);
+    } else {
+        checkErrors.fetch_add(1, std::memory_order_relaxed);
+    }
+    return outcome.response;
+}
+
+void
+Service::noteBusyRejected()
+{
+    busyRejected.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+Service::noteDrainRejected()
+{
+    drainRejected.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+Service::setQueueProbe(
+    std::function<std::pair<std::size_t, std::size_t>()> probe)
+{
+    std::lock_guard<std::mutex> lock(probeMu);
+    queueProbe = std::move(probe);
+}
+
+ServiceSnapshot
+Service::snapshot() const
+{
+    ServiceSnapshot snap;
+    snap.requestsCompleted =
+        requestsCompleted.load(std::memory_order_relaxed);
+    snap.checksCompleted =
+        checksCompleted.load(std::memory_order_relaxed);
+    snap.protocolErrors = protocolErrors.load(std::memory_order_relaxed);
+    snap.checkErrors = checkErrors.load(std::memory_order_relaxed);
+    snap.busyRejected = busyRejected.load(std::memory_order_relaxed);
+    snap.drainRejected = drainRejected.load(std::memory_order_relaxed);
+    snap.responsesCached =
+        responsesCached.load(std::memory_order_relaxed);
+    snap.unitsExecuted = unitsExecuted.load(std::memory_order_relaxed);
+    snap.unitsReused = unitsReused.load(std::memory_order_relaxed);
+    {
+        // Held across the call: the probe points into a ServeLoop that
+        // uninstalls itself on destruction, and the uninstall must not
+        // win while the probe is mid-flight.
+        std::lock_guard<std::mutex> lock(probeMu);
+        if (queueProbe) {
+            const auto [queued, in_flight] = queueProbe();
+            snap.queueDepth = queued;
+            snap.inFlight = in_flight;
+        }
+    }
+    snap.uptimeSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      startTime)
+            .count();
+    snap.requestsPerSec =
+        snap.uptimeSeconds > 0.0
+            ? static_cast<double>(snap.requestsCompleted) /
+                  snap.uptimeSeconds
+            : 0.0;
+    snap.storeKeys = store->keyCount();
+    snap.store = store->stats();
+    return snap;
+}
+
+std::string
+Service::renderStatsResponse(const std::string &id) const
+{
+    const ServiceSnapshot snap = snapshot();
+    char body[1024];
+    std::snprintf(
+        body, sizeof body,
+        "{\"id\":\"%s\",\"status\":\"ok\",\"stats\":{"
+        "\"requestsCompleted\":%" PRIu64 ",\"checksCompleted\":%" PRIu64
+        ",\"protocolErrors\":%" PRIu64 ",\"checkErrors\":%" PRIu64
+        ",\"busyRejected\":%" PRIu64 ",\"drainRejected\":%" PRIu64
+        ",\"responsesCached\":%" PRIu64 ",\"unitsExecuted\":%" PRIu64
+        ",\"unitsReused\":%" PRIu64 ",\"dedupHitRate\":%.4f,"
+        "\"queueDepth\":%zu,\"inFlight\":%zu,"
+        "\"uptimeSeconds\":%.3f,\"requestsPerSec\":%.2f,"
+        "\"storeKeys\":%zu,\"storeFramesLoaded\":%" PRIu64
+        ",\"storeBytesDropped\":%" PRIu64 "}}",
+        jsonEscapeText(id).c_str(), snap.requestsCompleted,
+        snap.checksCompleted, snap.protocolErrors, snap.checkErrors,
+        snap.busyRejected, snap.drainRejected, snap.responsesCached,
+        snap.unitsExecuted, snap.unitsReused, snap.dedupHitRate(),
+        snap.queueDepth, snap.inFlight, snap.uptimeSeconds,
+        snap.requestsPerSec, snap.storeKeys, snap.store.framesLoaded,
+        snap.store.bytesDropped);
+    return body;
+}
+
+} // namespace icheck::service

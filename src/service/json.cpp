@@ -1,0 +1,328 @@
+#include "service/json.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace icheck::service
+{
+
+namespace
+{
+
+constexpr int maxDepth = 32;
+
+/** Recursive-descent parser over one string; tracks a cursor. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : src(text) {}
+
+    std::optional<JsonValue>
+    parse(std::string *error)
+    {
+        JsonValue value;
+        if (!parseValue(value, 0)) {
+            if (error != nullptr)
+                *error = err;
+            return std::nullopt;
+        }
+        skipSpace();
+        if (pos != src.size()) {
+            if (error != nullptr)
+                *error = "trailing bytes after JSON value";
+            return std::nullopt;
+        }
+        return value;
+    }
+
+  private:
+    bool
+    fail(const std::string &msg)
+    {
+        if (err.empty())
+            err = msg;
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos < src.size() &&
+               (src[pos] == ' ' || src[pos] == '\t' || src[pos] == '\r' ||
+                src[pos] == '\n'))
+            ++pos;
+    }
+
+    bool
+    expect(char c)
+    {
+        if (pos >= src.size() || src[pos] != c)
+            return fail(std::string("expected '") + c + "'");
+        ++pos;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out, int depth)
+    {
+        if (depth > maxDepth)
+            return fail("nesting too deep");
+        skipSpace();
+        if (pos >= src.size())
+            return fail("unexpected end of input");
+        const char c = src[pos];
+        if (c == '{')
+            return parseObject(out, depth);
+        if (c == '[')
+            return parseArray(out, depth);
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.text);
+        }
+        if (c == 't' || c == 'f')
+            return parseKeyword(out, c == 't' ? "true" : "false");
+        if (c == 'n')
+            return parseKeyword(out, "null");
+        if (c == '-' || (c >= '0' && c <= '9'))
+            return parseNumber(out);
+        return fail(std::string("unexpected character '") + c + "'");
+    }
+
+    bool
+    parseKeyword(JsonValue &out, const std::string &word)
+    {
+        if (src.compare(pos, word.size(), word) != 0)
+            return fail("malformed literal");
+        pos += word.size();
+        if (word == "null") {
+            out.kind = JsonValue::Kind::Null;
+        } else {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = word == "true";
+        }
+        return true;
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos;
+        if (pos < src.size() && src[pos] == '-')
+            ++pos;
+        if (pos >= src.size() || !std::isdigit(
+                static_cast<unsigned char>(src[pos])))
+            return fail("malformed number");
+        while (pos < src.size() &&
+               std::isdigit(static_cast<unsigned char>(src[pos])))
+            ++pos;
+        if (pos < src.size() && src[pos] == '.') {
+            ++pos;
+            if (pos >= src.size() || !std::isdigit(
+                    static_cast<unsigned char>(src[pos])))
+                return fail("malformed number");
+            while (pos < src.size() &&
+                   std::isdigit(static_cast<unsigned char>(src[pos])))
+                ++pos;
+        }
+        if (pos < src.size() && (src[pos] == 'e' || src[pos] == 'E')) {
+            ++pos;
+            if (pos < src.size() && (src[pos] == '+' || src[pos] == '-'))
+                ++pos;
+            if (pos >= src.size() || !std::isdigit(
+                    static_cast<unsigned char>(src[pos])))
+                return fail("malformed number");
+            while (pos < src.size() &&
+                   std::isdigit(static_cast<unsigned char>(src[pos])))
+                ++pos;
+        }
+        out.kind = JsonValue::Kind::Number;
+        out.text = src.substr(start, pos - start);
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!expect('"'))
+            return false;
+        out.clear();
+        while (pos < src.size()) {
+            const char c = src[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("control character in string");
+            if (c == '\\') {
+                ++pos;
+                if (pos >= src.size())
+                    return fail("unterminated escape");
+                const char esc = src[pos];
+                switch (esc) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                      if (pos + 4 >= src.size())
+                          return fail("truncated \\u escape");
+                      unsigned code = 0;
+                      for (int i = 1; i <= 4; ++i) {
+                          const char h = src[pos + static_cast<std::size_t>(i)];
+                          code <<= 4;
+                          if (h >= '0' && h <= '9')
+                              code |= static_cast<unsigned>(h - '0');
+                          else if (h >= 'a' && h <= 'f')
+                              code |= static_cast<unsigned>(h - 'a' + 10);
+                          else if (h >= 'A' && h <= 'F')
+                              code |= static_cast<unsigned>(h - 'A' + 10);
+                          else
+                              return fail("malformed \\u escape");
+                      }
+                      pos += 4;
+                      // The protocol is ASCII; encode BMP code points as
+                      // UTF-8 so round-trips are lossless.
+                      if (code < 0x80) {
+                          out += static_cast<char>(code);
+                      } else if (code < 0x800) {
+                          out += static_cast<char>(0xc0 | (code >> 6));
+                          out += static_cast<char>(0x80 | (code & 0x3f));
+                      } else {
+                          out += static_cast<char>(0xe0 | (code >> 12));
+                          out += static_cast<char>(0x80 |
+                                                   ((code >> 6) & 0x3f));
+                          out += static_cast<char>(0x80 | (code & 0x3f));
+                      }
+                      break;
+                  }
+                  default:
+                      return fail("unknown escape");
+                }
+                ++pos;
+                continue;
+            }
+            out += c;
+            ++pos;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseArray(JsonValue &out, int depth)
+    {
+        if (!expect('['))
+            return false;
+        out.kind = JsonValue::Kind::Array;
+        skipSpace();
+        if (pos < src.size() && src[pos] == ']') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            JsonValue item;
+            if (!parseValue(item, depth + 1))
+                return false;
+            out.items.push_back(std::move(item));
+            skipSpace();
+            if (pos < src.size() && src[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            return expect(']');
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out, int depth)
+    {
+        if (!expect('{'))
+            return false;
+        out.kind = JsonValue::Kind::Object;
+        skipSpace();
+        if (pos < src.size() && src[pos] == '}') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            skipSpace();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            for (const auto &[existing, unused] : out.members) {
+                (void)unused;
+                if (existing == key)
+                    return fail("duplicate key '" + key + "'");
+            }
+            skipSpace();
+            if (!expect(':'))
+                return false;
+            JsonValue value;
+            if (!parseValue(value, depth + 1))
+                return false;
+            out.members.emplace_back(std::move(key), std::move(value));
+            skipSpace();
+            if (pos < src.size() && src[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            return expect('}');
+        }
+    }
+
+    const std::string &src;
+    std::size_t pos = 0;
+    std::string err;
+};
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    for (const auto &[name, value] : members) {
+        if (name == key)
+            return &value;
+    }
+    return nullptr;
+}
+
+std::optional<std::uint64_t>
+JsonValue::asU64() const
+{
+    if (kind != Kind::Number || text.empty() || text[0] == '-')
+        return std::nullopt;
+    for (const char c : text) {
+        if (c == '.' || c == 'e' || c == 'E')
+            return std::nullopt;
+    }
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long value =
+        std::strtoull(text.c_str(), &end, 10);
+    if (errno == ERANGE || end == nullptr || *end != '\0')
+        return std::nullopt;
+    return static_cast<std::uint64_t>(value);
+}
+
+double
+JsonValue::asDouble() const
+{
+    if (kind != Kind::Number)
+        return 0.0;
+    return std::strtod(text.c_str(), nullptr);
+}
+
+std::optional<JsonValue>
+parseJson(const std::string &text, std::string *error)
+{
+    Parser parser(text);
+    return parser.parse(error);
+}
+
+} // namespace icheck::service

@@ -1,0 +1,259 @@
+#include "service/protocol.hpp"
+
+#include <cctype>
+
+#include "service/json.hpp"
+#include "support/json_escape.hpp"
+
+namespace icheck::service
+{
+
+namespace
+{
+
+constexpr std::size_t maxIdBytes = 128;
+
+/** Request ids become store keys: printable ASCII, no quotes/newlines. */
+bool
+validId(const std::string &id)
+{
+    if (id.empty() || id.size() > maxIdBytes)
+        return false;
+    for (const char c : id) {
+        if (!std::isprint(static_cast<unsigned char>(c)) || c == '"' ||
+            c == '\\')
+            return false;
+    }
+    return true;
+}
+
+std::optional<check::Scheme>
+parseSchemeToken(const std::string &token)
+{
+    if (token == "hw")
+        return check::Scheme::HwInc;
+    if (token == "swinc")
+        return check::Scheme::SwInc;
+    if (token == "swtr")
+        return check::Scheme::SwTr;
+    return std::nullopt;
+}
+
+/** Fields accepted for each op; anything else is rejected by name. */
+bool
+knownField(RequestOp op, const std::string &key)
+{
+    if (key == "id" || key == "op")
+        return true;
+    if (op != RequestOp::Check)
+        return false;
+    return key == "app" || key == "runs" || key == "scheme" ||
+           key == "seed" || key == "input" || key == "rounding" ||
+           key == "ignores" || key == "cores";
+}
+
+ParsedLine
+failParse(std::string id, std::string message)
+{
+    ParsedLine parsed;
+    parsed.error = std::move(message);
+    parsed.id = std::move(id);
+    return parsed;
+}
+
+} // namespace
+
+ParsedLine
+parseRequestLine(const std::string &line, std::size_t max_line_bytes)
+{
+    if (max_line_bytes != 0 && line.size() > max_line_bytes)
+        return failParse({}, "oversized request: " +
+                                 std::to_string(line.size()) + " bytes (max " +
+                                 std::to_string(max_line_bytes) + ")");
+
+    std::string json_error;
+    const auto root = parseJson(line, &json_error);
+    if (!root.has_value())
+        return failParse({}, "malformed JSON: " + json_error);
+    if (!root->isObject())
+        return failParse({}, "request must be a JSON object");
+
+    const JsonValue *id_field = root->find("id");
+    if (id_field == nullptr)
+        return failParse({}, "missing required field 'id'");
+    if (!id_field->isString() || !validId(id_field->text))
+        return failParse(
+            {}, "invalid 'id': need 1-128 printable chars without "
+                "quotes or backslashes");
+    const std::string id = id_field->text;
+
+    const JsonValue *op_field = root->find("op");
+    if (op_field == nullptr)
+        return failParse(id, "missing required field 'op'");
+    if (!op_field->isString())
+        return failParse(id, "'op' must be a string");
+
+    Request request;
+    request.id = id;
+    const std::string &op = op_field->text;
+    if (op == "check")
+        request.op = RequestOp::Check;
+    else if (op == "stats")
+        request.op = RequestOp::Stats;
+    else if (op == "ping")
+        request.op = RequestOp::Ping;
+    else if (op == "drain")
+        request.op = RequestOp::Drain;
+    else
+        return failParse(id, "unknown op '" + op + "'");
+
+    for (const auto &[key, value] : root->members) {
+        (void)value;
+        if (!knownField(request.op, key))
+            return failParse(id, "unknown field '" + key + "' for op '" +
+                                     op + "'");
+    }
+
+    if (request.op != RequestOp::Check)
+        return ParsedLine{std::move(request), {}, id};
+
+    CheckRequest &check = request.check;
+    const JsonValue *app = root->find("app");
+    if (app == nullptr)
+        return failParse(id, "op 'check' requires field 'app'");
+    if (!app->isString() || app->text.empty())
+        return failParse(id, "'app' must be a non-empty string");
+    check.app = app->text;
+
+    if (const JsonValue *runs = root->find("runs")) {
+        const auto value = runs->asU64();
+        if (!value.has_value() || *value < 2 || *value > 4096)
+            return failParse(id, "'runs' must be an integer in [2, 4096]");
+        check.runs = static_cast<int>(*value);
+    }
+    if (const JsonValue *scheme = root->find("scheme")) {
+        if (!scheme->isString())
+            return failParse(id, "'scheme' must be a string");
+        const auto parsed_scheme = parseSchemeToken(scheme->text);
+        if (!parsed_scheme.has_value())
+            return failParse(id, "unknown scheme '" + scheme->text +
+                                     "' (hw | swinc | swtr)");
+        check.scheme = *parsed_scheme;
+    }
+    if (const JsonValue *seed = root->find("seed")) {
+        const auto value = seed->asU64();
+        if (!value.has_value())
+            return failParse(id,
+                             "'seed' must be a non-negative integer");
+        check.seed = *value;
+    }
+    if (const JsonValue *input = root->find("input")) {
+        if (!input->isString() ||
+            (input->text != "dev" && input->text != "medium" &&
+             input->text != "large"))
+            return failParse(
+                id, "'input' must be one of dev | medium | large");
+        check.input = input->text;
+    }
+    if (const JsonValue *rounding = root->find("rounding")) {
+        if (!rounding->isBool())
+            return failParse(id, "'rounding' must be a boolean");
+        check.rounding = rounding->boolean;
+    }
+    if (const JsonValue *ignores = root->find("ignores")) {
+        if (!ignores->isBool())
+            return failParse(id, "'ignores' must be a boolean");
+        check.ignores = ignores->boolean;
+    }
+    if (const JsonValue *cores = root->find("cores")) {
+        const auto value = cores->asU64();
+        if (!value.has_value() || *value < 1 || *value > 64)
+            return failParse(id, "'cores' must be an integer in [1, 64]");
+        check.cores = static_cast<int>(*value);
+    }
+    return ParsedLine{std::move(request), {}, id};
+}
+
+std::string
+schemeToken(check::Scheme scheme)
+{
+    switch (scheme) {
+      case check::Scheme::HwInc: return "hw";
+      case check::Scheme::SwInc: return "swinc";
+      case check::Scheme::SwTr:  return "swtr";
+    }
+    return "hw";
+}
+
+std::string
+canonicalKey(const CheckRequest &request)
+{
+    // Key shape: app|input|scheme|seed|rounding|ignores|cores. The run
+    // count is deliberately absent (units are per-run) and so is the
+    // request id (identical work deduplicates across ids).
+    std::string key = "check|";
+    key += request.app;
+    key += '|';
+    key += request.input;
+    key += '|';
+    key += schemeToken(request.scheme);
+    key += "|s";
+    key += std::to_string(request.seed);
+    key += request.rounding ? "|r1" : "|r0";
+    key += request.ignores ? "|i1" : "|i0";
+    key += "|c";
+    key += std::to_string(request.cores);
+    return key;
+}
+
+std::string
+unitKey(const std::string &canonical, int run_index)
+{
+    return canonical + "#u" + std::to_string(run_index);
+}
+
+std::string
+logKey(const std::string &canonical)
+{
+    return canonical + "#log";
+}
+
+std::string
+responseKey(const std::string &id)
+{
+    return "resp#" + id;
+}
+
+std::string
+renderErrorResponse(const std::string &id, const std::string &message)
+{
+    return "{\"id\":\"" + jsonEscapeText(id) +
+           "\",\"status\":\"error\",\"error\":\"" +
+           jsonEscapeText(message) + "\"}";
+}
+
+std::string
+renderBusyResponse(const std::string &id, std::size_t queue_depth)
+{
+    return "{\"id\":\"" + jsonEscapeText(id) +
+           "\",\"status\":\"busy\",\"error\":\"queue full\","
+           "\"queueDepth\":" +
+           std::to_string(queue_depth) + "}";
+}
+
+std::string
+renderDrainingResponse(const std::string &id)
+{
+    return "{\"id\":\"" + jsonEscapeText(id) +
+           "\",\"status\":\"draining\",\"error\":\"daemon is "
+           "draining\"}";
+}
+
+std::string
+renderPongResponse(const std::string &id)
+{
+    return "{\"id\":\"" + jsonEscapeText(id) +
+           "\",\"status\":\"ok\",\"pong\":true}";
+}
+
+} // namespace icheck::service

@@ -1,0 +1,121 @@
+#ifndef ICHECK_SERVICE_PROTOCOL_HPP
+#define ICHECK_SERVICE_PROTOCOL_HPP
+
+/**
+ * @file
+ * The JSONL request/response codec of the campaign service.
+ *
+ * One request per line, one response per line, matched by "id". The
+ * parser is strict: every field is type-checked, unknown fields are
+ * rejected by name, oversized lines are refused before parsing, and the
+ * request id is validated as a store-key-safe token (the id becomes an
+ * idempotency key in the result store, so it must be printable, short,
+ * and newline-free).
+ *
+ * Request shapes:
+ *   {"id":"r1","op":"check","app":"radix","runs":8,"scheme":"hw",
+ *    "seed":1000,"input":"dev","rounding":true,"ignores":true,
+ *    "cores":8}
+ *   {"id":"s1","op":"stats"}
+ *   {"id":"p1","op":"ping"}
+ *   {"id":"d1","op":"drain"}
+ *
+ * Response status values: "ok", "error" (request-level failure),
+ * "busy" (bounded queue full — explicit backpressure; retry later),
+ * "draining" (daemon is shutting down and no longer accepts work).
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "check/checker.hpp"
+
+namespace icheck::service
+{
+
+/** What a parsed request asks the daemon to do. */
+enum class RequestOp
+{
+    Check, ///< Run (or resume) a determinism campaign.
+    Stats, ///< Report queue depths, throughput, dedup counters.
+    Ping,  ///< Liveness probe.
+    Drain, ///< Finish in-flight work, then shut down gracefully.
+};
+
+/** Validated payload of an op:"check" request. */
+struct CheckRequest
+{
+    std::string app;
+    int runs = 8;
+    check::Scheme scheme = check::Scheme::HwInc;
+    std::uint64_t seed = 1000;
+    std::string input = "medium"; ///< dev | medium | large.
+    bool rounding = true;
+    bool ignores = true;
+    int cores = 0; ///< 0 = the machine default.
+};
+
+/** One validated request. */
+struct Request
+{
+    std::string id;
+    RequestOp op = RequestOp::Ping;
+    CheckRequest check; ///< Meaningful only when op == Check.
+};
+
+/** Outcome of parsing one line: a request, or an error with the id. */
+struct ParsedLine
+{
+    std::optional<Request> request;
+
+    /** Human-readable reason when request is empty. */
+    std::string error;
+
+    /** Best-effort id recovered from the line (may be empty). */
+    std::string id;
+
+    bool ok() const { return request.has_value(); }
+};
+
+/**
+ * Parse and validate one JSONL request line. @p max_line_bytes bounds
+ * the accepted payload size (0 = unlimited).
+ */
+ParsedLine parseRequestLine(const std::string &line,
+                            std::size_t max_line_bytes = 0);
+
+/**
+ * Canonical identity of a check campaign: every knob that can change a
+ * run record, excluding the run count (so campaigns over the same seed
+ * base share per-run units) and the request id (so identical work
+ * submitted under different ids deduplicates). Doubles as the store/
+ * seen-set key prefix.
+ */
+std::string canonicalKey(const CheckRequest &request);
+
+/** Store key of run @p run_index's record under @p canonical. */
+std::string unitKey(const std::string &canonical, int run_index);
+
+/** Store key of the campaign's replay log under @p canonical. */
+std::string logKey(const std::string &canonical);
+
+/** Store key of the response cached for request @p id. */
+std::string responseKey(const std::string &id);
+
+/// @name Response rendering (deterministic bytes, no timestamps).
+/// @{
+std::string renderErrorResponse(const std::string &id,
+                                const std::string &message);
+std::string renderBusyResponse(const std::string &id,
+                               std::size_t queue_depth);
+std::string renderDrainingResponse(const std::string &id);
+std::string renderPongResponse(const std::string &id);
+/// @}
+
+/** Scheme name as the protocol spells it (hw | swinc | swtr). */
+std::string schemeToken(check::Scheme scheme);
+
+} // namespace icheck::service
+
+#endif // ICHECK_SERVICE_PROTOCOL_HPP

@@ -1,0 +1,290 @@
+#include "service/result_store.hpp"
+
+#include <filesystem>
+#include <functional>
+#include <vector>
+
+#include "hashing/crc64.hpp"
+#include "support/logging.hpp"
+
+namespace icheck::service
+{
+
+namespace
+{
+
+constexpr std::uint32_t frameMagic = 0x31524349; // "ICR1" little-endian.
+constexpr std::size_t headerBytes = 4 + 4 + 4 + 8;
+
+// Guards against frames claiming absurd sizes when a torn header
+// happens to keep a valid magic: no key or payload in this repo comes
+// near these bounds.
+constexpr std::uint32_t maxKeyLen = 1 << 16;
+constexpr std::uint32_t maxPayloadLen = 1 << 28;
+
+void
+putU32(std::string &out, std::uint32_t value)
+{
+    for (int shift = 0; shift < 32; shift += 8)
+        out += static_cast<char>((value >> shift) & 0xff);
+}
+
+void
+putU64(std::string &out, std::uint64_t value)
+{
+    for (int shift = 0; shift < 64; shift += 8)
+        out += static_cast<char>((value >> shift) & 0xff);
+}
+
+std::uint32_t
+readU32(const char *bytes)
+{
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i)
+        value |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(bytes[i]))
+                 << (8 * i);
+    return value;
+}
+
+std::uint64_t
+readU64(const char *bytes)
+{
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i)
+        value |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(bytes[i]))
+                 << (8 * i);
+    return value;
+}
+
+std::uint64_t
+frameCrc(const std::string &key, const std::string &payload)
+{
+    std::uint64_t crc =
+        hashing::Crc64::compute(key.data(), key.size(), 0);
+    return hashing::Crc64::compute(payload.data(), payload.size(), crc);
+}
+
+} // namespace
+
+ResultStore::ResultStore() = default;
+
+ResultStore::ResultStore(const std::string &path) : filePath(path)
+{
+    // Create the file if missing, then reopen read/write for replay
+    // and appends (fstream in|out refuses to create).
+    {
+        std::ofstream create(path, std::ios::binary | std::ios::app);
+        if (!create)
+            throw StoreError("cannot create result store at '" + path +
+                             "'");
+    }
+    file.open(path, std::ios::binary | std::ios::in | std::ios::out);
+    if (!file)
+        throw StoreError("cannot open result store at '" + path + "'");
+    replayFile();
+}
+
+void
+ResultStore::replayFile()
+{
+    file.seekg(0, std::ios::end);
+    const std::uint64_t file_size =
+        static_cast<std::uint64_t>(file.tellg());
+    file.seekg(0);
+
+    std::uint64_t offset = 0;
+    std::vector<char> header(headerBytes);
+    std::string key;
+    std::string payload;
+    while (offset + headerBytes <= file_size) {
+        file.seekg(static_cast<std::streamoff>(offset));
+        file.read(header.data(), static_cast<std::streamsize>(headerBytes));
+        if (file.gcount() != static_cast<std::streamsize>(headerBytes))
+            break;
+        const std::uint32_t magic = readU32(header.data());
+        const std::uint32_t key_len = readU32(header.data() + 4);
+        const std::uint32_t payload_len = readU32(header.data() + 8);
+        const std::uint64_t crc = readU64(header.data() + 12);
+        if (magic != frameMagic || key_len == 0 || key_len > maxKeyLen ||
+            payload_len > maxPayloadLen)
+            break;
+        const std::uint64_t body = static_cast<std::uint64_t>(key_len) +
+                                   payload_len;
+        if (offset + headerBytes + body > file_size)
+            break;
+        key.resize(key_len);
+        payload.resize(payload_len);
+        file.read(key.data(), key_len);
+        file.read(payload.data(), payload_len);
+        if (file.gcount() != static_cast<std::streamsize>(payload_len))
+            break;
+        if (frameCrc(key, payload) != crc)
+            break;
+
+        Slot slot;
+        slot.offset = offset + headerBytes + key_len;
+        slot.payloadLen = payload_len;
+        shards[shardOf(key)].map.emplace(key, slot);
+        ++counters.framesLoaded;
+        offset += headerBytes + body;
+    }
+    file.clear();
+
+    if (offset < file_size) {
+        counters.bytesDropped = file_size - offset;
+        warn("result store '", filePath, "': dropping ",
+             counters.bytesDropped,
+             " torn/corrupt tail bytes (recovered ",
+             counters.framesLoaded, " frames)");
+        std::error_code ec;
+        std::filesystem::resize_file(filePath, offset, ec);
+        if (ec)
+            throw StoreError("cannot truncate corrupt tail of '" +
+                             filePath + "': " + ec.message());
+        // Reopen so the stream's idea of the file matches the truncation.
+        file.close();
+        file.open(filePath,
+                  std::ios::binary | std::ios::in | std::ios::out);
+        if (!file)
+            throw StoreError("cannot reopen result store at '" +
+                             filePath + "'");
+    }
+    fileEnd = offset;
+}
+
+std::size_t
+ResultStore::shardOf(const std::string &key) const
+{
+    return std::hash<std::string>{}(key) % shardCount;
+}
+
+bool
+ResultStore::contains(const std::string &key) const
+{
+    const Shard &shard = shards[shardOf(key)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return shard.map.find(key) != shard.map.end();
+}
+
+std::optional<std::string>
+ResultStore::get(const std::string &key)
+{
+    Slot slot;
+    {
+        Shard &shard = shards[shardOf(key)];
+        std::lock_guard<std::mutex> lock(shard.mu);
+        const auto it = shard.map.find(key);
+        if (it == shard.map.end()) {
+            std::lock_guard<std::mutex> stats_lock(statsMu);
+            ++counters.getMisses;
+            return std::nullopt;
+        }
+        slot = it->second;
+    }
+    {
+        std::lock_guard<std::mutex> stats_lock(statsMu);
+        ++counters.getHits;
+    }
+    if (!persistent())
+        return slot.inlinePayload;
+
+    std::string payload(slot.payloadLen, '\0');
+    {
+        std::lock_guard<std::mutex> lock(fileMu);
+        file.seekg(static_cast<std::streamoff>(slot.offset));
+        file.read(payload.data(),
+                  static_cast<std::streamsize>(slot.payloadLen));
+        if (file.gcount() !=
+            static_cast<std::streamsize>(slot.payloadLen)) {
+            file.clear();
+            return std::nullopt;
+        }
+    }
+    return payload;
+}
+
+bool
+ResultStore::put(const std::string &key, const std::string &payload)
+{
+    ICHECK_ASSERT(!key.empty() && key.size() <= maxKeyLen,
+                  "store key out of bounds");
+    ICHECK_ASSERT(payload.size() <= maxPayloadLen,
+                  "store payload out of bounds");
+    Shard &shard = shards[shardOf(key)];
+    {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        if (shard.map.find(key) != shard.map.end()) {
+            std::lock_guard<std::mutex> stats_lock(statsMu);
+            ++counters.putDuplicates;
+            return false;
+        }
+    }
+
+    Slot slot;
+    if (!persistent()) {
+        slot.inlinePayload = payload;
+        slot.payloadLen = static_cast<std::uint32_t>(payload.size());
+    } else {
+        std::string frame;
+        frame.reserve(headerBytes + key.size() + payload.size());
+        putU32(frame, frameMagic);
+        putU32(frame, static_cast<std::uint32_t>(key.size()));
+        putU32(frame, static_cast<std::uint32_t>(payload.size()));
+        putU64(frame, frameCrc(key, payload));
+        frame += key;
+        frame += payload;
+
+        std::lock_guard<std::mutex> lock(fileMu);
+        file.seekp(static_cast<std::streamoff>(fileEnd));
+        file.write(frame.data(),
+                   static_cast<std::streamsize>(frame.size()));
+        file.flush();
+        if (!file)
+            throw StoreError("write to result store '" + filePath +
+                             "' failed");
+        slot.offset = fileEnd + headerBytes + key.size();
+        slot.payloadLen = static_cast<std::uint32_t>(payload.size());
+        fileEnd += frame.size();
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        // A racing put of the same key may have landed first; its frame
+        // and ours carry identical deterministic payloads, so either
+        // index entry is valid — keep the existing one.
+        const auto [it, inserted] = shard.map.emplace(key, slot);
+        (void)it;
+        if (!inserted) {
+            std::lock_guard<std::mutex> stats_lock(statsMu);
+            ++counters.putDuplicates;
+            return false;
+        }
+    }
+    {
+        std::lock_guard<std::mutex> stats_lock(statsMu);
+        ++counters.puts;
+    }
+    return true;
+}
+
+std::size_t
+ResultStore::keyCount() const
+{
+    std::size_t total = 0;
+    for (const Shard &shard : shards) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        total += shard.map.size();
+    }
+    return total;
+}
+
+StoreStats
+ResultStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(statsMu);
+    return counters;
+}
+
+} // namespace icheck::service

@@ -1,0 +1,126 @@
+#ifndef ICHECK_SERVICE_RESULT_STORE_HPP
+#define ICHECK_SERVICE_RESULT_STORE_HPP
+
+/**
+ * @file
+ * Append-only, CRC-framed, indexed key→payload store.
+ *
+ * This is the daemon's persistence substrate and its shared seen-state
+ * set in one structure: the sharded in-memory index answers "has any
+ * request already computed this unit?" (dedup), and the append-only
+ * file behind it makes the answer survive restarts (resume). Frames
+ * are:
+ *
+ *   u32 magic 'ICR1' | u32 keyLen | u32 payloadLen |
+ *   u64 crc64(key ++ payload) | key bytes | payload bytes
+ *
+ * all little-endian. Open() replays the file into the index and stops
+ * at the first torn or corrupt frame — a daemon killed mid-append loses
+ * at most that frame; the file is truncated back to the last good
+ * boundary so subsequent appends produce a clean log. Writes are
+ * idempotent by key: putting an existing key is a no-op (unit payloads
+ * are deterministic functions of their key, so the first frame is as
+ * good as any). A pathless store skips the file and is purely an
+ * in-memory seen-set (used by `icheck serve` without --store and by
+ * tests).
+ */
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+namespace icheck::service
+{
+
+/** Raised when the backing file cannot be opened or written. */
+class StoreError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Observability counters (monotonic since open). */
+struct StoreStats
+{
+    std::uint64_t framesLoaded = 0;   ///< Recovered at open.
+    std::uint64_t bytesDropped = 0;   ///< Torn/corrupt tail discarded.
+    std::uint64_t puts = 0;           ///< Frames appended.
+    std::uint64_t putDuplicates = 0;  ///< Puts skipped (key present).
+    std::uint64_t getHits = 0;
+    std::uint64_t getMisses = 0;
+};
+
+class ResultStore
+{
+  public:
+    /** In-memory store (no persistence). */
+    ResultStore();
+
+    /**
+     * Open (creating if needed) the store at @p path and replay its
+     * frames into the index. Throws StoreError if the file cannot be
+     * opened or created.
+     */
+    explicit ResultStore(const std::string &path);
+
+    ResultStore(const ResultStore &) = delete;
+    ResultStore &operator=(const ResultStore &) = delete;
+
+    /** True if @p key has a payload (seen-set membership probe). */
+    bool contains(const std::string &key) const;
+
+    /**
+     * Payload stored for @p key, if any. File-backed payloads re-read
+     * from disk and re-verify their frame CRC.
+     */
+    std::optional<std::string> get(const std::string &key);
+
+    /**
+     * Append @p payload under @p key; a present key is left untouched.
+     * @return true if a frame was appended.
+     */
+    bool put(const std::string &key, const std::string &payload);
+
+    std::size_t keyCount() const;
+    StoreStats stats() const;
+    bool persistent() const { return !filePath.empty(); }
+    const std::string &path() const { return filePath; }
+
+  private:
+    struct Slot
+    {
+        std::uint64_t offset = 0;     ///< Payload offset in the file.
+        std::uint32_t payloadLen = 0;
+        std::string inlinePayload;    ///< Memory-only mode.
+    };
+
+    /** Shard for @p key (single-writer lock striping on the index). */
+    std::size_t shardOf(const std::string &key) const;
+
+    void replayFile();
+
+    static constexpr std::size_t shardCount = 16;
+
+    std::string filePath;
+    mutable std::mutex fileMu; ///< Serializes file append/read/seek.
+    std::fstream file;
+    std::uint64_t fileEnd = 0;
+
+    struct Shard
+    {
+        mutable std::mutex mu;
+        std::unordered_map<std::string, Slot> map;
+    };
+    Shard shards[shardCount];
+
+    mutable std::mutex statsMu;
+    StoreStats counters;
+};
+
+} // namespace icheck::service
+
+#endif // ICHECK_SERVICE_RESULT_STORE_HPP

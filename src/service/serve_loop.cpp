@@ -1,0 +1,326 @@
+#include "service/serve_loop.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "service/protocol.hpp"
+#include "support/exit_codes.hpp"
+#include "support/logging.hpp"
+
+namespace icheck::service
+{
+
+ServeLoop::ServeLoop(Service &service, std::size_t queue_depth,
+                     int dispatchers_wanted)
+    : service(service), queueDepth(queue_depth == 0 ? 1 : queue_depth)
+{
+    service.setQueueProbe([this] { return depths(); });
+    const int team = dispatchers_wanted < 1 ? 1 : dispatchers_wanted;
+    dispatchers.reserve(static_cast<std::size_t>(team));
+    for (int i = 0; i < team; ++i)
+        dispatchers.emplace_back([this] { dispatcherLoop(); });
+}
+
+ServeLoop::~ServeLoop()
+{
+    shutdown();
+    // The Service outlives this transport session; a stats request on a
+    // later session must not probe a dead loop.
+    service.setQueueProbe({});
+}
+
+void
+ServeLoop::submit(std::string line, Respond respond)
+{
+    // The rejection paths answer inline on the reader thread: the whole
+    // point of the bound is that a full daemon says so *now* instead of
+    // buffering without limit.
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!draining && queue.size() < queueDepth) {
+            queue.push_back(Job{std::move(line), std::move(respond)});
+            workReady.notify_one();
+            return;
+        }
+    }
+    const ParsedLine parsed = parseRequestLine(line);
+    const std::string id = parsed.ok() ? parsed.request->id : parsed.id;
+    bool was_draining;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        was_draining = draining;
+    }
+    if (was_draining) {
+        service.noteDrainRejected();
+        respond(renderDrainingResponse(id));
+    } else {
+        service.noteBusyRejected();
+        respond(renderBusyResponse(id, queueDepth));
+    }
+}
+
+void
+ServeLoop::beginDrain()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    draining = true;
+    workReady.notify_all();
+}
+
+void
+ServeLoop::awaitIdle()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    idle.wait(lock, [this] { return queue.empty() && inFlight == 0; });
+}
+
+void
+ServeLoop::shutdown()
+{
+    beginDrain();
+    awaitIdle();
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (stopped)
+            return;
+        stopped = true;
+        workReady.notify_all();
+    }
+    for (std::thread &dispatcher : dispatchers)
+        dispatcher.join();
+}
+
+std::pair<std::size_t, std::size_t>
+ServeLoop::depths() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return {queue.size(), inFlight};
+}
+
+void
+ServeLoop::dispatcherLoop()
+{
+    while (true) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            workReady.wait(lock, [this] {
+                return !queue.empty() || draining || stopped;
+            });
+            if (queue.empty()) {
+                if (stopped || draining)
+                    return;
+                continue;
+            }
+            job = std::move(queue.front());
+            queue.pop_front();
+            ++inFlight;
+        }
+        const std::string response = service.handleLine(job.line);
+        job.respond(response);
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            --inFlight;
+            if (queue.empty() && inFlight == 0)
+                idle.notify_all();
+        }
+    }
+}
+
+int
+servePipe(Service &service, std::istream &in, std::ostream &out,
+          const volatile std::sig_atomic_t *shutdown_flag)
+{
+    ServeLoop loop(service, service.config().queueDepth,
+                   service.config().dispatchers);
+    std::mutex out_mu;
+    const ServeLoop::Respond respond = [&out, &out_mu](
+                                           const std::string &response) {
+        std::lock_guard<std::mutex> lock(out_mu);
+        out << response << '\n';
+        out.flush();
+    };
+
+    std::string line;
+    while (!(shutdown_flag != nullptr && *shutdown_flag != 0) &&
+           !service.drainRequested() && std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        loop.submit(std::move(line), respond);
+        line.clear();
+    }
+    loop.shutdown();
+    return ExitOk;
+}
+
+namespace
+{
+
+/** Per-connection reader state for the socket transport. */
+struct Connection
+{
+    int fd = -1;
+    std::thread reader;
+    std::mutex writeMu;
+};
+
+/** Write all of @p response + '\n' to @p connection. */
+void
+writeResponse(Connection &connection, const std::string &response)
+{
+    std::string framed = response;
+    framed += '\n';
+    std::lock_guard<std::mutex> lock(connection.writeMu);
+    std::size_t written = 0;
+    while (written < framed.size()) {
+        const ssize_t n =
+            ::write(connection.fd, framed.data() + written,
+                    framed.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // Peer went away; its responses are undeliverable.
+        }
+        written += static_cast<std::size_t>(n);
+    }
+}
+
+/**
+ * Read lines from @p connection and feed @p loop until EOF/error.
+ * Oversized lines (beyond max_line plus slack) earn an error response
+ * and close the connection — resyncing inside an unbounded line would
+ * mean buffering it.
+ */
+void
+connectionReader(Connection &connection, ServeLoop &loop,
+                 std::size_t max_line)
+{
+    const ServeLoop::Respond respond =
+        [&connection](const std::string &response) {
+            writeResponse(connection, response);
+        };
+    std::string buffer;
+    char chunk[4096];
+    while (true) {
+        const ssize_t n = ::read(connection.fd, chunk, sizeof chunk);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return;
+        }
+        if (n == 0)
+            return;
+        buffer.append(chunk, static_cast<std::size_t>(n));
+        std::size_t start = 0;
+        for (std::size_t i = start; i < buffer.size(); ++i) {
+            if (buffer[i] != '\n')
+                continue;
+            std::string line = buffer.substr(start, i - start);
+            start = i + 1;
+            if (!line.empty())
+                loop.submit(std::move(line), respond);
+        }
+        buffer.erase(0, start);
+        if (max_line != 0 && buffer.size() > max_line) {
+            respond(renderErrorResponse(
+                {}, "oversized request line; closing connection"));
+            return;
+        }
+    }
+}
+
+} // namespace
+
+int
+serveSocket(Service &service, const std::string &socket_path,
+            const volatile std::sig_atomic_t *shutdown_flag)
+{
+    const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listener < 0) {
+        warn("serve: socket() failed: ", std::strerror(errno));
+        return ExitInternal;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof addr.sun_path) {
+        warn("serve: socket path too long: ", socket_path);
+        ::close(listener);
+        return ExitUsage;
+    }
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof addr.sun_path - 1);
+    ::unlink(socket_path.c_str());
+    if (::bind(listener, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(listener, 64) != 0) {
+        warn("serve: cannot bind/listen on '", socket_path,
+             "': ", std::strerror(errno));
+        ::close(listener);
+        return ExitInternal;
+    }
+    inform("serving on unix socket ", socket_path);
+
+    ServeLoop loop(service, service.config().queueDepth,
+                   service.config().dispatchers);
+    std::mutex connections_mu;
+    std::vector<std::unique_ptr<Connection>> connections;
+
+    while (!(shutdown_flag != nullptr && *shutdown_flag != 0) &&
+           !service.drainRequested()) {
+        pollfd pfd{listener, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, 200);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("serve: poll failed: ", std::strerror(errno));
+            break;
+        }
+        if (ready == 0)
+            continue;
+        const int fd = ::accept(listener, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("serve: accept failed: ", std::strerror(errno));
+            break;
+        }
+        auto connection = std::make_unique<Connection>();
+        connection->fd = fd;
+        Connection *raw = connection.get();
+        const std::size_t max_line = service.config().maxLineBytes;
+        connection->reader = std::thread([raw, &loop, max_line] {
+            connectionReader(*raw, loop, max_line);
+        });
+        std::lock_guard<std::mutex> lock(connections_mu);
+        connections.push_back(std::move(connection));
+    }
+
+    // Graceful drain: stop accepting, let queued campaigns finish (the
+    // store keeps every completed unit), then unblock the readers.
+    ::close(listener);
+    loop.beginDrain();
+    loop.awaitIdle();
+    {
+        std::lock_guard<std::mutex> lock(connections_mu);
+        for (auto &connection : connections)
+            ::shutdown(connection->fd, SHUT_RDWR);
+    }
+    {
+        std::lock_guard<std::mutex> lock(connections_mu);
+        for (auto &connection : connections) {
+            connection->reader.join();
+            ::close(connection->fd);
+        }
+        connections.clear();
+    }
+    loop.shutdown();
+    ::unlink(socket_path.c_str());
+    return ExitOk;
+}
+
+} // namespace icheck::service

@@ -1,0 +1,35 @@
+#ifndef ICHECK_SUPPORT_EXIT_CODES_HPP
+#define ICHECK_SUPPORT_EXIT_CODES_HPP
+
+/**
+ * @file
+ * Process exit codes shared by the `icheck` CLI and the service layer.
+ *
+ * The campaign service classifies one-shot CLI fallbacks by exit code,
+ * so the meaning of each value is part of the tool's contract (and is
+ * documented in `icheck --help`):
+ *
+ *   0  success — and, for verdict-producing commands (`check`,
+ *      `verify`), "deterministic within coverage";
+ *   1  the check ran to completion and found nondeterminism (or a
+ *      Table 1 mismatch for `verify`) — a *result*, not a failure;
+ *   2  usage error: unknown command/flag/app, malformed configuration
+ *      (also produced by ICHECK_FATAL, the user-error terminator);
+ *   3  internal error: an exception escaped the command (a bug in this
+ *      library or an unreadable environment, e.g. a corrupt store).
+ */
+
+namespace icheck
+{
+
+enum ExitCode : int
+{
+    ExitOk = 0,
+    ExitNondeterminism = 1,
+    ExitUsage = 2,
+    ExitInternal = 3,
+};
+
+} // namespace icheck
+
+#endif // ICHECK_SUPPORT_EXIT_CODES_HPP

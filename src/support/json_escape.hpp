@@ -1,0 +1,55 @@
+#ifndef ICHECK_SUPPORT_JSON_ESCAPE_HPP
+#define ICHECK_SUPPORT_JSON_ESCAPE_HPP
+
+/**
+ * @file
+ * Escaping for strings embedded in hand-rendered JSON. Every layer that
+ * emits JSON (the runtime result sink, the canonical report renderer,
+ * the service protocol) uses this one definition, so identical inputs
+ * always produce identical bytes — a prerequisite for the service's
+ * byte-identical-report contract.
+ */
+
+#include <cstdio>
+#include <string>
+
+namespace icheck
+{
+
+/** Escape @p text for embedding inside a JSON string literal. */
+inline std::string
+jsonEscapeText(const std::string &text)
+{
+    std::string escaped;
+    escaped.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"':
+            escaped += "\\\"";
+            break;
+          case '\\':
+            escaped += "\\\\";
+            break;
+          case '\n':
+            escaped += "\\n";
+            break;
+          case '\t':
+            escaped += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c));
+                escaped += buf;
+            } else {
+                escaped += c;
+            }
+        }
+    }
+    return escaped;
+}
+
+} // namespace icheck
+
+#endif // ICHECK_SUPPORT_JSON_ESCAPE_HPP

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <exception>
 
+#include "support/exit_codes.hpp"
+
 namespace icheck
 {
 
@@ -64,7 +66,11 @@ void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
     std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
-    std::exit(1);
+    // Fatal means "the user asked for something invalid", which the
+    // CLI contract maps to the usage-error exit code (see
+    // support/exit_codes.hpp); 1 is reserved for the
+    // nondeterminism-found verdict.
+    std::exit(ExitUsage);
 }
 
 } // namespace detail

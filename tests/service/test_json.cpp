@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The service JSON reader's contract: strict acceptance of well-formed
+ * documents, precise rejection of everything else. The daemon feeds
+ * this parser untrusted bytes, so the rejection cases — duplicate keys,
+ * trailing garbage, unterminated literals, hostile nesting — matter as
+ * much as the happy path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "service/json.hpp"
+
+namespace icheck::service
+{
+namespace
+{
+
+TEST(ServiceJson, ParsesScalars)
+{
+    EXPECT_TRUE(parseJson("null")->isNull());
+    EXPECT_TRUE(parseJson("true")->isBool());
+    EXPECT_TRUE(parseJson("true")->boolean);
+    EXPECT_FALSE(parseJson("false")->boolean);
+    EXPECT_TRUE(parseJson("42")->isNumber());
+    EXPECT_EQ(parseJson("\"hi\"")->text, "hi");
+}
+
+TEST(ServiceJson, NumbersKeepRawLexeme)
+{
+    // 64-bit seeds exceed a double's 53-bit mantissa; the raw lexeme
+    // must survive so asU64 round-trips exactly.
+    const auto v = parseJson("18446744073709551615");
+    ASSERT_TRUE(v.has_value());
+    ASSERT_TRUE(v->asU64().has_value());
+    EXPECT_EQ(*v->asU64(), 18446744073709551615ULL);
+}
+
+TEST(ServiceJson, NegativeAndFractionalNumbers)
+{
+    EXPECT_DOUBLE_EQ(parseJson("-2.5")->asDouble(), -2.5);
+    EXPECT_DOUBLE_EQ(parseJson("1e3")->asDouble(), 1000.0);
+    EXPECT_FALSE(parseJson("-1")->asU64().has_value());
+    EXPECT_FALSE(parseJson("2.5")->asU64().has_value());
+}
+
+TEST(ServiceJson, ObjectsPreserveOrderAndFind)
+{
+    const auto v = parseJson("{\"b\":1,\"a\":2}");
+    ASSERT_TRUE(v.has_value());
+    ASSERT_TRUE(v->isObject());
+    ASSERT_EQ(v->members.size(), 2u);
+    EXPECT_EQ(v->members[0].first, "b");
+    EXPECT_EQ(v->members[1].first, "a");
+    ASSERT_NE(v->find("a"), nullptr);
+    EXPECT_EQ(v->find("a")->asDouble(), 2.0);
+    EXPECT_EQ(v->find("missing"), nullptr);
+}
+
+TEST(ServiceJson, NestedArraysAndObjects)
+{
+    const auto v = parseJson("{\"xs\":[1,[2,3],{\"y\":true}]}");
+    ASSERT_TRUE(v.has_value());
+    const JsonValue *xs = v->find("xs");
+    ASSERT_NE(xs, nullptr);
+    ASSERT_EQ(xs->items.size(), 3u);
+    EXPECT_EQ(xs->items[1].items.size(), 2u);
+    EXPECT_TRUE(xs->items[2].find("y")->boolean);
+}
+
+TEST(ServiceJson, StringEscapes)
+{
+    EXPECT_EQ(parseJson("\"a\\n\\t\\\"b\\\\\"")->text, "a\n\t\"b\\");
+    EXPECT_EQ(parseJson("\"\\u0041\"")->text, "A");
+    EXPECT_EQ(parseJson("\"\\u00e9\"")->text, "\xc3\xa9");
+    EXPECT_EQ(parseJson("\"\\u20ac\"")->text, "\xe2\x82\xac");
+}
+
+TEST(ServiceJson, RejectsMalformedDocuments)
+{
+    const char *bad[] = {
+        "",           "{",           "}",           "[1,]",
+        "{\"a\":}",   "{\"a\" 1}",   "{1:2}",       "\"unterminated",
+        "tru",        "nul",         "+1",          "01x",
+        "{\"a\":1,}", "[1 2]",       "\"a\"b",      "{} {}",
+        "{\"a\":1}x", "\"\\q\"",     "\"\\u12\"",
+    };
+    for (const char *text : bad) {
+        std::string error;
+        EXPECT_FALSE(parseJson(text, &error).has_value()) << text;
+        EXPECT_FALSE(error.empty()) << text;
+    }
+}
+
+TEST(ServiceJson, RejectsDuplicateKeys)
+{
+    std::string error;
+    EXPECT_FALSE(parseJson("{\"a\":1,\"a\":2}", &error).has_value());
+    EXPECT_NE(error.find("duplicate"), std::string::npos);
+}
+
+TEST(ServiceJson, RejectsRawControlCharactersInStrings)
+{
+    EXPECT_FALSE(parseJson("\"a\nb\"").has_value());
+    EXPECT_FALSE(parseJson(std::string("\"a\0b\"", 5)).has_value());
+}
+
+TEST(ServiceJson, RejectsHostileNesting)
+{
+    // A 10k-bracket line must be refused, not recursed into.
+    std::string deep;
+    for (int i = 0; i < 10000; ++i)
+        deep += '[';
+    std::string error;
+    EXPECT_FALSE(parseJson(deep, &error).has_value());
+    EXPECT_NE(error.find("deep"), std::string::npos);
+
+    // 32 levels is the documented bound: 31 nested arrays parse, 33 do
+    // not.
+    std::string ok = "1";
+    for (int i = 0; i < 31; ++i)
+        ok = "[" + ok + "]";
+    EXPECT_TRUE(parseJson(ok).has_value());
+    std::string over = "1";
+    for (int i = 0; i < 33; ++i)
+        over = "[" + over + "]";
+    EXPECT_FALSE(parseJson(over).has_value());
+}
+
+TEST(ServiceJson, WhitespaceTolerated)
+{
+    const auto v = parseJson("  { \"a\" : [ 1 , 2 ] }  ");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->find("a")->items.size(), 2u);
+}
+
+} // namespace
+} // namespace icheck::service

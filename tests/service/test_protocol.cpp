@@ -1,0 +1,289 @@
+/**
+ * @file
+ * The service request codec's contract: strict validation of untrusted
+ * JSONL lines — malformed documents, unknown fields (rejected by name),
+ * out-of-range values, unsafe ids, oversized payloads — plus the
+ * canonical-key algebra the dedup and resume machinery is built on, and
+ * a deterministic fuzz corpus proving the parser never accepts garbage
+ * or crashes on it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "support/rng.hpp"
+
+namespace icheck::service
+{
+namespace
+{
+
+TEST(Protocol, ParsesMinimalCheckRequest)
+{
+    const ParsedLine parsed = parseRequestLine(
+        "{\"id\":\"r1\",\"op\":\"check\",\"app\":\"radix\"}");
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    EXPECT_EQ(parsed.request->id, "r1");
+    EXPECT_EQ(parsed.request->op, RequestOp::Check);
+    const CheckRequest &check = parsed.request->check;
+    EXPECT_EQ(check.app, "radix");
+    EXPECT_EQ(check.runs, 8);
+    EXPECT_EQ(check.scheme, check::Scheme::HwInc);
+    EXPECT_EQ(check.seed, 1000u);
+    EXPECT_EQ(check.input, "medium");
+    EXPECT_TRUE(check.rounding);
+    EXPECT_TRUE(check.ignores);
+    EXPECT_EQ(check.cores, 0);
+}
+
+TEST(Protocol, ParsesFullCheckRequest)
+{
+    const ParsedLine parsed = parseRequestLine(
+        "{\"id\":\"r2\",\"op\":\"check\",\"app\":\"fft\",\"runs\":16,"
+        "\"scheme\":\"swtr\",\"seed\":77,\"input\":\"dev\","
+        "\"rounding\":false,\"ignores\":false,\"cores\":4}");
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    const CheckRequest &check = parsed.request->check;
+    EXPECT_EQ(check.runs, 16);
+    EXPECT_EQ(check.scheme, check::Scheme::SwTr);
+    EXPECT_EQ(check.seed, 77u);
+    EXPECT_EQ(check.input, "dev");
+    EXPECT_FALSE(check.rounding);
+    EXPECT_FALSE(check.ignores);
+    EXPECT_EQ(check.cores, 4);
+}
+
+TEST(Protocol, ParsesControlOps)
+{
+    for (const auto &[op_name, op] :
+         {std::pair<std::string, RequestOp>{"stats", RequestOp::Stats},
+          {"ping", RequestOp::Ping},
+          {"drain", RequestOp::Drain}}) {
+        const ParsedLine parsed = parseRequestLine(
+            "{\"id\":\"c\",\"op\":\"" + op_name + "\"}");
+        ASSERT_TRUE(parsed.ok()) << op_name << ": " << parsed.error;
+        EXPECT_EQ(parsed.request->op, op);
+    }
+}
+
+TEST(Protocol, RejectsMalformedLines)
+{
+    const char *bad[] = {
+        "",
+        "not json",
+        "{\"id\":\"x\",\"op\":\"check\"",
+        "[\"id\",\"x\"]",
+        "42",
+        "{\"id\":\"x\",\"op\":\"check\",\"app\":\"radix\"} trailing",
+    };
+    for (const char *line : bad) {
+        const ParsedLine parsed = parseRequestLine(line);
+        EXPECT_FALSE(parsed.ok()) << line;
+        EXPECT_FALSE(parsed.error.empty()) << line;
+    }
+}
+
+TEST(Protocol, RejectsUnknownFieldsByName)
+{
+    const ParsedLine parsed = parseRequestLine(
+        "{\"id\":\"x\",\"op\":\"check\",\"app\":\"radix\","
+        "\"bogus\":1}");
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_NE(parsed.error.find("bogus"), std::string::npos);
+    // The id survives validation, so the error response can carry it.
+    EXPECT_EQ(parsed.id, "x");
+
+    // check-only fields are unknown for control ops.
+    const ParsedLine stats = parseRequestLine(
+        "{\"id\":\"x\",\"op\":\"stats\",\"runs\":4}");
+    ASSERT_FALSE(stats.ok());
+    EXPECT_NE(stats.error.find("runs"), std::string::npos);
+}
+
+TEST(Protocol, RejectsBadIds)
+{
+    const char *bad[] = {
+        "{\"op\":\"ping\"}",                          // missing
+        "{\"id\":\"\",\"op\":\"ping\"}",              // empty
+        "{\"id\":7,\"op\":\"ping\"}",                 // not a string
+        "{\"id\":\"a\\u0007b\",\"op\":\"ping\"}",     // control char
+        "{\"id\":\"a\\\\b\",\"op\":\"ping\"}",        // backslash
+    };
+    for (const char *line : bad) {
+        const ParsedLine parsed = parseRequestLine(line);
+        EXPECT_FALSE(parsed.ok()) << line;
+        // Unsafe ids are never echoed back.
+        EXPECT_TRUE(parsed.id.empty()) << line;
+    }
+    const std::string long_id(129, 'a');
+    EXPECT_FALSE(
+        parseRequestLine("{\"id\":\"" + long_id + "\",\"op\":\"ping\"}")
+            .ok());
+    const std::string max_id(128, 'a');
+    EXPECT_TRUE(
+        parseRequestLine("{\"id\":\"" + max_id + "\",\"op\":\"ping\"}")
+            .ok());
+}
+
+TEST(Protocol, RejectsOutOfRangeValues)
+{
+    const char *bad[] = {
+        "{\"id\":\"x\",\"op\":\"check\",\"app\":\"\"}",
+        "{\"id\":\"x\",\"op\":\"check\",\"app\":\"r\",\"runs\":1}",
+        "{\"id\":\"x\",\"op\":\"check\",\"app\":\"r\",\"runs\":4097}",
+        "{\"id\":\"x\",\"op\":\"check\",\"app\":\"r\",\"runs\":-3}",
+        "{\"id\":\"x\",\"op\":\"check\",\"app\":\"r\",\"runs\":2.5}",
+        "{\"id\":\"x\",\"op\":\"check\",\"app\":\"r\",\"scheme\":\"x\"}",
+        "{\"id\":\"x\",\"op\":\"check\",\"app\":\"r\",\"seed\":-1}",
+        "{\"id\":\"x\",\"op\":\"check\",\"app\":\"r\",\"input\":\"xl\"}",
+        "{\"id\":\"x\",\"op\":\"check\",\"app\":\"r\",\"rounding\":1}",
+        "{\"id\":\"x\",\"op\":\"check\",\"app\":\"r\",\"cores\":0}",
+        "{\"id\":\"x\",\"op\":\"check\",\"app\":\"r\",\"cores\":65}",
+        "{\"id\":\"x\",\"op\":\"check\"}", // app required
+        "{\"id\":\"x\"}",                  // op required
+        "{\"id\":\"x\",\"op\":\"flush\"}", // unknown op
+    };
+    for (const char *line : bad)
+        EXPECT_FALSE(parseRequestLine(line).ok()) << line;
+}
+
+TEST(Protocol, RefusesOversizedLinesBeforeParsing)
+{
+    // An oversized line is rejected on length alone — even if its
+    // content would otherwise be unparseable garbage.
+    const std::string huge(1025, '{');
+    const ParsedLine parsed = parseRequestLine(huge, 1024);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_NE(parsed.error.find("oversized"), std::string::npos);
+
+    // At exactly the bound, normal parsing applies.
+    std::string padded = "{\"id\":\"p\",\"op\":\"ping\"}";
+    padded.append(1024 - padded.size(), ' ');
+    EXPECT_TRUE(parseRequestLine(padded, 1024).ok());
+}
+
+TEST(Protocol, SeedsRoundTripAt64Bits)
+{
+    const ParsedLine parsed = parseRequestLine(
+        "{\"id\":\"x\",\"op\":\"check\",\"app\":\"r\","
+        "\"seed\":18446744073709551615}");
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    EXPECT_EQ(parsed.request->check.seed, 18446744073709551615ULL);
+}
+
+TEST(Protocol, CanonicalKeyCoversEveryKnobExceptRunsAndId)
+{
+    CheckRequest base;
+    base.app = "radix";
+    const std::string key = canonicalKey(base);
+
+    // runs is excluded: campaigns of different lengths share units.
+    CheckRequest more_runs = base;
+    more_runs.runs = 64;
+    EXPECT_EQ(canonicalKey(more_runs), key);
+
+    // Every other knob must change the key.
+    CheckRequest c = base;
+    c.app = "fft";
+    EXPECT_NE(canonicalKey(c), key);
+    c = base;
+    c.input = "large";
+    EXPECT_NE(canonicalKey(c), key);
+    c = base;
+    c.scheme = check::Scheme::SwInc;
+    EXPECT_NE(canonicalKey(c), key);
+    c = base;
+    c.seed = 2000;
+    EXPECT_NE(canonicalKey(c), key);
+    c = base;
+    c.rounding = false;
+    EXPECT_NE(canonicalKey(c), key);
+    c = base;
+    c.ignores = false;
+    EXPECT_NE(canonicalKey(c), key);
+    c = base;
+    c.cores = 4;
+    EXPECT_NE(canonicalKey(c), key);
+}
+
+TEST(Protocol, DerivedKeysAreDisjoint)
+{
+    CheckRequest request;
+    request.app = "radix";
+    const std::string canonical = canonicalKey(request);
+    EXPECT_NE(unitKey(canonical, 0), unitKey(canonical, 1));
+    EXPECT_NE(unitKey(canonical, 0), logKey(canonical));
+    EXPECT_NE(responseKey("r1"), responseKey("r2"));
+    EXPECT_EQ(responseKey("r1").rfind("resp#", 0), 0u);
+}
+
+TEST(Protocol, ResponsesEscapeUntrustedText)
+{
+    const std::string response =
+        renderErrorResponse("ok-id", "bad \"quote\" and \\slash");
+    EXPECT_NE(response.find("\\\"quote\\\""), std::string::npos);
+    EXPECT_NE(response.find("\\\\slash"), std::string::npos);
+}
+
+/**
+ * Deterministic fuzz corpus: random truncations, byte flips, and
+ * splices of valid requests. The parser must never crash and never
+ * accept a line whose round-trip identity is broken.
+ */
+TEST(Protocol, FuzzCorpusNeverCrashesOrMisparses)
+{
+    const std::vector<std::string> seeds = {
+        "{\"id\":\"r1\",\"op\":\"check\",\"app\":\"radix\",\"runs\":8,"
+        "\"seed\":1000,\"input\":\"dev\"}",
+        "{\"id\":\"s1\",\"op\":\"stats\"}",
+        "{\"id\":\"p1\",\"op\":\"ping\"}",
+        "{\"id\":\"d1\",\"op\":\"drain\"}",
+    };
+    Xoshiro256 rng(0xfeedfaceULL);
+    int accepted = 0;
+    for (int round = 0; round < 4000; ++round) {
+        std::string line = seeds[rng.below(seeds.size())];
+        switch (rng.below(3)) {
+          case 0: // truncate
+            line.resize(rng.below(line.size() + 1));
+            break;
+          case 1: { // flip a byte
+            if (!line.empty()) {
+                const std::size_t at = rng.below(line.size());
+                line[at] = static_cast<char>(rng.below(256));
+            }
+            break;
+          }
+          default: { // splice two seeds
+            const std::string &other = seeds[rng.below(seeds.size())];
+            line = line.substr(0, rng.below(line.size() + 1)) +
+                   other.substr(rng.below(other.size()));
+            break;
+          }
+        }
+        const ParsedLine parsed = parseRequestLine(line, 4096);
+        if (!parsed.ok()) {
+            EXPECT_FALSE(parsed.error.empty());
+            continue;
+        }
+        ++accepted;
+        // Anything accepted must satisfy the documented invariants.
+        const Request &request = *parsed.request;
+        EXPECT_FALSE(request.id.empty());
+        EXPECT_LE(request.id.size(), 128u);
+        if (request.op == RequestOp::Check) {
+            EXPECT_FALSE(request.check.app.empty());
+            EXPECT_GE(request.check.runs, 2);
+            EXPECT_LE(request.check.runs, 4096);
+        }
+    }
+    // Mutations occasionally produce valid lines (e.g. a truncation at
+    // full length); the corpus must exercise both outcomes.
+    EXPECT_GT(accepted, 0);
+}
+
+} // namespace
+} // namespace icheck::service

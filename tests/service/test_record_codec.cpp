@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The binary run-record / replay-log codec: exact round-trips, refusal
+ * of truncated or version-skewed payloads (at every possible truncation
+ * point — the store may hand back bytes from an older build), and
+ * trailing-garbage rejection. A decode failure must always be a clean
+ * nullopt/false, never a crash: the executor treats it as "recompute
+ * this unit".
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/driver.hpp"
+#include "mem/alloc.hpp"
+#include "service/record_codec.hpp"
+
+namespace icheck::service
+{
+namespace
+{
+
+check::RunRecord
+sampleRecord()
+{
+    check::RunRecord record;
+    record.checkpointHashes = {0x1111222233334444ULL, 0, ~0ULL};
+    record.outputHash = 0xabcdef0123456789ULL;
+    record.outputBytes = 4096;
+    record.result.checkpoints = 3;
+    record.result.nativeInstrs = 123456;
+    record.result.overheadInstrs = 789;
+    record.result.cacheHits = 1000;
+    record.result.cacheMisses = 17;
+    record.result.storesHashed = 2048;
+    record.checkerOverheadInstrs = 55;
+    return record;
+}
+
+TEST(RecordCodec, RunRecordRoundTrips)
+{
+    const check::RunRecord record = sampleRecord();
+    const std::string bytes = encodeRunRecord(record);
+    const auto decoded = decodeRunRecord(bytes);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->checkpointHashes, record.checkpointHashes);
+    EXPECT_EQ(decoded->outputHash, record.outputHash);
+    EXPECT_EQ(decoded->outputBytes, record.outputBytes);
+    EXPECT_EQ(decoded->result.checkpoints, record.result.checkpoints);
+    EXPECT_EQ(decoded->result.nativeInstrs, record.result.nativeInstrs);
+    EXPECT_EQ(decoded->result.overheadInstrs,
+              record.result.overheadInstrs);
+    EXPECT_EQ(decoded->result.cacheHits, record.result.cacheHits);
+    EXPECT_EQ(decoded->result.cacheMisses, record.result.cacheMisses);
+    EXPECT_EQ(decoded->result.storesHashed, record.result.storesHashed);
+    EXPECT_EQ(decoded->checkerOverheadInstrs,
+              record.checkerOverheadInstrs);
+}
+
+TEST(RecordCodec, EmptyRecordRoundTrips)
+{
+    const auto decoded = decodeRunRecord(encodeRunRecord({}));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_TRUE(decoded->checkpointHashes.empty());
+    EXPECT_EQ(decoded->outputHash, 0u);
+}
+
+TEST(RecordCodec, EncodingIsDeterministic)
+{
+    EXPECT_EQ(encodeRunRecord(sampleRecord()),
+              encodeRunRecord(sampleRecord()));
+}
+
+TEST(RecordCodec, RejectsEveryTruncationOfARecord)
+{
+    const std::string bytes = encodeRunRecord(sampleRecord());
+    for (std::size_t len = 0; len < bytes.size(); ++len)
+        EXPECT_FALSE(decodeRunRecord(bytes.substr(0, len)).has_value())
+            << "accepted at length " << len;
+}
+
+TEST(RecordCodec, RejectsTrailingGarbageOnRecords)
+{
+    EXPECT_FALSE(
+        decodeRunRecord(encodeRunRecord(sampleRecord()) + "x")
+            .has_value());
+}
+
+TEST(RecordCodec, RejectsVersionSkewOnRecords)
+{
+    std::string bytes = encodeRunRecord(sampleRecord());
+    bytes[0] = 2; // Bump the little-endian version word.
+    EXPECT_FALSE(decodeRunRecord(bytes).has_value());
+}
+
+TEST(RecordCodec, RejectsHostileHashCount)
+{
+    // A payload claiming 2^28 hashes but carrying none must be refused
+    // by bounds checking, not by attempting a giant allocation.
+    std::string bytes;
+    bytes.append("\x01\x00\x00\x00", 4);  // version
+    bytes.append("\x00\x00\x00\x10\x00\x00\x00\x00", 8); // count 2^28
+    EXPECT_FALSE(decodeRunRecord(bytes).has_value());
+}
+
+mem::ReplayLog
+sampleLog()
+{
+    mem::ReplayLog log;
+    log.record("app.cc:main", 0, 0x10000);
+    log.record("app.cc:main", 1, 0x20000);
+    log.record("worker|spawn", 0, 0x30000);
+    log.raiseHighWater(0x40000);
+    return log;
+}
+
+TEST(RecordCodec, ReplayLogRoundTrips)
+{
+    const mem::ReplayLog log = sampleLog();
+    mem::ReplayLog decoded;
+    ASSERT_TRUE(decodeReplayLog(encodeReplayLog(log), decoded));
+    EXPECT_EQ(decoded.entriesMap(), log.entriesMap());
+    EXPECT_EQ(decoded.highWater(), log.highWater());
+}
+
+TEST(RecordCodec, EmptyReplayLogRoundTrips)
+{
+    mem::ReplayLog decoded;
+    ASSERT_TRUE(decodeReplayLog(encodeReplayLog({}), decoded));
+    EXPECT_TRUE(decoded.empty());
+    EXPECT_EQ(decoded.highWater(), 0u);
+}
+
+TEST(RecordCodec, RejectsEveryTruncationOfALog)
+{
+    const std::string bytes = encodeReplayLog(sampleLog());
+    mem::ReplayLog sink;
+    for (std::size_t len = 0; len < bytes.size(); ++len)
+        EXPECT_FALSE(decodeReplayLog(bytes.substr(0, len), sink))
+            << "accepted at length " << len;
+}
+
+TEST(RecordCodec, RejectsTrailingGarbageOnLogs)
+{
+    mem::ReplayLog sink;
+    EXPECT_FALSE(decodeReplayLog(encodeReplayLog(sampleLog()) + "y",
+                                 sink));
+}
+
+} // namespace
+} // namespace icheck::service

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * The append-only CRC-framed result store: idempotent puts, the sharded
+ * seen-set index, reopen/resume (keys written before a crash are
+ * readable after), torn-tail truncation (a daemon killed mid-append
+ * loses at most the torn frame, and the file heals so later appends
+ * produce a clean log), and CRC rejection of corrupted frames.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "service/result_store.hpp"
+
+namespace icheck::service
+{
+namespace
+{
+
+/** A per-test store path in the build's temp dir, removed up front. */
+class ResultStoreFileTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        storePath = (std::filesystem::temp_directory_path() /
+                     (std::string("icheck_store_") + info->name() +
+                      ".icr"))
+                        .string();
+        std::filesystem::remove(storePath);
+    }
+
+    void TearDown() override { std::filesystem::remove(storePath); }
+
+    /** Byte size of the store file on disk. */
+    std::uintmax_t
+    fileSize() const
+    {
+        return std::filesystem::file_size(storePath);
+    }
+
+    /** Append raw bytes to the store file (simulates a torn write). */
+    void
+    appendRaw(const std::string &bytes) const
+    {
+        std::ofstream out(storePath,
+                          std::ios::binary | std::ios::app);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+
+    /** Flip one byte at @p offset in the store file. */
+    void
+    corruptByte(std::uintmax_t offset) const
+    {
+        std::fstream file(storePath, std::ios::binary | std::ios::in |
+                                         std::ios::out);
+        file.seekg(static_cast<std::streamoff>(offset));
+        char byte = 0;
+        file.read(&byte, 1);
+        byte = static_cast<char>(byte ^ 0xff);
+        file.seekp(static_cast<std::streamoff>(offset));
+        file.write(&byte, 1);
+    }
+
+    std::string storePath;
+};
+
+TEST(ResultStoreMemory, PutGetContains)
+{
+    ResultStore store;
+    EXPECT_FALSE(store.persistent());
+    EXPECT_FALSE(store.contains("k"));
+    EXPECT_FALSE(store.get("k").has_value());
+    EXPECT_TRUE(store.put("k", "payload"));
+    EXPECT_TRUE(store.contains("k"));
+    EXPECT_EQ(store.get("k").value(), "payload");
+    EXPECT_EQ(store.keyCount(), 1u);
+}
+
+TEST(ResultStoreMemory, PutsAreIdempotentFirstWriteWins)
+{
+    ResultStore store;
+    EXPECT_TRUE(store.put("k", "first"));
+    EXPECT_FALSE(store.put("k", "second"));
+    EXPECT_EQ(store.get("k").value(), "first");
+    EXPECT_EQ(store.stats().puts, 1u);
+    EXPECT_EQ(store.stats().putDuplicates, 1u);
+}
+
+TEST(ResultStoreMemory, BinaryKeysAndPayloadsSurvive)
+{
+    ResultStore store;
+    const std::string key("\x00\x01\xff key", 8);
+    const std::string payload("\x00\xfe\n\r\x7f", 5);
+    EXPECT_TRUE(store.put(key, payload));
+    EXPECT_EQ(store.get(key).value(), payload);
+    EXPECT_TRUE(store.put("empty", ""));
+    EXPECT_EQ(store.get("empty").value(), "");
+}
+
+TEST(ResultStoreMemory, CountersTrackHitsAndMisses)
+{
+    ResultStore store;
+    store.put("a", "1");
+    store.get("a");
+    store.get("b");
+    const StoreStats stats = store.stats();
+    EXPECT_EQ(stats.getHits, 1u);
+    EXPECT_EQ(stats.getMisses, 1u);
+}
+
+TEST_F(ResultStoreFileTest, ReopenRecoversEveryFrame)
+{
+    {
+        ResultStore store(storePath);
+        EXPECT_TRUE(store.persistent());
+        for (int i = 0; i < 50; ++i)
+            store.put("key" + std::to_string(i),
+                      "payload-" + std::to_string(i * i));
+    }
+    ResultStore reopened(storePath);
+    EXPECT_EQ(reopened.keyCount(), 50u);
+    EXPECT_EQ(reopened.stats().framesLoaded, 50u);
+    EXPECT_EQ(reopened.stats().bytesDropped, 0u);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(reopened.get("key" + std::to_string(i)).value(),
+                  "payload-" + std::to_string(i * i))
+            << i;
+}
+
+TEST_F(ResultStoreFileTest, DuplicatePutsAcrossReopenAreNoOps)
+{
+    {
+        ResultStore store(storePath);
+        store.put("k", "original");
+    }
+    const auto size_before = fileSize();
+    ResultStore reopened(storePath);
+    EXPECT_FALSE(reopened.put("k", "replacement"));
+    EXPECT_EQ(reopened.get("k").value(), "original");
+    EXPECT_EQ(fileSize(), size_before); // No frame appended.
+}
+
+TEST_F(ResultStoreFileTest, TornTailIsTruncatedAndHealed)
+{
+    {
+        ResultStore store(storePath);
+        store.put("good1", "payload1");
+        store.put("good2", "payload2");
+    }
+    const auto clean_size = fileSize();
+    appendRaw(std::string("\x49\x43\x52\x31 torn frame", 16));
+
+    {
+        ResultStore reopened(storePath);
+        EXPECT_EQ(reopened.keyCount(), 2u);
+        EXPECT_EQ(reopened.stats().framesLoaded, 2u);
+        EXPECT_GT(reopened.stats().bytesDropped, 0u);
+        EXPECT_EQ(reopened.get("good1").value(), "payload1");
+        // The torn tail is gone from disk, and appends work again.
+        EXPECT_EQ(fileSize(), clean_size);
+        EXPECT_TRUE(reopened.put("good3", "payload3"));
+    }
+    ResultStore final_store(storePath);
+    EXPECT_EQ(final_store.keyCount(), 3u);
+    EXPECT_EQ(final_store.get("good3").value(), "payload3");
+}
+
+TEST_F(ResultStoreFileTest, CorruptFrameStopsReplayAtLastGoodBoundary)
+{
+    {
+        ResultStore store(storePath);
+        store.put("first", "aaaa");
+    }
+    const auto first_size = fileSize();
+    {
+        ResultStore store(storePath);
+        store.put("second", "bbbb");
+    }
+    // Corrupt a payload byte inside the second frame: its CRC fails,
+    // replay keeps the first frame and truncates the rest.
+    corruptByte(fileSize() - 1);
+    ResultStore reopened(storePath);
+    EXPECT_EQ(reopened.keyCount(), 1u);
+    EXPECT_TRUE(reopened.contains("first"));
+    EXPECT_FALSE(reopened.contains("second"));
+    EXPECT_GT(reopened.stats().bytesDropped, 0u);
+    EXPECT_EQ(fileSize(), first_size);
+}
+
+TEST_F(ResultStoreFileTest, EmptyAndGarbageFilesAreSurvivable)
+{
+    appendRaw(""); // Create an empty file.
+    {
+        ResultStore store(storePath);
+        EXPECT_EQ(store.keyCount(), 0u);
+        store.put("k", "v");
+    }
+    std::filesystem::remove(storePath);
+    appendRaw("complete garbage, no magic anywhere");
+    ResultStore garbage(storePath);
+    EXPECT_EQ(garbage.keyCount(), 0u);
+    EXPECT_GT(garbage.stats().bytesDropped, 0u);
+    EXPECT_TRUE(garbage.put("k", "v"));
+    EXPECT_EQ(garbage.get("k").value(), "v");
+}
+
+TEST_F(ResultStoreFileTest, ThrowsWhenPathIsUnusable)
+{
+    EXPECT_THROW(ResultStore("/nonexistent-dir/sub/store.icr"),
+                 StoreError);
+}
+
+TEST(ResultStoreDeath, OversizedKeysAreAProgrammingError)
+{
+    // Service keys are bounded by construction (ids are <=128 chars,
+    // app names come from the registry); an oversized key reaching the
+    // store is a bug upstream, not a runtime condition.
+    ResultStore store;
+    const std::string huge_key((1u << 16) + 1, 'k');
+    EXPECT_DEATH(store.put(huge_key, "v"), "key out of bounds");
+    EXPECT_DEATH(store.put("", "v"), "key out of bounds");
+}
+
+} // namespace
+} // namespace icheck::service

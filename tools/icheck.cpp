@@ -16,16 +16,24 @@
  *   icheck stats <app> [--seed S] [--input dev|medium|large]
  *   icheck infer <app> [--runs N] [--no-rounding]
  *   icheck verify [--runs N] [--jobs N]
+ *   icheck serve [--socket PATH] [--store FILE] [--jobs N]
+ *                [--dispatchers N] [--queue-depth N]
  *
  * Campaigns fan their N seeded runs out across --jobs worker threads
  * (default: hardware concurrency); the report is bit-identical for every
  * worker count. --jsonl streams per-run records and campaign counters.
+ *
+ * Exit codes: 0 success / deterministic verdict, 1 nondeterminism
+ * detected, 2 usage or configuration error, 3 internal error.
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <fstream>
+#include <iostream>
 #include <optional>
 #include <string>
 #include <vector>
@@ -35,9 +43,13 @@
 #include "check/distribution.hpp"
 #include "check/infer.hpp"
 #include "check/localize.hpp"
+#include "check/report_json.hpp"
 #include "explore/explorer.hpp"
 #include "runtime/parallel_driver.hpp"
 #include "runtime/parallel_explore.hpp"
+#include "service/daemon.hpp"
+#include "service/serve_loop.hpp"
+#include "support/exit_codes.hpp"
 #include "support/logging.hpp"
 
 using namespace icheck;
@@ -56,7 +68,7 @@ usage()
         "                     [--no-rounding] [--no-ignores] [--seed S]\n"
         "                     [--input dev|medium|large]"
         " [--distributions]\n"
-        "                     [--jobs N] [--jsonl FILE]\n"
+        "                     [--jobs N] [--jsonl FILE] [--json]\n"
         "  icheck characterize <app> [--runs N] [--jobs N]\n"
         "  icheck explore <app> [--runs N] [--quantum Q] [--depth D]\n"
         "                       [--prune none|hb|state]"
@@ -68,11 +80,26 @@ usage()
         "  icheck stats <app> [--seed S] [--input dev|medium|large]\n"
         "  icheck infer <app> [--runs N] [--no-rounding]\n"
         "  icheck verify [--runs N] [--jobs N]\n"
+        "  icheck serve [--socket PATH] [--store FILE] [--jobs N]\n"
+        "               [--dispatchers N] [--queue-depth N]\n"
+        "               [--max-line-bytes N]\n"
         "\n"
         "--jobs N fans campaign runs out over N worker threads (default:\n"
         "hardware concurrency); reports are bit-identical for any N.\n"
-        "--jsonl FILE streams per-run records and campaign counters.\n");
-    return 2;
+        "--jsonl FILE streams per-run records and campaign counters.\n"
+        "--json prints the canonical one-line report (byte-identical to\n"
+        "the report a serve daemon returns for the same request).\n"
+        "serve reads JSONL requests on stdin (or --socket PATH) and\n"
+        "answers one JSONL response per line; --store FILE persists\n"
+        "results so a restarted daemon resumes without re-running\n"
+        "completed work.\n"
+        "\n"
+        "exit codes:\n"
+        "  0  success; for check: externally deterministic\n"
+        "  1  nondeterminism detected (check/verify verdict)\n"
+        "  2  usage or configuration error\n"
+        "  3  internal error\n");
+    return ExitUsage;
 }
 
 /** Tiny flag parser: --name value / --name. */
@@ -176,6 +203,7 @@ cmdCheck(const std::string &app_name, Args &args)
     if (!args.flag("--no-ignores"))
         cfg.ignores = app.ignores;
     const bool show_distributions = args.flag("--distributions");
+    const bool json_report = args.flag("--json");
     const apps::InputScale scale =
         parseScale(args.value("--input").value_or("medium"));
     const int jobs = static_cast<int>(args.number("--jobs", 0));
@@ -195,6 +223,13 @@ cmdCheck(const std::string &app_name, Args &args)
     options.sink = &sink;
     const check::DriverReport report = runtime::runCampaign(
         cfg, apps::scaledFactory(app.name, scale), options);
+
+    if (json_report) {
+        // The canonical renderer is shared with the serve daemon: the
+        // same request produces these exact bytes either way.
+        std::printf("%s\n", check::renderReportJson(report).c_str());
+        return report.deterministic() ? ExitOk : ExitNondeterminism;
+    }
 
     std::printf("%s under %s (%d runs, rounding %s, ignores %s)\n",
                 app.name.c_str(), report.scheme.c_str(), report.runs,
@@ -306,35 +341,9 @@ cmdExplore(const std::string &app_name, Args &args)
                 static_cast<unsigned long long>(result.branchesPruned),
                 static_cast<unsigned long long>(
                     result.branchesBoundedOut));
-    if (show_stats) {
-        const explore::ExploreStats &s = result.stats;
-        const double dedup =
-            s.sigInserts == 0
-                ? 0.0
-                : 1.0 - static_cast<double>(s.sigUnique) /
-                            static_cast<double>(s.sigInserts);
-        std::printf(
-            "{\"checkpointing\": %s, \"nodes_expanded\": %llu, "
-            "\"checkpoint_hits\": %llu, \"checkpoint_misses\": %llu, "
-            "\"checkpoints_created\": %llu, "
-            "\"checkpoints_evicted\": %llu, "
-            "\"checkpoint_bytes\": %llu, \"pages_cow_cloned\": %llu, "
-            "\"decisions_restored\": %llu, "
-            "\"decisions_executed\": %llu, \"sig_inserts\": %llu, "
-            "\"sig_unique\": %llu, \"dedup_rate\": %.4f}\n",
-            s.checkpointing ? "true" : "false",
-            static_cast<unsigned long long>(s.nodesExpanded),
-            static_cast<unsigned long long>(s.checkpointHits),
-            static_cast<unsigned long long>(s.checkpointMisses),
-            static_cast<unsigned long long>(s.checkpointsCreated),
-            static_cast<unsigned long long>(s.checkpointsEvicted),
-            static_cast<unsigned long long>(s.checkpointBytes),
-            static_cast<unsigned long long>(s.pagesCowCloned),
-            static_cast<unsigned long long>(s.decisionsRestored),
-            static_cast<unsigned long long>(s.decisionsExecuted),
-            static_cast<unsigned long long>(s.sigInserts),
-            static_cast<unsigned long long>(s.sigUnique), dedup);
-    }
+    if (show_stats)
+        std::printf("%s\n",
+                    explore::renderStatsJson(result.stats).c_str());
     return 0;
 }
 
@@ -470,10 +479,51 @@ cmdLocalize(const std::string &app_name, Args &args)
     return 0;
 }
 
-} // namespace
+// icheck-lint: allow(C1): sig_atomic_t flag is the only state a signal
+// handler may legally touch; it is read-only outside the handler.
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+
+extern "C" void
+handleShutdownSignal(int)
+{
+    g_shutdown_requested = 1;
+}
 
 int
-main(int argc, char **argv)
+cmdServe(Args &args)
+{
+    service::ServiceConfig cfg;
+    cfg.jobs = static_cast<int>(args.number("--jobs", 0));
+    cfg.dispatchers = static_cast<int>(args.number("--dispatchers", 2));
+    cfg.queueDepth =
+        static_cast<std::size_t>(args.number("--queue-depth", 64));
+    cfg.maxLineBytes = static_cast<std::size_t>(
+        args.number("--max-line-bytes", 64 * 1024));
+    if (const auto store_path = args.value("--store"))
+        cfg.storePath = *store_path;
+    const std::optional<std::string> socket_path = args.value("--socket");
+    if (args.leftovers())
+        return usage();
+    if (cfg.dispatchers < 1 || cfg.dispatchers > 64)
+        ICHECK_FATAL("--dispatchers must be in [1, 64]");
+    if (cfg.queueDepth < 1 || cfg.queueDepth > 65536)
+        ICHECK_FATAL("--queue-depth must be in [1, 65536]");
+
+    // SIGTERM/SIGINT begin a graceful drain: in-flight campaigns finish
+    // (their units land in the store), then the daemon exits.
+    std::signal(SIGTERM, handleShutdownSignal);
+    std::signal(SIGINT, handleShutdownSignal);
+
+    service::Service daemon(cfg);
+    if (socket_path.has_value())
+        return service::serveSocket(daemon, *socket_path,
+                                    &g_shutdown_requested);
+    return service::servePipe(daemon, std::cin, std::cout,
+                              &g_shutdown_requested);
+}
+
+int
+dispatch(int argc, char **argv)
 {
     if (argc < 2)
         return usage();
@@ -483,6 +533,10 @@ main(int argc, char **argv)
     if (command == "verify") {
         Args args(argc, argv, 2);
         return cmdVerify(args);
+    }
+    if (command == "serve") {
+        Args args(argc, argv, 2);
+        return cmdServe(args);
     }
     if (argc < 3)
         return usage();
@@ -501,4 +555,18 @@ main(int argc, char **argv)
     if (command == "infer")
         return cmdInfer(app_name, args);
     return usage();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return dispatch(argc, argv);
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "icheck: internal error: %s\n",
+                     error.what());
+        return ExitInternal;
+    }
 }

@@ -1,0 +1,611 @@
+/**
+ * @file
+ * Load generator for the `icheck serve` campaign daemon: replay a
+ * deterministic mix of check requests across several apps and seeds,
+ * measure sustained throughput and latency, and emit one
+ * machine-readable result file (default BENCH_service.json).
+ *
+ * Usage: loadgen [out.json] [--quick]
+ *                [--requests N] [--clients C] [--runs N]
+ *                [--apps a,b,c] [--seeds K] [--input dev|medium|large]
+ *                [--jobs N] [--dispatchers N] [--store FILE]
+ *                [--connect SOCKET | --spawn ICHECK_BIN]
+ *                [--verify] [--baseline <json>]
+ *
+ * Three transports:
+ *   (default)   in-process — drive a Service directly from C client
+ *               threads; the service-layer number, no transport noise;
+ *   --connect   attach to a daemon already listening on a Unix socket;
+ *   --spawn     fork `ICHECK_BIN serve --socket <tmp>`, run the traffic
+ *               against it, drain it, and reap it.
+ *
+ * The mix cycles apps x seeds, so once every combination has run, later
+ * requests repeat earlier work and the daemon's seen-state set answers
+ * from cache — the reported dedup hit rate measures exactly that.
+ *
+ * --verify re-runs every distinct request through the one-shot campaign
+ * path in-process and fails (exit 1) unless the daemon's report bytes
+ * are identical — the acceptance gate for the serve path.
+ *
+ * --quick shrinks the mix for CI smoke runs. --baseline embeds a
+ * previous output plus speedups (run_bench.sh pins one under
+ * bench/baselines/service_main.json). Numbers are host-specific.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "apps/app_registry.hpp"
+#include "apps/scales.hpp"
+#include "check/report_json.hpp"
+#include "runtime/parallel_driver.hpp"
+#include "service/daemon.hpp"
+#include "service/json.hpp"
+#include "service/protocol.hpp"
+
+using namespace icheck;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** The metric keys, in emission order. */
+const std::vector<std::string> kKeys = {
+    "requestsPerSec",
+    "p50LatencyMs",
+    "p99LatencyMs",
+    "dedupHitRate",
+};
+
+struct Metrics
+{
+    double values[4] = {};
+
+    double &operator[](std::size_t i) { return values[i]; }
+    double operator[](std::size_t i) const { return values[i]; }
+};
+
+/** One request of the generated mix. */
+struct MixEntry
+{
+    std::string line;      ///< The JSONL request.
+    std::string app;       ///< For the verify pass.
+    std::uint64_t seed = 0;
+    std::size_t combo = 0; ///< Index into the distinct app x seed set.
+};
+
+/** A synchronous request/response channel to the daemon under test. */
+using Roundtrip = std::function<std::string(const std::string &line)>;
+
+std::string
+renderCheckLine(const std::string &id, const std::string &app, int runs,
+                std::uint64_t seed, const std::string &input)
+{
+    return "{\"id\":\"" + id + "\",\"op\":\"check\",\"app\":\"" + app +
+           "\",\"runs\":" + std::to_string(runs) +
+           ",\"seed\":" + std::to_string(seed) + ",\"input\":\"" + input +
+           "\"}";
+}
+
+/**
+ * Build the request mix: requests cycle through apps x seeds, so entry
+ * i >= apps*seeds repeats the work of entry i % (apps*seeds).
+ */
+std::vector<MixEntry>
+buildMix(const std::vector<std::string> &apps, int requests, int runs,
+         int seeds, const std::string &input)
+{
+    std::vector<MixEntry> mix;
+    mix.reserve(static_cast<std::size_t>(requests));
+    const std::size_t combos = apps.size() * static_cast<std::size_t>(seeds);
+    for (int i = 0; i < requests; ++i) {
+        const std::size_t combo = static_cast<std::size_t>(i) % combos;
+        MixEntry entry;
+        entry.app = apps[combo % apps.size()];
+        entry.seed = 1000 + combo / apps.size();
+        entry.combo = combo;
+        entry.line = renderCheckLine("lg-" + std::to_string(i), entry.app,
+                                     runs, entry.seed, input);
+        mix.push_back(std::move(entry));
+    }
+    return mix;
+}
+
+/** Connect to a Unix stream socket; -1 on failure. */
+int
+connectSocket(const std::string &path)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path) {
+        ::close(fd);
+        return -1;
+    }
+    std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+/** Write @p line + '\n', then read one '\n'-terminated response. */
+std::string
+socketRoundtrip(int fd, const std::string &line)
+{
+    std::string framed = line;
+    framed += '\n';
+    std::size_t written = 0;
+    while (written < framed.size()) {
+        const ssize_t n = ::write(fd, framed.data() + written,
+                                  framed.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return {};
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    std::string response;
+    char byte = 0;
+    while (true) {
+        const ssize_t n = ::read(fd, &byte, 1);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return {};
+        }
+        if (n == 0 || byte == '\n')
+            return response;
+        response.push_back(byte);
+    }
+}
+
+apps::InputScale
+scaleOf(const std::string &input)
+{
+    if (input == "dev")
+        return apps::InputScale::Dev;
+    if (input == "large")
+        return apps::InputScale::Large;
+    return apps::InputScale::Medium;
+}
+
+/**
+ * Run the campaign of @p entry through the one-shot path and return the
+ * canonical report line — the bytes the daemon must have embedded.
+ */
+std::string
+oneShotReport(const MixEntry &entry, int runs, const std::string &input)
+{
+    const apps::AppInfo *app = apps::tryFindApp(entry.app);
+    if (app == nullptr)
+        return {};
+    check::DriverConfig cfg;
+    cfg.runs = runs;
+    cfg.baseSchedSeed = entry.seed;
+    cfg.ignores = app->ignores;
+    runtime::CampaignOptions options;
+    options.jobs = 1;
+    const check::DriverReport report = runtime::runCampaign(
+        cfg, apps::scaledFactory(app->name, scaleOf(input)), options);
+    return check::renderReportJson(report);
+}
+
+/** Extract the embedded "report":{...} object from an ok response. */
+std::string
+embeddedReport(const std::string &response)
+{
+    const std::string needle = "\"report\":";
+    const std::size_t pos = response.find(needle);
+    if (pos == std::string::npos || response.empty() ||
+        response.back() != '}')
+        return {};
+    // The report is the final member, so it ends one byte before the
+    // response's closing brace.
+    return response.substr(pos + needle.size(),
+                           response.size() - 1 - (pos + needle.size()));
+}
+
+std::optional<Metrics>
+readBaseline(const std::string &path)
+{
+    std::FILE *in = std::fopen(path.c_str(), "r");
+    if (in == nullptr) {
+        std::fprintf(stderr, "cannot read baseline %s\n", path.c_str());
+        return std::nullopt;
+    }
+    std::string text;
+    char buf[4096];
+    std::size_t got = 0;
+    while ((got = std::fread(buf, 1, sizeof(buf), in)) > 0)
+        text.append(buf, got);
+    std::fclose(in);
+
+    Metrics base;
+    for (std::size_t i = 0; i < kKeys.size(); ++i) {
+        const std::string needle = "\"" + kKeys[i] + "\":";
+        const std::size_t pos = text.find(needle);
+        if (pos == std::string::npos) {
+            std::fprintf(stderr, "baseline %s lacks %s\n", path.c_str(),
+                         kKeys[i].c_str());
+            return std::nullopt;
+        }
+        base[i] = std::strtod(text.c_str() + pos + needle.size(), nullptr);
+    }
+    return base;
+}
+
+void
+emitBlock(std::FILE *out, const char *name, const Metrics &m,
+          const char *fmt)
+{
+    std::fprintf(out, "  \"%s\": {", name);
+    for (std::size_t i = 0; i < kKeys.size(); ++i) {
+        std::fprintf(out, "%s\n    \"%s\": ", i == 0 ? "" : ",",
+                     kKeys[i].c_str());
+        std::fprintf(out, fmt, m[i]);
+    }
+    std::fprintf(out, "\n  }");
+}
+
+std::vector<std::string>
+splitCsv(const std::string &csv)
+{
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (start <= csv.size()) {
+        const std::size_t comma = csv.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? csv.size() : comma;
+        if (end > start)
+            parts.push_back(csv.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return parts;
+}
+
+double
+percentile(std::vector<double> sorted, double fraction)
+{
+    if (sorted.empty())
+        return 0.0;
+    const auto index = static_cast<std::size_t>(
+        fraction * static_cast<double>(sorted.size() - 1));
+    return sorted[index];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_service.json";
+    std::string apps_csv = "radix,fft,lu";
+    std::string input = "dev";
+    std::string baseline_path;
+    std::string connect_path;
+    std::string spawn_bin;
+    std::string store_path;
+    int requests = 96;
+    int clients = 4;
+    int runs = 6;
+    int seeds = 2;
+    int jobs = 0;
+    int dispatchers = 2;
+    bool quick = false;
+    bool verify = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--verify") {
+            verify = true;
+        } else if (arg == "--requests" && i + 1 < argc) {
+            requests = std::atoi(argv[++i]);
+        } else if (arg == "--clients" && i + 1 < argc) {
+            clients = std::atoi(argv[++i]);
+        } else if (arg == "--runs" && i + 1 < argc) {
+            runs = std::atoi(argv[++i]);
+        } else if (arg == "--seeds" && i + 1 < argc) {
+            seeds = std::atoi(argv[++i]);
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            jobs = std::atoi(argv[++i]);
+        } else if (arg == "--dispatchers" && i + 1 < argc) {
+            dispatchers = std::atoi(argv[++i]);
+        } else if (arg == "--apps" && i + 1 < argc) {
+            apps_csv = argv[++i];
+        } else if (arg == "--input" && i + 1 < argc) {
+            input = argv[++i];
+        } else if (arg == "--baseline" && i + 1 < argc) {
+            baseline_path = argv[++i];
+        } else if (arg == "--connect" && i + 1 < argc) {
+            connect_path = argv[++i];
+        } else if (arg == "--spawn" && i + 1 < argc) {
+            spawn_bin = argv[++i];
+        } else if (arg == "--store" && i + 1 < argc) {
+            store_path = argv[++i];
+        } else if (arg.rfind("--", 0) != 0) {
+            out_path = arg;
+        } else {
+            std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+            return 2;
+        }
+    }
+    if (quick) {
+        requests = std::min(requests, 18);
+        clients = std::min(clients, 2);
+    }
+    const std::vector<std::string> app_names = splitCsv(apps_csv);
+    if (app_names.empty() || requests < 1 || clients < 1 || runs < 2 ||
+        seeds < 1) {
+        std::fprintf(stderr, "invalid mix parameters\n");
+        return 2;
+    }
+    if (!connect_path.empty() && !spawn_bin.empty()) {
+        std::fprintf(stderr,
+                     "--connect and --spawn are mutually exclusive\n");
+        return 2;
+    }
+
+    const std::vector<MixEntry> mix =
+        buildMix(app_names, requests, runs, seeds, input);
+
+    // --- Set up the transport. ---------------------------------------
+    std::unique_ptr<service::Service> local;
+    pid_t daemon_pid = -1;
+    std::string socket_path = connect_path;
+    const char *mode = "in-process";
+
+    if (!spawn_bin.empty()) {
+        mode = "spawn";
+        socket_path = "loadgen-" + std::to_string(::getpid()) + ".sock";
+        daemon_pid = ::fork();
+        if (daemon_pid == 0) {
+            std::vector<std::string> daemon_args = {
+                spawn_bin,       "serve",
+                "--socket",      socket_path,
+                "--jobs",        std::to_string(jobs),
+                "--dispatchers", std::to_string(dispatchers),
+            };
+            if (!store_path.empty()) {
+                daemon_args.push_back("--store");
+                daemon_args.push_back(store_path);
+            }
+            std::vector<char *> exec_argv;
+            for (std::string &daemon_arg : daemon_args)
+                exec_argv.push_back(daemon_arg.data());
+            exec_argv.push_back(nullptr);
+            ::execv(spawn_bin.c_str(), exec_argv.data());
+            std::fprintf(stderr, "cannot exec %s\n", spawn_bin.c_str());
+            std::_Exit(3);
+        }
+        if (daemon_pid < 0) {
+            std::fprintf(stderr, "fork failed\n");
+            return 3;
+        }
+        // Wait for the daemon's socket to accept.
+        bool up = false;
+        for (int attempt = 0; attempt < 200 && !up; ++attempt) {
+            const int fd = connectSocket(socket_path);
+            if (fd >= 0) {
+                ::close(fd);
+                up = true;
+                break;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(25));
+        }
+        if (!up) {
+            std::fprintf(stderr, "spawned daemon never came up\n");
+            ::kill(daemon_pid, SIGKILL);
+            return 3;
+        }
+    } else if (connect_path.empty()) {
+        service::ServiceConfig cfg;
+        cfg.jobs = jobs;
+        cfg.dispatchers = dispatchers;
+        cfg.storePath = store_path;
+        local = std::make_unique<service::Service>(cfg);
+    } else {
+        mode = "connect";
+    }
+
+    // Per-client channels: in-process clients call the service
+    // directly; socket clients each own one connection.
+    std::vector<int> client_fds;
+    std::vector<Roundtrip> channels;
+    for (int c = 0; c < clients; ++c) {
+        if (local != nullptr) {
+            channels.emplace_back([&local](const std::string &line) {
+                return local->handleLine(line);
+            });
+            continue;
+        }
+        const int fd = connectSocket(socket_path);
+        if (fd < 0) {
+            std::fprintf(stderr, "cannot connect to %s\n",
+                         socket_path.c_str());
+            return 3;
+        }
+        client_fds.push_back(fd);
+        channels.emplace_back([fd](const std::string &line) {
+            return socketRoundtrip(fd, line);
+        });
+    }
+
+    // --- Traffic phase. ----------------------------------------------
+    std::atomic<std::size_t> next{0};
+    std::vector<std::string> responses(mix.size());
+    std::vector<std::vector<double>> latencies(
+        static_cast<std::size_t>(clients));
+    std::atomic<int> failures{0};
+
+    const auto start = Clock::now();
+    std::vector<std::thread> workers;
+    for (int c = 0; c < clients; ++c) {
+        workers.emplace_back([&, c] {
+            while (true) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= mix.size())
+                    return;
+                const auto sent = Clock::now();
+                std::string response = channels[c](mix[i].line);
+                const double ms =
+                    std::chrono::duration<double, std::milli>(
+                        Clock::now() - sent)
+                        .count();
+                latencies[static_cast<std::size_t>(c)].push_back(ms);
+                if (response.find("\"status\":\"ok\"") ==
+                    std::string::npos)
+                    failures.fetch_add(1, std::memory_order_relaxed);
+                responses[i] = std::move(response);
+            }
+        });
+    }
+    for (std::thread &worker : workers)
+        worker.join();
+    const double wall =
+        std::chrono::duration<double>(Clock::now() - start).count();
+
+    if (failures.load() != 0) {
+        std::fprintf(stderr, "%d of %zu requests did not return ok\n",
+                     failures.load(), mix.size());
+        return 1;
+    }
+
+    // --- Stats + dedup hit rate from the daemon itself. --------------
+    const std::string stats_response =
+        channels[0]("{\"id\":\"lg-stats\",\"op\":\"stats\"}");
+    double dedup_rate = 0.0;
+    if (const auto parsed = service::parseJson(stats_response)) {
+        if (const auto *stats = parsed->find("stats"))
+            if (const auto *rate = stats->find("dedupHitRate"))
+                dedup_rate = rate->asDouble();
+    }
+
+    // --- Verify phase: daemon bytes vs the one-shot path. ------------
+    bool verified = true;
+    if (verify) {
+        std::vector<bool> checked(app_names.size() *
+                                  static_cast<std::size_t>(seeds));
+        for (std::size_t i = 0; i < mix.size(); ++i) {
+            if (checked[mix[i].combo])
+                continue;
+            checked[mix[i].combo] = true;
+            const std::string expected =
+                oneShotReport(mix[i], runs, input);
+            const std::string got = embeddedReport(responses[i]);
+            if (expected.empty() || got != expected) {
+                std::fprintf(stderr,
+                             "report mismatch for %s seed %llu\n"
+                             "  one-shot: %s\n  daemon:   %s\n",
+                             mix[i].app.c_str(),
+                             static_cast<unsigned long long>(mix[i].seed),
+                             expected.c_str(), got.c_str());
+                verified = false;
+            }
+        }
+    }
+
+    // --- Tear down the transport. ------------------------------------
+    if (daemon_pid > 0)
+        channels[0]("{\"id\":\"lg-drain\",\"op\":\"drain\"}");
+    for (const int fd : client_fds)
+        ::close(fd);
+    if (daemon_pid > 0) {
+        int status = 0;
+        ::waitpid(daemon_pid, &status, 0);
+        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+            std::fprintf(stderr, "daemon exited abnormally\n");
+            verified = false;
+        }
+    }
+
+    // --- Metrics. ----------------------------------------------------
+    std::vector<double> all_latencies;
+    for (const auto &client_latencies : latencies)
+        all_latencies.insert(all_latencies.end(),
+                             client_latencies.begin(),
+                             client_latencies.end());
+    std::sort(all_latencies.begin(), all_latencies.end());
+
+    Metrics cur;
+    cur[0] = wall > 0.0 ? static_cast<double>(mix.size()) / wall : 0.0;
+    cur[1] = percentile(all_latencies, 0.50);
+    cur[2] = percentile(all_latencies, 0.99);
+    cur[3] = dedup_rate;
+
+    std::optional<Metrics> base;
+    if (!baseline_path.empty()) {
+        base = readBaseline(baseline_path);
+        if (!base.has_value())
+            return 1;
+    }
+
+    std::FILE *out = std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"bench\": \"loadgen\",\n");
+    std::fprintf(out, "  \"quick\": %s,\n", quick ? "true" : "false");
+    std::fprintf(out, "  \"mode\": \"%s\",\n", mode);
+    std::fprintf(out, "  \"requests\": %d,\n", requests);
+    std::fprintf(out, "  \"clients\": %d,\n", clients);
+    std::fprintf(out, "  \"runsPerRequest\": %d,\n", runs);
+    std::fprintf(out, "  \"apps\": \"%s\",\n", apps_csv.c_str());
+    std::fprintf(out, "  \"seedsPerApp\": %d,\n", seeds);
+    std::fprintf(out, "  \"input\": \"%s\",\n", input.c_str());
+    std::fprintf(out, "  \"verified\": %s,\n",
+                 verify ? (verified ? "true" : "false") : "null");
+    std::fprintf(out, "  \"hardwareConcurrency\": %u,\n",
+                 std::thread::hardware_concurrency());
+    emitBlock(out, "current", cur, "%.4f");
+    if (base.has_value()) {
+        std::fprintf(out, ",\n");
+        emitBlock(out, "mainBaseline", *base, "%.4f");
+        Metrics speedup;
+        for (std::size_t i = 0; i < kKeys.size(); ++i)
+            speedup[i] =
+                (*base)[i] > 0.0 ? cur[i] / (*base)[i] : 0.0;
+        std::fprintf(out, ",\n");
+        emitBlock(out, "speedupVsMain", speedup, "%.2f");
+    }
+    std::fprintf(out, "\n}\n");
+    std::fclose(out);
+
+    std::printf("%zu requests in %.2fs: %.1f req/s, p50 %.2fms, "
+                "p99 %.2fms, dedup %.2f%s\n",
+                mix.size(), wall, cur[0], cur[1], cur[2], cur[3],
+                verify ? (verified ? ", verified" : ", VERIFY FAILED")
+                       : "");
+    std::printf("wrote %s\n", out_path.c_str());
+    return verified ? 0 : 1;
+}

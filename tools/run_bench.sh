@@ -5,7 +5,7 @@
 #   tools/run_bench.sh [build-dir] [parallel-output.json]
 #   tools/run_bench.sh --pin [build-dir]
 #
-# Three files are produced:
+# Four files are produced:
 #   BENCH_parallel.json — serial vs. pooled campaign runs/sec (plus
 #     speedup and worker utilization per job count).
 #   BENCH_hotpath.json  — access/hash hot-path throughput (store-hash
@@ -16,6 +16,10 @@
 #     vs clone, restore+suffix vs cold re-run, explore nodes/sec on vs
 #     off), compared against the pinned no-checkpoint baseline in
 #     bench/baselines/snapshot_main.json.
+#   BENCH_service.json  — campaign-service throughput (sustained req/s,
+#     p50/p99 latency, dedup hit rate) from the loadgen mixed-app
+#     replay, compared against the pinned baseline in
+#     bench/baselines/service_main.json.
 # Comparing the files across commits tracks each subsystem's trajectory.
 #
 # Every emitted JSON is stamped with provenance (git SHA, hostname,
@@ -93,7 +97,8 @@ if [ "${pin}" -eq 1 ]; then
         exit 1
         ;;
     esac
-    cmake --build "${build_dir}" -t micro_hotpath micro_snapshot -j
+    cmake --build "${build_dir}" -t micro_hotpath micro_snapshot \
+        loadgen -j
     mkdir -p "${repo_root}/bench/baselines"
     "${build_dir}/bench/micro_hotpath" \
         "${repo_root}/bench/baselines/hotpath_main.json"
@@ -102,12 +107,15 @@ if [ "${pin}" -eq 1 ]; then
         "${repo_root}/bench/baselines/snapshot_main.json" \
         --no-checkpoints
     stamp_provenance "${repo_root}/bench/baselines/snapshot_main.json"
+    "${build_dir}/tools/loadgen/loadgen" \
+        "${repo_root}/bench/baselines/service_main.json"
+    stamp_provenance "${repo_root}/bench/baselines/service_main.json"
     echo "baselines pinned under ${repo_root}/bench/baselines/"
     exit 0
 fi
 
 cmake --build "${build_dir}" -t micro_parallel micro_hotpath \
-    micro_snapshot -j
+    micro_snapshot loadgen -j
 
 "${build_dir}/bench/micro_parallel" "${out_json}"
 stamp_provenance "${out_json}"
@@ -122,3 +130,13 @@ echo "hot-path trajectory written to ${repo_root}/BENCH_hotpath.json"
     --baseline "${repo_root}/bench/baselines/snapshot_main.json"
 stamp_provenance "${repo_root}/BENCH_snapshot.json"
 echo "snapshot trajectory written to ${repo_root}/BENCH_snapshot.json"
+
+service_baseline="${repo_root}/bench/baselines/service_main.json"
+service_args=()
+if [ -f "${service_baseline}" ]; then
+    service_args+=(--baseline "${service_baseline}")
+fi
+"${build_dir}/tools/loadgen/loadgen" "${repo_root}/BENCH_service.json" \
+    "${service_args[@]+"${service_args[@]}"}"
+stamp_provenance "${repo_root}/BENCH_service.json"
+echo "service trajectory written to ${repo_root}/BENCH_service.json"
