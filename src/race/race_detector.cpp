@@ -18,6 +18,24 @@ raceKindName(RaceKind kind)
     ICHECK_PANIC("unknown RaceKind");
 }
 
+std::string
+symbolizeAddress(Addr addr, const sim::Machine &machine)
+{
+    std::ostringstream os;
+    if (const mem::Block *block =
+            machine.allocator().findHistorical(addr)) {
+        os << "site:" << block->site << "+0x" << std::hex
+           << addr - block->addr << std::dec;
+    } else if (const mem::GlobalVar *var =
+                   machine.staticSegment().findContaining(addr)) {
+        os << "global:" << var->name << "+0x" << std::hex
+           << addr - var->addr << std::dec;
+    } else {
+        os << "addr:0x" << std::hex << addr << std::dec;
+    }
+    return os.str();
+}
+
 std::vector<std::string>
 describeRaces(const std::set<RaceRecord> &races,
               const sim::Machine &machine)
@@ -27,19 +45,8 @@ describeRaces(const std::set<RaceRecord> &races,
     for (const RaceRecord &race : races) {
         std::ostringstream os;
         os << raceKindName(race.kind) << " race between t" << race.first
-           << " and t" << race.second << " on ";
-        if (const mem::Block *block =
-                machine.allocator().findHistorical(race.granule)) {
-            os << "site:" << block->site << "+0x" << std::hex
-               << race.granule - block->addr << std::dec;
-        } else if (const mem::GlobalVar *var =
-                       machine.staticSegment().findContaining(
-                           race.granule)) {
-            os << "global:" << var->name << "+0x" << std::hex
-               << race.granule - var->addr << std::dec;
-        } else {
-            os << "addr:0x" << std::hex << race.granule << std::dec;
-        }
+           << " and t" << race.second << " on "
+           << symbolizeAddress(race.granule, machine);
         lines.push_back(os.str());
     }
     return lines;

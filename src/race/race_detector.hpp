@@ -60,6 +60,13 @@ std::vector<std::string> describeRaces(const std::set<RaceRecord> &races,
                                        const sim::Machine &machine);
 
 /**
+ * Symbolize one address against the machine's allocation table and
+ * static segment: "site:<alloc site>+0xOFF", "global:<name>+0xOFF", or
+ * "addr:0xHEX" when the address belongs to neither.
+ */
+std::string symbolizeAddress(Addr addr, const sim::Machine &machine);
+
+/**
  * The detector. Attach to a Machine as a listener before run().
  */
 class RaceDetector : public sim::AccessListener

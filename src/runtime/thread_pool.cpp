@@ -64,8 +64,8 @@ ThreadPool::takeTask(unsigned self, std::function<void()> &task,
         stolen = false;
         // takeTask's contract is that the caller holds mu (see the
         // workerLoop call sites), so these updates are serialized.
-        --queuedTotal;            // icheck-lint: allow(C2): caller holds mu
-        ++counters.tasksExecuted; // icheck-lint: allow(C2): caller holds mu
+        --queuedTotal;            // icheck-lint: allow(C2): caller holds mu allow(L1): caller holds mu
+        ++counters.tasksExecuted; // icheck-lint: allow(C2): caller holds mu allow(L1): caller holds mu
         return true;
     }
     // Steal from the victim with the most queued work: the fullest deque
@@ -84,9 +84,9 @@ ThreadPool::takeTask(unsigned self, std::function<void()> &task,
     task = std::move(deques[victim].back());
     deques[victim].pop_back();
     stolen = true;
-    --queuedTotal;            // icheck-lint: allow(C2): caller holds mu
-    ++counters.tasksExecuted; // icheck-lint: allow(C2): caller holds mu
-    ++counters.tasksStolen;   // icheck-lint: allow(C2): caller holds mu
+    --queuedTotal;            // icheck-lint: allow(C2): caller holds mu allow(L1): caller holds mu
+    ++counters.tasksExecuted; // icheck-lint: allow(C2): caller holds mu allow(L1): caller holds mu
+    ++counters.tasksStolen;   // icheck-lint: allow(C2): caller holds mu allow(L1): caller holds mu
     return true;
 }
 

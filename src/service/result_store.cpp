@@ -127,12 +127,14 @@ ResultStore::replayFile()
         slot.offset = offset + headerBytes + key_len;
         slot.payloadLen = payload_len;
         shards[shardOf(key)].map.emplace(key, slot);
+        // icheck-lint: allow(L1): replay runs in the ctor, pre-threads
         ++counters.framesLoaded;
         offset += headerBytes + body;
     }
     file.clear();
 
     if (offset < file_size) {
+        // icheck-lint: allow(L1): replay runs in the ctor, pre-threads
         counters.bytesDropped = file_size - offset;
         warn("result store '", filePath, "': dropping ",
              counters.bytesDropped,
@@ -151,6 +153,7 @@ ResultStore::replayFile()
             throw StoreError("cannot reopen result store at '" +
                              filePath + "'");
     }
+    // icheck-lint: allow(L1): replay runs in the ctor, pre-threads
     fileEnd = offset;
 }
 

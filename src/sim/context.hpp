@@ -18,6 +18,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <source_location>
 #include <string>
 #include <type_traits>
 
@@ -152,27 +153,42 @@ class ThreadCtx
     /** Typed load through the cache model. */
     template <typename T>
     T
-    load(Addr addr)
+    load(Addr addr,
+         const std::source_location loc = std::source_location::current())
     {
+        if (machine.accessSiteTrackingArmed()) [[unlikely]]
+            machine.noteAccessSite(loc.file_name(),
+                                   static_cast<int>(loc.line()));
         return detail::fromBits<T>(machine.loadAccess(addr, sizeof(T)));
     }
 
     /** Typed store through the write buffer / MHM pipeline. */
     template <typename T>
     void
-    store(Addr addr, T value)
+    store(Addr addr, T value,
+          const std::source_location loc = std::source_location::current())
     {
+        if (machine.accessSiteTrackingArmed()) [[unlikely]]
+            machine.noteAccessSite(loc.file_name(),
+                                   static_cast<int>(loc.line()));
         machine.storeAccess(addr, sizeof(T), detail::toBits(value),
                             detail::classOf<T>(), CostDomain::Native);
     }
 
     /** Load a simulated pointer. */
-    Addr loadPtr(Addr addr) { return load<std::uint64_t>(addr); }
+    Addr
+    loadPtr(Addr addr,
+            const std::source_location loc = std::source_location::current())
+    {
+        return load<std::uint64_t>(addr, loc);
+    }
 
     /** Store a simulated pointer. */
-    void storePtr(Addr addr, Addr value)
+    void
+    storePtr(Addr addr, Addr value,
+             const std::source_location loc = std::source_location::current())
     {
-        store<std::uint64_t>(addr, value);
+        store<std::uint64_t>(addr, value, loc);
     }
 
     /** Address of a global declared in setup. */

@@ -323,6 +323,26 @@ class Machine
     /** Output stream written through ctx.output() (Section 4.3). */
     const std::vector<std::uint8_t> &output() const { return outputBytes; }
 
+    /// @name Access-site attribution (race-log export).
+    ///
+    /// When armed, ThreadCtx::load/store record their C++ call site
+    /// (std::source_location of the app code) here just before issuing
+    /// the access, so listeners running inside the access callback can
+    /// attribute the event to a file:line. Disarmed (the default) the
+    /// only cost is one predictable branch per typed access.
+    /// @{
+    void setAccessSiteTracking(bool on) { trackAccessSites = on; }
+    bool accessSiteTrackingArmed() const { return trackAccessSites; }
+    void noteAccessSite(const char *file, int line)
+    {
+        siteFile = file;
+        siteLine = line;
+    }
+    /** File of the in-flight access's call site (null when unarmed). */
+    const char *accessSiteFile() const { return siteFile; }
+    int accessSiteLine() const { return siteLine; }
+    /// @}
+
     StatGroup &stats() { return statistics; }
     bool instrumentationActive() const { return instrumentation; }
 
@@ -409,6 +429,13 @@ class Machine
     /** True when the malloc-replay log is this machine's own (checkpoint
      *  precondition: a shared log cannot be rewound per machine). */
     bool usesPrivateLog = true;
+
+    /// @name Access-site attribution state (see the public accessors).
+    /// @{
+    bool trackAccessSites = false;
+    const char *siteFile = nullptr;
+    int siteLine = 0;
+    /// @}
 
     std::vector<std::uint8_t> outputBytes;
     StatGroup statistics;

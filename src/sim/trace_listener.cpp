@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "sim/machine.hpp"
+
 namespace icheck::sim
 {
 
@@ -30,6 +32,18 @@ TraceListener::TraceListener(Sink out) : sink(std::move(out)) {}
 
 TraceListener::TraceListener() : capture(true) {}
 
+std::string
+TraceListener::siteSuffix() const
+{
+    if (machine == nullptr || !machine->accessSiteTrackingArmed() ||
+        machine->accessSiteFile() == nullptr)
+        return "";
+    std::ostringstream os;
+    os << " @" << machine->accessSiteFile() << ":"
+       << machine->accessSiteLine();
+    return os.str();
+}
+
 void
 TraceListener::emit(const std::string &line)
 {
@@ -50,6 +64,8 @@ TraceListener::onStore(const StoreEvent &event)
         os << " [instr]";
     if (!event.hashed)
         os << " [unhashed]";
+    if (event.domain == CostDomain::Native)
+        os << siteSuffix();
     emit(os.str());
 }
 
@@ -60,7 +76,7 @@ TraceListener::onLoad(const LoadEvent &event)
         return;
     std::ostringstream os;
     os << "t" << event.tid << " load" << 8 * event.width << " 0x"
-       << std::hex << event.addr << std::dec;
+       << std::hex << event.addr << std::dec << siteSuffix();
     emit(os.str());
 }
 

@@ -20,6 +20,8 @@
 namespace icheck::sim
 {
 
+class Machine;
+
 /**
  * Formats run events as one line each and hands them to a sink.
  */
@@ -33,6 +35,14 @@ class TraceListener : public AccessListener
 
     /** Capture-to-vector convenience: lines() holds everything seen. */
     TraceListener();
+
+    /**
+     * Attach a machine for source attribution: when its access-site
+     * tracking is armed, every load/store line gains an " @file:line"
+     * suffix naming the C++ call site of the typed access — the same
+     * attribution the race-log export serializes.
+     */
+    void setSourceMachine(const Machine *m) { machine = m; }
 
     void onStore(const StoreEvent &event) override;
     void onLoad(const LoadEvent &event) override;
@@ -51,10 +61,14 @@ class TraceListener : public AccessListener
   private:
     void emit(const std::string &line);
 
+    /** " @file:line" when attribution is armed and known, else "". */
+    std::string siteSuffix() const;
+
     Sink sink;
     bool traceLoads = true;
     std::vector<std::string> captured;
     bool capture = false;
+    const Machine *machine = nullptr;
 };
 
 } // namespace icheck::sim

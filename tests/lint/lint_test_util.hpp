@@ -22,6 +22,15 @@ lintSnippet(const std::string &path, const std::string &source)
     return lintSource(path, source, LintConfig{});
 }
 
+/** Lint several in-memory TUs as one program. */
+inline LintRun
+lintSnippets(const std::vector<FileInput> &files,
+             const LintConfig &config = LintConfig{},
+             const std::vector<DynamicRace> &races = {})
+{
+    return lintSources(files, config, races);
+}
+
 inline int
 countRule(const std::vector<KeyedFinding> &findings, Rule rule)
 {

@@ -1,0 +1,496 @@
+/**
+ * @file
+ * L-rule fixtures: inconsistent guards (L1), lock-order inversions
+ * (L2), and guarded-address escapes (L3) — each with a positive, a
+ * negative, and a suppressed case, plus the simulated-machine idiom.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lint_test_util.hpp"
+
+namespace icheck::lint
+{
+namespace
+{
+
+using testutil::countRule;
+using testutil::firstLineOf;
+using testutil::lintSnippet;
+using testutil::lintSnippets;
+
+/* ---------------------------------- L1 --------------------------- */
+
+TEST(RuleL1, FiresOnWriteMissingTheUsualGuard)
+{
+    const auto findings = lintSnippet("src/sim/x.cpp", R"cpp(
+#include <mutex>
+struct Counter
+{
+    std::mutex mu;
+    long value = 0;
+    void addA(long n)
+    {
+        std::lock_guard<std::mutex> guard(mu);
+        value = value + n;
+    }
+    void addB(long n)
+    {
+        std::lock_guard<std::mutex> guard(mu);
+        value = value + 2 * n;
+    }
+    void addRacy(long n)
+    {
+        value = value + 3 * n;
+    }
+};
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::L1), 1);
+    EXPECT_EQ(firstLineOf(findings, Rule::L1), 19);
+}
+
+TEST(RuleL1, QuietWhenEveryWriteHoldsTheGuard)
+{
+    const auto findings = lintSnippet("src/sim/x.cpp", R"cpp(
+#include <mutex>
+struct Counter
+{
+    std::mutex mu;
+    long value = 0;
+    void addA(long n)
+    {
+        std::lock_guard<std::mutex> guard(mu);
+        value = value + n;
+    }
+    void addB(long n)
+    {
+        std::lock_guard<std::mutex> guard(mu);
+        value = value + 2 * n;
+    }
+};
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::L1), 0);
+}
+
+TEST(RuleL1, QuietOnConstructorInitialization)
+{
+    // Publication-before-sharing: ctor writes carry no guard and must
+    // not poison the vote.
+    const auto findings = lintSnippet("src/sim/x.cpp", R"cpp(
+#include <mutex>
+struct Counter
+{
+    std::mutex mu;
+    long value;
+    Counter()
+    {
+        value = 0;
+    }
+    void addA(long n)
+    {
+        std::lock_guard<std::mutex> guard(mu);
+        value = value + n;
+    }
+    void addB(long n)
+    {
+        std::lock_guard<std::mutex> guard(mu);
+        value = value + 2 * n;
+    }
+};
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::L1), 0);
+}
+
+TEST(RuleL1, QuietOnAtomicsAndLocals)
+{
+    const auto findings = lintSnippet("src/sim/x.cpp", R"cpp(
+#include <atomic>
+#include <mutex>
+struct Counter
+{
+    std::mutex mu;
+    std::atomic<long> hits{0};
+    void addA()
+    {
+        std::lock_guard<std::mutex> guard(mu);
+        hits = hits + 1;
+    }
+    void addB()
+    {
+        std::lock_guard<std::mutex> guard(mu);
+        hits = hits + 1;
+    }
+    void addRacy()
+    {
+        long scratch = 0;
+        scratch = scratch + 1;
+        hits = hits + 1;
+    }
+};
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::L1), 0);
+}
+
+TEST(RuleL1, SuppressedWithReason)
+{
+    const auto findings = lintSnippet("src/sim/x.cpp", R"cpp(
+#include <mutex>
+struct Counter
+{
+    std::mutex mu;
+    long value = 0;
+    void addA(long n)
+    {
+        std::lock_guard<std::mutex> guard(mu);
+        value = value + n;
+    }
+    void addB(long n)
+    {
+        std::lock_guard<std::mutex> guard(mu);
+        value = value + 2 * n;
+    }
+    void addRacy(long n)
+    {
+        // icheck-lint: allow(L1): single-threaded setup phase
+        value = value + 3 * n;
+    }
+};
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::L1), 0);
+    EXPECT_EQ(countRule(findings, Rule::H4), 0);
+}
+
+TEST(RuleL1, FiresOnSimulatedMachineAccesses)
+{
+    // The sim idiom: ctx.store<T>(addr, v) under ctx.lock(mu).
+    const auto findings = lintSnippet("src/apps/x.cpp", R"cpp(
+struct App
+{
+    MutexId energyMutex;
+    double kinetic = 0.0;
+    void stepLocked(ThreadCtx &ctx)
+    {
+        ctx.lock(energyMutex);
+        ctx.store<double>(&kinetic, ctx.load<double>(&kinetic) + 1.0);
+        ctx.unlock(energyMutex);
+    }
+    void stepLockedToo(ThreadCtx &ctx)
+    {
+        ctx.lock(energyMutex);
+        ctx.store<double>(&kinetic, ctx.load<double>(&kinetic) + 2.0);
+        ctx.unlock(energyMutex);
+    }
+    void stepRacy(ThreadCtx &ctx)
+    {
+        ctx.store<double>(&kinetic, ctx.load<double>(&kinetic) + 3.0);
+    }
+};
+)cpp");
+    // The unguarded write, and the unguarded read feeding it.
+    EXPECT_GE(countRule(findings, Rule::L1), 1);
+    EXPECT_EQ(firstLineOf(findings, Rule::L1), 20);
+}
+
+TEST(RuleL1, AtomicStoreLoadIsNotASimAccess)
+{
+    // std::atomic's store(v)/load() never spell a template argument at
+    // the call site; they must not register as tracked accesses.
+    const auto findings = lintSnippet("src/sim/x.cpp", R"cpp(
+#include <atomic>
+struct Flags
+{
+    std::atomic<int> ready{0};
+    void publish()
+    {
+        ready.store(1);
+    }
+    void publishAgain()
+    {
+        ready.store(2);
+    }
+    int poll() const
+    {
+        return ready.load();
+    }
+};
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::L1), 0);
+}
+
+/* ---------------------------------- L2 --------------------------- */
+
+TEST(RuleL2, FiresOnLockOrderInversion)
+{
+    const auto findings = lintSnippet("src/sim/x.cpp", R"cpp(
+#include <mutex>
+struct Bank
+{
+    std::mutex a;
+    std::mutex b;
+    void forward()
+    {
+        std::lock_guard<std::mutex> first(a);
+        std::lock_guard<std::mutex> second(b);
+    }
+    void backward()
+    {
+        std::lock_guard<std::mutex> second(b);
+        std::lock_guard<std::mutex> first(a);
+    }
+};
+)cpp");
+    // Both directions of the cycle are reported, once each.
+    EXPECT_EQ(countRule(findings, Rule::L2), 2);
+}
+
+TEST(RuleL2, QuietOnConsistentNesting)
+{
+    const auto findings = lintSnippet("src/sim/x.cpp", R"cpp(
+#include <mutex>
+struct Bank
+{
+    std::mutex a;
+    std::mutex b;
+    void forward()
+    {
+        std::lock_guard<std::mutex> first(a);
+        std::lock_guard<std::mutex> second(b);
+    }
+    void forwardAgain()
+    {
+        std::lock_guard<std::mutex> first(a);
+        std::lock_guard<std::mutex> second(b);
+    }
+};
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::L2), 0);
+}
+
+TEST(RuleL2, SeesInversionAcrossTranslationUnits)
+{
+    const LintRun run = lintSnippets({
+        {"src/sim/a.cpp", R"cpp(
+#include <mutex>
+#include "bank.hpp"
+void
+Bank::forward()
+{
+    std::lock_guard<std::mutex> first(a);
+    std::lock_guard<std::mutex> second(b);
+}
+)cpp"},
+        {"src/sim/b.cpp", R"cpp(
+#include <mutex>
+#include "bank.hpp"
+void
+Bank::backward()
+{
+    std::lock_guard<std::mutex> second(b);
+    std::lock_guard<std::mutex> first(a);
+}
+)cpp"},
+    });
+    EXPECT_EQ(countRule(run.findings, Rule::L2), 2);
+}
+
+TEST(RuleL2, SuppressedWithReason)
+{
+    const auto findings = lintSnippet("src/sim/x.cpp", R"cpp(
+#include <mutex>
+struct Bank
+{
+    std::mutex a;
+    std::mutex b;
+    void forward()
+    {
+        std::lock_guard<std::mutex> first(a);
+        // icheck-lint: allow(L2): trylock fallback breaks the cycle
+        std::lock_guard<std::mutex> second(b);
+    }
+    void backward()
+    {
+        std::lock_guard<std::mutex> second(b);
+        // icheck-lint: allow(L2): trylock fallback breaks the cycle
+        std::lock_guard<std::mutex> first(a);
+    }
+};
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::L2), 0);
+}
+
+TEST(RuleL2, SimLockCallsFeedTheOrderGraph)
+{
+    const auto findings = lintSnippet("src/apps/x.cpp", R"cpp(
+struct App
+{
+    MutexId outer;
+    MutexId inner;
+    void forward(ThreadCtx &ctx)
+    {
+        ctx.lock(outer);
+        ctx.lock(inner);
+        ctx.unlock(inner);
+        ctx.unlock(outer);
+    }
+    void backward(ThreadCtx &ctx)
+    {
+        ctx.lock(inner);
+        ctx.lock(outer);
+        ctx.unlock(outer);
+        ctx.unlock(inner);
+    }
+};
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::L2), 2);
+}
+
+/* ---------------------------------- L3 --------------------------- */
+
+TEST(RuleL3, FiresWhenGuardedAddressEscapesUnlocked)
+{
+    const auto findings = lintSnippet("src/sim/x.cpp", R"cpp(
+#include <mutex>
+struct Tank
+{
+    std::mutex mu;
+    double level = 0;
+    void fill(double n)
+    {
+        std::lock_guard<std::mutex> guard(mu);
+        level = level + n;
+    }
+    void drain(double n)
+    {
+        std::lock_guard<std::mutex> guard(mu);
+        level = level - n;
+    }
+    double *expose()
+    {
+        return &level;
+    }
+};
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::L3), 1);
+    EXPECT_EQ(firstLineOf(findings, Rule::L3), 19);
+}
+
+TEST(RuleL3, QuietWhenEscapeHoldsTheGuard)
+{
+    const auto findings = lintSnippet("src/sim/x.cpp", R"cpp(
+#include <mutex>
+struct Tank
+{
+    std::mutex mu;
+    double level = 0;
+    void fill(double n)
+    {
+        std::lock_guard<std::mutex> guard(mu);
+        level = level + n;
+    }
+    void drain(double n)
+    {
+        std::lock_guard<std::mutex> guard(mu);
+        level = level - n;
+    }
+    void observe(void (*sink)(double *))
+    {
+        std::lock_guard<std::mutex> guard(mu);
+        sink(&level);
+    }
+};
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::L3), 0);
+}
+
+TEST(RuleL3, QuietOnUnguardedObjects)
+{
+    // No guard inferred, so taking the address is not an escape.
+    const auto findings = lintSnippet("src/sim/x.cpp", R"cpp(
+struct Plain
+{
+    double level = 0;
+    double *expose()
+    {
+        return &level;
+    }
+};
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::L3), 0);
+}
+
+TEST(RuleL3, SuppressedWithReason)
+{
+    const auto findings = lintSnippet("src/sim/x.cpp", R"cpp(
+#include <mutex>
+struct Tank
+{
+    std::mutex mu;
+    double level = 0;
+    void fill(double n)
+    {
+        std::lock_guard<std::mutex> guard(mu);
+        level = level + n;
+    }
+    void drain(double n)
+    {
+        std::lock_guard<std::mutex> guard(mu);
+        level = level - n;
+    }
+    double *expose()
+    {
+        // icheck-lint: allow(L3): consumed before threads start
+        return &level;
+    }
+};
+)cpp");
+    EXPECT_EQ(countRule(findings, Rule::L3), 0);
+}
+
+/* ------------------------------ parallelism ---------------------- */
+
+TEST(LintJobs, OutputIsIdenticalAcrossJobCounts)
+{
+    std::vector<FileInput> files;
+    for (int n = 0; n < 8; ++n) {
+        const std::string tag = std::to_string(n);
+        files.push_back({"src/sim/file" + tag + ".cpp", R"cpp(
+#include <mutex>
+struct Counter
+{
+    std::mutex mu;
+    long value = 0;
+    void addA(long n)
+    {
+        std::lock_guard<std::mutex> guard(mu);
+        value = value + n;
+    }
+    void addB(long n)
+    {
+        std::lock_guard<std::mutex> guard(mu);
+        value = value + 2 * n;
+    }
+    void addRacy(long n)
+    {
+        value = value + 3 * n;
+    }
+};
+)cpp"});
+    }
+    LintConfig serial;
+    serial.jobs = 1;
+    LintConfig wide;
+    wide.jobs = 4;
+    const LintRun one = lintSnippets(files, serial);
+    const LintRun four = lintSnippets(files, wide);
+    ASSERT_EQ(one.findings.size(), four.findings.size());
+    for (std::size_t i = 0; i < one.findings.size(); ++i) {
+        EXPECT_EQ(one.findings[i].key, four.findings[i].key);
+        EXPECT_EQ(one.findings[i].finding.line,
+                  four.findings[i].finding.line);
+        EXPECT_EQ(one.findings[i].finding.message,
+                  four.findings[i].finding.message);
+    }
+}
+
+} // namespace
+} // namespace icheck::lint

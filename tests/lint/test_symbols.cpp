@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Symbol-table fixtures: class member extraction, mutex/atomic/const
+ * classification, base-chain member lookup, and namespace globals.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lexer.hpp"
+#include "symbols.hpp"
+
+namespace icheck::lint
+{
+namespace
+{
+
+SymbolTable
+tableFor(const std::string &source)
+{
+    return collectSymbols("src/sim/x.cpp", lex(source));
+}
+
+TEST(Symbols, RecordsClassMembersWithTypeFlags)
+{
+    const SymbolTable table = tableFor(R"cpp(
+#include <mutex>
+#include <atomic>
+struct Account
+{
+    std::mutex mu;
+    std::atomic<long> hits{0};
+    const int limit = 8;
+    double balance = 0.0;
+    void deposit(double amount);
+};
+)cpp");
+    ASSERT_EQ(table.classes.count("Account"), 1u);
+    const ClassInfo &account = table.classes.at("Account");
+    ASSERT_EQ(account.members.count("mu"), 1u);
+    EXPECT_TRUE(account.members.at("mu").isMutex);
+    ASSERT_EQ(account.members.count("hits"), 1u);
+    EXPECT_TRUE(account.members.at("hits").isAtomic);
+    ASSERT_EQ(account.members.count("limit"), 1u);
+    EXPECT_TRUE(account.members.at("limit").isConst);
+    ASSERT_EQ(account.members.count("balance"), 1u);
+    const VarInfo &balance = account.members.at("balance");
+    EXPECT_FALSE(balance.isMutex);
+    EXPECT_FALSE(balance.isAtomic);
+    EXPECT_FALSE(balance.isConst);
+    // Methods are not data members.
+    EXPECT_EQ(account.members.count("deposit"), 0u);
+    EXPECT_TRUE(account.hasMutexMember());
+}
+
+TEST(Symbols, RecordsNamespaceGlobals)
+{
+    const SymbolTable table = tableFor(R"cpp(
+#include <mutex>
+namespace demo
+{
+std::mutex registryMu;
+int hitCount = 0;
+}
+long freeTotal;
+)cpp");
+    ASSERT_EQ(table.globals.count("registryMu"), 1u);
+    EXPECT_TRUE(table.globals.at("registryMu").isMutex);
+    EXPECT_EQ(table.globals.count("hitCount"), 1u);
+    EXPECT_EQ(table.globals.count("freeTotal"), 1u);
+}
+
+TEST(Symbols, FindMemberWalksBaseChain)
+{
+    const SymbolTable table = tableFor(R"cpp(
+struct Base
+{
+    int shared = 0;
+};
+struct Mid : public Base
+{
+    int own = 0;
+};
+struct Leaf : Mid
+{
+};
+)cpp");
+    ASSERT_NE(table.findMember("Leaf", "own"), nullptr);
+    ASSERT_NE(table.findMember("Leaf", "shared"), nullptr);
+    EXPECT_EQ(table.findMember("Leaf", "absent"), nullptr);
+    EXPECT_EQ(table.findMember("NoSuchClass", "own"), nullptr);
+}
+
+TEST(Symbols, FindMemberSurvivesInheritanceCycle)
+{
+    // Illegal C++, but the parser must not loop on it.
+    const SymbolTable table = tableFor(R"cpp(
+struct A : B { int a = 0; };
+struct B : A { int b = 0; };
+)cpp");
+    ASSERT_NE(table.findMember("A", "b"), nullptr);
+    EXPECT_EQ(table.findMember("A", "missing"), nullptr);
+}
+
+TEST(Symbols, SimMutexIdCountsAsMutex)
+{
+    EXPECT_TRUE(isMutexType("MutexId"));
+    EXPECT_TRUE(isMutexType("mutex"));
+    EXPECT_TRUE(isMutexType("shared_mutex"));
+    EXPECT_FALSE(isMutexType("int"));
+
+    const SymbolTable table = tableFor(R"cpp(
+struct App
+{
+    MutexId energyMutex;
+    double kinetic = 0.0;
+};
+)cpp");
+    ASSERT_EQ(table.classes.count("App"), 1u);
+    EXPECT_TRUE(table.classes.at("App").members.at("energyMutex").isMutex);
+}
+
+TEST(Symbols, TemplateAndAccessSpecifiersDoNotConfuseBases)
+{
+    const SymbolTable table = tableFor(R"cpp(
+template <typename T>
+class Holder : private std::vector<T>, public Tag
+{
+    T item;
+};
+)cpp");
+    ASSERT_EQ(table.classes.count("Holder"), 1u);
+    const ClassInfo &holder = table.classes.at("Holder");
+    ASSERT_FALSE(holder.bases.empty());
+    EXPECT_EQ(holder.bases.back(), "Tag");
+}
+
+TEST(Symbols, FunctionLocalsAreNotMembers)
+{
+    const SymbolTable table = tableFor(R"cpp(
+struct Worker
+{
+    int total = 0;
+    void run()
+    {
+        int scratch = 0;
+        scratch += 1;
+    }
+};
+)cpp");
+    const ClassInfo &worker = table.classes.at("Worker");
+    EXPECT_EQ(worker.members.count("scratch"), 0u);
+    EXPECT_EQ(worker.members.count("total"), 1u);
+}
+
+} // namespace
+} // namespace icheck::lint

@@ -34,10 +34,12 @@
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "apps/apps.hpp"
 #include "apps/characterize.hpp"
 #include "apps/scales.hpp"
 #include "check/distribution.hpp"
@@ -45,6 +47,7 @@
 #include "check/localize.hpp"
 #include "check/report_json.hpp"
 #include "explore/explorer.hpp"
+#include "race/race_log.hpp"
 #include "runtime/parallel_driver.hpp"
 #include "runtime/parallel_explore.hpp"
 #include "service/daemon.hpp"
@@ -69,6 +72,8 @@ usage()
         "                     [--input dev|medium|large]"
         " [--distributions]\n"
         "                     [--jobs N] [--jsonl FILE] [--json]\n"
+        "                     [--bug semantic|atomicity|order]\n"
+        "                     [--race-log FILE]\n"
         "  icheck characterize <app> [--runs N] [--jobs N]\n"
         "  icheck explore <app> [--runs N] [--quantum Q] [--depth D]\n"
         "                       [--prune none|hb|state]"
@@ -89,6 +94,12 @@ usage()
         "--jsonl FILE streams per-run records and campaign counters.\n"
         "--json prints the canonical one-line report (byte-identical to\n"
         "the report a serve daemon returns for the same request).\n"
+        "--bug plants a known defect from the paper's Table 2 into the\n"
+        "app (waterNS: semantic, waterSP: atomicity, radix: order).\n"
+        "--race-log FILE appends the dynamic race detector's racing\n"
+        "access pairs as JSONL, each endpoint attributed to the app\n"
+        "source file:line; icheck-lint --race-log cross-checks its\n"
+        "static findings against this log.\n"
         "serve reads JSONL requests on stdin (or --socket PATH) and\n"
         "answers one JSONL response per line; --store FILE persists\n"
         "results so a restarted daemon resumes without re-running\n"
@@ -190,6 +201,37 @@ parseScale(const std::string &name)
                  "' (dev | medium | large)");
 }
 
+apps::BugSeed
+parseBug(const std::string &name)
+{
+    if (name == "semantic")
+        return apps::BugSeed::Semantic;
+    if (name == "atomicity")
+        return apps::BugSeed::AtomicityViolation;
+    if (name == "order")
+        return apps::BugSeed::OrderViolation;
+    ICHECK_FATAL("unknown bug seed '", name,
+                 "' (semantic | atomicity | order)");
+}
+
+/** Factory for the Table 2 bug-seeded variant of @p app. */
+check::ProgramFactory
+seededFactory(const std::string &app, apps::BugSeed bug)
+{
+    if (app == "waterNS")
+        return [bug] {
+            return std::make_unique<apps::WaterNS>(8, 48, 5, bug);
+        };
+    if (app == "waterSP")
+        return [bug] {
+            return std::make_unique<apps::WaterSP>(8, 48, 4, bug);
+        };
+    if (app == "radix")
+        return [bug] { return std::make_unique<apps::Radix>(8, 512, bug); };
+    ICHECK_FATAL("--bug is seeded into waterNS, waterSP, or radix; not '",
+                 app, "'");
+}
+
 int
 cmdCheck(const std::string &app_name, Args &args)
 {
@@ -208,8 +250,15 @@ cmdCheck(const std::string &app_name, Args &args)
         parseScale(args.value("--input").value_or("medium"));
     const int jobs = static_cast<int>(args.number("--jobs", 0));
     const std::optional<std::string> jsonl_path = args.value("--jsonl");
+    const std::optional<std::string> bug_name = args.value("--bug");
+    const std::optional<std::string> race_log_path =
+        args.value("--race-log");
     if (args.leftovers())
         return usage();
+
+    const check::ProgramFactory factory =
+        bug_name ? seededFactory(app.name, parseBug(*bug_name))
+                 : apps::scaledFactory(app.name, scale);
 
     std::ofstream jsonl_stream;
     if (jsonl_path.has_value()) {
@@ -221,8 +270,24 @@ cmdCheck(const std::string &app_name, Args &args)
     runtime::CampaignOptions options;
     options.jobs = jobs;
     options.sink = &sink;
-    const check::DriverReport report = runtime::runCampaign(
-        cfg, apps::scaledFactory(app.name, scale), options);
+    const check::DriverReport report =
+        runtime::runCampaign(cfg, factory, options);
+
+    // The race log is a side artifact: it reruns the campaign's seeds
+    // under the happens-before detector with source attribution armed,
+    // and never changes the determinism verdict or exit code.
+    if (race_log_path.has_value()) {
+        std::ofstream race_stream(*race_log_path, std::ios::app);
+        if (!race_stream)
+            ICHECK_FATAL("cannot open --race-log file '", *race_log_path,
+                         "'");
+        const int races = race::exportRaceLog(
+            factory, cfg.machine, cfg.runs, cfg.baseSchedSeed, app.name,
+            race_stream);
+        std::fprintf(stderr,
+                     "icheck: %d attributed race(s) appended to %s\n",
+                     races, race_log_path->c_str());
+    }
 
     if (json_report) {
         // The canonical renderer is shared with the serve daemon: the

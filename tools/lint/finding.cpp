@@ -52,8 +52,41 @@ ruleRegistry()
          "malformed icheck-lint suppression (unknown rule or missing "
          "reason)",
          "write // icheck-lint: allow(D1): <why this is safe>"},
+        {Rule::L1, "L1",
+         "write to a shared field without the lock that guards its "
+         "other writes (inconsistent guard discipline)",
+         "take the guard lock around the write, or suppress citing the "
+         "protocol (single-writer phase, barrier ordering) that makes "
+         "the lock unnecessary"},
+        {Rule::L2, "L2",
+         "lock-order inversion: this acquisition order is reversed "
+         "elsewhere, so two threads can deadlock",
+         "pick one global acquisition order (document it) and acquire "
+         "both locks in that order everywhere, or use std::scoped_lock"},
+        {Rule::L3, "L3",
+         "address of a guard-protected field escapes without the guard "
+         "held (callees can then bypass the lock)",
+         "pass a copy, or take the guard lock around the escape and "
+         "document that the callee must not retain the pointer"},
+        {Rule::X1, "X1",
+         "dynamic race observed (icheck --race-log) on a line the "
+         "static lockset pass believed guarded",
+         "the static model missed a lock alias or an unlocked path; "
+         "fix the race, then re-run the campaign to confirm the log "
+         "entry disappears"},
     };
     return registry;
+}
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Note:    return "note";
+      case Severity::Warning: return "warning";
+      case Severity::Error:   return "error";
+    }
+    return "warning";
 }
 
 const RuleInfo &

@@ -16,6 +16,14 @@
  *  - H-rules flag hygiene issues that make the first two families harder
  *    to audit (missing override, raw new/delete outside arenas,
  *    unowned to-do markers, malformed suppressions).
+ *  - L-rules come from the symbol-aware lockset pass: a per-TU symbol
+ *    table plus a scope-sensitive lockset dataflow infer which lock
+ *    guards each shared field, then flag writes that skip the guard
+ *    (L1), lock-order inversions (L2), and guarded fields whose address
+ *    escapes the lock (L3).
+ *  - X-rules cross-check static belief against dynamic evidence: X1
+ *    fires when `icheck check --race-log` recorded a race on a line the
+ *    lockset pass believed guarded.
  */
 
 #include <string>
@@ -37,7 +45,22 @@ enum class Rule
     H2, ///< Raw new/delete outside arena code.
     H3, ///< To-do marker without an issue reference.
     H4, ///< Malformed suppression (unknown rule or missing reason).
+    L1, ///< Write to a field that skips the field's inferred guard lock.
+    L2, ///< Lock-order inversion (A before B here, B before A elsewhere).
+    L3, ///< Address of a guarded field escapes without the guard held.
+    X1, ///< Dynamic race on a line the static pass believed guarded.
 };
+
+/** How bad a finding is; SARIF levels map 1:1. */
+enum class Severity
+{
+    Note,
+    Warning,
+    Error,
+};
+
+/** "note" / "warning" / "error" — the SARIF level spelling. */
+const char *severityName(Severity severity);
 
 /** Static description of one rule. */
 struct RuleInfo
@@ -64,6 +87,7 @@ struct Finding
     std::string file;
     int line = 0;
     std::string message;
+    Severity severity = Severity::Warning;
 };
 
 } // namespace icheck::lint

@@ -6,10 +6,14 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "lexer.hpp"
+#include "runtime/thread_pool.hpp"
+#include "symbols.hpp"
 
 namespace icheck::lint
 {
@@ -139,6 +143,95 @@ isSourceFile(const std::filesystem::path &path)
            ext == ".hxx";
 }
 
+/** Everything phase 1 extracts from one file. */
+struct FileScan
+{
+    std::vector<Finding> findings; ///< Pattern + comment rules + H4.
+    std::vector<Suppression> suppressions;
+    std::vector<std::string> lines;
+    LocksetFacts facts;
+};
+
+FileScan
+scanFile(const std::string &path, const std::string &source,
+         const LintConfig &config)
+{
+    FileScan scan;
+    const LexResult lexed = lex(source);
+    for (const Comment &comment : lexed.comments)
+        parseSuppressions(path, comment, scan.suppressions,
+                          scan.findings);
+    runCodeRules(path, lexed, config, scan.findings);
+    runCommentRules(path, lexed, scan.findings);
+    const SymbolTable symbols = collectSymbols(path, lexed);
+    scan.facts = collectLocksetFacts(path, lexed, symbols, config);
+    scan.lines = splitLines(source);
+    return scan;
+}
+
+bool
+isSuppressed(const Finding &finding,
+             const std::vector<Suppression> &suppressions)
+{
+    if (finding.rule == Rule::H4)
+        return false;
+    for (const Suppression &suppression : suppressions) {
+        if (suppression.rule == finding.rule &&
+            finding.line >= suppression.firstLine &&
+            finding.line <= suppression.lastLine)
+            return true;
+    }
+    return false;
+}
+
+KeyedFinding
+keyFinding(Finding finding, const std::vector<std::string> &lines)
+{
+    KeyedFinding entry;
+    const std::size_t index = static_cast<std::size_t>(finding.line) - 1;
+    entry.lineText = index < lines.size() ? trim(lines[index]) : "";
+    char hash[32];
+    std::snprintf(hash, sizeof hash, "%016llx",
+                  static_cast<unsigned long long>(
+                      fnv1a64(entry.lineText)));
+    entry.key = std::string(ruleInfo(finding.rule).id) + "\t" +
+                finding.file + "\t" + hash;
+    entry.finding = std::move(finding);
+    return entry;
+}
+
+bool
+isLocksetRule(Rule rule)
+{
+    return rule == Rule::L1 || rule == Rule::L2 || rule == Rule::L3;
+}
+
+/** Promote statically-found, dynamically-confirmed findings to error. */
+void
+promoteConfirmed(std::vector<Finding> &findings,
+                 const std::vector<DynamicRace> &races)
+{
+    for (Finding &finding : findings) {
+        if (!isLocksetRule(finding.rule))
+            continue;
+        for (const DynamicRace &race : races) {
+            const RaceEndpoint *hit = nullptr;
+            if (race.first.line == finding.line &&
+                pathsMatch(race.first.file, finding.file))
+                hit = &race.first;
+            else if (race.second.line == finding.line &&
+                     pathsMatch(race.second.file, finding.file))
+                hit = &race.second;
+            if (hit == nullptr)
+                continue;
+            finding.severity = Severity::Error;
+            finding.message += " [confirmed by dynamic race: " +
+                               race.kind + " on " + race.symbol + "]";
+            break;
+        }
+    }
+}
+
 } // namespace
 
 std::uint64_t
@@ -152,84 +245,125 @@ fnv1a64(const std::string &text)
     return hash;
 }
 
+LintRun
+lintSources(const std::vector<FileInput> &files, const LintConfig &config,
+            const std::vector<DynamicRace> &races)
+{
+    // Phase 1, per file and embarrassingly parallel: pattern rules plus
+    // symbol/lockset fact extraction. Results land in input order, so
+    // the merge below is identical for every worker count.
+    std::vector<FileScan> scans(files.size());
+    if (config.jobs != 1 && files.size() > 1) {
+        runtime::ThreadPool pool(config.jobs);
+        pool.parallelFor(files.size(), [&](std::size_t i) {
+            scans[i] = scanFile(files[i].path, files[i].source, config);
+        });
+    } else {
+        for (std::size_t i = 0; i < files.size(); ++i)
+            scans[i] = scanFile(files[i].path, files[i].source, config);
+    }
+
+    // Phase 2, global: guard inference over every TU's facts.
+    LintRun run;
+    run.filesScanned = static_cast<int>(files.size());
+    std::vector<LocksetFacts> facts;
+    facts.reserve(scans.size());
+    for (FileScan &scan : scans)
+        facts.push_back(std::move(scan.facts));
+    std::vector<Finding> locksetFindings;
+    run.lockset = analyzeLocksets(facts, config, locksetFindings);
+
+    // Route the cross-TU findings back to their files.
+    std::map<std::string, std::size_t> fileIndex;
+    for (std::size_t i = 0; i < files.size(); ++i)
+        fileIndex[files[i].path] = i;
+    for (Finding &finding : locksetFindings) {
+        const auto at = fileIndex.find(finding.file);
+        if (at != fileIndex.end())
+            scans[at->second].findings.push_back(std::move(finding));
+    }
+
+    // Cross-check against the dynamic race log.
+    if (!races.empty()) {
+        std::set<std::pair<std::string, int>> contradicted;
+        for (const DynamicRace &race : races) {
+            for (const RaceEndpoint *endpoint :
+                 {&race.first, &race.second}) {
+                if (endpoint->line <= 0)
+                    continue;
+                for (const auto &[file, lines] :
+                     run.lockset.guardedLines) {
+                    if (lines.count(endpoint->line) == 0 ||
+                        !pathsMatch(file, endpoint->file))
+                        continue;
+                    if (!contradicted.insert({file, endpoint->line})
+                             .second)
+                        continue;
+                    Finding finding;
+                    finding.rule = Rule::X1;
+                    finding.file = file;
+                    finding.line = endpoint->line;
+                    finding.severity = Severity::Error;
+                    finding.message =
+                        "dynamic " + race.kind + " race on " +
+                        race.symbol +
+                        " at a line the lockset pass believed guarded";
+                    const auto at = fileIndex.find(file);
+                    if (at != fileIndex.end())
+                        scans[at->second].findings.push_back(
+                            std::move(finding));
+                }
+            }
+        }
+        for (FileScan &scan : scans)
+            promoteConfirmed(scan.findings, races);
+    }
+
+    // Finalize per file: suppressions, ordering, baseline keys.
+    for (FileScan &scan : scans) {
+        std::vector<Finding> kept;
+        for (Finding &finding : scan.findings) {
+            if (!isSuppressed(finding, scan.suppressions))
+                kept.push_back(std::move(finding));
+        }
+        std::stable_sort(kept.begin(), kept.end(),
+                         [](const Finding &a, const Finding &b) {
+                             if (a.line != b.line)
+                                 return a.line < b.line;
+                             return static_cast<int>(a.rule) <
+                                    static_cast<int>(b.rule);
+                         });
+        for (Finding &finding : kept)
+            run.findings.push_back(
+                keyFinding(std::move(finding), scan.lines));
+    }
+    return run;
+}
+
 std::vector<KeyedFinding>
 lintSource(const std::string &path, const std::string &source,
            const LintConfig &config)
 {
-    const LexResult lexed = lex(source);
-
-    std::vector<Finding> findings;
-    std::vector<Suppression> suppressions;
-    for (const Comment &comment : lexed.comments) {
-        std::vector<Finding> h4;
-        parseSuppressions(path, comment, suppressions, h4);
-        findings.insert(findings.end(), h4.begin(), h4.end());
-    }
-
-    runCodeRules(path, lexed, config, findings);
-    runCommentRules(path, lexed, findings);
-
-    std::vector<Finding> kept;
-    for (Finding &finding : findings) {
-        bool suppressed = false;
-        if (finding.rule != Rule::H4) {
-            for (const Suppression &suppression : suppressions) {
-                if (suppression.rule == finding.rule &&
-                    finding.line >= suppression.firstLine &&
-                    finding.line <= suppression.lastLine) {
-                    suppressed = true;
-                    break;
-                }
-            }
-        }
-        if (!suppressed)
-            kept.push_back(std::move(finding));
-    }
-
-    std::stable_sort(kept.begin(), kept.end(),
-                     [](const Finding &a, const Finding &b) {
-                         if (a.line != b.line)
-                             return a.line < b.line;
-                         return static_cast<int>(a.rule) <
-                                static_cast<int>(b.rule);
-                     });
-
-    const std::vector<std::string> lines = splitLines(source);
-    std::vector<KeyedFinding> keyed;
-    keyed.reserve(kept.size());
-    for (Finding &finding : kept) {
-        KeyedFinding entry;
-        const std::size_t index =
-            static_cast<std::size_t>(finding.line) - 1;
-        entry.lineText = index < lines.size() ? trim(lines[index]) : "";
-        char hash[32];
-        std::snprintf(hash, sizeof hash, "%016llx",
-                      static_cast<unsigned long long>(
-                          fnv1a64(entry.lineText)));
-        entry.key = std::string(ruleInfo(finding.rule).id) + "\t" +
-                    finding.file + "\t" + hash;
-        entry.finding = std::move(finding);
-        keyed.push_back(std::move(entry));
-    }
-    return keyed;
+    return lintSources({{path, source}}, config).findings;
 }
 
 LintRun
-lintPaths(const std::vector<std::string> &paths, const LintConfig &config)
+lintPaths(const std::vector<std::string> &paths, const LintConfig &config,
+          const std::vector<DynamicRace> &races)
 {
     namespace fs = std::filesystem;
 
-    std::vector<std::string> files;
+    std::vector<std::string> names;
     for (const std::string &path : paths) {
         if (fs::is_directory(path)) {
             for (const auto &entry :
                  fs::recursive_directory_iterator(path)) {
                 if (entry.is_regular_file() &&
                     isSourceFile(entry.path()))
-                    files.push_back(entry.path().generic_string());
+                    names.push_back(entry.path().generic_string());
             }
         } else if (fs::is_regular_file(path)) {
-            files.push_back(fs::path(path).generic_string());
+            names.push_back(fs::path(path).generic_string());
         } else {
             throw std::runtime_error("no such file or directory: " +
                                      path);
@@ -237,24 +371,20 @@ lintPaths(const std::vector<std::string> &paths, const LintConfig &config)
     }
     // Directory iteration order is filesystem-dependent; the lint's own
     // output must not be.
-    std::sort(files.begin(), files.end());
-    files.erase(std::unique(files.begin(), files.end()), files.end());
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()), names.end());
 
-    LintRun run;
-    for (const std::string &file : files) {
-        std::ifstream in(file, std::ios::binary);
+    std::vector<FileInput> files;
+    files.reserve(names.size());
+    for (std::string &name : names) {
+        std::ifstream in(name, std::ios::binary);
         if (!in)
-            throw std::runtime_error("cannot read " + file);
+            throw std::runtime_error("cannot read " + name);
         std::ostringstream buffer;
         buffer << in.rdbuf();
-        std::vector<KeyedFinding> found =
-            lintSource(file, buffer.str(), config);
-        run.findings.insert(run.findings.end(),
-                            std::make_move_iterator(found.begin()),
-                            std::make_move_iterator(found.end()));
-        ++run.filesScanned;
+        files.push_back({std::move(name), buffer.str()});
     }
-    return run;
+    return lintSources(files, config, races);
 }
 
 Baseline
@@ -278,8 +408,8 @@ writeBaseline(std::ostream &out,
     out << "# icheck-lint baseline: one tab-separated entry per "
            "accepted finding.\n"
         << "# <rule>\t<file>\t<fnv1a64 of the trimmed source line>\n"
-        << "# Regenerate with: icheck-lint --write-baseline <this file> "
-           "<paths>\n";
+        << "# Regenerate with: icheck-lint --baseline <this file> "
+           "--update-baseline <paths>\n";
     std::vector<std::string> keys;
     keys.reserve(findings.size());
     for (const KeyedFinding &finding : findings)

@@ -8,6 +8,15 @@
  * (any rule id in place of D1), and matches findings against a
  * committed baseline.
  *
+ * Linting is two-phase. Phase 1 runs per file — lexing, the pattern
+ * rules, symbol-table construction, and lockset fact extraction — and
+ * fans out across a work-stealing pool when config.jobs permits; results
+ * are merged in path order, so output is identical for any job count.
+ * Phase 2 aggregates the lockset facts of every TU, infers the
+ * guarded-by relation, and emits the L-rules; when a dynamic race log
+ * is supplied, it also cross-checks (promoting confirmed findings to
+ * error severity and emitting X1 contradictions).
+ *
  * Baseline entries are keyed on (rule, file, hash of the trimmed source
  * line), not on line numbers, so unrelated edits above a baselined
  * finding do not invalidate it. The build's `lint` test enforces zero
@@ -20,6 +29,8 @@
 #include <vector>
 
 #include "finding.hpp"
+#include "lockset.hpp"
+#include "racelog.hpp"
 #include "rules.hpp"
 
 namespace icheck::lint
@@ -33,28 +44,45 @@ struct KeyedFinding
     std::string key;      ///< "<rule>\t<file>\t<fnv64 of lineText>".
 };
 
-/**
- * Lint one in-memory source. Runs every rule, drops findings covered by
- * a well-formed suppression on the same or preceding line, and emits H4
- * for malformed suppressions. Findings come back sorted by line.
- */
-std::vector<KeyedFinding> lintSource(const std::string &path,
-                                     const std::string &source,
-                                     const LintConfig &config);
+/** One in-memory source for lintSources. */
+struct FileInput
+{
+    std::string path;
+    std::string source;
+};
 
 /** Outcome of linting a path set. */
 struct LintRun
 {
     std::vector<KeyedFinding> findings;
     int filesScanned = 0;
+    LocksetSummary lockset; ///< What the guard inference believed.
 };
+
+/**
+ * Lint a set of in-memory sources as one program: per-file rules plus
+ * the cross-TU lockset analysis. Findings covered by a well-formed
+ * suppression on the same or preceding line are dropped; malformed
+ * suppressions become H4. @p races (a parsed --race-log) promotes
+ * dynamically-confirmed findings and adds X1 contradictions. Findings
+ * come back grouped by file (input order), sorted by line within each.
+ */
+LintRun lintSources(const std::vector<FileInput> &files,
+                    const LintConfig &config,
+                    const std::vector<DynamicRace> &races = {});
+
+/** Single-source convenience wrapper around lintSources. */
+std::vector<KeyedFinding> lintSource(const std::string &path,
+                                     const std::string &source,
+                                     const LintConfig &config);
 
 /**
  * Lint every C++ source under @p paths (files or directories,
  * recursively; deterministic order). Unreadable paths are fatal.
  */
 LintRun lintPaths(const std::vector<std::string> &paths,
-                  const LintConfig &config);
+                  const LintConfig &config,
+                  const std::vector<DynamicRace> &races = {});
 
 /** Baseline as multiset: key -> remaining match budget. */
 using Baseline = std::map<std::string, int>;

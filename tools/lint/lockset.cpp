@@ -1,0 +1,855 @@
+#include "lockset.hpp"
+
+#include <algorithm>
+
+#include "stream.hpp"
+
+namespace icheck::lint
+{
+
+namespace
+{
+
+bool
+isControlKeyword(const std::string &text)
+{
+    return text == "if" || text == "for" || text == "while" ||
+           text == "switch" || text == "do" || text == "else" ||
+           text == "try" || text == "catch";
+}
+
+bool
+isRaiiGuard(const std::string &text)
+{
+    return text == "lock_guard" || text == "unique_lock" ||
+           text == "scoped_lock" || text == "shared_lock";
+}
+
+/** Type-ish tokens allowed in a declaration head before the name. */
+bool
+isDeclHeadToken(const Stream &s, std::size_t i)
+{
+    if (s.isIdent(i))
+        return true;
+    const std::string &text = s.text(i);
+    return text == "::" || text == "<" || text == ">" || text == ">>" ||
+           text == "*" || text == "&" || text == ",";
+}
+
+enum class ScopeKind
+{
+    Top,
+    Namespace,
+    Class,
+    Enum,
+    Function,
+    Block,
+};
+
+struct Scope
+{
+    ScopeKind kind = ScopeKind::Top;
+    std::set<std::string> locals;
+    std::vector<std::string> locks; ///< Acquired in this scope, in order.
+    std::string klass;    ///< Class scope: its name; Function scope: the
+                          ///< qualifier of an out-of-line K::f.
+    bool ctorLike = false; ///< Function scope of a ctor/dtor.
+};
+
+/**
+ * The phase-1 walker. Structure follows rules.cpp's ScopeWalker (the
+ * brace/head machinery is deliberately the same shape); the payload is
+ * name resolution and lockset bookkeeping instead of pattern checks.
+ */
+class LocksetWalker
+{
+  public:
+    LocksetWalker(const Stream &s, const std::string &path,
+                  const SymbolTable &symbols, LocksetFacts &facts)
+        : s(s), path(path), symbols(symbols), facts(facts)
+    {
+        stack.push_back(Scope{});
+    }
+
+    void
+    run()
+    {
+        for (std::size_t i = 0; i < s.size(); ++i)
+            step(i);
+    }
+
+  private:
+    const Stream &s;
+    const std::string &path;
+    const SymbolTable &symbols;
+    LocksetFacts &facts;
+
+    std::vector<Scope> stack;
+    std::vector<std::size_t> head;
+
+    Scope &
+    current()
+    {
+        return stack.back();
+    }
+
+    /* ---- context queries -------------------------------------------- */
+
+    /** Innermost class context: an out-of-line qualifier or class scope. */
+    std::string
+    currentClass() const
+    {
+        for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+            if (!it->klass.empty())
+                return it->klass;
+        }
+        return "";
+    }
+
+    bool
+    inFunction() const
+    {
+        for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+            if (it->kind == ScopeKind::Function)
+                return true;
+            if (it->kind == ScopeKind::Class ||
+                it->kind == ScopeKind::Namespace)
+                return false;
+        }
+        return false;
+    }
+
+    bool
+    inConstructor() const
+    {
+        for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+            if (it->kind == ScopeKind::Function)
+                return it->ctorLike;
+        }
+        return false;
+    }
+
+    bool
+    isLocal(const std::string &name) const
+    {
+        for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+            if (it->locals.count(name) != 0)
+                return true;
+            if (it->kind == ScopeKind::Function)
+                break; // captures of enclosing functions do not count
+        }
+        return false;
+    }
+
+    /** Locks held here: union of scope locksets up to the function. */
+    std::vector<std::string>
+    heldLocks() const
+    {
+        std::vector<std::string> held;
+        for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+            held.insert(held.end(), it->locks.begin(), it->locks.end());
+            if (it->kind == ScopeKind::Function)
+                break; // a lambda does not run under its definition lock
+        }
+        std::sort(held.begin(), held.end());
+        held.erase(std::unique(held.begin(), held.end()), held.end());
+        return held;
+    }
+
+    /* ---- name resolution -------------------------------------------- */
+
+    /**
+     * Resolve an identifier to a qualified object name, or "" when it
+     * is a local, unresolvable, or not worth tracking (atomic/const).
+     */
+    std::string
+    resolve(const std::string &name) const
+    {
+        if (name.empty() || name == "this" || isLocal(name))
+            return "";
+        const std::string klass = currentClass();
+        if (!klass.empty()) {
+            if (const VarInfo *member =
+                    symbols.findMember(klass, name)) {
+                if (member->isAtomic || member->isConst)
+                    return "";
+                return klass + "::" + name;
+            }
+        }
+        const auto global = symbols.globals.find(name);
+        if (global != symbols.globals.end()) {
+            if (global->second.isAtomic || global->second.isConst)
+                return "";
+            return "::" + name;
+        }
+        // Out-of-line member fallback: inside `K::f`, a name that is
+        // neither local nor TU-visible is almost always a member of K
+        // declared in a header this TU-local pass cannot see.
+        for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+            if (it->kind == ScopeKind::Function) {
+                if (!it->klass.empty() &&
+                    symbols.classes.count(it->klass) == 0)
+                    return it->klass + "::" + name;
+                break;
+            }
+        }
+        return "";
+    }
+
+    /** Root identifier index of a member chain ending at token @p i. */
+    std::size_t
+    chainStart(std::size_t i) const
+    {
+        std::size_t root = i;
+        while (root >= 2 &&
+               (s.is(root - 1, ".") || s.is(root - 1, "->")) &&
+               s.isIdent(root - 2))
+            root -= 2;
+        return root;
+    }
+
+    /**
+     * Resolve the object written/read by the chain ending at ident @p i:
+     * the chain's root decides ("stats.count" tracks as "…::stats"),
+     * except a this-> chain which tracks the member after this->.
+     */
+    std::string
+    resolveChain(std::size_t i) const
+    {
+        const std::size_t root = chainStart(i);
+        if (s.text(root) == "this" && s.isIdent(root + 2))
+            return resolve(s.text(root + 2));
+        return resolve(s.text(root));
+    }
+
+    /* ---- lock bookkeeping ------------------------------------------- */
+
+    void
+    acquire(const std::string &lock, std::size_t at)
+    {
+        if (lock.empty())
+            return;
+        for (const std::string &held : heldLocks()) {
+            if (held != lock)
+                facts.edges.push_back(
+                    {held, lock, path, s.line(at)});
+        }
+        current().locks.push_back(lock);
+    }
+
+    void
+    release(const std::string &lock)
+    {
+        if (lock.empty())
+            return;
+        // Innermost matching acquisition wins, like real unlock.
+        for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+            auto hit =
+                std::find(it->locks.rbegin(), it->locks.rend(), lock);
+            if (hit != it->locks.rend()) {
+                it->locks.erase(std::next(hit).base());
+                return;
+            }
+            if (it->kind == ScopeKind::Function)
+                return;
+        }
+    }
+
+    /** First identifier inside the paren group opening at @p open. */
+    std::size_t
+    firstArgIdent(std::size_t open) const
+    {
+        const std::size_t close = skipParens(s, open);
+        for (std::size_t j = open + 1; j + 1 < close; ++j) {
+            if (s.isIdent(j))
+                return j;
+            if (!s.is(j, "&") && !s.is(j, "*"))
+                break; // literal or expression we cannot root
+        }
+        return s.size();
+    }
+
+    /**
+     * RAII guard declaration: `lock_guard<mutex> g(mu)` (scoped_lock
+     * may name several mutexes). @p i is the guard type token.
+     */
+    void
+    handleRaiiGuard(std::size_t i)
+    {
+        std::size_t j = i + 1;
+        if (s.is(j, "<"))
+            j = skipAngles(s, j);
+        if (s.isIdent(j))
+            ++j; // the guard variable name
+        if (!s.is(j, "(") && !s.is(j, "{"))
+            return; // a guard type mention, not a declaration
+        if (s.is(j, "{"))
+            return; // brace-init opens a scope; rare, skip
+        const std::size_t close = skipParens(s, j);
+        for (std::size_t a = j + 1; a + 1 < close; ++a) {
+            if (!s.isIdent(a))
+                continue;
+            if (s.is(a + 1, ".") || s.is(a + 1, "->"))
+                continue; // chain link; the final element resolves below
+            if (s.is(a - 1, ".") || s.is(a - 1, "->")) {
+                acquire(resolveChain(a), a);
+            } else {
+                acquire(resolve(s.text(a)), a);
+            }
+            // std::adopt_lock etc. resolve to "" and are ignored.
+        }
+    }
+
+    /**
+     * Method-style lock calls. Two idioms share the spelling:
+     *   mu.lock()        — receiver is the mutex;
+     *   ctx.lock(mu)     — the simulated machine: the argument is.
+     * @p i is the lock/unlock identifier.
+     */
+    void
+    handleLockCall(std::size_t i, bool isAcquire)
+    {
+        const std::size_t open = i + 1;
+        const std::size_t arg = firstArgIdent(open);
+        std::string lock;
+        std::size_t at = i;
+        if (arg != s.size()) {
+            lock = resolveChain(arg);
+            at = arg;
+        } else if (s.isIdent(i - 2)) {
+            lock = resolveChain(i - 2);
+            at = i - 2;
+        }
+        if (isAcquire)
+            acquire(lock, at);
+        else
+            release(lock);
+    }
+
+    /* ---- access recording ------------------------------------------- */
+
+    void
+    recordAccess(const std::string &object, std::size_t at, bool isWrite)
+    {
+        if (object.empty())
+            return;
+        LockAccess access;
+        access.object = object;
+        access.file = path;
+        access.line = s.line(at);
+        access.isWrite = isWrite;
+        access.inConstructor = inConstructor();
+        access.locksHeld = heldLocks();
+        facts.accesses.push_back(std::move(access));
+    }
+
+    /**
+     * Simulated-machine accesses: `ctx.store<T>(addrExpr, …)` writes
+     * the object rooted at addrExpr's first identifier; load reads it.
+     * @p i is the store/load identifier (receiver already verified).
+     * The explicit template argument separates this idiom from
+     * std::atomic's store(v)/load() — those never spell the type, and
+     * their argument is a value, not an address.
+     */
+    void
+    handleSimAccess(std::size_t i, bool isWrite, bool needsAngles)
+    {
+        std::size_t j = i + 1;
+        if (needsAngles && !s.is(j, "<"))
+            return;
+        if (s.is(j, "<"))
+            j = skipAngles(s, j);
+        if (!s.is(j, "("))
+            return;
+        const std::size_t arg = firstArgIdent(j);
+        if (arg == s.size() || s.is(arg + 1, "("))
+            return; // call expression (ctx.global("x")): no static root
+        recordAccess(resolve(s.text(arg)), arg, isWrite);
+    }
+
+    /** `target = / += / -= …` — the token at @p i is the operator. */
+    void
+    handleAssignment(std::size_t i)
+    {
+        if (!inFunction() || !s.isIdent(i - 1))
+            return;
+        recordAccess(resolveChain(i - 1), i - 1, /*isWrite=*/true);
+    }
+
+    /** Prefix/postfix ++ and -- (mirrors the C2 scanner's shapes). */
+    void
+    handleIncDec(std::size_t i)
+    {
+        if (!inFunction())
+            return;
+        if (s.isIdent(i + 1) && !s.isIdent(i - 1) && !s.is(i - 1, ")") &&
+            !s.is(i - 1, "]")) {
+            std::size_t last = i + 1;
+            while ((s.is(last + 1, ".") || s.is(last + 1, "->")) &&
+                   s.isIdent(last + 2))
+                last += 2;
+            recordAccess(resolveChain(last), last, /*isWrite=*/true);
+        } else if (s.isIdent(i - 1)) {
+            recordAccess(resolveChain(i - 1), i - 1, /*isWrite=*/true);
+        }
+    }
+
+    /** Unary & on a tracked object: its address escapes the lockset. */
+    void
+    handleAddressOf(std::size_t i)
+    {
+        if (!inFunction() || !s.isIdent(i + 1))
+            return;
+        // Binary & has a value on its left; unary & does not. Keywords
+        // lex as identifiers but do not yield values.
+        const std::string &prev = s.text(i - 1);
+        const bool value_before =
+            (s.isIdent(i - 1) && prev != "return" && prev != "throw" &&
+             prev != "case" && prev != "co_return" &&
+             prev != "co_yield") ||
+            s.kind(i - 1) == TokenKind::Number || s.is(i - 1, ")") ||
+            s.is(i - 1, "]");
+        if (value_before)
+            return;
+        // &name.member escapes the root object.
+        const std::string object = resolve(s.text(i + 1));
+        if (object.empty())
+            return;
+        EscapeSite escape;
+        escape.object = object;
+        escape.file = path;
+        escape.line = s.line(i + 1);
+        escape.locksHeld = heldLocks();
+        facts.escapes.push_back(std::move(escape));
+    }
+
+    /* ---- declaration tracking (locals) ------------------------------ */
+
+    void
+    declareHeadParams(Scope &scope)
+    {
+        for (std::size_t n = 0; n + 1 < head.size(); ++n) {
+            const std::size_t i = head[n];
+            const std::size_t next = head[n + 1];
+            if (s.isIdent(i) &&
+                (s.is(next, ",") || s.is(next, ")") || s.is(next, "=") ||
+                 s.is(next, ":") || s.is(next, "]")))
+                scope.locals.insert(s.text(i));
+        }
+    }
+
+    void
+    declareForHeader(std::size_t i)
+    {
+        const std::size_t close = skipParens(s, i + 1);
+        for (std::size_t j = i + 2; j + 1 < close; ++j) {
+            if (s.isIdent(j) && (s.is(j + 1, "=") || s.is(j + 1, ":") ||
+                                 s.is(j + 1, ",") || s.is(j + 1, "]")))
+                current().locals.insert(s.text(j));
+        }
+    }
+
+    void
+    declareFromHead()
+    {
+        if (current().kind != ScopeKind::Function &&
+            current().kind != ScopeKind::Block)
+            return;
+        // Structured bindings: `auto [a, b] = …` declares each name.
+        for (std::size_t n = 0; n + 1 < head.size(); ++n) {
+            if (s.is(head[n], "[") || s.is(head[n], ",")) {
+                if (s.isIdent(head[n + 1]) &&
+                    (s.is(head[n + 1] + 1, ",") ||
+                     s.is(head[n + 1] + 1, "]")))
+                    current().locals.insert(s.text(head[n + 1]));
+            }
+        }
+        std::size_t end = head.size();
+        for (std::size_t n = 0; n < head.size(); ++n) {
+            if (s.is(head[n], "=") || s.is(head[n], "(")) {
+                end = n;
+                break;
+            }
+        }
+        if (end < 2)
+            return;
+        const std::size_t last = head[end - 1];
+        if (!s.isIdent(last))
+            return;
+        for (std::size_t n = 0; n < end - 1; ++n) {
+            if (!isDeclHeadToken(s, head[n]))
+                return;
+        }
+        current().locals.insert(s.text(last));
+    }
+
+    /* ---- scope machinery -------------------------------------------- */
+
+    bool
+    headContains(const char *want) const
+    {
+        for (const std::size_t i : head) {
+            if (s.is(i, want))
+                return true;
+        }
+        return false;
+    }
+
+    /** Class name out of a class/struct head (last keyword's ident). */
+    std::string
+    classNameFromHead() const
+    {
+        std::size_t keyword = head.size();
+        for (std::size_t n = 0; n < head.size(); ++n) {
+            const std::string &text = s.text(head[n]);
+            if (text == "class" || text == "struct" || text == "union")
+                keyword = n;
+        }
+        std::string name;
+        for (std::size_t n = keyword + 1;
+             n < head.size() && !s.is(head[n], ":"); ++n) {
+            if (s.isIdent(head[n]))
+                name = s.text(head[n]);
+        }
+        return name;
+    }
+
+    /**
+     * For a function head `Ret [K ::] name (params)`: fill the scope's
+     * qualifier and ctor/dtor flag from the tokens before the first '('.
+     */
+    void
+    fillFunctionIdentity(Scope &scope) const
+    {
+        std::size_t paren = head.size();
+        for (std::size_t n = 0; n < head.size(); ++n) {
+            if (s.is(head[n], "(")) {
+                paren = n;
+                break;
+            }
+        }
+        if (paren == head.size() || paren == 0)
+            return;
+        const std::size_t name_at = head[paren - 1];
+        if (!s.isIdent(name_at))
+            return;
+        const std::string &name = s.text(name_at);
+        std::string qualifier;
+        if (paren >= 3 && s.is(head[paren - 2], "::") &&
+            s.isIdent(head[paren - 3]))
+            qualifier = s.text(head[paren - 3]);
+        scope.klass = qualifier;
+        const std::string klass =
+            !qualifier.empty() ? qualifier : enclosingClass();
+        scope.ctorLike =
+            (!klass.empty() && name == klass) ||
+            (paren >= 2 && s.is(head[paren - 2], "~"));
+    }
+
+    std::string
+    enclosingClass() const
+    {
+        for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+            if (it->kind == ScopeKind::Class)
+                return it->klass;
+        }
+        return "";
+    }
+
+    void
+    classifyAndPush()
+    {
+        Scope scope;
+        const ScopeKind enclosing = current().kind;
+        if (headContains("namespace")) {
+            scope.kind = ScopeKind::Namespace;
+        } else if (headContains("enum")) {
+            scope.kind = ScopeKind::Enum;
+        } else if ((headContains("class") || headContains("struct") ||
+                    headContains("union")) &&
+                   !headContains("(")) {
+            scope.kind = ScopeKind::Class;
+            scope.klass = classNameFromHead();
+        } else if (!head.empty() && s.is(head.back(), "]")) {
+            scope.kind = ScopeKind::Function; // capture-only lambda
+        } else if (!head.empty() &&
+                   isControlKeyword(s.text(head.front()))) {
+            scope.kind = ScopeKind::Block;
+        } else if (headContains(")") &&
+                   (enclosing == ScopeKind::Function ||
+                    enclosing == ScopeKind::Block) &&
+                   !headContains("]")) {
+            // Initializer or compound expression inside a function, not
+            // a new execution context.
+            scope.kind = ScopeKind::Block;
+            declareHeadParams(scope);
+        } else if (headContains(")") ||
+                   (headContains("]") && headContains("("))) {
+            scope.kind = ScopeKind::Function;
+            fillFunctionIdentity(scope);
+            declareHeadParams(scope);
+        } else {
+            scope.kind = ScopeKind::Block;
+        }
+        stack.push_back(std::move(scope));
+        head.clear();
+    }
+
+    void
+    step(std::size_t i)
+    {
+        if (s.kind(i) == TokenKind::Preprocessor)
+            return;
+        const std::string &text = s.text(i);
+        if (text == "{") {
+            classifyAndPush();
+            return;
+        }
+        if (text == "}") {
+            if (stack.size() > 1)
+                stack.pop_back();
+            head.clear();
+            return;
+        }
+        if (text == ";") {
+            declareFromHead();
+            head.clear();
+            return;
+        }
+        if ((text == "public" || text == "private" ||
+             text == "protected") &&
+            s.is(i + 1, ":")) {
+            head.clear();
+            return;
+        }
+        const bool method_call =
+            (s.is(i - 1, ".") || s.is(i - 1, "->")) && s.is(i + 1, "(");
+        if (isRaiiGuard(text) && inFunction()) {
+            handleRaiiGuard(i);
+        } else if (text == "lock" && method_call) {
+            handleLockCall(i, /*isAcquire=*/true);
+        } else if (text == "unlock" && method_call) {
+            handleLockCall(i, /*isAcquire=*/false);
+        } else if ((text == "store" || text == "storePtr") &&
+                   (s.is(i - 1, ".") || s.is(i - 1, "->"))) {
+            handleSimAccess(i, /*isWrite=*/true,
+                            /*needsAngles=*/text == "store");
+        } else if ((text == "load" || text == "loadPtr") &&
+                   (s.is(i - 1, ".") || s.is(i - 1, "->"))) {
+            handleSimAccess(i, /*isWrite=*/false,
+                            /*needsAngles=*/text == "load");
+        } else if (text == "=" || text == "+=" || text == "-=" ||
+                   text == "*=" || text == "/=" || text == "%=" ||
+                   text == "|=" || text == "&=" || text == "^=") {
+            // '=' ends the declaration part first so the just-declared
+            // name resolves as a local, not as a write target.
+            declareFromHead();
+            handleAssignment(i);
+        } else if (text == "++" || text == "--") {
+            handleIncDec(i);
+        } else if (text == "&") {
+            handleAddressOf(i);
+        } else if (text == "for" && s.is(i + 1, "(")) {
+            declareForHeader(i);
+        }
+        head.push_back(i);
+    }
+};
+
+/* ---------------------------------------------------------------------- */
+/* Phase 2: aggregation                                                   */
+/* ---------------------------------------------------------------------- */
+
+bool
+holds(const std::vector<std::string> &locks, const std::string &lock)
+{
+    return std::find(locks.begin(), locks.end(), lock) != locks.end();
+}
+
+void
+report(std::vector<Finding> &findings, Rule rule, const std::string &file,
+       int line, const std::string &message)
+{
+    Finding finding;
+    finding.rule = rule;
+    finding.file = file;
+    finding.line = line;
+    finding.message = message;
+    findings.push_back(std::move(finding));
+}
+
+/** Short display name: "WaterSP::kinetic" -> "kinetic" stays qualified. */
+std::string
+displayName(const std::string &object)
+{
+    return object.substr(0, 2) == "::" ? object.substr(2) : object;
+}
+
+/** True if @p to is reachable from @p from over the lock-order graph. */
+bool
+reaches(const std::map<std::string, std::set<std::string>> &graph,
+        const std::string &from, const std::string &to)
+{
+    std::set<std::string> visited;
+    std::vector<std::string> worklist{from};
+    while (!worklist.empty()) {
+        const std::string node = worklist.back();
+        worklist.pop_back();
+        if (node == to)
+            return true;
+        if (!visited.insert(node).second)
+            continue;
+        const auto next = graph.find(node);
+        if (next == graph.end())
+            continue;
+        for (const std::string &succ : next->second)
+            worklist.push_back(succ);
+    }
+    return false;
+}
+
+} // namespace
+
+LocksetFacts
+collectLocksetFacts(const std::string &path, const LexResult &lexed,
+                    const SymbolTable &symbols, const LintConfig &)
+{
+    LocksetFacts facts;
+    const Stream s{lexed.tokens};
+    LocksetWalker(s, path, symbols, facts).run();
+    return facts;
+}
+
+LocksetSummary
+analyzeLocksets(const std::vector<LocksetFacts> &facts,
+                const LintConfig &config, std::vector<Finding> &findings)
+{
+    LocksetSummary summary;
+
+    // Flatten, preserving the deterministic per-file order facts were
+    // collected in (callers pass files sorted by path).
+    std::vector<const LockAccess *> accesses;
+    std::vector<const LockOrderEdge *> edges;
+    std::vector<const EscapeSite *> escapes;
+    for (const LocksetFacts &tu : facts) {
+        for (const LockAccess &access : tu.accesses)
+            accesses.push_back(&access);
+        for (const LockOrderEdge &edge : tu.edges)
+            edges.push_back(&edge);
+        for (const EscapeSite &escape : tu.escapes)
+            escapes.push_back(&escape);
+    }
+
+    /* ---- guard inference + L1 ---------------------------------------- */
+
+    std::map<std::string, std::vector<const LockAccess *>> byObject;
+    for (const LockAccess *access : accesses)
+        byObject[access->object].push_back(access);
+
+    for (const auto &[object, list] : byObject) {
+        GuardInfo guard;
+        std::map<std::string, int> lockVotes;
+        for (const LockAccess *access : list) {
+            if (!access->isWrite || access->inConstructor)
+                continue;
+            ++guard.totalWrites;
+            for (const std::string &lock : access->locksHeld)
+                ++lockVotes[lock];
+        }
+        // Reference lock: most write votes, ties to the smaller name
+        // (std::map iteration gives the smaller name first).
+        for (const auto &[lock, votes] : lockVotes) {
+            if (votes > guard.lockedWrites) {
+                guard.lockedWrites = votes;
+                guard.lock = lock;
+            }
+        }
+        guard.guarded =
+            !guard.lock.empty() &&
+            guard.totalWrites >= config.minGuardWrites &&
+            static_cast<double>(guard.lockedWrites) >=
+                config.guardRatio *
+                    static_cast<double>(guard.totalWrites);
+        summary.guards[object] = guard;
+
+        if (guard.lock.empty() ||
+            guard.totalWrites < config.minGuardWrites)
+            continue;
+
+        for (const LockAccess *access : list) {
+            if (access->inConstructor)
+                continue;
+            const bool conforms = holds(access->locksHeld, guard.lock);
+            if (conforms) {
+                if (guard.guarded)
+                    summary.guardedLines[access->file].insert(
+                        access->line);
+                continue;
+            }
+            // Messages built with += to dodge a GCC 12 -Wrestrict
+            // false positive on literal + rvalue-string concatenation.
+            if (access->isWrite) {
+                std::string message = "'";
+                message += displayName(object);
+                message += "' written without its usual guard '";
+                message += displayName(guard.lock);
+                message += "' (";
+                message += std::to_string(guard.lockedWrites);
+                message += " of ";
+                message += std::to_string(guard.totalWrites);
+                message += " writes hold it)";
+                report(findings, Rule::L1, access->file, access->line,
+                       message);
+            } else if (guard.guarded) {
+                std::string message = "'";
+                message += displayName(object);
+                message += "' read without the guard '";
+                message += displayName(guard.lock);
+                message += "' that protects its writes";
+                report(findings, Rule::L1, access->file, access->line,
+                       message);
+            }
+        }
+    }
+
+    /* ---- L2: lock-order inversions ----------------------------------- */
+
+    std::map<std::string, std::set<std::string>> graph;
+    for (const LockOrderEdge *edge : edges)
+        graph[edge->first].insert(edge->second);
+
+    std::set<std::pair<std::string, std::string>> reported;
+    for (const LockOrderEdge *edge : edges) {
+        if (!reported.insert({edge->first, edge->second}).second)
+            continue; // one finding per distinct ordered pair
+        if (!reaches(graph, edge->second, edge->first))
+            continue;
+        std::string message = "'";
+        message += displayName(edge->second);
+        message += "' acquired while '";
+        message += displayName(edge->first);
+        message += "' is held, but the opposite order exists elsewhere "
+                   "(deadlock window)";
+        report(findings, Rule::L2, edge->file, edge->line, message);
+    }
+
+    /* ---- L3: guarded-address escapes --------------------------------- */
+
+    for (const EscapeSite *escape : escapes) {
+        const auto guard = summary.guards.find(escape->object);
+        if (guard == summary.guards.end() || !guard->second.guarded)
+            continue;
+        if (holds(escape->locksHeld, guard->second.lock))
+            continue;
+        std::string message = "address of '";
+        message += displayName(escape->object);
+        message += "' escapes without its guard '";
+        message += displayName(guard->second.lock);
+        message += "'";
+        report(findings, Rule::L3, escape->file, escape->line, message);
+    }
+
+    return summary;
+}
+
+} // namespace icheck::lint

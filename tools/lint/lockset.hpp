@@ -1,0 +1,129 @@
+#ifndef ICHECK_LINT_LOCKSET_HPP
+#define ICHECK_LINT_LOCKSET_HPP
+
+/**
+ * @file
+ * Scope-sensitive lockset dataflow over the per-TU symbol table.
+ *
+ * Phase 1 (per TU, parallelizable): a scope walker tracks which locks
+ * are held at every point — RAII guards (lock_guard/unique_lock/
+ * scoped_lock/shared_lock), explicit mu.lock()/mu.unlock(), and this
+ * repo's simulated ctx.lock(mu)/ctx.unlock(mu) — and records three fact
+ * kinds against resolved object names:
+ *
+ *  - LockAccess: a write (assignment, compound assignment, ++/--, or
+ *    ctx.store) or a read (ctx.load) of a class member or global,
+ *    with the lockset held at the site;
+ *  - LockOrderEdge: lock B acquired while lock A was held;
+ *  - EscapeSite: the address of a member/global taken (&x).
+ *
+ * Names are qualified ("Class::field", "::global") so facts aggregate
+ * across TUs. Inside an out-of-line method `K::f`, identifiers that
+ * resolve to neither a local nor a TU-visible symbol are treated as
+ * members of K — the class body usually lives in a header this TU-local
+ * analysis never sees.
+ *
+ * Phase 2 (global): aggregation infers a guarded-by relation. The
+ * *reference lock* of an object is the lock held by most of its writes
+ * (ties break lexicographically); an object is *guarded* when at least
+ * minGuardWrites writes exist and at least guardRatio of them hold the
+ * reference lock. Rules:
+ *
+ *  - L1: a write (outside constructors/destructors) that does not hold
+ *    the object's reference lock, for objects with >= minGuardWrites
+ *    writes and at least one locked write; reads are flagged only for
+ *    guarded objects.
+ *  - L2: a lock-order edge that participates in a cycle of the global
+ *    lock-order graph.
+ *  - L3: an escape of a guarded object's address without the guard.
+ */
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "finding.hpp"
+#include "rules.hpp"
+#include "symbols.hpp"
+#include "token.hpp"
+
+namespace icheck::lint
+{
+
+/** One access to a tracked object, with the lockset held at the site. */
+struct LockAccess
+{
+    std::string object; ///< Qualified: "Class::field" or "::global".
+    std::string file;
+    int line = 0;
+    bool isWrite = true;
+    bool inConstructor = false; ///< Inside a constructor/destructor.
+    std::vector<std::string> locksHeld; ///< Qualified, sorted, unique.
+};
+
+/** Lock @p second acquired while @p first was held. */
+struct LockOrderEdge
+{
+    std::string first;
+    std::string second;
+    std::string file;
+    int line = 0;
+};
+
+/** Address of @p object taken with @p locksHeld held. */
+struct EscapeSite
+{
+    std::string object;
+    std::string file;
+    int line = 0;
+    std::vector<std::string> locksHeld;
+};
+
+/** Everything phase 1 extracts from one TU. */
+struct LocksetFacts
+{
+    std::vector<LockAccess> accesses;
+    std::vector<LockOrderEdge> edges;
+    std::vector<EscapeSite> escapes;
+};
+
+/** The inferred guard of one object. */
+struct GuardInfo
+{
+    std::string lock;     ///< Reference lock ("" when no write is locked).
+    int lockedWrites = 0; ///< Writes holding the reference lock.
+    int totalWrites = 0;
+    bool guarded = false; ///< Ratio and write-count thresholds met.
+};
+
+/** What the lockset pass ended up believing; feeds the cross-check. */
+struct LocksetSummary
+{
+    std::map<std::string, GuardInfo> guards; ///< object -> inference.
+
+    /**
+     * Sites the static pass believed safe: accesses to guarded objects
+     * made while holding the reference lock. file -> lines. A dynamic
+     * race landing on one of these lines contradicts the model (X1).
+     */
+    std::map<std::string, std::set<int>> guardedLines;
+};
+
+/** Phase 1: extract lockset facts from one lexed TU. */
+LocksetFacts collectLocksetFacts(const std::string &path,
+                                 const LexResult &lexed,
+                                 const SymbolTable &symbols,
+                                 const LintConfig &config);
+
+/**
+ * Phase 2: aggregate per-TU facts, infer guards, and emit L1/L2/L3
+ * findings (deterministic order). Returns the inference summary.
+ */
+LocksetSummary analyzeLocksets(const std::vector<LocksetFacts> &facts,
+                               const LintConfig &config,
+                               std::vector<Finding> &findings);
+
+} // namespace icheck::lint
+
+#endif // ICHECK_LINT_LOCKSET_HPP

@@ -5,6 +5,10 @@
  *   icheck-lint [options] <paths...>
  *     --baseline FILE        subtract FILE's accepted findings
  *     --write-baseline FILE  record current findings as the baseline
+ *     --update-baseline      rewrite the --baseline file in place
+ *     --race-log FILE        cross-check against a dynamic race log
+ *     --sarif FILE           also emit SARIF 2.1.0 to FILE
+ *     --jobs N               parallel file scans (0 = hardware)
  *     --list-rules           describe every rule and exit
  *     --jsonl                machine-readable output, one JSON per line
  *     --quiet                suppress per-finding hints
@@ -13,6 +17,7 @@
  * 2 on usage or I/O errors.
  */
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -20,6 +25,7 @@
 #include <vector>
 
 #include "linter.hpp"
+#include "sarif.hpp"
 
 namespace
 {
@@ -31,6 +37,8 @@ usage(const char *argv0)
 {
     std::cerr << "usage: " << argv0
               << " [--baseline FILE] [--write-baseline FILE]"
+                 " [--update-baseline] [--race-log FILE]"
+                 " [--sarif FILE] [--jobs N]"
                  " [--list-rules] [--jsonl] [--quiet] <paths...>\n";
     return 2;
 }
@@ -44,22 +52,6 @@ listRules()
     }
 }
 
-std::string
-jsonEscape(const std::string &text)
-{
-    std::string escaped;
-    for (const char c : text) {
-        if (c == '"' || c == '\\')
-            escaped += '\\';
-        if (c == '\n') {
-            escaped += "\\n";
-            continue;
-        }
-        escaped += c;
-    }
-    return escaped;
-}
-
 } // namespace
 
 int
@@ -68,8 +60,12 @@ main(int argc, char **argv)
     std::vector<std::string> paths;
     std::string baseline_path;
     std::string write_baseline_path;
+    std::string race_log_path;
+    std::string sarif_path;
+    bool update_baseline = false;
     bool jsonl = false;
     bool quiet = false;
+    LintConfig config;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -80,6 +76,15 @@ main(int argc, char **argv)
             baseline_path = argv[++i];
         } else if (arg == "--write-baseline" && i + 1 < argc) {
             write_baseline_path = argv[++i];
+        } else if (arg == "--update-baseline") {
+            update_baseline = true;
+        } else if (arg == "--race-log" && i + 1 < argc) {
+            race_log_path = argv[++i];
+        } else if (arg == "--sarif" && i + 1 < argc) {
+            sarif_path = argv[++i];
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            config.jobs =
+                static_cast<unsigned>(std::atoi(argv[++i]));
         } else if (arg == "--jsonl") {
             jsonl = true;
         } else if (arg == "--quiet") {
@@ -92,10 +97,29 @@ main(int argc, char **argv)
     }
     if (paths.empty())
         return usage(argv[0]);
+    if (update_baseline) {
+        if (baseline_path.empty()) {
+            std::cerr << "icheck-lint: --update-baseline needs "
+                         "--baseline FILE\n";
+            return 2;
+        }
+        write_baseline_path = baseline_path;
+    }
+
+    std::vector<DynamicRace> races;
+    if (!race_log_path.empty()) {
+        std::ifstream in(race_log_path);
+        if (!in) {
+            std::cerr << "icheck-lint: cannot read " << race_log_path
+                      << "\n";
+            return 2;
+        }
+        races = readRaceLog(in);
+    }
 
     LintRun run;
     try {
-        run = lintPaths(paths, LintConfig{});
+        run = lintPaths(paths, config, races);
     } catch (const std::exception &error) {
         std::cerr << "icheck-lint: " << error.what() << "\n";
         return 2;
@@ -126,16 +150,29 @@ main(int argc, char **argv)
         fresh = subtractBaseline(run.findings, readBaseline(in));
     }
 
+    if (!sarif_path.empty()) {
+        std::ofstream out(sarif_path);
+        if (!out) {
+            std::cerr << "icheck-lint: cannot write " << sarif_path
+                      << "\n";
+            return 2;
+        }
+        out << renderSarif(fresh) << "\n";
+    }
+
     for (const KeyedFinding &entry : fresh) {
         const RuleInfo &info = ruleInfo(entry.finding.rule);
         if (jsonl) {
             std::cout << "{\"file\":\"" << jsonEscape(entry.finding.file)
                       << "\",\"line\":" << entry.finding.line
-                      << ",\"rule\":\"" << info.id << "\",\"message\":\""
+                      << ",\"rule\":\"" << info.id << "\",\"severity\":\""
+                      << severityName(entry.finding.severity)
+                      << "\",\"message\":\""
                       << jsonEscape(entry.finding.message) << "\"}\n";
             continue;
         }
         std::cout << entry.finding.file << ":" << entry.finding.line
+                  << ": " << severityName(entry.finding.severity)
                   << ": [" << info.id << "] " << entry.finding.message
                   << "\n";
         if (!quiet)

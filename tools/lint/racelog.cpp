@@ -1,0 +1,118 @@
+#include "racelog.hpp"
+
+#include <cstdlib>
+#include <istream>
+
+namespace icheck::lint
+{
+
+namespace
+{
+
+/**
+ * Value of `"key":"…"` inside @p text, or "" if absent. The race-log
+ * writer escapes only backslash/quote/control characters; unescaping
+ * the first two covers every path it can emit.
+ */
+std::string
+stringField(const std::string &text, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\":\"";
+    const std::size_t at = text.find(needle);
+    if (at == std::string::npos)
+        return "";
+    std::string value;
+    for (std::size_t i = at + needle.size(); i < text.size(); ++i) {
+        if (text[i] == '\\' && i + 1 < text.size()) {
+            value += text[++i];
+            continue;
+        }
+        if (text[i] == '"')
+            return value;
+        value += text[i];
+    }
+    return "";
+}
+
+/** Value of `"key":123`, or 0. */
+int
+intField(const std::string &text, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t at = text.find(needle);
+    if (at == std::string::npos)
+        return 0;
+    return std::atoi(text.c_str() + at + needle.size());
+}
+
+/** The braced object after `"key":{`, or "" if absent. */
+std::string
+objectField(const std::string &text, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\":{";
+    const std::size_t at = text.find(needle);
+    if (at == std::string::npos)
+        return "";
+    const std::size_t open = at + needle.size() - 1;
+    int depth = 0;
+    for (std::size_t i = open; i < text.size(); ++i) {
+        if (text[i] == '{')
+            ++depth;
+        else if (text[i] == '}' && --depth == 0)
+            return text.substr(open, i - open + 1);
+    }
+    return "";
+}
+
+bool
+parseEndpoint(const std::string &object, RaceEndpoint &endpoint)
+{
+    if (object.empty())
+        return false;
+    endpoint.file = stringField(object, "file");
+    endpoint.line = intField(object, "line");
+    endpoint.tid = intField(object, "tid");
+    return !endpoint.file.empty() && endpoint.line > 0;
+}
+
+} // namespace
+
+std::vector<DynamicRace>
+readRaceLog(std::istream &in)
+{
+    std::vector<DynamicRace> races;
+    std::string line;
+    while (std::getline(in, line)) {
+        DynamicRace race;
+        race.app = stringField(line, "app");
+        race.kind = stringField(line, "kind");
+        race.symbol = stringField(line, "symbol");
+        const bool first_ok =
+            parseEndpoint(objectField(line, "first"), race.first);
+        const bool second_ok =
+            parseEndpoint(objectField(line, "second"), race.second);
+        // A record is useful once either endpoint carries attribution;
+        // unattributed endpoints keep line 0 and never match anything.
+        if (!race.kind.empty() && (first_ok || second_ok))
+            races.push_back(std::move(race));
+    }
+    return races;
+}
+
+bool
+pathsMatch(const std::string &a, const std::string &b)
+{
+    if (a.empty() || b.empty())
+        return false;
+    const std::string &longer = a.size() >= b.size() ? a : b;
+    const std::string &shorter = a.size() >= b.size() ? b : a;
+    if (longer.size() == shorter.size())
+        return longer == shorter;
+    if (longer.compare(longer.size() - shorter.size(), shorter.size(),
+                       shorter) != 0)
+        return false;
+    // Component boundary: "apps_fp.cpp" must not match "x_apps_fp.cpp".
+    return longer[longer.size() - shorter.size() - 1] == '/';
+}
+
+} // namespace icheck::lint

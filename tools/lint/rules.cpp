@@ -4,54 +4,13 @@
 #include <map>
 #include <set>
 
+#include "stream.hpp"
+
 namespace icheck::lint
 {
 
 namespace
 {
-
-/** Bounds-safe view over the code token vector. */
-struct Stream
-{
-    const std::vector<Token> &tokens;
-
-    std::size_t
-    size() const
-    {
-        return tokens.size();
-    }
-
-    const std::string &
-    text(std::size_t i) const
-    {
-        static const std::string empty;
-        return i < tokens.size() ? tokens[i].text : empty;
-    }
-
-    TokenKind
-    kind(std::size_t i) const
-    {
-        return i < tokens.size() ? tokens[i].kind : TokenKind::Punct;
-    }
-
-    bool
-    is(std::size_t i, const char *want) const
-    {
-        return i < tokens.size() && tokens[i].text == want;
-    }
-
-    bool
-    isIdent(std::size_t i) const
-    {
-        return kind(i) == TokenKind::Identifier;
-    }
-
-    int
-    line(std::size_t i) const
-    {
-        return i < tokens.size() ? tokens[i].line : 0;
-    }
-};
 
 void
 report(std::vector<Finding> &findings, Rule rule, const std::string &path,
@@ -63,45 +22,6 @@ report(std::vector<Finding> &findings, Rule rule, const std::string &path,
     finding.line = line;
     finding.message = detail;
     findings.push_back(std::move(finding));
-}
-
-/**
- * Skip a balanced template argument list; @p i points at '<'. Returns
- * the index just past the matching '>', or @p i + 1 if the brackets
- * never balance (then it probably was a comparison, not a template).
- */
-std::size_t
-skipAngles(const Stream &s, std::size_t i)
-{
-    int depth = 0;
-    for (std::size_t j = i; j < s.size(); ++j) {
-        const std::string &text = s.text(j);
-        if (text == "<")
-            ++depth;
-        else if (text == ">")
-            --depth;
-        else if (text == ">>")
-            depth -= 2;
-        else if (text == ";" || text == "{" || text == "}")
-            break;
-        if (depth <= 0)
-            return j + 1;
-    }
-    return i + 1;
-}
-
-/** Skip a balanced paren group; @p i points at '('. */
-std::size_t
-skipParens(const Stream &s, std::size_t i)
-{
-    int depth = 0;
-    for (std::size_t j = i; j < s.size(); ++j) {
-        if (s.is(j, "("))
-            ++depth;
-        else if (s.is(j, ")") && --depth == 0)
-            return j + 1;
-    }
-    return s.size();
 }
 
 bool

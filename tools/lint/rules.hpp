@@ -45,6 +45,25 @@ struct LintConfig
     std::vector<std::string> lockedCounterScope = {
         "src/runtime/", "src/service/daemon", "src/service/executor",
         "src/service/serve_loop"};
+
+    /**
+     * An object is considered guarded when at least this fraction of
+     * its writes hold the reference lock (and minGuardWrites is met).
+     * The guarded-by relation gates L3, read-flagging, and the X1
+     * cross-check; L1 flags non-conforming writes at a lower bar (any
+     * locked write plus minGuardWrites total).
+     */
+    double guardRatio = 0.8;
+
+    /** Minimum writes before guard inference says anything at all. */
+    int minGuardWrites = 2;
+
+    /**
+     * Worker threads for the per-file phase (lex + pattern rules +
+     * symbol/lockset fact extraction). 1 = serial; 0 = one per core.
+     * Output is byte-identical for every value.
+     */
+    unsigned jobs = 1;
 };
 
 /** Run every code rule over @p lexed (from @p path) into @p findings. */

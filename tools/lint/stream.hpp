@@ -1,0 +1,105 @@
+#ifndef ICHECK_LINT_STREAM_HPP
+#define ICHECK_LINT_STREAM_HPP
+
+/**
+ * @file
+ * Bounds-safe view over a lexed token vector, shared by every analysis
+ * pass (pattern rules, symbol collection, lockset dataflow). Out-of-range
+ * indices answer harmless defaults so scanners can look ahead and behind
+ * without guarding every access.
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "token.hpp"
+
+namespace icheck::lint
+{
+
+/** Bounds-safe view over the code token vector. */
+struct Stream
+{
+    const std::vector<Token> &tokens;
+
+    std::size_t
+    size() const
+    {
+        return tokens.size();
+    }
+
+    const std::string &
+    text(std::size_t i) const
+    {
+        static const std::string empty;
+        return i < tokens.size() ? tokens[i].text : empty;
+    }
+
+    TokenKind
+    kind(std::size_t i) const
+    {
+        return i < tokens.size() ? tokens[i].kind : TokenKind::Punct;
+    }
+
+    bool
+    is(std::size_t i, const char *want) const
+    {
+        return i < tokens.size() && tokens[i].text == want;
+    }
+
+    bool
+    isIdent(std::size_t i) const
+    {
+        return kind(i) == TokenKind::Identifier;
+    }
+
+    int
+    line(std::size_t i) const
+    {
+        return i < tokens.size() ? tokens[i].line : 0;
+    }
+};
+
+/**
+ * Skip a balanced template argument list; @p i points at '<'. Returns
+ * the index just past the matching '>', or @p i + 1 if the brackets
+ * never balance (then it probably was a comparison, not a template).
+ */
+inline std::size_t
+skipAngles(const Stream &s, std::size_t i)
+{
+    int depth = 0;
+    for (std::size_t j = i; j < s.size(); ++j) {
+        const std::string &text = s.text(j);
+        if (text == "<")
+            ++depth;
+        else if (text == ">")
+            --depth;
+        else if (text == ">>")
+            depth -= 2;
+        else if (text == ";" || text == "{" || text == "}")
+            break;
+        if (depth <= 0)
+            return j + 1;
+    }
+    return i + 1;
+}
+
+/** Skip a balanced paren group; @p i points at '('. */
+inline std::size_t
+skipParens(const Stream &s, std::size_t i)
+{
+    int depth = 0;
+    for (std::size_t j = i; j < s.size(); ++j) {
+        if (s.is(j, "("))
+            ++depth;
+        else if (s.is(j, ")") && --depth == 0)
+            return j + 1;
+    }
+    return s.size();
+}
+
+} // namespace icheck::lint
+
+#endif // ICHECK_LINT_STREAM_HPP

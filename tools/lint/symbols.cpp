@@ -1,0 +1,351 @@
+#include "symbols.hpp"
+
+#include "stream.hpp"
+
+namespace icheck::lint
+{
+
+namespace
+{
+
+/** Scope classification; only Class and Namespace matter here. */
+enum class SymScope
+{
+    Top,
+    Namespace,
+    Class,
+    Enum,
+    Function,
+    Block,
+};
+
+bool
+isControl(const std::string &text)
+{
+    return text == "if" || text == "for" || text == "while" ||
+           text == "switch" || text == "do" || text == "else" ||
+           text == "try" || text == "catch";
+}
+
+/** Modifier tokens a declaration may start with; stripped from types. */
+bool
+isDeclModifier(const std::string &text)
+{
+    return text == "static" || text == "inline" || text == "extern" ||
+           text == "mutable" || text == "volatile" ||
+           text == "constinit" || text == "thread_local";
+}
+
+/** Statement heads that can never be a variable declaration. */
+bool
+isNonDeclHead(const std::string &text)
+{
+    return text == "using" || text == "typedef" || text == "template" ||
+           text == "friend" || text == "static_assert" ||
+           text == "return" || text == "throw" || text == "operator" ||
+           text == "namespace" || text == "enum" || text == "class" ||
+           text == "struct" || text == "union" || text == "public" ||
+           text == "private" || text == "protected" || text == "case" ||
+           text == "default" || text == "goto" || text == "break" ||
+           text == "continue";
+}
+
+/** Type-ish tokens allowed between the modifiers and the declared name. */
+bool
+isTypeToken(const Stream &s, std::size_t i)
+{
+    if (s.isIdent(i))
+        return true;
+    const std::string &text = s.text(i);
+    return text == "::" || text == "<" || text == ">" || text == ">>" ||
+           text == "*" || text == "&" || text == "," || text == "const";
+}
+
+class SymbolWalker
+{
+  public:
+    SymbolWalker(const Stream &s, SymbolTable &table)
+        : s(s), table(table)
+    {
+        scopes.push_back(SymScope::Top);
+    }
+
+    void
+    run()
+    {
+        for (std::size_t i = 0; i < s.size(); ++i)
+            step(i);
+        // Unterminated classes (truncated input): commit what we have.
+        while (!openClasses.empty()) {
+            commitClass();
+        }
+    }
+
+  private:
+    const Stream &s;
+    SymbolTable &table;
+    std::vector<SymScope> scopes;
+    std::vector<ClassInfo> openClasses; ///< One per enclosing Class scope.
+    std::vector<std::size_t> head;
+
+    bool
+    headContains(const char *want) const
+    {
+        for (const std::size_t i : head)
+            if (s.is(i, want))
+                return true;
+        return false;
+    }
+
+    void
+    commitClass()
+    {
+        ClassInfo info = std::move(openClasses.back());
+        openClasses.pop_back();
+        if (!info.name.empty())
+            table.classes[info.name] = std::move(info);
+    }
+
+    /**
+     * Parse `class Name : public Base, Base2` out of the head. The name
+     * is the identifier after the last class/struct/union keyword (the
+     * last, so `template <class T> struct Foo` finds Foo).
+     */
+    ClassInfo
+    parseClassHead() const
+    {
+        ClassInfo info;
+        std::size_t keyword = head.size();
+        for (std::size_t n = 0; n < head.size(); ++n) {
+            const std::string &text = s.text(head[n]);
+            if (text == "class" || text == "struct" || text == "union")
+                keyword = n;
+        }
+        if (keyword == head.size())
+            return info;
+        std::size_t n = keyword + 1;
+        // Skip attribute/macro identifiers: the name is the identifier
+        // right before ':', '{', or the head's end.
+        std::size_t name_at = head.size();
+        for (; n < head.size() && !s.is(head[n], ":"); ++n) {
+            if (s.isIdent(head[n]))
+                name_at = n;
+        }
+        if (name_at == head.size())
+            return info;
+        info.name = s.text(head[name_at]);
+        info.line = s.line(head[name_at]);
+        // Bases: identifiers after ':', minus access specifiers and
+        // template arguments.
+        int angles = 0;
+        for (++n; n < head.size(); ++n) {
+            const std::string &text = s.text(head[n]);
+            if (text == "<")
+                ++angles;
+            else if (text == ">")
+                --angles;
+            else if (text == ">>")
+                angles -= 2;
+            if (angles > 0)
+                continue;
+            if (s.isIdent(head[n]) && text != "public" &&
+                text != "private" && text != "protected" &&
+                text != "virtual" &&
+                (n + 1 >= head.size() || !s.is(head[n + 1], "::")))
+                info.bases.push_back(text);
+        }
+        return info;
+    }
+
+    /**
+     * Try to parse the head as `modifiers type name [= init]`. Returns
+     * false if the head cannot be a variable declaration.
+     */
+    bool
+    parseVarDecl(VarInfo &var) const
+    {
+        if (head.empty() || isNonDeclHead(s.text(head.front())))
+            return false;
+        std::size_t end = head.size();
+        for (std::size_t n = 0; n < head.size(); ++n) {
+            if (s.is(head[n], "(") || s.is(head[n], ")") ||
+                s.is(head[n], "[") || s.is(head[n], "]"))
+                return false; // function, array, or macro invocation
+            if (s.is(head[n], "=")) {
+                end = n;
+                break;
+            }
+        }
+        std::size_t begin = 0;
+        while (begin < end && isDeclModifier(s.text(head[begin])))
+            ++begin;
+        if (end - begin < 2)
+            return false;
+        const std::size_t name_at = head[end - 1];
+        if (!s.isIdent(name_at))
+            return false;
+        for (std::size_t n = begin; n + 1 < end; ++n) {
+            if (!isTypeToken(s, head[n]))
+                return false;
+        }
+        var.name = s.text(name_at);
+        var.line = s.line(name_at);
+        for (std::size_t n = begin; n + 1 < end; ++n) {
+            const std::string &text = s.text(head[n]);
+            if (!var.type.empty())
+                var.type += ' ';
+            var.type += text;
+            if (isMutexType(text))
+                var.isMutex = true;
+            if (text == "atomic" || text == "atomic_flag")
+                var.isAtomic = true;
+            if (text == "const" || text == "constexpr")
+                var.isConst = true;
+        }
+        for (const std::size_t i : head) {
+            const std::string &text = s.text(i);
+            if (text == "constexpr" || text == "constinit")
+                var.isConst = true;
+        }
+        return true;
+    }
+
+    void
+    endStatement()
+    {
+        VarInfo var;
+        if (scopes.back() == SymScope::Class && !openClasses.empty()) {
+            if (parseVarDecl(var)) {
+                openClasses.back().members[var.name] = std::move(var);
+            }
+        } else if (scopes.back() == SymScope::Namespace ||
+                   scopes.back() == SymScope::Top) {
+            if (parseVarDecl(var))
+                table.globals[var.name] = std::move(var);
+        }
+        head.clear();
+    }
+
+    void
+    classifyAndPush()
+    {
+        const bool classHead =
+            (headContains("class") || headContains("struct") ||
+             headContains("union")) &&
+            !headContains("(") && !headContains("enum");
+        if (headContains("namespace")) {
+            scopes.push_back(SymScope::Namespace);
+        } else if (headContains("enum")) {
+            scopes.push_back(SymScope::Enum);
+        } else if (classHead) {
+            scopes.push_back(SymScope::Class);
+            openClasses.push_back(parseClassHead());
+        } else if (headContains(")") || headContains("]")) {
+            scopes.push_back(SymScope::Function);
+        } else if (!head.empty() && isControl(s.text(head.front()))) {
+            scopes.push_back(SymScope::Block);
+        } else {
+            // Brace initializer on a declaration — `std::atomic<long>
+            // hits{0};` — commits the variable here; the '{' never
+            // reaches endStatement.
+            VarInfo var;
+            if (scopes.back() == SymScope::Class &&
+                !openClasses.empty() && parseVarDecl(var)) {
+                openClasses.back().members[var.name] = std::move(var);
+            } else if ((scopes.back() == SymScope::Namespace ||
+                        scopes.back() == SymScope::Top) &&
+                       parseVarDecl(var)) {
+                table.globals[var.name] = std::move(var);
+            }
+            scopes.push_back(SymScope::Block);
+        }
+        head.clear();
+    }
+
+    void
+    step(std::size_t i)
+    {
+        if (s.kind(i) == TokenKind::Preprocessor)
+            return;
+        const std::string &text = s.text(i);
+        if (text == "{") {
+            classifyAndPush();
+            return;
+        }
+        if (text == "}") {
+            if (scopes.size() > 1) {
+                if (scopes.back() == SymScope::Class &&
+                    !openClasses.empty())
+                    commitClass();
+                scopes.pop_back();
+            }
+            head.clear();
+            return;
+        }
+        if (text == ";") {
+            endStatement();
+            return;
+        }
+        if ((text == "public" || text == "private" ||
+             text == "protected") &&
+            s.is(i + 1, ":")) {
+            head.clear();
+            return;
+        }
+        head.push_back(i);
+    }
+};
+
+} // namespace
+
+bool
+isMutexType(const std::string &type)
+{
+    // std::mutex and friends, plus this repo's simulated sim::MutexId.
+    return type == "mutex" || type == "shared_mutex" ||
+           type == "recursive_mutex" || type == "timed_mutex" ||
+           type == "recursive_timed_mutex" || type == "shared_timed_mutex" ||
+           type == "MutexId";
+}
+
+const VarInfo *
+SymbolTable::findMember(const std::string &className,
+                        const std::string &member) const
+{
+    // Iterative base-chain walk with a visited set: inheritance cycles
+    // cannot occur in valid C++, but the parser is tolerant of invalid
+    // input and must not recurse forever on it.
+    std::set<std::string> visited;
+    std::vector<const ClassInfo *> worklist;
+    if (const auto cls = classes.find(className); cls != classes.end()) {
+        worklist.push_back(&cls->second);
+        visited.insert(className);
+    }
+    while (!worklist.empty()) {
+        const ClassInfo *cls = worklist.back();
+        worklist.pop_back();
+        const auto hit = cls->members.find(member);
+        if (hit != cls->members.end())
+            return &hit->second;
+        for (const std::string &base : cls->bases) {
+            if (!visited.insert(base).second)
+                continue;
+            const auto next = classes.find(base);
+            if (next != classes.end())
+                worklist.push_back(&next->second);
+        }
+    }
+    return nullptr;
+}
+
+SymbolTable
+collectSymbols(const std::string &path, const LexResult &lexed)
+{
+    SymbolTable table;
+    table.file = path;
+    const Stream s{lexed.tokens};
+    SymbolWalker(s, table).run();
+    return table;
+}
+
+} // namespace icheck::lint

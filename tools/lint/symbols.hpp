@@ -1,0 +1,79 @@
+#ifndef ICHECK_LINT_SYMBOLS_HPP
+#define ICHECK_LINT_SYMBOLS_HPP
+
+/**
+ * @file
+ * Per-translation-unit symbol table for the lockset pass.
+ *
+ * A tolerant declaration parser walks the token stream once and records
+ * the names the dataflow needs to resolve: class/struct definitions with
+ * their data members (noting which members are mutexes, atomics, or
+ * const), and namespace-scope globals. It is heuristic in exactly the
+ * way the rest of icheck-lint is — no preprocessor, no template
+ * instantiation, one TU at a time — and errs on the side of recording
+ * too much: resolution failures downstream degrade to "not a tracked
+ * object", never to a crash.
+ */
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "token.hpp"
+
+namespace icheck::lint
+{
+
+/** One data member of a class, or one namespace-scope global. */
+struct VarInfo
+{
+    std::string name;
+    std::string type;     ///< Leading type token(s), joined with spaces.
+    bool isMutex = false; ///< Type names a mutex (std:: or sim MutexId).
+    bool isAtomic = false;
+    bool isConst = false; ///< const/constexpr/constinit.
+    int line = 0;
+};
+
+/** One class/struct definition seen in the TU. */
+struct ClassInfo
+{
+    std::string name;
+    std::vector<std::string> bases;
+    std::map<std::string, VarInfo> members;
+    int line = 0;
+
+    /** True if any member's type is a mutex. */
+    bool
+    hasMutexMember() const
+    {
+        for (const auto &[name_, member] : members)
+            if (member.isMutex)
+                return true;
+        return false;
+    }
+};
+
+/** Everything the lockset pass resolves names against, for one TU. */
+struct SymbolTable
+{
+    std::string file;
+    std::map<std::string, ClassInfo> classes;
+    std::map<std::string, VarInfo> globals;
+
+    /** Member lookup through the base-class chain (within this TU). */
+    const VarInfo *findMember(const std::string &className,
+                              const std::string &member) const;
+};
+
+/** True if @p type (one token) names a mutex type. */
+bool isMutexType(const std::string &type);
+
+/** Build the symbol table for one lexed TU. Never throws on bad input. */
+SymbolTable collectSymbols(const std::string &path,
+                           const LexResult &lexed);
+
+} // namespace icheck::lint
+
+#endif // ICHECK_LINT_SYMBOLS_HPP
