@@ -1,0 +1,251 @@
+/**
+ * @file
+ * DPOR exploration reduction, as one machine-readable number per racy
+ * app (default output BENCH_explore.json): nodes (schedules executed)
+ * to full coverage — exploration until the search exhausts — with
+ * `--prune state,dpor` versus the same search without DPOR.
+ *
+ * The workloads are the bug-seeded apps at exploration scale: four
+ * threads, run-to-block quantum, so scheduling decisions sit at
+ * synchronization boundaries and the seeded bug is a schedule-visible
+ * final-state split. Both searches exhaust, so "nodes to coverage" is
+ * exact, not a sample: the state sets found must be identical, and the
+ * ratio is the Mazurkiewicz-trace reduction the paper's Section 6
+ * pruning discussion motivates.
+ *
+ * Usage: micro_explore [out.json] [--quick] [--baseline <json>]
+ *                      [--no-dpor]
+ *
+ * --quick shrinks the run budget for CI smoke runs. --baseline reads a
+ * previous output (bench/baselines/explore_main.json, recorded with
+ * --no-dpor to represent the pre-DPOR repo) and embeds it plus the
+ * per-app node reduction, so the JSON documents the win instead of
+ * leaving it a claim. The *StatesFound keys must come out at reduction
+ * 1.00 — equal coverage — or the comparison is meaningless.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "explore/explorer.hpp"
+
+using namespace icheck;
+
+namespace
+{
+
+/** The metric keys, in emission order. */
+const std::vector<std::string> kKeys = {
+    "radixNodesToCoverage",
+    "waterNSNodesToCoverage",
+    "waterSPNodesToCoverage",
+    "radixStatesFound",
+    "waterNSStatesFound",
+    "waterSPStatesFound",
+};
+
+struct Metrics
+{
+    double values[6] = {};
+
+    double &operator[](std::size_t i) { return values[i]; }
+    double operator[](std::size_t i) const { return values[i]; }
+};
+
+struct AppCase
+{
+    const char *label;
+    check::ProgramFactory factory;
+};
+
+std::vector<AppCase>
+appCases()
+{
+    using namespace icheck::apps;
+    std::vector<AppCase> cases;
+    cases.push_back({"radix(4,8,order-violation)", [] {
+                         return std::make_unique<Radix>(
+                             4, 8, BugSeed::OrderViolation);
+                     }});
+    cases.push_back({"waterNS(4,4,1,semantic)", [] {
+                         return std::make_unique<WaterNS>(
+                             4, 4, 1, BugSeed::Semantic);
+                     }});
+    cases.push_back({"waterSP(4,4,1,atomicity)", [] {
+                         return std::make_unique<WaterSP>(
+                             4, 4, 1, BugSeed::AtomicityViolation);
+                     }});
+    return cases;
+}
+
+sim::MachineConfig
+machineConfig()
+{
+    sim::MachineConfig cfg;
+    cfg.numCores = 2;
+    return cfg;
+}
+
+explore::ExploreConfig
+exploreConfig(bool dpor, int max_runs)
+{
+    explore::ExploreConfig cfg;
+    cfg.prune = explore::PruneMode::StateHash; // the CLI default
+    cfg.dpor = dpor;
+    cfg.maxRuns = max_runs;
+    cfg.quantum = 1u << 20; // run-to-block: decisions at sync points
+    return cfg;
+}
+
+/**
+ * Nodes to full coverage for one app. Exhaustion is part of the metric:
+ * a capped search reports the cap as a lower bound and warns, so a
+ * regression can make the number worse but never silently better.
+ */
+void
+nodesToCoverage(const AppCase &app, bool dpor, int max_runs,
+                double &nodes, double &states)
+{
+    const auto start = std::chrono::steady_clock::now();
+    const explore::ExploreResult result = explore::explore(
+        app.factory, machineConfig(), exploreConfig(dpor, max_runs));
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    if (!result.exhausted)
+        std::fprintf(stderr,
+                     "warning: %s did not exhaust in %d runs; "
+                     "nodes-to-coverage is a lower bound\n",
+                     app.label, max_runs);
+    nodes = static_cast<double>(result.runsExecuted);
+    states = static_cast<double>(result.finalStates.size());
+    std::printf("%-28s dpor=%d nodes=%7.0f states=%2.0f "
+                "(%s, %.2fs)\n",
+                app.label, dpor ? 1 : 0, nodes, states,
+                result.exhausted ? "exhausted" : "CAPPED", secs);
+}
+
+/** First occurrence of each metric key in a previous output. */
+std::optional<Metrics>
+readBaseline(const std::string &path)
+{
+    std::FILE *in = std::fopen(path.c_str(), "r");
+    if (in == nullptr) {
+        std::fprintf(stderr, "cannot read baseline %s\n", path.c_str());
+        return std::nullopt;
+    }
+    std::string text;
+    char buf[4096];
+    std::size_t got = 0;
+    while ((got = std::fread(buf, 1, sizeof(buf), in)) > 0)
+        text.append(buf, got);
+    std::fclose(in);
+
+    Metrics base;
+    for (std::size_t i = 0; i < kKeys.size(); ++i) {
+        const std::string needle = "\"" + kKeys[i] + "\":";
+        const std::size_t pos = text.find(needle);
+        if (pos == std::string::npos) {
+            std::fprintf(stderr, "baseline %s lacks %s\n", path.c_str(),
+                         kKeys[i].c_str());
+            return std::nullopt;
+        }
+        base[i] = std::strtod(text.c_str() + pos + needle.size(), nullptr);
+    }
+    return base;
+}
+
+void
+emitBlock(std::FILE *out, const char *name, const Metrics &m,
+          const char *fmt)
+{
+    std::fprintf(out, "  \"%s\": {", name);
+    for (std::size_t i = 0; i < kKeys.size(); ++i) {
+        std::fprintf(out, "%s\n    \"%s\": ", i == 0 ? "" : ",",
+                     kKeys[i].c_str());
+        std::fprintf(out, fmt, m[i]);
+    }
+    std::fprintf(out, "\n  }");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_explore.json";
+    std::string baseline_path;
+    bool quick = false;
+    bool no_dpor = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--no-dpor") {
+            no_dpor = true;
+        } else if (arg == "--baseline" && i + 1 < argc) {
+            baseline_path = argv[++i];
+        } else {
+            out_path = arg;
+        }
+    }
+
+    // The searches exhaust far below these caps on a healthy tree; the
+    // caps only bound the damage a reduction regression can do to CI.
+    const int max_runs = quick ? 30000 : 300000;
+    const bool dpor = !no_dpor;
+
+    std::printf("micro_explore (%s%s)\n", quick ? "quick" : "full",
+                dpor ? "" : ", dpor off");
+
+    const std::vector<AppCase> cases = appCases();
+    Metrics cur;
+    for (std::size_t i = 0; i < cases.size(); ++i)
+        nodesToCoverage(cases[i], dpor, max_runs, cur[i], cur[i + 3]);
+
+    std::optional<Metrics> base;
+    if (!baseline_path.empty()) {
+        base = readBaseline(baseline_path);
+        if (!base.has_value())
+            return 1;
+    }
+
+    std::FILE *out = std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"micro_explore\",\n"
+                 "  \"quick\": %s,\n"
+                 "  \"dpor\": %s,\n",
+                 quick ? "true" : "false", dpor ? "true" : "false");
+    emitBlock(out, "current", cur, "%.0f");
+    if (base.has_value()) {
+        std::fprintf(out, ",\n");
+        emitBlock(out, "mainBaseline", *base, "%.0f");
+        // Lower is better for node counts, so the win is base/cur; the
+        // *StatesFound keys must come out at exactly 1.00 (equal
+        // coverage) for the node reduction to mean anything.
+        Metrics reduction;
+        for (std::size_t i = 0; i < kKeys.size(); ++i)
+            reduction[i] = cur[i] > 0.0 ? (*base)[i] / cur[i] : 0.0;
+        std::fprintf(out, ",\n");
+        emitBlock(out, "reductionVsMain", reduction, "%.2f");
+        std::printf("node reduction vs main:\n");
+        for (std::size_t i = 0; i < kKeys.size(); ++i)
+            std::printf("%24s %13.2fx\n", kKeys[i].c_str(),
+                        reduction[i]);
+    }
+    std::fprintf(out, "\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "explore/dpor.hpp"
 #include "explore/hb_signature.hpp"
 #include "explore/snapshot_tree.hpp"
 #include "support/logging.hpp"
@@ -19,7 +20,7 @@ renderStatsJson(const ExploreStats &s)
         s.sigInserts == 0 ? 0.0
                           : 1.0 - static_cast<double>(s.sigUnique) /
                                       static_cast<double>(s.sigInserts);
-    char line[512];
+    char line[768];
     std::snprintf(
         line, sizeof line,
         "{\"checkpointing\": %s, \"nodes_expanded\": %" PRIu64 ", "
@@ -29,12 +30,17 @@ renderStatsJson(const ExploreStats &s)
         "\"checkpoint_bytes\": %" PRIu64 ", \"pages_cow_cloned\": %" PRIu64
         ", \"decisions_restored\": %" PRIu64 ", "
         "\"decisions_executed\": %" PRIu64 ", \"sig_inserts\": %" PRIu64
-        ", \"sig_unique\": %" PRIu64 ", \"dedup_rate\": %.4f}",
+        ", \"sig_unique\": %" PRIu64 ", \"dedup_rate\": %.4f, "
+        "\"dpor\": %s, \"traces_explored\": %" PRIu64
+        ", \"dpor_races\": %" PRIu64 ", \"backtracks_inserted\": %" PRIu64
+        ", \"sleep_set_hits\": %" PRIu64 ", \"dpor_pruned\": %" PRIu64 "}",
         s.checkpointing ? "true" : "false", s.nodesExpanded,
         s.checkpointHits, s.checkpointMisses, s.checkpointsCreated,
         s.checkpointsEvicted, s.checkpointBytes, s.pagesCowCloned,
         s.decisionsRestored, s.decisionsExecuted, s.sigInserts,
-        s.sigUnique, dedup);
+        s.sigUnique, dedup, s.dporActive ? "true" : "false",
+        s.tracesExplored, s.dporRaces, s.backtracksInserted,
+        s.sleepSetHits, s.dporPruned);
     return line;
 }
 
@@ -53,6 +59,12 @@ ExploreStats::merge(const ExploreStats &other)
     decisionsExecuted += other.decisionsExecuted;
     sigInserts += other.sigInserts;
     sigUnique += other.sigUnique;
+    dporActive = dporActive || other.dporActive;
+    tracesExplored += other.tracesExplored;
+    dporRaces += other.dporRaces;
+    backtracksInserted += other.backtracksInserted;
+    sleepSetHits += other.sleepSetHits;
+    dporPruned += other.dporPruned;
 }
 
 namespace detail
@@ -63,10 +75,11 @@ runOnce(const check::ProgramFactory &factory,
         const sim::MachineConfig &machine_template,
         const ExploreConfig &config,
         const std::vector<std::uint32_t> &prefix,
-        const SignatureInsert &insert_sig)
+        const SignatureInsert &insert_sig, const SleepSet *sleep)
 {
+    auto program = factory();
     sim::Machine machine(machine_template);
-    const bool bounded = config.maxPreemptions != ~std::size_t{0};
+    const bool bounded = config.maxPreemptions != noDecision;
     auto sched = std::make_unique<sim::ScriptedScheduler>(
         std::vector<std::uint32_t>(prefix), config.quantum,
         /*prefer_previous=*/bounded);
@@ -78,9 +91,23 @@ runOnce(const check::ProgramFactory &factory,
     if (config.prune == PruneMode::HappensBefore)
         machine.addListener(&hb);
 
+    DporTracker dpor;
+    SleepEval sleepEval;
+    if (config.dpor) {
+        dpor.reset(program->numThreads());
+        machine.addListener(&dpor);
+        sleepEval.reset(sleep, prefix.empty() ? 0 : prefix.size() - 1);
+    }
+
     std::size_t decision = 0;
     machine.setDecisionHandler(
         [&](const std::vector<ThreadId> &runnable) {
+            // Close the previous slice first: the pruning signature below
+            // must reflect every slice executed *before* this decision.
+            if (config.dpor) {
+                dpor.onDecision(runnable, sched_ptr->chosenIndices());
+                sleepEval.advance(dpor.hb());
+            }
             // Both pruning modes work at decision granularity: if the
             // fingerprint of the execution prefix repeats, every
             // continuation from here was already reachable from the
@@ -93,11 +120,24 @@ runOnce(const check::ProgramFactory &factory,
             // this prefix and were recorded by it already.
             if (config.prune != PruneMode::None &&
                 decision >= prefix.size() &&
-                obs.pruneAt == ~std::size_t{0}) {
+                obs.pruneAt == noDecision) {
+                // HappensBefore merges equal *traces*; trace-equivalent
+                // prefixes always have the same length, so folding the
+                // depth in costs nothing — and without it a decision whose
+                // slice emitted no sync event (a pre-acquire switch point)
+                // would collide with its own predecessor and truncate the
+                // run's expansion. States, by contrast, merge at any depth.
                 std::uint64_t sig =
                     config.prune == PruneMode::StateHash
                         ? machine.stateSignature()
-                        : hb.value();
+                        : mixSignature(hb.value(), decision);
+                // Sleep sets make continuations a function of (state,
+                // sleep set), not state alone: fold the active entries in
+                // so states reached with different sleep sets never
+                // dedup against each other (the classic sleep-set x
+                // state-caching unsoundness).
+                if (config.dpor)
+                    sig = sleepEval.foldActive(sig);
                 for (ThreadId t : runnable)
                     sig = mixSignature(sig, t + 1);
                 if (!insert_sig(sig))
@@ -115,8 +155,14 @@ runOnce(const check::ProgramFactory &factory,
         }
     });
 
-    auto program = factory();
     machine.run(*program);
+
+    if (config.dpor) {
+        dpor.finishRun(sched_ptr->chosenIndices());
+        sleepEval.advance(dpor.hb());
+        obs.dpor = std::make_shared<const DporRunData>(
+            dpor.takeRunData(sleepEval.takeWakeAt()));
+    }
 
     obs.fanout = sched_ptr->decisionFanout();
     obs.path = sched_ptr->chosenIndices();
@@ -210,18 +256,22 @@ explore(const check::ProgramFactory &factory,
             factory, machine_template, config, *tree, 0);
     }
 
-    std::vector<std::vector<std::uint32_t>> pending;
+    std::unique_ptr<BranchLedger> ledger;
+    if (config.dpor)
+        ledger = std::make_unique<BranchLedger>();
+    result.stats.dporActive = config.dpor;
+
+    std::vector<detail::PendingNode> pending;
     pending.push_back({});
 
     while (!pending.empty() && result.runsExecuted < config.maxRuns) {
-        const std::vector<std::uint32_t> prefix = std::move(
-            pending.back());
+        const detail::PendingNode node = std::move(pending.back());
         pending.pop_back();
 
         const detail::RunObservation obs =
-            warm ? engine->runOnce(prefix, insert_sig)
+            warm ? engine->runOnce(node.prefix, insert_sig, &node.sleep)
                  : detail::runOnce(factory, machine_template, config,
-                                   prefix, insert_sig);
+                                   node.prefix, insert_sig, &node.sleep);
         ++result.runsExecuted;
         if (!warm) {
             ++result.stats.nodesExpanded;
@@ -229,11 +279,18 @@ explore(const check::ProgramFactory &factory,
         }
         result.finalStates.insert(obs.finalState);
 
-        const detail::ExpandCounts counts = detail::expandBranches(
-            obs, prefix.size(), config,
-            [&pending](std::vector<std::uint32_t> next) {
-                pending.push_back(std::move(next));
-            });
+        const detail::ExpandCounts counts =
+            config.dpor
+                ? detail::expandDpor(
+                      obs, node, config, *ledger, result.stats,
+                      [&pending](detail::PendingNode child) {
+                          pending.push_back(std::move(child));
+                      })
+                : detail::expandBranches(
+                      obs, node.prefix.size(), config,
+                      [&pending](std::vector<std::uint32_t> next) {
+                          pending.push_back({std::move(next), {}});
+                      });
         result.branchesPruned += counts.pruned;
         result.branchesBoundedOut += counts.boundedOut;
     }

@@ -26,10 +26,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <set>
 #include <vector>
 
 #include "check/driver.hpp"
+#include "explore/explore_constants.hpp"
+#include "race/slice_hb.hpp"
 #include "sim/machine.hpp"
 #include "support/types.hpp"
 
@@ -49,6 +52,20 @@ struct ExploreConfig
 {
     PruneMode prune = PruneMode::None;
 
+    /**
+     * Dynamic partial-order reduction (`--prune dpor`), composable with
+     * any base prune mode: instead of expanding every sibling at every
+     * decision, expand only the siblings some observed race justifies —
+     * one representative schedule per Mazurkiewicz trace. Sound for
+     * final-state coverage: commuting independent slices cannot change
+     * any outcome, so the reduced search reports the same finalStates
+     * (and finds the same seeded bugs) as exhaustive enumeration.
+     * Unsound only in combination with a maxPreemptions bound (the
+     * classic DPOR/bounding interaction), which is therefore not part
+     * of any equivalence guarantee.
+     */
+    bool dpor = false;
+
     /** Hard cap on executed runs. */
     int maxRuns = 20000;
 
@@ -65,7 +82,7 @@ struct ExploreConfig
      * bound, default continuations are preemption-free and branches
      * whose preemption count would exceed the bound are skipped.
      */
-    std::size_t maxPreemptions = ~std::size_t{0};
+    std::size_t maxPreemptions = noDecision;
 
     /**
      * Share schedule prefixes between runs via machine checkpoints: a
@@ -114,6 +131,16 @@ struct ExploreStats
     std::uint64_t sigInserts = 0;         ///< Seen-set insert attempts.
     std::uint64_t sigUnique = 0;          ///< ... that were new.
 
+    /// @name DPOR counters (all zero unless ExploreConfig::dpor).
+    /// @{
+    bool dporActive = false;            ///< DPOR actually in effect.
+    std::uint64_t tracesExplored = 0;   ///< Representative schedules run.
+    std::uint64_t dporRaces = 0;        ///< Racing slice pairs observed.
+    std::uint64_t backtracksInserted = 0; ///< Race-justified children emitted.
+    std::uint64_t sleepSetHits = 0;     ///< Proposals skipped: thread asleep.
+    std::uint64_t dporPruned = 0;       ///< Siblings no race justified.
+    /// @}
+
     /** Accumulate @p other (counter sums; flags OR). */
     void merge(const ExploreStats &other);
 };
@@ -156,6 +183,45 @@ namespace detail
  * search with a shared, thread-safe seen-signature set.
  */
 
+/**
+ * One sleeping thread: while no executed slice conflicts with `next`
+ * (its pending step, recorded when it was put to sleep) and the thread
+ * itself is not scheduled, any continuation that wakes it commutes back
+ * to the branch point whose alternative already covers it.
+ */
+struct SleepEntry
+{
+    ThreadId tid = 0;
+    race::SliceFootprint next;
+};
+
+/** A frontier node's sleep set, sorted by tid (deterministic folds). */
+using SleepSet = std::vector<SleepEntry>;
+
+/** One frontier node: a schedule prefix plus its inherited sleep set. */
+struct PendingNode
+{
+    std::vector<std::uint32_t> prefix;
+    SleepSet sleep; ///< Empty unless ExploreConfig::dpor.
+};
+
+/** Per-run DPOR observations (attached to RunObservation when on). */
+struct DporRunData
+{
+    /** Slice conflict/order analysis of the whole run. */
+    race::SliceHb hb;
+
+    /** Runnable thread list at each decision (ascending tid order). */
+    std::vector<std::vector<ThreadId>> runnables;
+
+    /**
+     * Per input sleep entry: decision index of the first slice at or
+     * past the branch that woke it (scheduled the thread or conflicted
+     * with its pending step), or noDecision if it slept to the end.
+     */
+    std::vector<std::size_t> wakeAt;
+};
+
 /** Everything observed during one scripted run. */
 struct RunObservation
 {
@@ -163,8 +229,11 @@ struct RunObservation
     std::vector<std::uint32_t> path; ///< Choice taken at each decision.
     std::vector<std::int32_t> prevIdx; ///< Previous-thread index per decision.
     std::vector<std::size_t> preemptionsBefore; ///< Prefix preemption counts.
-    std::size_t pruneAt = ~std::size_t{0};
+    std::size_t pruneAt = noDecision;
     HashWord finalState = 0;
+
+    /** DPOR observations; null unless ExploreConfig::dpor. */
+    std::shared_ptr<const DporRunData> dpor;
 };
 
 /**
@@ -174,12 +243,17 @@ struct RunObservation
  */
 using SignatureInsert = std::function<bool(std::uint64_t)>;
 
-/** Execute one scripted run continuing past @p prefix. */
+/**
+ * Execute one scripted run continuing past @p prefix. @p sleep is the
+ * frontier node's sleep set (used, under DPOR, for wake tracking and the
+ * pruning-signature fold); null is an empty set.
+ */
 RunObservation runOnce(const check::ProgramFactory &factory,
                        const sim::MachineConfig &machine_template,
                        const ExploreConfig &config,
                        const std::vector<std::uint32_t> &prefix,
-                       const SignatureInsert &insert_sig);
+                       const SignatureInsert &insert_sig,
+                       const SleepSet *sleep = nullptr);
 
 /** Branches not expanded (per-observation pruning/bounding counts). */
 struct ExpandCounts

@@ -193,10 +193,14 @@ PrefixEngine::PrefixEngine(const check::ProgramFactory &factory,
         });
     if (cfg.prune == PruneMode::HappensBefore)
         machine.addListener(&hbState);
+    if (cfg.dpor) {
+        dporState.reset(program->numThreads());
+        machine.addListener(&dporState);
+    }
 
     // The scheduler must be injected before beginRun() (which otherwise
     // installs a RandomScheduler); runOnce() replaces it per run.
-    const bool bounded = cfg.maxPreemptions != ~std::size_t{0};
+    const bool bounded = cfg.maxPreemptions != noDecision;
     auto seed_sched = std::make_unique<sim::ScriptedScheduler>(
         std::vector<std::uint32_t>{}, cfg.quantum, bounded);
     sched = seed_sched.get();
@@ -205,6 +209,7 @@ PrefixEngine::PrefixEngine(const check::ProgramFactory &factory,
     machine.beginRun(*program);
     rootSnap = machine.checkpoint();
     rootHb = hbState;
+    rootDpor = dporState;
 }
 
 PrefixEngine::~PrefixEngine() = default;
@@ -213,11 +218,21 @@ void
 PrefixEngine::onDecision(const std::vector<ThreadId> &runnable)
 {
     const std::vector<std::uint32_t> &prefix = *curPrefix;
+    const std::vector<std::uint32_t> &executed = sched->chosenIndices();
+
+    // Close the previous slice first (identical to the cold path): the
+    // pruning signature and any checkpoint taken below must reflect every
+    // slice executed before this decision. After a restore the handler
+    // re-fires at startDecision; DporTracker::onDecision is idempotent
+    // against that.
+    if (cfg.dpor) {
+        dporState.onDecision(runnable, executed);
+        sleepEval.advance(dporState.hb());
+    }
 
     // Fold choices appended since the last decision into the rolling
     // path hash (the handler runs before pick(), so the history holds
     // exactly `decision` entries).
-    const std::vector<std::uint32_t> &executed = sched->chosenIndices();
     while (pathHashLen < executed.size()) {
         pathHash = mixSignature(pathHash, executed[pathHashLen] + 1ULL);
         ++pathHashLen;
@@ -229,10 +244,14 @@ PrefixEngine::onDecision(const std::vector<ThreadId> &runnable)
     // they were skipped by the checkpoint restore, which is exactly why
     // the condition must use prefix.size(), not startDecision.
     if (cfg.prune != PruneMode::None && decision >= prefix.size() &&
-        pruneAt == ~std::size_t{0}) {
+        pruneAt == noDecision) {
+        // Depth fold for HappensBefore mirrors the cold path exactly; see
+        // the comment there.
         std::uint64_t sig = cfg.prune == PruneMode::StateHash
                                 ? machine.stateSignature()
-                                : hbState.value();
+                                : mixSignature(hbState.value(), decision);
+        if (cfg.dpor)
+            sig = sleepEval.foldActive(sig);
         for (ThreadId t : runnable)
             sig = mixSignature(sig, t + 1);
         if (!(*curInsert)(sig))
@@ -243,11 +262,16 @@ PrefixEngine::onDecision(const std::vector<ThreadId> &runnable)
     // within the branching depth, actually branchy (forced moves add no
     // reachable prefix keys), on the stride, and not beyond a pruned
     // decision (expansion never emits prefixes past pruneAt, so deeper
-    // checkpoints on this path could never be hit).
+    // checkpoints on this path could never be hit). Under DPOR the
+    // current prefix's own branch decision bypasses the stride: every
+    // sibling emitted at that branch restores from it with zero replayed
+    // decisions, which is what makes per-trace cost O(suffix).
+    const bool branchPoint =
+        cfg.dpor && !prefix.empty() && decision + 1 == prefix.size();
     if (decision >= 1 && runnable.size() > 1 &&
         decision < cfg.maxDepth && decision < pruneAt &&
         (cfg.checkpointStride <= 1 ||
-         decision % cfg.checkpointStride == 0) &&
+         decision % cfg.checkpointStride == 0 || branchPoint) &&
         !tree.containsKeyed(pathHash, owner, executed)) {
         CheckpointEntry entry;
         entry.owner = owner;
@@ -258,8 +282,14 @@ PrefixEngine::onDecision(const std::vector<ThreadId> &runnable)
         entry.snap = machine.checkpoint();
         if (cfg.prune == PruneMode::HappensBefore)
             entry.hb = std::make_shared<HbTracker>(hbState);
+        if (cfg.dpor)
+            entry.dpor = std::make_shared<DporTracker>(dporState);
         entry.bytes = entry.snap->bytes() +
                       entry.chosen.size() * 16 + sizeof(CheckpointEntry);
+        if (entry.dpor != nullptr) {
+            // Rough LRU-budget charge for the slice analysis state.
+            entry.bytes += 1024 + entry.dpor->hb().sliceCount() * 96;
+        }
         tree.insert(std::move(entry));
     }
 
@@ -268,9 +298,10 @@ PrefixEngine::onDecision(const std::vector<ThreadId> &runnable)
 
 detail::RunObservation
 PrefixEngine::runOnce(const std::vector<std::uint32_t> &prefix,
-                      const detail::SignatureInsert &insert_sig)
+                      const detail::SignatureInsert &insert_sig,
+                      const detail::SleepSet *sleep)
 {
-    const bool bounded = cfg.maxPreemptions != ~std::size_t{0};
+    const bool bounded = cfg.maxPreemptions != noDecision;
     auto fresh = std::make_unique<sim::ScriptedScheduler>(
         std::vector<std::uint32_t>(prefix), cfg.quantum, bounded);
     sched = fresh.get();
@@ -288,21 +319,30 @@ PrefixEngine::runOnce(const std::vector<std::uint32_t> &prefix,
                           "checkpoint without HB state under HB pruning");
             hbState = *anc->hb;
         }
+        if (cfg.dpor) {
+            ICHECK_ASSERT(anc->dpor != nullptr,
+                          "checkpoint without slice state under DPOR");
+            dporState = *anc->dpor;
+        }
         startDecision = anc->depth();
         ++counters.checkpointHits;
     } else {
         machine.restore(*rootSnap);
         if (cfg.prune == PruneMode::HappensBefore)
             hbState = rootHb;
+        if (cfg.dpor)
+            dporState = rootDpor;
         startDecision = 0;
         ++counters.checkpointMisses;
     }
     machine.setScheduler(std::move(fresh));
 
     decision = startDecision;
-    pruneAt = ~std::size_t{0};
+    pruneAt = noDecision;
     curPrefix = &prefix;
     curInsert = &insert_sig;
+    if (cfg.dpor)
+        sleepEval.reset(sleep, prefix.empty() ? 0 : prefix.size() - 1);
     // Seed the rolling path hash from the restored choice history; the
     // per-decision folds in onDecision() keep it current from here.
     pathHash = CheckpointTree::hashPrefix(
@@ -319,6 +359,12 @@ PrefixEngine::runOnce(const std::vector<std::uint32_t> &prefix,
     obs.prevIdx = sched->previousIndices();
     obs.pruneAt = pruneAt;
     obs.finalState = finalState;
+    if (cfg.dpor) {
+        dporState.finishRun(obs.path);
+        sleepEval.advance(dporState.hb());
+        obs.dpor = std::make_shared<const detail::DporRunData>(
+            dporState.takeRunData(sleepEval.takeWakeAt()));
+    }
     obs.preemptionsBefore.resize(obs.fanout.size() + 1, 0);
     for (std::size_t d = 0; d < obs.fanout.size(); ++d) {
         const bool preempted =

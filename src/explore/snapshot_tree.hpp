@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "check/driver.hpp"
+#include "explore/dpor.hpp"
 #include "explore/explorer.hpp"
 #include "explore/hb_signature.hpp"
 #include "sim/machine.hpp"
@@ -65,6 +66,9 @@ struct CheckpointEntry
 
     /** HB-tracker state at the decision (HappensBefore pruning only). */
     std::shared_ptr<const HbTracker> hb;
+
+    /** Slice-analysis state at the decision (DPOR only). */
+    std::shared_ptr<const DporTracker> dpor;
 
     /** Checkpoint depth: decisions already executed when it was taken. */
     std::size_t depth() const { return chosen.size(); }
@@ -189,7 +193,8 @@ class PrefixEngine
      */
     detail::RunObservation
     runOnce(const std::vector<std::uint32_t> &prefix,
-            const detail::SignatureInsert &insert_sig);
+            const detail::SignatureInsert &insert_sig,
+            const detail::SleepSet *sleep = nullptr);
 
     /**
      * Per-engine counters. checkpointBytes/created/evicted are tree-wide
@@ -217,13 +222,20 @@ class PrefixEngine
     /** HB-tracker state right after setup (the decision-0 value). */
     HbTracker rootHb;
 
+    /// @name DPOR slice analysis (cfg.dpor only; idle otherwise).
+    /// @{
+    DporTracker dporState;
+    DporTracker rootDpor; ///< dporState right after setup.
+    SleepEval sleepEval;
+    /// @}
+
     /// @name Per-run state consumed by onDecision().
     /// @{
     const std::vector<std::uint32_t> *curPrefix = nullptr;
     const detail::SignatureInsert *curInsert = nullptr;
     std::size_t startDecision = 0;
     std::size_t decision = 0;
-    std::size_t pruneAt = ~std::size_t{0};
+    std::size_t pruneAt = noDecision;
 
     /** Rolling CheckpointTree::hashPrefix of the executed path, folded
      *  incrementally as the scheduler appends choices. */

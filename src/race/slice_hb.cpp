@@ -1,0 +1,185 @@
+#include "race/slice_hb.hpp"
+
+#include <algorithm>
+
+namespace icheck::race
+{
+
+bool
+footprintsConflict(const SliceFootprint &a, const SliceFootprint &b)
+{
+    // Both footprints are sorted by object: merge-walk them.
+    std::size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+        if (a[i].object < b[j].object) {
+            ++i;
+        } else if (b[j].object < a[i].object) {
+            ++j;
+        } else {
+            if (a[i].write || b[j].write)
+                return true;
+            ++i;
+            ++j;
+        }
+    }
+    return false;
+}
+
+VectorClock &
+SliceHb::clockOf(ThreadId tid)
+{
+    if (tid >= clocks.size()) {
+        clocks.resize(tid + 1);
+        clockInited.resize(tid + 1, false);
+    }
+    if (!clockInited[tid]) {
+        // Threads start after setup: every thread's first slice is
+        // ordered after the prelude, so it can never race with it.
+        clocks[tid].join(baseClock);
+        clockInited[tid] = true;
+    }
+    return clocks[tid];
+}
+
+void
+SliceHb::noteRace(std::size_t earlier, std::size_t later)
+{
+    if (raceSeen.emplace(earlier, later).second)
+        raceList.push_back({earlier, later});
+}
+
+void
+SliceHb::record(Op op, std::uint64_t object, std::uint64_t epoch)
+{
+    pending.push_back({op, object, epoch});
+}
+
+void
+SliceHb::closeSlice(ThreadId tid, std::size_t decision)
+{
+    const std::size_t idx = slices.size();
+    VectorClock &now = clockOf(tid);
+    const std::uint64_t local = now.get(tid); ///< Completed slices of tid.
+    const Epoch self{tid, local + 1};
+
+    const auto raise = [&now](const Epoch &e) {
+        if (e.valid())
+            now.set(e.tid, std::max(now.get(e.tid), e.clock));
+    };
+    const auto publish = [&](VectorClock &into) {
+        into.join(now);
+        into.set(tid, std::max(into.get(tid), self.clock));
+    };
+
+    std::map<std::uint64_t, bool> touched; // object -> any write
+
+    for (const PendingOp &p : pending) {
+        switch (p.op) {
+          case Op::Read: {
+            GranuleState &g = granules[p.object];
+            if (g.write.valid() && g.write.tid != tid &&
+                !g.write.happensBefore(now))
+                noteRace(g.writeSlice, idx);
+            // Conflict closure: order this read after the last write so
+            // a later conflicting access races with the *adjacent*
+            // partner only (transitive pairs surface recursively in the
+            // subtrees the backtracks open).
+            now.join(g.writeClock);
+            raise(g.write);
+            g.readers[tid] = {local + 1, idx};
+            touched.emplace(p.object, false);
+            break;
+          }
+          case Op::Write: {
+            GranuleState &g = granules[p.object];
+            if (g.write.valid() && g.write.tid != tid &&
+                !g.write.happensBefore(now))
+                noteRace(g.writeSlice, idx);
+            for (const auto &[rt, ri] : g.readers) {
+                if (rt != tid && ri.first > now.get(rt))
+                    noteRace(ri.second, idx);
+            }
+            now.join(g.writeClock);
+            raise(g.write);
+            for (const auto &[rt, ri] : g.readers)
+                now.set(rt, std::max(now.get(rt), ri.first));
+            g.writeClock = now;
+            g.write = self;
+            g.writeSlice = idx;
+            g.readers.clear();
+            touched[p.object] = true;
+            break;
+          }
+          case Op::Acquire: {
+            ObjectState &m = mutexes[p.object];
+            // Acquire-acquire is a race on purpose: the release-acquire
+            // join below orders the observed acquisition order, but the
+            // *other* order is a different Mazurkiewicz trace DPOR must
+            // visit.
+            if (m.last.valid() && m.last.tid != tid &&
+                !m.last.happensBefore(now))
+                noteRace(m.lastSlice, idx);
+            now.join(m.clock);
+            m.last = self;
+            m.lastSlice = idx;
+            touched[p.object] = true;
+            break;
+          }
+          case Op::Release: {
+            ObjectState &m = mutexes[p.object];
+            publish(m.clock);
+            touched[p.object] = true;
+            break;
+          }
+          case Op::CondSignal: {
+            ObjectState &c = conds[p.object];
+            if (c.last.valid() && c.last.tid != tid &&
+                !c.last.happensBefore(now))
+                noteRace(c.lastSlice, idx);
+            publish(c.clock);
+            c.last = self;
+            c.lastSlice = idx;
+            touched[p.object] = true;
+            break;
+          }
+          case Op::CondWait: {
+            ObjectState &c = conds[p.object];
+            if (c.last.valid() && c.last.tid != tid &&
+                !c.last.happensBefore(now))
+                noteRace(c.lastSlice, idx);
+            now.join(c.clock);
+            c.last = self;
+            c.lastSlice = idx;
+            touched[p.object] = true;
+            break;
+          }
+          case Op::BarrierArrive: {
+            // Arrival order commutes (the gather join is symmetric), so
+            // barriers order but never race.
+            publish(barrierGather[{p.object, p.epoch}]);
+            touched[p.object] = true;
+            break;
+          }
+          case Op::BarrierLeave: {
+            now.join(barrierGather[{p.object, p.epoch}]);
+            touched[p.object] = true;
+            break;
+          }
+        }
+    }
+
+    now.tick(tid);
+    if (decision == noIndex)
+        baseClock = now; // prelude: the base every thread starts from
+
+    SliceInfo info;
+    info.tid = tid;
+    info.decision = decision;
+    info.footprint.reserve(touched.size());
+    for (const auto &[object, write] : touched)
+        info.footprint.push_back({object, write});
+    slices.push_back(std::move(info));
+    pending.clear();
+}
+
+} // namespace icheck::race

@@ -1,0 +1,228 @@
+#ifndef ICHECK_RACE_SLICE_HB_HPP
+#define ICHECK_RACE_SLICE_HB_HPP
+
+/**
+ * @file
+ * Slice-granularity happens-before analysis for dynamic partial-order
+ * reduction.
+ *
+ * The systematic-testing explorer divides a run into *slices*: the events
+ * a thread executes between two consecutive scheduling decisions. DPOR
+ * needs to know, for each pair of slices, whether they conflict (touch a
+ * common location, at least one writing, or contend for the same
+ * synchronization object) and whether they are ordered by happens-before.
+ * A pair that conflicts while unordered is a *race*: executing the two
+ * slices in the other order can change the behaviour, so the explorer
+ * must schedule the later slice's thread at the earlier slice's decision.
+ *
+ * This analyzer is FastTrack-shaped but at slice granularity: one vector
+ * clock per thread counting completed slices, per-granule last-write
+ * epochs plus read maps, and per-object clocks for mutexes, condition
+ * variables, and barriers. Two deliberate differences from the
+ * exploration HbTracker:
+ *
+ *  - read-read is *not* a dependency (two reads commute, so ordering
+ *    them would hide real reduction opportunities);
+ *  - mutex acquire-acquire pairs *are* races even though the
+ *    release-acquire join orders them in the observed execution —
+ *    acquisition order is exactly the nondeterminism lock-based programs
+ *    exhibit, so DPOR must explore both orders.
+ *
+ * The analyzer is a plain value: copyable and assignable, so the
+ * prefix-sharing explorer checkpoints it alongside a machine snapshot
+ * and rewinds both together.
+ */
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "race/vector_clock.hpp"
+#include "support/types.hpp"
+
+namespace icheck::race
+{
+
+/** One object a slice touched, and whether it can change state. */
+struct SliceRef
+{
+    std::uint64_t object = 0;
+    bool write = false;
+
+    bool
+    operator<(const SliceRef &other) const
+    {
+        return object != other.object ? object < other.object
+                                      : write < other.write;
+    }
+    bool operator==(const SliceRef &) const = default;
+};
+
+/** A slice's deduplicated access set, sorted by object. */
+using SliceFootprint = std::vector<SliceRef>;
+
+/**
+ * Whether two footprints conflict: they share an object and at least one
+ * side writes it. Disjoint slices commute — executing them in either
+ * order yields identical per-access behaviour — which is the soundness
+ * basis of both race-driven backtracking and sleep sets.
+ */
+bool footprintsConflict(const SliceFootprint &a, const SliceFootprint &b);
+
+/** Namespaced object keys: data granules share the address space. */
+inline std::uint64_t
+mutexKey(std::uint32_t id)
+{
+    return (0xAULL << 56) | id;
+}
+inline std::uint64_t
+condKey(std::uint32_t id)
+{
+    return (0xCULL << 56) | id;
+}
+inline std::uint64_t
+barrierKey(std::uint32_t id)
+{
+    return (0xBULL << 56) | id;
+}
+
+/**
+ * Incremental slice-granularity happens-before analyzer.
+ *
+ * Usage: record() the open slice's operations as they happen, then
+ * closeSlice() when the next scheduling decision is reached, attributing
+ * the slice to the thread that executed it. Races are detected at close
+ * time, against the most recent unordered conflicting slice — exactly
+ * the adjacent pairs DPOR backtracks on (earlier conflicts are ordered
+ * by conflict closure and surface recursively in the subtrees the
+ * backtracks open).
+ *
+ * The first slice is the *prelude*: program setup, closed with
+ * decision == noIndex. Its effects are ordered before every thread's
+ * first slice (threads start after setup), so it never races and is
+ * never a backtrack target.
+ */
+class SliceHb
+{
+  public:
+    /** "No slice / no decision" sentinel. */
+    static constexpr std::size_t noIndex = ~std::size_t{0};
+
+    /** Operations a slice can record. */
+    enum class Op : std::uint8_t
+    {
+        Read,
+        Write,
+        Acquire,
+        Release,
+        CondSignal,
+        CondWait,
+        BarrierArrive,
+        BarrierLeave,
+    };
+
+    /** An unordered conflicting slice pair (indices into the run). */
+    struct Race
+    {
+        std::size_t earlier = 0;
+        std::size_t later = 0;
+    };
+
+    /**
+     * @param setup_tid Pseudo-thread the prelude slice is attributed to;
+     *                  pass the program's thread count so it collides
+     *                  with no real thread id.
+     */
+    explicit SliceHb(ThreadId setup_tid = 0) : setupTid(setup_tid) {}
+
+    /** Record one operation into the open slice. */
+    void record(Op op, std::uint64_t object, std::uint64_t epoch = 0);
+
+    /**
+     * Close the open slice: attribute it to @p tid at scheduling decision
+     * @p decision (noIndex for the prelude), run race detection and the
+     * clock algebra over its operations, and start a new open slice.
+     */
+    void closeSlice(ThreadId tid, std::size_t decision);
+
+    /** Races detected so far, in detection order, deduplicated. */
+    const std::vector<Race> &races() const { return raceList; }
+
+    /// @name Closed-slice metadata.
+    /// @{
+    std::size_t sliceCount() const { return slices.size(); }
+    ThreadId sliceTid(std::size_t i) const { return slices[i].tid; }
+    std::size_t
+    sliceDecision(std::size_t i) const
+    {
+        return slices[i].decision;
+    }
+    const SliceFootprint &
+    sliceFootprint(std::size_t i) const
+    {
+        return slices[i].footprint;
+    }
+    /// @}
+
+    /** Whether the open slice has recorded no operations yet. */
+    bool openSliceEmpty() const { return pending.empty(); }
+
+  private:
+    struct PendingOp
+    {
+        Op op;
+        std::uint64_t object;
+        std::uint64_t epoch;
+    };
+
+    struct SliceInfo
+    {
+        ThreadId tid = 0;
+        std::size_t decision = noIndex;
+        SliceFootprint footprint;
+    };
+
+    /** Per-granule conflict state: last write plus reads since it. */
+    struct GranuleState
+    {
+        VectorClock writeClock; ///< HB closure at the last write.
+        Epoch write;            ///< Last write's (tid, slice) epoch.
+        std::size_t writeSlice = noIndex;
+        /** Reads since the last write: tid -> (local epoch, slice). */
+        std::map<ThreadId, std::pair<std::uint64_t, std::size_t>> readers;
+    };
+
+    /** Per-mutex/cond state: published clock plus the last operation. */
+    struct ObjectState
+    {
+        VectorClock clock;
+        Epoch last;
+        std::size_t lastSlice = noIndex;
+    };
+
+    VectorClock &clockOf(ThreadId tid);
+    void noteRace(std::size_t earlier, std::size_t later);
+
+    ThreadId setupTid = 0;
+    std::vector<PendingOp> pending;
+    std::vector<SliceInfo> slices;
+    std::vector<Race> raceList;
+    std::set<std::pair<std::size_t, std::size_t>> raceSeen;
+
+    std::vector<VectorClock> clocks;
+    std::vector<bool> clockInited;
+    /** Clock published by the prelude; thread clocks start from it. */
+    VectorClock baseClock;
+
+    std::map<std::uint64_t, GranuleState> granules;
+    std::map<std::uint64_t, ObjectState> mutexes;
+    std::map<std::uint64_t, ObjectState> conds;
+    std::map<std::pair<std::uint64_t, std::uint64_t>, VectorClock>
+        barrierGather;
+};
+
+} // namespace icheck::race
+
+#endif // ICHECK_RACE_SLICE_HB_HPP

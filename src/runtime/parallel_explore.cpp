@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "explore/dpor.hpp"
 #include "explore/snapshot_tree.hpp"
 #include "runtime/parallel_driver.hpp"
 
@@ -47,7 +48,7 @@ struct Frontier
 {
     std::mutex mu;
     std::condition_variable cv;
-    std::vector<std::vector<std::uint32_t>> pending;
+    std::vector<explore::detail::PendingNode> pending;
     int inFlight = 0;
     int claimed = 0; ///< Runs handed to workers (capped at maxRuns).
     bool done = false;
@@ -59,7 +60,8 @@ workerLoop(Frontier &frontier, ShardedSignatureSet &seen,
            const check::ProgramFactory &factory,
            const sim::MachineConfig &machine_template,
            const explore::ExploreConfig &config,
-           explore::CheckpointTree *tree, std::size_t worker_id)
+           explore::CheckpointTree *tree, explore::BranchLedger *ledger,
+           std::size_t worker_id)
 {
     explore::ExploreStats local;
     const explore::detail::SignatureInsert insert_sig =
@@ -91,7 +93,7 @@ workerLoop(Frontier &frontier, ShardedSignatureSet &seen,
     };
 
     for (;;) {
-        std::vector<std::uint32_t> prefix;
+        explore::detail::PendingNode node;
         {
             std::unique_lock<std::mutex> lock(frontier.mu);
             for (;;) {
@@ -106,7 +108,7 @@ workerLoop(Frontier &frontier, ShardedSignatureSet &seen,
                     return;
                 }
                 if (!frontier.pending.empty()) {
-                    prefix = std::move(frontier.pending.back());
+                    node = std::move(frontier.pending.back());
                     frontier.pending.pop_back();
                     ++frontier.inFlight;
                     ++frontier.claimed;
@@ -124,20 +126,27 @@ workerLoop(Frontier &frontier, ShardedSignatureSet &seen,
         }
 
         const explore::detail::RunObservation obs =
-            engine ? engine->runOnce(prefix, insert_sig)
+            engine ? engine->runOnce(node.prefix, insert_sig, &node.sleep)
                    : explore::detail::runOnce(factory, machine_template,
-                                              config, prefix, insert_sig);
+                                              config, node.prefix,
+                                              insert_sig, &node.sleep);
         if (!engine) {
             ++local.nodesExpanded;
             local.decisionsExecuted += obs.fanout.size();
         }
-        std::vector<std::vector<std::uint32_t>> children;
+        std::vector<explore::detail::PendingNode> children;
+        const auto emit = [&children](explore::detail::PendingNode child) {
+            children.push_back(std::move(child));
+        };
         const explore::detail::ExpandCounts counts =
-            explore::detail::expandBranches(
-                obs, prefix.size(), config,
-                [&children](std::vector<std::uint32_t> next) {
-                    children.push_back(std::move(next));
-                });
+            ledger != nullptr
+                ? explore::detail::expandDpor(obs, node, config, *ledger,
+                                              local, emit)
+                : explore::detail::expandBranches(
+                      obs, node.prefix.size(), config,
+                      [&children](std::vector<std::uint32_t> next) {
+                          children.push_back({std::move(next), {}});
+                      });
 
         {
             std::lock_guard<std::mutex> lock(frontier.mu);
@@ -145,7 +154,7 @@ workerLoop(Frontier &frontier, ShardedSignatureSet &seen,
             frontier.result.finalStates.insert(obs.finalState);
             frontier.result.branchesPruned += counts.pruned;
             frontier.result.branchesBoundedOut += counts.boundedOut;
-            for (std::vector<std::uint32_t> &child : children)
+            for (explore::detail::PendingNode &child : children)
                 frontier.pending.push_back(std::move(child));
             --frontier.inFlight;
         }
@@ -166,6 +175,7 @@ exploreParallel(const check::ProgramFactory &factory,
 
     Frontier frontier;
     frontier.pending.push_back({});
+    frontier.result.stats.dporActive = config.dpor;
     ShardedSignatureSet seen;
 
     const bool warm =
@@ -175,11 +185,14 @@ exploreParallel(const check::ProgramFactory &factory,
         tree = std::make_unique<explore::CheckpointTree>(
             config.checkpointBudgetBytes);
     }
+    std::unique_ptr<explore::BranchLedger> ledger;
+    if (config.dpor)
+        ledger = std::make_unique<explore::BranchLedger>();
 
     ThreadPool pool(static_cast<unsigned>(jobs));
     pool.parallelFor(static_cast<std::size_t>(jobs), [&](std::size_t w) {
         workerLoop(frontier, seen, factory, machine_template, config,
-                   tree.get(), w);
+                   tree.get(), ledger.get(), w);
     });
 
     frontier.result.exhausted = frontier.pending.empty();

@@ -126,6 +126,7 @@ Machine::stateSignature() const
         sig = mixSig(sig, thread->loadHash);
         sig = mixSig(sig, static_cast<std::uint64_t>(thread->state));
         sig = mixSig(sig, thread->randCalls);
+        sig = mixSig(sig, thread->timeCalls);
     }
     sig = mixSig(sig, th_sum);
     for (const auto &mutex : mutexes) {
@@ -676,6 +677,11 @@ void
 Machine::lockMutex(MutexId id)
 {
     ICHECK_ASSERT(id < mutexes.size(), "bad mutex id");
+    // The pre-acquire switch point executes nothing, but it moves this
+    // thread to a new resume position; count it so state signatures can
+    // tell "parked at the acquire" from "not yet called lock" (otherwise
+    // state pruning merges the two and silently drops schedules).
+    ++cur().progress;
     yieldCurrent(YieldReason::Sync);
     SimThread &thread = cur();
     SimMutex &mutex = mutexes[id];
@@ -712,6 +718,8 @@ void
 Machine::barrierWait(BarrierId id)
 {
     ICHECK_ASSERT(id < barriers.size(), "bad barrier id");
+    // Pre-arrival switch point: same progress accounting as lockMutex.
+    ++cur().progress;
     yieldCurrent(YieldReason::Sync);
     SimThread &thread = cur();
     SimBarrier &barrier = barriers[id];

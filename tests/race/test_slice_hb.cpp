@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Slice-granularity happens-before analysis: race detection on hand-built
+ * slice graphs, the clock algebra of each synchronization kind, and the
+ * footprint conflict predicate — the inputs DPOR's persistent/sleep-set
+ * computation depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "race/slice_hb.hpp"
+
+namespace icheck::race
+{
+namespace
+{
+
+constexpr std::uint64_t kG = 0x1000;
+constexpr std::uint64_t kH = 0x2000;
+
+/** SliceHb with a prelude closed, as the explorer always produces. */
+SliceHb
+analyzer()
+{
+    SliceHb hb(/*setup_tid=*/2);
+    hb.closeSlice(2, SliceHb::noIndex); // empty prelude = slice 0
+    return hb;
+}
+
+TEST(SliceHb, WriteWriteUnorderedIsARace)
+{
+    SliceHb hb = analyzer();
+    hb.record(SliceHb::Op::Write, kG);
+    hb.closeSlice(0, 0); // slice 1
+    hb.record(SliceHb::Op::Write, kG);
+    hb.closeSlice(1, 1); // slice 2
+    ASSERT_EQ(hb.races().size(), 1u);
+    EXPECT_EQ(hb.races()[0].earlier, 1u);
+    EXPECT_EQ(hb.races()[0].later, 2u);
+}
+
+TEST(SliceHb, ReadWriteAndWriteReadRace)
+{
+    SliceHb hb = analyzer();
+    hb.record(SliceHb::Op::Read, kG);
+    hb.closeSlice(0, 0);
+    hb.record(SliceHb::Op::Write, kG);
+    hb.closeSlice(1, 1); // write races with the earlier read
+    ASSERT_EQ(hb.races().size(), 1u);
+    EXPECT_EQ(hb.races()[0].earlier, 1u);
+    EXPECT_EQ(hb.races()[0].later, 2u);
+
+    SliceHb hb2 = analyzer();
+    hb2.record(SliceHb::Op::Write, kG);
+    hb2.closeSlice(0, 0);
+    hb2.record(SliceHb::Op::Read, kG);
+    hb2.closeSlice(1, 1); // read races with the earlier write
+    ASSERT_EQ(hb2.races().size(), 1u);
+}
+
+TEST(SliceHb, ReadReadIsNotARace)
+{
+    // Two reads commute: ordering them would hide reduction.
+    SliceHb hb = analyzer();
+    hb.record(SliceHb::Op::Read, kG);
+    hb.closeSlice(0, 0);
+    hb.record(SliceHb::Op::Read, kG);
+    hb.closeSlice(1, 1);
+    EXPECT_TRUE(hb.races().empty());
+}
+
+TEST(SliceHb, SameThreadNeverRacesWithItself)
+{
+    SliceHb hb = analyzer();
+    hb.record(SliceHb::Op::Write, kG);
+    hb.closeSlice(0, 0);
+    hb.record(SliceHb::Op::Write, kG);
+    hb.closeSlice(0, 1);
+    EXPECT_TRUE(hb.races().empty());
+}
+
+TEST(SliceHb, DisjointObjectsNeverRace)
+{
+    SliceHb hb = analyzer();
+    hb.record(SliceHb::Op::Write, kG);
+    hb.closeSlice(0, 0);
+    hb.record(SliceHb::Op::Write, kH);
+    hb.closeSlice(1, 1);
+    EXPECT_TRUE(hb.races().empty());
+}
+
+TEST(SliceHb, ReleaseAcquireOrdersDataButAcquiresStillRace)
+{
+    // t0: acquire / write / release in separate slices; then t1 the same.
+    // The data writes are ordered by release->acquire, but the acquire
+    // pair itself is a race on purpose: lock-acquisition order is the
+    // nondeterminism DPOR must explore.
+    SliceHb hb = analyzer();
+    const std::uint64_t m = mutexKey(7);
+    hb.record(SliceHb::Op::Acquire, m);
+    hb.closeSlice(0, 0); // slice 1: t0 acquire
+    hb.record(SliceHb::Op::Write, kG);
+    hb.closeSlice(0, 1); // slice 2: t0 write
+    hb.record(SliceHb::Op::Release, m);
+    hb.closeSlice(0, 2); // slice 3: t0 release
+    hb.record(SliceHb::Op::Acquire, m);
+    hb.closeSlice(1, 3); // slice 4: t1 acquire
+    hb.record(SliceHb::Op::Write, kG);
+    hb.closeSlice(1, 4); // slice 5: t1 write — ordered, no data race
+    ASSERT_EQ(hb.races().size(), 1u);
+    EXPECT_EQ(hb.races()[0].earlier, 1u) << "the acquire-acquire pair";
+    EXPECT_EQ(hb.races()[0].later, 4u);
+}
+
+TEST(SliceHb, BarrierOrdersBothSidesWithoutRacing)
+{
+    // Writes separated by a full barrier episode are ordered; the
+    // arrivals themselves commute (symmetric gather), so nothing races.
+    SliceHb hb = analyzer();
+    const std::uint64_t b = barrierKey(1);
+    hb.record(SliceHb::Op::Write, kG);
+    hb.closeSlice(0, 0); // t0 writes before the barrier
+    hb.record(SliceHb::Op::BarrierArrive, b, /*epoch=*/0);
+    hb.closeSlice(0, 1);
+    hb.record(SliceHb::Op::BarrierArrive, b, 0);
+    hb.closeSlice(1, 2);
+    hb.record(SliceHb::Op::BarrierLeave, b, 0);
+    hb.closeSlice(0, 3);
+    hb.record(SliceHb::Op::BarrierLeave, b, 0);
+    hb.closeSlice(1, 4);
+    hb.record(SliceHb::Op::Write, kG);
+    hb.closeSlice(1, 5); // t1 writes after the barrier
+    EXPECT_TRUE(hb.races().empty());
+}
+
+TEST(SliceHb, CondSignalAndWaitAreAdjacencyChecked)
+{
+    SliceHb hb = analyzer();
+    const std::uint64_t c = condKey(3);
+    hb.record(SliceHb::Op::CondSignal, c);
+    hb.closeSlice(0, 0);
+    hb.record(SliceHb::Op::CondWait, c);
+    hb.closeSlice(1, 1); // wait vs. signal: unordered contenders
+    ASSERT_EQ(hb.races().size(), 1u);
+    EXPECT_EQ(hb.races()[0].earlier, 1u);
+    EXPECT_EQ(hb.races()[0].later, 2u);
+}
+
+TEST(SliceHb, PreludeWritesNeverRace)
+{
+    // Setup writes happen before every thread starts: even a thread's
+    // very first slice is ordered after them via the base clock.
+    SliceHb hb(/*setup_tid=*/2);
+    hb.record(SliceHb::Op::Write, kG);
+    hb.closeSlice(2, SliceHb::noIndex); // prelude writes kG
+    hb.record(SliceHb::Op::Write, kG);
+    hb.closeSlice(0, 0);
+    hb.record(SliceHb::Op::Write, kG);
+    hb.closeSlice(1, 1);
+    ASSERT_EQ(hb.races().size(), 1u)
+        << "only the two thread writes race, never the prelude";
+    EXPECT_EQ(hb.races()[0].earlier, 1u);
+    EXPECT_EQ(hb.races()[0].later, 2u);
+}
+
+TEST(SliceHb, AdjacentPairsOnlyViaConflictClosure)
+{
+    // t0 W, t1 W, t2 W: each write races with its immediate predecessor
+    // only — the (t0, t2) pair is ordered by conflict closure and would
+    // surface in the subtree a backtrack opens.
+    SliceHb hb = analyzer();
+    hb.record(SliceHb::Op::Write, kG);
+    hb.closeSlice(0, 0);
+    hb.record(SliceHb::Op::Write, kG);
+    hb.closeSlice(1, 1);
+    hb.record(SliceHb::Op::Write, kG);
+    hb.closeSlice(2, 2);
+    ASSERT_EQ(hb.races().size(), 2u);
+    EXPECT_EQ(hb.races()[0].earlier, 1u);
+    EXPECT_EQ(hb.races()[0].later, 2u);
+    EXPECT_EQ(hb.races()[1].earlier, 2u);
+    EXPECT_EQ(hb.races()[1].later, 3u);
+}
+
+TEST(SliceHb, FootprintsAreSortedAndWriteOrEd)
+{
+    SliceHb hb = analyzer();
+    hb.record(SliceHb::Op::Read, kH);
+    hb.record(SliceHb::Op::Write, kG);
+    hb.record(SliceHb::Op::Read, kG); // read after write: stays a write
+    hb.closeSlice(0, 0);
+    const SliceFootprint &fp = hb.sliceFootprint(1);
+    ASSERT_EQ(fp.size(), 2u);
+    EXPECT_EQ(fp[0].object, kG);
+    EXPECT_TRUE(fp[0].write);
+    EXPECT_EQ(fp[1].object, kH);
+    EXPECT_FALSE(fp[1].write);
+}
+
+TEST(SliceHb, SliceMetadataRoundTrips)
+{
+    SliceHb hb = analyzer();
+    hb.record(SliceHb::Op::Write, kG);
+    hb.closeSlice(1, 0);
+    EXPECT_EQ(hb.sliceCount(), 2u);
+    EXPECT_EQ(hb.sliceTid(0), 2u);
+    EXPECT_EQ(hb.sliceDecision(0), SliceHb::noIndex);
+    EXPECT_EQ(hb.sliceTid(1), 1u);
+    EXPECT_EQ(hb.sliceDecision(1), 0u);
+    EXPECT_TRUE(hb.openSliceEmpty());
+    hb.record(SliceHb::Op::Read, kG);
+    EXPECT_FALSE(hb.openSliceEmpty());
+}
+
+TEST(FootprintsConflict, SharedObjectNeedsAWrite)
+{
+    const SliceFootprint readG = {{kG, false}};
+    const SliceFootprint writeG = {{kG, true}};
+    const SliceFootprint writeH = {{kH, true}};
+    const SliceFootprint readGwriteH = {{kG, false}, {kH, true}};
+    EXPECT_FALSE(footprintsConflict(readG, readG));
+    EXPECT_TRUE(footprintsConflict(readG, writeG));
+    EXPECT_TRUE(footprintsConflict(writeG, writeG));
+    EXPECT_FALSE(footprintsConflict(writeG, writeH));
+    EXPECT_TRUE(footprintsConflict(writeH, readGwriteH));
+    EXPECT_FALSE(footprintsConflict({}, writeG));
+}
+
+} // namespace
+} // namespace icheck::race

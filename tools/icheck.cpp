@@ -10,7 +10,7 @@
  *                      [--jobs N] [--jsonl FILE]
  *   icheck characterize <app> [--runs N] [--jobs N]
  *   icheck explore <app> [--runs N] [--quantum Q] [--depth D]
- *                        [--prune none|hb|state] [--preemptions P]
+ *                        [--prune none|hb|state[,dpor]] [--preemptions P]
  *                        [--jobs N] [--no-checkpoints] [--stats]
  *   icheck localize <app> [--checkpoint K] [--seed-a A] [--seed-b B]
  *   icheck stats <app> [--seed S] [--input dev|medium|large]
@@ -76,7 +76,7 @@ usage()
         "                     [--race-log FILE]\n"
         "  icheck characterize <app> [--runs N] [--jobs N]\n"
         "  icheck explore <app> [--runs N] [--quantum Q] [--depth D]\n"
-        "                       [--prune none|hb|state]"
+        "                       [--prune none|hb|state[,dpor]]"
         " [--preemptions P]\n"
         "                       [--jobs N] [--no-checkpoints]"
         " [--stats]\n"
@@ -100,6 +100,10 @@ usage()
         "access pairs as JSONL, each endpoint attributed to the app\n"
         "source file:line; icheck-lint --race-log cross-checks its\n"
         "static findings against this log.\n"
+        "--prune takes one base mode (none|hb|state) plus optionally\n"
+        "`dpor` (comma-separated): dynamic partial-order reduction runs\n"
+        "one representative schedule per Mazurkiewicz trace; final\n"
+        "states and bug findings are identical to the unreduced search.\n"
         "serve reads JSONL requests on stdin (or --socket PATH) and\n"
         "answers one JSONL response per line; --store FILE persists\n"
         "results so a restarted daemon resumes without re-running\n"
@@ -361,16 +365,46 @@ cmdCharacterize(const std::string &app_name, Args &args)
     return 0;
 }
 
-explore::PruneMode
-parsePrune(const std::string &name)
+/**
+ * Parse the --prune spec: comma-separated tokens, at most one base mode
+ * (none | hb | state) plus optionally `dpor` (composable with any base).
+ * A bare "dpor" means "none,dpor".
+ */
+void
+parsePrune(const std::string &spec, explore::ExploreConfig &cfg)
 {
-    if (name == "none")
-        return explore::PruneMode::None;
-    if (name == "hb")
-        return explore::PruneMode::HappensBefore;
-    if (name == "state")
-        return explore::PruneMode::StateHash;
-    ICHECK_FATAL("unknown prune mode '", name, "' (none | hb | state)");
+    bool base_set = false;
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        const std::size_t comma = spec.find(',', start);
+        const std::string name = spec.substr(
+            start, comma == std::string::npos ? std::string::npos
+                                              : comma - start);
+        if (name == "dpor") {
+            cfg.dpor = true;
+        } else {
+            if (base_set)
+                ICHECK_FATAL("--prune allows one base mode, got a second: '",
+                             name, "'");
+            if (name == "none")
+                cfg.prune = explore::PruneMode::None;
+            else if (name == "hb")
+                cfg.prune = explore::PruneMode::HappensBefore;
+            else if (name == "state")
+                cfg.prune = explore::PruneMode::StateHash;
+            else
+                ICHECK_FATAL("unknown prune mode '", name,
+                             "' (none | hb | state | dpor, comma-separated)");
+            base_set = true;
+        }
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    // A bare "dpor" keeps the default base mode of none: DPOR's own
+    // reduction is exact, so layering state pruning on top is opt-in.
+    if (cfg.dpor && !base_set)
+        cfg.prune = explore::PruneMode::None;
 }
 
 int
@@ -381,7 +415,7 @@ cmdExplore(const std::string &app_name, Args &args)
     cfg.maxRuns = static_cast<int>(args.number("--runs", 200));
     cfg.quantum = args.number("--quantum", 16);
     cfg.maxDepth = args.number("--depth", 24);
-    cfg.prune = parsePrune(args.value("--prune").value_or("state"));
+    parsePrune(args.value("--prune").value_or("state"), cfg);
     if (const auto p = args.value("--preemptions"))
         cfg.maxPreemptions = std::strtoull(p->c_str(), nullptr, 10);
     cfg.checkpoints = !args.flag("--no-checkpoints");

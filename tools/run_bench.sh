@@ -20,6 +20,9 @@
 #     p50/p99 latency, dedup hit rate) from the loadgen mixed-app
 #     replay, compared against the pinned baseline in
 #     bench/baselines/service_main.json.
+#   BENCH_explore.json  — DPOR exploration reduction (nodes to full
+#     coverage on the bug-seeded apps, states found), compared against
+#     the pinned no-DPOR baseline in bench/baselines/explore_main.json.
 # Comparing the files across commits tracks each subsystem's trajectory.
 #
 # Every emitted JSON is stamped with provenance (git SHA, hostname,
@@ -98,7 +101,7 @@ if [ "${pin}" -eq 1 ]; then
         ;;
     esac
     cmake --build "${build_dir}" -t micro_hotpath micro_snapshot \
-        loadgen -j
+        micro_explore loadgen -j
     mkdir -p "${repo_root}/bench/baselines"
     "${build_dir}/bench/micro_hotpath" \
         "${repo_root}/bench/baselines/hotpath_main.json"
@@ -110,12 +113,15 @@ if [ "${pin}" -eq 1 ]; then
     "${build_dir}/tools/loadgen/loadgen" \
         "${repo_root}/bench/baselines/service_main.json"
     stamp_provenance "${repo_root}/bench/baselines/service_main.json"
+    "${build_dir}/bench/micro_explore" \
+        "${repo_root}/bench/baselines/explore_main.json" --no-dpor
+    stamp_provenance "${repo_root}/bench/baselines/explore_main.json"
     echo "baselines pinned under ${repo_root}/bench/baselines/"
     exit 0
 fi
 
 cmake --build "${build_dir}" -t micro_parallel micro_hotpath \
-    micro_snapshot loadgen -j
+    micro_snapshot micro_explore loadgen -j
 
 "${build_dir}/bench/micro_parallel" "${out_json}"
 stamp_provenance "${out_json}"
@@ -140,3 +146,13 @@ fi
     "${service_args[@]+"${service_args[@]}"}"
 stamp_provenance "${repo_root}/BENCH_service.json"
 echo "service trajectory written to ${repo_root}/BENCH_service.json"
+
+explore_baseline="${repo_root}/bench/baselines/explore_main.json"
+explore_args=()
+if [ -f "${explore_baseline}" ]; then
+    explore_args+=(--baseline "${explore_baseline}")
+fi
+"${build_dir}/bench/micro_explore" "${repo_root}/BENCH_explore.json" \
+    "${explore_args[@]+"${explore_args[@]}"}"
+stamp_provenance "${repo_root}/BENCH_explore.json"
+echo "explore trajectory written to ${repo_root}/BENCH_explore.json"
