@@ -1,0 +1,114 @@
+#include "check/trace_export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "check/checker.hpp"
+#include "sim/chrome_trace.hpp"
+#include "support/logging.hpp"
+
+namespace icheck::check
+{
+
+namespace
+{
+
+std::string
+hexWord(HashWord word)
+{
+    char buf[19];
+    std::snprintf(buf, sizeof buf, "0x%016llx",
+                  static_cast<unsigned long long>(word));
+    return buf;
+}
+
+/** One traced run: the checkpoint-hash sequence plus the trace builder. */
+struct TracedRun
+{
+    std::vector<HashWord> checkpointHashes;
+    sim::ChromeTraceBuilder builder;
+
+    explicit TracedRun(std::string label) : builder(std::move(label)) {}
+};
+
+void
+traceOneRun(const DriverConfig &cfg, const ProgramFactory &factory,
+            int run_index, mem::ReplayLog &replay_log,
+            mem::DeterministicAllocator::Mode mode, TracedRun &out)
+{
+    sim::MachineConfig mc = cfg.machine;
+    mc.schedSeed =
+        cfg.baseSchedSeed + static_cast<std::uint64_t>(run_index);
+    sim::Machine machine(mc, &replay_log, mode);
+
+    auto checker = makeChecker(cfg.scheme, cfg.ignores, cfg.idealCostModel);
+    checker->attach(machine);
+    machine.addListener(&out.builder);
+
+    machine.setRunStartHandler([&] { checker->onRunStart(); });
+    machine.setCheckpointHandler([&](const sim::CheckpointInfo &) {
+        out.checkpointHashes.push_back(checker->checkpointHash().raw());
+    });
+
+    auto program = factory();
+    ICHECK_ASSERT(program != nullptr, "factory returned null");
+    machine.run(*program);
+}
+
+} // namespace
+
+TraceExportResult
+exportCampaignTrace(const DriverConfig &cfg, const ProgramFactory &factory,
+                    const DriverReport &report, const std::string &path)
+{
+    // Run 0 anchors the comparison; the partner is the first run the
+    // campaign found to diverge (firstNdetRun is 1-based), or run 1 when
+    // everything matched.
+    const int partner =
+        report.firstNdetRun > 1 ? report.firstNdetRun - 1 : 1;
+
+    mem::ReplayLog replay_log;
+    TracedRun first("run 0 (seed " + std::to_string(cfg.baseSchedSeed) +
+                    ")");
+    TracedRun second("run " + std::to_string(partner) + " (seed " +
+                     std::to_string(cfg.baseSchedSeed +
+                                    static_cast<std::uint64_t>(partner)) +
+                     ")");
+    traceOneRun(cfg, factory, 0, replay_log,
+                mem::DeterministicAllocator::Mode::Record, first);
+    traceOneRun(cfg, factory, partner, replay_log,
+                mem::DeterministicAllocator::Mode::Replay, second);
+
+    TraceExportResult result;
+    result.runsTraced = 2;
+    const std::size_t common = std::min(first.checkpointHashes.size(),
+                                        second.checkpointHashes.size());
+    for (std::size_t cp = 0; cp < common; ++cp) {
+        if (first.checkpointHashes[cp] == second.checkpointHashes[cp])
+            continue;
+        ++result.divergences;
+        const std::string detail =
+            hexWord(first.checkpointHashes[cp]) + " vs " +
+            hexWord(second.checkpointHashes[cp]);
+        first.builder.markDivergence(cp, detail);
+        second.builder.markDivergence(cp, detail);
+    }
+    if (first.checkpointHashes.size() != second.checkpointHashes.size()) {
+        ++result.divergences;
+        const std::string detail =
+            "checkpoint counts differ: " +
+            std::to_string(first.checkpointHashes.size()) + " vs " +
+            std::to_string(second.checkpointHashes.size());
+        first.builder.markDivergence(common, detail);
+        second.builder.markDivergence(common, detail);
+    }
+
+    const bool ok = sim::writeChromeTraceFile(
+        path, {&first.builder, &second.builder});
+    if (!ok)
+        ICHECK_FATAL("cannot write --trace file '", path, "'");
+    return result;
+}
+
+} // namespace icheck::check

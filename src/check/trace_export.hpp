@@ -1,0 +1,44 @@
+#ifndef ICHECK_CHECK_TRACE_EXPORT_HPP
+#define ICHECK_CHECK_TRACE_EXPORT_HPP
+
+/**
+ * @file
+ * Chrome trace export of a determinism campaign (`icheck check --trace`).
+ *
+ * Like `--race-log`, this is a side artifact that never changes the
+ * verdict: after the campaign it re-runs two representative seeds — run 0
+ * and the first nondeterministic run (or run 1 when the campaign was
+ * clean) — over the shared malloc-replay log, with a ChromeTraceBuilder
+ * attached, and writes one JSON file that chrome://tracing or Perfetto
+ * loads directly. Checkpoint hashes of the two runs are compared and any
+ * mismatch becomes a "HASH DIVERGENCE" instant marker at that
+ * checkpoint's trace time in both runs.
+ */
+
+#include <string>
+
+#include "check/driver.hpp"
+
+namespace icheck::check
+{
+
+/** What exportCampaignTrace() did, for the CLI's stderr note. */
+struct TraceExportResult
+{
+    int runsTraced = 0;
+    int divergences = 0; ///< Checkpoints whose hashes differ across runs.
+};
+
+/**
+ * Re-run the two selected seeds of the campaign described by (@p cfg,
+ * @p factory) and write the combined trace to @p path. @p report is the
+ * finished campaign report (selects the second run to trace).
+ */
+TraceExportResult exportCampaignTrace(const DriverConfig &cfg,
+                                      const ProgramFactory &factory,
+                                      const DriverReport &report,
+                                      const std::string &path);
+
+} // namespace icheck::check
+
+#endif // ICHECK_CHECK_TRACE_EXPORT_HPP

@@ -4,10 +4,12 @@
 #include <cinttypes>
 #include <cstdio>
 #include <memory>
+#include <optional>
 
 #include "explore/dpor.hpp"
 #include "explore/hb_signature.hpp"
 #include "explore/snapshot_tree.hpp"
+#include "sim/transport.hpp"
 #include "support/logging.hpp"
 
 namespace icheck::explore
@@ -75,9 +77,15 @@ runOnce(const check::ProgramFactory &factory,
         const sim::MachineConfig &machine_template,
         const ExploreConfig &config,
         const std::vector<std::uint32_t> &prefix,
-        const SignatureInsert &insert_sig, const SleepSet *sleep)
+        const SignatureInsert &insert_sig, const SleepSet *sleep,
+        sim::ChromeTraceBuilder *trace)
 {
     auto program = factory();
+    // Declared before the machine and its listeners: ~Machine (and the
+    // explicit detach below) drains into still-live trackers.
+    std::optional<sim::EventTransport> transport;
+    if (config.transport)
+        transport.emplace(sim::TransportConfig{});
     sim::Machine machine(machine_template);
     const bool bounded = config.maxPreemptions != noDecision;
     auto sched = std::make_unique<sim::ScriptedScheduler>(
@@ -86,18 +94,37 @@ runOnce(const check::ProgramFactory &factory,
     sim::ScriptedScheduler *sched_ptr = sched.get();
     machine.setScheduler(std::move(sched));
 
+    // The trackers read at scheduling decisions must be caught up before
+    // every decision handler: decision-coupled interest. They key off
+    // access addresses, never store values.
+    sim::ConsumerInterest tracker_interest;
+    tracker_interest.loads = true;
+    tracker_interest.storeValues = false;
+    tracker_interest.decisionCoupled = true;
+
     RunObservation obs;
     HbTracker hb;
-    if (config.prune == PruneMode::HappensBefore)
-        machine.addListener(&hb);
+    if (config.prune == PruneMode::HappensBefore) {
+        if (transport)
+            transport->addListener(&hb, tracker_interest);
+        else
+            machine.addListener(&hb);
+    }
 
     DporTracker dpor;
     SleepEval sleepEval;
     if (config.dpor) {
         dpor.reset(program->numThreads());
-        machine.addListener(&dpor);
+        if (transport)
+            transport->addListener(&dpor, tracker_interest);
+        else
+            machine.addListener(&dpor);
         sleepEval.reset(sleep, prefix.empty() ? 0 : prefix.size() - 1);
     }
+    if (trace != nullptr)
+        machine.addListener(trace);
+    if (transport)
+        machine.setTransport(&*transport);
 
     std::size_t decision = 0;
     machine.setDecisionHandler(
@@ -156,6 +183,8 @@ runOnce(const check::ProgramFactory &factory,
     });
 
     machine.run(*program);
+    if (transport)
+        machine.setTransport(nullptr); // Final drain + detach.
 
     if (config.dpor) {
         dpor.finishRun(sched_ptr->chosenIndices());
@@ -178,6 +207,17 @@ runOnce(const check::ProgramFactory &factory,
             obs.preemptionsBefore[d] + (preempted ? 1 : 0);
     }
     return obs;
+}
+
+void
+writeRunTrace(const std::string &dir, int ordinal,
+              const sim::ChromeTraceBuilder &trace)
+{
+    char name[32];
+    std::snprintf(name, sizeof name, "run-%05d.json", ordinal);
+    const std::string path = dir + "/" + name;
+    if (!sim::writeChromeTraceFile(path, {&trace}))
+        ICHECK_FATAL("cannot write trace file '", path, "'");
 }
 
 ExpandCounts
@@ -245,8 +285,11 @@ explore(const check::ProgramFactory &factory,
     // Prefix sharing: one persistent machine plus a checkpoint tree,
     // unless disabled or unsupported (TSan builds). Either way every
     // observation — and therefore the whole ExploreResult minus stats —
-    // is byte-identical.
-    const bool warm = config.checkpoints && PrefixEngine::supported();
+    // is byte-identical. Transport routing and per-run tracing force
+    // cold runs: the persistent machine cannot rebind a transport
+    // mid-tree, and a trace must cover its schedule from the start.
+    const bool warm = config.checkpoints && PrefixEngine::supported() &&
+                      !config.transport && config.traceDir.empty();
     std::unique_ptr<CheckpointTree> tree;
     std::unique_ptr<PrefixEngine> engine;
     if (warm) {
@@ -268,10 +311,20 @@ explore(const check::ProgramFactory &factory,
         const detail::PendingNode node = std::move(pending.back());
         pending.pop_back();
 
+        std::unique_ptr<sim::ChromeTraceBuilder> trace;
+        if (!config.traceDir.empty()) {
+            trace = std::make_unique<sim::ChromeTraceBuilder>(
+                "run " + std::to_string(result.runsExecuted) +
+                " (depth " + std::to_string(node.prefix.size()) + ")");
+        }
         const detail::RunObservation obs =
             warm ? engine->runOnce(node.prefix, insert_sig, &node.sleep)
                  : detail::runOnce(factory, machine_template, config,
-                                   node.prefix, insert_sig, &node.sleep);
+                                   node.prefix, insert_sig, &node.sleep,
+                                   trace.get());
+        if (trace != nullptr)
+            detail::writeRunTrace(config.traceDir, result.runsExecuted,
+                                  *trace);
         ++result.runsExecuted;
         if (!warm) {
             ++result.stats.nodesExpanded;

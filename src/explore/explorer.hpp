@@ -33,6 +33,7 @@
 #include "check/driver.hpp"
 #include "explore/explore_constants.hpp"
 #include "race/slice_hb.hpp"
+#include "sim/chrome_trace.hpp"
 #include "sim/machine.hpp"
 #include "support/types.hpp"
 
@@ -109,6 +110,22 @@ struct ExploreConfig
      * snapshot keep it alive until they finish with it).
      */
     std::size_t checkpointBudgetBytes = 64ULL << 20;
+
+    /**
+     * Route the run trackers (HbTracker/DporTracker) through the ring
+     * event transport (sim/transport.hpp, inline drain) instead of
+     * direct dispatch. Observations are byte-identical either way;
+     * forces cold runs (the warm prefix engine replays suffixes on a
+     * persistent machine the transport cannot rebind mid-tree).
+     */
+    bool transport = false;
+
+    /**
+     * When non-empty, write one Chrome trace-event JSON per executed
+     * run into this directory (`icheck explore --trace-dir`). Forces
+     * cold runs so every trace covers its schedule from the start.
+     */
+    std::string traceDir;
 };
 
 /**
@@ -246,14 +263,21 @@ using SignatureInsert = std::function<bool(std::uint64_t)>;
 /**
  * Execute one scripted run continuing past @p prefix. @p sleep is the
  * frontier node's sleep set (used, under DPOR, for wake tracking and the
- * pruning-signature fold); null is an empty set.
+ * pruning-signature fold); null is an empty set. @p trace, when non-null,
+ * is attached as a run listener (ExploreConfig::traceDir plumbing).
  */
 RunObservation runOnce(const check::ProgramFactory &factory,
                        const sim::MachineConfig &machine_template,
                        const ExploreConfig &config,
                        const std::vector<std::uint32_t> &prefix,
                        const SignatureInsert &insert_sig,
-                       const SleepSet *sleep = nullptr);
+                       const SleepSet *sleep = nullptr,
+                       sim::ChromeTraceBuilder *trace = nullptr);
+
+/** Write @p trace as `<dir>/run-NNNNN.json` (claim-order @p ordinal);
+ *  fatal when the directory is missing or unwritable. */
+void writeRunTrace(const std::string &dir, int ordinal,
+                   const sim::ChromeTraceBuilder &trace);
 
 /** Branches not expanded (per-observation pruning/bounding counts). */
 struct ExpandCounts

@@ -94,6 +94,7 @@ workerLoop(Frontier &frontier, ShardedSignatureSet &seen,
 
     for (;;) {
         explore::detail::PendingNode node;
+        int run_ordinal = 0;
         {
             std::unique_lock<std::mutex> lock(frontier.mu);
             for (;;) {
@@ -111,6 +112,7 @@ workerLoop(Frontier &frontier, ShardedSignatureSet &seen,
                     node = std::move(frontier.pending.back());
                     frontier.pending.pop_back();
                     ++frontier.inFlight;
+                    run_ordinal = frontier.claimed;
                     ++frontier.claimed;
                     break;
                 }
@@ -125,11 +127,21 @@ workerLoop(Frontier &frontier, ShardedSignatureSet &seen,
             }
         }
 
+        std::unique_ptr<sim::ChromeTraceBuilder> trace;
+        if (!config.traceDir.empty()) {
+            trace = std::make_unique<sim::ChromeTraceBuilder>(
+                "run " + std::to_string(run_ordinal) + " (depth " +
+                std::to_string(node.prefix.size()) + ")");
+        }
         const explore::detail::RunObservation obs =
             engine ? engine->runOnce(node.prefix, insert_sig, &node.sleep)
                    : explore::detail::runOnce(factory, machine_template,
                                               config, node.prefix,
-                                              insert_sig, &node.sleep);
+                                              insert_sig, &node.sleep,
+                                              trace.get());
+        if (trace != nullptr)
+            explore::detail::writeRunTrace(config.traceDir, run_ordinal,
+                                           *trace);
         if (!engine) {
             ++local.nodesExpanded;
             local.decisionsExecuted += obs.fanout.size();
@@ -178,8 +190,9 @@ exploreParallel(const check::ProgramFactory &factory,
     frontier.result.stats.dporActive = config.dpor;
     ShardedSignatureSet seen;
 
-    const bool warm =
-        config.checkpoints && explore::PrefixEngine::supported();
+    const bool warm = config.checkpoints &&
+                      explore::PrefixEngine::supported() &&
+                      !config.transport && config.traceDir.empty();
     std::unique_ptr<explore::CheckpointTree> tree;
     if (warm) {
         tree = std::make_unique<explore::CheckpointTree>(

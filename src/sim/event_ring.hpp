@@ -1,0 +1,258 @@
+#ifndef ICHECK_SIM_EVENT_RING_HPP
+#define ICHECK_SIM_EVENT_RING_HPP
+
+/**
+ * @file
+ * Fixed-capacity single-producer/single-consumer ring queue of POD event
+ * records — the lock-free lane between the simulated machine's hot path
+ * and the listener drain stage (src/sim/transport.hpp).
+ *
+ * The producer is the simulated machine (exactly one OS thread executes
+ * simulated code at a time), the consumer is either the same thread at a
+ * decision boundary (inline drain) or a dedicated drain thread (async
+ * drain). Each side touches its own index with plain arithmetic and
+ * publishes it with a release store; a cached copy of the opposite index
+ * keeps the common case free of any shared-cache-line traffic. Head and
+ * tail live on separate cache lines so producer and consumer never
+ * false-share.
+ */
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+
+#include "sim/listener.hpp"
+#include "support/types.hpp"
+
+namespace icheck::sim
+{
+
+/** Discriminator of the EventRecord tagged union. */
+enum class EventKind : std::uint8_t
+{
+    Store,
+    Load,
+    Site,
+    Sync,
+    Alloc,
+    Free,
+    Output,
+    Slice,
+    Checkpoint,
+};
+
+/**
+ * One event in flight, as a 64-byte POD tagged union. Stores and loads —
+ * the hot kinds — embed the AccessListener event structs verbatim, so the
+ * producer builds the event exactly once (in place in the ring slot) and
+ * the consumer dispatches it with zero decoding. Anything non-trivially
+ * copyable (allocation/free payloads, output bytes) travels through a
+ * side table (see transport.hpp) and the record carries only the index;
+ * access call sites ride as a separate rare Site record preceding the
+ * access they attribute.
+ */
+struct EventRecord
+{
+    /** Call-site attribution for the next access record (lint runs). */
+    struct SiteRec
+    {
+        const char *file;
+        std::int32_t line;
+    };
+
+    struct SyncRec
+    {
+        std::uint64_t epoch;
+        ThreadId tid;
+        std::uint32_t object;
+        std::uint8_t kind; ///< SyncKind
+    };
+
+    /** Alloc/free: the Block itself (std::string site) is in the side
+     *  table at this index. */
+    struct BlockRec
+    {
+        std::uint64_t sideIndex;
+    };
+
+    /** Output: the bytes are in the side table at this index. */
+    struct OutputRec
+    {
+        std::uint64_t sideIndex;
+        ThreadId tid;
+        std::uint32_t len;
+    };
+
+    struct SliceRec
+    {
+        ThreadId tid;
+        CoreId core;
+        std::uint8_t begin;
+        std::uint8_t reason; ///< SliceEnd
+    };
+
+    struct CheckpointRec
+    {
+        std::uint64_t index;
+        ThreadId tid;
+        std::uint8_t kind; ///< CheckpointKind
+    };
+
+    /** Global order: assigned by the transport, dense from 1. */
+    std::uint64_t seq;
+    EventKind kind;
+
+    union
+    {
+        StoreEvent store;
+        LoadEvent load;
+        SiteRec site;
+        SyncRec sync;
+        BlockRec block;
+        OutputRec output;
+        SliceRec slice;
+        CheckpointRec checkpoint;
+    };
+};
+
+static_assert(std::is_trivially_copyable_v<EventRecord>,
+              "event records are memcpy'd through the ring");
+static_assert(std::is_trivially_copyable_v<StoreEvent> &&
+                  std::is_trivially_copyable_v<LoadEvent>,
+              "listener events are embedded in the record union");
+static_assert(sizeof(EventRecord) <= 64,
+              "one record per cache line keeps the ring write cheap");
+
+/**
+ * The SPSC ring. Capacity is rounded up to a power of two (minimum 1) so
+ * indices wrap with a mask instead of a modulo.
+ */
+class EventRing
+{
+  public:
+    /** An unusable empty ring; init() before first push (two-phase so the
+     *  transport can hold rings in one flat array, one indirection). */
+    EventRing() = default;
+
+    explicit EventRing(std::size_t capacity) { init(capacity); }
+
+    /** (Re)size to @p capacity slots; discards anything queued. */
+    void
+    init(std::size_t capacity)
+    {
+        std::size_t rounded = 1;
+        while (rounded < capacity)
+            rounded <<= 1;
+        mask = rounded - 1;
+        slots = std::make_unique<EventRecord[]>(rounded);
+        head.store(0, std::memory_order_relaxed);
+        tail.store(0, std::memory_order_relaxed);
+        cachedHead = 0;
+        cachedTail = 0;
+    }
+
+    EventRing(const EventRing &) = delete;
+    EventRing &operator=(const EventRing &) = delete;
+
+    std::size_t capacity() const { return mask + 1; }
+
+    /**
+     * Producer: the next free slot to fill in place, or null when the
+     * ring is full (the caller owns the overflow policy — drain inline or
+     * wait, never drop). The slot is invisible to the consumer until
+     * commit(); building the record directly in the cache-line-aligned
+     * slot is what keeps the hot path copy-free.
+     */
+    EventRecord *
+    tryReserve()
+    {
+        const std::uint64_t t = tail.load(std::memory_order_relaxed);
+        if (t - cachedHead == capacity()) {
+            cachedHead = head.load(std::memory_order_acquire);
+            if (t - cachedHead == capacity())
+                return nullptr;
+        }
+        return &slots[t & mask];
+    }
+
+    /** Producer: publish the slot returned by tryReserve(). */
+    void
+    commit()
+    {
+        const std::uint64_t t = tail.load(std::memory_order_relaxed);
+        tail.store(t + 1, std::memory_order_release);
+    }
+
+    /** Producer: enqueue a copy of @p rec; false when the ring is full. */
+    bool
+    tryPush(const EventRecord &rec)
+    {
+        EventRecord *slot = tryReserve();
+        if (slot == nullptr)
+            return false;
+        *slot = rec;
+        commit();
+        return true;
+    }
+
+    /** Consumer: the oldest record, or null when empty. Stays valid until
+     *  popFront(). */
+    const EventRecord *
+    front()
+    {
+        const std::uint64_t h = head.load(std::memory_order_relaxed);
+        if (h == cachedTail) {
+            cachedTail = tail.load(std::memory_order_acquire);
+            if (h == cachedTail)
+                return nullptr;
+        }
+        return &slots[h & mask];
+    }
+
+    /** Consumer: release the slot returned by front(). */
+    void
+    popFront()
+    {
+        const std::uint64_t h = head.load(std::memory_order_relaxed);
+        head.store(h + 1, std::memory_order_release);
+    }
+
+    /** Consumer: pop into @p out; false when empty. */
+    bool
+    tryPop(EventRecord &out)
+    {
+        const EventRecord *rec = front();
+        if (rec == nullptr)
+            return false;
+        out = *rec;
+        popFront();
+        return true;
+    }
+
+    /** Records currently queued (exact only from one side at a time). */
+    std::size_t
+    size() const
+    {
+        return static_cast<std::size_t>(
+            tail.load(std::memory_order_acquire) -
+            head.load(std::memory_order_acquire));
+    }
+
+    bool empty() const { return size() == 0; }
+
+  private:
+    // Consumer-owned line: head plus the producer-index cache.
+    alignas(64) std::atomic<std::uint64_t> head{0};
+    std::uint64_t cachedTail = 0;
+    // Producer-owned line: tail plus the consumer-index cache.
+    alignas(64) std::atomic<std::uint64_t> tail{0};
+    std::uint64_t cachedHead = 0;
+    alignas(64) std::size_t mask = 0;
+    std::unique_ptr<EventRecord[]> slots;
+};
+
+} // namespace icheck::sim
+
+#endif // ICHECK_SIM_EVENT_RING_HPP

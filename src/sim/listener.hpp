@@ -27,33 +27,40 @@ enum class CostDomain : std::uint8_t
     Overhead, ///< Instrumentation added by InstantCheck (zeroing etc.).
 };
 
-/** One store, observed after the value is in simulated memory. */
+/**
+ * One store, observed after the value is in simulated memory.
+ *
+ * Deliberately a plain aggregate with no member initializers: the event
+ * transport (sim/event_ring.hpp) embeds this struct verbatim inside the
+ * EventRecord union, which requires a trivial default constructor, and the
+ * hot path fills every field in place in the ring slot.
+ */
 struct StoreEvent
 {
-    ThreadId tid = 0;
-    CoreId core = 0;
-    Addr addr = 0;
-    std::uint64_t oldBits = 0;
-    std::uint64_t newBits = 0;
-    unsigned width = 0;
-    hashing::ValueClass cls = hashing::ValueClass::Integer;
-    CostDomain domain = CostDomain::Native;
+    ThreadId tid;
+    CoreId core;
+    Addr addr;
+    std::uint64_t oldBits;
+    std::uint64_t newBits;
+    unsigned width;
+    hashing::ValueClass cls;
+    CostDomain domain;
 
     /**
      * False when the store happened inside a stop_hashing window
      * (Section 3.3): software incremental checkers must skip it, exactly
      * as the MHM does.
      */
-    bool hashed = true;
+    bool hashed;
 };
 
-/** One load. */
+/** One load. Plain aggregate for the same reason as StoreEvent. */
 struct LoadEvent
 {
-    ThreadId tid = 0;
-    CoreId core = 0;
-    Addr addr = 0;
-    unsigned width = 0;
+    ThreadId tid;
+    CoreId core;
+    Addr addr;
+    unsigned width;
 };
 
 /** Synchronization event kinds. */
@@ -78,9 +85,46 @@ struct SyncEvent
     std::uint64_t epoch = 0;  ///< Barrier epoch, when applicable.
 };
 
+/** Kind of a determinism checkpoint (Section 2.3). */
+enum class CheckpointKind : std::uint8_t
+{
+    Barrier,    ///< A pthread-style barrier completed.
+    Manual,     ///< Programmer-specified point (e.g., loop iteration end).
+    ProgramEnd, ///< All threads finished.
+};
+
+/** Information passed to the checkpoint handler and onCheckpoint(). */
+struct CheckpointInfo
+{
+    CheckpointKind kind;
+    std::uint64_t index; ///< 0-based sequence number within the run.
+    ThreadId tid;        ///< Thread at the checkpoint (invalid at end).
+};
+
+/** How a schedule slice ended (mapped from the thread's YieldReason). */
+enum class SliceEnd : std::uint8_t
+{
+    Running,   ///< Slice-begin events: nothing ended yet.
+    Preempted, ///< Quantum expiry while still runnable.
+    Yielded,   ///< Voluntary yield at a sync point.
+    Blocked,   ///< Blocked on a mutex/barrier/condvar.
+    Finished,  ///< The thread body returned.
+};
+
+/** One schedule slice boundary: a thread switching onto or off a core. */
+struct SliceEvent
+{
+    ThreadId tid = 0;
+    CoreId core = 0;
+    bool begin = true; ///< True at switch-in, false at switch-out.
+    SliceEnd reason = SliceEnd::Running; ///< Why it ended (end events).
+};
+
 /**
  * Subscriber to run events. All callbacks fire on the currently running
- * simulated thread; because execution is serialized, no locking is needed.
+ * simulated thread; because execution is serialized, no locking is
+ * needed. (Under the async event transport they fire on the drain thread
+ * instead — still one at a time, in event order.)
  */
 class AccessListener
 {
@@ -93,6 +137,8 @@ class AccessListener
     virtual void onAlloc(const mem::Block &) {}
     virtual void onFree(const mem::Block &) {}
     virtual void onOutput(ThreadId, const std::uint8_t *, std::size_t) {}
+    virtual void onSlice(const SliceEvent &) {}
+    virtual void onCheckpoint(const CheckpointInfo &) {}
 };
 
 } // namespace icheck::sim

@@ -75,21 +75,8 @@ struct MachineConfig
     bool hashingArmed = true;
 };
 
-/** Kind of a determinism checkpoint (Section 2.3). */
-enum class CheckpointKind : std::uint8_t
-{
-    Barrier,    ///< A pthread-style barrier completed.
-    Manual,     ///< Programmer-specified point (e.g., loop iteration end).
-    ProgramEnd, ///< All threads finished.
-};
-
-/** Information passed to the checkpoint handler. */
-struct CheckpointInfo
-{
-    CheckpointKind kind;
-    std::uint64_t index; ///< 0-based sequence number within the run.
-    ThreadId tid;        ///< Thread at the checkpoint (invalid at end).
-};
+// CheckpointKind / CheckpointInfo live in sim/listener.hpp (they are
+// delivered through AccessListener::onCheckpoint as well as the handler).
 
 /** Aggregate results of one run. */
 struct RunResult
@@ -119,6 +106,7 @@ class SimError : public std::runtime_error
 class SetupCtx;
 class ThreadCtx;
 class Machine;
+class EventTransport;
 
 /**
  * The complete captured architectural state of a Machine at one scheduling
@@ -214,6 +202,21 @@ class Machine
 
     /** Subscribe @p listener to run events (not owned). */
     void addListener(AccessListener *listener);
+
+    /** Unsubscribe a previously added listener (no-op if absent). */
+    void removeListener(AccessListener *listener);
+
+    /**
+     * Route events through @p transport (see sim/transport.hpp) instead
+     * of — or in addition to — the synchronous listener list: records go
+     * into per-core rings and a drain stage replays them into the
+     * transport's own listeners in order. Pass null to detach (pending
+     * records are delivered first). The transport must outlive the
+     * machine or be detached before the machine is destroyed; the
+     * destructor detaches automatically as a backstop.
+     */
+    void setTransport(EventTransport *t);
+    EventTransport *transportAttached() const { return transport; }
 
     /** Called after setup(), before the first thread runs. */
     void setRunStartHandler(std::function<void()> handler);
@@ -396,6 +399,13 @@ class Machine
     void fireCheckpoint(CheckpointKind kind, ThreadId tid);
     void emitSync(SyncKind kind, ThreadId tid, std::uint32_t object = 0,
                   std::uint64_t epoch = 0);
+    void emitSlice(ThreadId tid, CoreId core_id, bool begin,
+                   SliceEnd reason);
+    /** Ring index for the current event (core 0 when no core is live). */
+    std::size_t eventRing() const
+    {
+        return curCore != invalidCoreId ? curCore : 0;
+    }
     void zeroRange(Addr addr, std::size_t len);
     void scrubTyped(Addr addr, const mem::TypeRef &type);
     void abortAll();
@@ -415,6 +425,7 @@ class Machine
     std::vector<SimCond> conds;
 
     std::vector<AccessListener *> listeners;
+    EventTransport *transport = nullptr;
     std::function<void()> runStartHandler;
     std::function<void(const CheckpointInfo &)> checkpointHandler;
     std::function<void(const std::vector<ThreadId> &)> decisionHandler;
@@ -439,6 +450,29 @@ class Machine
 
     std::vector<std::uint8_t> outputBytes;
     StatGroup statistics;
+};
+
+/**
+ * RAII listener attachment: subscribes on construction, unsubscribes on
+ * destruction. The idiomatic way to observe part of a run without
+ * reconstructing the machine to detach.
+ */
+class ScopedListener
+{
+  public:
+    ScopedListener(Machine &m, AccessListener &l) : machine(m), listener(&l)
+    {
+        machine.addListener(listener);
+    }
+
+    ~ScopedListener() { machine.removeListener(listener); }
+
+    ScopedListener(const ScopedListener &) = delete;
+    ScopedListener &operator=(const ScopedListener &) = delete;
+
+  private:
+    Machine &machine;
+    AccessListener *listener;
 };
 
 } // namespace icheck::sim

@@ -1,0 +1,371 @@
+#include "sim/transport.hpp"
+
+#include <algorithm>
+
+#include "sim/machine.hpp"
+#include "support/logging.hpp"
+
+namespace icheck::sim
+{
+
+EventTransport::EventTransport(TransportConfig config) : cfg(config) {}
+
+EventTransport::~EventTransport()
+{
+    // The machine detaches on destruction, but guard against a transport
+    // outliving an explicit setTransport(nullptr) race-free anyway.
+    if (machine != nullptr)
+        unbind();
+    stopConsumer();
+}
+
+void
+EventTransport::addListener(AccessListener *listener,
+                            ConsumerInterest interest)
+{
+    ICHECK_ASSERT(machine == nullptr,
+                  "register transport consumers before bind()");
+    ICHECK_ASSERT(listener != nullptr, "null transport consumer");
+    consumers.push_back(Consumer{listener, interest});
+    recomputeInterest();
+}
+
+void
+EventTransport::removeListener(AccessListener *listener)
+{
+    consumers.erase(
+        std::remove_if(consumers.begin(), consumers.end(),
+                       [listener](const Consumer &c) {
+                           return c.listener == listener;
+                       }),
+        consumers.end());
+    recomputeInterest();
+}
+
+void
+EventTransport::recomputeInterest()
+{
+    unionInterest = ConsumerInterest{false, false, false, false, false};
+    anyDecisionCoupled = false;
+    for (const Consumer &c : consumers) {
+        unionInterest.loads |= c.interest.loads;
+        unionInterest.stores |= c.interest.stores || c.interest.storeValues;
+        unionInterest.storeValues |= c.interest.storeValues;
+        unionInterest.accessSites |= c.interest.accessSites;
+        anyDecisionCoupled |= c.interest.decisionCoupled;
+    }
+    // Site replay writes into the machine's attribution slot, which only
+    // makes sense from the producing thread between its own accesses.
+    ICHECK_ASSERT(!(cfg.async && unionInterest.accessSites),
+                  "access-site replay requires the inline drain");
+}
+
+void
+EventTransport::bind(Machine &m)
+{
+    ICHECK_ASSERT(machine == nullptr, "transport already bound");
+    machine = &m;
+    const std::size_t n = std::max<std::size_t>(m.numCores(), 1);
+    rings = std::make_unique<EventRing[]>(n);
+    ringCount = n;
+    for (std::size_t i = 0; i < n; ++i)
+        rings[i].init(cfg.ringCapacity);
+    published.store(0, std::memory_order_relaxed);
+    delivered.store(0, std::memory_order_relaxed);
+    fullStalls = 0;
+    lastRing = 0;
+    if (cfg.async && armed())
+        startConsumer();
+}
+
+void
+EventTransport::unbind()
+{
+    if (machine == nullptr)
+        return;
+    drainAll();
+    stopConsumer();
+    machine = nullptr;
+    rings.reset();
+    ringCount = 0;
+}
+
+EventRecord *
+EventTransport::reserveSlow(EventRing &ring)
+{
+    ++fullStalls;
+    if (!cfg.async) {
+        // Inline overflow policy: the producer is the consumer, so drain
+        // everything published so far and retry. Delivery happens in seq
+        // order either way, so a mid-slice drain is invisible.
+        drainReadyNow();
+        EventRecord *slot = ring.tryReserve();
+        ICHECK_ASSERT(slot != nullptr,
+                      "ring still full after an inline drain");
+        return slot;
+    }
+    // Async overflow policy: block (never drop) until the drain thread
+    // frees a slot.
+    for (;;) {
+        EventRecord *slot = ring.tryReserve();
+        if (slot != nullptr)
+            return slot;
+        std::this_thread::yield();
+    }
+}
+
+void
+EventTransport::publishSite(std::size_t ring, const char *file,
+                            std::int32_t line)
+{
+    EventRecord rec{};
+    rec.kind = EventKind::Site;
+    rec.site.file = file;
+    rec.site.line = line;
+    publish(ring, rec);
+}
+
+void
+EventTransport::publishBlock(std::size_t ring, EventKind kind,
+                             const mem::Block &block)
+{
+    std::uint64_t index;
+    {
+        std::lock_guard<std::mutex> lock(side.mu);
+        index = side.blocks.size();
+        side.blocks.push_back(block);
+    }
+    EventRecord rec{};
+    rec.kind = kind;
+    rec.block.sideIndex = index;
+    publish(ring, rec);
+}
+
+void
+EventTransport::publishOutput(std::size_t ring, ThreadId tid,
+                              const std::uint8_t *data, std::size_t len)
+{
+    std::uint64_t index;
+    {
+        std::lock_guard<std::mutex> lock(side.mu);
+        index = side.outputs.size();
+        side.outputs.emplace_back(data, data + len);
+    }
+    EventRecord rec{};
+    rec.kind = EventKind::Output;
+    rec.output.sideIndex = index;
+    rec.output.tid = tid;
+    rec.output.len = static_cast<std::uint32_t>(len);
+    publish(ring, rec);
+}
+
+const EventRecord *
+EventTransport::peekSeq(std::uint64_t want, std::size_t &ring)
+{
+    // Production is serialized (exactly one simulated thread runs at a
+    // time) and seq numbers are dense, so exactly one ring fronts the
+    // record with seq == want. Start at the ring that produced the
+    // previous record — schedule slices make runs of same-ring records
+    // the common case, so the scan usually stops on its first probe.
+    const std::size_t n = ringCount;
+    std::size_t r = lastRing;
+    for (std::size_t i = 0; i < n; ++i) {
+        const EventRecord *front = rings[r].front();
+        if (front != nullptr && front->seq == want) {
+            lastRing = r;
+            ring = r;
+            return front;
+        }
+        if (++r == n)
+            r = 0;
+    }
+    return nullptr;
+}
+
+void
+EventTransport::deliver(const EventRecord &rec)
+{
+    switch (rec.kind) {
+      case EventKind::Store: {
+        // The record embeds the listener event verbatim: dispatch
+        // straight from the ring slot, no decode.
+        for (const Consumer &c : consumers)
+            if (c.interest.stores || c.interest.storeValues)
+                c.listener->onStore(rec.store);
+        break;
+      }
+      case EventKind::Load: {
+        for (const Consumer &c : consumers)
+            if (c.interest.loads)
+                c.listener->onLoad(rec.load);
+        break;
+      }
+      case EventKind::Site: {
+        // Attribution for the access record that follows, replayed into
+        // the machine's site slot just as the producer set it.
+        if (machine != nullptr)
+            machine->noteAccessSite(rec.site.file, rec.site.line);
+        break;
+      }
+      case EventKind::Sync: {
+        SyncEvent event{static_cast<SyncKind>(rec.sync.kind),
+                        rec.sync.tid, rec.sync.object, rec.sync.epoch};
+        for (const Consumer &c : consumers)
+            c.listener->onSync(event);
+        break;
+      }
+      case EventKind::Alloc:
+      case EventKind::Free: {
+        const mem::Block *block;
+        {
+            std::lock_guard<std::mutex> lock(side.mu);
+            block = &side.blocks[rec.block.sideIndex];
+        }
+        // Deque references are stable; reading outside the lock is fine
+        // because entries are append-only and never mutated.
+        for (const Consumer &c : consumers) {
+            if (rec.kind == EventKind::Alloc)
+                c.listener->onAlloc(*block);
+            else
+                c.listener->onFree(*block);
+        }
+        break;
+      }
+      case EventKind::Output: {
+        const std::vector<std::uint8_t> *bytes;
+        {
+            std::lock_guard<std::mutex> lock(side.mu);
+            bytes = &side.outputs[rec.output.sideIndex];
+        }
+        for (const Consumer &c : consumers)
+            c.listener->onOutput(rec.output.tid, bytes->data(),
+                                 bytes->size());
+        break;
+      }
+      case EventKind::Slice: {
+        SliceEvent event{rec.slice.tid, rec.slice.core,
+                         rec.slice.begin != 0,
+                         static_cast<SliceEnd>(rec.slice.reason)};
+        for (const Consumer &c : consumers)
+            c.listener->onSlice(event);
+        break;
+      }
+      case EventKind::Checkpoint: {
+        CheckpointInfo info{static_cast<CheckpointKind>(
+                                rec.checkpoint.kind),
+                            rec.checkpoint.index, rec.checkpoint.tid};
+        for (const Consumer &c : consumers)
+            c.listener->onCheckpoint(info);
+        break;
+      }
+    }
+}
+
+void
+EventTransport::drainReadyNow()
+{
+    // The drainer here is the producing thread itself (inline mode, or
+    // async before/after the consumer thread's lifetime), so every
+    // published record is immediately visible: deliver straight from the
+    // ring slots with plain counters and write `delivered` back once at
+    // the end, instead of paying atomic bookkeeping per event.
+    std::uint64_t done = delivered.load(std::memory_order_relaxed);
+    const std::uint64_t target =
+        published.load(std::memory_order_acquire);
+    if (done == target)
+        return;
+    std::size_t r = 0;
+    while (done < target) {
+        const EventRecord *rec = peekSeq(done + 1, r);
+        ICHECK_ASSERT(rec != nullptr,
+                      "published record missing from every ring front");
+        deliver(*rec);
+        rings[r].popFront();
+        ++done;
+    }
+    delivered.store(target, std::memory_order_release);
+}
+
+void
+EventTransport::waitDelivered(std::uint64_t target)
+{
+    while (delivered.load(std::memory_order_acquire) < target)
+        std::this_thread::yield();
+}
+
+void
+EventTransport::consumerLoop()
+{
+    std::uint64_t done = delivered.load(std::memory_order_relaxed);
+    std::size_t r = 0;
+    for (;;) {
+        if (done < published.load(std::memory_order_acquire)) {
+            // The acquire read of `published` synchronizes with the
+            // producer's release store, which follows the slot write, so
+            // the record is visible; the yield branch is pure defense.
+            const EventRecord *rec = peekSeq(done + 1, r);
+            if (rec != nullptr) {
+                deliver(*rec);
+                rings[r].popFront();
+                ++done;
+                // Per-event (not batched): the producer blocks on this
+                // counter at decision boundaries and run end.
+                delivered.store(done, std::memory_order_release);
+                continue;
+            }
+            std::this_thread::yield();
+            continue;
+        }
+        if (stopRequested.load(std::memory_order_acquire))
+            return;
+        std::this_thread::yield();
+    }
+}
+
+void
+EventTransport::startConsumer()
+{
+    if (consumerRunning)
+        return;
+    stopRequested.store(false, std::memory_order_relaxed);
+    drainThread = std::thread([this] { consumerLoop(); });
+    consumerRunning = true;
+}
+
+void
+EventTransport::stopConsumer()
+{
+    if (!consumerRunning)
+        return;
+    stopRequested.store(true, std::memory_order_release);
+    drainThread.join();
+    consumerRunning = false;
+}
+
+void
+EventTransport::drainAtDecision()
+{
+    if (!armed())
+        return;
+    if (!cfg.async) {
+        drainReadyNow();
+        return;
+    }
+    // Async: only decision-coupled consumers (DPOR, HB pruning) need
+    // their state current before the decision handler runs.
+    if (anyDecisionCoupled)
+        waitDelivered(published.load(std::memory_order_relaxed));
+}
+
+void
+EventTransport::drainAll()
+{
+    if (!armed())
+        return;
+    if (cfg.async && consumerRunning)
+        waitDelivered(published.load(std::memory_order_relaxed));
+    else
+        drainReadyNow();
+}
+
+} // namespace icheck::sim

@@ -1,0 +1,274 @@
+#ifndef ICHECK_SIM_TRANSPORT_HPP
+#define ICHECK_SIM_TRANSPORT_HPP
+
+/**
+ * @file
+ * Ring-buffer event transport: the decoupled alternative to the machine's
+ * synchronous listener dispatch.
+ *
+ * The machine publishes POD EventRecords into one SPSC ring per simulated
+ * core with plain index arithmetic; a consumer stage replays them — in
+ * global sequence order — into ordinary AccessListeners, so FastTrack,
+ * DporTracker, AccessAttributor, the trace listeners, and the output
+ * hasher all work unchanged. Two drain modes:
+ *
+ *  - inline (default): the producing thread drains every ring at each
+ *    scheduling decision and whenever a ring fills. Deterministic by
+ *    construction — there is only one thread.
+ *  - async: a dedicated drain thread consumes continuously; the producer
+ *    blocks when a ring is full and at decision boundaries if any
+ *    consumer is decision-coupled. Overflow policy: block, never drop.
+ *
+ * Either way every record is delivered exactly once in seq order, so the
+ * listener end-state — and therefore every checker/race report — is
+ * byte-identical to the synchronous path, at any ring capacity and with
+ * any number of campaign jobs (each run owns its private transport).
+ *
+ * Consumers declare an interest mask. Production is gated on the union of
+ * interests, which is where the hot-path win comes from: a run whose only
+ * consumer is the race detector (no store values needed) skips the
+ * old-value memory read that synchronous dispatch always paid for.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "mem/alloc.hpp"
+#include "sim/event_ring.hpp"
+#include "sim/listener.hpp"
+#include "support/types.hpp"
+
+namespace icheck::sim
+{
+
+class Machine;
+
+/** What a consumer needs from the record stream. */
+struct ConsumerInterest
+{
+    /** Deliver loads (they dominate event volume). */
+    bool loads = true;
+
+    /** Deliver stores. A consumer that keys off neither kind of access
+     *  (the output hasher) lets the producer skip record production for
+     *  the entire access stream — the biggest interest-mask win. */
+    bool stores = true;
+
+    /** Records must carry old/new store values (forces the producer's
+     *  old-value read, exactly like synchronous dispatch did). Implies
+     *  stores. */
+    bool storeValues = true;
+
+    /** Records carry the access call site; replayed into the machine's
+     *  attribution slot before each dispatch. Inline drain only. */
+    bool accessSites = false;
+
+    /** Consumer state is read at scheduling decisions (DporTracker,
+     *  HbTracker under --prune hb): async drain must catch up before
+     *  every decision handler runs. */
+    bool decisionCoupled = false;
+};
+
+/** Transport shape; embedded in check::DriverConfig and the CLI flags. */
+struct TransportConfig
+{
+    /** Slots per core ring (rounded up to a power of two, min 1). */
+    std::size_t ringCapacity = 1024;
+
+    /** Drain on a dedicated consumer thread instead of inline. */
+    bool async = false;
+};
+
+/**
+ * The transport instance: per-core rings, the global sequence counter,
+ * the consumer registry, and the drain stage. One per Machine per run;
+ * bind with Machine::setTransport().
+ */
+class EventTransport
+{
+  public:
+    explicit EventTransport(TransportConfig config = {});
+    ~EventTransport();
+
+    EventTransport(const EventTransport &) = delete;
+    EventTransport &operator=(const EventTransport &) = delete;
+
+    /** Register @p listener (not owned) with its interest mask. Must
+     *  happen before bind(). */
+    void addListener(AccessListener *listener,
+                     ConsumerInterest interest = {});
+
+    /** Remove a previously added listener (pending records are still
+     *  delivered to the remaining consumers). */
+    void removeListener(AccessListener *listener);
+
+    /// @name Machine-facing API.
+    /// @{
+
+    /** Size the rings for @p machine and start the async consumer if
+     *  configured. Called by Machine::setTransport(). */
+    void bind(Machine &machine);
+
+    /** Drain everything published, then detach from the machine. Called
+     *  by Machine::setTransport(nullptr) and ~Machine(). */
+    void unbind();
+
+    bool armed() const { return !consumers.empty(); }
+    bool wantsLoads() const { return unionInterest.loads; }
+    bool wantsStores() const { return unionInterest.stores; }
+    bool wantsStoreValues() const { return unionInterest.storeValues; }
+    bool wantsSites() const { return unionInterest.accessSites; }
+
+    /**
+     * Producer hot path, two-phase: reserve the next slot of @p ring with
+     * the sequence number already stamped, fill the payload in place, and
+     * commitPublish(). Building the record directly in the slot costs
+     * exactly what the synchronous path paid to build its listener event
+     * — no copy, no second build at delivery. On a full ring the overflow
+     * policy kicks in: inline mode drains everything now (delivery order
+     * is seq order either way, so mid-slice drains are invisible to
+     * consumers), async mode blocks until the drain thread frees a slot.
+     */
+    EventRecord *
+    beginPublish(std::size_t ring)
+    {
+        EventRing &r = rings[ring];
+        EventRecord *slot = r.tryReserve();
+        if (slot == nullptr)
+            slot = reserveSlow(r);
+        slot->seq = published.load(std::memory_order_relaxed) + 1;
+        return slot;
+    }
+
+    /** Make the slot from beginPublish() visible to the consumer. */
+    void
+    commitPublish(std::size_t ring)
+    {
+        rings[ring].commit();
+        published.store(published.load(std::memory_order_relaxed) + 1,
+                        std::memory_order_release);
+    }
+
+    /** Single-shot publish of a prebuilt record (cold event kinds). */
+    void
+    publish(std::size_t ring, const EventRecord &rec)
+    {
+        EventRecord *slot = beginPublish(ring);
+        const std::uint64_t seq = slot->seq;
+        *slot = rec;
+        slot->seq = seq;
+        commitPublish(ring);
+    }
+
+    /** Publish the call-site attribution for the access record that
+     *  immediately follows (lint runs; inline drain only). */
+    void publishSite(std::size_t ring, const char *file,
+                     std::int32_t line);
+
+    /** Copy @p block into the side table and publish an alloc/free
+     *  record (rare events; the Block payload is not a POD). */
+    void publishBlock(std::size_t ring, EventKind kind,
+                      const mem::Block &block);
+
+    /** Copy @p data into the side table and publish an output record. */
+    void publishOutput(std::size_t ring, ThreadId tid,
+                       const std::uint8_t *data, std::size_t len);
+
+    /**
+     * Decision-boundary hook, called by the machine while every thread is
+     * parked. Inline mode drains all rings; async mode waits for the
+     * drain thread only when a decision-coupled consumer is registered.
+     */
+    void drainAtDecision();
+
+    /** Deliver every published record (blocks until the async consumer
+     *  catches up). The run-end and checkpoint barrier. */
+    void drainAll();
+    /// @}
+
+    /// @name Observability.
+    /// @{
+    std::uint64_t publishedCount() const
+    {
+        return published.load(std::memory_order_relaxed);
+    }
+    std::uint64_t deliveredCount() const
+    {
+        return delivered.load(std::memory_order_relaxed);
+    }
+    /** Times a producer hit a full ring (inline: forced drains; async:
+     *  blocking waits). */
+    std::uint64_t overflowStalls() const { return fullStalls; }
+    /// @}
+
+  private:
+    struct Consumer
+    {
+        AccessListener *listener;
+        ConsumerInterest interest;
+    };
+
+    void recomputeInterest();
+
+    /** Full-ring path of beginPublish(): drain (inline) or wait (async)
+     *  until a slot frees up, then return it. */
+    EventRecord *reserveSlow(EventRing &ring);
+
+    /**
+     * Peek the record with sequence number @p want, in place in its ring
+     * slot; null when it is not yet visible. @p ring receives the slot's
+     * ring so the caller can popFront() after delivering — no copy-out
+     * needed, the producer cannot reuse the slot until then.
+     */
+    const EventRecord *peekSeq(std::uint64_t want, std::size_t &ring);
+
+    /** Decode @p rec and replay it into every consumer. The caller owns
+     *  the `delivered` bookkeeping (batched in the inline drain). */
+    void deliver(const EventRecord &rec);
+
+    void drainReadyNow(); ///< Inline: deliver everything published.
+    void waitDelivered(std::uint64_t target); ///< Async: block until.
+    void consumerLoop();
+    void startConsumer();
+    void stopConsumer();
+
+    TransportConfig cfg;
+    Machine *machine = nullptr;
+    /** One ring per core, flat so the hot path pays one indirection. */
+    std::unique_ptr<EventRing[]> rings;
+    std::size_t ringCount = 0;
+    std::vector<Consumer> consumers;
+    ConsumerInterest unionInterest{false, false, false, false, false};
+    bool anyDecisionCoupled = false;
+
+    std::atomic<std::uint64_t> published{0};
+    std::atomic<std::uint64_t> delivered{0};
+    std::uint64_t fullStalls = 0;
+    std::size_t lastRing = 0; ///< Consumer-side scan hint.
+
+    /**
+     * Side table for payloads that are not trivially copyable. Alloc,
+     * free, and output events are orders of magnitude rarer than memory
+     * accesses, so a small mutex here never shows up on the hot path.
+     */
+    struct SidePayloads
+    {
+        std::mutex mu;
+        std::deque<mem::Block> blocks;
+        std::deque<std::vector<std::uint8_t>> outputs;
+    };
+    SidePayloads side;
+
+    std::thread drainThread;
+    std::atomic<bool> stopRequested{false};
+    bool consumerRunning = false;
+};
+
+} // namespace icheck::sim
+
+#endif // ICHECK_SIM_TRANSPORT_HPP

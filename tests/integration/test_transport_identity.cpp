@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Byte-identity contract of the event transport: the canonical rendered
+ * report of a campaign (`icheck check --json` bytes) must be identical
+ * with the transport off, inline, or async, at any ring capacity, and at
+ * any worker count. The transport is pure plumbing — if it ever changes a
+ * verdict byte, it has reordered or dropped an event.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "check/driver.hpp"
+#include "check/report_json.hpp"
+#include "runtime/parallel_driver.hpp"
+#include "sim/lambda_program.hpp"
+
+namespace icheck
+{
+namespace
+{
+
+using check::DriverConfig;
+using check::ProgramFactory;
+using check::Scheme;
+using check::TransportMode;
+using sim::LambdaProgram;
+
+DriverConfig
+baseConfig()
+{
+    DriverConfig cfg;
+    cfg.scheme = Scheme::HwInc;
+    cfg.runs = 8;
+    cfg.machine.numCores = 4;
+    cfg.machine.minQuantum = 2;
+    cfg.machine.maxQuantum = 10;
+    return cfg;
+}
+
+/** Deterministic: per-thread partial sums merged under a lock. */
+ProgramFactory
+deterministicFactory()
+{
+    return [] {
+        auto ids = std::make_shared<sim::MutexId>();
+        return std::make_unique<LambdaProgram>(
+            "det", 4,
+            [ids](sim::SetupCtx &ctx) {
+                ctx.global("sum", mem::tInt64());
+                *ids = ctx.mutex();
+            },
+            [ids](sim::ThreadCtx &ctx) {
+                std::int64_t local = 0;
+                for (int i = 0; i < 8; ++i)
+                    local += ctx.tid() * 8 + i;
+                ctx.lock(*ids);
+                const Addr sum = ctx.global("sum");
+                ctx.store<std::int64_t>(
+                    sum, ctx.load<std::int64_t>(sum) + local);
+                ctx.unlock(*ids);
+                ctx.outputValue<std::int64_t>(local);
+            });
+    };
+}
+
+/** Racy last-writer-wins: nondeterministic, so the report carries
+ *  divergence structure that must also be reproduced byte for byte. */
+ProgramFactory
+racyFactory()
+{
+    return [] {
+        return std::make_unique<LambdaProgram>(
+            "racy", 4,
+            [](sim::SetupCtx &ctx) { ctx.global("w", mem::tInt64()); },
+            [](sim::ThreadCtx &ctx) {
+                for (int i = 0; i < 10; ++i)
+                    ctx.store<std::int64_t>(ctx.global("w"),
+                                            ctx.tid() * 100 + i);
+                ctx.outputValue<std::int64_t>(
+                    ctx.load<std::int64_t>(ctx.global("w")));
+            });
+    };
+}
+
+std::string
+renderWith(const ProgramFactory &factory, TransportMode mode,
+           std::size_t ring_capacity, int jobs)
+{
+    DriverConfig cfg = baseConfig();
+    cfg.transport = mode;
+    cfg.transportRingCapacity = ring_capacity;
+    runtime::CampaignOptions options;
+    options.jobs = jobs;
+    const check::DriverReport report =
+        runtime::runCampaign(cfg, factory, options);
+    return check::renderReportJson(report);
+}
+
+class TransportIdentity : public ::testing::TestWithParam<bool>
+{
+  protected:
+    ProgramFactory
+    factory() const
+    {
+        return GetParam() ? racyFactory() : deterministicFactory();
+    }
+};
+
+TEST_P(TransportIdentity, ReportBytesInvariantToTransportMode)
+{
+    const ProgramFactory factory = this->factory();
+    const std::string off = renderWith(factory, TransportMode::Off, 1024, 1);
+    ASSERT_FALSE(off.empty());
+    EXPECT_EQ(renderWith(factory, TransportMode::Inline, 1024, 1), off);
+    EXPECT_EQ(renderWith(factory, TransportMode::Async, 1024, 1), off);
+}
+
+TEST_P(TransportIdentity, ReportBytesInvariantToRingCapacity)
+{
+    const ProgramFactory factory = this->factory();
+    const std::string off = renderWith(factory, TransportMode::Off, 1024, 1);
+    for (std::size_t capacity : {1u, 2u, 64u}) {
+        EXPECT_EQ(renderWith(factory, TransportMode::Inline, capacity, 1),
+                  off)
+            << "inline capacity " << capacity;
+        EXPECT_EQ(renderWith(factory, TransportMode::Async, capacity, 1),
+                  off)
+            << "async capacity " << capacity;
+    }
+}
+
+TEST_P(TransportIdentity, ReportBytesInvariantToJobs)
+{
+    const ProgramFactory factory = this->factory();
+    const std::string off = renderWith(factory, TransportMode::Off, 1024, 1);
+    for (int jobs : {2, 4}) {
+        EXPECT_EQ(renderWith(factory, TransportMode::Off, 1024, jobs), off)
+            << "off jobs " << jobs;
+        EXPECT_EQ(renderWith(factory, TransportMode::Inline, 16, jobs), off)
+            << "inline jobs " << jobs;
+        EXPECT_EQ(renderWith(factory, TransportMode::Async, 16, jobs), off)
+            << "async jobs " << jobs;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(DetAndRacy, TransportIdentity,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool> &info) {
+                             return info.param ? "racy" : "deterministic";
+                         });
+
+} // namespace
+} // namespace icheck

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * EventRing: the SPSC queue under the event transport.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/event_ring.hpp"
+
+namespace icheck::sim
+{
+namespace
+{
+
+EventRecord
+loadRecord(std::uint64_t seq, Addr addr)
+{
+    EventRecord rec{};
+    rec.seq = seq;
+    rec.kind = EventKind::Load;
+    rec.load = LoadEvent{1, 0, addr, 8};
+    return rec;
+}
+
+TEST(EventRing, RecordStaysOneCacheLine)
+{
+    EXPECT_LE(sizeof(EventRecord), 64u);
+    EXPECT_TRUE(std::is_trivially_copyable_v<EventRecord>);
+}
+
+TEST(EventRing, CapacityRoundsUpToPowerOfTwo)
+{
+    EXPECT_EQ(EventRing(1).capacity(), 1u);
+    EXPECT_EQ(EventRing(2).capacity(), 2u);
+    EXPECT_EQ(EventRing(3).capacity(), 4u);
+    EXPECT_EQ(EventRing(1000).capacity(), 1024u);
+    EXPECT_EQ(EventRing(1024).capacity(), 1024u);
+}
+
+TEST(EventRing, PushPopRoundTrip)
+{
+    EventRing ring(8);
+    EXPECT_TRUE(ring.empty());
+    EXPECT_TRUE(ring.tryPush(loadRecord(1, 0x10)));
+    EXPECT_TRUE(ring.tryPush(loadRecord(2, 0x20)));
+    EXPECT_EQ(ring.size(), 2u);
+
+    EventRecord out{};
+    ASSERT_TRUE(ring.tryPop(out));
+    EXPECT_EQ(out.seq, 1u);
+    EXPECT_EQ(out.load.addr, 0x10u);
+    ASSERT_TRUE(ring.tryPop(out));
+    EXPECT_EQ(out.seq, 2u);
+    EXPECT_FALSE(ring.tryPop(out));
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(EventRing, FullRingRefusesWithoutDropping)
+{
+    EventRing ring(4);
+    for (std::uint64_t i = 1; i <= 4; ++i)
+        EXPECT_TRUE(ring.tryPush(loadRecord(i, i)));
+    // Overflow policy belongs to the caller: the ring only refuses.
+    EXPECT_FALSE(ring.tryPush(loadRecord(5, 5)));
+    EXPECT_EQ(ring.tryReserve(), nullptr);
+    EXPECT_EQ(ring.size(), 4u);
+
+    EventRecord out{};
+    ASSERT_TRUE(ring.tryPop(out));
+    EXPECT_EQ(out.seq, 1u); // Nothing was overwritten.
+    EXPECT_TRUE(ring.tryPush(loadRecord(5, 5)));
+}
+
+TEST(EventRing, WrapAroundPreservesFifoOrder)
+{
+    EventRing ring(4);
+    std::uint64_t next_push = 1;
+    std::uint64_t next_pop = 1;
+    // Cycle far past the capacity so indices wrap several times.
+    for (int round = 0; round < 64; ++round) {
+        while (ring.tryPush(loadRecord(next_push, next_push)))
+            ++next_push;
+        EventRecord out{};
+        while (ring.tryPop(out)) {
+            EXPECT_EQ(out.seq, next_pop);
+            EXPECT_EQ(out.load.addr, next_pop);
+            ++next_pop;
+        }
+    }
+    EXPECT_EQ(next_pop, next_push);
+    EXPECT_GT(next_pop, 64u);
+}
+
+TEST(EventRing, SingleSlotRingAlternates)
+{
+    EventRing ring(1);
+    ASSERT_EQ(ring.capacity(), 1u);
+    for (std::uint64_t i = 1; i <= 16; ++i) {
+        EXPECT_TRUE(ring.tryPush(loadRecord(i, i)));
+        EXPECT_FALSE(ring.tryPush(loadRecord(i + 100, 0)));
+        EventRecord out{};
+        ASSERT_TRUE(ring.tryPop(out));
+        EXPECT_EQ(out.seq, i);
+        EXPECT_FALSE(ring.tryPop(out));
+    }
+}
+
+TEST(EventRing, ReserveCommitBuildsInPlace)
+{
+    EventRing ring(2);
+    EventRecord *slot = ring.tryReserve();
+    ASSERT_NE(slot, nullptr);
+    // The reserved slot stays invisible until commit().
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.front(), nullptr);
+
+    slot->seq = 7;
+    slot->kind = EventKind::Store;
+    slot->store = StoreEvent{2,    1,    0x40, 0, 9, 8, hashing::ValueClass::Integer,
+                             CostDomain::Native, true};
+    ring.commit();
+
+    const EventRecord *front = ring.front();
+    ASSERT_NE(front, nullptr);
+    EXPECT_EQ(front, slot); // Zero-copy: dispatch reads the slot itself.
+    EXPECT_EQ(front->seq, 7u);
+    EXPECT_EQ(front->store.newBits, 9u);
+    EXPECT_EQ(front->store.tid, 2u);
+    ring.popFront();
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(EventRing, FrontIsStableUntilPopFront)
+{
+    EventRing ring(4);
+    ASSERT_TRUE(ring.tryPush(loadRecord(1, 0xA)));
+    const EventRecord *first = ring.front();
+    ASSERT_NE(first, nullptr);
+    ASSERT_TRUE(ring.tryPush(loadRecord(2, 0xB)));
+    // A concurrent producer push must not move or clobber the front.
+    EXPECT_EQ(ring.front(), first);
+    EXPECT_EQ(first->load.addr, 0xAu);
+    ring.popFront();
+    ASSERT_NE(ring.front(), nullptr);
+    EXPECT_EQ(ring.front()->load.addr, 0xBu);
+}
+
+TEST(EventRing, InitResizesAndResets)
+{
+    EventRing ring(2);
+    ASSERT_TRUE(ring.tryPush(loadRecord(1, 1)));
+    ring.init(8);
+    EXPECT_EQ(ring.capacity(), 8u);
+    EXPECT_TRUE(ring.empty()); // init discards queued records.
+    for (std::uint64_t i = 1; i <= 8; ++i)
+        EXPECT_TRUE(ring.tryPush(loadRecord(i, i)));
+    EXPECT_FALSE(ring.tryPush(loadRecord(9, 9)));
+}
+
+} // namespace
+} // namespace icheck::sim

@@ -1,0 +1,374 @@
+/**
+ * @file
+ * EventTransport: ring-buffer event delivery must be indistinguishable
+ * from synchronous listener dispatch — same events, same order, at any
+ * ring capacity, inline or async.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/lambda_program.hpp"
+#include "sim/machine.hpp"
+#include "sim/transport.hpp"
+
+namespace icheck::sim
+{
+namespace
+{
+
+/** Serializes every callback into one string per event. */
+class RecordingListener : public AccessListener
+{
+  public:
+    void
+    onStore(const StoreEvent &e) override
+    {
+        std::ostringstream os;
+        os << "S t" << e.tid << " a" << e.addr << " o" << e.oldBits
+           << " n" << e.newBits << " w" << e.width << " h" << e.hashed;
+        log.push_back(os.str());
+    }
+
+    void
+    onLoad(const LoadEvent &e) override
+    {
+        std::ostringstream os;
+        os << "L t" << e.tid << " a" << e.addr << " w" << e.width;
+        log.push_back(os.str());
+    }
+
+    void
+    onSync(const SyncEvent &e) override
+    {
+        std::ostringstream os;
+        os << "Y k" << static_cast<int>(e.kind) << " t" << e.tid << " o"
+           << e.object << " e" << e.epoch;
+        log.push_back(os.str());
+    }
+
+    void
+    onAlloc(const mem::Block &block) override
+    {
+        log.push_back("A " + block.site + " sz" +
+                      std::to_string(block.size));
+    }
+
+    void
+    onFree(const mem::Block &block) override
+    {
+        log.push_back("F " + block.site);
+    }
+
+    void
+    onOutput(ThreadId tid, const std::uint8_t *data,
+             std::size_t len) override
+    {
+        std::string s = "O t" + std::to_string(tid) + " ";
+        for (std::size_t i = 0; i < len; ++i)
+            s += std::to_string(data[i]) + ",";
+        log.push_back(s);
+    }
+
+    std::vector<std::string> log;
+};
+
+std::unique_ptr<LambdaProgram>
+makeProgram(std::shared_ptr<MutexId> mutex_id,
+            std::shared_ptr<BarrierId> barrier_id)
+{
+    return std::make_unique<LambdaProgram>(
+        "transport-prog", 2,
+        [mutex_id, barrier_id](SetupCtx &ctx) {
+            ctx.global("g", mem::tArray(mem::tInt64(), 8));
+            *mutex_id = ctx.mutex();
+            *barrier_id = ctx.barrier(2);
+        },
+        [mutex_id, barrier_id](ThreadCtx &ctx) {
+            const Addr g = ctx.global("g");
+            const Addr block = ctx.malloc("transport.cpp:b", mem::tInt64());
+            for (int i = 0; i < 16; ++i) {
+                const Addr slot = g + 8 * ((ctx.tid() * 4 + i) % 8);
+                ctx.lock(*mutex_id);
+                ctx.store<std::int64_t>(
+                    slot, ctx.load<std::int64_t>(slot) + i);
+                ctx.unlock(*mutex_id);
+            }
+            ctx.barrier(*barrier_id);
+            ctx.outputValue<std::uint32_t>(ctx.tid());
+            ctx.free(block);
+        });
+}
+
+/** Run the program with a synchronous listener, or through the transport
+ *  with the given shape; return the observed event log. */
+std::vector<std::string>
+runOnce(bool via_transport, TransportConfig shape = {},
+        ConsumerInterest interest = {})
+{
+    MachineConfig cfg;
+    cfg.numCores = 2;
+    cfg.schedSeed = 11;
+    RecordingListener listener;
+    EventTransport transport(shape);
+    Machine machine(cfg);
+    if (via_transport) {
+        transport.addListener(&listener, interest);
+        machine.setTransport(&transport);
+    } else {
+        machine.addListener(&listener);
+    }
+    auto mutex_id = std::make_shared<MutexId>();
+    auto barrier_id = std::make_shared<BarrierId>();
+    auto prog = makeProgram(mutex_id, barrier_id);
+    machine.run(*prog);
+    machine.setTransport(nullptr);
+    return listener.log;
+}
+
+TEST(Transport, InlineMatchesSynchronousDispatchExactly)
+{
+    const auto sync_log = runOnce(false);
+    ASSERT_FALSE(sync_log.empty());
+    EXPECT_EQ(runOnce(true), sync_log);
+}
+
+TEST(Transport, AsyncMatchesSynchronousDispatchExactly)
+{
+    const auto sync_log = runOnce(false);
+    TransportConfig shape;
+    shape.async = true;
+    EXPECT_EQ(runOnce(true, shape), sync_log);
+}
+
+TEST(Transport, TinyRingsBlockAndStillDeliverEverything)
+{
+    const auto sync_log = runOnce(false);
+    for (std::size_t capacity : {1u, 2u, 8u}) {
+        TransportConfig shape;
+        shape.ringCapacity = capacity;
+        EXPECT_EQ(runOnce(true, shape), sync_log)
+            << "capacity " << capacity;
+        shape.async = true;
+        EXPECT_EQ(runOnce(true, shape), sync_log)
+            << "async capacity " << capacity;
+    }
+}
+
+TEST(Transport, OverflowStallsAreCountedNeverDropped)
+{
+    MachineConfig cfg;
+    cfg.numCores = 2;
+    cfg.schedSeed = 11;
+    RecordingListener listener;
+    TransportConfig shape;
+    shape.ringCapacity = 1;
+    EventTransport transport(shape);
+    Machine machine(cfg);
+    transport.addListener(&listener);
+    machine.setTransport(&transport);
+    auto mutex_id = std::make_shared<MutexId>();
+    auto barrier_id = std::make_shared<BarrierId>();
+    auto prog = makeProgram(mutex_id, barrier_id);
+    machine.run(*prog);
+    machine.setTransport(nullptr);
+    EXPECT_GT(transport.overflowStalls(), 0u);
+    EXPECT_EQ(transport.publishedCount(), transport.deliveredCount());
+    EXPECT_EQ(listener.log, runOnce(false));
+}
+
+TEST(Transport, LoadsAreDroppedForLoadBlindConsumers)
+{
+    ConsumerInterest interest;
+    interest.loads = false;
+    const auto log = runOnce(true, {}, interest);
+    for (const std::string &line : log)
+        EXPECT_NE(line[0], 'L') << line;
+    // Everything else still flows.
+    bool saw_store = false, saw_sync = false, saw_output = false;
+    for (const std::string &line : log) {
+        saw_store |= line[0] == 'S';
+        saw_sync |= line[0] == 'Y';
+        saw_output |= line[0] == 'O';
+    }
+    EXPECT_TRUE(saw_store);
+    EXPECT_TRUE(saw_sync);
+    EXPECT_TRUE(saw_output);
+}
+
+TEST(Transport, AccessBlindConsumersSkipTheWholeAccessStream)
+{
+    ConsumerInterest interest;
+    interest.loads = false;
+    interest.stores = false;
+    interest.storeValues = false;
+    const auto log = runOnce(true, {}, interest);
+    for (const std::string &line : log) {
+        EXPECT_NE(line[0], 'L') << line;
+        EXPECT_NE(line[0], 'S') << line;
+    }
+    bool saw_output = false;
+    for (const std::string &line : log)
+        saw_output |= line[0] == 'O';
+    EXPECT_TRUE(saw_output);
+}
+
+TEST(Transport, StoreValuesInterestImpliesStores)
+{
+    // storeValues=true with stores=false still delivers stores (with
+    // values): the union normalizes the mask instead of losing events.
+    ConsumerInterest interest;
+    interest.stores = false;
+    interest.storeValues = true;
+    const auto log = runOnce(true, {}, interest);
+    bool saw_store = false;
+    for (const std::string &line : log)
+        saw_store |= line[0] == 'S';
+    EXPECT_TRUE(saw_store);
+}
+
+TEST(Transport, ValuesBlindStoresCarryZeroOldBits)
+{
+    // With the hash gate closed and no consumer declaring storeValues,
+    // the producer skips the old-value read entirely; records then carry
+    // oldBits = 0 deterministically. (With hashing armed the MHM needs
+    // the old value anyway, so it rides along for free.)
+    MachineConfig cfg;
+    cfg.numCores = 2;
+    cfg.schedSeed = 11;
+    cfg.hashingArmed = false;
+    RecordingListener listener;
+    ConsumerInterest interest;
+    interest.storeValues = false;
+    EventTransport transport;
+    Machine machine(cfg);
+    transport.addListener(&listener, interest);
+    machine.setTransport(&transport);
+    auto mutex_id = std::make_shared<MutexId>();
+    auto barrier_id = std::make_shared<BarrierId>();
+    auto prog = makeProgram(mutex_id, barrier_id);
+    machine.run(*prog);
+    machine.setTransport(nullptr);
+    bool saw_store = false;
+    for (const std::string &line : listener.log)
+        if (line[0] == 'S') {
+            saw_store = true;
+            EXPECT_NE(line.find(" o0 "), std::string::npos) << line;
+        }
+    EXPECT_TRUE(saw_store);
+}
+
+TEST(Transport, PerConsumerMasksAreIndependent)
+{
+    // One consumer wants everything, one is access-blind: production is
+    // the union, delivery honors each mask.
+    MachineConfig cfg;
+    cfg.numCores = 2;
+    cfg.schedSeed = 11;
+    RecordingListener full;
+    RecordingListener blind;
+    ConsumerInterest blind_interest;
+    blind_interest.loads = false;
+    blind_interest.stores = false;
+    blind_interest.storeValues = false;
+    EventTransport transport;
+    Machine machine(cfg);
+    transport.addListener(&full);
+    transport.addListener(&blind, blind_interest);
+    machine.setTransport(&transport);
+    auto mutex_id = std::make_shared<MutexId>();
+    auto barrier_id = std::make_shared<BarrierId>();
+    auto prog = makeProgram(mutex_id, barrier_id);
+    machine.run(*prog);
+    machine.setTransport(nullptr);
+
+    EXPECT_EQ(full.log, runOnce(false));
+    for (const std::string &line : blind.log) {
+        EXPECT_NE(line[0], 'L') << line;
+        EXPECT_NE(line[0], 'S') << line;
+    }
+}
+
+TEST(Transport, RemoveListenerStopsDelivery)
+{
+    RecordingListener listener;
+    EventTransport transport;
+    transport.addListener(&listener);
+    EXPECT_TRUE(transport.armed());
+    transport.removeListener(&listener);
+    EXPECT_FALSE(transport.armed());
+
+    MachineConfig cfg;
+    cfg.numCores = 2;
+    cfg.schedSeed = 11;
+    Machine machine(cfg);
+    machine.setTransport(&transport);
+    auto mutex_id = std::make_shared<MutexId>();
+    auto barrier_id = std::make_shared<BarrierId>();
+    auto prog = makeProgram(mutex_id, barrier_id);
+    machine.run(*prog);
+    machine.setTransport(nullptr);
+    EXPECT_TRUE(listener.log.empty());
+    EXPECT_EQ(transport.publishedCount(), transport.deliveredCount());
+}
+
+TEST(Transport, ScopedListenerDetachesSynchronousObservers)
+{
+    MachineConfig cfg;
+    cfg.numCores = 2;
+    cfg.schedSeed = 11;
+    RecordingListener outer;
+    Machine first(cfg);
+    {
+        ScopedListener scope(first, outer);
+        auto mutex_id = std::make_shared<MutexId>();
+        auto barrier_id = std::make_shared<BarrierId>();
+        auto prog = makeProgram(mutex_id, barrier_id);
+        first.run(*prog);
+    }
+    const std::size_t observed = outer.log.size();
+    EXPECT_GT(observed, 0u);
+    // The scope detached the listener before `first` was torn down; a
+    // fresh machine without it adds nothing to the log.
+    Machine second(cfg);
+    auto mutex_id = std::make_shared<MutexId>();
+    auto barrier_id = std::make_shared<BarrierId>();
+    auto prog = makeProgram(mutex_id, barrier_id);
+    second.run(*prog);
+    EXPECT_EQ(outer.log.size(), observed);
+}
+
+TEST(Transport, ReattachAcrossRunsReplaysIdentically)
+{
+    // One transport instance driving two machines back to back: bind()
+    // must fully reset rings and counters.
+    const auto sync_log = runOnce(false);
+    RecordingListener listener;
+    EventTransport transport;
+    transport.addListener(&listener);
+    for (int round = 0; round < 2; ++round) {
+        MachineConfig cfg;
+        cfg.numCores = 2;
+        cfg.schedSeed = 11;
+        Machine machine(cfg);
+        machine.setTransport(&transport);
+        auto mutex_id = std::make_shared<MutexId>();
+        auto barrier_id = std::make_shared<BarrierId>();
+        auto prog = makeProgram(mutex_id, barrier_id);
+        machine.run(*prog);
+        machine.setTransport(nullptr);
+    }
+    ASSERT_EQ(listener.log.size(), 2 * sync_log.size());
+    for (std::size_t i = 0; i < sync_log.size(); ++i) {
+        EXPECT_EQ(listener.log[i], sync_log[i]);
+        EXPECT_EQ(listener.log[sync_log.size() + i], sync_log[i]);
+    }
+}
+
+} // namespace
+} // namespace icheck::sim

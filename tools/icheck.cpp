@@ -32,11 +32,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "apps/apps.hpp"
@@ -46,6 +48,7 @@
 #include "check/infer.hpp"
 #include "check/localize.hpp"
 #include "check/report_json.hpp"
+#include "check/trace_export.hpp"
 #include "explore/explorer.hpp"
 #include "race/race_log.hpp"
 #include "runtime/parallel_driver.hpp"
@@ -73,13 +76,16 @@ usage()
         " [--distributions]\n"
         "                     [--jobs N] [--jsonl FILE] [--json]\n"
         "                     [--bug semantic|atomicity|order]\n"
-        "                     [--race-log FILE]\n"
+        "                     [--race-log FILE] [--trace FILE]\n"
+        "                     [--transport off|inline|async]"
+        " [--ring-capacity N]\n"
         "  icheck characterize <app> [--runs N] [--jobs N]\n"
         "  icheck explore <app> [--runs N] [--quantum Q] [--depth D]\n"
         "                       [--prune none|hb|state[,dpor]]"
         " [--preemptions P]\n"
         "                       [--jobs N] [--no-checkpoints]"
         " [--stats]\n"
+        "                       [--transport] [--trace-dir DIR]\n"
         "  icheck localize <app> [--checkpoint K] [--seed-a A]"
         " [--seed-b B]\n"
         "  icheck stats <app> [--seed S] [--input dev|medium|large]\n"
@@ -100,6 +106,18 @@ usage()
         "access pairs as JSONL, each endpoint attributed to the app\n"
         "source file:line; icheck-lint --race-log cross-checks its\n"
         "static findings against this log.\n"
+        "--transport picks how run listeners receive events: `off` is\n"
+        "direct synchronous dispatch, `inline` (the default) routes\n"
+        "through per-core lock-free ring buffers drained at decision\n"
+        "boundaries, `async` drains them on a dedicated consumer\n"
+        "thread; reports are byte-identical across all modes and\n"
+        "--ring-capacity values. For explore, --transport is a flag\n"
+        "routing the HB/DPOR trackers the same way (forces cold runs).\n"
+        "--trace FILE (check) writes a Chrome trace-event JSON of two\n"
+        "representative runs — schedule slices, lock holds, barrier\n"
+        "epochs, preemptions, checkpoints, and hash-divergence markers\n"
+        "— loadable in chrome://tracing or Perfetto. --trace-dir DIR\n"
+        "(explore) writes one such file per executed schedule.\n"
         "--prune takes one base mode (none|hb|state) plus optionally\n"
         "`dpor` (comma-separated): dynamic partial-order reduction runs\n"
         "one representative schedule per Mazurkiewicz trace; final\n"
@@ -180,6 +198,19 @@ cmdList()
     return 0;
 }
 
+check::TransportMode
+parseTransport(const std::string &name)
+{
+    if (name == "off")
+        return check::TransportMode::Off;
+    if (name == "inline")
+        return check::TransportMode::Inline;
+    if (name == "async")
+        return check::TransportMode::Async;
+    ICHECK_FATAL("unknown transport mode '", name,
+                 "' (off | inline | async)");
+}
+
 check::Scheme
 parseScheme(const std::string &name)
 {
@@ -246,6 +277,12 @@ cmdCheck(const std::string &app_name, Args &args)
         args.value("--scheme").value_or("hw"));
     cfg.machine.fpRoundingEnabled = !args.flag("--no-rounding");
     cfg.baseSchedSeed = args.number("--seed", 1000);
+    cfg.transport = parseTransport(
+        args.value("--transport").value_or("inline"));
+    cfg.transportRingCapacity =
+        static_cast<std::size_t>(args.number("--ring-capacity", 1024));
+    if (cfg.transportRingCapacity < 1)
+        ICHECK_FATAL("--ring-capacity must be at least 1");
     if (!args.flag("--no-ignores"))
         cfg.ignores = app.ignores;
     const bool show_distributions = args.flag("--distributions");
@@ -257,6 +294,7 @@ cmdCheck(const std::string &app_name, Args &args)
     const std::optional<std::string> bug_name = args.value("--bug");
     const std::optional<std::string> race_log_path =
         args.value("--race-log");
+    const std::optional<std::string> trace_path = args.value("--trace");
     if (args.leftovers())
         return usage();
 
@@ -291,6 +329,19 @@ cmdCheck(const std::string &app_name, Args &args)
         std::fprintf(stderr,
                      "icheck: %d attributed race(s) appended to %s\n",
                      races, race_log_path->c_str());
+    }
+
+    // --trace is the same kind of side artifact: re-run two
+    // representative seeds with the Chrome trace builder attached and
+    // write one file chrome://tracing / Perfetto loads directly.
+    if (trace_path.has_value()) {
+        const check::TraceExportResult traced =
+            check::exportCampaignTrace(cfg, factory, report, *trace_path);
+        std::fprintf(stderr,
+                     "icheck: traced %d run(s), %d hash divergence(s), "
+                     "written to %s\n",
+                     traced.runsTraced, traced.divergences,
+                     trace_path->c_str());
     }
 
     if (json_report) {
@@ -419,6 +470,15 @@ cmdExplore(const std::string &app_name, Args &args)
     if (const auto p = args.value("--preemptions"))
         cfg.maxPreemptions = std::strtoull(p->c_str(), nullptr, 10);
     cfg.checkpoints = !args.flag("--no-checkpoints");
+    cfg.transport = args.flag("--transport");
+    if (const auto trace_dir = args.value("--trace-dir")) {
+        cfg.traceDir = *trace_dir;
+        std::error_code ec;
+        std::filesystem::create_directories(cfg.traceDir, ec);
+        if (ec)
+            ICHECK_FATAL("cannot create --trace-dir '", cfg.traceDir,
+                         "': ", ec.message());
+    }
     const int jobs = static_cast<int>(args.number("--jobs", 1));
     const bool show_stats = args.flag("--stats");
     if (args.leftovers())
