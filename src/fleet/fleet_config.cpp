@@ -1,0 +1,124 @@
+#include "fleet/fleet_config.hpp"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "service/json.hpp"
+
+namespace icheck::fleet
+{
+
+namespace
+{
+
+ParsedFleetConfig
+fail(std::string message)
+{
+    ParsedFleetConfig parsed;
+    parsed.error = std::move(message);
+    return parsed;
+}
+
+/** Backend names become ring labels and log prefixes: keep them as
+ *  strict as request ids (printable, short, no quotes/backslashes). */
+bool
+validName(const std::string &name)
+{
+    if (name.empty() || name.size() > 64)
+        return false;
+    for (const char c : name) {
+        if (!std::isprint(static_cast<unsigned char>(c)) || c == '"' ||
+            c == '\\' || c == '#')
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+ParsedFleetConfig
+parseFleetConfig(const std::string &text)
+{
+    std::string json_error;
+    const auto root = service::parseJson(text, &json_error);
+    if (!root.has_value())
+        return fail("malformed fleet config: " + json_error);
+    if (!root->isObject())
+        return fail("fleet config must be a JSON object");
+
+    for (const auto &[key, value] : root->members) {
+        (void)value;
+        if (key != "backends" && key != "vnodes" && key != "ship" &&
+            key != "pullMaxBytes" && key != "pullIntervalMs")
+            return fail("unknown fleet config field '" + key + "'");
+    }
+
+    FleetTopology topology;
+    const service::JsonValue *backends = root->find("backends");
+    if (backends == nullptr)
+        return fail("fleet config requires field 'backends'");
+    if (!backends->isArray() || backends->items.empty())
+        return fail("'backends' must be a non-empty array");
+
+    std::unordered_set<std::string> names;
+    std::unordered_set<std::string> sockets;
+    for (const service::JsonValue &entry : backends->items) {
+        if (!entry.isObject())
+            return fail("each backend must be a JSON object");
+        for (const auto &[key, value] : entry.members) {
+            (void)value;
+            if (key != "name" && key != "socket")
+                return fail("unknown backend field '" + key + "'");
+        }
+        const service::JsonValue *name = entry.find("name");
+        if (name == nullptr || !name->isString() ||
+            !validName(name->text))
+            return fail("backend 'name' must be 1-64 printable chars "
+                        "without quotes, backslashes, or '#'");
+        const service::JsonValue *socket = entry.find("socket");
+        if (socket == nullptr || !socket->isString() ||
+            socket->text.empty())
+            return fail("backend 'socket' must be a non-empty string");
+        if (!names.insert(name->text).second)
+            return fail("duplicate backend name '" + name->text + "'");
+        if (!sockets.insert(socket->text).second)
+            return fail("duplicate backend socket '" + socket->text +
+                        "'");
+        topology.backends.push_back(
+            BackendAddress{name->text, socket->text});
+    }
+
+    if (const service::JsonValue *vnodes = root->find("vnodes")) {
+        const auto value = vnodes->asU64();
+        if (!value.has_value() || *value < 1 || *value > 1024)
+            return fail("'vnodes' must be an integer in [1, 1024]");
+        topology.vnodes = static_cast<std::size_t>(*value);
+    }
+    if (const service::JsonValue *ship = root->find("ship")) {
+        if (!ship->isString() ||
+            (ship->text != "sync" && ship->text != "async"))
+            return fail("'ship' must be \"sync\" or \"async\"");
+        topology.syncShip = ship->text == "sync";
+    }
+    if (const service::JsonValue *max = root->find("pullMaxBytes")) {
+        const auto value = max->asU64();
+        if (!value.has_value() || *value < 64 || *value > (1u << 20))
+            return fail(
+                "'pullMaxBytes' must be an integer in [64, 1048576]");
+        topology.pullMaxBytes = static_cast<std::uint32_t>(*value);
+    }
+    if (const service::JsonValue *interval =
+            root->find("pullIntervalMs")) {
+        const auto value = interval->asU64();
+        if (!value.has_value() || *value < 1 || *value > 60000)
+            return fail(
+                "'pullIntervalMs' must be an integer in [1, 60000]");
+        topology.pullIntervalMs = static_cast<int>(*value);
+    }
+
+    ParsedFleetConfig parsed;
+    parsed.topology = std::move(topology);
+    return parsed;
+}
+
+} // namespace icheck::fleet

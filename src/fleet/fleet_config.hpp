@@ -1,0 +1,61 @@
+#ifndef ICHECK_FLEET_FLEET_CONFIG_HPP
+#define ICHECK_FLEET_FLEET_CONFIG_HPP
+
+/**
+ * @file
+ * The fleet topology document (`icheck route --config`).
+ *
+ * A strict JSON object naming every backend and the router knobs:
+ *
+ *   {"vnodes":64,"ship":"sync","pullMaxBytes":24576,
+ *    "pullIntervalMs":20,
+ *    "backends":[{"name":"b0","socket":"/tmp/b0.sock"},
+ *                {"name":"b1","socket":"/tmp/b1.sock"}]}
+ *
+ * Parsing mirrors the request codec's posture: every field is
+ * type-checked and bounded, unknown fields are rejected by name, and
+ * any truncation of a valid document must parse to a clean error —
+ * the config travels through shells and CI artifacts, where torn
+ * writes are a matter of time.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace icheck::fleet
+{
+
+/** One backend the router fronts. */
+struct BackendAddress
+{
+    std::string name;   ///< Ring member name (store-key-safe token).
+    std::string socket; ///< Unix socket path of its `icheck serve`.
+};
+
+/** Validated fleet topology + router knobs. */
+struct FleetTopology
+{
+    std::vector<BackendAddress> backends;
+    std::size_t vnodes = 64;
+    std::uint32_t pullMaxBytes = 24576;
+    int pullIntervalMs = 20;
+    bool syncShip = false; ///< "ship":"sync" — replicate before respond.
+};
+
+/** Outcome of parsing a config document. */
+struct ParsedFleetConfig
+{
+    std::optional<FleetTopology> topology;
+    std::string error; ///< Human-readable reason when topology is empty.
+
+    bool ok() const { return topology.has_value(); }
+};
+
+/** Parse and validate a fleet config document. */
+ParsedFleetConfig parseFleetConfig(const std::string &text);
+
+} // namespace icheck::fleet
+
+#endif // ICHECK_FLEET_FLEET_CONFIG_HPP

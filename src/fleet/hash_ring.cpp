@@ -1,0 +1,90 @@
+#include "fleet/hash_ring.hpp"
+
+#include <algorithm>
+
+#include "hashing/crc64.hpp"
+#include "support/logging.hpp"
+
+namespace icheck::fleet
+{
+
+namespace
+{
+
+std::uint64_t
+hashBytes(const std::string &bytes)
+{
+    return hashing::Crc64::compute(bytes.data(), bytes.size(), 0);
+}
+
+} // namespace
+
+HashRing::HashRing(std::size_t vnodes_per_member)
+    : vnodes(std::max<std::size_t>(vnodes_per_member, 1))
+{
+}
+
+void
+HashRing::add(const std::string &name)
+{
+    ICHECK_ASSERT(!name.empty(), "ring member name must be non-empty");
+    if (contains(name))
+        return;
+    members.push_back(name);
+    rebuild();
+}
+
+void
+HashRing::remove(const std::string &name)
+{
+    const auto it = std::find(members.begin(), members.end(), name);
+    if (it == members.end())
+        return;
+    members.erase(it);
+    rebuild();
+}
+
+bool
+HashRing::contains(const std::string &name) const
+{
+    return std::find(members.begin(), members.end(), name) !=
+           members.end();
+}
+
+void
+HashRing::rebuild()
+{
+    // Rebuilding from scratch keeps point positions a pure function of
+    // the membership set: surviving members' points never move, so a
+    // remove only remaps arcs the dead member used to front.
+    points.clear();
+    points.reserve(members.size() * vnodes);
+    for (std::uint32_t m = 0; m < members.size(); ++m) {
+        for (std::size_t v = 0; v < vnodes; ++v) {
+            const std::string label =
+                members[m] + '#' + std::to_string(v);
+            points.push_back(Point{hashBytes(label), m});
+        }
+    }
+    std::sort(points.begin(), points.end(),
+              [this](const Point &a, const Point &b) {
+                  if (a.hash != b.hash)
+                      return a.hash < b.hash;
+                  return members[a.member] < members[b.member];
+              });
+}
+
+const std::string *
+HashRing::ownerOf(const std::string &key) const
+{
+    if (points.empty())
+        return nullptr;
+    const std::uint64_t h = hashBytes(key);
+    const auto it = std::lower_bound(
+        points.begin(), points.end(), h,
+        [](const Point &p, std::uint64_t value) { return p.hash < value; });
+    const Point &point = it == points.end() ? points.front() : *it;
+    return &members[point.member];
+}
+
+} // namespace icheck::fleet

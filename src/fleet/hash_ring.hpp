@@ -1,0 +1,69 @@
+#ifndef ICHECK_FLEET_HASH_RING_HPP
+#define ICHECK_FLEET_HASH_RING_HPP
+
+/**
+ * @file
+ * Consistent-hash ring over backend names.
+ *
+ * Each member contributes `vnodes` points at crc64("name#<i>"); a key
+ * owned by the first point clockwise of crc64(key). Membership changes
+ * remap only the arcs adjacent to the changed member's points — about
+ * 1/N of the key space for N members — so cross-request dedup locality
+ * survives backend loss, which is the whole reason the router shards
+ * on the canonical campaign key instead of round-robining.
+ *
+ * Point order ties (identical 64-bit hashes) break by member name, so
+ * ownership is a pure function of the membership set: every router
+ * instance with the same members routes every key identically.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace icheck::fleet
+{
+
+class HashRing
+{
+  public:
+    explicit HashRing(std::size_t vnodes_per_member = 64);
+
+    /** Add @p name (no-op if present). */
+    void add(const std::string &name);
+
+    /** Remove @p name (no-op if absent). */
+    void remove(const std::string &name);
+
+    bool contains(const std::string &name) const;
+    bool empty() const { return members.empty(); }
+    std::size_t memberCount() const { return members.size(); }
+    std::size_t vnodesPerMember() const { return vnodes; }
+
+    /** Members in insertion order (stable across add/remove churn). */
+    std::vector<std::string> memberNames() const { return members; }
+
+    /**
+     * Owner of @p key; nullptr when the ring is empty. The pointer is
+     * valid until the next membership change.
+     */
+    const std::string *ownerOf(const std::string &key) const;
+
+  private:
+    struct Point
+    {
+        std::uint64_t hash;
+        std::uint32_t member; ///< Index into members.
+    };
+
+    void rebuild();
+
+    std::size_t vnodes;
+    std::vector<std::string> members;
+    std::vector<Point> points; ///< Sorted by (hash, member name).
+};
+
+} // namespace icheck::fleet
+
+#endif // ICHECK_FLEET_HASH_RING_HPP

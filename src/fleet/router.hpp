@@ -1,0 +1,196 @@
+#ifndef ICHECK_FLEET_ROUTER_HPP
+#define ICHECK_FLEET_ROUTER_HPP
+
+/**
+ * @file
+ * The fleet router behind `icheck route`.
+ *
+ * One router process fronts N `icheck serve` backends. Clients speak
+ * the ordinary service JSONL protocol to the router's Unix socket; the
+ * router parses each request, shards `check` ops by consistent hashing
+ * on the canonical campaign key (so identical work always lands on the
+ * same backend and cross-request dedup keeps paying), and forwards the
+ * request line verbatim over a persistent, pipelined per-backend
+ * connection — the response bytes a client sees are exactly the bytes
+ * the backend rendered, which is what keeps router output
+ * byte-identical to a direct backend at any fleet shape.
+ *
+ * Durability rides log shipping: the router continuously `pull`s each
+ * backend's append-only CRC frame log into a per-backend replica
+ * store (re-verifying every frame CRC on ingest). When a backend dies
+ * — EOF, write failure, SIGKILL — the router removes it from the
+ * ring, re-`install`s its replicated frames on the keys' new owners,
+ * and re-dispatches the dead backend's in-flight requests, so every
+ * work unit that was shipped before the crash resumes without
+ * re-running. With `ship:"sync"` a check response is held until the
+ * producing backend's log has been pulled past it, making failover
+ * lossless for completed units at the cost of one pull round-trip of
+ * latency.
+ *
+ * `stats` fans out to every live backend and aggregates; `drain`
+ * ships each backend's log tail, then drains the fleet and finally
+ * the router itself. Ids beginning with `__fleet` are reserved for
+ * the router's own shipping traffic and rejected from clients.
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <csignal>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "fleet/fleet_config.hpp"
+#include "fleet/hash_ring.hpp"
+#include "service/result_store.hpp"
+
+namespace icheck::fleet
+{
+
+/** Router-level counters (monotonic since start). */
+struct RouterStats
+{
+    std::uint64_t requestsRouted = 0;   ///< Check ops forwarded.
+    std::uint64_t protocolErrors = 0;   ///< Client lines rejected.
+    std::uint64_t framesReplicated = 0; ///< Frames pulled into replicas.
+    std::uint64_t framesReinstalled = 0; ///< Frames shipped on failover.
+    std::uint64_t requestsRetried = 0;  ///< Re-dispatched on failover.
+    std::uint64_t failovers = 0;        ///< Backends declared dead.
+};
+
+class Router
+{
+  public:
+    using Respond = std::function<void(const std::string &)>;
+
+    Router(FleetTopology topology, std::string listen_socket);
+    ~Router();
+
+    /** Connect every backend and start the reader/shipper threads.
+     *  False (with a warning) if any backend is unreachable. */
+    bool start();
+
+    /**
+     * Accept clients on the listen socket until a shutdown signal or a
+     * completed fleet drain. Returns a process exit code.
+     */
+    int serve(const volatile std::sig_atomic_t *shutdown_flag);
+
+    /** Tear down client connections, backend links, and threads. */
+    void stop();
+
+    /**
+     * Handle one client request line; @p respond receives exactly one
+     * response line (no trailing newline). Check responses may arrive
+     * asynchronously from backend reader threads. Exposed for tests.
+     */
+    void handleClientLine(const std::string &line, Respond respond);
+
+    RouterStats stats() const;
+
+  private:
+    /** One request awaiting its backend response. */
+    struct Waiter
+    {
+        std::string id;
+        std::string line;      ///< Original request line (for retry).
+        std::string canonical; ///< Routing key (empty for non-check).
+        Respond respond;
+        bool isCheck = false;
+        int attempts = 0;
+    };
+
+    /** A check response held until the backend's log is shipped. */
+    struct HeldResponse
+    {
+        Respond respond;
+        std::string response;
+    };
+
+    /** Persistent link to one backend. */
+    struct Backend
+    {
+        std::string name;
+        std::string socketPath;
+        int fd = -1;
+        std::atomic<bool> alive{false};
+        std::thread reader;
+        std::mutex writeMu;
+
+        /** In-flight requests by id, FIFO per id. Guarded by pendingMu. */
+        std::mutex pendingMu;
+        std::unordered_map<std::string, std::vector<Waiter>> pending;
+
+        /** Log-shipping state. Guarded by shipMu. */
+        std::mutex shipMu;
+        std::condition_variable shipCv;
+        std::uint64_t cursor = 0;  ///< Next log byte to pull.
+        bool pullInFlight = false;
+        bool caughtUp = false;     ///< Last pull hit eof.
+        std::vector<HeldResponse> held; ///< Sync-ship barrier queue.
+
+        /** Replica of this backend's frame log (CRC-verified). */
+        service::ResultStore replica;
+        std::atomic<std::uint64_t> framesReplicated{0};
+    };
+
+    Backend *backendByName(const std::string &name);
+    bool connectBackend(Backend &backend);
+    bool sendLine(Backend &backend, const std::string &line);
+
+    void dispatchCheck(Waiter waiter);
+    void backendReaderLoop(Backend &backend);
+    void completeResponse(Backend &backend, const std::string &id,
+                          const std::string &line);
+    void handlePullResponse(Backend &backend, const std::string &line);
+    /** Start a pull if none is in flight. Caller holds shipMu. */
+    void startPullLocked(Backend &backend);
+    /** Block until the backend's log is fully replicated (or it dies). */
+    void shipToEof(Backend &backend);
+    void shipperLoop();
+
+    void markDead(Backend &backend);
+    /** Runs on the dead backend's reader thread, exactly once. */
+    void failover(Backend &backend);
+    void reinstallReplica(Backend &dead);
+
+    void handleStats(const std::string &id, const std::string &line,
+                     const Respond &respond);
+    void handleDrain(const std::string &id, const std::string &line,
+                     const Respond &respond);
+    /** Forward @p line to @p backend and block for its response. */
+    std::string forwardAndWait(Backend &backend, const std::string &id,
+                               const std::string &line);
+
+    FleetTopology topology;
+    std::string listenSocket;
+
+    mutable std::mutex ringMu;
+    HashRing ring;
+
+    std::vector<std::unique_ptr<Backend>> backends;
+
+    std::thread shipper;
+    std::mutex shipperMu;
+    std::condition_variable shipperCv;
+    bool stopShipper = false;
+
+    std::atomic<bool> draining{false};
+    std::atomic<bool> drainComplete{false};
+    std::atomic<bool> started{false};
+
+    std::atomic<std::uint64_t> requestsRouted{0};
+    std::atomic<std::uint64_t> protocolErrors{0};
+    std::atomic<std::uint64_t> framesReinstalled{0};
+    std::atomic<std::uint64_t> requestsRetried{0};
+    std::atomic<std::uint64_t> failovers{0};
+};
+
+} // namespace icheck::fleet
+
+#endif // ICHECK_FLEET_ROUTER_HPP

@@ -2,8 +2,10 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <vector>
 
 #include "check/report_json.hpp"
+#include "service/frame.hpp"
 #include "runtime/parallel_driver.hpp"
 #include "support/json_escape.hpp"
 
@@ -68,6 +70,21 @@ Service::handleLine(const std::string &line)
         response = "{\"id\":\"" + jsonEscapeText(request.id) +
                    "\",\"status\":\"ok\",\"draining\":true}";
         break;
+      case RequestOp::Pull:
+        // Read-only: a draining backend keeps serving its log so the
+        // router's replica can catch up before the process exits.
+        response = handlePull(request);
+        break;
+      case RequestOp::Install:
+        // Installs write to the store; once draining, refuse them just
+        // like new campaigns (the backend is about to disappear).
+        if (drainRequested()) {
+            drainRejected.fetch_add(1, std::memory_order_relaxed);
+            requestsCompleted.fetch_add(1, std::memory_order_relaxed);
+            return renderDrainingResponse(request.id);
+        }
+        response = handleInstall(request);
+        break;
     }
     requestsCompleted.fetch_add(1, std::memory_order_relaxed);
     return response;
@@ -91,6 +108,49 @@ Service::handleCheck(const Request &request)
         checkErrors.fetch_add(1, std::memory_order_relaxed);
     }
     return outcome.response;
+}
+
+std::string
+Service::handlePull(const Request &request)
+{
+    try {
+        std::uint64_t next = 0;
+        bool eof = false;
+        const std::string frames = store->readLog(
+            request.pull.from, request.pull.maxBytes, next, eof);
+        return renderPullResponse(request.id, request.pull.from, next,
+                                  eof, hexEncode(frames));
+    } catch (const StoreError &error) {
+        protocolErrors.fetch_add(1, std::memory_order_relaxed);
+        return renderErrorResponse(request.id, error.what());
+    }
+}
+
+std::string
+Service::handleInstall(const Request &request)
+{
+    std::vector<Frame> frames;
+    bool corrupt = false;
+    const std::size_t consumed =
+        decodeFrames(request.install.frames, frames, &corrupt);
+    if (corrupt || consumed != request.install.frames.size()) {
+        protocolErrors.fetch_add(1, std::memory_order_relaxed);
+        return renderErrorResponse(
+            request.id, corrupt ? "corrupt frame in 'frames'"
+                                : "torn frame in 'frames' (whole frames "
+                                  "only)");
+    }
+    std::uint64_t installed = 0;
+    std::uint64_t duplicates = 0;
+    for (const Frame &frame : frames) {
+        if (store->put(frame.key, frame.payload)) {
+            ++installed;
+        } else {
+            ++duplicates;
+        }
+    }
+    framesInstalled.fetch_add(installed, std::memory_order_relaxed);
+    return renderInstallResponse(request.id, installed, duplicates);
 }
 
 void
@@ -150,6 +210,9 @@ Service::snapshot() const
                   snap.uptimeSeconds
             : 0.0;
     snap.storeKeys = store->keyCount();
+    snap.storeBytes = store->logBytes();
+    snap.framesInstalled =
+        framesInstalled.load(std::memory_order_relaxed);
     snap.store = store->stats();
     return snap;
 }
@@ -158,7 +221,7 @@ std::string
 Service::renderStatsResponse(const std::string &id) const
 {
     const ServiceSnapshot snap = snapshot();
-    char body[1024];
+    char body[1536];
     std::snprintf(
         body, sizeof body,
         "{\"id\":\"%s\",\"status\":\"ok\",\"stats\":{"
@@ -169,14 +232,17 @@ Service::renderStatsResponse(const std::string &id) const
         ",\"unitsReused\":%" PRIu64 ",\"dedupHitRate\":%.4f,"
         "\"queueDepth\":%zu,\"inFlight\":%zu,"
         "\"uptimeSeconds\":%.3f,\"requestsPerSec\":%.2f,"
-        "\"storeKeys\":%zu,\"storeFramesLoaded\":%" PRIu64
+        "\"storeKeys\":%zu,\"storeBytes\":%" PRIu64
+        ",\"framesAppended\":%" PRIu64 ",\"framesInstalled\":%" PRIu64
+        ",\"storeFramesLoaded\":%" PRIu64
         ",\"storeBytesDropped\":%" PRIu64 "}}",
         jsonEscapeText(id).c_str(), snap.requestsCompleted,
         snap.checksCompleted, snap.protocolErrors, snap.checkErrors,
         snap.busyRejected, snap.drainRejected, snap.responsesCached,
         snap.unitsExecuted, snap.unitsReused, snap.dedupHitRate(),
         snap.queueDepth, snap.inFlight, snap.uptimeSeconds,
-        snap.requestsPerSec, snap.storeKeys, snap.store.framesLoaded,
+        snap.requestsPerSec, snap.storeKeys, snap.storeBytes,
+        snap.store.puts, snap.framesInstalled, snap.store.framesLoaded,
         snap.store.bytesDropped);
     return body;
 }

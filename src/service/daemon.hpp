@@ -65,7 +65,9 @@ struct ServiceSnapshot
     double uptimeSeconds = 0.0;
     double requestsPerSec = 0.0;
     std::size_t storeKeys = 0;
-    StoreStats store;
+    std::uint64_t storeBytes = 0;      ///< Append-only log length.
+    std::uint64_t framesInstalled = 0; ///< Frames ingested via install.
+    StoreStats store; ///< store.puts = frames appended since start.
 
     /** Units served from the seen-set / all units touched; 0..1. */
     double dedupHitRate() const;
@@ -111,6 +113,8 @@ class Service
 
   private:
     std::string handleCheck(const Request &request);
+    std::string handlePull(const Request &request);
+    std::string handleInstall(const Request &request);
     std::string renderStatsResponse(const std::string &id) const;
 
     ServiceConfig cfg;
@@ -129,6 +133,7 @@ class Service
     std::atomic<std::uint64_t> responsesCached{0};
     std::atomic<std::uint64_t> unitsExecuted{0};
     std::atomic<std::uint64_t> unitsReused{0};
+    std::atomic<std::uint64_t> framesInstalled{0};
 
     mutable std::mutex probeMu;
     std::function<std::pair<std::size_t, std::size_t>()> queueProbe;

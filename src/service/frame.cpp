@@ -1,0 +1,149 @@
+#include "service/frame.hpp"
+
+#include "hashing/crc64.hpp"
+#include "support/logging.hpp"
+
+namespace icheck::service
+{
+
+void
+putU32(std::string &out, std::uint32_t value)
+{
+    for (int shift = 0; shift < 32; shift += 8)
+        out += static_cast<char>((value >> shift) & 0xff);
+}
+
+void
+putU64(std::string &out, std::uint64_t value)
+{
+    for (int shift = 0; shift < 64; shift += 8)
+        out += static_cast<char>((value >> shift) & 0xff);
+}
+
+std::uint32_t
+readU32(const char *bytes)
+{
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i)
+        value |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(bytes[i]))
+                 << (8 * i);
+    return value;
+}
+
+std::uint64_t
+readU64(const char *bytes)
+{
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i)
+        value |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(bytes[i]))
+                 << (8 * i);
+    return value;
+}
+
+std::uint64_t
+frameCrc(const std::string &key, const std::string &payload)
+{
+    std::uint64_t crc =
+        hashing::Crc64::compute(key.data(), key.size(), 0);
+    return hashing::Crc64::compute(payload.data(), payload.size(), crc);
+}
+
+std::string
+encodeFrame(const std::string &key, const std::string &payload)
+{
+    ICHECK_ASSERT(!key.empty() && key.size() <= frameMaxKeyLen,
+                  "frame key out of bounds");
+    ICHECK_ASSERT(payload.size() <= frameMaxPayloadLen,
+                  "frame payload out of bounds");
+    std::string frame;
+    frame.reserve(frameHeaderBytes + key.size() + payload.size());
+    putU32(frame, frameMagic);
+    putU32(frame, static_cast<std::uint32_t>(key.size()));
+    putU32(frame, static_cast<std::uint32_t>(payload.size()));
+    putU64(frame, frameCrc(key, payload));
+    frame += key;
+    frame += payload;
+    return frame;
+}
+
+std::size_t
+decodeFrames(std::string_view bytes, std::vector<Frame> &out,
+             bool *corrupt)
+{
+    if (corrupt != nullptr)
+        *corrupt = false;
+    std::size_t offset = 0;
+    while (offset + frameHeaderBytes <= bytes.size()) {
+        const char *header = bytes.data() + offset;
+        const std::uint32_t magic = readU32(header);
+        const std::uint32_t key_len = readU32(header + 4);
+        const std::uint32_t payload_len = readU32(header + 8);
+        const std::uint64_t crc = readU64(header + 12);
+        if (magic != frameMagic || key_len == 0 ||
+            key_len > frameMaxKeyLen || payload_len > frameMaxPayloadLen) {
+            if (corrupt != nullptr)
+                *corrupt = true;
+            return offset;
+        }
+        const std::uint64_t body =
+            static_cast<std::uint64_t>(key_len) + payload_len;
+        if (offset + frameHeaderBytes + body > bytes.size())
+            return offset; // Torn tail: wait for more bytes.
+        Frame frame;
+        frame.key.assign(header + frameHeaderBytes, key_len);
+        frame.payload.assign(header + frameHeaderBytes + key_len,
+                             payload_len);
+        if (frameCrc(frame.key, frame.payload) != crc) {
+            if (corrupt != nullptr)
+                *corrupt = true;
+            return offset;
+        }
+        out.push_back(std::move(frame));
+        offset += frameHeaderBytes + static_cast<std::size_t>(body);
+    }
+    return offset;
+}
+
+std::string
+hexEncode(std::string_view bytes)
+{
+    static constexpr char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (const char c : bytes) {
+        const auto b = static_cast<unsigned char>(c);
+        out += digits[b >> 4];
+        out += digits[b & 0xf];
+    }
+    return out;
+}
+
+std::optional<std::string>
+hexDecode(std::string_view hex)
+{
+    if (hex.size() % 2 != 0)
+        return std::nullopt;
+    const auto nibble = [](char c) -> int {
+        if (c >= '0' && c <= '9')
+            return c - '0';
+        if (c >= 'a' && c <= 'f')
+            return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F')
+            return c - 'A' + 10;
+        return -1;
+    };
+    std::string out;
+    out.reserve(hex.size() / 2);
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+        const int hi = nibble(hex[i]);
+        const int lo = nibble(hex[i + 1]);
+        if (hi < 0 || lo < 0)
+            return std::nullopt;
+        out += static_cast<char>((hi << 4) | lo);
+    }
+    return out;
+}
+
+} // namespace icheck::service

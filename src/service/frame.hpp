@@ -1,0 +1,80 @@
+#ifndef ICHECK_SERVICE_FRAME_HPP
+#define ICHECK_SERVICE_FRAME_HPP
+
+/**
+ * @file
+ * The CRC frame codec shared by the result store and fleet log
+ * shipping.
+ *
+ * A frame is the store's on-disk append unit:
+ *
+ *   u32 magic 'ICR1' | u32 keyLen | u32 payloadLen |
+ *   u64 crc64(key ++ payload) | key bytes | payload bytes
+ *
+ * all little-endian. The same bytes travel verbatim over the fleet
+ * protocol (`pull` / `install` ops, hex-armored for JSONL), so a
+ * router replica is just another store replaying the same frames —
+ * every hop re-verifies the CRC, and a frame that survives shipping
+ * is bit-identical to the one the backend appended.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace icheck::service
+{
+
+constexpr std::uint32_t frameMagic = 0x31524349; // "ICR1" little-endian.
+constexpr std::size_t frameHeaderBytes = 4 + 4 + 4 + 8;
+
+// Guards against frames claiming absurd sizes when a torn header
+// happens to keep a valid magic: no key or payload in this repo comes
+// near these bounds.
+constexpr std::uint32_t frameMaxKeyLen = 1 << 16;
+constexpr std::uint32_t frameMaxPayloadLen = 1 << 28;
+
+/** One decoded store frame. */
+struct Frame
+{
+    std::string key;
+    std::string payload;
+};
+
+/// @name Little-endian integer helpers (exposed for the store replay).
+/// @{
+void putU32(std::string &out, std::uint32_t value);
+void putU64(std::string &out, std::uint64_t value);
+std::uint32_t readU32(const char *bytes);
+std::uint64_t readU64(const char *bytes);
+/// @}
+
+/** CRC64 over key ++ payload, as stored in the frame header. */
+std::uint64_t frameCrc(const std::string &key, const std::string &payload);
+
+/** Serialize one frame (header + key + payload). */
+std::string encodeFrame(const std::string &key, const std::string &payload);
+
+/**
+ * Decode every whole, CRC-valid frame at the front of @p bytes into
+ * @p out. Returns the number of bytes consumed; consumption stops at
+ * the first torn (incomplete) frame. A structurally invalid or
+ * CRC-mismatched frame sets @p corrupt (when non-null) — shipped logs
+ * must never contain one, while a torn tail is the expected shape of
+ * a killed writer.
+ */
+std::size_t decodeFrames(std::string_view bytes, std::vector<Frame> &out,
+                         bool *corrupt = nullptr);
+
+/** Lowercase hex armor for carrying frame bytes inside a JSON string. */
+std::string hexEncode(std::string_view bytes);
+
+/** Inverse of hexEncode(); nullopt on odd length or non-hex chars. */
+std::optional<std::string> hexDecode(std::string_view hex);
+
+} // namespace icheck::service
+
+#endif // ICHECK_SERVICE_FRAME_HPP

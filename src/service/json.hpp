@@ -54,6 +54,7 @@ class JsonValue
     bool isBool() const { return kind == Kind::Bool; }
     bool isNumber() const { return kind == Kind::Number; }
     bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
     bool isObject() const { return kind == Kind::Object; }
 
     /** Object member by key, or null if absent. */

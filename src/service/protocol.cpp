@@ -2,6 +2,7 @@
 
 #include <cctype>
 
+#include "service/frame.hpp"
 #include "service/json.hpp"
 #include "support/json_escape.hpp"
 
@@ -45,11 +46,18 @@ knownField(RequestOp op, const std::string &key)
 {
     if (key == "id" || key == "op")
         return true;
-    if (op != RequestOp::Check)
+    switch (op) {
+      case RequestOp::Check:
+        return key == "app" || key == "runs" || key == "scheme" ||
+               key == "seed" || key == "input" || key == "rounding" ||
+               key == "ignores" || key == "cores";
+      case RequestOp::Pull:
+        return key == "from" || key == "max";
+      case RequestOp::Install:
+        return key == "frames";
+      default:
         return false;
-    return key == "app" || key == "runs" || key == "scheme" ||
-           key == "seed" || key == "input" || key == "rounding" ||
-           key == "ignores" || key == "cores";
+    }
 }
 
 ParsedLine
@@ -104,6 +112,10 @@ parseRequestLine(const std::string &line, std::size_t max_line_bytes)
         request.op = RequestOp::Ping;
     else if (op == "drain")
         request.op = RequestOp::Drain;
+    else if (op == "pull")
+        request.op = RequestOp::Pull;
+    else if (op == "install")
+        request.op = RequestOp::Install;
     else
         return failParse(id, "unknown op '" + op + "'");
 
@@ -114,6 +126,36 @@ parseRequestLine(const std::string &line, std::size_t max_line_bytes)
                                      op + "'");
     }
 
+    if (request.op == RequestOp::Pull) {
+        if (const JsonValue *from = root->find("from")) {
+            const auto value = from->asU64();
+            if (!value.has_value())
+                return failParse(
+                    id, "'from' must be a non-negative integer");
+            request.pull.from = *value;
+        }
+        if (const JsonValue *max = root->find("max")) {
+            const auto value = max->asU64();
+            if (!value.has_value() || *value < 64 ||
+                *value > (1u << 20))
+                return failParse(
+                    id, "'max' must be an integer in [64, 1048576]");
+            request.pull.maxBytes = static_cast<std::uint32_t>(*value);
+        }
+        return ParsedLine{std::move(request), {}, id};
+    }
+    if (request.op == RequestOp::Install) {
+        const JsonValue *frames = root->find("frames");
+        if (frames == nullptr)
+            return failParse(id, "op 'install' requires field 'frames'");
+        if (!frames->isString())
+            return failParse(id, "'frames' must be a hex string");
+        auto decoded = hexDecode(frames->text);
+        if (!decoded.has_value())
+            return failParse(id, "'frames' is not valid hex");
+        request.install.frames = std::move(*decoded);
+        return ParsedLine{std::move(request), {}, id};
+    }
     if (request.op != RequestOp::Check)
         return ParsedLine{std::move(request), {}, id};
 
@@ -254,6 +296,32 @@ renderPongResponse(const std::string &id)
 {
     return "{\"id\":\"" + jsonEscapeText(id) +
            "\",\"status\":\"ok\",\"pong\":true}";
+}
+
+std::string
+renderPullResponse(const std::string &id, std::uint64_t from,
+                   std::uint64_t next, bool eof,
+                   const std::string &frames_hex)
+{
+    std::string out = "{\"id\":\"" + jsonEscapeText(id) +
+                      "\",\"status\":\"ok\",\"from\":" +
+                      std::to_string(from) +
+                      ",\"next\":" + std::to_string(next) +
+                      ",\"eof\":" + (eof ? "true" : "false") +
+                      ",\"frames\":\"";
+    out += frames_hex; // Hex is JSON-safe by construction.
+    out += "\"}";
+    return out;
+}
+
+std::string
+renderInstallResponse(const std::string &id, std::uint64_t installed,
+                      std::uint64_t duplicates)
+{
+    return "{\"id\":\"" + jsonEscapeText(id) +
+           "\",\"status\":\"ok\",\"installed\":" +
+           std::to_string(installed) +
+           ",\"duplicates\":" + std::to_string(duplicates) + "}";
 }
 
 } // namespace icheck::service

@@ -19,6 +19,14 @@
  *   {"id":"s1","op":"stats"}
  *   {"id":"p1","op":"ping"}
  *   {"id":"d1","op":"drain"}
+ *   {"id":"l1","op":"pull","from":0,"max":24576}
+ *   {"id":"f1","op":"install","frames":"<hex CRC frames>"}
+ *
+ * `pull` and `install` are the fleet log-shipping pair: pull returns
+ * raw store frames (hex-armored, whole frames only) starting at a
+ * byte cursor, install idempotently appends shipped frames into the
+ * local store. Both speak the result store's CRC frame format, so
+ * every hop re-verifies integrity.
  *
  * Response status values: "ok", "error" (request-level failure),
  * "busy" (bounded queue full — explicit backpressure; retry later),
@@ -37,10 +45,12 @@ namespace icheck::service
 /** What a parsed request asks the daemon to do. */
 enum class RequestOp
 {
-    Check, ///< Run (or resume) a determinism campaign.
-    Stats, ///< Report queue depths, throughput, dedup counters.
-    Ping,  ///< Liveness probe.
-    Drain, ///< Finish in-flight work, then shut down gracefully.
+    Check,   ///< Run (or resume) a determinism campaign.
+    Stats,   ///< Report queue depths, throughput, dedup counters.
+    Ping,    ///< Liveness probe.
+    Drain,   ///< Finish in-flight work, then shut down gracefully.
+    Pull,    ///< Ship store frames from a log cursor (fleet replica).
+    Install, ///< Idempotently ingest shipped store frames (failover).
 };
 
 /** Validated payload of an op:"check" request. */
@@ -56,12 +66,27 @@ struct CheckRequest
     int cores = 0; ///< 0 = the machine default.
 };
 
+/** Validated payload of an op:"pull" request. */
+struct PullRequest
+{
+    std::uint64_t from = 0;         ///< Log byte cursor (frame boundary).
+    std::uint32_t maxBytes = 24576; ///< Raw-frame budget per response.
+};
+
+/** Validated payload of an op:"install" request. */
+struct InstallRequest
+{
+    std::string frames; ///< Raw (hex-decoded) frame bytes.
+};
+
 /** One validated request. */
 struct Request
 {
     std::string id;
     RequestOp op = RequestOp::Ping;
-    CheckRequest check; ///< Meaningful only when op == Check.
+    CheckRequest check;     ///< Meaningful only when op == Check.
+    PullRequest pull;       ///< Meaningful only when op == Pull.
+    InstallRequest install; ///< Meaningful only when op == Install.
 };
 
 /** Outcome of parsing one line: a request, or an error with the id. */
@@ -111,6 +136,12 @@ std::string renderBusyResponse(const std::string &id,
                                std::size_t queue_depth);
 std::string renderDrainingResponse(const std::string &id);
 std::string renderPongResponse(const std::string &id);
+std::string renderPullResponse(const std::string &id, std::uint64_t from,
+                               std::uint64_t next, bool eof,
+                               const std::string &frames_hex);
+std::string renderInstallResponse(const std::string &id,
+                                  std::uint64_t installed,
+                                  std::uint64_t duplicates);
 /// @}
 
 /** Scheme name as the protocol spells it (hw | swinc | swtr). */

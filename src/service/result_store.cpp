@@ -4,69 +4,11 @@
 #include <functional>
 #include <vector>
 
-#include "hashing/crc64.hpp"
+#include "service/frame.hpp"
 #include "support/logging.hpp"
 
 namespace icheck::service
 {
-
-namespace
-{
-
-constexpr std::uint32_t frameMagic = 0x31524349; // "ICR1" little-endian.
-constexpr std::size_t headerBytes = 4 + 4 + 4 + 8;
-
-// Guards against frames claiming absurd sizes when a torn header
-// happens to keep a valid magic: no key or payload in this repo comes
-// near these bounds.
-constexpr std::uint32_t maxKeyLen = 1 << 16;
-constexpr std::uint32_t maxPayloadLen = 1 << 28;
-
-void
-putU32(std::string &out, std::uint32_t value)
-{
-    for (int shift = 0; shift < 32; shift += 8)
-        out += static_cast<char>((value >> shift) & 0xff);
-}
-
-void
-putU64(std::string &out, std::uint64_t value)
-{
-    for (int shift = 0; shift < 64; shift += 8)
-        out += static_cast<char>((value >> shift) & 0xff);
-}
-
-std::uint32_t
-readU32(const char *bytes)
-{
-    std::uint32_t value = 0;
-    for (int i = 0; i < 4; ++i)
-        value |= static_cast<std::uint32_t>(
-                     static_cast<unsigned char>(bytes[i]))
-                 << (8 * i);
-    return value;
-}
-
-std::uint64_t
-readU64(const char *bytes)
-{
-    std::uint64_t value = 0;
-    for (int i = 0; i < 8; ++i)
-        value |= static_cast<std::uint64_t>(
-                     static_cast<unsigned char>(bytes[i]))
-                 << (8 * i);
-    return value;
-}
-
-std::uint64_t
-frameCrc(const std::string &key, const std::string &payload)
-{
-    std::uint64_t crc =
-        hashing::Crc64::compute(key.data(), key.size(), 0);
-    return hashing::Crc64::compute(payload.data(), payload.size(), crc);
-}
-
-} // namespace
 
 ResultStore::ResultStore() = default;
 
@@ -95,24 +37,26 @@ ResultStore::replayFile()
     file.seekg(0);
 
     std::uint64_t offset = 0;
-    std::vector<char> header(headerBytes);
+    std::vector<char> header(frameHeaderBytes);
     std::string key;
     std::string payload;
-    while (offset + headerBytes <= file_size) {
+    while (offset + frameHeaderBytes <= file_size) {
         file.seekg(static_cast<std::streamoff>(offset));
-        file.read(header.data(), static_cast<std::streamsize>(headerBytes));
-        if (file.gcount() != static_cast<std::streamsize>(headerBytes))
+        file.read(header.data(),
+                  static_cast<std::streamsize>(frameHeaderBytes));
+        if (file.gcount() !=
+            static_cast<std::streamsize>(frameHeaderBytes))
             break;
         const std::uint32_t magic = readU32(header.data());
         const std::uint32_t key_len = readU32(header.data() + 4);
         const std::uint32_t payload_len = readU32(header.data() + 8);
         const std::uint64_t crc = readU64(header.data() + 12);
-        if (magic != frameMagic || key_len == 0 || key_len > maxKeyLen ||
-            payload_len > maxPayloadLen)
+        if (magic != frameMagic || key_len == 0 ||
+            key_len > frameMaxKeyLen || payload_len > frameMaxPayloadLen)
             break;
         const std::uint64_t body = static_cast<std::uint64_t>(key_len) +
                                    payload_len;
-        if (offset + headerBytes + body > file_size)
+        if (offset + frameHeaderBytes + body > file_size)
             break;
         key.resize(key_len);
         payload.resize(payload_len);
@@ -124,12 +68,12 @@ ResultStore::replayFile()
             break;
 
         Slot slot;
-        slot.offset = offset + headerBytes + key_len;
+        slot.offset = offset + frameHeaderBytes + key_len;
         slot.payloadLen = payload_len;
         shards[shardOf(key)].map.emplace(key, slot);
         // icheck-lint: allow(L1): replay runs in the ctor, pre-threads
         ++counters.framesLoaded;
-        offset += headerBytes + body;
+        offset += frameHeaderBytes + body;
     }
     file.clear();
 
@@ -190,8 +134,11 @@ ResultStore::get(const std::string &key)
         std::lock_guard<std::mutex> stats_lock(statsMu);
         ++counters.getHits;
     }
-    if (!persistent())
-        return slot.inlinePayload;
+    if (!persistent()) {
+        std::lock_guard<std::mutex> lock(fileMu);
+        return journal.substr(static_cast<std::size_t>(slot.offset),
+                              slot.payloadLen);
+    }
 
     std::string payload(slot.payloadLen, '\0');
     {
@@ -211,9 +158,9 @@ ResultStore::get(const std::string &key)
 bool
 ResultStore::put(const std::string &key, const std::string &payload)
 {
-    ICHECK_ASSERT(!key.empty() && key.size() <= maxKeyLen,
+    ICHECK_ASSERT(!key.empty() && key.size() <= frameMaxKeyLen,
                   "store key out of bounds");
-    ICHECK_ASSERT(payload.size() <= maxPayloadLen,
+    ICHECK_ASSERT(payload.size() <= frameMaxPayloadLen,
                   "store payload out of bounds");
     Shard &shard = shards[shardOf(key)];
     {
@@ -225,29 +172,22 @@ ResultStore::put(const std::string &key, const std::string &payload)
         }
     }
 
+    const std::string frame = encodeFrame(key, payload);
     Slot slot;
-    if (!persistent()) {
-        slot.inlinePayload = payload;
-        slot.payloadLen = static_cast<std::uint32_t>(payload.size());
-    } else {
-        std::string frame;
-        frame.reserve(headerBytes + key.size() + payload.size());
-        putU32(frame, frameMagic);
-        putU32(frame, static_cast<std::uint32_t>(key.size()));
-        putU32(frame, static_cast<std::uint32_t>(payload.size()));
-        putU64(frame, frameCrc(key, payload));
-        frame += key;
-        frame += payload;
-
+    {
         std::lock_guard<std::mutex> lock(fileMu);
-        file.seekp(static_cast<std::streamoff>(fileEnd));
-        file.write(frame.data(),
-                   static_cast<std::streamsize>(frame.size()));
-        file.flush();
-        if (!file)
-            throw StoreError("write to result store '" + filePath +
-                             "' failed");
-        slot.offset = fileEnd + headerBytes + key.size();
+        if (persistent()) {
+            file.seekp(static_cast<std::streamoff>(fileEnd));
+            file.write(frame.data(),
+                       static_cast<std::streamsize>(frame.size()));
+            file.flush();
+            if (!file)
+                throw StoreError("write to result store '" + filePath +
+                                 "' failed");
+        } else {
+            journal += frame;
+        }
+        slot.offset = fileEnd + frameHeaderBytes + key.size();
         slot.payloadLen = static_cast<std::uint32_t>(payload.size());
         fileEnd += frame.size();
     }
@@ -270,6 +210,82 @@ ResultStore::put(const std::string &key, const std::string &payload)
         ++counters.puts;
     }
     return true;
+}
+
+std::string
+ResultStore::readLog(std::uint64_t from, std::size_t max_bytes,
+                     std::uint64_t &next, bool &eof)
+{
+    std::lock_guard<std::mutex> lock(fileMu);
+    if (from > fileEnd)
+        throw StoreError("log cursor " + std::to_string(from) +
+                         " past log end " + std::to_string(fileEnd));
+
+    // Walk frame headers from the cursor, keeping whole frames only —
+    // a puller never has to reassemble a frame split across responses.
+    std::string out;
+    std::uint64_t offset = from;
+    char header[frameHeaderBytes];
+    while (offset < fileEnd) {
+        if (offset + frameHeaderBytes > fileEnd)
+            throw StoreError("log cursor not at a frame boundary");
+        if (persistent()) {
+            file.seekg(static_cast<std::streamoff>(offset));
+            file.read(header,
+                      static_cast<std::streamsize>(frameHeaderBytes));
+            if (file.gcount() !=
+                static_cast<std::streamsize>(frameHeaderBytes)) {
+                file.clear();
+                throw StoreError("log read failed at offset " +
+                                 std::to_string(offset));
+            }
+        } else {
+            journal.copy(header, frameHeaderBytes,
+                         static_cast<std::size_t>(offset));
+        }
+        const std::uint32_t magic = readU32(header);
+        const std::uint32_t key_len = readU32(header + 4);
+        const std::uint32_t payload_len = readU32(header + 8);
+        if (magic != frameMagic || key_len == 0 ||
+            key_len > frameMaxKeyLen || payload_len > frameMaxPayloadLen)
+            throw StoreError("log cursor not at a frame boundary");
+        const std::uint64_t frame_size =
+            frameHeaderBytes + static_cast<std::uint64_t>(key_len) +
+            payload_len;
+        if (offset + frame_size > fileEnd)
+            throw StoreError("log cursor not at a frame boundary");
+        if (!out.empty() && out.size() + frame_size > max_bytes)
+            break;
+        const std::size_t start = out.size();
+        out.resize(start + static_cast<std::size_t>(frame_size));
+        if (persistent()) {
+            file.seekg(static_cast<std::streamoff>(offset));
+            file.read(out.data() + start,
+                      static_cast<std::streamsize>(frame_size));
+            if (file.gcount() !=
+                static_cast<std::streamsize>(frame_size)) {
+                file.clear();
+                throw StoreError("log read failed at offset " +
+                                 std::to_string(offset));
+            }
+        } else {
+            journal.copy(out.data() + start,
+                         static_cast<std::size_t>(frame_size),
+                         static_cast<std::size_t>(offset));
+        }
+        offset += frame_size;
+    }
+    file.clear();
+    next = offset;
+    eof = offset == fileEnd;
+    return out;
+}
+
+std::uint64_t
+ResultStore::logBytes() const
+{
+    std::lock_guard<std::mutex> lock(fileMu);
+    return fileEnd;
 }
 
 std::size_t

@@ -85,6 +85,22 @@ class ResultStore
      */
     bool put(const std::string &key, const std::string &payload);
 
+    /**
+     * Raw append-only log bytes for fleet log shipping: whole frames
+     * starting at cursor @p from (a frame boundary — 0, or a @p next
+     * value from a previous call), accumulated until adding another
+     * frame would exceed @p max_bytes. At least one frame is returned
+     * whenever any remains, so a frame larger than @p max_bytes cannot
+     * stall a puller. @p next receives the cursor one past the returned
+     * bytes and @p eof whether it reached the log end. Throws
+     * StoreError when @p from is not a frame boundary.
+     */
+    std::string readLog(std::uint64_t from, std::size_t max_bytes,
+                        std::uint64_t &next, bool &eof);
+
+    /** Total bytes of the append-only frame log (file or in-memory). */
+    std::uint64_t logBytes() const;
+
     std::size_t keyCount() const;
     StoreStats stats() const;
     bool persistent() const { return !filePath.empty(); }
@@ -93,9 +109,9 @@ class ResultStore
   private:
     struct Slot
     {
-        std::uint64_t offset = 0;     ///< Payload offset in the file.
+        /** Payload offset in the log (file, or in-memory journal). */
+        std::uint64_t offset = 0;
         std::uint32_t payloadLen = 0;
-        std::string inlinePayload;    ///< Memory-only mode.
     };
 
     /** Shard for @p key (single-writer lock striping on the index). */
@@ -106,9 +122,12 @@ class ResultStore
     static constexpr std::size_t shardCount = 16;
 
     std::string filePath;
-    mutable std::mutex fileMu; ///< Serializes file append/read/seek.
+    mutable std::mutex fileMu; ///< Serializes log append/read/seek.
     std::fstream file;
-    std::uint64_t fileEnd = 0;
+    /** In-memory frame log when pathless: same bytes a file would hold,
+     *  so log shipping and payload reads work identically. */
+    std::string journal;
+    std::uint64_t fileEnd = 0; ///< Log length (file or journal).
 
     struct Shard
     {

@@ -65,11 +65,21 @@ EventTransport::bind(Machine &m)
 {
     ICHECK_ASSERT(machine == nullptr, "transport already bound");
     machine = &m;
-    const std::size_t n = std::max<std::size_t>(m.numCores(), 1);
-    rings = std::make_unique<EventRing[]>(n);
-    ringCount = n;
-    for (std::size_t i = 0; i < n; ++i)
-        rings[i].init(cfg.ringCapacity);
+    // With the inline drain and no consumer on the access stream every
+    // surviving event is delivered by its own producer in program order,
+    // so the rings would only ever hold one record at a time: dispatch
+    // synchronously instead and skip the per-run ring allocation. Fixed
+    // for the whole bind — interests cannot grow while bound, so a
+    // ring-mode bind never needs to become direct mid-run.
+    direct = !cfg.async && !unionInterest.loads && !unionInterest.stores &&
+             !unionInterest.storeValues && !unionInterest.accessSites;
+    if (!direct) {
+        const std::size_t n = std::max<std::size_t>(m.numCores(), 1);
+        rings = std::make_unique<EventRing[]>(n);
+        ringCount = n;
+        for (std::size_t i = 0; i < n; ++i)
+            rings[i].init(cfg.ringCapacity);
+    }
     published.store(0, std::memory_order_relaxed);
     delivered.store(0, std::memory_order_relaxed);
     fullStalls = 0;
@@ -88,6 +98,17 @@ EventTransport::unbind()
     machine = nullptr;
     rings.reset();
     ringCount = 0;
+    direct = false;
+}
+
+void
+EventTransport::deliverDirect(const EventRecord &rec)
+{
+    published.store(published.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_relaxed);
+    deliver(rec);
+    delivered.store(delivered.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_relaxed);
 }
 
 EventRecord *
@@ -129,6 +150,19 @@ void
 EventTransport::publishBlock(std::size_t ring, EventKind kind,
                              const mem::Block &block)
 {
+    if (direct) {
+        published.store(published.load(std::memory_order_relaxed) + 1,
+                        std::memory_order_relaxed);
+        for (const Consumer &c : consumers) {
+            if (kind == EventKind::Alloc)
+                c.listener->onAlloc(block);
+            else
+                c.listener->onFree(block);
+        }
+        delivered.store(delivered.load(std::memory_order_relaxed) + 1,
+                        std::memory_order_relaxed);
+        return;
+    }
     std::uint64_t index;
     {
         std::lock_guard<std::mutex> lock(side.mu);
@@ -145,6 +179,15 @@ void
 EventTransport::publishOutput(std::size_t ring, ThreadId tid,
                               const std::uint8_t *data, std::size_t len)
 {
+    if (direct) {
+        published.store(published.load(std::memory_order_relaxed) + 1,
+                        std::memory_order_relaxed);
+        for (const Consumer &c : consumers)
+            c.listener->onOutput(tid, data, len);
+        delivered.store(delivered.load(std::memory_order_relaxed) + 1,
+                        std::memory_order_relaxed);
+        return;
+    }
     std::uint64_t index;
     {
         std::lock_guard<std::mutex> lock(side.mu);
@@ -345,7 +388,7 @@ EventTransport::stopConsumer()
 void
 EventTransport::drainAtDecision()
 {
-    if (!armed())
+    if (!armed() || direct)
         return;
     if (!cfg.async) {
         drainReadyNow();
@@ -360,7 +403,7 @@ EventTransport::drainAtDecision()
 void
 EventTransport::drainAll()
 {
-    if (!armed())
+    if (!armed() || direct)
         return;
     if (cfg.async && consumerRunning)
         waitDelivered(published.load(std::memory_order_relaxed));

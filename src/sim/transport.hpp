@@ -119,6 +119,16 @@ class EventTransport
     void unbind();
 
     bool armed() const { return !consumers.empty(); }
+
+    /** True when records bypass the rings entirely: with the inline
+     *  drain and no consumer interest in the access stream, every event
+     *  left (sync/slice/checkpoint/alloc/free/output) is produced and
+     *  consumed by the producing thread in program order, so the
+     *  transport dispatches it synchronously — no per-run ring
+     *  allocation, no side-table copy, no drain at decisions. The
+     *  daemon and plain `icheck check` (output hasher only) land here. */
+    bool directDispatch() const { return direct; }
+
     bool wantsLoads() const { return unionInterest.loads; }
     bool wantsStores() const { return unionInterest.stores; }
     bool wantsStoreValues() const { return unionInterest.storeValues; }
@@ -158,6 +168,10 @@ class EventTransport
     void
     publish(std::size_t ring, const EventRecord &rec)
     {
+        if (direct) {
+            deliverDirect(rec);
+            return;
+        }
         EventRecord *slot = beginPublish(ring);
         const std::uint64_t seq = slot->seq;
         *slot = rec;
@@ -215,6 +229,10 @@ class EventTransport
 
     void recomputeInterest();
 
+    /** Direct-dispatch path of publish(): deliver @p rec synchronously
+     *  and keep the published/delivered counters truthful. */
+    void deliverDirect(const EventRecord &rec);
+
     /** Full-ring path of beginPublish(): drain (inline) or wait (async)
      *  until a slot frees up, then return it. */
     EventRecord *reserveSlow(EventRing &ring);
@@ -245,6 +263,7 @@ class EventTransport
     std::vector<Consumer> consumers;
     ConsumerInterest unionInterest{false, false, false, false, false};
     bool anyDecisionCoupled = false;
+    bool direct = false; ///< Fixed at bind(); see directDispatch().
 
     std::atomic<std::uint64_t> published{0};
     std::atomic<std::uint64_t> delivered{0};

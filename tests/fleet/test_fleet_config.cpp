@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The fleet-config parser: strict field validation (the router refuses
+ * to guess at a typo'd topology), plus an every-prefix truncation sweep
+ * — a router reading a half-written config must always get a clean
+ * error, never a partial fleet.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "fleet/fleet_config.hpp"
+
+namespace fleet = icheck::fleet;
+
+namespace
+{
+
+const char *const kFullDoc =
+    "{\"vnodes\":32,\"ship\":\"sync\",\"pullMaxBytes\":8192,"
+    "\"pullIntervalMs\":50,\"backends\":["
+    "{\"name\":\"b0\",\"socket\":\"/tmp/b0.sock\"},"
+    "{\"name\":\"b1\",\"socket\":\"/tmp/b1.sock\"},"
+    "{\"name\":\"b2\",\"socket\":\"/tmp/b2.sock\"}]}";
+
+} // namespace
+
+TEST(FleetConfig, ParsesAFullDocument)
+{
+    const fleet::ParsedFleetConfig parsed =
+        fleet::parseFleetConfig(kFullDoc);
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    const fleet::FleetTopology &topology = *parsed.topology;
+    ASSERT_EQ(topology.backends.size(), 3u);
+    EXPECT_EQ(topology.backends[0].name, "b0");
+    EXPECT_EQ(topology.backends[2].socket, "/tmp/b2.sock");
+    EXPECT_EQ(topology.vnodes, 32u);
+    EXPECT_TRUE(topology.syncShip);
+    EXPECT_EQ(topology.pullMaxBytes, 8192u);
+    EXPECT_EQ(topology.pullIntervalMs, 50);
+}
+
+TEST(FleetConfig, DefaultsApplyWhenFieldsAreOmitted)
+{
+    const fleet::ParsedFleetConfig parsed = fleet::parseFleetConfig(
+        "{\"backends\":[{\"name\":\"solo\",\"socket\":\"/tmp/s.sock\"}]}");
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    EXPECT_EQ(parsed.topology->vnodes, 64u);
+    EXPECT_FALSE(parsed.topology->syncShip);
+    EXPECT_EQ(parsed.topology->pullMaxBytes, 24576u);
+    EXPECT_EQ(parsed.topology->pullIntervalMs, 20);
+}
+
+TEST(FleetConfig, RejectsUnknownFields)
+{
+    EXPECT_FALSE(fleet::parseFleetConfig(
+                     "{\"backends\":[{\"name\":\"a\",\"socket\":\"s\"}],"
+                     "\"shards\":4}")
+                     .ok());
+    EXPECT_FALSE(fleet::parseFleetConfig(
+                     "{\"backends\":[{\"name\":\"a\",\"socket\":\"s\","
+                     "\"weight\":2}]}")
+                     .ok());
+}
+
+TEST(FleetConfig, RejectsMissingOrEmptyBackends)
+{
+    EXPECT_FALSE(fleet::parseFleetConfig("{}").ok());
+    EXPECT_FALSE(fleet::parseFleetConfig("{\"backends\":[]}").ok());
+    EXPECT_FALSE(fleet::parseFleetConfig("{\"backends\":7}").ok());
+    EXPECT_FALSE(fleet::parseFleetConfig("[1,2]").ok());
+}
+
+TEST(FleetConfig, RejectsDuplicateNamesAndSockets)
+{
+    EXPECT_FALSE(
+        fleet::parseFleetConfig(
+            "{\"backends\":[{\"name\":\"a\",\"socket\":\"s1\"},"
+            "{\"name\":\"a\",\"socket\":\"s2\"}]}")
+            .ok());
+    EXPECT_FALSE(
+        fleet::parseFleetConfig(
+            "{\"backends\":[{\"name\":\"a\",\"socket\":\"s\"},"
+            "{\"name\":\"b\",\"socket\":\"s\"}]}")
+            .ok());
+}
+
+TEST(FleetConfig, RejectsInvalidBackendNames)
+{
+    // '#' delimits vnode labels on the ring, so names cannot carry it.
+    EXPECT_FALSE(fleet::parseFleetConfig(
+                     "{\"backends\":[{\"name\":\"a#0\",\"socket\":\"s\"}]}")
+                     .ok());
+    EXPECT_FALSE(fleet::parseFleetConfig(
+                     "{\"backends\":[{\"name\":\"\",\"socket\":\"s\"}]}")
+                     .ok());
+    const std::string long_name(65, 'x');
+    EXPECT_FALSE(fleet::parseFleetConfig(
+                     "{\"backends\":[{\"name\":\"" + long_name +
+                     "\",\"socket\":\"s\"}]}")
+                     .ok());
+    EXPECT_FALSE(fleet::parseFleetConfig(
+                     "{\"backends\":[{\"name\":\"a\",\"socket\":\"\"}]}")
+                     .ok());
+}
+
+TEST(FleetConfig, RejectsOutOfRangeNumbers)
+{
+    const std::string backends =
+        "\"backends\":[{\"name\":\"a\",\"socket\":\"s\"}]";
+    EXPECT_FALSE(
+        fleet::parseFleetConfig("{" + backends + ",\"vnodes\":0}").ok());
+    EXPECT_FALSE(
+        fleet::parseFleetConfig("{" + backends + ",\"vnodes\":1025}")
+            .ok());
+    EXPECT_FALSE(
+        fleet::parseFleetConfig("{" + backends + ",\"pullMaxBytes\":63}")
+            .ok());
+    EXPECT_FALSE(fleet::parseFleetConfig(
+                     "{" + backends + ",\"pullMaxBytes\":1048577}")
+                     .ok());
+    EXPECT_FALSE(fleet::parseFleetConfig(
+                     "{" + backends + ",\"pullIntervalMs\":0}")
+                     .ok());
+    EXPECT_FALSE(fleet::parseFleetConfig(
+                     "{" + backends + ",\"ship\":\"both\"}")
+                     .ok());
+    EXPECT_FALSE(
+        fleet::parseFleetConfig("{" + backends + ",\"ship\":7}").ok());
+}
+
+TEST(FleetConfig, EveryPrefixTruncationFailsCleanly)
+{
+    // A JSON object is only complete at its final byte, so every
+    // proper prefix must parse to an error — with a message, without
+    // crashing, and without yielding a topology.
+    const std::string doc = kFullDoc;
+    for (std::size_t len = 0; len < doc.size(); ++len) {
+        const fleet::ParsedFleetConfig parsed =
+            fleet::parseFleetConfig(doc.substr(0, len));
+        EXPECT_FALSE(parsed.ok()) << "prefix length " << len;
+        EXPECT_FALSE(parsed.error.empty()) << "prefix length " << len;
+        EXPECT_FALSE(parsed.topology.has_value())
+            << "prefix length " << len;
+    }
+    EXPECT_TRUE(fleet::parseFleetConfig(doc).ok());
+}
+
+TEST(FleetConfig, EveryPrefixWithTrailingGarbageAlsoFails)
+{
+    // The same sweep with bytes appended after the cut: a torn write
+    // followed by unrelated data must not resurrect a valid parse.
+    const std::string doc = kFullDoc;
+    for (std::size_t len = 1; len < doc.size(); len += 7) {
+        const fleet::ParsedFleetConfig parsed = fleet::parseFleetConfig(
+            doc.substr(0, len) + std::string("\0garbage", 8));
+        EXPECT_FALSE(parsed.ok()) << "prefix length " << len;
+    }
+}

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * The log-shipping substrate: CRC frame encode/decode, hex armoring,
+ * and the ResultStore readLog/install round trip the router's replica
+ * path is built on. Every hop re-verifies frame CRCs, so a corrupt or
+ * torn log must decode to exactly the intact prefix — silently
+ * ingesting a damaged frame would poison the replica.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/frame.hpp"
+#include "service/result_store.hpp"
+
+namespace service = icheck::service;
+
+namespace
+{
+
+std::string
+threeFrameLog()
+{
+    return service::encodeFrame("check|radix#u0", "payload-zero") +
+           service::encodeFrame("check|radix#log", "the log body") +
+           service::encodeFrame("resp#c1",
+                                "check|radix\n{\"id\":\"c1\"}");
+}
+
+} // namespace
+
+TEST(FrameShip, EncodeDecodeRoundTrip)
+{
+    const std::string log = threeFrameLog();
+    std::vector<service::Frame> frames;
+    bool corrupt = true;
+    const std::size_t consumed =
+        service::decodeFrames(log, frames, &corrupt);
+    EXPECT_EQ(consumed, log.size());
+    EXPECT_FALSE(corrupt);
+    ASSERT_EQ(frames.size(), 3u);
+    EXPECT_EQ(frames[0].key, "check|radix#u0");
+    EXPECT_EQ(frames[0].payload, "payload-zero");
+    EXPECT_EQ(frames[2].key, "resp#c1");
+    EXPECT_EQ(frames[2].payload, "check|radix\n{\"id\":\"c1\"}");
+}
+
+TEST(FrameShip, EmptyPayloadRoundTrip)
+{
+    // Keys must be non-empty (the codec asserts), but a zero-byte
+    // payload is a legal frame and must survive the trip.
+    const std::string log = service::encodeFrame("k#u0", "");
+    std::vector<service::Frame> frames;
+    bool corrupt = true;
+    EXPECT_EQ(service::decodeFrames(log, frames, &corrupt), log.size());
+    EXPECT_FALSE(corrupt);
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].key, "k#u0");
+    EXPECT_TRUE(frames[0].payload.empty());
+}
+
+TEST(FrameShip, EveryTruncationDecodesTheIntactPrefixOnly)
+{
+    // A torn tail (power loss, mid-ship kill) is not corruption: the
+    // decoder must consume exactly the whole frames before the tear
+    // and report a clean stop.
+    const std::string log = threeFrameLog();
+    const std::string f0 = service::encodeFrame("check|radix#u0",
+                                                "payload-zero");
+    const std::string f1 = service::encodeFrame("check|radix#log",
+                                                "the log body");
+    for (std::size_t len = 0; len < log.size(); ++len) {
+        std::vector<service::Frame> frames;
+        bool corrupt = true;
+        const std::size_t consumed = service::decodeFrames(
+            std::string_view(log.data(), len), frames, &corrupt);
+        EXPECT_FALSE(corrupt) << "truncation at " << len;
+        std::size_t expect_frames = 0;
+        std::size_t expect_consumed = 0;
+        if (len >= f0.size() + f1.size()) {
+            expect_frames = 2;
+            expect_consumed = f0.size() + f1.size();
+        } else if (len >= f0.size()) {
+            expect_frames = 1;
+            expect_consumed = f0.size();
+        }
+        EXPECT_EQ(frames.size(), expect_frames) << "truncation at " << len;
+        EXPECT_EQ(consumed, expect_consumed) << "truncation at " << len;
+    }
+}
+
+TEST(FrameShip, CorruptPayloadByteSetsTheCorruptFlag)
+{
+    std::string log = threeFrameLog();
+    // Flip one byte inside the first frame's payload region.
+    log[service::frameHeaderBytes + 15] ^= 0x40;
+    std::vector<service::Frame> frames;
+    bool corrupt = false;
+    const std::size_t consumed =
+        service::decodeFrames(log, frames, &corrupt);
+    EXPECT_TRUE(corrupt);
+    EXPECT_TRUE(frames.empty());
+    EXPECT_EQ(consumed, 0u);
+}
+
+TEST(FrameShip, BadMagicSetsTheCorruptFlag)
+{
+    std::string log = threeFrameLog();
+    log[0] ^= 0xFF;
+    std::vector<service::Frame> frames;
+    bool corrupt = false;
+    service::decodeFrames(log, frames, &corrupt);
+    EXPECT_TRUE(corrupt);
+    EXPECT_TRUE(frames.empty());
+}
+
+TEST(FrameShip, MidLogCorruptionKeepsTheCleanPrefix)
+{
+    const std::string f0 = service::encodeFrame("a#u0", "first");
+    std::string log = f0 + service::encodeFrame("b#u0", "second");
+    log[f0.size() + 2] ^= 0x01; // Damage the second frame's header.
+    std::vector<service::Frame> frames;
+    bool corrupt = false;
+    const std::size_t consumed =
+        service::decodeFrames(log, frames, &corrupt);
+    EXPECT_TRUE(corrupt);
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].payload, "first");
+    EXPECT_EQ(consumed, f0.size());
+}
+
+TEST(FrameShip, HexArmorRoundTrips)
+{
+    const std::string log = threeFrameLog();
+    const std::string hex = service::hexEncode(log);
+    EXPECT_EQ(hex.size(), log.size() * 2);
+    const auto decoded = service::hexDecode(hex);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, log);
+}
+
+TEST(FrameShip, HexDecodeRejectsBadInput)
+{
+    EXPECT_FALSE(service::hexDecode("abc").has_value());  // Odd length.
+    EXPECT_FALSE(service::hexDecode("zz").has_value());   // Not hex.
+    EXPECT_FALSE(service::hexDecode("4 ").has_value());
+    const auto empty = service::hexDecode("");
+    ASSERT_TRUE(empty.has_value());
+    EXPECT_TRUE(empty->empty());
+}
+
+TEST(FrameShip, ReadLogPagesWholeFramesFromAnyBoundary)
+{
+    service::ResultStore store;
+    store.put("k0", "payload-0");
+    store.put("k1", std::string(300, 'x'));
+    store.put("k2", "payload-2");
+
+    // Page with a max_bytes smaller than the big middle frame: each
+    // call must still return at least one whole frame and advance the
+    // cursor to a frame boundary.
+    std::uint64_t cursor = 0;
+    bool eof = false;
+    std::vector<service::Frame> collected;
+    while (!eof) {
+        std::uint64_t next = 0;
+        const std::string chunk = store.readLog(cursor, 64, next, eof);
+        if (!chunk.empty()) {
+            bool corrupt = false;
+            std::vector<service::Frame> frames;
+            EXPECT_EQ(service::decodeFrames(chunk, frames, &corrupt),
+                      chunk.size());
+            EXPECT_FALSE(corrupt);
+            collected.insert(collected.end(), frames.begin(),
+                             frames.end());
+        }
+        EXPECT_GE(next, cursor);
+        cursor = next;
+    }
+    ASSERT_EQ(collected.size(), 3u);
+    EXPECT_EQ(collected[0].key, "k0");
+    EXPECT_EQ(collected[1].payload, std::string(300, 'x'));
+    EXPECT_EQ(cursor, store.logBytes());
+}
+
+TEST(FrameShip, ReadLogRejectsNonBoundaryCursors)
+{
+    service::ResultStore store;
+    store.put("k0", "payload");
+    std::uint64_t next = 0;
+    bool eof = false;
+    EXPECT_THROW(store.readLog(3, 4096, next, eof),
+                 service::StoreError);
+    EXPECT_THROW(store.readLog(store.logBytes() + 8, 4096, next, eof),
+                 service::StoreError);
+}
+
+TEST(FrameShip, ShipAndInstallReplicatesAStoreExactly)
+{
+    // The full replica path in miniature: read the source log, armor
+    // it, unarmor it, decode, install into a fresh store — every key
+    // answers identically and duplicate installs are no-ops.
+    service::ResultStore source;
+    source.put("check|radix#u0", "unit zero");
+    source.put("check|radix#log", "log bytes");
+    source.put("resp#c1", "check|radix\nresponse line");
+
+    std::uint64_t next = 0;
+    bool eof = false;
+    const std::string log =
+        source.readLog(0, 1 << 20, next, eof);
+    EXPECT_TRUE(eof);
+
+    const auto unarmored = service::hexDecode(service::hexEncode(log));
+    ASSERT_TRUE(unarmored.has_value());
+    std::vector<service::Frame> frames;
+    bool corrupt = false;
+    service::decodeFrames(*unarmored, frames, &corrupt);
+    ASSERT_FALSE(corrupt);
+    ASSERT_EQ(frames.size(), 3u);
+
+    service::ResultStore replica;
+    for (const service::Frame &frame : frames)
+        EXPECT_TRUE(replica.put(frame.key, frame.payload));
+    for (const service::Frame &frame : frames)
+        EXPECT_FALSE(replica.put(frame.key, frame.payload));
+
+    for (const char *key :
+         {"check|radix#u0", "check|radix#log", "resp#c1"}) {
+        const auto expected = source.get(key);
+        const auto got = replica.get(key);
+        ASSERT_TRUE(expected.has_value());
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(*got, *expected) << key;
+    }
+    EXPECT_EQ(replica.logBytes(), source.logBytes());
+}

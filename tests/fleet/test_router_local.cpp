@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Router request handling that must work without any live backend:
+ * local ping, reserved-id policing, backend-internal op rejection,
+ * malformed lines, and the no-owner error path. The full data path
+ * (sharding, shipping, failover) is exercised end-to-end by the
+ * fleet_identity_* and fleet-smoke harness tests, which spawn real
+ * backends.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fleet/fleet_config.hpp"
+#include "fleet/router.hpp"
+
+namespace fleet = icheck::fleet;
+
+namespace
+{
+
+fleet::FleetTopology
+twoBackendTopology()
+{
+    fleet::FleetTopology topology;
+    topology.backends.push_back(
+        fleet::BackendAddress{"b0", "/nonexistent/b0.sock"});
+    topology.backends.push_back(
+        fleet::BackendAddress{"b1", "/nonexistent/b1.sock"});
+    return topology;
+}
+
+/** handleClientLine responds synchronously on these local paths. */
+std::string
+ask(fleet::Router &router, const std::string &line)
+{
+    std::string response;
+    router.handleClientLine(
+        line, [&response](const std::string &r) { response = r; });
+    return response;
+}
+
+} // namespace
+
+TEST(RouterLocal, AnswersPingWithoutBackends)
+{
+    fleet::Router router(twoBackendTopology(), "/nonexistent/router.sock");
+    const std::string response =
+        ask(router, "{\"id\":\"p1\",\"op\":\"ping\"}");
+    // Byte-identical to a backend's pong: the router is transparent
+    // even for the one op it answers itself.
+    EXPECT_EQ(response,
+              "{\"id\":\"p1\",\"status\":\"ok\",\"pong\":true}");
+}
+
+TEST(RouterLocal, RejectsReservedIdPrefix)
+{
+    fleet::Router router(twoBackendTopology(), "/nonexistent/router.sock");
+    const std::string response = ask(
+        router, "{\"id\":\"__fleet:evil\",\"op\":\"ping\"}");
+    EXPECT_NE(response.find("\"status\":\"error\""), std::string::npos);
+    EXPECT_NE(response.find("reserved"), std::string::npos);
+    EXPECT_EQ(router.stats().protocolErrors, 1u);
+}
+
+TEST(RouterLocal, RejectsBackendInternalOps)
+{
+    fleet::Router router(twoBackendTopology(), "/nonexistent/router.sock");
+    for (const char *line :
+         {"{\"id\":\"x1\",\"op\":\"pull\",\"from\":0}",
+          "{\"id\":\"x2\",\"op\":\"install\",\"frames\":\"\"}"}) {
+        const std::string response = ask(router, line);
+        EXPECT_NE(response.find("\"status\":\"error\""),
+                  std::string::npos)
+            << line;
+        EXPECT_NE(response.find("backend-internal"), std::string::npos)
+            << line;
+    }
+}
+
+TEST(RouterLocal, RejectsMalformedLines)
+{
+    fleet::Router router(twoBackendTopology(), "/nonexistent/router.sock");
+    for (const char *line :
+         {"not json", "{\"op\":\"ping\"}", "{\"id\":\"a\"}",
+          "{\"id\":\"a\",\"op\":\"launch\"}"}) {
+        const std::string response = ask(router, line);
+        EXPECT_NE(response.find("\"status\":\"error\""),
+                  std::string::npos)
+            << line;
+    }
+    EXPECT_EQ(router.stats().protocolErrors, 4u);
+}
+
+TEST(RouterLocal, ChecksFailCleanlyWithAnEmptyRing)
+{
+    // start() was never called, so no backend ever joined the ring:
+    // a check must get a crisp error, not a hang or a crash.
+    fleet::Router router(twoBackendTopology(), "/nonexistent/router.sock");
+    const std::string response = ask(
+        router,
+        "{\"id\":\"c1\",\"op\":\"check\",\"app\":\"radix\",\"runs\":4}");
+    EXPECT_NE(response.find("\"status\":\"error\""), std::string::npos);
+    EXPECT_NE(response.find("no live backend"), std::string::npos);
+}
+
+TEST(RouterLocal, StatsReportZeroAliveBackends)
+{
+    fleet::Router router(twoBackendTopology(), "/nonexistent/router.sock");
+    const std::string response =
+        ask(router, "{\"id\":\"s1\",\"op\":\"stats\"}");
+    EXPECT_NE(response.find("\"status\":\"ok\""), std::string::npos);
+    EXPECT_NE(response.find("\"backends\":2"), std::string::npos);
+    EXPECT_NE(response.find("\"aliveBackends\":0"), std::string::npos);
+}
+
+TEST(RouterLocal, StartFailsWhenABackendIsUnreachable)
+{
+    fleet::Router router(twoBackendTopology(), "/nonexistent/router.sock");
+    EXPECT_FALSE(router.start());
+}

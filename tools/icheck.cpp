@@ -18,6 +18,9 @@
  *   icheck verify [--runs N] [--jobs N]
  *   icheck serve [--socket PATH] [--store FILE] [--jobs N]
  *                [--dispatchers N] [--queue-depth N]
+ *   icheck route --socket PATH (--config FILE | --backend NAME=SOCK...)
+ *                [--vnodes N] [--ship sync|async]
+ *                [--pull-interval-ms N]
  *
  * Campaigns fan their N seeded runs out across --jobs worker threads
  * (default: hardware concurrency); the report is bit-identical for every
@@ -35,6 +38,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <memory>
 #include <optional>
 #include <string>
@@ -53,6 +57,8 @@
 #include "race/race_log.hpp"
 #include "runtime/parallel_driver.hpp"
 #include "runtime/parallel_explore.hpp"
+#include "fleet/fleet_config.hpp"
+#include "fleet/router.hpp"
 #include "service/daemon.hpp"
 #include "service/serve_loop.hpp"
 #include "support/exit_codes.hpp"
@@ -94,6 +100,10 @@ usage()
         "  icheck serve [--socket PATH] [--store FILE] [--jobs N]\n"
         "               [--dispatchers N] [--queue-depth N]\n"
         "               [--max-line-bytes N]\n"
+        "  icheck route --socket PATH (--config FILE |"
+        " --backend NAME=SOCK...)\n"
+        "               [--vnodes N] [--ship sync|async]\n"
+        "               [--pull-interval-ms N]\n"
         "\n"
         "--jobs N fans campaign runs out over N worker threads (default:\n"
         "hardware concurrency); reports are bit-identical for any N.\n"
@@ -126,6 +136,14 @@ usage()
         "answers one JSONL response per line; --store FILE persists\n"
         "results so a restarted daemon resumes without re-running\n"
         "completed work.\n"
+        "route fronts N serve backends: check requests shard by\n"
+        "consistent hashing on the canonical campaign key, responses\n"
+        "are byte-identical to a direct backend, and each backend's\n"
+        "CRC frame log is continuously replicated so a killed\n"
+        "backend's completed units resume on the survivors. --ship\n"
+        "sync holds each check response until its frames are\n"
+        "replicated (lossless failover); async (default) ships on a\n"
+        "--pull-interval-ms timer.\n"
         "\n"
         "exit codes:\n"
         "  0  success; for check: externally deterministic\n"
@@ -682,6 +700,77 @@ cmdServe(Args &args)
 }
 
 int
+cmdRoute(Args &args)
+{
+    const std::optional<std::string> socket_path = args.value("--socket");
+    if (!socket_path.has_value())
+        ICHECK_FATAL("route requires --socket PATH to listen on");
+
+    fleet::FleetTopology topology;
+    if (const auto config_path = args.value("--config")) {
+        std::ifstream in(*config_path);
+        if (!in)
+            ICHECK_FATAL("cannot open --config file '", *config_path,
+                         "'");
+        std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        const fleet::ParsedFleetConfig parsed =
+            fleet::parseFleetConfig(text);
+        if (!parsed.ok())
+            ICHECK_FATAL("--config ", *config_path, ": ", parsed.error);
+        topology = *parsed.topology;
+    } else {
+        while (const auto backend = args.value("--backend")) {
+            const std::size_t eq = backend->find('=');
+            if (eq == std::string::npos || eq == 0 ||
+                eq + 1 == backend->size())
+                ICHECK_FATAL("--backend expects NAME=SOCKET, got '",
+                             *backend, "'");
+            topology.backends.push_back(fleet::BackendAddress{
+                backend->substr(0, eq), backend->substr(eq + 1)});
+        }
+        if (topology.backends.empty())
+            ICHECK_FATAL(
+                "route needs --config FILE or at least one "
+                "--backend NAME=SOCKET");
+    }
+
+    if (const auto vnodes = args.value("--vnodes")) {
+        const std::uint64_t n =
+            std::strtoull(vnodes->c_str(), nullptr, 10);
+        if (n < 1 || n > 1024)
+            ICHECK_FATAL("--vnodes must be in [1, 1024]");
+        topology.vnodes = static_cast<std::size_t>(n);
+    }
+    if (const auto ship = args.value("--ship")) {
+        if (*ship != "sync" && *ship != "async")
+            ICHECK_FATAL("--ship must be sync or async, got '", *ship,
+                         "'");
+        topology.syncShip = *ship == "sync";
+    }
+    if (const auto interval = args.value("--pull-interval-ms")) {
+        const std::uint64_t n =
+            std::strtoull(interval->c_str(), nullptr, 10);
+        if (n < 1 || n > 60000)
+            ICHECK_FATAL("--pull-interval-ms must be in [1, 60000]");
+        topology.pullIntervalMs = static_cast<int>(n);
+    }
+    if (args.leftovers())
+        return usage();
+
+    // Same graceful story as serve: SIGTERM/SIGINT stop accepting and
+    // tear the fleet links down; an explicit client `drain` ships every
+    // backend's log tail and drains the whole fleet first.
+    std::signal(SIGTERM, handleShutdownSignal);
+    std::signal(SIGINT, handleShutdownSignal);
+
+    fleet::Router router(std::move(topology), *socket_path);
+    if (!router.start())
+        return ExitInternal;
+    return router.serve(&g_shutdown_requested);
+}
+
+int
 dispatch(int argc, char **argv)
 {
     if (argc < 2)
@@ -696,6 +785,10 @@ dispatch(int argc, char **argv)
     if (command == "serve") {
         Args args(argc, argv, 2);
         return cmdServe(args);
+    }
+    if (command == "route") {
+        Args args(argc, argv, 2);
+        return cmdRoute(args);
     }
     if (argc < 3)
         return usage();

@@ -10,6 +10,7 @@
  *                [--apps a,b,c] [--seeds K] [--input dev|medium|large]
  *                [--jobs N] [--dispatchers N] [--store FILE]
  *                [--connect SOCKET | --spawn ICHECK_BIN]
+ *                [--fleet N] [--ship sync|async] [--kill-one]
  *                [--verify] [--baseline <json>]
  *
  * Three transports:
@@ -18,6 +19,15 @@
  *   --connect   attach to a daemon already listening on a Unix socket;
  *   --spawn     fork `ICHECK_BIN serve --socket <tmp>`, run the traffic
  *               against it, drain it, and reap it.
+ *
+ * --fleet N (requires --spawn) benchmarks the scale-out path instead:
+ * it measures a direct single backend, then sweeps router-fronted
+ * fleets over backend counts {1,2,4} up to N, reporting aggregate
+ * throughput/latency, the router's p50 overhead vs direct, and the
+ * per-backend request balance, into BENCH_fleet.json. --kill-one
+ * SIGKILLs one backend halfway through the headline burst and requires
+ * every response to still arrive ok (the router's replica + failover
+ * path). --ship picks the fleet's replication mode.
  *
  * The mix cycles apps x seeds, so once every combination has run, later
  * requests repeat earlier work and the daemon's seen-state set answers
@@ -299,26 +309,636 @@ percentile(std::vector<double> sorted, double fraction)
     return sorted[index];
 }
 
+/** Fork-exec @p args (argv[0] is the binary); -1 on fork failure. */
+pid_t
+spawnProcess(const std::vector<std::string> &args)
+{
+    const pid_t pid = ::fork();
+    if (pid != 0)
+        return pid;
+    std::vector<std::string> copy = args;
+    std::vector<char *> exec_argv;
+    for (std::string &arg : copy)
+        exec_argv.push_back(arg.data());
+    exec_argv.push_back(nullptr);
+    ::execv(copy[0].c_str(), exec_argv.data());
+    std::fprintf(stderr, "cannot exec %s\n", copy[0].c_str());
+    std::_Exit(3);
+}
+
+/** Poll-connect until @p path accepts (about five seconds). */
+bool
+awaitSocket(const std::string &path)
+{
+    for (int attempt = 0; attempt < 200; ++attempt) {
+        const int fd = connectSocket(path);
+        if (fd >= 0) {
+            ::close(fd);
+            return true;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    return false;
+}
+
+/** One-off request/response against a Unix socket daemon. */
+std::string
+oneShotRequest(const std::string &socket, const std::string &line)
+{
+    const int fd = connectSocket(socket);
+    if (fd < 0)
+        return {};
+    std::string response = socketRoundtrip(fd, line);
+    ::close(fd);
+    return response;
+}
+
+/** A spawned router-fronted fleet under test. */
+struct Fleet
+{
+    std::vector<pid_t> backendPids;
+    std::vector<std::string> backendSockets;
+    pid_t routerPid = -1;
+    std::string routerSocket;
+};
+
+void
+killFleet(const Fleet &fleet)
+{
+    for (const pid_t pid : fleet.backendPids)
+        if (pid > 0)
+            ::kill(pid, SIGKILL);
+    if (fleet.routerPid > 0)
+        ::kill(fleet.routerPid, SIGKILL);
+    for (const pid_t pid : fleet.backendPids) {
+        int status = 0;
+        if (pid > 0)
+            ::waitpid(pid, &status, 0);
+    }
+    if (fleet.routerPid > 0) {
+        int status = 0;
+        ::waitpid(fleet.routerPid, &status, 0);
+    }
+    for (const std::string &socket : fleet.backendSockets)
+        ::unlink(socket.c_str());
+    ::unlink(fleet.routerSocket.c_str());
+}
+
+std::optional<Fleet>
+spawnFleet(const std::string &bin, int backends, int jobs,
+           int dispatchers, const std::string &ship, const char *tag)
+{
+    Fleet fleet;
+    const std::string prefix =
+        "loadgen-" + std::to_string(::getpid()) + "-" + tag;
+    fleet.routerSocket = prefix + "-router.sock";
+    std::vector<std::string> route_args = {
+        bin, "route", "--socket", fleet.routerSocket, "--ship", ship};
+    for (int b = 0; b < backends; ++b) {
+        const std::string socket =
+            prefix + "-b" + std::to_string(b) + ".sock";
+        const pid_t pid = spawnProcess(
+            {bin, "serve", "--socket", socket, "--jobs",
+             std::to_string(jobs), "--dispatchers",
+             std::to_string(dispatchers)});
+        if (pid < 0) {
+            killFleet(fleet);
+            return std::nullopt;
+        }
+        fleet.backendPids.push_back(pid);
+        fleet.backendSockets.push_back(socket);
+        route_args.push_back("--backend");
+        route_args.push_back("b" + std::to_string(b) + "=" + socket);
+    }
+    for (const std::string &socket : fleet.backendSockets) {
+        if (!awaitSocket(socket)) {
+            std::fprintf(stderr, "fleet backend never came up\n");
+            killFleet(fleet);
+            return std::nullopt;
+        }
+    }
+    fleet.routerPid = spawnProcess(route_args);
+    if (fleet.routerPid < 0 || !awaitSocket(fleet.routerSocket)) {
+        std::fprintf(stderr, "fleet router never came up\n");
+        killFleet(fleet);
+        return std::nullopt;
+    }
+    return fleet;
+}
+
+/**
+ * Drain the fleet through the router (which ships every backend's log
+ * tail first) and reap all processes. Pids in @p killed_pids were
+ * SIGKILLed deliberately and may exit abnormally.
+ */
+bool
+drainFleet(const Fleet &fleet, const std::vector<pid_t> &killed_pids)
+{
+    oneShotRequest(fleet.routerSocket,
+                   "{\"id\":\"lg-drain\",\"op\":\"drain\"}");
+    bool clean = true;
+    const auto reap = [&](pid_t pid) {
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+        const bool was_killed =
+            std::find(killed_pids.begin(), killed_pids.end(), pid) !=
+            killed_pids.end();
+        if (!was_killed &&
+            (!WIFEXITED(status) || WEXITSTATUS(status) != 0))
+            clean = false;
+    };
+    reap(fleet.routerPid);
+    for (const pid_t pid : fleet.backendPids)
+        reap(pid);
+    for (const std::string &socket : fleet.backendSockets)
+        ::unlink(socket.c_str());
+    ::unlink(fleet.routerSocket.c_str());
+    if (!clean)
+        std::fprintf(stderr, "fleet member exited abnormally\n");
+    return clean;
+}
+
+struct BurstResult
+{
+    double wall = 0.0;
+    std::vector<double> latencies; ///< Sorted, all clients merged.
+    std::vector<std::string> responses;
+    int failures = 0;
+};
+
+/**
+ * Replay @p mix through @p channels from one worker thread per
+ * channel. @p on_half (if set) fires exactly once, as the burst
+ * passes its halfway point — the kill-one hook.
+ */
+BurstResult
+runBurst(const std::vector<MixEntry> &mix,
+         std::vector<Roundtrip> &channels,
+         const std::function<void()> &on_half = {})
+{
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> half_fired{false};
+    std::vector<std::vector<double>> latencies(channels.size());
+    BurstResult result;
+    result.responses.resize(mix.size());
+    std::atomic<int> failures{0};
+
+    const auto start = Clock::now();
+    std::vector<std::thread> workers;
+    for (std::size_t c = 0; c < channels.size(); ++c) {
+        workers.emplace_back([&, c] {
+            while (true) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= mix.size())
+                    return;
+                if (on_half && i >= mix.size() / 2 &&
+                    !half_fired.exchange(true))
+                    on_half();
+                const auto sent = Clock::now();
+                std::string response = channels[c](mix[i].line);
+                const double ms =
+                    std::chrono::duration<double, std::milli>(
+                        Clock::now() - sent)
+                        .count();
+                latencies[c].push_back(ms);
+                if (response.find("\"status\":\"ok\"") ==
+                    std::string::npos)
+                    failures.fetch_add(1, std::memory_order_relaxed);
+                result.responses[i] = std::move(response);
+            }
+        });
+    }
+    for (std::thread &worker : workers)
+        worker.join();
+    result.wall =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    result.failures = failures.load();
+    for (const auto &client_latencies : latencies)
+        result.latencies.insert(result.latencies.end(),
+                                client_latencies.begin(),
+                                client_latencies.end());
+    std::sort(result.latencies.begin(), result.latencies.end());
+    return result;
+}
+
+Metrics
+burstMetrics(const BurstResult &burst, double dedup_rate)
+{
+    Metrics m;
+    m[0] = burst.wall > 0.0
+               ? static_cast<double>(burst.responses.size()) / burst.wall
+               : 0.0;
+    m[1] = percentile(burst.latencies, 0.50);
+    m[2] = percentile(burst.latencies, 0.99);
+    m[3] = dedup_rate;
+    return m;
+}
+
+/** Per-client socket channels to @p socket; empty on connect failure. */
+std::vector<Roundtrip>
+socketChannels(const std::string &socket, int clients,
+               std::vector<int> &fds)
+{
+    std::vector<Roundtrip> channels;
+    for (int c = 0; c < clients; ++c) {
+        const int fd = connectSocket(socket);
+        if (fd < 0) {
+            std::fprintf(stderr, "cannot connect to %s\n",
+                         socket.c_str());
+            return {};
+        }
+        fds.push_back(fd);
+        channels.emplace_back([fd](const std::string &line) {
+            return socketRoundtrip(fd, line);
+        });
+    }
+    return channels;
+}
+
+double
+jsonPathDouble(const service::JsonValue &root,
+               const std::vector<std::string> &path)
+{
+    const service::JsonValue *node = &root;
+    for (const std::string &key : path) {
+        node = node->find(key);
+        if (node == nullptr)
+            return 0.0;
+    }
+    return node->asDouble();
+}
+
+/** All the knobs of one `--fleet N` benchmark run. */
+struct FleetBenchConfig
+{
+    std::string outPath;
+    std::string appsCsv;
+    std::string input;
+    std::string baselinePath;
+    std::string spawnBin;
+    std::string ship;
+    int backends = 0;
+    int requests = 0;
+    int clients = 0;
+    int runs = 0;
+    int seeds = 0;
+    int jobs = 0;
+    int dispatchers = 0;
+    bool quick = false;
+    bool verify = false;
+    bool killOne = false;
+};
+
+/** One sweep point: the burst metrics at a given backend count. */
+struct SweepPoint
+{
+    int backends = 0;
+    Metrics metrics;
+};
+
+/**
+ * The scale-out benchmark: measure a direct single backend, then
+ * router-fronted fleets at backend counts {1,2,4} up to N (the
+ * N-backend run is the headline). Emits BENCH_fleet.json.
+ */
+int
+runFleetBench(const FleetBenchConfig &cfg)
+{
+    const std::vector<std::string> app_names = splitCsv(cfg.appsCsv);
+    const std::vector<MixEntry> mix = buildMix(
+        app_names, cfg.requests, cfg.runs, cfg.seeds, cfg.input);
+    bool ok = true;
+
+    // --- Direct phase: one backend, no router in the path. -----------
+    const std::string direct_socket =
+        "loadgen-" + std::to_string(::getpid()) + "-direct.sock";
+    const pid_t direct_pid = spawnProcess(
+        {cfg.spawnBin, "serve", "--socket", direct_socket, "--jobs",
+         std::to_string(cfg.jobs), "--dispatchers",
+         std::to_string(cfg.dispatchers)});
+    if (direct_pid < 0 || !awaitSocket(direct_socket)) {
+        std::fprintf(stderr, "direct daemon never came up\n");
+        return 3;
+    }
+    Metrics direct;
+    {
+        std::vector<int> fds;
+        std::vector<Roundtrip> channels =
+            socketChannels(direct_socket, cfg.clients, fds);
+        if (channels.empty())
+            return 3;
+        const BurstResult burst = runBurst(mix, channels);
+        if (burst.failures != 0) {
+            std::fprintf(stderr, "direct: %d request(s) not ok\n",
+                         burst.failures);
+            ok = false;
+        }
+        double dedup = 0.0;
+        if (const auto parsed = service::parseJson(channels[0](
+                "{\"id\":\"lg-stats\",\"op\":\"stats\"}")))
+            dedup = jsonPathDouble(*parsed, {"stats", "dedupHitRate"});
+        direct = burstMetrics(burst, dedup);
+        channels[0]("{\"id\":\"lg-drain\",\"op\":\"drain\"}");
+        for (const int fd : fds)
+            ::close(fd);
+        int status = 0;
+        ::waitpid(direct_pid, &status, 0);
+        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+            std::fprintf(stderr, "direct daemon exited abnormally\n");
+            ok = false;
+        }
+        ::unlink(direct_socket.c_str());
+    }
+
+    // --- Fleet sweep. ------------------------------------------------
+    std::vector<int> counts;
+    for (const int b : {1, 2, 4})
+        if (b <= cfg.backends)
+            counts.push_back(b);
+    if (std::find(counts.begin(), counts.end(), cfg.backends) ==
+        counts.end())
+        counts.push_back(cfg.backends);
+
+    std::vector<SweepPoint> sweep;
+    Metrics headline;
+    std::vector<std::string> headline_responses;
+    std::string headline_stats;
+    double router_p50_one = 0.0;
+    std::uint64_t kill_failovers = 0;
+    std::uint64_t kill_reinstalled = 0;
+    bool kill_all_ok = true;
+
+    for (const int count : counts) {
+        const std::string tag = "f" + std::to_string(count);
+        const std::optional<Fleet> fleet =
+            spawnFleet(cfg.spawnBin, count, cfg.jobs, cfg.dispatchers,
+                       cfg.ship, tag.c_str());
+        if (!fleet.has_value())
+            return 3;
+        std::vector<int> fds;
+        std::vector<Roundtrip> channels =
+            socketChannels(fleet->routerSocket, cfg.clients, fds);
+        if (channels.empty()) {
+            killFleet(*fleet);
+            return 3;
+        }
+
+        const bool is_headline = count == cfg.backends;
+        std::vector<pid_t> killed;
+        std::function<void()> on_half;
+        if (is_headline && cfg.killOne) {
+            // SIGKILL the busiest backend at the burst's halfway point
+            // — the backend guaranteed to hold completed, replicated
+            // units, so failover has real work to resume.
+            on_half = [&fleet, &killed] {
+                std::size_t victim = 0;
+                double busiest = -1.0;
+                const auto parsed = service::parseJson(oneShotRequest(
+                    fleet->routerSocket,
+                    "{\"id\":\"lg-prekill\",\"op\":\"stats\"}"));
+                const service::JsonValue *per =
+                    parsed.has_value() && parsed->find("fleet")
+                        ? parsed->find("fleet")->find("perBackend")
+                        : nullptr;
+                if (per != nullptr) {
+                    for (std::size_t i = 0; i < per->items.size(); ++i) {
+                        const service::JsonValue *alive =
+                            per->items[i].find("alive");
+                        const double checks = jsonPathDouble(
+                            per->items[i], {"stats", "checksCompleted"});
+                        if (alive != nullptr && alive->boolean &&
+                            checks > busiest) {
+                            busiest = checks;
+                            victim = i;
+                        }
+                    }
+                }
+                killed.push_back(fleet->backendPids[victim]);
+                ::kill(fleet->backendPids[victim], SIGKILL);
+            };
+        }
+
+        const BurstResult burst = runBurst(mix, channels, on_half);
+        if (burst.failures != 0) {
+            std::fprintf(stderr, "fleet %d: %d request(s) not ok\n",
+                         count, burst.failures);
+            ok = false;
+            if (is_headline)
+                kill_all_ok = false;
+        }
+
+        const std::string stats_line = oneShotRequest(
+            fleet->routerSocket, "{\"id\":\"lg-stats\",\"op\":\"stats\"}");
+        double dedup = 0.0;
+        if (const auto parsed = service::parseJson(stats_line)) {
+            dedup = jsonPathDouble(
+                *parsed, {"fleet", "aggregate", "dedupHitRate"});
+            if (is_headline && !killed.empty()) {
+                kill_failovers = static_cast<std::uint64_t>(
+                    jsonPathDouble(*parsed,
+                                   {"fleet", "router", "failovers"}));
+                kill_reinstalled = static_cast<std::uint64_t>(
+                    jsonPathDouble(
+                        *parsed,
+                        {"fleet", "router", "framesReinstalled"}));
+            }
+        }
+        const Metrics metrics = burstMetrics(burst, dedup);
+        sweep.push_back(SweepPoint{count, metrics});
+        if (count == 1)
+            router_p50_one = metrics[1];
+        if (is_headline) {
+            headline = metrics;
+            headline_responses = burst.responses;
+            headline_stats = stats_line;
+        }
+
+        for (const int fd : fds)
+            ::close(fd);
+        if (!drainFleet(*fleet, killed))
+            ok = false;
+    }
+
+    if (cfg.killOne) {
+        if (kill_failovers < 1 || kill_reinstalled < 1) {
+            std::fprintf(stderr,
+                         "kill-one: expected a failover with reinstalled "
+                         "frames (failovers=%llu reinstalled=%llu)\n",
+                         static_cast<unsigned long long>(kill_failovers),
+                         static_cast<unsigned long long>(
+                             kill_reinstalled));
+            kill_all_ok = false;
+        }
+        if (!kill_all_ok)
+            ok = false;
+    }
+
+    // --- Verify: router bytes vs the one-shot campaign path. ---------
+    bool verified = true;
+    if (cfg.verify) {
+        std::vector<bool> checked(app_names.size() *
+                                  static_cast<std::size_t>(cfg.seeds));
+        for (std::size_t i = 0; i < mix.size(); ++i) {
+            if (checked[mix[i].combo])
+                continue;
+            checked[mix[i].combo] = true;
+            const std::string expected =
+                oneShotReport(mix[i], cfg.runs, cfg.input);
+            const std::string got =
+                embeddedReport(headline_responses[i]);
+            if (expected.empty() || got != expected) {
+                std::fprintf(
+                    stderr,
+                    "fleet report mismatch for %s seed %llu\n"
+                    "  one-shot: %s\n  router:   %s\n",
+                    mix[i].app.c_str(),
+                    static_cast<unsigned long long>(mix[i].seed),
+                    expected.c_str(), got.c_str());
+                verified = false;
+            }
+        }
+        if (!verified)
+            ok = false;
+    }
+
+    // --- Per-backend balance from the headline fleet stats. ----------
+    std::string balance_json = "[]";
+    if (const auto parsed = service::parseJson(headline_stats)) {
+        const service::JsonValue *per =
+            parsed->find("fleet") != nullptr
+                ? parsed->find("fleet")->find("perBackend")
+                : nullptr;
+        if (per != nullptr) {
+            balance_json = "[";
+            for (std::size_t i = 0; i < per->items.size(); ++i) {
+                const service::JsonValue &row = per->items[i];
+                const service::JsonValue *name = row.find("name");
+                const service::JsonValue *alive = row.find("alive");
+                balance_json += i == 0 ? "" : ",";
+                balance_json +=
+                    "{\"name\":\"" +
+                    (name != nullptr ? name->text : std::string{}) +
+                    "\",\"alive\":" +
+                    (alive != nullptr && alive->boolean ? "true"
+                                                        : "false") +
+                    ",\"checksCompleted\":" +
+                    std::to_string(static_cast<std::uint64_t>(
+                        jsonPathDouble(row,
+                                       {"stats", "checksCompleted"}))) +
+                    ",\"replicaFrames\":" +
+                    std::to_string(static_cast<std::uint64_t>(
+                        jsonPathDouble(row, {"replicaFrames"}))) +
+                    "}";
+            }
+            balance_json += "]";
+        }
+    }
+
+    std::optional<Metrics> base;
+    if (!cfg.baselinePath.empty()) {
+        base = readBaseline(cfg.baselinePath);
+        if (!base.has_value())
+            return 1;
+    }
+
+    std::FILE *out = std::fopen(cfg.outPath.c_str(), "w");
+    if (out == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", cfg.outPath.c_str());
+        return 1;
+    }
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"bench\": \"loadgen-fleet\",\n");
+    std::fprintf(out, "  \"quick\": %s,\n", cfg.quick ? "true" : "false");
+    std::fprintf(out, "  \"mode\": \"fleet\",\n");
+    std::fprintf(out, "  \"backends\": %d,\n", cfg.backends);
+    std::fprintf(out, "  \"ship\": \"%s\",\n", cfg.ship.c_str());
+    std::fprintf(out, "  \"requests\": %d,\n", cfg.requests);
+    std::fprintf(out, "  \"clients\": %d,\n", cfg.clients);
+    std::fprintf(out, "  \"runsPerRequest\": %d,\n", cfg.runs);
+    std::fprintf(out, "  \"apps\": \"%s\",\n", cfg.appsCsv.c_str());
+    std::fprintf(out, "  \"seedsPerApp\": %d,\n", cfg.seeds);
+    std::fprintf(out, "  \"input\": \"%s\",\n", cfg.input.c_str());
+    std::fprintf(out, "  \"verified\": %s,\n",
+                 cfg.verify ? (verified ? "true" : "false") : "null");
+    if (cfg.killOne)
+        std::fprintf(out,
+                     "  \"killOne\": {\"failovers\": %llu, "
+                     "\"framesReinstalled\": %llu, \"allOk\": %s},\n",
+                     static_cast<unsigned long long>(kill_failovers),
+                     static_cast<unsigned long long>(kill_reinstalled),
+                     kill_all_ok ? "true" : "false");
+    else
+        std::fprintf(out, "  \"killOne\": null,\n");
+    std::fprintf(out, "  \"routerOverheadP50\": %.4f,\n",
+                 direct[1] > 0.0 ? router_p50_one / direct[1] : 0.0);
+    std::fprintf(out, "  \"backendSweep\": [");
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        std::fprintf(out,
+                     "%s\n    {\"backends\": %d, \"requestsPerSec\": "
+                     "%.4f, \"p50LatencyMs\": %.4f, \"p99LatencyMs\": "
+                     "%.4f, \"dedupHitRate\": %.4f}",
+                     i == 0 ? "" : ",", sweep[i].backends,
+                     sweep[i].metrics[0], sweep[i].metrics[1],
+                     sweep[i].metrics[2], sweep[i].metrics[3]);
+    }
+    std::fprintf(out, "\n  ],\n");
+    std::fprintf(out, "  \"balance\": %s,\n", balance_json.c_str());
+    std::fprintf(out, "  \"hardwareConcurrency\": %u,\n",
+                 std::thread::hardware_concurrency());
+    emitBlock(out, "direct", direct, "%.4f");
+    std::fprintf(out, ",\n");
+    emitBlock(out, "current", headline, "%.4f");
+    if (base.has_value()) {
+        std::fprintf(out, ",\n");
+        emitBlock(out, "mainBaseline", *base, "%.4f");
+        Metrics speedup;
+        for (std::size_t i = 0; i < kKeys.size(); ++i)
+            speedup[i] = (*base)[i] > 0.0 ? headline[i] / (*base)[i] : 0.0;
+        std::fprintf(out, ",\n");
+        emitBlock(out, "speedupVsMain", speedup, "%.2f");
+    }
+    std::fprintf(out, "\n}\n");
+    std::fclose(out);
+
+    std::printf("fleet %d: %.1f req/s, p50 %.2fms, p99 %.2fms, dedup "
+                "%.2f; direct %.1f req/s, p50 %.2fms; router overhead "
+                "p50 %.2fx%s%s\n",
+                cfg.backends, headline[0], headline[1], headline[2],
+                headline[3], direct[0], direct[1],
+                direct[1] > 0.0 ? router_p50_one / direct[1] : 0.0,
+                cfg.verify ? (verified ? ", verified" : ", VERIFY FAILED")
+                           : "",
+                cfg.killOne ? (kill_all_ok ? ", kill-one ok"
+                                           : ", KILL-ONE FAILED")
+                            : "");
+    std::printf("wrote %s\n", cfg.outPath.c_str());
+    return ok ? 0 : 1;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    std::string out_path = "BENCH_service.json";
+    std::string out_path;
     std::string apps_csv = "radix,fft,lu";
     std::string input = "dev";
     std::string baseline_path;
     std::string connect_path;
     std::string spawn_bin;
     std::string store_path;
+    std::string ship = "async";
     int requests = 96;
     int clients = 4;
     int runs = 6;
     int seeds = 2;
     int jobs = 0;
     int dispatchers = 2;
+    int fleet_backends = 0;
     bool quick = false;
     bool verify = false;
+    bool kill_one = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -326,6 +946,12 @@ main(int argc, char **argv)
             quick = true;
         } else if (arg == "--verify") {
             verify = true;
+        } else if (arg == "--kill-one") {
+            kill_one = true;
+        } else if (arg == "--fleet" && i + 1 < argc) {
+            fleet_backends = std::atoi(argv[++i]);
+        } else if (arg == "--ship" && i + 1 < argc) {
+            ship = argv[++i];
         } else if (arg == "--requests" && i + 1 < argc) {
             requests = std::atoi(argv[++i]);
         } else if (arg == "--clients" && i + 1 < argc) {
@@ -370,6 +996,50 @@ main(int argc, char **argv)
     if (!connect_path.empty() && !spawn_bin.empty()) {
         std::fprintf(stderr,
                      "--connect and --spawn are mutually exclusive\n");
+        return 2;
+    }
+    if (ship != "sync" && ship != "async") {
+        std::fprintf(stderr, "--ship must be sync or async\n");
+        return 2;
+    }
+
+    if (fleet_backends > 0) {
+        if (spawn_bin.empty() || !connect_path.empty() ||
+            !store_path.empty()) {
+            std::fprintf(stderr,
+                         "--fleet needs --spawn ICHECK_BIN (and takes "
+                         "neither --connect nor --store)\n");
+            return 2;
+        }
+        if (kill_one && fleet_backends < 2) {
+            std::fprintf(stderr,
+                         "--kill-one needs --fleet of at least 2\n");
+            return 2;
+        }
+        FleetBenchConfig fleet_cfg;
+        fleet_cfg.outPath =
+            out_path.empty() ? "BENCH_fleet.json" : out_path;
+        fleet_cfg.appsCsv = apps_csv;
+        fleet_cfg.input = input;
+        fleet_cfg.baselinePath = baseline_path;
+        fleet_cfg.spawnBin = spawn_bin;
+        fleet_cfg.ship = ship;
+        fleet_cfg.backends = fleet_backends;
+        fleet_cfg.requests = requests;
+        fleet_cfg.clients = clients;
+        fleet_cfg.runs = runs;
+        fleet_cfg.seeds = seeds;
+        fleet_cfg.jobs = jobs;
+        fleet_cfg.dispatchers = dispatchers;
+        fleet_cfg.quick = quick;
+        fleet_cfg.verify = verify;
+        fleet_cfg.killOne = kill_one;
+        return runFleetBench(fleet_cfg);
+    }
+    if (out_path.empty())
+        out_path = "BENCH_service.json";
+    if (kill_one) {
+        std::fprintf(stderr, "--kill-one only applies to --fleet\n");
         return 2;
     }
 
@@ -459,43 +1129,12 @@ main(int argc, char **argv)
     }
 
     // --- Traffic phase. ----------------------------------------------
-    std::atomic<std::size_t> next{0};
-    std::vector<std::string> responses(mix.size());
-    std::vector<std::vector<double>> latencies(
-        static_cast<std::size_t>(clients));
-    std::atomic<int> failures{0};
+    const BurstResult burst = runBurst(mix, channels);
+    const std::vector<std::string> &responses = burst.responses;
 
-    const auto start = Clock::now();
-    std::vector<std::thread> workers;
-    for (int c = 0; c < clients; ++c) {
-        workers.emplace_back([&, c] {
-            while (true) {
-                const std::size_t i =
-                    next.fetch_add(1, std::memory_order_relaxed);
-                if (i >= mix.size())
-                    return;
-                const auto sent = Clock::now();
-                std::string response = channels[c](mix[i].line);
-                const double ms =
-                    std::chrono::duration<double, std::milli>(
-                        Clock::now() - sent)
-                        .count();
-                latencies[static_cast<std::size_t>(c)].push_back(ms);
-                if (response.find("\"status\":\"ok\"") ==
-                    std::string::npos)
-                    failures.fetch_add(1, std::memory_order_relaxed);
-                responses[i] = std::move(response);
-            }
-        });
-    }
-    for (std::thread &worker : workers)
-        worker.join();
-    const double wall =
-        std::chrono::duration<double>(Clock::now() - start).count();
-
-    if (failures.load() != 0) {
+    if (burst.failures != 0) {
         std::fprintf(stderr, "%d of %zu requests did not return ok\n",
-                     failures.load(), mix.size());
+                     burst.failures, mix.size());
         return 1;
     }
 
@@ -548,18 +1187,7 @@ main(int argc, char **argv)
     }
 
     // --- Metrics. ----------------------------------------------------
-    std::vector<double> all_latencies;
-    for (const auto &client_latencies : latencies)
-        all_latencies.insert(all_latencies.end(),
-                             client_latencies.begin(),
-                             client_latencies.end());
-    std::sort(all_latencies.begin(), all_latencies.end());
-
-    Metrics cur;
-    cur[0] = wall > 0.0 ? static_cast<double>(mix.size()) / wall : 0.0;
-    cur[1] = percentile(all_latencies, 0.50);
-    cur[2] = percentile(all_latencies, 0.99);
-    cur[3] = dedup_rate;
+    const Metrics cur = burstMetrics(burst, dedup_rate);
 
     std::optional<Metrics> base;
     if (!baseline_path.empty()) {
@@ -603,7 +1231,7 @@ main(int argc, char **argv)
 
     std::printf("%zu requests in %.2fs: %.1f req/s, p50 %.2fms, "
                 "p99 %.2fms, dedup %.2f%s\n",
-                mix.size(), wall, cur[0], cur[1], cur[2], cur[3],
+                mix.size(), burst.wall, cur[0], cur[1], cur[2], cur[3],
                 verify ? (verified ? ", verified" : ", VERIFY FAILED")
                        : "");
     std::printf("wrote %s\n", out_path.c_str());

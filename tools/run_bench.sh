@@ -5,7 +5,7 @@
 #   tools/run_bench.sh [build-dir] [parallel-output.json]
 #   tools/run_bench.sh --pin [build-dir]
 #
-# Four files are produced:
+# Six files are produced:
 #   BENCH_parallel.json — serial vs. pooled campaign runs/sec (plus
 #     speedup and worker utilization per job count).
 #   BENCH_hotpath.json  — access/hash hot-path throughput (store-hash
@@ -23,6 +23,11 @@
 #   BENCH_explore.json  — DPOR exploration reduction (nodes to full
 #     coverage on the bug-seeded apps, states found), compared against
 #     the pinned no-DPOR baseline in bench/baselines/explore_main.json.
+#   BENCH_fleet.json    — router-fronted fleet throughput (aggregate
+#     req/s, p50/p99, dedup rate, per-backend balance, router overhead
+#     vs a direct daemon, backend-count sweep, kill-one failover
+#     counters), compared against the pinned baseline in
+#     bench/baselines/fleet_main.json.
 # Comparing the files across commits tracks each subsystem's trajectory.
 #
 # Every emitted JSON is stamped with provenance (git SHA, hostname,
@@ -126,6 +131,12 @@ if [ "${pin}" -eq 1 ]; then
     "${build_dir}/bench/micro_explore" \
         "${repo_root}/bench/baselines/explore_main.json" --no-dpor
     stamp_provenance "${repo_root}/bench/baselines/explore_main.json"
+    cmake --build "${build_dir}" -t icheck -j
+    "${build_dir}/tools/loadgen/loadgen" \
+        "${repo_root}/bench/baselines/fleet_main.json" \
+        --fleet 4 --ship sync --kill-one --verify \
+        --spawn "${build_dir}/tools/icheck"
+    stamp_provenance "${repo_root}/bench/baselines/fleet_main.json"
     echo "baselines pinned under ${repo_root}/bench/baselines/"
     exit 0
 fi
@@ -171,3 +182,16 @@ fi
     "${explore_args[@]+"${explore_args[@]}"}"
 stamp_provenance "${repo_root}/BENCH_explore.json"
 echo "explore trajectory written to ${repo_root}/BENCH_explore.json"
+
+cmake --build "${build_dir}" -t icheck -j
+fleet_baseline="${repo_root}/bench/baselines/fleet_main.json"
+fleet_args=()
+if [ -f "${fleet_baseline}" ]; then
+    fleet_args+=(--baseline "${fleet_baseline}")
+fi
+"${build_dir}/tools/loadgen/loadgen" "${repo_root}/BENCH_fleet.json" \
+    --fleet 4 --ship sync --kill-one --verify \
+    --spawn "${build_dir}/tools/icheck" \
+    "${fleet_args[@]+"${fleet_args[@]}"}"
+stamp_provenance "${repo_root}/BENCH_fleet.json"
+echo "fleet trajectory written to ${repo_root}/BENCH_fleet.json"
