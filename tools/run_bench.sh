@@ -132,9 +132,12 @@ if [ "${pin}" -eq 1 ]; then
         "${repo_root}/bench/baselines/explore_main.json" --no-dpor
     stamp_provenance "${repo_root}/bench/baselines/explore_main.json"
     cmake --build "${build_dir}" -t icheck -j
+    # 4 seeds x 3 apps = 12 distinct campaigns: enough keys that every
+    # backend owns a shard (the default 6 can leave ring members idle).
     "${build_dir}/tools/loadgen/loadgen" \
         "${repo_root}/bench/baselines/fleet_main.json" \
         --fleet 4 --ship sync --kill-one --verify \
+        --requests 144 --seeds 4 \
         --spawn "${build_dir}/tools/icheck"
     stamp_provenance "${repo_root}/bench/baselines/fleet_main.json"
     echo "baselines pinned under ${repo_root}/bench/baselines/"
@@ -191,6 +194,7 @@ if [ -f "${fleet_baseline}" ]; then
 fi
 "${build_dir}/tools/loadgen/loadgen" "${repo_root}/BENCH_fleet.json" \
     --fleet 4 --ship sync --kill-one --verify \
+    --requests 144 --seeds 4 \
     --spawn "${build_dir}/tools/icheck" \
     "${fleet_args[@]+"${fleet_args[@]}"}"
 stamp_provenance "${repo_root}/BENCH_fleet.json"
