@@ -462,7 +462,6 @@ struct BurstResult
 {
     double wall = 0.0;
     std::vector<double> latencies; ///< Sorted, all clients merged.
-    std::vector<double> latencyByIndex; ///< Indexed like the mix.
     std::vector<std::string> responses;
     int failures = 0;
 };
@@ -482,7 +481,6 @@ runBurst(const std::vector<MixEntry> &mix,
     std::vector<std::vector<double>> latencies(channels.size());
     BurstResult result;
     result.responses.resize(mix.size());
-    result.latencyByIndex.resize(mix.size(), 0.0);
     std::atomic<int> failures{0};
 
     const auto start = Clock::now();
@@ -504,7 +502,6 @@ runBurst(const std::vector<MixEntry> &mix,
                         Clock::now() - sent)
                         .count();
                 latencies[c].push_back(ms);
-                result.latencyByIndex[i] = ms;
                 if (response.find("\"status\":\"ok\"") ==
                     std::string::npos)
                     failures.fetch_add(1, std::memory_order_relaxed);
@@ -539,28 +536,71 @@ burstMetrics(const BurstResult &burst, double dedup_rate)
 }
 
 /**
- * p50 latency over the executed checks only: the first request of each
- * distinct configuration, which cannot come from the store. Execution
- * dominates these latencies, so a router-vs-direct ratio over them
- * isolates the forwarding cost on the work the fleet actually scales —
- * the mixed-burst p50 sits on sub-millisecond cache hits, where
- * scheduler jitter on a contended host swamps the hop being measured.
+ * Interleaved fresh-check latency probe: fifteen never-seen
+ * configurations asked one at a time, each put to the direct daemon
+ * and to the single-backend fleet back-to-back (alternating which
+ * side goes first), after both have finished their bursts. The
+ * checks are uncontended and execution-dominated (runs is fixed at
+ * 12 so each carries tens of milliseconds of real work), and because
+ * a config's two measurements land microseconds apart they see the
+ * same machine conditions — so the per-config router/direct ratio
+ * isolates the forwarding hop, and its median cancels per-config
+ * work and lone noise spikes. Two separate probe windows do not
+ * work on this host: background load drifts by milliseconds between
+ * them, which swamps the hop. The mixed-burst p50 is no better —
+ * it sits on sub-millisecond cache hits, where scheduler jitter on
+ * one contended core dominates.
  */
-double
-freshCheckP50(const std::vector<MixEntry> &mix, const BurstResult &burst)
+void
+interleavedFreshProbe(const std::vector<std::string> &apps,
+                      const std::string &input, Roundtrip &direct_ch,
+                      Roundtrip &router_ch,
+                      std::vector<double> &direct_lat,
+                      std::vector<double> &router_lat)
 {
-    std::vector<char> seen;
-    std::vector<double> fresh;
-    for (std::size_t i = 0; i < mix.size(); ++i) {
-        if (mix[i].combo >= seen.size())
-            seen.resize(mix[i].combo + 1, 0);
-        if (seen[mix[i].combo])
-            continue;
-        seen[mix[i].combo] = 1;
-        fresh.push_back(burst.latencyByIndex[i]);
-    }
-    std::sort(fresh.begin(), fresh.end());
-    return percentile(fresh, 0.50);
+    constexpr int kProbeRuns = 12;
+    const auto timeOne = [&input](Roundtrip &channel, const char *side,
+                                  int i, const std::string &app,
+                                  std::uint64_t seed) {
+        const std::string line = renderCheckLine(
+            std::string("probe-") + side + "-" + std::to_string(i), app,
+            kProbeRuns, seed, input);
+        const auto sent = Clock::now();
+        channel(line);
+        return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                         sent)
+            .count();
+    };
+    int i = 0;
+    // Seeds 9000+ never collide with the mix (seeds start at 1000).
+    for (std::uint64_t seed = 9000; seed < 9005; ++seed)
+        for (const std::string &app : apps) {
+            if (i % 2 == 0) {
+                direct_lat.push_back(
+                    timeOne(direct_ch, "d", i, app, seed));
+                router_lat.push_back(
+                    timeOne(router_ch, "r", i, app, seed));
+            } else {
+                router_lat.push_back(
+                    timeOne(router_ch, "r", i, app, seed));
+                direct_lat.push_back(
+                    timeOne(direct_ch, "d", i, app, seed));
+            }
+            ++i;
+        }
+}
+
+/** Median of paired router/direct latency ratios; 0 when unmeasured. */
+double
+pairedOverhead(const std::vector<double> &router,
+               const std::vector<double> &direct)
+{
+    std::vector<double> ratios;
+    for (std::size_t i = 0; i < router.size() && i < direct.size(); ++i)
+        if (direct[i] > 0.0)
+            ratios.push_back(router[i] / direct[i]);
+    std::sort(ratios.begin(), ratios.end());
+    return percentile(ratios, 0.50);
 }
 
 /** Per-client socket channels to @p socket; empty on connect failure. */
@@ -650,27 +690,23 @@ runFleetBench(const FleetBenchConfig &cfg)
         return 3;
     }
     Metrics direct;
-    double direct_fresh_p50 = 0.0;
-    {
-        std::vector<int> fds;
-        std::vector<Roundtrip> channels =
-            socketChannels(direct_socket, cfg.clients, fds);
-        if (channels.empty())
-            return 3;
-        const BurstResult burst = runBurst(mix, channels);
-        direct_fresh_p50 = freshCheckP50(mix, burst);
-        if (burst.failures != 0) {
-            std::fprintf(stderr, "direct: %d request(s) not ok\n",
-                         burst.failures);
-            ok = false;
-        }
-        double dedup = 0.0;
-        if (const auto parsed = service::parseJson(channels[0](
-                "{\"id\":\"lg-stats\",\"op\":\"stats\"}")))
-            dedup = jsonPathDouble(*parsed, {"stats", "dedupHitRate"});
-        direct = burstMetrics(burst, dedup);
-        channels[0]("{\"id\":\"lg-drain\",\"op\":\"drain\"}");
-        for (const int fd : fds)
+    std::vector<double> direct_fresh;
+    std::vector<double> router_fresh;
+    // The direct daemon stays up (idle) until the single-backend fleet
+    // has run its burst, so the overhead probe can interleave the two
+    // sides inside one time window; shut down after the probe.
+    std::vector<int> direct_fds;
+    std::vector<Roundtrip> direct_channels =
+        socketChannels(direct_socket, cfg.clients, direct_fds);
+    if (direct_channels.empty())
+        return 3;
+    bool direct_up = true;
+    const auto shutdownDirect = [&] {
+        if (!direct_up)
+            return;
+        direct_up = false;
+        direct_channels[0]("{\"id\":\"lg-drain\",\"op\":\"drain\"}");
+        for (const int fd : direct_fds)
             ::close(fd);
         int status = 0;
         ::waitpid(direct_pid, &status, 0);
@@ -679,6 +715,19 @@ runFleetBench(const FleetBenchConfig &cfg)
             ok = false;
         }
         ::unlink(direct_socket.c_str());
+    };
+    {
+        const BurstResult burst = runBurst(mix, direct_channels);
+        if (burst.failures != 0) {
+            std::fprintf(stderr, "direct: %d request(s) not ok\n",
+                         burst.failures);
+            ok = false;
+        }
+        double dedup = 0.0;
+        if (const auto parsed = service::parseJson(direct_channels[0](
+                "{\"id\":\"lg-stats\",\"op\":\"stats\"}")))
+            dedup = jsonPathDouble(*parsed, {"stats", "dedupHitRate"});
+        direct = burstMetrics(burst, dedup);
     }
 
     // --- Fleet sweep. ------------------------------------------------
@@ -695,7 +744,6 @@ runFleetBench(const FleetBenchConfig &cfg)
     std::vector<std::string> headline_responses;
     std::string headline_stats;
     double router_p50_one = 0.0;
-    double router_fresh_one = 0.0;
     std::uint64_t kill_failovers = 0;
     std::uint64_t kill_reinstalled = 0;
     bool kill_all_ok = true;
@@ -705,13 +753,16 @@ runFleetBench(const FleetBenchConfig &cfg)
         const std::optional<Fleet> fleet =
             spawnFleet(cfg.spawnBin, count, cfg.jobs, cfg.dispatchers,
                        cfg.ship, tag.c_str());
-        if (!fleet.has_value())
+        if (!fleet.has_value()) {
+            shutdownDirect();
             return 3;
+        }
         std::vector<int> fds;
         std::vector<Roundtrip> channels =
             socketChannels(fleet->routerSocket, cfg.clients, fds);
         if (channels.empty()) {
             killFleet(*fleet);
+            shutdownDirect();
             return 3;
         }
 
@@ -779,7 +830,10 @@ runFleetBench(const FleetBenchConfig &cfg)
         sweep.push_back(SweepPoint{count, metrics});
         if (count == 1) {
             router_p50_one = metrics[1];
-            router_fresh_one = freshCheckP50(mix, burst);
+            interleavedFreshProbe(app_names, cfg.input,
+                                  direct_channels[0], channels[0],
+                                  direct_fresh, router_fresh);
+            shutdownDirect();
         }
         if (is_headline) {
             headline = metrics;
@@ -792,6 +846,7 @@ runFleetBench(const FleetBenchConfig &cfg)
         if (!drainFleet(*fleet, killed))
             ok = false;
     }
+    shutdownDirect();
 
     if (cfg.killOne) {
         if (kill_failovers < 1 || kill_reinstalled < 1) {
@@ -903,20 +958,23 @@ runFleetBench(const FleetBenchConfig &cfg)
                      kill_all_ok ? "true" : "false");
     else
         std::fprintf(out, "  \"killOne\": null,\n");
-    // The headline overhead is measured over executed checks (see
-    // freshCheckP50); the mixed-burst ratio rides along for context
-    // but sits on cache-hit latencies too small to measure stably on
-    // a contended single-core host.
-    std::fprintf(out, "  \"routerOverheadP50\": %.4f,\n",
-                 direct_fresh_p50 > 0.0
-                     ? router_fresh_one / direct_fresh_p50
-                     : 0.0);
+    // The headline overhead is the median of per-config paired ratios
+    // over executed checks (see freshProbeLatencies); the mixed-burst
+    // ratio rides along for context but sits on cache-hit latencies
+    // too small to measure stably on a contended single-core host.
+    const double fresh_overhead = pairedOverhead(router_fresh,
+                                                 direct_fresh);
+    std::vector<double> direct_sorted = direct_fresh;
+    std::sort(direct_sorted.begin(), direct_sorted.end());
+    std::vector<double> router_sorted = router_fresh;
+    std::sort(router_sorted.begin(), router_sorted.end());
+    std::fprintf(out, "  \"routerOverheadP50\": %.4f,\n", fresh_overhead);
     std::fprintf(out, "  \"routerOverheadP50Mixed\": %.4f,\n",
                  direct[1] > 0.0 ? router_p50_one / direct[1] : 0.0);
     std::fprintf(out, "  \"directFreshCheckP50Ms\": %.4f,\n",
-                 direct_fresh_p50);
+                 percentile(direct_sorted, 0.50));
     std::fprintf(out, "  \"routerFreshCheckP50Ms\": %.4f,\n",
-                 router_fresh_one);
+                 percentile(router_sorted, 0.50));
     std::fprintf(out, "  \"backendSweep\": [");
     for (std::size_t i = 0; i < sweep.size(); ++i) {
         std::fprintf(out,
@@ -950,10 +1008,7 @@ runFleetBench(const FleetBenchConfig &cfg)
                 "%.2f; direct %.1f req/s, p50 %.2fms; router overhead "
                 "p50 %.2fx%s%s\n",
                 cfg.backends, headline[0], headline[1], headline[2],
-                headline[3], direct[0], direct[1],
-                direct_fresh_p50 > 0.0
-                    ? router_fresh_one / direct_fresh_p50
-                    : 0.0,
+                headline[3], direct[0], direct[1], fresh_overhead,
                 cfg.verify ? (verified ? ", verified" : ", VERIFY FAILED")
                            : "",
                 cfg.killOne ? (kill_all_ok ? ", kill-one ok"
