@@ -254,10 +254,16 @@ readBaseline(const std::string &path)
         text.append(buf, got);
     std::fclose(in);
 
+    // Anchor at the "current" block: fleet baselines carry the same
+    // metric keys earlier in the file (backendSweep entries, the
+    // direct block), and the first occurrence is the wrong run.
+    std::size_t from = text.find("\"current\":");
+    if (from == std::string::npos)
+        from = 0;
     Metrics base;
     for (std::size_t i = 0; i < kKeys.size(); ++i) {
         const std::string needle = "\"" + kKeys[i] + "\":";
-        const std::size_t pos = text.find(needle);
+        const std::size_t pos = text.find(needle, from);
         if (pos == std::string::npos) {
             std::fprintf(stderr, "baseline %s lacks %s\n", path.c_str(),
                          kKeys[i].c_str());
