@@ -160,8 +160,19 @@ bool
 Router::start()
 {
     for (const auto &backend : backends) {
-        if (!connectBackend(*backend))
+        if (!connectBackend(*backend)) {
+            // `started` never flips on this path, so stop() would not
+            // close the peers that did connect — close them here.
+            for (const auto &connected : backends) {
+                if (connected->fd < 0)
+                    continue;
+                ::close(connected->fd);
+                connected->fd = -1;
+                connected->alive.store(false,
+                                       std::memory_order_release);
+            }
             return false;
+        }
         {
             std::lock_guard<std::mutex> lock(ringMu);
             ring.add(backend->name);
@@ -187,8 +198,10 @@ Router::sendLine(Backend &backend, const std::string &line)
     std::lock_guard<std::mutex> lock(backend.writeMu);
     std::size_t written = 0;
     while (written < framed.size()) {
-        const ssize_t n = ::write(backend.fd, framed.data() + written,
-                                  framed.size() - written);
+        // MSG_NOSIGNAL: a peer that vanished mid-write must surface as
+        // EPIPE (handled by the failover path), not a fatal SIGPIPE.
+        const ssize_t n = ::send(backend.fd, framed.data() + written,
+                                 framed.size() - written, MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -278,12 +291,51 @@ Router::dispatchCheck(Waiter waiter)
     requestsRouted.fetch_add(1, std::memory_order_relaxed);
 
     const std::string line = waiter.line;
+    const std::string id = waiter.id;
     {
         std::lock_guard<std::mutex> lock(backend->pendingMu);
-        backend->pending[waiter.id].push_back(std::move(waiter));
+        backend->pending[id].push_back(std::move(waiter));
     }
     if (!sendLine(*backend, line))
         markDead(*backend); // Failover re-dispatches the waiter.
+    // The reader thread may have run failover() — and drained pending —
+    // between the alive check above and our push; such a waiter would
+    // never be answered. If the backend died, reclaim it ourselves.
+    if (!backend->alive.load(std::memory_order_acquire))
+        reclaimStranded(*backend, id);
+}
+
+void
+Router::reclaimStranded(Backend &backend, const std::string &id)
+{
+    // If failover()'s drain ran before the caller's push, the waiter
+    // is still in pending (and pendingMu ordering made the caller's
+    // alive load observe false, which is why it reached us). If the
+    // drain runs after the push, it finds and handles the waiter and
+    // this extraction comes up empty. Either way: exactly once.
+    Waiter stranded;
+    bool reclaimed = false;
+    {
+        std::lock_guard<std::mutex> lock(backend.pendingMu);
+        const auto it = backend.pending.find(id);
+        if (it != backend.pending.end() && !it->second.empty()) {
+            stranded = std::move(it->second.back());
+            it->second.pop_back();
+            if (it->second.empty())
+                backend.pending.erase(it);
+            reclaimed = true;
+        }
+    }
+    if (!reclaimed)
+        return;
+    if (stranded.isCheck) {
+        requestsRetried.fetch_add(1, std::memory_order_relaxed);
+        dispatchCheck(std::move(stranded));
+    } else {
+        stranded.respond(service::renderErrorResponse(
+            stranded.id,
+            "backend '" + backend.name + "' died mid-request"));
+    }
 }
 
 void
@@ -349,10 +401,15 @@ Router::completeResponse(Backend &backend, const std::string &id,
         // Sync replication: hold the response until this backend's log
         // has been pulled past the frames this campaign appended, so a
         // crash after the client sees "ok" can never lose its units.
+        // Only a pull sent from here on can stand witness — the backend
+        // appended the frames before it sent this response — so record
+        // the next generation; a pull already in flight may have been
+        // sent before the frames existed, and startPullLocked() queues
+        // a fresh one behind it.
         std::lock_guard<std::mutex> lock(backend.shipMu);
-        backend.held.push_back(
-            HeldResponse{std::move(waiter.respond), line});
-        backend.caughtUp = false;
+        backend.held.push_back(HeldResponse{std::move(waiter.respond),
+                                            line,
+                                            backend.pullsSent + 1});
         startPullLocked(backend);
         return;
     }
@@ -362,18 +419,26 @@ Router::completeResponse(Backend &backend, const std::string &id,
 void
 Router::startPullLocked(Backend &backend)
 {
-    if (backend.pullInFlight ||
-        !backend.alive.load(std::memory_order_acquire))
+    if (!backend.alive.load(std::memory_order_acquire))
         return;
+    if (backend.pullInFlight) {
+        backend.pullQueued = true;
+        return;
+    }
     backend.pullInFlight = true;
-    backend.caughtUp = false;
+    // An actual send satisfies every queued request: queuers only need
+    // *some* pull sent after their request time, and this is one.
+    backend.pullQueued = false;
+    ++backend.pullsSent;
     if (!sendLine(backend, renderPullRequest(backend.cursor,
                                              topology.pullMaxBytes))) {
         // A failed write means the peer is gone; its reader observes
         // EOF and runs the death path — calling markDead() here would
         // re-enter shipMu, which every caller of this method holds.
+        // Count the generation as landed so waiters unblock; failover
+        // flushes the held responses.
         backend.pullInFlight = false;
-        backend.caughtUp = true;
+        backend.lastEofGen = backend.pullsSent;
         backend.shipCv.notify_all();
     }
 }
@@ -429,12 +494,30 @@ Router::handlePullResponse(Backend &backend, const std::string &line)
     {
         std::lock_guard<std::mutex> lock(backend.shipMu);
         backend.cursor = next;
+        const std::uint64_t gen = backend.pullsSent;
         backend.pullInFlight = false;
         if (usable && !eof) {
             startPullLocked(backend); // Keep draining the log tail.
         } else {
-            backend.caughtUp = true;
-            flush.swap(backend.held);
+            backend.lastEofGen = gen;
+            // Flush only responses whose witness pull has landed.
+            // requiredGen rises monotonically down `held` (it snapshots
+            // the monotone pullsSent), so the flushable ones are a
+            // prefix; younger holds wait for the fresh pull below.
+            std::size_t count = 0;
+            while (count < backend.held.size() &&
+                   backend.held[count].requiredGen <= gen)
+                ++count;
+            flush.assign(
+                std::make_move_iterator(backend.held.begin()),
+                std::make_move_iterator(backend.held.begin() +
+                                        static_cast<std::ptrdiff_t>(
+                                            count)));
+            backend.held.erase(backend.held.begin(),
+                               backend.held.begin() +
+                                   static_cast<std::ptrdiff_t>(count));
+            if (!backend.held.empty() || backend.pullQueued)
+                startPullLocked(backend);
             backend.shipCv.notify_all();
         }
     }
@@ -446,10 +529,12 @@ void
 Router::shipToEof(Backend &backend)
 {
     std::unique_lock<std::mutex> lock(backend.shipMu);
-    backend.caughtUp = false;
+    // "Fully replicated" means a pull sent after this point hit eof;
+    // an in-flight pull's eof may predate log bytes already written.
+    const std::uint64_t required = backend.pullsSent + 1;
     startPullLocked(backend);
-    backend.shipCv.wait(lock, [&backend] {
-        return backend.caughtUp ||
+    backend.shipCv.wait(lock, [&backend, required] {
+        return backend.lastEofGen >= required ||
                !backend.alive.load(std::memory_order_acquire);
     });
 }
@@ -506,7 +591,6 @@ Router::failover(Backend &backend)
     {
         std::lock_guard<std::mutex> lock(backend.shipMu);
         flush.swap(backend.held);
-        backend.caughtUp = true;
         backend.shipCv.notify_all();
     }
     for (HeldResponse &held : flush)
@@ -638,6 +722,10 @@ Router::forwardAndWait(Backend &backend, const std::string &id,
     }
     if (!sendLine(backend, line))
         markDead(backend); // Failover answers the waiter with an error.
+    // Same race as dispatchCheck: a failover that drained pending
+    // before our push would leave this wait blocked forever.
+    if (!backend.alive.load(std::memory_order_acquire))
+        reclaimStranded(backend, id);
 
     std::unique_lock<std::mutex> lock(slot->mu);
     slot->cv.wait(lock, [&slot] { return slot->done; });
@@ -811,12 +899,26 @@ Router::stats() const
 namespace
 {
 
-/** Per-connection state of one router client. */
+/**
+ * Per-connection state of one router client. Shared-owned: check
+ * responses arrive asynchronously from backend reader threads, so the
+ * respond closures handed to the router hold a shared_ptr and the
+ * connection (and its fd) outlives its reaped reader thread until the
+ * last response is written or dropped.
+ */
 struct ClientConnection
+    : public std::enable_shared_from_this<ClientConnection>
 {
     int fd = -1;
     std::thread reader;
     std::mutex writeMu;
+    std::atomic<bool> done{false}; ///< Reader exited; safe to reap.
+
+    ~ClientConnection()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
 };
 
 void
@@ -828,9 +930,11 @@ writeClientResponse(ClientConnection &connection,
     std::lock_guard<std::mutex> lock(connection.writeMu);
     std::size_t written = 0;
     while (written < framed.size()) {
+        // MSG_NOSIGNAL: a client that disconnected mid-response must
+        // not SIGPIPE the router out from under every other client.
         const ssize_t n =
-            ::write(connection.fd, framed.data() + written,
-                    framed.size() - written);
+            ::send(connection.fd, framed.data() + written,
+                   framed.size() - written, MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -844,8 +948,9 @@ void
 clientReader(ClientConnection &connection, Router &router)
 {
     const Router::Respond respond =
-        [&connection](const std::string &response) {
-            writeClientResponse(connection, response);
+        [self = connection.shared_from_this()](
+            const std::string &response) {
+            writeClientResponse(*self, response);
         };
     std::string buffer;
     char chunk[4096];
@@ -908,9 +1013,22 @@ Router::serve(const volatile std::sig_atomic_t *shutdown_flag)
     inform("routing ", backends.size(), " backends on unix socket ",
            listenSocket);
 
-    std::vector<std::unique_ptr<ClientConnection>> connections;
+    std::vector<std::shared_ptr<ClientConnection>> connections;
+    // Reap disconnected clients as we go — a long-lived router must not
+    // accumulate one dead thread + socket per client that came and went.
+    const auto reapFinished = [&connections] {
+        for (auto it = connections.begin(); it != connections.end();) {
+            if ((*it)->done.load(std::memory_order_acquire)) {
+                (*it)->reader.join();
+                it = connections.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    };
     while (!(shutdown_flag != nullptr && *shutdown_flag != 0) &&
            !drainComplete.load(std::memory_order_acquire)) {
+        reapFinished();
         pollfd pfd{listener, POLLIN, 0};
         const int ready = ::poll(&pfd, 1, 200);
         if (ready < 0) {
@@ -928,21 +1046,23 @@ Router::serve(const volatile std::sig_atomic_t *shutdown_flag)
             warn("route: accept failed: ", std::strerror(errno));
             break;
         }
-        auto connection = std::make_unique<ClientConnection>();
+        auto connection = std::make_shared<ClientConnection>();
         connection->fd = fd;
         ClientConnection *raw = connection.get();
-        connection->reader =
-            std::thread([raw, this] { clientReader(*raw, *this); });
+        connection->reader = std::thread([raw, this] {
+            clientReader(*raw, *this);
+            raw->done.store(true, std::memory_order_release);
+        });
         connections.push_back(std::move(connection));
     }
 
     ::close(listener);
     for (auto &connection : connections)
         ::shutdown(connection->fd, SHUT_RDWR);
-    for (auto &connection : connections) {
+    for (auto &connection : connections)
         connection->reader.join();
-        ::close(connection->fd);
-    }
+    // Dropping the vector closes each fd once its last outstanding
+    // respond closure (if any) has run; stop() below drains those.
     connections.clear();
     ::unlink(listenSocket.c_str());
     stop();

@@ -110,6 +110,11 @@ class Router
     {
         Respond respond;
         std::string response;
+        /** Generation of the pull that must hit eof before this
+         *  flushes. Only a pull *sent after* the response arrived can
+         *  prove the campaign's frames replicated; a pull already in
+         *  flight at hold time may predate them. */
+        std::uint64_t requiredGen = 0;
     };
 
     /** Persistent link to one backend. */
@@ -126,12 +131,18 @@ class Router
         std::mutex pendingMu;
         std::unordered_map<std::string, std::vector<Waiter>> pending;
 
-        /** Log-shipping state. Guarded by shipMu. */
+        /** Log-shipping state. Guarded by shipMu. Pulls carry a
+         *  monotone generation (in send order): a pull's eof proves
+         *  the log replicated up to its *send* time, so anything that
+         *  needs "replicated as of now" records `pullsSent + 1` and
+         *  waits for a pull of at least that generation to land. */
         std::mutex shipMu;
         std::condition_variable shipCv;
-        std::uint64_t cursor = 0;  ///< Next log byte to pull.
+        std::uint64_t cursor = 0;    ///< Next log byte to pull.
+        std::uint64_t pullsSent = 0; ///< Generation of the newest pull.
+        std::uint64_t lastEofGen = 0; ///< Newest generation to hit eof.
         bool pullInFlight = false;
-        bool caughtUp = false;     ///< Last pull hit eof.
+        bool pullQueued = false; ///< Send a fresh pull once this lands.
         std::vector<HeldResponse> held; ///< Sync-ship barrier queue.
 
         /** Replica of this backend's frame log (CRC-verified). */
@@ -144,6 +155,14 @@ class Router
     bool sendLine(Backend &backend, const std::string &line);
 
     void dispatchCheck(Waiter waiter);
+    /**
+     * Rescue a waiter for @p id that was enqueued after failover()
+     * already drained @p backend's pending map. Callers re-check
+     * `alive` after enqueuing; when it went false, exactly one of
+     * failover() or this reclaim extracts each waiter (extraction is
+     * serialized on pendingMu), so nothing is answered twice or never.
+     */
+    void reclaimStranded(Backend &backend, const std::string &id);
     void backendReaderLoop(Backend &backend);
     void completeResponse(Backend &backend, const std::string &id,
                           const std::string &line);

@@ -1,7 +1,9 @@
 #include "service/serve_loop.hpp"
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
+#include <memory>
 
 #include <poll.h>
 #include <sys/socket.h>
@@ -161,12 +163,24 @@ servePipe(Service &service, std::istream &in, std::ostream &out,
 namespace
 {
 
-/** Per-connection reader state for the socket transport. */
-struct Connection
+/**
+ * Per-connection reader state for the socket transport. Shared-owned:
+ * queued jobs answer from dispatcher threads, so each respond closure
+ * holds a shared_ptr and the connection (and its fd) outlives its
+ * reaped reader thread until the last queued response is written.
+ */
+struct Connection : public std::enable_shared_from_this<Connection>
 {
     int fd = -1;
     std::thread reader;
     std::mutex writeMu;
+    std::atomic<bool> done{false}; ///< Reader exited; safe to reap.
+
+    ~Connection()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
 };
 
 /** Write all of @p response + '\n' to @p connection. */
@@ -178,9 +192,11 @@ writeResponse(Connection &connection, const std::string &response)
     std::lock_guard<std::mutex> lock(connection.writeMu);
     std::size_t written = 0;
     while (written < framed.size()) {
+        // MSG_NOSIGNAL: a client that disconnected mid-response must
+        // surface as EPIPE below, not SIGPIPE the whole daemon.
         const ssize_t n =
-            ::write(connection.fd, framed.data() + written,
-                    framed.size() - written);
+            ::send(connection.fd, framed.data() + written,
+                   framed.size() - written, MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -201,8 +217,9 @@ connectionReader(Connection &connection, ServeLoop &loop,
                  std::size_t max_line)
 {
     const ServeLoop::Respond respond =
-        [&connection](const std::string &response) {
-            writeResponse(connection, response);
+        [self = connection.shared_from_this()](
+            const std::string &response) {
+            writeResponse(*self, response);
         };
     std::string buffer;
     char chunk[4096];
@@ -268,10 +285,24 @@ serveSocket(Service &service, const std::string &socket_path,
     ServeLoop loop(service, service.config().queueDepth,
                    service.config().dispatchers);
     std::mutex connections_mu;
-    std::vector<std::unique_ptr<Connection>> connections;
+    std::vector<std::shared_ptr<Connection>> connections;
+    // Reap disconnected clients as we go — a long-lived daemon must not
+    // accumulate one dead thread + socket per client that came and went.
+    const auto reapFinished = [&connections, &connections_mu] {
+        std::lock_guard<std::mutex> lock(connections_mu);
+        for (auto it = connections.begin(); it != connections.end();) {
+            if ((*it)->done.load(std::memory_order_acquire)) {
+                (*it)->reader.join();
+                it = connections.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    };
 
     while (!(shutdown_flag != nullptr && *shutdown_flag != 0) &&
            !service.drainRequested()) {
+        reapFinished();
         pollfd pfd{listener, POLLIN, 0};
         const int ready = ::poll(&pfd, 1, 200);
         if (ready < 0) {
@@ -289,12 +320,13 @@ serveSocket(Service &service, const std::string &socket_path,
             warn("serve: accept failed: ", std::strerror(errno));
             break;
         }
-        auto connection = std::make_unique<Connection>();
+        auto connection = std::make_shared<Connection>();
         connection->fd = fd;
         Connection *raw = connection.get();
         const std::size_t max_line = service.config().maxLineBytes;
         connection->reader = std::thread([raw, &loop, max_line] {
             connectionReader(*raw, loop, max_line);
+            raw->done.store(true, std::memory_order_release);
         });
         std::lock_guard<std::mutex> lock(connections_mu);
         connections.push_back(std::move(connection));
@@ -312,10 +344,10 @@ serveSocket(Service &service, const std::string &socket_path,
     }
     {
         std::lock_guard<std::mutex> lock(connections_mu);
-        for (auto &connection : connections) {
+        for (auto &connection : connections)
             connection->reader.join();
-            ::close(connection->fd);
-        }
+        // Dropping the vector closes each fd once its last in-flight
+        // respond closure (if any) has run; loop.shutdown() drains them.
         connections.clear();
     }
     loop.shutdown();

@@ -687,9 +687,12 @@ cmdServe(Args &args)
         ICHECK_FATAL("--queue-depth must be in [1, 65536]");
 
     // SIGTERM/SIGINT begin a graceful drain: in-flight campaigns finish
-    // (their units land in the store), then the daemon exits.
+    // (their units land in the store), then the daemon exits. SIGPIPE
+    // is ignored so a client vanishing mid-response surfaces as EPIPE
+    // on that connection instead of killing every other client's work.
     std::signal(SIGTERM, handleShutdownSignal);
     std::signal(SIGINT, handleShutdownSignal);
+    std::signal(SIGPIPE, SIG_IGN);
 
     service::Service daemon(cfg);
     if (socket_path.has_value())
@@ -760,9 +763,13 @@ cmdRoute(Args &args)
 
     // Same graceful story as serve: SIGTERM/SIGINT stop accepting and
     // tear the fleet links down; an explicit client `drain` ships every
-    // backend's log tail and drains the whole fleet first.
+    // backend's log tail and drains the whole fleet first. SIGPIPE is
+    // ignored: a SIGKILLed backend or a vanished client must surface
+    // as EPIPE on that one link (the failover path), not kill the
+    // router and every in-flight request with it.
     std::signal(SIGTERM, handleShutdownSignal);
     std::signal(SIGINT, handleShutdownSignal);
+    std::signal(SIGPIPE, SIG_IGN);
 
     fleet::Router router(std::move(topology), *socket_path);
     if (!router.start())

@@ -169,8 +169,10 @@ socketRoundtrip(int fd, const std::string &line)
     framed += '\n';
     std::size_t written = 0;
     while (written < framed.size()) {
-        const ssize_t n = ::write(fd, framed.data() + written,
-                                  framed.size() - written);
+        // MSG_NOSIGNAL: a daemon/router we deliberately SIGKILL must
+        // surface as EPIPE here, not SIGPIPE the load generator.
+        const ssize_t n = ::send(fd, framed.data() + written,
+                                 framed.size() - written, MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
